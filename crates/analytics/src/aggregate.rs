@@ -1,0 +1,388 @@
+//! Location/AS aggregation.
+//!
+//! §2: *"In addition, Ruru aggregates statistics by source and destination
+//! locations, and AS numbers for further analysis."* The
+//! [`PairAggregator`] keeps rolling per-key statistics (count, mean via
+//! Welford, min/max, and a P² quantile estimate for the median and p95 —
+//! constant memory per key, no sample retention) for three key spaces:
+//! city pairs, country pairs and AS pairs.
+
+use crate::enrich::EnrichedMeasurement;
+use std::collections::HashMap;
+
+/// Streaming statistics over one key, in O(1) memory.
+#[derive(Debug, Clone)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    p50: P2Quantile,
+    p95: P2Quantile,
+}
+
+impl RunningStats {
+    fn new() -> RunningStats {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            p50: P2Quantile::new(0.5),
+            p95: P2Quantile::new(0.95),
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.p50.push(v);
+        self.p95.push(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Minimum.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// P² estimate of the median.
+    pub fn median(&self) -> f64 {
+        self.p50.value()
+    }
+
+    /// P² estimate of the 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.p95.value()
+    }
+}
+
+/// The P² (Jain & Chlamtac) streaming quantile estimator: five markers,
+/// O(1) per sample, no buffer.
+#[derive(Debug, Clone)]
+struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based).
+    positions: [f64; 5],
+    /// Desired positions.
+    desired: [f64; 5],
+    /// Desired-position increments.
+    increments: [f64; 5],
+    seen: usize,
+}
+
+impl P2Quantile {
+    fn new(q: f64) -> P2Quantile {
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            seen: 0,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.seen < 5 {
+            self.heights[self.seen] = v;
+            self.seen += 1;
+            if self.seen == 5 {
+                self.heights
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            }
+            return;
+        }
+        self.seen += 1;
+        // Find the cell k such that heights[k] <= v < heights[k+1].
+        let k = if v < self.heights[0] {
+            self.heights[0] = v;
+            0
+        } else if v >= self.heights[4] {
+            self.heights[4] = v;
+            3
+        } else {
+            (0..4)
+                .find(|&i| v < self.heights[i + 1])
+                .expect("v within [h0, h4)")
+        };
+        for p in &mut self.positions[k + 1..] {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+        // Adjust the three middle markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let below = self.positions[i] - self.positions[i - 1];
+            let above = self.positions[i + 1] - self.positions[i];
+            if (d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0) {
+                let sign = d.signum();
+                // Parabolic (P²) interpolation.
+                let hp = self.heights[i + 1];
+                let hm = self.heights[i - 1];
+                let h = self.heights[i];
+                let np = self.positions[i + 1];
+                let nm = self.positions[i - 1];
+                let n = self.positions[i];
+                let candidate = h
+                    + sign / (np - nm)
+                        * ((n - nm + sign) * (hp - h) / (np - n)
+                            + (np - n - sign) * (h - hm) / (n - nm));
+                self.heights[i] = if hm < candidate && candidate < hp {
+                    candidate
+                } else {
+                    // Linear fallback.
+                    let j = if sign > 0.0 { i + 1 } else { i - 1 };
+                    h + sign * (self.heights[j] - h)
+                        / (self.positions[j] - n)
+                };
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn value(&self) -> f64 {
+        if self.seen == 0 {
+            return 0.0;
+        }
+        if self.seen < 5 {
+            // Small-sample fallback: nearest rank over what we have.
+            let mut v = self.heights[..self.seen].to_vec();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let idx = ((self.q * (self.seen - 1) as f64).round() as usize).min(self.seen - 1);
+            return v[idx];
+        }
+        self.heights[2]
+    }
+}
+
+/// Which key space a query addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeySpace {
+    /// `"SrcCity→DstCity"`.
+    CityPair,
+    /// `"CC→CC"`.
+    CountryPair,
+    /// `"ASN→ASN"`.
+    AsPair,
+}
+
+/// Rolling per-pair aggregates over the enriched measurement stream.
+#[derive(Debug, Default)]
+pub struct PairAggregator {
+    cities: HashMap<String, RunningStats>,
+    countries: HashMap<String, RunningStats>,
+    asns: HashMap<String, RunningStats>,
+}
+
+impl PairAggregator {
+    /// An empty aggregator.
+    pub fn new() -> PairAggregator {
+        PairAggregator::default()
+    }
+
+    /// Fold one measurement into all three key spaces (total latency, ms).
+    pub fn observe(&mut self, m: &EnrichedMeasurement) {
+        let v = m.total_ns() as f64 / 1e6;
+        let city_key = format!("{}→{}", m.src.city, m.dst.city);
+        let country_key = format!("{}→{}", m.src.cc_str(), m.dst.cc_str());
+        let asn_key = format!("{}→{}", m.src.asn, m.dst.asn);
+        self.cities.entry(city_key).or_insert_with(RunningStats::new).push(v);
+        self.countries
+            .entry(country_key)
+            .or_insert_with(RunningStats::new)
+            .push(v);
+        self.asns.entry(asn_key).or_insert_with(RunningStats::new).push(v);
+    }
+
+    fn space(&self, space: KeySpace) -> &HashMap<String, RunningStats> {
+        match space {
+            KeySpace::CityPair => &self.cities,
+            KeySpace::CountryPair => &self.countries,
+            KeySpace::AsPair => &self.asns,
+        }
+    }
+
+    /// The stats for one key, if seen.
+    pub fn get(&self, space: KeySpace, key: &str) -> Option<&RunningStats> {
+        self.space(space).get(key)
+    }
+
+    /// Number of distinct keys in a space.
+    pub fn key_count(&self, space: KeySpace) -> usize {
+        self.space(space).len()
+    }
+
+    /// The `n` busiest keys (by count), descending.
+    pub fn top_by_count(&self, space: KeySpace, n: usize) -> Vec<(&str, &RunningStats)> {
+        let mut all: Vec<(&str, &RunningStats)> = self
+            .space(space)
+            .iter()
+            .map(|(k, v)| (k.as_str(), v))
+            .collect();
+        all.sort_by(|a, b| b.1.count().cmp(&a.1.count()).then(a.0.cmp(b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// The `n` slowest keys by mean latency (among keys with ≥ `min_count`
+    /// samples), descending.
+    pub fn top_by_mean(&self, space: KeySpace, n: usize, min_count: u64) -> Vec<(&str, &RunningStats)> {
+        let mut all: Vec<(&str, &RunningStats)> = self
+            .space(space)
+            .iter()
+            .filter(|(_, v)| v.count() >= min_count)
+            .map(|(k, v)| (k.as_str(), v))
+            .collect();
+        all.sort_by(|a, b| b.1.mean().partial_cmp(&a.1.mean()).expect("no NaN").then(a.0.cmp(b.0)));
+        all.truncate(n);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enrich::EndpointInfo;
+    use ruru_nic::Timestamp;
+
+    fn em(src_city: &str, src_cc: &str, dst_city: &str, asn: u32, total_ms: u64) -> EnrichedMeasurement {
+        EnrichedMeasurement {
+            src: EndpointInfo {
+                country_code: src_cc.as_bytes().try_into().unwrap(),
+                city: src_city.into(),
+                lat: 0.0,
+                lon: 0.0,
+                asn,
+            },
+            dst: EndpointInfo {
+                country_code: *b"US",
+                city: dst_city.into(),
+                lat: 0.0,
+                lon: 0.0,
+                asn: 7018,
+            },
+            internal_ns: total_ms * 500_000,
+            external_ns: total_ms * 500_000,
+            completed_at: Timestamp::ZERO,
+            queue_id: 0,
+        }
+    }
+
+    #[test]
+    fn running_stats_match_exact_moments() {
+        let mut s = RunningStats::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), 3.0);
+        assert!((s.stddev() - (2.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert_eq!(s.median(), 3.0);
+    }
+
+    #[test]
+    fn p2_median_converges_on_uniform_stream() {
+        let mut q = P2Quantile::new(0.5);
+        // Deterministic pseudo-uniform values in [0, 1000).
+        let mut x = 48271u64;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            q.push((x >> 40) as f64 % 1000.0);
+        }
+        let est = q.value();
+        assert!((est - 500.0).abs() < 25.0, "median estimate {est}");
+    }
+
+    #[test]
+    fn p2_p95_converges() {
+        let mut q = P2Quantile::new(0.95);
+        let mut x = 12345u64;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            q.push((x >> 40) as f64 % 1000.0);
+        }
+        let est = q.value();
+        assert!((est - 950.0).abs() < 25.0, "p95 estimate {est}");
+    }
+
+    #[test]
+    fn p2_small_samples_fall_back() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.value(), 0.0);
+        q.push(10.0);
+        assert_eq!(q.value(), 10.0);
+        q.push(20.0);
+        q.push(30.0);
+        assert_eq!(q.value(), 20.0);
+    }
+
+    #[test]
+    fn aggregator_keys_three_spaces() {
+        let mut agg = PairAggregator::new();
+        agg.observe(&em("Auckland", "NZ", "Los Angeles", 64000, 130));
+        agg.observe(&em("Auckland", "NZ", "Los Angeles", 64000, 132));
+        agg.observe(&em("Wellington", "NZ", "Los Angeles", 64016, 140));
+        assert_eq!(agg.key_count(KeySpace::CityPair), 2);
+        assert_eq!(agg.key_count(KeySpace::CountryPair), 1);
+        assert_eq!(agg.key_count(KeySpace::AsPair), 2);
+        let s = agg.get(KeySpace::CityPair, "Auckland→Los Angeles").unwrap();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 131.0);
+        let c = agg.get(KeySpace::CountryPair, "NZ→US").unwrap();
+        assert_eq!(c.count(), 3);
+    }
+
+    #[test]
+    fn top_by_count_and_mean() {
+        let mut agg = PairAggregator::new();
+        for _ in 0..10 {
+            agg.observe(&em("Auckland", "NZ", "Los Angeles", 1, 130));
+        }
+        for _ in 0..3 {
+            agg.observe(&em("Auckland", "NZ", "London", 1, 280));
+        }
+        let top = agg.top_by_count(KeySpace::CityPair, 1);
+        assert_eq!(top[0].0, "Auckland→Los Angeles");
+        let slow = agg.top_by_mean(KeySpace::CityPair, 1, 1);
+        assert_eq!(slow[0].0, "Auckland→London");
+        // min_count filters the small key out.
+        let slow = agg.top_by_mean(KeySpace::CityPair, 5, 5);
+        assert_eq!(slow.len(), 1);
+    }
+}

@@ -1,0 +1,696 @@
+//! Anomaly detectors — §3 of the paper operationalized.
+//!
+//! The paper's case studies: a nightly firewall update adding **4000 ms**
+//! that *"had not been noticed by conventional measurement tools (e.g.,
+//! SNMP polls)"*, and *"other types of anomalies (e.g., unusual number of
+//! TCP connections between two locations or SYN floods) can also be
+//! identified in real-time with simple Ruru modules"*. Three such simple
+//! modules:
+//!
+//! * [`LatencySpikeDetector`] — per-key robust baseline (median + MAD over
+//!   a sliding window); flags samples many deviations above it. Robust
+//!   statistics matter: the firewall spike is huge and rare, and would
+//!   drag a mean-based baseline along with it.
+//! * [`SynFloodDetector`] — per-interval SYN vs completion accounting.
+//! * [`RateAnomalyDetector`] — per-location-pair connection counts per
+//!   window, flagged against the pair's own history.
+
+use crate::alert::{Alert, Severity};
+use ruru_nic::Timestamp;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Configuration of the robust latency detector.
+#[derive(Debug, Clone)]
+pub struct SpikeConfig {
+    /// Sliding window length (samples) per key.
+    pub window: usize,
+    /// Minimum samples before alerts are possible.
+    pub min_samples: usize,
+    /// Alert when `value > median + threshold_mads × MAD`.
+    pub threshold_mads: f64,
+    /// And the absolute excess is at least this many ns (suppresses alerts
+    /// on micro-jitter around a very stable baseline).
+    pub min_excess_ns: u64,
+}
+
+impl Default for SpikeConfig {
+    fn default() -> Self {
+        SpikeConfig {
+            window: 256,
+            min_samples: 30,
+            threshold_mads: 8.0,
+            min_excess_ns: 20_000_000, // 20 ms
+        }
+    }
+}
+
+struct KeyState {
+    window: VecDeque<u64>,
+}
+
+/// Per-key robust latency-spike detection.
+pub struct LatencySpikeDetector {
+    config: SpikeConfig,
+    keys: HashMap<String, KeyState>,
+    alerts_raised: u64,
+}
+
+impl LatencySpikeDetector {
+    /// Create a detector.
+    pub fn new(config: SpikeConfig) -> LatencySpikeDetector {
+        assert!(config.window >= 8, "window too small");
+        assert!(config.min_samples >= 2, "need some history");
+        LatencySpikeDetector {
+            config,
+            keys: HashMap::new(),
+            alerts_raised: 0,
+        }
+    }
+
+    /// Observe one latency sample for `key` (e.g. `"Auckland→Los Angeles"`)
+    /// at time `at`. Returns an alert if the sample is anomalous.
+    ///
+    /// Anomalous samples are *not* added to the baseline window, so a
+    /// sustained incident keeps alerting instead of poisoning its own
+    /// baseline.
+    pub fn observe(&mut self, key: &str, value_ns: u64, at: Timestamp) -> Option<Alert> {
+        let state = self
+            .keys
+            .entry(key.to_string())
+            .or_insert_with(|| KeyState {
+                window: VecDeque::with_capacity(self.config.window),
+            });
+
+        let alert = if state.window.len() >= self.config.min_samples {
+            let mut sorted: Vec<u64> = state.window.iter().copied().collect();
+            sorted.sort_unstable();
+            let median = sorted[sorted.len() / 2];
+            let mut devs: Vec<u64> = sorted.iter().map(|&v| v.abs_diff(median)).collect();
+            devs.sort_unstable();
+            // MAD floored at 1% of the median (or 100 µs) so a perfectly
+            // stable baseline still yields a usable scale.
+            let mad = devs[devs.len() / 2]
+                .max(median / 100)
+                .max(100_000);
+            let threshold =
+                median + (self.config.threshold_mads * mad as f64) as u64;
+            if value_ns > threshold
+                && value_ns.saturating_sub(median) >= self.config.min_excess_ns
+            {
+                self.alerts_raised += 1;
+                Some(Alert {
+                    severity: if value_ns > median.saturating_mul(10) {
+                        Severity::Critical
+                    } else {
+                        Severity::Warning
+                    },
+                    kind: "latency_spike".into(),
+                    key: key.to_string(),
+                    message: format!(
+                        "latency {:.1} ms vs median {:.1} ms (threshold {:.1} ms)",
+                        value_ns as f64 / 1e6,
+                        median as f64 / 1e6,
+                        threshold as f64 / 1e6
+                    ),
+                    at,
+                    value: value_ns as f64 / 1e6,
+                })
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        if alert.is_none() {
+            if state.window.len() == self.config.window {
+                state.window.pop_front();
+            }
+            state.window.push_back(value_ns);
+        }
+        alert
+    }
+
+    /// Total alerts raised.
+    pub fn alerts_raised(&self) -> u64 {
+        self.alerts_raised
+    }
+
+    /// Number of tracked keys.
+    pub fn key_count(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// Configuration of the EWMA baseline detector (the ablation case).
+#[derive(Debug, Clone)]
+pub struct EwmaConfig {
+    /// Smoothing factor for the mean (0 < α ≤ 1).
+    pub alpha: f64,
+    /// Alert when `value > mean + threshold_sigmas × stddev`.
+    pub threshold_sigmas: f64,
+    /// Samples before alerting is enabled.
+    pub min_samples: u64,
+}
+
+impl Default for EwmaConfig {
+    fn default() -> Self {
+        EwmaConfig {
+            alpha: 0.05,
+            threshold_sigmas: 6.0,
+            min_samples: 30,
+        }
+    }
+}
+
+struct EwmaState {
+    mean: f64,
+    var: f64,
+    n: u64,
+}
+
+/// An exponentially-weighted-moving-average latency detector — the
+/// *non-robust* alternative to [`LatencySpikeDetector`], kept as the
+/// ablation for DESIGN.md §7: every sample (anomalous or not) updates the
+/// baseline, so a sustained incident drags the mean along with it and the
+/// detector goes quiet mid-incident. The `ewma_poisoning` test demonstrates
+/// exactly that failure mode; the median/MAD detector does not suffer it.
+pub struct EwmaDetector {
+    config: EwmaConfig,
+    keys: HashMap<String, EwmaState>,
+    alerts_raised: u64,
+}
+
+impl EwmaDetector {
+    /// Create a detector.
+    pub fn new(config: EwmaConfig) -> EwmaDetector {
+        assert!(
+            config.alpha > 0.0 && config.alpha <= 1.0,
+            "alpha out of range"
+        );
+        EwmaDetector {
+            config,
+            keys: HashMap::new(),
+            alerts_raised: 0,
+        }
+    }
+
+    /// Observe one sample; returns an alert when it exceeds the EWMA band.
+    pub fn observe(&mut self, key: &str, value_ns: u64, at: Timestamp) -> Option<Alert> {
+        let v = value_ns as f64;
+        let state = self.keys.entry(key.to_string()).or_insert(EwmaState {
+            mean: v,
+            var: 0.0,
+            n: 0,
+        });
+        state.n += 1;
+        let alerted = if state.n > self.config.min_samples {
+            let sigma = state.var.sqrt().max(state.mean * 0.01).max(100_000.0);
+            v > state.mean + self.config.threshold_sigmas * sigma
+        } else {
+            false
+        };
+        // EWMA updates unconditionally — the design flaw under study.
+        let a = self.config.alpha;
+        let diff = v - state.mean;
+        state.mean += a * diff;
+        state.var = (1.0 - a) * (state.var + a * diff * diff);
+        if alerted {
+            self.alerts_raised += 1;
+            Some(Alert {
+                severity: Severity::Warning,
+                kind: "latency_spike_ewma".into(),
+                key: key.to_string(),
+                message: format!("value {:.1} ms above EWMA band", v / 1e6),
+                at,
+                value: v / 1e6,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Total alerts raised.
+    pub fn alerts_raised(&self) -> u64 {
+        self.alerts_raised
+    }
+
+    /// The current EWMA mean for a key (ns).
+    pub fn mean(&self, key: &str) -> Option<f64> {
+        self.keys.get(key).map(|s| s.mean)
+    }
+}
+
+/// Configuration of the SYN-flood detector.
+#[derive(Debug, Clone)]
+pub struct FloodConfig {
+    /// Accounting interval.
+    pub interval_ns: u64,
+    /// Minimum SYNs/interval before a flood can be declared.
+    pub min_syns: u64,
+    /// Alert when `syns > ratio × completions` within an interval.
+    pub ratio: f64,
+}
+
+impl Default for FloodConfig {
+    fn default() -> Self {
+        FloodConfig {
+            interval_ns: 1_000_000_000, // 1 s
+            min_syns: 500,
+            ratio: 5.0,
+        }
+    }
+}
+
+/// Streaming SYN-flood detection from per-packet events.
+pub struct SynFloodDetector {
+    config: FloodConfig,
+    interval_start: Timestamp,
+    syns: u64,
+    completions: u64,
+    alerts_raised: u64,
+}
+
+impl SynFloodDetector {
+    /// Create a detector.
+    pub fn new(config: FloodConfig) -> SynFloodDetector {
+        assert!(config.interval_ns > 0, "interval must be positive");
+        SynFloodDetector {
+            config,
+            interval_start: Timestamp::ZERO,
+            syns: 0,
+            completions: 0,
+            alerts_raised: 0,
+        }
+    }
+
+    fn roll(&mut self, at: Timestamp) -> Option<Alert> {
+        let mut alert = None;
+        while at.saturating_nanos_since(self.interval_start) >= self.config.interval_ns {
+            if self.syns >= self.config.min_syns
+                && (self.syns as f64) > self.config.ratio * (self.completions.max(1) as f64)
+            {
+                self.alerts_raised += 1;
+                alert = Some(Alert {
+                    severity: Severity::Critical,
+                    kind: "syn_flood".into(),
+                    key: "global".into(),
+                    message: format!(
+                        "{} SYNs vs {} completed handshakes in {:.1} s",
+                        self.syns,
+                        self.completions,
+                        self.config.interval_ns as f64 / 1e9
+                    ),
+                    at: self.interval_start.advanced(self.config.interval_ns),
+                    value: self.syns as f64,
+                });
+            }
+            self.interval_start = self.interval_start.advanced(self.config.interval_ns);
+            self.syns = 0;
+            self.completions = 0;
+        }
+        alert
+    }
+
+    /// Record a SYN observed at `at`; may close an interval and alert.
+    pub fn observe_syn(&mut self, at: Timestamp) -> Option<Alert> {
+        let alert = self.roll(at);
+        self.syns += 1;
+        alert
+    }
+
+    /// Record a completed handshake at `at`.
+    pub fn observe_completion(&mut self, at: Timestamp) -> Option<Alert> {
+        let alert = self.roll(at);
+        self.completions += 1;
+        alert
+    }
+
+    /// Total alerts raised.
+    pub fn alerts_raised(&self) -> u64 {
+        self.alerts_raised
+    }
+}
+
+/// Configuration of the per-pair connection-rate detector.
+#[derive(Debug, Clone)]
+pub struct RateConfig {
+    /// Counting window.
+    pub window_ns: u64,
+    /// History length (windows) per pair.
+    pub history: usize,
+    /// Minimum history before alerting.
+    pub min_history: usize,
+    /// Alert when a window count exceeds `factor ×` the historical median.
+    pub factor: f64,
+    /// Minimum count for an alert (ignore tiny pairs).
+    pub min_count: u64,
+}
+
+impl Default for RateConfig {
+    fn default() -> Self {
+        RateConfig {
+            window_ns: 10_000_000_000, // 10 s
+            history: 60,
+            min_history: 6,
+            factor: 4.0,
+            min_count: 50,
+        }
+    }
+}
+
+struct PairState {
+    /// Open (not yet finalized) window counts, by window index.
+    open: std::collections::BTreeMap<u64, u64>,
+    /// Highest timestamp seen (the watermark driver).
+    max_at: Timestamp,
+    /// Last finalized window index.
+    last_closed: u64,
+    history: VecDeque<u64>,
+}
+
+/// "Unusual number of TCP connections between two locations."
+///
+/// Counts are bucketed by the *measurement's own timestamp*, and a window
+/// is only finalized once the watermark (the newest timestamp seen, minus
+/// one window of slack) passes it. This makes the detector immune to the
+/// cross-queue reordering inherent in a sharded pipeline: a burst of
+/// stragglers from a stalled queue lands in the windows it belongs to, not
+/// in whichever window happens to be open when it arrives.
+pub struct RateAnomalyDetector {
+    config: RateConfig,
+    pairs: HashMap<String, PairState>,
+    alerts_raised: u64,
+}
+
+impl RateAnomalyDetector {
+    /// Create a detector.
+    pub fn new(config: RateConfig) -> RateAnomalyDetector {
+        assert!(config.window_ns > 0, "window must be positive");
+        RateAnomalyDetector {
+            config,
+            pairs: HashMap::new(),
+            alerts_raised: 0,
+        }
+    }
+
+    /// Record one new connection between `pair` at `at`.
+    pub fn observe(&mut self, pair: &str, at: Timestamp) -> Option<Alert> {
+        let config = self.config.clone();
+        let first_idx = at.as_nanos() / config.window_ns;
+        let state = self
+            .pairs
+            .entry(pair.to_string())
+            .or_insert_with(|| PairState {
+                open: std::collections::BTreeMap::new(),
+                max_at: at,
+                last_closed: first_idx.saturating_sub(1),
+                history: VecDeque::with_capacity(config.history),
+            });
+
+        let idx = at.as_nanos() / config.window_ns;
+        if idx > state.last_closed {
+            *state.open.entry(idx).or_insert(0) += 1;
+        }
+        // Late straggler for an already-finalized window: count it into the
+        // oldest open window rather than losing it entirely.
+        else if let Some((_, c)) = state.open.iter_mut().next() {
+            *c += 1;
+        }
+        state.max_at = state.max_at.max(at);
+
+        // Finalize every window strictly older than the watermark.
+        let watermark_idx = (state.max_at.as_nanos() / config.window_ns).saturating_sub(1);
+        let mut alert = None;
+        while state.last_closed < watermark_idx {
+            let closing = state.last_closed + 1;
+            let count = state.open.remove(&closing).unwrap_or(0);
+            if state.history.len() >= config.min_history && count >= config.min_count {
+                let mut sorted: Vec<u64> = state.history.iter().copied().collect();
+                sorted.sort_unstable();
+                let median = sorted[sorted.len() / 2].max(1);
+                if count as f64 > config.factor * median as f64 {
+                    self.alerts_raised += 1;
+                    alert = Some(Alert {
+                        severity: Severity::Warning,
+                        kind: "connection_rate".into(),
+                        key: pair.to_string(),
+                        message: format!("{count} connections/window vs median {median}"),
+                        at: Timestamp::from_nanos((closing + 1) * config.window_ns),
+                        value: count as f64,
+                    });
+                }
+            }
+            if state.history.len() == config.history {
+                state.history.pop_front();
+            }
+            state.history.push_back(count);
+            state.last_closed = closing;
+        }
+        alert
+    }
+
+    /// Total alerts raised.
+    pub fn alerts_raised(&self) -> u64 {
+        self.alerts_raised
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn spike_detector_learns_then_alerts_on_4000ms() {
+        let mut d = LatencySpikeDetector::new(SpikeConfig::default());
+        // 130 ms ± jitter baseline.
+        for i in 0..100u64 {
+            let v = 130 * MS + (i % 7) * MS / 10;
+            assert!(d.observe("AKL→LAX", v, t(i * 10)).is_none());
+        }
+        // The firewall spike.
+        let alert = d.observe("AKL→LAX", 4130 * MS, t(2000)).expect("alert");
+        assert_eq!(alert.kind, "latency_spike");
+        assert_eq!(alert.severity, Severity::Critical);
+        assert!(alert.message.contains("4130.0 ms"));
+        assert_eq!(d.alerts_raised(), 1);
+    }
+
+    #[test]
+    fn spike_detector_needs_history_first() {
+        let mut d = LatencySpikeDetector::new(SpikeConfig::default());
+        // The very first sample, even if huge, cannot alert.
+        assert!(d.observe("k", 4000 * MS, t(0)).is_none());
+    }
+
+    #[test]
+    fn sustained_incident_keeps_alerting() {
+        let mut d = LatencySpikeDetector::new(SpikeConfig::default());
+        for i in 0..50u64 {
+            d.observe("k", 130 * MS, t(i));
+        }
+        // 20 consecutive anomalous samples: every one must alert because
+        // anomalies are excluded from the baseline.
+        let mut alerts = 0;
+        for i in 0..20u64 {
+            if d.observe("k", 4000 * MS, t(100 + i)).is_some() {
+                alerts += 1;
+            }
+        }
+        assert_eq!(alerts, 20);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut d = LatencySpikeDetector::new(SpikeConfig::default());
+        for i in 0..50u64 {
+            d.observe("low", 10 * MS, t(i));
+            d.observe("high", 300 * MS, t(i));
+        }
+        // 300 ms is normal for "high" but anomalous for "low".
+        assert!(d.observe("high", 310 * MS, t(100)).is_none());
+        assert!(d.observe("low", 300 * MS, t(100)).is_some());
+        assert_eq!(d.key_count(), 2);
+    }
+
+    #[test]
+    fn small_jitter_does_not_alert() {
+        let mut d = LatencySpikeDetector::new(SpikeConfig::default());
+        for i in 0..200u64 {
+            let v = 130 * MS + (i % 13) * MS; // up to +12ms of jitter
+            assert!(
+                d.observe("k", v, t(i)).is_none(),
+                "jitter sample {i} must not alert"
+            );
+        }
+    }
+
+    #[test]
+    fn ewma_detects_isolated_spike() {
+        let mut d = EwmaDetector::new(EwmaConfig::default());
+        for i in 0..100u64 {
+            assert!(d.observe("k", 130 * MS + (i % 5) * MS / 10, t(i)).is_none());
+        }
+        assert!(d.observe("k", 4000 * MS, t(200)).is_some());
+    }
+
+    #[test]
+    fn ewma_poisoning_vs_robust_detector() {
+        // The ablation of DESIGN.md §7: during a SUSTAINED incident the
+        // EWMA baseline is dragged up by the anomalous samples and the
+        // detector goes quiet; the median/MAD detector keeps alerting
+        // because anomalies never enter its baseline.
+        let mut ewma = EwmaDetector::new(EwmaConfig::default());
+        let mut robust = LatencySpikeDetector::new(SpikeConfig::default());
+        for i in 0..100u64 {
+            ewma.observe("k", 130 * MS, t(i));
+            robust.observe("k", 130 * MS, t(i));
+        }
+        let (mut ewma_alerts, mut robust_alerts) = (0u64, 0u64);
+        for i in 0..300u64 {
+            if ewma.observe("k", 4000 * MS, t(1000 + i)).is_some() {
+                ewma_alerts += 1;
+            }
+            if robust.observe("k", 4000 * MS, t(1000 + i)).is_some() {
+                robust_alerts += 1;
+            }
+        }
+        assert_eq!(robust_alerts, 300, "robust detector never goes quiet");
+        assert!(
+            ewma_alerts < 150,
+            "EWMA baseline poisoned mid-incident: only {ewma_alerts}/300"
+        );
+        // The EWMA mean has been dragged to the anomalous level.
+        assert!(ewma.mean("k").unwrap() > 3000.0 * MS as f64);
+    }
+
+    #[test]
+    fn ewma_needs_warmup() {
+        let mut d = EwmaDetector::new(EwmaConfig::default());
+        assert!(d.observe("k", 4000 * MS, t(0)).is_none());
+        assert_eq!(d.alerts_raised(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of range")]
+    fn ewma_rejects_bad_alpha() {
+        EwmaDetector::new(EwmaConfig {
+            alpha: 0.0,
+            ..EwmaConfig::default()
+        });
+    }
+
+    #[test]
+    fn flood_detector_alerts_on_uncompleted_syns() {
+        let mut d = SynFloodDetector::new(FloodConfig {
+            interval_ns: 1_000_000_000,
+            min_syns: 100,
+            ratio: 5.0,
+        });
+        // Interval 0: 1000 SYNs, 10 completions -> flood.
+        for i in 0..1000u64 {
+            assert!(d.observe_syn(t(i)).is_none());
+        }
+        for i in 0..10u64 {
+            d.observe_completion(t(500 + i));
+        }
+        // The first event in the next interval closes interval 0.
+        let alert = d.observe_syn(t(1500)).expect("flood alert");
+        assert_eq!(alert.kind, "syn_flood");
+        assert!(alert.message.contains("1000 SYNs"));
+    }
+
+    #[test]
+    fn flood_detector_quiet_on_normal_traffic() {
+        let mut d = SynFloodDetector::new(FloodConfig::default());
+        // 600 SYNs/s, all completing: no alert over 5 s.
+        for s in 0..5u64 {
+            for i in 0..600u64 {
+                assert!(d.observe_syn(t(s * 1000 + i)).is_none());
+                assert!(d.observe_completion(t(s * 1000 + i)).is_none());
+            }
+        }
+        assert_eq!(d.alerts_raised(), 0);
+    }
+
+    #[test]
+    fn flood_detector_respects_min_syns() {
+        let mut d = SynFloodDetector::new(FloodConfig {
+            min_syns: 500,
+            ..FloodConfig::default()
+        });
+        // 100 uncompleted SYNs: suspicious ratio but below min volume.
+        for i in 0..100u64 {
+            d.observe_syn(t(i));
+        }
+        assert!(d.observe_syn(t(1500)).is_none());
+    }
+
+    #[test]
+    fn flood_detector_skips_empty_intervals() {
+        let mut d = SynFloodDetector::new(FloodConfig::default());
+        for i in 0..1000u64 {
+            d.observe_syn(t(i));
+        }
+        // Next event 10 s later: the flood interval still gets reported once.
+        let alert = d.observe_syn(t(10_000));
+        assert!(alert.is_some());
+        assert_eq!(d.alerts_raised(), 1);
+    }
+
+    #[test]
+    fn rate_detector_alerts_on_surge() {
+        let cfg = RateConfig {
+            window_ns: 1_000_000_000,
+            history: 10,
+            min_history: 3,
+            factor: 4.0,
+            min_count: 50,
+        };
+        let mut d = RateAnomalyDetector::new(cfg);
+        // 5 windows of ~20 connections.
+        for w in 0..5u64 {
+            for i in 0..20u64 {
+                assert!(d.observe("AKL→LAX", t(w * 1000 + i * 45)).is_none());
+            }
+        }
+        // Surge window: 200 connections.
+        let mut alert = None;
+        for i in 0..200u64 {
+            alert = alert.or(d.observe("AKL→LAX", t(5000 + i * 4)));
+        }
+        // The alert fires when the surge window closes.
+        alert = alert.or(d.observe("AKL→LAX", t(6100)));
+        let alert = alert.expect("rate alert");
+        assert_eq!(alert.kind, "connection_rate");
+        assert_eq!(alert.key, "AKL→LAX");
+    }
+
+    #[test]
+    fn rate_detector_tracks_pairs_separately() {
+        let mut d = RateAnomalyDetector::new(RateConfig {
+            window_ns: 1_000_000_000,
+            history: 10,
+            min_history: 2,
+            factor: 2.0,
+            min_count: 10,
+        });
+        for w in 0..4u64 {
+            for i in 0..5u64 {
+                d.observe("quiet", t(w * 1000 + i));
+            }
+            for i in 0..50u64 {
+                d.observe("busy", t(w * 1000 + i * 10));
+            }
+        }
+        // "busy" staying busy is not anomalous.
+        assert_eq!(d.alerts_raised(), 0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Geo/AS enrichment and privacy scrubbing.
+//!
+//! An [`EnrichedMeasurement`] carries *no IP addresses* — once the geo and
+//! AS lookups are done, the original addresses are dropped, as the paper
+//! requires. What remains is exactly what the tsdb indexes and the frontend
+//! draws: locations, AS numbers, and the three latency components.
+
+use ruru_flow::LatencyMeasurement;
+use ruru_geo::{GeoDb, LruCache};
+use ruru_nic::Timestamp;
+use ruru_tsdb::Point;
+use std::sync::Arc;
+
+/// Geographic summary of one endpoint (IP removed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointInfo {
+    /// ISO country code (`"??"` when the lookup missed).
+    pub country_code: [u8; 2],
+    /// City name (empty when unknown).
+    pub city: String,
+    /// Latitude.
+    pub lat: f32,
+    /// Longitude.
+    pub lon: f32,
+    /// AS number (0 when unknown).
+    pub asn: u32,
+}
+
+impl EndpointInfo {
+    /// The placeholder for addresses the database does not cover.
+    pub fn unknown() -> EndpointInfo {
+        EndpointInfo {
+            country_code: *b"??",
+            city: String::new(),
+            lat: 0.0,
+            lon: 0.0,
+            asn: 0,
+        }
+    }
+
+    /// True if the lookup failed.
+    pub fn is_unknown(&self) -> bool {
+        self.country_code == *b"??"
+    }
+
+    /// Country code as `&str`.
+    pub fn cc_str(&self) -> &str {
+        core::str::from_utf8(&self.country_code).unwrap_or("??")
+    }
+}
+
+/// A geo-enriched, IP-free latency measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnrichedMeasurement {
+    /// The initiator's location.
+    pub src: EndpointInfo,
+    /// The responder's location.
+    pub dst: EndpointInfo,
+    /// Internal latency (ns).
+    pub internal_ns: u64,
+    /// External latency (ns).
+    pub external_ns: u64,
+    /// Handshake completion time.
+    pub completed_at: Timestamp,
+    /// Measuring queue.
+    pub queue_id: u16,
+}
+
+impl EnrichedMeasurement {
+    /// Total latency in ns.
+    pub fn total_ns(&self) -> u64 {
+        self.internal_ns + self.external_ns
+    }
+
+    /// Convert to a tsdb point on the `latency` measurement, tagged by
+    /// country / city / ASN of both sides.
+    pub fn to_point(&self) -> Point {
+        Point::new(
+            "latency",
+            vec![
+                ("queue".into(), self.queue_id.to_string()),
+                ("src_cc".into(), self.src.cc_str().to_string()),
+                ("src_city".into(), self.src.city.clone()),
+                ("src_asn".into(), self.src.asn.to_string()),
+                ("dst_cc".into(), self.dst.cc_str().to_string()),
+                ("dst_city".into(), self.dst.city.clone()),
+                ("dst_asn".into(), self.dst.asn.to_string()),
+            ],
+            vec![
+                ("internal_ms".into(), self.internal_ns as f64 / 1e6),
+                ("external_ms".into(), self.external_ns as f64 / 1e6),
+                ("total_ms".into(), self.total_ns() as f64 / 1e6),
+                ("src_lat".into(), self.src.lat as f64),
+                ("src_lon".into(), self.src.lon as f64),
+                ("dst_lat".into(), self.dst.lat as f64),
+                ("dst_lon".into(), self.dst.lon as f64),
+            ],
+            self.completed_at.as_nanos(),
+        )
+    }
+
+    /// Encode as a line-protocol string — the bus format between analytics,
+    /// storage and the frontend feed.
+    pub fn to_line(&self) -> String {
+        ruru_tsdb::line::encode(&self.to_point())
+    }
+
+    /// Decode from the line-protocol form.
+    pub fn from_line(line: &str) -> Option<EnrichedMeasurement> {
+        let p = ruru_tsdb::line::parse(line).ok()?;
+        if p.measurement != "latency" {
+            return None;
+        }
+        let cc = |t: Option<&str>| -> [u8; 2] {
+            t.and_then(|s| s.as_bytes().try_into().ok()).unwrap_or(*b"??")
+        };
+        Some(EnrichedMeasurement {
+            src: EndpointInfo {
+                country_code: cc(p.tag("src_cc")),
+                city: p.tag("src_city").unwrap_or("").to_string(),
+                lat: p.field("src_lat")? as f32,
+                lon: p.field("src_lon")? as f32,
+                asn: p.tag("src_asn")?.parse().ok()?,
+            },
+            dst: EndpointInfo {
+                country_code: cc(p.tag("dst_cc")),
+                city: p.tag("dst_city").unwrap_or("").to_string(),
+                lat: p.field("dst_lat")? as f32,
+                lon: p.field("dst_lon")? as f32,
+                asn: p.tag("dst_asn")?.parse().ok()?,
+            },
+            internal_ns: (p.field("internal_ms")? * 1e6).round() as u64,
+            external_ns: (p.field("external_ms")? * 1e6).round() as u64,
+            completed_at: Timestamp::from_nanos(p.timestamp_ns),
+            queue_id: p.tag("queue").and_then(|q| q.parse().ok()).unwrap_or(0),
+        })
+    }
+}
+
+/// One worker's enricher: a shared database behind a private LRU cache.
+pub struct Enricher {
+    db: Arc<GeoDb>,
+    cache: LruCache<u128, EndpointInfo>,
+    lookups: u64,
+    misses: u64,
+}
+
+impl Enricher {
+    /// Create an enricher with the given cache capacity.
+    pub fn new(db: Arc<GeoDb>, cache_capacity: usize) -> Enricher {
+        Enricher {
+            db,
+            cache: LruCache::new(cache_capacity),
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up one address.
+    pub fn lookup(&mut self, key: u128) -> EndpointInfo {
+        self.lookups += 1;
+        let db = &self.db;
+        let info = self
+            .cache
+            .get_or_insert_with(&key, || {
+                db.lookup_key(key).map(|loc| EndpointInfo {
+                    country_code: loc.country_code,
+                    city: loc.city.clone(),
+                    lat: loc.lat,
+                    lon: loc.lon,
+                    asn: loc.asn,
+                })
+            })
+            .cloned();
+        info.unwrap_or_else(|| {
+            self.misses += 1;
+            EndpointInfo::unknown()
+        })
+    }
+
+    /// Enrich one measurement, discarding its IP addresses.
+    pub fn enrich(&mut self, m: &LatencyMeasurement) -> EnrichedMeasurement {
+        EnrichedMeasurement {
+            src: self.lookup(m.src.as_u128()),
+            dst: self.lookup(m.dst.as_u128()),
+            internal_ns: m.internal_ns,
+            external_ns: m.external_ns,
+            completed_at: m.completed_at,
+            queue_id: m.queue_id,
+        }
+    }
+
+    /// `(lookups, db_misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.misses)
+    }
+
+    /// Cache `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ruru_geo::synth::{SynthWorld, AUCKLAND, LOS_ANGELES};
+    use ruru_wire::{ipv4, IpAddress};
+
+    fn world_enricher() -> (SynthWorld, Enricher) {
+        let w = SynthWorld::generate(2);
+        let db = Arc::new(w.db().clone());
+        (w, Enricher::new(db, 128))
+    }
+
+    fn measurement(src: [u8; 4], dst: [u8; 4]) -> LatencyMeasurement {
+        LatencyMeasurement {
+            src: IpAddress::V4(ipv4::Address(src)),
+            dst: IpAddress::V4(ipv4::Address(dst)),
+            src_port: 51000,
+            dst_port: 443,
+            internal_ns: 1_200_000,
+            external_ns: 128_700_000,
+            completed_at: Timestamp::from_millis(42),
+            queue_id: 1,
+            syn_retransmissions: 0,
+        }
+    }
+
+    #[test]
+    fn enrichment_resolves_both_sides() {
+        let (w, mut e) = world_enricher();
+        let mut rng = StdRng::seed_from_u64(1);
+        let src = w.sample_v4(AUCKLAND, &mut rng);
+        let dst = w.sample_v4(LOS_ANGELES, &mut rng);
+        let em = e.enrich(&measurement(src, dst));
+        assert_eq!(em.src.city, "Auckland");
+        assert_eq!(em.src.cc_str(), "NZ");
+        assert_eq!(em.dst.city, "Los Angeles");
+        assert_eq!(em.dst.cc_str(), "US");
+        assert!(em.src.asn >= 64000);
+        assert_eq!(em.total_ns(), 129_900_000);
+    }
+
+    #[test]
+    fn unknown_addresses_become_placeholder() {
+        let (_w, mut e) = world_enricher();
+        let em = e.enrich(&measurement([9, 9, 9, 9], [8, 8, 8, 8]));
+        assert!(em.src.is_unknown());
+        assert!(em.dst.is_unknown());
+        assert_eq!(e.stats().1, 2);
+    }
+
+    #[test]
+    fn cache_serves_repeat_lookups() {
+        let (w, mut e) = world_enricher();
+        let mut rng = StdRng::seed_from_u64(2);
+        let src = w.sample_v4(AUCKLAND, &mut rng);
+        let dst = w.sample_v4(LOS_ANGELES, &mut rng);
+        let m = measurement(src, dst);
+        for _ in 0..10 {
+            e.enrich(&m);
+        }
+        let (hits, misses) = e.cache_stats();
+        assert_eq!(misses, 2, "only the first pair misses");
+        assert_eq!(hits, 18);
+    }
+
+    #[test]
+    fn line_roundtrip_preserves_fields() {
+        let (w, mut e) = world_enricher();
+        let mut rng = StdRng::seed_from_u64(3);
+        let src = w.sample_v4(AUCKLAND, &mut rng);
+        let dst = w.sample_v4(LOS_ANGELES, &mut rng);
+        let em = e.enrich(&measurement(src, dst));
+        let line = em.to_line();
+        let back = EnrichedMeasurement::from_line(&line).unwrap();
+        assert_eq!(back.src.city, em.src.city);
+        assert_eq!(back.dst.asn, em.dst.asn);
+        assert_eq!(back.internal_ns, em.internal_ns);
+        assert_eq!(back.external_ns, em.external_ns);
+        assert_eq!(back.completed_at, em.completed_at);
+        assert_eq!(back.queue_id, em.queue_id, "queue survives the line");
+    }
+
+    #[test]
+    fn privacy_no_ip_in_wire_form() {
+        let (w, mut e) = world_enricher();
+        let mut rng = StdRng::seed_from_u64(4);
+        let src = w.sample_v4(AUCKLAND, &mut rng);
+        let dst = w.sample_v4(LOS_ANGELES, &mut rng);
+        let em = e.enrich(&measurement(src, dst));
+        let line = em.to_line();
+        let src_str = format!("{}.{}.{}.{}", src[0], src[1], src[2], src[3]);
+        let dst_str = format!("{}.{}.{}.{}", dst[0], dst[1], dst[2], dst[3]);
+        assert!(!line.contains(&src_str), "line leaks src IP: {line}");
+        assert!(!line.contains(&dst_str), "line leaks dst IP: {line}");
+    }
+
+    #[test]
+    fn to_point_has_indexable_tags() {
+        let (w, mut e) = world_enricher();
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = measurement(
+            w.sample_v4(AUCKLAND, &mut rng),
+            w.sample_v4(LOS_ANGELES, &mut rng),
+        );
+        let p = e.enrich(&m).to_point();
+        assert_eq!(p.tag("src_city"), Some("Auckland"));
+        assert_eq!(p.tag("dst_cc"), Some("US"));
+        assert!(p.field("total_ms").unwrap() > 100.0);
+        assert_eq!(p.timestamp_ns, Timestamp::from_millis(42).as_nanos());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # ruru-analytics — enrichment, privacy scrubbing and anomaly detection
+//!
+//! The paper's "Ruru Analytics" stage: measurements arrive from the DPDK
+//! application over the message bus; multiple threads *"retrieve
+//! geographical locations … and AS information for the source and
+//! destination IPs"*; then *"all original IP addresses are removed for
+//! privacy reasons and the geographically enriched measurements are sent to
+//! a time-series database … as well as to the frontend"*.
+//!
+//! * [`enrich`] — [`enrich::EnrichedMeasurement`]: the IP-free, geo-tagged
+//!   record, its tsdb point form and its line-protocol wire form.
+//! * [`workers`] — the multi-threaded enrichment pool (PULL → enrich →
+//!   tsdb + PUB), one geo cache per worker.
+//! * [`detect`] — the detectors behind §3's use cases: a robust
+//!   (median/MAD) latency-spike detector that catches the 4000 ms firewall
+//!   anomaly, a SYN-flood detector, and a per-location-pair connection-rate
+//!   detector.
+//! * [`alert`] — alert records and an in-memory sink.
+
+pub mod aggregate;
+pub mod alert;
+pub mod detect;
+pub mod enrich;
+pub mod filter;
+pub mod workers;
+
+pub use aggregate::{KeySpace, PairAggregator, RunningStats};
+pub use alert::{Alert, AlertSink, Severity};
+pub use detect::{EwmaDetector, LatencySpikeDetector, RateAnomalyDetector, SynFloodDetector};
+pub use enrich::{EndpointInfo, EnrichedMeasurement, Enricher};
+pub use filter::{Criterion, FilterSpec, FilterStage};
+pub use workers::EnrichmentPool;

@@ -1,0 +1,266 @@
+//! The multi-threaded enrichment pool.
+//!
+//! Mirrors the deployed analytics process: measurements arrive on a
+//! PULL socket (work distribution — each measurement is enriched exactly
+//! once), every worker thread owns a private geo cache over the shared
+//! database, and the enriched, IP-free records are written to the tsdb and
+//! republished on a PUB socket (topic `enriched`) for the frontend feed and
+//! the detectors.
+
+use crate::enrich::Enricher;
+use bytes::Bytes;
+use ruru_flow::LatencyMeasurement;
+use ruru_geo::GeoDb;
+use ruru_mq::{Message, Publisher, Pull};
+use ruru_tsdb::TsDb;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Topic the pool republishes enriched measurements on.
+pub const ENRICHED_TOPIC: &[u8] = b"enriched";
+
+/// The PUSH end of a lossless detector feed (alias for readability).
+pub type PushFeed = ruru_mq::Push;
+
+/// Counters for the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Measurements enriched.
+    pub enriched: u64,
+    /// Bus payloads that failed to decode.
+    pub decode_errors: u64,
+    /// Geo lookups that missed the database.
+    pub geo_misses: u64,
+}
+
+/// A running pool of enrichment workers.
+pub struct EnrichmentPool {
+    handles: Vec<JoinHandle<()>>,
+    enriched: Arc<AtomicU64>,
+    decode_errors: Arc<AtomicU64>,
+    geo_misses: Arc<AtomicU64>,
+}
+
+impl EnrichmentPool {
+    /// Spawn `threads` workers draining `input`. Workers exit when every
+    /// PUSH end of `input` is dropped and the pipe is drained; join with
+    /// [`EnrichmentPool::join`].
+    pub fn spawn(
+        threads: usize,
+        input: Pull,
+        db: Arc<GeoDb>,
+        tsdb: Arc<TsDb>,
+        publisher: Publisher,
+        cache_capacity: usize,
+    ) -> EnrichmentPool {
+        Self::spawn_with_detector_feed(threads, input, db, tsdb, publisher, cache_capacity, None)
+    }
+
+    /// Like [`EnrichmentPool::spawn`], with an optional *lossless* feed to
+    /// the detector stage. The PUB fan-out may drop for slow best-effort
+    /// consumers (the frontend); detectors must see every measurement, so
+    /// they get PUSH/PULL back-pressure semantics instead.
+    pub fn spawn_with_detector_feed(
+        threads: usize,
+        input: Pull,
+        db: Arc<GeoDb>,
+        tsdb: Arc<TsDb>,
+        publisher: Publisher,
+        cache_capacity: usize,
+        detector_feed: Option<crate::workers::PushFeed>,
+    ) -> EnrichmentPool {
+        assert!(threads > 0, "need at least one worker");
+        let enriched = Arc::new(AtomicU64::new(0));
+        let decode_errors = Arc::new(AtomicU64::new(0));
+        let geo_misses = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let input = input.clone();
+            let db = Arc::clone(&db);
+            let tsdb = Arc::clone(&tsdb);
+            let publisher = publisher.clone();
+            let detector_feed = detector_feed.clone();
+            let enriched = Arc::clone(&enriched);
+            let decode_errors = Arc::clone(&decode_errors);
+            let geo_misses = Arc::clone(&geo_misses);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("enrich-{i}"))
+                    .spawn(move || {
+                        let mut enricher = Enricher::new(db, cache_capacity);
+                        while let Some(msg) = input.recv() {
+                            let Some(m) = LatencyMeasurement::decode(&msg.payload) else {
+                                decode_errors.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            };
+                            let em = enricher.enrich(&m);
+                            if em.src.is_unknown() || em.dst.is_unknown() {
+                                geo_misses.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let point = em.to_point();
+                            tsdb.write(&point);
+                            let line = Bytes::from(em.to_line());
+                            if let Some(feed) = &detector_feed {
+                                // Blocks at the HWM: detectors never miss.
+                                let _ = feed.send(Message::new(
+                                    Bytes::from_static(ENRICHED_TOPIC),
+                                    line.clone(),
+                                ));
+                            }
+                            publisher.publish(Message::new(
+                                Bytes::from_static(ENRICHED_TOPIC),
+                                line,
+                            ));
+                            enriched.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("spawn enrichment worker"),
+            );
+        }
+        EnrichmentPool {
+            handles,
+            enriched,
+            decode_errors,
+            geo_misses,
+        }
+    }
+
+    /// Measurements enriched so far.
+    pub fn enriched(&self) -> u64 {
+        self.enriched.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            enriched: self.enriched.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            geo_misses: self.geo_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Wait for all workers to finish (after the input pipe closes).
+    pub fn join(self) -> PoolStats {
+        for h in self.handles {
+            h.join().expect("enrichment worker panicked");
+        }
+        PoolStats {
+            enriched: self.enriched.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            geo_misses: self.geo_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ruru_geo::synth::{SynthWorld, AUCKLAND, LOS_ANGELES};
+    use ruru_mq::pipe;
+    use ruru_nic::Timestamp;
+    use ruru_wire::{ipv4, IpAddress};
+
+    fn measurement(w: &SynthWorld, rng: &mut StdRng, i: u64) -> LatencyMeasurement {
+        LatencyMeasurement {
+            src: IpAddress::V4(ipv4::Address(w.sample_v4(AUCKLAND, rng))),
+            dst: IpAddress::V4(ipv4::Address(w.sample_v4(LOS_ANGELES, rng))),
+            src_port: 40000 + (i % 1000) as u16,
+            dst_port: 443,
+            internal_ns: 1_000_000 + i,
+            external_ns: 130_000_000,
+            completed_at: Timestamp::from_millis(i),
+            queue_id: 0,
+            syn_retransmissions: 0,
+        }
+    }
+
+    #[test]
+    fn pool_enriches_everything_and_feeds_both_sinks() {
+        let world = SynthWorld::generate(2);
+        let db = Arc::new(world.db().clone());
+        let tsdb = Arc::new(TsDb::new());
+        let publisher = Publisher::new();
+        let sub = publisher.subscribe(ENRICHED_TOPIC, 100_000);
+        let (push, pull) = pipe(1024);
+        let pool = EnrichmentPool::spawn(4, pull, db, Arc::clone(&tsdb), publisher, 256);
+
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..1000u64 {
+            let m = measurement(&world, &mut rng, i);
+            push.send(Message::new("latency", m.encode())).unwrap();
+        }
+        drop(push);
+        let stats = pool.join();
+        assert_eq!(stats.enriched, 1000);
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(stats.geo_misses, 0);
+        assert_eq!(tsdb.points_ingested(), 1000);
+        assert_eq!(sub.backlog(), 1000);
+        // Republished lines decode and carry no IPs.
+        let msg = sub.try_recv().unwrap();
+        let line = core::str::from_utf8(&msg.payload).unwrap();
+        let em = crate::enrich::EnrichedMeasurement::from_line(line).unwrap();
+        assert_eq!(em.src.city, "Auckland");
+        assert!(!line.contains("100."), "no raw IPs on the bus: {line}");
+    }
+
+    #[test]
+    fn pool_counts_decode_errors() {
+        let world = SynthWorld::generate(1);
+        let db = Arc::new(world.db().clone());
+        let tsdb = Arc::new(TsDb::new());
+        let (push, pull) = pipe(64);
+        let pool = EnrichmentPool::spawn(1, pull, db, tsdb, Publisher::new(), 16);
+        push.send(Message::new("latency", vec![1u8, 2, 3])).unwrap();
+        drop(push);
+        let stats = pool.join();
+        assert_eq!(stats.enriched, 0);
+        assert_eq!(stats.decode_errors, 1);
+    }
+
+    #[test]
+    fn pool_counts_geo_misses() {
+        let world = SynthWorld::generate(1);
+        let db = Arc::new(world.db().clone());
+        let tsdb = Arc::new(TsDb::new());
+        let (push, pull) = pipe(64);
+        let pool = EnrichmentPool::spawn(1, pull, db, tsdb, Publisher::new(), 16);
+        let m = LatencyMeasurement {
+            src: IpAddress::V4(ipv4::Address([9, 9, 9, 9])),
+            dst: IpAddress::V4(ipv4::Address([8, 8, 8, 8])),
+            src_port: 1,
+            dst_port: 2,
+            internal_ns: 1,
+            external_ns: 2,
+            completed_at: Timestamp::ZERO,
+            queue_id: 0,
+            syn_retransmissions: 0,
+        };
+        push.send(Message::new("latency", m.encode())).unwrap();
+        drop(push);
+        let stats = pool.join();
+        assert_eq!(stats.enriched, 1);
+        assert_eq!(stats.geo_misses, 1);
+    }
+
+    #[test]
+    fn multiple_threads_split_the_work() {
+        let world = SynthWorld::generate(1);
+        let db = Arc::new(world.db().clone());
+        let tsdb = Arc::new(TsDb::new());
+        let (push, pull) = pipe(10_000);
+        let pool = EnrichmentPool::spawn(8, pull, db, Arc::clone(&tsdb), Publisher::new(), 64);
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..5000u64 {
+            let m = measurement(&world, &mut rng, i);
+            push.send(Message::new("latency", m.encode())).unwrap();
+        }
+        drop(push);
+        let stats = pool.join();
+        assert_eq!(stats.enriched, 5000);
+        assert_eq!(tsdb.points_ingested(), 5000);
+    }
+}

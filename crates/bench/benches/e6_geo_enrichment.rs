@@ -1,0 +1,136 @@
+//! E6 — §2: multi-threaded geo/AS enrichment, and the "98% country-level
+//! accuracy" figure.
+//!
+//! One-shot: accuracy of a 2%-perturbed database (the IP2Location LITE
+//! quality level) and multi-thread enrichment scaling. Criterion: raw
+//! lookup cost, cached vs uncached.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ruru_geo::{GeoDb, LruCache, SynthWorld};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const V4_BASE: u128 = 0xffff_0000_0000;
+
+fn sample_keys(world: &SynthWorld, n: usize, seed: u64) -> Vec<u128> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let city = rng.gen_range(0..world.city_count());
+            let addr = world.sample_v4(city, &mut rng);
+            V4_BASE | u32::from_be_bytes(addr) as u128
+        })
+        .collect()
+}
+
+fn accuracy_report(world: &SynthWorld) {
+    let keys = sample_keys(world, 100_000, 61);
+    for rate in [0.02f64, 0.05, 0.10] {
+        let perturbed = world.perturbed(rate, 9).unwrap();
+        let correct = keys
+            .iter()
+            .filter(|&&k| {
+                let t = world.db().lookup_key(k).unwrap();
+                let g = perturbed.lookup_key(k).unwrap();
+                g.country_code == t.country_code
+            })
+            .count();
+        println!(
+            "  db perturbation {:>4.1}% → country-level accuracy {:.2}%",
+            rate * 100.0,
+            100.0 * correct as f64 / keys.len() as f64
+        );
+    }
+}
+
+fn scaling_report(world: &SynthWorld) {
+    let db = Arc::new(world.db().clone());
+    let keys = Arc::new(sample_keys(world, 1_000_000, 62));
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let db = Arc::clone(&db);
+            let keys = Arc::clone(&keys);
+            handles.push(std::thread::spawn(move || {
+                let mut cache: LruCache<u128, u32> = LruCache::new(8192);
+                let chunk = keys.len() / threads;
+                let mut hits = 0u64;
+                for &k in &keys[t * chunk..(t + 1) * chunk] {
+                    let asn = cache
+                        .get_or_insert_with(&k, || db.lookup_key(k).map(|l| l.asn))
+                        .copied()
+                        .unwrap_or(0);
+                    hits += (asn != 0) as u64;
+                }
+                hits
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "  {threads} thread(s): {:.1}M lookups/s ({total} resolved)",
+            keys.len() as f64 / secs / 1e6
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let world = SynthWorld::generate(2);
+    println!("== E6: geo enrichment ==");
+    println!(
+        "  database: {} ranges, {} locations",
+        world.db().range_count(),
+        world.db().location_count()
+    );
+    accuracy_report(&world);
+    scaling_report(&world);
+
+    // Cache comparison runs against a realistically fragmented table
+    // (real IP2Location DBs have millions of rows, ours would otherwise
+    // have 168) and a skewed key stream (live traffic repeats prefixes).
+    let db: GeoDb = world.fragmented(4096).unwrap();
+    println!(
+        "  fragmented table for cache comparison: {} ranges",
+        db.range_count()
+    );
+    let uniq = sample_keys(&world, 256, 63);
+    // Zipf-ish skew: hot keys dominate, as on a live tap.
+    let keys: Vec<u128> = (0..20_000usize)
+        .map(|i| uniq[(i * i) % uniq.len()])
+        .collect();
+
+    let mut group = c.benchmark_group("e6_geo");
+    group
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_with_input(BenchmarkId::new("lookup", "uncached"), &keys, |b, keys| {
+        b.iter(|| {
+            let mut found = 0u64;
+            for &k in keys {
+                found += db.lookup_key(black_box(k)).is_some() as u64;
+            }
+            black_box(found)
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("lookup", "lru_cached"), &keys, |b, keys| {
+        b.iter(|| {
+            let mut cache: LruCache<u128, u32> = LruCache::new(8192);
+            let mut found = 0u64;
+            for &k in keys {
+                found += cache
+                    .get_or_insert_with(&k, || db.lookup_key(k).map(|l| l.asn))
+                    .is_some() as u64;
+            }
+            black_box(found)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

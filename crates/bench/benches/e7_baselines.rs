@@ -1,0 +1,79 @@
+//! E7 — §1's positioning against existing tools: Ruru's handshake method
+//! vs `pping`-style TCP-timestamp matching vs SYN-only estimation.
+//!
+//! Reproduced shape: Ruru covers every flow at a per-packet cost close to
+//! a hash miss (data packets don't touch state); pping yields many more
+//! samples but pays a table operation on *every* packet and holds far more
+//! state; SYN-only is cheap but blind to the internal half of the path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruru_bench::workload;
+use ruru_flow::baseline::pping::{Pping, PpingConfig};
+use ruru_flow::baseline::synonly::SynOnly;
+use ruru_flow::{HandshakeTracker, TrackerConfig};
+use std::hint::black_box;
+
+fn comparison_table() {
+    let w = workload(71, 300.0, 3, (2, 4));
+    println!("== E7: estimator comparison ==");
+    println!("  workload: {} packets, {} flows", w.metas.len(), w.flows);
+
+    let mut tracker = HandshakeTracker::new(0, TrackerConfig::default());
+    let mut pping = Pping::new(PpingConfig::default());
+    let mut synonly = SynOnly::new(1 << 20, 10_000_000_000);
+    let (mut a, mut b, mut c) = (0u64, 0u64, 0u64);
+    for meta in &w.metas {
+        a += tracker.process(meta).is_some() as u64;
+        b += pping.process(meta).is_some() as u64;
+        c += synonly.process(meta).is_some() as u64;
+    }
+    println!("  ruru      : {a} measurements ({} per flow), peak state ≈ in-flight handshakes", a / w.flows.max(1));
+    println!("  pping     : {b} samples ({:.1} per flow), outstanding TSvals {}", b as f64 / w.flows.max(1) as f64, pping.outstanding());
+    println!("  syn-only  : {c} samples, external half only");
+}
+
+fn bench(crit: &mut Criterion) {
+    comparison_table();
+
+    let w = workload(72, 300.0, 2, (2, 4));
+    let mut group = crit.benchmark_group("e7_per_packet_cost");
+    group
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(w.metas.len() as u64));
+
+    group.bench_with_input(BenchmarkId::new("estimator", "ruru"), &w, |b, w| {
+        b.iter(|| {
+            let mut t = HandshakeTracker::new(0, TrackerConfig::default());
+            let mut n = 0u64;
+            for meta in &w.metas {
+                n += t.process(black_box(meta)).is_some() as u64;
+            }
+            black_box(n)
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("estimator", "pping"), &w, |b, w| {
+        b.iter(|| {
+            let mut p = Pping::new(PpingConfig::default());
+            let mut n = 0u64;
+            for meta in &w.metas {
+                n += p.process(black_box(meta)).is_some() as u64;
+            }
+            black_box(n)
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("estimator", "syn_only"), &w, |b, w| {
+        b.iter(|| {
+            let mut s = SynOnly::new(1 << 20, 10_000_000_000);
+            let mut n = 0u64;
+            for meta in &w.metas {
+                n += s.process(black_box(meta)).is_some() as u64;
+            }
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

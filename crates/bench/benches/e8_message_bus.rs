@@ -1,0 +1,113 @@
+//! E8 — §2: "zero-copy ZeroMQ sockets … efficient and fast interconnect
+//! of modules".
+//!
+//! Reproduced shape: PUB fan-out cost is independent of payload size
+//! (reference-counted `Bytes`), while a copying bus scales linearly with
+//! payload × subscribers; PUSH/PULL moves measurement records far faster
+//! than the dataplane produces them.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruru_mq::{pipe, Message, Publisher};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn fanout_table() {
+    println!("== E8: message bus ==");
+    for subs in [1usize, 4] {
+        for size in [64usize, 4096, 65536] {
+            let publisher = Publisher::new();
+            let subscribers: Vec<_> = (0..subs).map(|_| publisher.subscribe("", 1 << 20)).collect();
+            let payload = Bytes::from(vec![0u8; size]);
+            let n = 200_000u64;
+            let start = Instant::now();
+            for _ in 0..n {
+                publisher.publish(Message::new("latency", payload.clone()));
+            }
+            let secs = start.elapsed().as_secs_f64();
+            println!(
+                "  zero-copy PUB {size:>6} B × {subs} sub(s): {:.2} M msg/s",
+                n as f64 / secs / 1e6
+            );
+            drop(subscribers);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    fanout_table();
+
+    let mut group = c.benchmark_group("e8_bus");
+    group
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+
+    // Zero-copy vs copying fan-out to 4 subscribers.
+    for size in [64usize, 4096, 65536] {
+        let payload = Bytes::from(vec![0u8; size]);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::new("pub_zero_copy_4subs", size),
+            &payload,
+            |b, payload| {
+                let publisher = Publisher::new();
+                let _subs: Vec<_> = (0..4)
+                    .map(|_| publisher.subscribe("", 1 << 16))
+                    .collect();
+                b.iter(|| {
+                    black_box(publisher.publish(Message::new("t", payload.clone())))
+                });
+            },
+        );
+        let raw = vec![0u8; size];
+        group.bench_with_input(
+            BenchmarkId::new("pub_copying_4subs", size),
+            &raw,
+            |b, raw| {
+                let publisher = Publisher::new();
+                let _subs: Vec<_> = (0..4)
+                    .map(|_| publisher.subscribe("", 1 << 16))
+                    .collect();
+                b.iter(|| {
+                    // A copying bus clones the bytes per publish (the
+                    // ablation: what ZeroMQ's zero-copy mode avoids).
+                    let copied = Bytes::from(raw.clone());
+                    black_box(publisher.publish(Message::new("t", copied)))
+                });
+            },
+        );
+    }
+
+    // PUSH/PULL: 66-byte measurement records through a bounded pipe with a
+    // live consumer thread.
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("pushpull_100k_records", |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let (push, pull) = pipe(65536);
+                let consumer = std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while pull.recv().is_some() {
+                        n += 1;
+                    }
+                    n
+                });
+                let payload = Bytes::from(vec![0u8; 66]);
+                let start = Instant::now();
+                for _ in 0..100_000u32 {
+                    push.send(Message::new("m", payload.clone())).unwrap();
+                }
+                drop(push);
+                let n = consumer.join().unwrap();
+                total += start.elapsed();
+                assert_eq!(n, 100_000);
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

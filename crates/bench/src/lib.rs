@@ -1,0 +1,51 @@
+//! Shared helpers for the experiment benches (see the repository's
+//! `EXPERIMENTS.md` for the experiment ↔ paper-claim mapping).
+
+use ruru_flow::classify::{classify, ChecksumMode, TcpMeta};
+use ruru_gen::{GenConfig, TrafficGen};
+use ruru_nic::Timestamp;
+
+/// A pre-generated, pre-classified packet stream plus its ground truth.
+pub struct Workload {
+    /// Raw frames with tap timestamps.
+    pub events: Vec<(Timestamp, Vec<u8>)>,
+    /// Classified metadata, same order.
+    pub metas: Vec<TcpMeta>,
+    /// Flows generated.
+    pub flows: u64,
+    /// Total frame bytes.
+    pub bytes: u64,
+}
+
+/// Generate a deterministic workload for benching (classification done up
+/// front so per-stage benches isolate their stage).
+pub fn workload(seed: u64, flows_per_sec: f64, secs: u64, exchanges: (u8, u8)) -> Workload {
+    let mut gen = TrafficGen::new(GenConfig {
+        seed,
+        flows_per_sec,
+        duration: Timestamp::from_secs(secs),
+        data_exchanges: exchanges,
+        ..GenConfig::default()
+    });
+    let mut events = Vec::new();
+    let mut metas = Vec::new();
+    let mut bytes = 0u64;
+    for ev in gen.by_ref() {
+        bytes += ev.frame.len() as u64;
+        metas.push(classify(&ev.frame, ev.at, ChecksumMode::Trust).expect("valid"));
+        events.push((ev.at, ev.frame));
+    }
+    Workload {
+        events,
+        metas,
+        flows: gen.stats().0,
+        bytes,
+    }
+}
+
+/// Pretty-print a rate with its 10GbE-equivalent context line.
+pub fn report_rate(label: &str, packets: u64, bytes: u64, secs: f64) {
+    let pps = packets as f64 / secs;
+    let gbps = bytes as f64 * 8.0 / secs / 1e9;
+    println!("    {label}: {pps:.0} pkts/s, {gbps:.2} Gbit/s of tapped traffic");
+}

@@ -1,0 +1,26 @@
+//! Baseline passive RTT estimators, for experiment E7's comparison.
+//!
+//! * [`pping`] — the TCP-timestamp-matching approach of Kathie Nichols'
+//!   `pping` (and `tcptrace`): every data packet carrying a TSval that is
+//!   later echoed in a TSecr yields an RTT sample. Continuous per-packet
+//!   samples, but higher per-packet cost and state.
+//! * [`synonly`] — the minimal approach: SYN→SYN-ACK delta only. One sample
+//!   per flow, *external* latency only — it cannot see the internal side,
+//!   which is exactly the gap Ruru's three-timestamp method closes.
+
+pub mod pping;
+pub mod synonly;
+
+use crate::key::FlowKey;
+use ruru_nic::Timestamp;
+
+/// One RTT sample produced by a baseline estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RttSample {
+    /// The flow the sample belongs to.
+    pub key: FlowKey,
+    /// The measured round-trip time in nanoseconds.
+    pub rtt_ns: u64,
+    /// When the sample completed.
+    pub at: Timestamp,
+}

@@ -1,0 +1,672 @@
+//! The SYN / SYN-ACK / ACK handshake state machine — Ruru's measurement
+//! engine (the paper's Figure 1).
+//!
+//! One [`HandshakeTracker`] runs per RX queue. Because symmetric RSS
+//! delivers both directions of a flow to the same queue, the tracker is
+//! purely single-threaded: a hash table of in-flight handshakes, three state
+//! transitions, and one emitted [`LatencyMeasurement`] per completed
+//! handshake.
+//!
+//! Robustness rules (exercised by the fault-injection tests):
+//!
+//! * Retransmitted SYNs keep the *first* SYN timestamp (the paper measures
+//!   from the first SYN) and are counted.
+//! * A SYN with a *different* ISN on an in-flight tuple restarts the entry —
+//!   it is a new connection attempt (port reuse).
+//! * SYN-ACKs must acknowledge `ISN+1`; anything else is counted as stray
+//!   and ignored (protects against spoofed/corrupted packets).
+//! * The completing ACK must acknowledge the server's `ISN+1`.
+//! * RST aborts the entry without a measurement.
+//! * Entries expire after a TTL, and the table is capacity-bounded with
+//!   oldest-first eviction, so SYN floods cannot exhaust memory.
+
+use crate::classify::TcpMeta;
+use crate::histogram::LatencyHistogram;
+use crate::key::{Direction, FlowKey};
+use crate::measurement::LatencyMeasurement;
+use crate::table::{ExpiringTable, InsertOutcome};
+use ruru_nic::Timestamp;
+
+/// Configuration of a per-queue tracker.
+#[derive(Debug, Clone)]
+pub struct TrackerConfig {
+    /// Maximum in-flight handshakes held (per queue).
+    pub capacity: usize,
+    /// Handshake time-to-live: entries older than this are dropped.
+    pub ttl_ns: u64,
+    /// How many packets between housekeeping (expiry) sweeps.
+    pub expire_interval_packets: u64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            capacity: 1 << 20,
+            ttl_ns: 10_000_000_000, // 10 s — covers several SYN retransmissions
+            expire_interval_packets: 1024,
+        }
+    }
+}
+
+/// Counters exposed by a tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrackerStats {
+    /// TCP packets processed.
+    pub packets: u64,
+    /// Pure SYNs observed.
+    pub syns: u64,
+    /// SYN-ACKs observed.
+    pub synacks: u64,
+    /// Measurements emitted (completed handshakes).
+    pub measurements: u64,
+    /// Retransmitted SYNs (same ISN).
+    pub syn_retransmissions: u64,
+    /// Retransmitted SYN-ACKs.
+    pub synack_retransmissions: u64,
+    /// SYNs that restarted an entry with a new ISN (tuple reuse).
+    pub restarts: u64,
+    /// SYN-ACKs with no matching SYN, wrong direction or wrong ACK number.
+    pub stray_synacks: u64,
+    /// Handshakes aborted by RST.
+    pub rst_aborts: u64,
+    /// Entries dropped by TTL expiry (incomplete handshakes).
+    pub expired: u64,
+    /// Entries force-evicted by capacity pressure (SYN-flood shedding).
+    pub evicted: u64,
+    /// ACK timestamps that preceded the SYN-ACK timestamp (clock anomaly /
+    /// severe reordering); measurement suppressed.
+    pub nonmonotonic: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum HsState {
+    /// SYN seen; waiting for SYN-ACK.
+    SynSeen {
+        t_syn: Timestamp,
+        client_isn: u32,
+        syn_retx: u8,
+    },
+    /// SYN-ACK seen; waiting for the client's ACK.
+    SynAckSeen {
+        t_syn: Timestamp,
+        t_synack: Timestamp,
+        server_isn: u32,
+        syn_retx: u8,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    state: HsState,
+    /// Direction (relative to the canonical key) the SYN travelled — i.e.
+    /// which side is the client.
+    client_dir: Direction,
+}
+
+/// The per-queue handshake tracker.
+pub struct HandshakeTracker {
+    table: ExpiringTable<FlowKey, Entry>,
+    queue_id: u16,
+    config: TrackerConfig,
+    stats: TrackerStats,
+    packets_since_expiry: u64,
+    last_seen: Timestamp,
+    histogram: LatencyHistogram,
+}
+
+impl HandshakeTracker {
+    /// A tracker for queue `queue_id`.
+    pub fn new(queue_id: u16, config: TrackerConfig) -> HandshakeTracker {
+        let table = ExpiringTable::new(config.capacity, config.ttl_ns);
+        HandshakeTracker {
+            table,
+            queue_id,
+            config,
+            stats: TrackerStats::default(),
+            packets_since_expiry: 0,
+            last_seen: Timestamp::ZERO,
+            histogram: LatencyHistogram::for_latency(),
+        }
+    }
+
+    /// Process one classified TCP packet; returns a measurement when this
+    /// packet completed a handshake.
+    pub fn process(&mut self, meta: &TcpMeta) -> Option<LatencyMeasurement> {
+        self.stats.packets += 1;
+        self.last_seen = meta.timestamp;
+        self.packets_since_expiry += 1;
+        if self.packets_since_expiry >= self.config.expire_interval_packets {
+            self.housekeep(meta.timestamp);
+        }
+
+        let (key, dir) = FlowKey::from_tuple(meta.src, meta.dst, meta.src_port, meta.dst_port);
+
+        if meta.flags.contains(ruru_wire::tcp::Flags::RST) {
+            if self.table.remove(&key).is_some() {
+                self.stats.rst_aborts += 1;
+            }
+            return None;
+        }
+
+        if meta.flags.is_syn_only() {
+            self.on_syn(key, dir, meta);
+            return None;
+        }
+
+        if meta.flags.is_syn_ack() {
+            self.on_synack(key, dir, meta);
+            return None;
+        }
+
+        if meta.flags.contains(ruru_wire::tcp::Flags::ACK) {
+            return self.on_ack(key, dir, meta);
+        }
+
+        None
+    }
+
+    fn on_syn(&mut self, key: FlowKey, dir: Direction, meta: &TcpMeta) {
+        self.stats.syns += 1;
+        if let Some(entry) = self.table.get_mut(&key) {
+            match entry.state {
+                HsState::SynSeen {
+                    client_isn,
+                    ref mut syn_retx,
+                    ..
+                } if entry.client_dir == dir && client_isn == meta.seq => {
+                    // Retransmission: keep the first timestamp (Figure 1
+                    // measures from the *first* SYN).
+                    *syn_retx = syn_retx.saturating_add(1);
+                    self.stats.syn_retransmissions += 1;
+                    return;
+                }
+                _ => {
+                    // New ISN or new direction on a live tuple: a fresh
+                    // connection attempt. Restart the entry.
+                    self.stats.restarts += 1;
+                    self.table.remove(&key);
+                }
+            }
+        }
+        let outcome = self.table.insert(
+            key,
+            Entry {
+                state: HsState::SynSeen {
+                    t_syn: meta.timestamp,
+                    client_isn: meta.seq,
+                    syn_retx: 0,
+                },
+                client_dir: dir,
+            },
+            meta.timestamp,
+        );
+        if outcome == InsertOutcome::InsertedWithEviction {
+            self.stats.evicted += 1;
+        }
+    }
+
+    fn on_synack(&mut self, key: FlowKey, dir: Direction, meta: &TcpMeta) {
+        self.stats.synacks += 1;
+        let Some(entry) = self.table.get_mut(&key) else {
+            self.stats.stray_synacks += 1;
+            return;
+        };
+        match entry.state {
+            HsState::SynSeen {
+                t_syn,
+                client_isn,
+                syn_retx,
+            } => {
+                // Must travel opposite to the SYN and ack the client's ISN+1.
+                if dir == entry.client_dir || meta.ack != client_isn.wrapping_add(1) {
+                    self.stats.stray_synacks += 1;
+                    return;
+                }
+                entry.state = HsState::SynAckSeen {
+                    t_syn,
+                    t_synack: meta.timestamp,
+                    server_isn: meta.seq,
+                    syn_retx,
+                };
+            }
+            HsState::SynAckSeen { server_isn, .. } => {
+                if dir != entry.client_dir && meta.seq == server_isn {
+                    // Retransmitted SYN-ACK: keep the first timestamp.
+                    self.stats.synack_retransmissions += 1;
+                } else {
+                    self.stats.stray_synacks += 1;
+                }
+            }
+        }
+    }
+
+    fn on_ack(
+        &mut self,
+        key: FlowKey,
+        dir: Direction,
+        meta: &TcpMeta,
+    ) -> Option<LatencyMeasurement> {
+        // Fast path: data packets of established flows miss the table.
+        let entry = self.table.get(&key).copied()?;
+        let HsState::SynAckSeen {
+            t_syn,
+            t_synack,
+            server_isn,
+            syn_retx,
+        } = entry.state
+        else {
+            return None;
+        };
+        // The completing ACK travels in the client's direction and
+        // acknowledges the server's ISN+1 (it may carry data).
+        if dir != entry.client_dir || meta.ack != server_isn.wrapping_add(1) {
+            return None;
+        }
+        self.table.remove(&key);
+        if meta.timestamp < t_synack || t_synack < t_syn {
+            self.stats.nonmonotonic += 1;
+            return None;
+        }
+        self.stats.measurements += 1;
+        self.histogram
+            .record((meta.timestamp - t_synack) + (t_synack - t_syn));
+        let (src, dst, src_port, dst_port) = key.as_seen(entry.client_dir);
+        Some(LatencyMeasurement {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            internal_ns: meta.timestamp - t_synack,
+            external_ns: t_synack - t_syn,
+            completed_at: meta.timestamp,
+            queue_id: self.queue_id,
+            syn_retransmissions: syn_retx,
+        })
+    }
+
+    /// Run an expiry sweep at `now` (also called automatically every
+    /// `expire_interval_packets` packets).
+    pub fn housekeep(&mut self, now: Timestamp) {
+        self.packets_since_expiry = 0;
+        let before = self.table.expirations();
+        self.table.expire(now, |_k, _v| {});
+        self.stats.expired += self.table.expirations() - before;
+    }
+
+    /// In-flight (incomplete) handshakes currently tracked.
+    pub fn in_flight(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TrackerStats {
+        let mut s = self.stats;
+        // Evictions can also happen inside ExpiringTable on insert; keep the
+        // authoritative count from the table.
+        s.evicted = self.table.evictions();
+        s
+    }
+
+    /// The queue this tracker serves.
+    pub fn queue_id(&self) -> u16 {
+        self.queue_id
+    }
+
+    /// Timestamp of the most recent packet processed.
+    pub fn last_seen(&self) -> Timestamp {
+        self.last_seen
+    }
+
+    /// Distribution of total latencies measured by this queue.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.histogram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruru_wire::tcp::Flags;
+    use ruru_wire::{ipv4, IpAddress};
+
+    fn ip(last: u8) -> IpAddress {
+        IpAddress::V4(ipv4::Address([10, 0, 0, last]))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn meta(
+        src: IpAddress,
+        dst: IpAddress,
+        sp: u16,
+        dp: u16,
+        flags: Flags,
+        seq: u32,
+        ack: u32,
+        t_us: u64,
+    ) -> TcpMeta {
+        TcpMeta {
+            src,
+            dst,
+            src_port: sp,
+            dst_port: dp,
+            seq,
+            ack,
+            flags,
+            payload_len: 0,
+            timestamps: None,
+            timestamp: Timestamp::from_micros(t_us),
+        }
+    }
+
+    /// Standard three-way handshake: SYN at t=0, SYN-ACK at t=130ms,
+    /// ACK at t=131.2ms (external 130ms, internal 1.2ms).
+    fn run_handshake(tr: &mut HandshakeTracker) -> Option<LatencyMeasurement> {
+        let c = ip(1);
+        let s = ip(2);
+        assert!(tr
+            .process(&meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 0))
+            .is_none());
+        assert!(tr
+            .process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 130_000))
+            .is_none());
+        tr.process(&meta(c, s, 51000, 443, Flags::ACK, 1001, 9001, 131_200))
+    }
+
+    #[test]
+    fn basic_handshake_measures_figure1_latencies() {
+        let mut tr = HandshakeTracker::new(7, TrackerConfig::default());
+        let m = run_handshake(&mut tr).expect("measurement");
+        assert_eq!(m.external_ns, 130_000_000);
+        assert_eq!(m.internal_ns, 1_200_000);
+        assert_eq!(m.total_ns(), 131_200_000);
+        assert_eq!(m.src, ip(1), "src is the SYN sender");
+        assert_eq!(m.dst, ip(2));
+        assert_eq!(m.src_port, 51000);
+        assert_eq!(m.dst_port, 443);
+        assert_eq!(m.queue_id, 7);
+        assert_eq!(m.syn_retransmissions, 0);
+        assert_eq!(tr.in_flight(), 0, "completed entry removed");
+        let s = tr.stats();
+        assert_eq!(s.measurements, 1);
+        assert_eq!(s.syns, 1);
+        assert_eq!(s.synacks, 1);
+    }
+
+    #[test]
+    fn histogram_records_each_measurement() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        run_handshake(&mut tr).unwrap();
+        let h = tr.histogram();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 131_200_000);
+        // p50 of one sample is that sample (to bucket precision).
+        assert!(h.value_at_quantile(0.5) >= 127_000_000);
+    }
+
+    #[test]
+    fn syn_retransmission_keeps_first_timestamp() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 0));
+        // retransmit 1 s later, same ISN
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 1_000_000));
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 1_130_000));
+        let m = tr
+            .process(&meta(c, s, 51000, 443, Flags::ACK, 1001, 9001, 1_131_000))
+            .unwrap();
+        // external measured from the FIRST SYN: 1.13 s
+        assert_eq!(m.external_ns, 1_130_000_000);
+        assert_eq!(m.syn_retransmissions, 1);
+        assert_eq!(tr.stats().syn_retransmissions, 1);
+    }
+
+    #[test]
+    fn new_isn_restarts_entry() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 0));
+        // Same tuple, different ISN: a fresh attempt (e.g. after app retry).
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 5000, 0, 10_000));
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 5001, 140_000));
+        let m = tr
+            .process(&meta(c, s, 51000, 443, Flags::ACK, 5001, 9001, 141_000))
+            .unwrap();
+        assert_eq!(m.external_ns, 130_000_000, "measured from the new SYN");
+        assert_eq!(tr.stats().restarts, 1);
+    }
+
+    #[test]
+    fn synack_must_ack_isn_plus_one() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 0));
+        // Wrong ack number: ignored as stray.
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 4242, 100));
+        assert_eq!(tr.stats().stray_synacks, 1);
+        // Correct one still completes.
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 130_000));
+        assert!(tr
+            .process(&meta(c, s, 51000, 443, Flags::ACK, 1001, 9001, 131_000))
+            .is_some());
+    }
+
+    #[test]
+    fn synack_without_syn_is_stray() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        tr.process(&meta(ip(2), ip(1), 443, 51000, Flags::SYN | Flags::ACK, 1, 1, 0));
+        assert_eq!(tr.stats().stray_synacks, 1);
+        assert_eq!(tr.in_flight(), 0);
+    }
+
+    #[test]
+    fn synack_retransmission_keeps_first_timestamp() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 0));
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 130_000));
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 230_000));
+        assert_eq!(tr.stats().synack_retransmissions, 1);
+        let m = tr
+            .process(&meta(c, s, 51000, 443, Flags::ACK, 1001, 9001, 231_000))
+            .unwrap();
+        // internal measured from the FIRST SYN-ACK
+        assert_eq!(m.internal_ns, 101_000_000);
+    }
+
+    #[test]
+    fn ack_with_wrong_number_does_not_complete() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 0));
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 130_000));
+        assert!(tr
+            .process(&meta(c, s, 51000, 443, Flags::ACK, 1001, 7777, 131_000))
+            .is_none());
+        assert_eq!(tr.in_flight(), 1, "entry remains until the right ACK");
+    }
+
+    #[test]
+    fn ack_from_server_side_does_not_complete() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 0));
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 130_000));
+        // A (bogus) plain ACK from the server direction must not complete.
+        assert!(tr
+            .process(&meta(s, c, 443, 51000, Flags::ACK, 9001, 9001, 131_000))
+            .is_none());
+        assert_eq!(tr.stats().measurements, 0);
+    }
+
+    #[test]
+    fn rst_aborts_handshake() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 0));
+        tr.process(&meta(s, c, 443, 51000, Flags::RST | Flags::ACK, 0, 1001, 50));
+        assert_eq!(tr.stats().rst_aborts, 1);
+        assert_eq!(tr.in_flight(), 0);
+        // Late SYN-ACK is now stray.
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 100));
+        assert_eq!(tr.stats().stray_synacks, 1);
+    }
+
+    #[test]
+    fn data_packets_of_established_flows_are_cheap_misses() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        run_handshake(&mut tr).unwrap();
+        // Data flows after completion: no state, no measurements.
+        for i in 0..100u32 {
+            assert!(tr
+                .process(&meta(c, s, 51000, 443, Flags::ACK | Flags::PSH, 2000 + i, 9001, 200_000))
+                .is_none());
+        }
+        assert_eq!(tr.stats().measurements, 1);
+        assert_eq!(tr.in_flight(), 0);
+    }
+
+    #[test]
+    fn expiry_drops_half_open_handshakes() {
+        let mut tr = HandshakeTracker::new(
+            0,
+            TrackerConfig {
+                ttl_ns: 1_000_000, // 1 ms
+                ..TrackerConfig::default()
+            },
+        );
+        let c = ip(1);
+        let s = ip(2);
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 0));
+        assert_eq!(tr.in_flight(), 1);
+        tr.housekeep(Timestamp::from_micros(2_000));
+        assert_eq!(tr.in_flight(), 0);
+        assert_eq!(tr.stats().expired, 1);
+        // A SYN-ACK arriving after expiry is stray; no measurement results.
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 2_100));
+        assert_eq!(tr.stats().stray_synacks, 1);
+    }
+
+    #[test]
+    fn automatic_housekeeping_runs_by_packet_count() {
+        let mut tr = HandshakeTracker::new(
+            0,
+            TrackerConfig {
+                ttl_ns: 1_000, // 1 µs
+                expire_interval_packets: 10,
+                ..TrackerConfig::default()
+            },
+        );
+        let c = ip(1);
+        let s = ip(2);
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 1, 0, 0));
+        // 10 unrelated packets at t=1s trigger housekeeping.
+        for i in 0..10u16 {
+            tr.process(&meta(ip(3), ip(4), 1000 + i, 80, Flags::ACK, 1, 1, 1_000_000));
+        }
+        assert_eq!(tr.stats().expired, 1);
+    }
+
+    #[test]
+    fn capacity_bound_sheds_oldest_under_synflood() {
+        let mut tr = HandshakeTracker::new(
+            0,
+            TrackerConfig {
+                capacity: 100,
+                ..TrackerConfig::default()
+            },
+        );
+        // 10k distinct spoofed SYNs.
+        for i in 0..10_000u32 {
+            let src = IpAddress::V4(ipv4::Address([
+                (i >> 24) as u8 | 1,
+                (i >> 16) as u8,
+                (i >> 8) as u8,
+                i as u8,
+            ]));
+            tr.process(&meta(src, ip(2), 4000, 443, Flags::SYN, i, 0, i as u64));
+        }
+        assert_eq!(tr.in_flight(), 100);
+        assert_eq!(tr.stats().evicted, 9_900);
+        // A real handshake still completes under flood.
+        let c = ip(1);
+        let s = ip(2);
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 20_000));
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 21_000));
+        assert!(tr
+            .process(&meta(c, s, 51000, 443, Flags::ACK, 1001, 9001, 22_000))
+            .is_some());
+    }
+
+    #[test]
+    fn wrapping_isn_handled() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, u32::MAX, 0, 0));
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, u32::MAX, 0, 1_000));
+        let m = tr.process(&meta(c, s, 51000, 443, Flags::ACK, 0, 0, 2_000));
+        assert!(m.is_some(), "ISN+1 wraps to 0");
+    }
+
+    #[test]
+    fn nonmonotonic_timestamps_suppressed() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        tr.process(&meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 5_000));
+        tr.process(&meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 6_000));
+        // ACK timestamped BEFORE the SYN-ACK (pathological reorder).
+        let m = tr.process(&meta(c, s, 51000, 443, Flags::ACK, 1001, 9001, 5_500));
+        assert!(m.is_none());
+        assert_eq!(tr.stats().nonmonotonic, 1);
+        assert_eq!(tr.in_flight(), 0, "entry consumed either way");
+    }
+
+    #[test]
+    fn simultaneous_flows_tracked_independently() {
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        let s = ip(100);
+        // Interleave 50 handshakes.
+        for i in 0..50u16 {
+            let c = ip((i + 1) as u8);
+            tr.process(&meta(c, s, 50_000 + i, 443, Flags::SYN, i as u32, 0, i as u64 * 10));
+        }
+        for i in 0..50u16 {
+            let c = ip((i + 1) as u8);
+            tr.process(&meta(
+                s, c, 443, 50_000 + i,
+                Flags::SYN | Flags::ACK,
+                1000 + i as u32,
+                i as u32 + 1,
+                100_000 + i as u64 * 10,
+            ));
+        }
+        let mut measured = 0;
+        for i in 0..50u16 {
+            let c = ip((i + 1) as u8);
+            if tr
+                .process(&meta(
+                    c, s, 50_000 + i, 443,
+                    Flags::ACK,
+                    i as u32 + 1,
+                    1001 + i as u32,
+                    200_000 + i as u64 * 10,
+                ))
+                .is_some()
+            {
+                measured += 1;
+            }
+        }
+        assert_eq!(measured, 50);
+        assert_eq!(tr.stats().measurements, 50);
+    }
+}

@@ -1,0 +1,136 @@
+//! Direction-normalized flow keys.
+//!
+//! Ruru's hash tables must be addressable from *both* directions of a
+//! connection: the SYN arrives as `(client, server)` and the SYN-ACK as
+//! `(server, client)`. A [`FlowKey`] stores the 4-tuple in a canonical
+//! order (smaller endpoint first) and [`FlowKey::from_tuple`] additionally
+//! reports which [`Direction`] the observed packet travelled relative to
+//! that canonical order.
+
+use ruru_wire::IpAddress;
+
+/// Which way a packet travelled relative to its flow's canonical key order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// From the canonical first endpoint to the second.
+    Forward,
+    /// From the canonical second endpoint to the first.
+    Reverse,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flipped(&self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Reverse,
+            Direction::Reverse => Direction::Forward,
+        }
+    }
+}
+
+/// A canonical (direction-independent) TCP flow key.
+///
+/// Endpoints are ordered by `(address, port)`; the same physical connection
+/// always produces the same key regardless of packet direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// The lexicographically smaller endpoint.
+    pub a: (IpAddress, u16),
+    /// The lexicographically larger endpoint.
+    pub b: (IpAddress, u16),
+}
+
+impl FlowKey {
+    /// Build the canonical key for a packet seen as `src → dst`, returning
+    /// the direction the packet travelled relative to the canonical order.
+    pub fn from_tuple(
+        src: IpAddress,
+        dst: IpAddress,
+        src_port: u16,
+        dst_port: u16,
+    ) -> (FlowKey, Direction) {
+        let s = (src, src_port);
+        let d = (dst, dst_port);
+        if s <= d {
+            (FlowKey { a: s, b: d }, Direction::Forward)
+        } else {
+            (FlowKey { a: d, b: s }, Direction::Reverse)
+        }
+    }
+
+    /// The `(src, dst, src_port, dst_port)` tuple as seen travelling in
+    /// `dir`.
+    pub fn as_seen(&self, dir: Direction) -> (IpAddress, IpAddress, u16, u16) {
+        match dir {
+            Direction::Forward => (self.a.0, self.b.0, self.a.1, self.b.1),
+            Direction::Reverse => (self.b.0, self.a.0, self.b.1, self.a.1),
+        }
+    }
+}
+
+impl core::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}:{} <-> {}:{}",
+            self.a.0, self.a.1, self.b.0, self.b.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruru_wire::ipv4;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> IpAddress {
+        IpAddress::V4(ipv4::Address([a, b, c, d]))
+    }
+
+    #[test]
+    fn both_directions_share_a_key() {
+        let (k1, d1) = FlowKey::from_tuple(ip(10, 0, 0, 1), ip(10, 0, 0, 2), 40000, 443);
+        let (k2, d2) = FlowKey::from_tuple(ip(10, 0, 0, 2), ip(10, 0, 0, 1), 443, 40000);
+        assert_eq!(k1, k2);
+        assert_ne!(d1, d2);
+        assert_eq!(d1.flipped(), d2);
+    }
+
+    #[test]
+    fn same_hosts_different_ports_differ() {
+        let (k1, _) = FlowKey::from_tuple(ip(10, 0, 0, 1), ip(10, 0, 0, 2), 40000, 443);
+        let (k2, _) = FlowKey::from_tuple(ip(10, 0, 0, 1), ip(10, 0, 0, 2), 40001, 443);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn port_breaks_tie_on_same_address() {
+        // Same address both sides (loopback-style): ports decide the order.
+        let (k, dir) = FlowKey::from_tuple(ip(1, 1, 1, 1), ip(1, 1, 1, 1), 9999, 80);
+        assert_eq!(dir, Direction::Reverse);
+        assert_eq!(k.a.1, 80);
+        assert_eq!(k.b.1, 9999);
+    }
+
+    #[test]
+    fn as_seen_reconstructs_tuple() {
+        let (k, dir) = FlowKey::from_tuple(ip(200, 1, 1, 1), ip(10, 0, 0, 1), 5000, 443);
+        let (src, dst, sp, dp) = k.as_seen(dir);
+        assert_eq!(src, ip(200, 1, 1, 1));
+        assert_eq!(dst, ip(10, 0, 0, 1));
+        assert_eq!(sp, 5000);
+        assert_eq!(dp, 443);
+        // And the other direction swaps.
+        let (src, dst, sp, dp) = k.as_seen(dir.flipped());
+        assert_eq!(src, ip(10, 0, 0, 1));
+        assert_eq!(sp, 443);
+        assert_eq!(dst, ip(200, 1, 1, 1));
+        assert_eq!(dp, 5000);
+    }
+
+    #[test]
+    fn display_formats_endpoints() {
+        let (k, _) = FlowKey::from_tuple(ip(1, 2, 3, 4), ip(5, 6, 7, 8), 1, 2);
+        assert_eq!(k.to_string(), "1.2.3.4:1 <-> 5.6.7.8:2");
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # ruru-flow — Ruru's core: flow-level passive latency measurement
+//!
+//! The paper's contribution (its Figure 1): for every TCP flow crossing the
+//! tap, record three sub-microsecond timestamps — the first **SYN**, the
+//! following **SYN-ACK**, and the first **ACK** — and derive
+//!
+//! * **external latency** = `t(SYN-ACK) − t(SYN)` — tap → server → tap,
+//! * **internal latency** = `t(ACK) − t(SYN-ACK)` — tap → client → tap,
+//! * **total latency** = external + internal — the full client↔server RTT,
+//!
+//! one measurement per connection, entirely passively.
+//!
+//! Modules:
+//!
+//! * [`classify`] — single-pass pre-parsing of a frame into the
+//!   [`classify::TcpMeta`] the tracker consumes (with optional checksum
+//!   validation so corrupted packets can't pollute the tables).
+//! * [`key`] — direction-normalized flow keys, so both directions of a
+//!   connection address the same table entry.
+//! * [`table`] — a single-threaded bounded hash table with FIFO expiry,
+//!   the per-queue storage (per-queue sharding via symmetric RSS is what
+//!   makes it lock-free).
+//! * [`handshake`] — the SYN / SYN-ACK / ACK state machine and
+//!   [`handshake::HandshakeTracker`], the paper's measurement engine.
+//! * [`measurement`] — the [`measurement::LatencyMeasurement`] record and
+//!   its compact binary wire form used on the message bus.
+//! * [`baseline`] — comparison implementations: `pping`-style TCP-timestamp
+//!   matching (per-packet RTTs) and a SYN-only estimator (external RTT
+//!   only), used by experiment E7.
+
+pub mod baseline;
+pub mod classify;
+pub mod handshake;
+pub mod histogram;
+pub mod key;
+pub mod measurement;
+pub mod table;
+
+pub use handshake::{HandshakeTracker, TrackerConfig, TrackerStats};
+pub use histogram::LatencyHistogram;
+pub use key::{Direction, FlowKey};
+pub use measurement::LatencyMeasurement;

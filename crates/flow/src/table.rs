@@ -1,0 +1,298 @@
+//! A bounded single-threaded hash table with FIFO expiry — the per-queue
+//! flow store.
+//!
+//! Because handshake timeouts are uniform, insertion order equals expiry
+//! order, so expiry is a deque scan from the front: O(1) amortized, no
+//! timer wheel needed. Capacity is bounded; at capacity the oldest entry is
+//! force-evicted (SYN floods therefore degrade gracefully instead of
+//! exhausting memory — experiment E4 measures this).
+//!
+//! Entries removed or replaced before expiry are invalidated through a
+//! generation counter rather than scanning the deque.
+
+use ruru_nic::Timestamp;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+struct Slot<V> {
+    value: V,
+    inserted: Timestamp,
+    generation: u64,
+}
+
+/// The outcome of an insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// A fresh entry was created.
+    Inserted,
+    /// A fresh entry was created and the oldest entry was evicted for room.
+    InsertedWithEviction,
+    /// An entry with this key already existed; it was left untouched.
+    AlreadyPresent,
+}
+
+/// A bounded hash map with FIFO time-based expiry.
+pub struct ExpiringTable<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, Slot<V>>,
+    fifo: VecDeque<(K, Timestamp, u64)>,
+    capacity: usize,
+    ttl_ns: u64,
+    next_generation: u64,
+    evictions: u64,
+    expirations: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> ExpiringTable<K, V> {
+    /// A table holding at most `capacity` entries, each expiring `ttl_ns`
+    /// after insertion.
+    pub fn new(capacity: usize, ttl_ns: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ExpiringTable {
+            map: HashMap::with_capacity(capacity),
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            ttl_ns,
+            next_generation: 0,
+            evictions: 0,
+            expirations: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the table has no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries force-evicted due to capacity pressure.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Entries removed by TTL expiry.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+
+    /// Insert `value` under `key` at time `now` if absent. Never replaces an
+    /// existing entry (the tracker keeps the *first* SYN timestamp).
+    pub fn insert(&mut self, key: K, value: V, now: Timestamp) -> InsertOutcome {
+        if self.map.contains_key(&key) {
+            return InsertOutcome::AlreadyPresent;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            evicted = self.evict_oldest();
+        }
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.map.insert(
+            key.clone(),
+            Slot {
+                value,
+                inserted: now,
+                generation,
+            },
+        );
+        self.fifo.push_back((key, now, generation));
+        if evicted {
+            InsertOutcome::InsertedWithEviction
+        } else {
+            InsertOutcome::Inserted
+        }
+    }
+
+    /// Get a mutable reference to the live entry for `key`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.map.get_mut(key).map(|s| &mut s.value)
+    }
+
+    /// Get the live entry for `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|s| &s.value)
+    }
+
+    /// When the live entry for `key` was inserted.
+    pub fn inserted_at(&self, key: &K) -> Option<Timestamp> {
+        self.map.get(key).map(|s| s.inserted)
+    }
+
+    /// Remove and return the entry for `key`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        // The deque entry becomes stale and is skipped when reached.
+        self.map.remove(key).map(|s| s.value)
+    }
+
+    /// Drop the oldest live entry; returns whether anything was evicted.
+    fn evict_oldest(&mut self) -> bool {
+        while let Some((key, _, generation)) = self.fifo.pop_front() {
+            let live = matches!(self.map.get(&key), Some(slot) if slot.generation == generation);
+            if live {
+                self.map.remove(&key);
+                self.evictions += 1;
+                return true;
+            }
+            // stale deque entry (removed or re-inserted); skip
+        }
+        false
+    }
+
+    /// Remove all entries older than the TTL at time `now`, invoking
+    /// `on_expire` for each.
+    pub fn expire(&mut self, now: Timestamp, mut on_expire: impl FnMut(K, V)) {
+        while let Some(&(_, inserted, _)) = self.fifo.front() {
+            if now.saturating_nanos_since(inserted) < self.ttl_ns {
+                break;
+            }
+            let (key, _, generation) = self.fifo.pop_front().expect("front checked");
+            let live = matches!(self.map.get(&key), Some(slot) if slot.generation == generation);
+            if live {
+                let slot = self.map.remove(&key).expect("live entry");
+                self.expirations += 1;
+                on_expire(key, slot.value);
+            }
+        }
+    }
+
+    /// Iterate over live `(key, value)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, s)| (k, &s.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Timestamp {
+        Timestamp::from_micros(us)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut tbl: ExpiringTable<u32, &str> = ExpiringTable::new(4, 1_000_000);
+        assert_eq!(tbl.insert(1, "a", t(0)), InsertOutcome::Inserted);
+        assert_eq!(tbl.get(&1), Some(&"a"));
+        assert_eq!(tbl.inserted_at(&1), Some(t(0)));
+        *tbl.get_mut(&1).unwrap() = "b";
+        assert_eq!(tbl.remove(&1), Some("b"));
+        assert_eq!(tbl.get(&1), None);
+        assert!(tbl.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first() {
+        let mut tbl: ExpiringTable<u32, u32> = ExpiringTable::new(4, 1_000_000);
+        tbl.insert(1, 100, t(0));
+        assert_eq!(tbl.insert(1, 200, t(1)), InsertOutcome::AlreadyPresent);
+        assert_eq!(tbl.get(&1), Some(&100));
+        assert_eq!(tbl.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut tbl: ExpiringTable<u32, u32> = ExpiringTable::new(2, u64::MAX);
+        tbl.insert(1, 1, t(0));
+        tbl.insert(2, 2, t(1));
+        assert_eq!(tbl.insert(3, 3, t(2)), InsertOutcome::InsertedWithEviction);
+        assert_eq!(tbl.len(), 2);
+        assert_eq!(tbl.get(&1), None, "oldest evicted");
+        assert_eq!(tbl.get(&2), Some(&2));
+        assert_eq!(tbl.get(&3), Some(&3));
+        assert_eq!(tbl.evictions(), 1);
+    }
+
+    #[test]
+    fn eviction_skips_stale_deque_entries() {
+        let mut tbl: ExpiringTable<u32, u32> = ExpiringTable::new(2, u64::MAX);
+        tbl.insert(1, 1, t(0));
+        tbl.insert(2, 2, t(1));
+        tbl.remove(&1); // deque front now stale
+        tbl.insert(3, 3, t(2)); // no eviction needed: len was 1
+        assert_eq!(tbl.len(), 2);
+        // Next insert must evict key 2 (the oldest LIVE entry), not key 1.
+        tbl.insert(4, 4, t(3));
+        assert_eq!(tbl.get(&2), None);
+        assert_eq!(tbl.get(&3), Some(&3));
+        assert_eq!(tbl.evictions(), 1);
+    }
+
+    #[test]
+    fn expiry_removes_old_entries_in_order() {
+        let mut tbl: ExpiringTable<u32, u32> = ExpiringTable::new(8, 1_000); // 1 µs TTL
+        tbl.insert(1, 1, Timestamp::from_nanos(0));
+        tbl.insert(2, 2, Timestamp::from_nanos(500));
+        tbl.insert(3, 3, Timestamp::from_nanos(1500));
+        let mut expired = Vec::new();
+        tbl.expire(Timestamp::from_nanos(1600), |k, v| expired.push((k, v)));
+        assert_eq!(expired, vec![(1, 1), (2, 2)]);
+        assert_eq!(tbl.len(), 1);
+        assert_eq!(tbl.expirations(), 2);
+        // Key 3 expires later.
+        tbl.expire(Timestamp::from_nanos(2500), |k, _| expired.push((k, 0)));
+        assert_eq!(expired.last(), Some(&(3, 0)));
+        assert!(tbl.is_empty());
+    }
+
+    #[test]
+    fn expire_skips_removed_entries() {
+        let mut tbl: ExpiringTable<u32, u32> = ExpiringTable::new(8, 1_000);
+        tbl.insert(1, 1, t(0));
+        tbl.remove(&1);
+        let mut count = 0;
+        tbl.expire(t(10), |_, _| count += 1);
+        assert_eq!(count, 0);
+        assert_eq!(tbl.expirations(), 0);
+    }
+
+    #[test]
+    fn reinsert_after_remove_uses_new_generation() {
+        let mut tbl: ExpiringTable<u32, u32> = ExpiringTable::new(8, 1_000);
+        tbl.insert(1, 1, Timestamp::from_nanos(0));
+        tbl.remove(&1);
+        tbl.insert(1, 2, Timestamp::from_nanos(900));
+        // Expiring at t=1000 reaches the stale deque entry for gen 0 but must
+        // not remove the live gen-1 entry (inserted at 900, not yet expired).
+        let mut expired = Vec::new();
+        tbl.expire(Timestamp::from_nanos(1000), |k, v| expired.push((k, v)));
+        assert!(expired.is_empty());
+        assert_eq!(tbl.get(&1), Some(&2));
+        // At t=1900 it does expire.
+        tbl.expire(Timestamp::from_nanos(1900), |k, v| expired.push((k, v)));
+        assert_eq!(expired, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn iter_visits_live_entries() {
+        let mut tbl: ExpiringTable<u32, u32> = ExpiringTable::new(8, 1_000);
+        tbl.insert(1, 10, t(0));
+        tbl.insert(2, 20, t(0));
+        tbl.remove(&1);
+        let mut items: Vec<(u32, u32)> = tbl.iter().map(|(k, v)| (*k, *v)).collect();
+        items.sort_unstable();
+        assert_eq!(items, vec![(2, 20)]);
+    }
+
+    #[test]
+    fn flood_is_bounded() {
+        let mut tbl: ExpiringTable<u64, ()> = ExpiringTable::new(1000, u64::MAX);
+        for i in 0..100_000u64 {
+            tbl.insert(i, (), t(i));
+        }
+        assert_eq!(tbl.len(), 1000);
+        assert_eq!(tbl.evictions(), 99_000);
+        // The survivors are the newest 1000.
+        assert!(tbl.get(&99_999).is_some());
+        assert!(tbl.get(&0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ExpiringTable::<u8, u8>::new(0, 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Injectable anomalies — the ground truth for the detection experiments.
+//!
+//! §3 of the paper describes two real incidents Ruru surfaced: a periodic
+//! firewall update adding **4000 ms** to every connection started inside a
+//! short nightly window, and SYN floods. Both are reproduced here as
+//! deterministic injections so detector precision/recall can be computed.
+
+use ruru_nic::Timestamp;
+
+/// An anomaly active during `[start, end)` of simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Anomaly {
+    /// Connections *started* inside the window take `extra_ns` longer to
+    /// complete setup on the external side (the firewall holds the SYN).
+    SetupLatencySpike {
+        /// Window start.
+        start: Timestamp,
+        /// Window end (exclusive).
+        end: Timestamp,
+        /// Added external latency in nanoseconds (the paper's case: 4 s).
+        extra_ns: u64,
+    },
+    /// A flood of spoofed SYNs (never completed) toward one server.
+    SynFlood {
+        /// Window start.
+        start: Timestamp,
+        /// Window end (exclusive).
+        end: Timestamp,
+        /// Flood rate in SYNs per second.
+        syns_per_sec: u64,
+        /// City index hosting the victim (victim address is sampled there).
+        target_city: usize,
+    },
+}
+
+impl Anomaly {
+    /// The paper's firewall incident: 4000 ms added to all connections
+    /// started within the window.
+    pub fn firewall_4s(start: Timestamp, end: Timestamp) -> Anomaly {
+        Anomaly::SetupLatencySpike {
+            start,
+            end,
+            extra_ns: 4_000_000_000,
+        }
+    }
+
+    /// The anomaly's active window.
+    pub fn window(&self) -> (Timestamp, Timestamp) {
+        match self {
+            Anomaly::SetupLatencySpike { start, end, .. } => (*start, *end),
+            Anomaly::SynFlood { start, end, .. } => (*start, *end),
+        }
+    }
+
+    /// True if `t` falls inside the window.
+    pub fn active_at(&self, t: Timestamp) -> bool {
+        let (s, e) = self.window();
+        t >= s && t < e
+    }
+
+    /// The extra setup latency this anomaly imposes on a flow starting at
+    /// `t` (zero for non-latency anomalies).
+    pub fn extra_setup_ns(&self, t: Timestamp) -> u64 {
+        match self {
+            Anomaly::SetupLatencySpike { extra_ns, .. } if self.active_at(t) => *extra_ns,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn firewall_window_boundaries() {
+        let a = Anomaly::firewall_4s(Timestamp::from_secs(10), Timestamp::from_secs(40));
+        assert!(!a.active_at(Timestamp::from_secs(9)));
+        assert!(a.active_at(Timestamp::from_secs(10)));
+        assert!(a.active_at(Timestamp::from_secs(39)));
+        assert!(!a.active_at(Timestamp::from_secs(40)));
+        assert_eq!(a.extra_setup_ns(Timestamp::from_secs(20)), 4_000_000_000);
+        assert_eq!(a.extra_setup_ns(Timestamp::from_secs(50)), 0);
+    }
+
+    #[test]
+    fn synflood_has_no_latency_effect() {
+        let a = Anomaly::SynFlood {
+            start: Timestamp::ZERO,
+            end: Timestamp::from_secs(1),
+            syns_per_sec: 1000,
+            target_city: 0,
+        };
+        assert!(a.active_at(Timestamp::from_millis(500)));
+        assert_eq!(a.extra_setup_ns(Timestamp::from_millis(500)), 0);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # ruru-gen — synthetic Internet traffic with ground truth
+//!
+//! The paper deploys Ruru on a tapped 10 Gbit/s Auckland↔Los Angeles link
+//! carrying live user traffic. We cannot ship that link, so this crate
+//! generates the closest controllable equivalent: TCP flows between real
+//! city locations, with handshake timing derived from great-circle
+//! propagation delays plus realistic jitter — **and the ground truth
+//! recorded**, which the live link could never provide. Every experiment's
+//! accuracy claims are checked against this truth.
+//!
+//! * [`packet`] — checksummed Ethernet/IPv4/IPv6+TCP frame builders.
+//! * [`model`] — the path latency model (fiber propagation × route
+//!   inflation + hop delay + jitter) and per-flow delay sampling.
+//! * [`generator`] — Poisson flow arrivals over a weighted city-pair mix;
+//!   emits a time-ordered stream of tap events (frames with timestamps) and
+//!   a [`generator::FlowTruth`] log.
+//! * [`anomaly`] — injectable anomalies: the nightly firewall window that
+//!   adds 4000 ms to connection setup (the paper's case study), and SYN
+//!   floods (its second detection example).
+
+pub mod anomaly;
+pub mod generator;
+pub mod model;
+pub mod packet;
+
+pub use anomaly::Anomaly;
+pub use generator::{Event, FlowTruth, GenConfig, RateProfile, TrafficGen};
+pub use model::PathModel;

@@ -1,0 +1,256 @@
+//! A fixed-capacity O(1) LRU cache.
+//!
+//! Live traffic concentrates on few prefixes, so each enrichment worker
+//! fronts the (shared, read-only) database with a private LRU — the
+//! standard IP2Location integration pattern. Implemented as a hash map into
+//! a slab with an intrusive doubly-linked recency list; no allocation after
+//! construction.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A least-recently-used cache with fixed capacity.
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Get a value, marking it most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key) {
+            Some(&idx) => {
+                self.hits += 1;
+                if idx != self.head {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) a value, evicting the least-recently-used entry
+    /// at capacity.
+    pub fn put(&mut self, key: K, value: V) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            if idx != self.head {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return;
+        }
+        let idx = if self.map.len() < self.capacity {
+            self.slab.push(Node {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        } else {
+            // Recycle the tail slot.
+            let idx = self.tail;
+            self.unlink(idx);
+            let old_key = std::mem::replace(&mut self.slab[idx].key, key.clone());
+            self.map.remove(&old_key);
+            self.slab[idx].value = value;
+            idx
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+    }
+
+    /// Fetch through the cache: on a miss, compute with `load` and insert.
+    /// `None` results are not cached (negative caching would pin misses).
+    pub fn get_or_insert_with(&mut self, key: &K, load: impl FnOnce() -> Option<V>) -> Option<&V>
+    where
+        V: Clone,
+    {
+        // Split borrow dance: check presence first.
+        if self.map.contains_key(key) {
+            return self.get(key);
+        }
+        self.misses += 1;
+        let value = load()?;
+        self.put(key.clone(), value);
+        self.map.get(key).map(|&idx| &self.slab[idx].value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_get_put() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert!(c.get(&1).is_none());
+        c.put(1, "a");
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.get(&1); // 1 is now most recent
+        c.put(3, 30); // evicts 2
+        assert_eq!(c.get(&1), Some(&10));
+        assert!(c.get(&2).is_none());
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_refreshes_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.put(1, 11); // update + refresh
+        c.put(3, 30); // evicts 2, not 1
+        assert_eq!(c.get(&1), Some(&11));
+        assert!(c.get(&2).is_none());
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        c.put(1, 10);
+        c.put(2, 20);
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn get_or_insert_with_loads_once() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        let mut loads = 0;
+        for _ in 0..3 {
+            let v = *c
+                .get_or_insert_with(&7, || {
+                    loads += 1;
+                    Some(49)
+                })
+                .unwrap();
+            assert_eq!(v, 49);
+        }
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn negative_results_not_cached() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        let mut loads = 0;
+        for _ in 0..3 {
+            assert!(c
+                .get_or_insert_with(&7, || {
+                    loads += 1;
+                    None
+                })
+                .is_none());
+        }
+        assert_eq!(loads, 3, "misses must retry the loader");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_is_consistent() {
+        let mut c: LruCache<u64, u64> = LruCache::new(64);
+        for i in 0..10_000u64 {
+            c.put(i % 200, i);
+            if let Some(&v) = c.get(&(i % 200)) {
+                assert_eq!(v, i);
+            }
+        }
+        assert_eq!(c.len(), 64);
+        // The most recent 64 distinct keys must all hit with correct values.
+        // (keys cycle 0..200, so last inserted keys are (9999-63..=9999)%200)
+        for i in 9936..10_000u64 {
+            assert_eq!(c.get(&(i % 200)), Some(&i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::<u8, u8>::new(0);
+    }
+}

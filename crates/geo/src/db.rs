@@ -1,0 +1,447 @@
+//! The range-table geolocation database.
+//!
+//! IP2Location ships databases as sorted, non-overlapping address ranges
+//! pointing at location rows. [`GeoDb`] is exactly that over a u128 key
+//! space (IPv4 addresses live in the IPv4-mapped range, so one table serves
+//! both families), with `O(log n)` binary-search lookup.
+
+/// One location row: what an IP2Location DB24-style record carries, plus AS
+/// information (IP2Location ASN database fields).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Location {
+    /// ISO 3166-1 alpha-2 country code.
+    pub country_code: [u8; 2],
+    /// Country name.
+    pub country: String,
+    /// Region / state.
+    pub region: String,
+    /// City name.
+    pub city: String,
+    /// Latitude in degrees.
+    pub lat: f32,
+    /// Longitude in degrees.
+    pub lon: f32,
+    /// Autonomous system number.
+    pub asn: u32,
+    /// Autonomous system name.
+    pub as_name: String,
+}
+
+impl Location {
+    /// The country code as a `&str`.
+    pub fn country_code_str(&self) -> &str {
+        core::str::from_utf8(&self.country_code).unwrap_or("??")
+    }
+}
+
+/// An address range `[start, end]` (inclusive, like IP2Location rows)
+/// mapped to a location row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Range {
+    /// First address of the range (u128 key space).
+    pub start: u128,
+    /// Last address (inclusive).
+    pub end: u128,
+    /// Index into the location table.
+    pub location: u32,
+}
+
+/// Errors from database construction or deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Ranges overlap or are unsorted after normalization.
+    Overlap {
+        /// Row index (after sorting) where the overlap was found.
+        at: usize,
+    },
+    /// A range's location index is out of bounds.
+    BadLocationIndex {
+        /// Offending row index.
+        at: usize,
+    },
+    /// A range has `end < start`.
+    InvertedRange {
+        /// Offending row index.
+        at: usize,
+    },
+    /// The serialized form is malformed.
+    Corrupt(&'static str),
+}
+
+impl core::fmt::Display for DbError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DbError::Overlap { at } => write!(f, "overlapping ranges at row {at}"),
+            DbError::BadLocationIndex { at } => write!(f, "bad location index at row {at}"),
+            DbError::InvertedRange { at } => write!(f, "inverted range at row {at}"),
+            DbError::Corrupt(what) => write!(f, "corrupt database: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+const MAGIC: &[u8; 6] = b"RGEOv1";
+
+/// The geolocation database: a location table plus sorted ranges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeoDb {
+    locations: Vec<Location>,
+    ranges: Vec<Range>,
+}
+
+impl GeoDb {
+    /// Build a database, sorting the ranges and validating that they do not
+    /// overlap and reference valid locations.
+    pub fn new(locations: Vec<Location>, mut ranges: Vec<Range>) -> Result<GeoDb, DbError> {
+        ranges.sort_unstable_by_key(|r| r.start);
+        for (i, r) in ranges.iter().enumerate() {
+            if r.end < r.start {
+                return Err(DbError::InvertedRange { at: i });
+            }
+            if r.location as usize >= locations.len() {
+                return Err(DbError::BadLocationIndex { at: i });
+            }
+            if i > 0 && ranges[i - 1].end >= r.start {
+                return Err(DbError::Overlap { at: i });
+            }
+        }
+        Ok(GeoDb { locations, ranges })
+    }
+
+    /// Number of ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Number of location rows.
+    pub fn location_count(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// The location table.
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// The sorted range table.
+    pub fn ranges(&self) -> &[Range] {
+        &self.ranges
+    }
+
+    /// Look up an address key (see `ruru_wire::IpAddress::as_u128`).
+    pub fn lookup_key(&self, key: u128) -> Option<&Location> {
+        // partition_point: first range with start > key; the candidate is
+        // the one before it.
+        let idx = self.ranges.partition_point(|r| r.start <= key);
+        if idx == 0 {
+            return None;
+        }
+        let r = &self.ranges[idx - 1];
+        if key <= r.end {
+            Some(&self.locations[r.location as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Serialize to the compact binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.locations.len() as u32).to_le_bytes());
+        let put_str = |out: &mut Vec<u8>, s: &str| {
+            let b = s.as_bytes();
+            out.extend_from_slice(&(b.len() as u16).to_le_bytes());
+            out.extend_from_slice(b);
+        };
+        for loc in &self.locations {
+            out.extend_from_slice(&loc.country_code);
+            put_str(&mut out, &loc.country);
+            put_str(&mut out, &loc.region);
+            put_str(&mut out, &loc.city);
+            out.extend_from_slice(&loc.lat.to_le_bytes());
+            out.extend_from_slice(&loc.lon.to_le_bytes());
+            out.extend_from_slice(&loc.asn.to_le_bytes());
+            put_str(&mut out, &loc.as_name);
+        }
+        out.extend_from_slice(&(self.ranges.len() as u32).to_le_bytes());
+        for r in &self.ranges {
+            out.extend_from_slice(&r.start.to_le_bytes());
+            out.extend_from_slice(&r.end.to_le_bytes());
+            out.extend_from_slice(&r.location.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from [`GeoDb::to_bytes`] output.
+    pub fn from_bytes(data: &[u8]) -> Result<GeoDb, DbError> {
+        struct Cursor<'a> {
+            data: &'a [u8],
+            at: usize,
+        }
+        impl<'a> Cursor<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], DbError> {
+                if self.at + n > self.data.len() {
+                    return Err(DbError::Corrupt("truncated"));
+                }
+                let s = &self.data[self.at..self.at + n];
+                self.at += n;
+                Ok(s)
+            }
+            fn u16(&mut self) -> Result<u16, DbError> {
+                Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+            }
+            fn u32(&mut self) -> Result<u32, DbError> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+            fn u128(&mut self) -> Result<u128, DbError> {
+                Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+            }
+            fn f32(&mut self) -> Result<f32, DbError> {
+                Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+            fn string(&mut self) -> Result<String, DbError> {
+                let len = self.u16()? as usize;
+                let b = self.take(len)?;
+                String::from_utf8(b.to_vec()).map_err(|_| DbError::Corrupt("bad utf8"))
+            }
+        }
+        let mut c = Cursor { data, at: 0 };
+        if c.take(6)? != MAGIC {
+            return Err(DbError::Corrupt("bad magic"));
+        }
+        let n_loc = c.u32()? as usize;
+        if n_loc > 16_000_000 {
+            return Err(DbError::Corrupt("absurd location count"));
+        }
+        let mut locations = Vec::with_capacity(n_loc);
+        for _ in 0..n_loc {
+            let cc = c.take(2)?;
+            locations.push(Location {
+                country_code: [cc[0], cc[1]],
+                country: c.string()?,
+                region: c.string()?,
+                city: c.string()?,
+                lat: c.f32()?,
+                lon: c.f32()?,
+                asn: c.u32()?,
+                as_name: c.string()?,
+            });
+        }
+        let n_ranges = c.u32()? as usize;
+        if n_ranges > 256_000_000 {
+            return Err(DbError::Corrupt("absurd range count"));
+        }
+        let mut ranges = Vec::with_capacity(n_ranges);
+        for _ in 0..n_ranges {
+            ranges.push(Range {
+                start: c.u128()?,
+                end: c.u128()?,
+                location: c.u32()?,
+            });
+        }
+        if c.at != data.len() {
+            return Err(DbError::Corrupt("trailing bytes"));
+        }
+        GeoDb::new(locations, ranges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(cc: &str, city: &str, asn: u32) -> Location {
+        Location {
+            country_code: cc.as_bytes().try_into().unwrap(),
+            country: format!("Country-{cc}"),
+            region: "Region".into(),
+            city: city.into(),
+            lat: 1.5,
+            lon: -2.5,
+            asn,
+            as_name: format!("AS-{asn}"),
+        }
+    }
+
+    fn sample_db() -> GeoDb {
+        GeoDb::new(
+            vec![loc("NZ", "Auckland", 9500), loc("US", "Los Angeles", 7018)],
+            vec![
+                Range {
+                    start: 100,
+                    end: 199,
+                    location: 0,
+                },
+                Range {
+                    start: 300,
+                    end: 399,
+                    location: 1,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        let db = sample_db();
+        assert_eq!(db.lookup_key(100).unwrap().city, "Auckland");
+        assert_eq!(db.lookup_key(150).unwrap().city, "Auckland");
+        assert_eq!(db.lookup_key(199).unwrap().city, "Auckland");
+        assert_eq!(db.lookup_key(399).unwrap().asn, 7018);
+        assert!(db.lookup_key(99).is_none());
+        assert!(db.lookup_key(200).is_none());
+        assert!(db.lookup_key(250).is_none());
+        assert!(db.lookup_key(u128::MAX).is_none());
+        assert!(db.lookup_key(0).is_none());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let db = GeoDb::new(
+            vec![loc("NZ", "A", 1)],
+            vec![
+                Range {
+                    start: 500,
+                    end: 599,
+                    location: 0,
+                },
+                Range {
+                    start: 100,
+                    end: 199,
+                    location: 0,
+                },
+            ],
+        )
+        .unwrap();
+        assert!(db.lookup_key(550).is_some());
+        assert!(db.lookup_key(150).is_some());
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let err = GeoDb::new(
+            vec![loc("NZ", "A", 1)],
+            vec![
+                Range {
+                    start: 100,
+                    end: 250,
+                    location: 0,
+                },
+                Range {
+                    start: 200,
+                    end: 300,
+                    location: 0,
+                },
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, DbError::Overlap { at: 1 });
+    }
+
+    #[test]
+    fn touching_ranges_allowed() {
+        // [100,199] and [200,299] are adjacent, not overlapping.
+        let db = GeoDb::new(
+            vec![loc("NZ", "A", 1)],
+            vec![
+                Range {
+                    start: 100,
+                    end: 199,
+                    location: 0,
+                },
+                Range {
+                    start: 200,
+                    end: 299,
+                    location: 0,
+                },
+            ],
+        )
+        .unwrap();
+        assert!(db.lookup_key(199).is_some());
+        assert!(db.lookup_key(200).is_some());
+    }
+
+    #[test]
+    fn inverted_range_rejected() {
+        let err = GeoDb::new(
+            vec![loc("NZ", "A", 1)],
+            vec![Range {
+                start: 200,
+                end: 100,
+                location: 0,
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(err, DbError::InvertedRange { at: 0 });
+    }
+
+    #[test]
+    fn bad_location_index_rejected() {
+        let err = GeoDb::new(
+            vec![loc("NZ", "A", 1)],
+            vec![Range {
+                start: 1,
+                end: 2,
+                location: 5,
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(err, DbError::BadLocationIndex { at: 0 });
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let db = sample_db();
+        let bytes = db.to_bytes();
+        let back = GeoDb::from_bytes(&bytes).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn corrupt_serializations_rejected() {
+        let db = sample_db();
+        let bytes = db.to_bytes();
+        assert!(GeoDb::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(GeoDb::from_bytes(&[]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(GeoDb::from_bytes(&bad_magic).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            GeoDb::from_bytes(&trailing).unwrap_err(),
+            DbError::Corrupt("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn single_address_range() {
+        let db = GeoDb::new(
+            vec![loc("NZ", "A", 1)],
+            vec![Range {
+                start: 42,
+                end: 42,
+                location: 0,
+            }],
+        )
+        .unwrap();
+        assert!(db.lookup_key(42).is_some());
+        assert!(db.lookup_key(41).is_none());
+        assert!(db.lookup_key(43).is_none());
+    }
+
+    #[test]
+    fn empty_db_always_misses() {
+        let db = GeoDb::new(vec![], vec![]).unwrap();
+        assert!(db.lookup_key(0).is_none());
+        assert!(db.lookup_key(12345).is_none());
+    }
+
+    #[test]
+    fn country_code_str() {
+        assert_eq!(loc("NZ", "A", 1).country_code_str(), "NZ");
+    }
+}

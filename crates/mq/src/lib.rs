@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # ruru-mq — a ZeroMQ-style message bus
+//!
+//! The paper: *"The DPDK application publishes the latency measurements …
+//! on zero-copy ZeroMQ sockets to other software modules"* and *"the use of
+//! ZeroMQ sockets allowing efficient and fast interconnect of modules"*.
+//!
+//! This crate reproduces the two socket patterns Ruru uses, with ZeroMQ's
+//! semantics:
+//!
+//! * [`pubsub`] — PUB/SUB: topic-prefix subscriptions; a slow subscriber
+//!   whose high-water mark is reached **loses messages** (PUB never blocks
+//!   the dataplane).
+//! * [`pushpull`] — PUSH/PULL: work distribution to a pool of analytics
+//!   workers; at the high-water mark PUSH **blocks** (back-pressure).
+//! * [`tcp`] — a length-prefixed TCP transport so modules can run in
+//!   separate processes, as in the deployed system.
+//!
+//! Payloads are [`bytes::Bytes`]: fanning a message out to N subscribers
+//! clones a reference count, never the bytes — the "zero-copy" the paper
+//! leans on. Experiment E8 benchmarks this against a copying bus.
+
+pub mod message;
+pub mod pubsub;
+pub mod pushpull;
+pub mod tcp;
+
+pub use message::Message;
+pub use pubsub::{Publisher, Subscriber};
+pub use pushpull::{pipe, Pull, Push};

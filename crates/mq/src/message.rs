@@ -1,0 +1,76 @@
+//! The message type moved by every socket pattern.
+
+use bytes::Bytes;
+
+/// A topic-tagged message with a zero-copy payload.
+///
+/// Cloning a `Message` clones two reference counts; the payload bytes are
+/// shared, so PUB fan-out to N subscribers costs O(N) pointer work and zero
+/// byte copies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Routing topic; subscribers filter on prefixes of this.
+    pub topic: Bytes,
+    /// The payload.
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// Build a message from anything convertible to [`Bytes`].
+    pub fn new(topic: impl Into<Bytes>, payload: impl Into<Bytes>) -> Message {
+        Message {
+            topic: topic.into(),
+            payload: payload.into(),
+        }
+    }
+
+    /// True if the message's topic starts with `prefix` (ZeroMQ SUB
+    /// semantics; the empty prefix matches everything).
+    pub fn matches(&self, prefix: &[u8]) -> bool {
+        self.topic.starts_with(prefix)
+    }
+
+    /// Total size (topic + payload) in bytes.
+    pub fn len(&self) -> usize {
+        self.topic.len() + self.payload.len()
+    }
+
+    /// True when both topic and payload are empty.
+    pub fn is_empty(&self) -> bool {
+        self.topic.is_empty() && self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_matching() {
+        let m = Message::new("latency.v4", vec![1u8, 2, 3]);
+        assert!(m.matches(b"latency"));
+        assert!(m.matches(b"latency.v4"));
+        assert!(m.matches(b""));
+        assert!(!m.matches(b"latency.v6"));
+        assert!(!m.matches(b"other"));
+        assert_eq!(m.len(), 10 + 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_payload_storage() {
+        let payload = Bytes::from(vec![0u8; 1024]);
+        let m = Message::new("t", payload.clone());
+        let c = m.clone();
+        // Same allocation: the slices' pointers coincide.
+        assert_eq!(m.payload.as_ptr(), c.payload.as_ptr());
+        assert_eq!(payload.as_ptr(), c.payload.as_ptr());
+    }
+
+    #[test]
+    fn empty_message() {
+        let m = Message::new("", "");
+        assert!(m.is_empty());
+        assert!(m.matches(b""));
+    }
+}

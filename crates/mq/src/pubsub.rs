@@ -1,0 +1,289 @@
+//! PUB/SUB: topic-filtered fan-out with drop-on-full semantics.
+//!
+//! The publisher never blocks: if a subscriber's queue is at its high-water
+//! mark, the message is dropped *for that subscriber* and counted — exactly
+//! ZeroMQ's PUB behaviour, chosen so a slow analytics module can never stall
+//! the DPDK dataplane.
+
+use crate::message::Message;
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default per-subscriber high-water mark (ZeroMQ's default is 1000).
+pub const DEFAULT_HWM: usize = 1000;
+
+struct SubEntry {
+    prefix: Vec<u8>,
+    sender: Sender<Message>,
+    drops: Arc<AtomicU64>,
+    alive: Arc<std::sync::atomic::AtomicBool>,
+}
+
+struct PubInner {
+    subs: RwLock<Vec<SubEntry>>,
+    published: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// The publishing end. Cloneable; clones share the subscriber list.
+#[derive(Clone)]
+pub struct Publisher {
+    inner: Arc<PubInner>,
+}
+
+impl Publisher {
+    /// A publisher with no subscribers yet.
+    pub fn new() -> Publisher {
+        Publisher {
+            inner: Arc::new(PubInner {
+                subs: RwLock::new(Vec::new()),
+                published: AtomicU64::new(0),
+                delivered: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Create a subscription for topics starting with `prefix`, with a
+    /// queue bounded at `hwm` messages.
+    pub fn subscribe(&self, prefix: impl AsRef<[u8]>, hwm: usize) -> Subscriber {
+        assert!(hwm > 0, "high-water mark must be positive");
+        let (tx, rx) = bounded(hwm);
+        let drops = Arc::new(AtomicU64::new(0));
+        let alive = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        self.inner.subs.write().push(SubEntry {
+            prefix: prefix.as_ref().to_vec(),
+            sender: tx,
+            drops: Arc::clone(&drops),
+            alive: Arc::clone(&alive),
+        });
+        Subscriber { rx, drops, alive }
+    }
+
+    /// Publish a message to every matching subscriber. Never blocks;
+    /// returns the number of subscribers that received it.
+    pub fn publish(&self, msg: Message) -> usize {
+        self.inner.published.fetch_add(1, Ordering::Relaxed);
+        let mut delivered = 0;
+        let mut gone = false;
+        {
+            let subs = self.inner.subs.read();
+            for sub in subs.iter() {
+                if !sub.alive.load(Ordering::Acquire) {
+                    gone = true;
+                    continue;
+                }
+                if !msg.matches(&sub.prefix) {
+                    continue;
+                }
+                match sub.sender.try_send(msg.clone()) {
+                    Ok(()) => delivered += 1,
+                    Err(crossbeam::channel::TrySendError::Full(_)) => {
+                        sub.drops.fetch_add(1, Ordering::Relaxed);
+                        self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                        gone = true;
+                    }
+                }
+            }
+        }
+        if gone {
+            // Prune dead subscriptions outside the read lock.
+            self.inner
+                .subs
+                .write()
+                .retain(|s| s.alive.load(Ordering::Acquire));
+        }
+        self.inner
+            .delivered
+            .fetch_add(delivered as u64, Ordering::Relaxed);
+        delivered as usize
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.subs.read().len()
+    }
+
+    /// (published, delivered, dropped) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.inner.published.load(Ordering::Relaxed),
+            self.inner.delivered.load(Ordering::Relaxed),
+            self.inner.dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Default for Publisher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The receiving end of a subscription. Dropping it unsubscribes.
+pub struct Subscriber {
+    rx: Receiver<Message>,
+    drops: Arc<AtomicU64>,
+    alive: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl Drop for Subscriber {
+    fn drop(&mut self) {
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
+impl Subscriber {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        match self.rx.try_recv() {
+            Ok(m) => Some(m),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive with a timeout; `None` on timeout or a gone
+    /// publisher.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Messages this subscriber lost to its high-water mark.
+    pub fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    /// Messages currently queued.
+    pub fn backlog(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_filtering() {
+        let p = Publisher::new();
+        let all = p.subscribe("", 10);
+        let lat = p.subscribe("latency", 10);
+        p.publish(Message::new("latency.v4", "a"));
+        p.publish(Message::new("alerts", "b"));
+        assert_eq!(all.backlog(), 2);
+        assert_eq!(lat.backlog(), 1);
+        assert_eq!(lat.try_recv().unwrap().payload, &b"a"[..]);
+        assert!(lat.try_recv().is_none());
+    }
+
+    #[test]
+    fn publish_reports_delivery_count() {
+        let p = Publisher::new();
+        let _a = p.subscribe("x", 4);
+        let _b = p.subscribe("x", 4);
+        let _c = p.subscribe("y", 4);
+        assert_eq!(p.publish(Message::new("x1", "m")), 2);
+        assert_eq!(p.subscriber_count(), 3);
+    }
+
+    #[test]
+    fn slow_subscriber_drops_not_blocks() {
+        let p = Publisher::new();
+        let s = p.subscribe("", 2);
+        for i in 0..10u8 {
+            p.publish(Message::new("t", vec![i]));
+        }
+        assert_eq!(s.backlog(), 2, "only HWM retained");
+        assert_eq!(s.drops(), 8);
+        let (published, delivered, dropped) = p.stats();
+        assert_eq!(published, 10);
+        assert_eq!(delivered, 2);
+        assert_eq!(dropped, 8);
+        // The two delivered are the OLDEST (queue filled then dropped).
+        assert_eq!(s.try_recv().unwrap().payload, &[0u8][..]);
+        assert_eq!(s.try_recv().unwrap().payload, &[1u8][..]);
+    }
+
+    #[test]
+    fn recv_timeout_blocks_until_message() {
+        let p = Publisher::new();
+        let s = p.subscribe("", 4);
+        let p2 = p.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            p2.publish(Message::new("t", "late"));
+        });
+        let m = s.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(m.payload, &b"late"[..]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let p = Publisher::new();
+        let s = p.subscribe("", 4);
+        assert!(s.recv_timeout(Duration::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn publisher_clones_share_subscribers() {
+        let p = Publisher::new();
+        let s = p.subscribe("", 4);
+        let clone = p.clone();
+        clone.publish(Message::new("t", "via-clone"));
+        assert_eq!(s.try_recv().unwrap().payload, &b"via-clone"[..]);
+    }
+
+    #[test]
+    fn fanout_shares_payload_allocation() {
+        let p = Publisher::new();
+        let a = p.subscribe("", 4);
+        let b = p.subscribe("", 4);
+        let payload = bytes::Bytes::from(vec![7u8; 4096]);
+        p.publish(Message::new("t", payload.clone()));
+        let ma = a.try_recv().unwrap();
+        let mb = b.try_recv().unwrap();
+        assert_eq!(ma.payload.as_ptr(), payload.as_ptr());
+        assert_eq!(mb.payload.as_ptr(), payload.as_ptr());
+    }
+
+    #[test]
+    fn dropped_subscriber_is_pruned() {
+        let p = Publisher::new();
+        let a = p.subscribe("", 4);
+        let _b = p.subscribe("", 4);
+        assert_eq!(p.subscriber_count(), 2);
+        drop(a);
+        // First publish after the drop notices and prunes.
+        assert_eq!(p.publish(Message::new("t", "m")), 1);
+        assert_eq!(p.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_publishers_and_subscribers() {
+        let p = Publisher::new();
+        let subs: Vec<_> = (0..4).map(|_| p.subscribe("", 100_000)).collect();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    p.publish(Message::new("t", (t * 1000 + i).to_be_bytes().to_vec()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for s in &subs {
+            assert_eq!(s.backlog(), 4000);
+            assert_eq!(s.drops(), 0);
+        }
+    }
+}

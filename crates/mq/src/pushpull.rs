@@ -1,0 +1,172 @@
+//! PUSH/PULL: work distribution with back-pressure.
+//!
+//! Ruru Analytics runs a pool of enrichment workers fed from the
+//! measurement stream; PUSH distributes each message to exactly one worker
+//! (fair queueing falls out of workers pulling at their own pace) and, per
+//! ZeroMQ semantics, blocks at the high-water mark instead of dropping —
+//! analytics must see every measurement, unlike the best-effort frontend
+//! feed.
+
+use crate::message::Message;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Create a PUSH/PULL pipe with the given high-water mark.
+///
+/// Both ends are cloneable: multiple pushers feed the same pipe, multiple
+/// pullers drain it (each message goes to exactly one puller).
+pub fn pipe(hwm: usize) -> (Push, Pull) {
+    assert!(hwm > 0, "high-water mark must be positive");
+    let (tx, rx) = bounded(hwm);
+    (Push { tx }, Pull { rx })
+}
+
+/// The sending end of a PUSH/PULL pipe.
+#[derive(Clone)]
+pub struct Push {
+    tx: Sender<Message>,
+}
+
+impl Push {
+    /// Send, blocking while the pipe is at its high-water mark.
+    /// Returns `Err` with the message if every puller is gone.
+    pub fn send(&self, msg: Message) -> Result<(), Message> {
+        self.tx.send(msg).map_err(|e| e.0)
+    }
+
+    /// Non-blocking send; `Err` returns the message when full or
+    /// disconnected.
+    pub fn try_send(&self, msg: Message) -> Result<(), Message> {
+        self.tx.try_send(msg).map_err(|e| e.into_inner())
+    }
+
+    /// Messages currently buffered in the pipe.
+    pub fn backlog(&self) -> usize {
+        self.tx.len()
+    }
+}
+
+/// The receiving end of a PUSH/PULL pipe.
+#[derive(Clone)]
+pub struct Pull {
+    rx: Receiver<Message>,
+}
+
+impl Pull {
+    /// Blocking receive; `None` when every pusher is gone and the pipe is
+    /// drained.
+    pub fn recv(&self) -> Option<Message> {
+        self.rx.recv().ok()
+    }
+
+    /// Receive with a timeout; `None` on timeout or closed-and-drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Messages currently buffered.
+    pub fn backlog(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn messages_flow_in_order_single_consumer() {
+        let (push, pull) = pipe(16);
+        for i in 0..10u8 {
+            push.send(Message::new("t", vec![i])).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(pull.recv().unwrap().payload, &[i][..]);
+        }
+    }
+
+    #[test]
+    fn each_message_goes_to_exactly_one_worker() {
+        let (push, pull) = pipe(100_000);
+        let counters: Vec<Arc<AtomicU64>> = (0..4).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut handles = Vec::new();
+        for c in &counters {
+            let pull = pull.clone();
+            let c = Arc::clone(c);
+            handles.push(std::thread::spawn(move || {
+                while pull.recv().is_some() {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for i in 0..10_000u32 {
+            push.send(Message::new("t", i.to_be_bytes().to_vec())).unwrap();
+        }
+        drop(push);
+        drop(pull);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn try_send_reports_full() {
+        let (push, pull) = pipe(2);
+        push.try_send(Message::new("t", "1")).unwrap();
+        push.try_send(Message::new("t", "2")).unwrap();
+        let rejected = push.try_send(Message::new("t", "3")).unwrap_err();
+        assert_eq!(rejected.payload, &b"3"[..]);
+        assert_eq!(push.backlog(), 2);
+        pull.recv().unwrap();
+        push.try_send(Message::new("t", "3")).unwrap();
+    }
+
+    #[test]
+    fn send_blocks_until_space() {
+        let (push, pull) = pipe(1);
+        push.send(Message::new("t", "a")).unwrap();
+        let t = std::thread::spawn(move || {
+            // blocks until the main thread drains
+            push.send(Message::new("t", "b")).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(pull.recv().unwrap().payload, &b"a"[..]);
+        assert_eq!(pull.recv().unwrap().payload, &b"b"[..]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_none_after_pushers_gone() {
+        let (push, pull) = pipe(4);
+        push.send(Message::new("t", "last")).unwrap();
+        drop(push);
+        assert!(pull.recv().is_some());
+        assert!(pull.recv().is_none());
+    }
+
+    #[test]
+    fn send_errors_when_pullers_gone() {
+        let (push, pull) = pipe(4);
+        drop(pull);
+        let back = push.send(Message::new("t", "x")).unwrap_err();
+        assert_eq!(back.payload, &b"x"[..]);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_push, pull) = pipe(4);
+        assert!(pull.recv_timeout(Duration::from_millis(5)).is_none());
+    }
+}

@@ -1,0 +1,344 @@
+//! Length-prefixed TCP transport for cross-process modules.
+//!
+//! The deployed Ruru runs the DPDK app, the analytics and the frontend feed
+//! as separate processes connected by ZeroMQ over TCP. This module provides
+//! the same: a [`TcpPublisher`] binds and fans out to connected
+//! [`TcpSubscriber`]s, each with a topic prefix sent at connect time.
+//!
+//! Frame format (little-endian):
+//!
+//! ```text
+//! u32 topic_len | topic bytes | u32 payload_len | payload bytes
+//! ```
+//!
+//! The subscription handshake is a single frame from subscriber to
+//! publisher whose *topic* is the requested prefix and whose payload is
+//! empty. Slow subscribers are disconnected rather than allowed to stall
+//! the publisher (the TCP analogue of PUB's drop-on-full).
+
+use crate::message::Message;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum accepted frame component size (defensive bound).
+pub const MAX_PART: usize = 64 * 1024 * 1024;
+
+/// Encode a message into its wire frame.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + msg.len());
+    out.extend_from_slice(&(msg.topic.len() as u32).to_le_bytes());
+    out.extend_from_slice(&msg.topic);
+    out.extend_from_slice(&(msg.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&msg.payload);
+    out
+}
+
+/// Read one frame from a stream; `None` on clean EOF.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Message>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let topic_len = u32::from_le_bytes(len_buf) as usize;
+    if topic_len > MAX_PART {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "topic too large",
+        ));
+    }
+    let mut topic = vec![0u8; topic_len];
+    stream.read_exact(&mut topic)?;
+    stream.read_exact(&mut len_buf)?;
+    let payload_len = u32::from_le_bytes(len_buf) as usize;
+    if payload_len > MAX_PART {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "payload too large",
+        ));
+    }
+    let mut payload = vec![0u8; payload_len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(Message {
+        topic: Bytes::from(topic),
+        payload: Bytes::from(payload),
+    }))
+}
+
+struct Peer {
+    stream: TcpStream,
+    prefix: Vec<u8>,
+}
+
+/// A TCP publisher: binds a listener and fans frames out to subscribers.
+pub struct TcpPublisher {
+    peers: Arc<Mutex<Vec<Peer>>>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    sent: AtomicU64,
+    disconnects: AtomicU64,
+}
+
+impl TcpPublisher {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and start
+    /// accepting subscribers in a background thread.
+    pub fn bind(addr: &str) -> std::io::Result<TcpPublisher> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let peers: Arc<Mutex<Vec<Peer>>> = Arc::new(Mutex::new(Vec::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let peers2 = Arc::clone(&peers);
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("mq-accept".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((mut stream, _)) => {
+                            // Subscription handshake: one frame carrying the
+                            // prefix. Bound the wait so a dead peer can't
+                            // wedge the accept loop.
+                            stream.set_nonblocking(false).ok();
+                            stream
+                                .set_read_timeout(Some(Duration::from_secs(5)))
+                                .ok();
+                            if let Ok(Some(hello)) = read_frame(&mut stream) {
+                                stream
+                                    .set_write_timeout(Some(Duration::from_secs(1)))
+                                    .ok();
+                                stream.set_nodelay(true).ok();
+                                peers2.lock().push(Peer {
+                                    stream,
+                                    prefix: hello.topic.to_vec(),
+                                });
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(TcpPublisher {
+            peers,
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            sent: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connected subscriber count.
+    pub fn peer_count(&self) -> usize {
+        self.peers.lock().len()
+    }
+
+    /// Publish to all matching subscribers; peers whose socket errors
+    /// (including write timeouts from unread backlogs) are disconnected.
+    /// Returns the number of peers written.
+    pub fn publish(&self, msg: &Message) -> usize {
+        let frame = encode_frame(msg);
+        let mut peers = self.peers.lock();
+        let mut written = 0;
+        peers.retain_mut(|peer| {
+            if !msg.matches(&peer.prefix) {
+                return true;
+            }
+            match peer.stream.write_all(&frame) {
+                Ok(()) => {
+                    written += 1;
+                    true
+                }
+                Err(_) => {
+                    self.disconnects.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+        });
+        self.sent.fetch_add(written as u64, Ordering::Relaxed);
+        written
+    }
+
+    /// (frames written, peers disconnected) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.sent.load(Ordering::Relaxed),
+            self.disconnects.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Drop for TcpPublisher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A TCP subscriber: connects, sends its prefix, then reads frames.
+pub struct TcpSubscriber {
+    stream: TcpStream,
+}
+
+impl TcpSubscriber {
+    /// Connect to a publisher and subscribe to `prefix`.
+    pub fn connect(addr: SocketAddr, prefix: impl AsRef<[u8]>) -> std::io::Result<TcpSubscriber> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let hello = Message::new(prefix.as_ref().to_vec(), Bytes::new());
+        stream.write_all(&encode_frame(&hello))?;
+        Ok(TcpSubscriber { stream })
+    }
+
+    /// Blocking receive of the next frame; `None` when the publisher closed.
+    pub fn recv(&mut self) -> std::io::Result<Option<Message>> {
+        read_frame(&mut self.stream)
+    }
+
+    /// Set a read timeout for [`TcpSubscriber::recv`].
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wait_for_peers(publisher: &TcpPublisher, n: usize) {
+        for _ in 0..500 {
+            if publisher.peer_count() >= n {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("peers never connected");
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let msg = Message::new("topic", vec![1u8, 2, 3, 4]);
+        let frame = encode_frame(&msg);
+        let mut cursor = &frame[..];
+        let got = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(got, msg);
+        // Clean EOF afterwards.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_frame(&mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_error() {
+        let msg = Message::new("t", "payload");
+        let frame = encode_frame(&msg);
+        let cut = &frame[..frame.len() - 2];
+        assert!(read_frame(&mut &cut[..]).is_err());
+    }
+
+    #[test]
+    fn publish_subscribe_over_tcp() {
+        let publisher = TcpPublisher::bind("127.0.0.1:0").unwrap();
+        let mut sub = TcpSubscriber::connect(publisher.local_addr(), "latency").unwrap();
+        wait_for_peers(&publisher, 1);
+
+        publisher.publish(&Message::new("latency.v4", "m1"));
+        publisher.publish(&Message::new("alerts", "ignored"));
+        publisher.publish(&Message::new("latency.v6", "m2"));
+
+        let m1 = sub.recv().unwrap().unwrap();
+        assert_eq!(m1.topic, &b"latency.v4"[..]);
+        assert_eq!(m1.payload, &b"m1"[..]);
+        let m2 = sub.recv().unwrap().unwrap();
+        assert_eq!(m2.payload, &b"m2"[..]);
+    }
+
+    #[test]
+    fn multiple_subscribers_with_different_prefixes() {
+        let publisher = TcpPublisher::bind("127.0.0.1:0").unwrap();
+        let mut all = TcpSubscriber::connect(publisher.local_addr(), "").unwrap();
+        let mut only_a = TcpSubscriber::connect(publisher.local_addr(), "a").unwrap();
+        wait_for_peers(&publisher, 2);
+
+        let n = publisher.publish(&Message::new("a.x", "1"));
+        assert_eq!(n, 2);
+        let n = publisher.publish(&Message::new("b.y", "2"));
+        assert_eq!(n, 1);
+
+        assert_eq!(all.recv().unwrap().unwrap().payload, &b"1"[..]);
+        assert_eq!(all.recv().unwrap().unwrap().payload, &b"2"[..]);
+        assert_eq!(only_a.recv().unwrap().unwrap().payload, &b"1"[..]);
+    }
+
+    #[test]
+    fn subscriber_sees_eof_on_publisher_drop() {
+        let publisher = TcpPublisher::bind("127.0.0.1:0").unwrap();
+        let mut sub = TcpSubscriber::connect(publisher.local_addr(), "").unwrap();
+        wait_for_peers(&publisher, 1);
+        publisher.publish(&Message::new("t", "bye"));
+        drop(publisher);
+        assert_eq!(sub.recv().unwrap().unwrap().payload, &b"bye"[..]);
+        assert!(sub.recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn dead_subscriber_is_dropped_on_publish() {
+        let publisher = TcpPublisher::bind("127.0.0.1:0").unwrap();
+        let sub = TcpSubscriber::connect(publisher.local_addr(), "").unwrap();
+        wait_for_peers(&publisher, 1);
+        drop(sub);
+        // Publishing into a closed socket errors (possibly after a few
+        // buffered successes); the peer must eventually be pruned.
+        for _ in 0..10_000 {
+            publisher.publish(&Message::new("t", vec![0u8; 4096]));
+            if publisher.peer_count() == 0 {
+                break;
+            }
+        }
+        assert_eq!(publisher.peer_count(), 0);
+        assert_eq!(publisher.stats().1, 1);
+    }
+
+    #[test]
+    fn many_frames_preserve_order_and_content() {
+        let publisher = TcpPublisher::bind("127.0.0.1:0").unwrap();
+        let mut sub = TcpSubscriber::connect(publisher.local_addr(), "").unwrap();
+        wait_for_peers(&publisher, 1);
+        let reader = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for _ in 0..1000 {
+                let m = sub.recv().unwrap().unwrap();
+                got.push(u32::from_le_bytes(m.payload[..4].try_into().unwrap()));
+            }
+            got
+        });
+        for i in 0..1000u32 {
+            publisher.publish(&Message::new("t", i.to_le_bytes().to_vec()));
+        }
+        let got = reader.join().unwrap();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+}

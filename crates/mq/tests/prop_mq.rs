@@ -1,0 +1,77 @@
+//! Property tests for the message bus: delivery accounting, topic-prefix
+//! semantics, and TCP frame codec round-trips.
+
+use proptest::prelude::*;
+use ruru_mq::tcp::{encode_frame, read_frame};
+use ruru_mq::{pipe, Message, Publisher};
+
+proptest! {
+    /// `published == delivered + dropped` per subscriber, and only matching
+    /// topics are delivered.
+    #[test]
+    fn pubsub_accounting(topics in proptest::collection::vec("[a-c]{0,3}", 1..50),
+                         prefix in "[a-c]{0,2}", hwm in 1usize..16) {
+        let publisher = Publisher::new();
+        let sub = publisher.subscribe(prefix.as_bytes(), hwm);
+        let mut expected_matches = 0usize;
+        for t in &topics {
+            publisher.publish(Message::new(t.clone(), "x"));
+            if t.as_bytes().starts_with(prefix.as_bytes()) {
+                expected_matches += 1;
+            }
+        }
+        let delivered = sub.backlog();
+        let dropped = sub.drops() as usize;
+        prop_assert_eq!(delivered + dropped, expected_matches);
+        prop_assert!(delivered <= hwm);
+        // Everything in the queue matches the prefix.
+        while let Some(m) = sub.try_recv() {
+            prop_assert!(m.topic.starts_with(prefix.as_bytes()));
+        }
+    }
+
+    /// PUSH/PULL conserves messages in FIFO order for any payload sizes.
+    #[test]
+    fn pushpull_conserves(payload_sizes in proptest::collection::vec(0usize..512, 0..64)) {
+        let (push, pull) = pipe(1024);
+        for (i, size) in payload_sizes.iter().enumerate() {
+            let mut body = vec![0u8; *size];
+            if !body.is_empty() {
+                body[0] = i as u8;
+            }
+            push.send(Message::new("t", body)).unwrap();
+        }
+        drop(push);
+        let mut received = 0usize;
+        while let Some(m) = pull.recv() {
+            prop_assert_eq!(m.payload.len(), payload_sizes[received]);
+            if !m.payload.is_empty() {
+                prop_assert_eq!(m.payload[0], received as u8);
+            }
+            received += 1;
+        }
+        prop_assert_eq!(received, payload_sizes.len());
+    }
+
+    /// The TCP frame codec round-trips arbitrary topic/payload bytes, and
+    /// sequences of frames parse back in order.
+    #[test]
+    fn tcp_frames_roundtrip(frames in proptest::collection::vec(
+        (proptest::collection::vec(any::<u8>(), 0..32),
+         proptest::collection::vec(any::<u8>(), 0..256)), 0..12)) {
+        let mut wire = Vec::new();
+        for (topic, payload) in &frames {
+            wire.extend_from_slice(&encode_frame(&Message::new(
+                topic.clone(),
+                payload.clone(),
+            )));
+        }
+        let mut cursor = &wire[..];
+        for (topic, payload) in &frames {
+            let m = read_frame(&mut cursor).unwrap().expect("frame present");
+            prop_assert_eq!(&m.topic[..], &topic[..]);
+            prop_assert_eq!(&m.payload[..], &payload[..]);
+        }
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+}

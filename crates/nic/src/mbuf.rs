@@ -1,0 +1,328 @@
+//! Packet buffers (`rte_mbuf`) and the pre-allocated pool (`rte_mempool`).
+//!
+//! DPDK never allocates on the datapath: packets live in fixed-size buffers
+//! drawn from a pool created at startup, and are returned to it when the
+//! application is done. [`MbufPool`] reproduces this with a lock-free
+//! free-list; [`Mbuf`] carries the same receive metadata DPDK attaches in
+//! the RX descriptor: the RSS hash, the arrival timestamp and the input
+//! queue.
+
+use crate::clock::Timestamp;
+use crossbeam::queue::ArrayQueue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default data-room size of a pool buffer (DPDK's conventional 2 KiB).
+pub const DEFAULT_BUF_SIZE: usize = 2048;
+
+/// A packet buffer with receive metadata.
+///
+/// Dropping an `Mbuf` returns its storage to the originating pool
+/// automatically, so workers can simply let bufs go out of scope — the
+/// analogue of `rte_pktmbuf_free`.
+pub struct Mbuf {
+    storage: Option<Box<[u8]>>,
+    len: usize,
+    /// RSS hash computed by the (simulated) NIC.
+    pub rss_hash: u32,
+    /// Queue the packet was delivered to.
+    pub queue_id: u16,
+    /// Arrival timestamp stamped by the RX path.
+    pub timestamp: Timestamp,
+    pool: Option<Arc<PoolInner>>,
+}
+
+impl Mbuf {
+    /// A standalone mbuf not tied to any pool (tests, generators).
+    pub fn from_bytes(data: &[u8]) -> Mbuf {
+        let mut storage = vec![0u8; data.len().max(1)].into_boxed_slice();
+        storage[..data.len()].copy_from_slice(data);
+        Mbuf {
+            storage: Some(storage),
+            len: data.len(),
+            rss_hash: 0,
+            queue_id: 0,
+            timestamp: Timestamp::ZERO,
+            pool: None,
+        }
+    }
+
+    /// The packet bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.storage.as_ref().expect("mbuf storage present")[..self.len]
+    }
+
+    /// Mutable access to the packet bytes.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.storage.as_mut().expect("mbuf storage present")[..self.len]
+    }
+
+    /// Packet length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the packet has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Shrink or grow (within capacity) the packet length.
+    pub fn set_len(&mut self, len: usize) {
+        assert!(
+            len <= self.capacity(),
+            "mbuf data length {len} exceeds capacity {}",
+            self.capacity()
+        );
+        self.len = len;
+    }
+
+    /// Total data room of the underlying buffer.
+    pub fn capacity(&self) -> usize {
+        self.storage.as_ref().expect("mbuf storage present").len()
+    }
+}
+
+impl Drop for Mbuf {
+    fn drop(&mut self) {
+        if let (Some(storage), Some(pool)) = (self.storage.take(), self.pool.take()) {
+            pool.put_back(storage);
+        }
+    }
+}
+
+impl core::fmt::Debug for Mbuf {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Mbuf")
+            .field("len", &self.len)
+            .field("rss_hash", &format_args!("{:#010x}", self.rss_hash))
+            .field("queue_id", &self.queue_id)
+            .field("timestamp", &self.timestamp)
+            .field("pooled", &self.pool.is_some())
+            .finish()
+    }
+}
+
+struct PoolInner {
+    free: ArrayQueue<Box<[u8]>>,
+    buf_size: usize,
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    exhaustions: AtomicU64,
+}
+
+impl PoolInner {
+    fn put_back(&self, storage: Box<[u8]>) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        // If the pool somehow receives more buffers than capacity, drop the
+        // excess on the floor (cannot happen through the public API).
+        let _ = self.free.push(storage);
+    }
+}
+
+/// A fixed-capacity pool of packet buffers.
+///
+/// ```
+/// use ruru_nic::mbuf::MbufPool;
+/// let pool = MbufPool::new(4, 2048);
+/// let a = pool.alloc(&[1, 2, 3]).unwrap();
+/// assert_eq!(pool.available(), 3);
+/// drop(a);
+/// assert_eq!(pool.available(), 4);
+/// ```
+#[derive(Clone)]
+pub struct MbufPool {
+    inner: Arc<PoolInner>,
+}
+
+impl MbufPool {
+    /// Pre-allocate `count` buffers of `buf_size` bytes each.
+    pub fn new(count: usize, buf_size: usize) -> MbufPool {
+        assert!(count > 0, "pool must hold at least one buffer");
+        assert!(buf_size > 0, "buffer size must be positive");
+        let free = ArrayQueue::new(count);
+        for _ in 0..count {
+            free.push(vec![0u8; buf_size].into_boxed_slice()).expect("queue sized for count");
+        }
+        MbufPool {
+            inner: Arc::new(PoolInner {
+                free,
+                buf_size,
+                allocs: AtomicU64::new(0),
+                frees: AtomicU64::new(0),
+                exhaustions: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A pool with the conventional 2 KiB buffers.
+    pub fn with_default_bufs(count: usize) -> MbufPool {
+        Self::new(count, DEFAULT_BUF_SIZE)
+    }
+
+    /// Allocate a buffer and copy `data` into it.
+    ///
+    /// Returns `None` when the pool is exhausted (counted in
+    /// [`MbufPoolStats::exhaustions`]) or `data` exceeds the buffer size —
+    /// the dataplane treats both as an RX drop.
+    pub fn alloc(&self, data: &[u8]) -> Option<Mbuf> {
+        if data.len() > self.inner.buf_size {
+            return None;
+        }
+        match self.inner.free.pop() {
+            Some(mut storage) => {
+                self.inner.allocs.fetch_add(1, Ordering::Relaxed);
+                storage[..data.len()].copy_from_slice(data);
+                Some(Mbuf {
+                    storage: Some(storage),
+                    len: data.len(),
+                    rss_hash: 0,
+                    queue_id: 0,
+                    timestamp: Timestamp::ZERO,
+                    pool: Some(Arc::clone(&self.inner)),
+                })
+            }
+            None => {
+                self.inner.exhaustions.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Buffers currently available.
+    pub fn available(&self) -> usize {
+        self.inner.free.len()
+    }
+
+    /// The data room of each buffer.
+    pub fn buf_size(&self) -> usize {
+        self.inner.buf_size
+    }
+
+    /// Counters since pool creation.
+    pub fn stats(&self) -> MbufPoolStats {
+        MbufPoolStats {
+            allocs: self.inner.allocs.load(Ordering::Relaxed),
+            frees: self.inner.frees.load(Ordering::Relaxed),
+            exhaustions: self.inner.exhaustions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl core::fmt::Debug for MbufPool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MbufPool")
+            .field("available", &self.available())
+            .field("buf_size", &self.inner.buf_size)
+            .finish()
+    }
+}
+
+/// Allocation counters for a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MbufPoolStats {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Buffers returned.
+    pub frees: u64,
+    /// Allocation attempts that found the pool empty.
+    pub exhaustions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_copies_data() {
+        let pool = MbufPool::new(2, 64);
+        let m = pool.alloc(&[5, 6, 7]).unwrap();
+        assert_eq!(m.data(), &[5, 6, 7]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.capacity(), 64);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_and_counts() {
+        let pool = MbufPool::new(1, 64);
+        let _a = pool.alloc(&[0]).unwrap();
+        assert!(pool.alloc(&[0]).is_none());
+        assert_eq!(pool.stats().exhaustions, 1);
+    }
+
+    #[test]
+    fn drop_returns_buffer_to_pool() {
+        let pool = MbufPool::new(1, 64);
+        let m = pool.alloc(&[1]).unwrap();
+        assert_eq!(pool.available(), 0);
+        drop(m);
+        assert_eq!(pool.available(), 1);
+        let stats = pool.stats();
+        assert_eq!(stats.allocs, 1);
+        assert_eq!(stats.frees, 1);
+        // Buffer is reusable.
+        let m2 = pool.alloc(&[2, 3]).unwrap();
+        assert_eq!(m2.data(), &[2, 3]);
+    }
+
+    #[test]
+    fn oversized_packet_rejected() {
+        let pool = MbufPool::new(1, 4);
+        assert!(pool.alloc(&[0; 5]).is_none());
+        assert_eq!(pool.available(), 1, "no buffer leaked");
+    }
+
+    #[test]
+    fn pool_is_shared_across_clones() {
+        let pool = MbufPool::new(2, 64);
+        let clone = pool.clone();
+        let _m = clone.alloc(&[1]).unwrap();
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn from_bytes_is_pool_free() {
+        let m = Mbuf::from_bytes(&[1, 2]);
+        assert_eq!(m.data(), &[1, 2]);
+        drop(m); // must not panic
+    }
+
+    #[test]
+    fn set_len_within_capacity() {
+        let pool = MbufPool::new(1, 64);
+        let mut m = pool.alloc(&[0; 10]).unwrap();
+        m.set_len(5);
+        assert_eq!(m.len(), 5);
+        m.set_len(64);
+        assert_eq!(m.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn set_len_beyond_capacity_panics() {
+        let mut m = Mbuf::from_bytes(&[0; 4]);
+        m.set_len(100);
+    }
+
+    #[test]
+    fn concurrent_alloc_free() {
+        let pool = MbufPool::new(64, 128);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    if let Some(m) = pool.alloc(&(i + t).to_be_bytes()) {
+                        assert_eq!(m.data().len(), 4);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.available(), 64, "all buffers returned");
+        let s = pool.stats();
+        assert_eq!(s.allocs, s.frees);
+    }
+}

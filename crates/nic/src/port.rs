@@ -1,0 +1,532 @@
+//! A multi-queue port: the simulated NIC.
+//!
+//! Packets enter on the wire side via [`Port::inject`] (in deployment this
+//! is the optical tap; here, the traffic generator). The port stamps the
+//! arrival timestamp, computes the RSS hash from the TCP/IP 4-tuple,
+//! allocates an mbuf from the pool and delivers it to the per-queue SPSC
+//! ring selected by the redirection table. Worker cores drain queues with
+//! [`RxQueue::rx_burst`], exactly like `rte_eth_rx_burst`.
+//!
+//! Drop accounting mirrors hardware: pool exhaustion and ring overflow are
+//! both RX drops (`imissed`), visible in [`PortStats`].
+
+use crate::clock::{Clock, Timestamp};
+use crate::mbuf::{Mbuf, MbufPool};
+use crate::ring::{self, Consumer, Producer};
+use crate::rss::RssHasher;
+use ruru_wire::{ethernet, ipv4, ipv6, tcp, IpAddress};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of a simulated port.
+#[derive(Debug, Clone)]
+pub struct PortConfig {
+    /// Number of RX queues (one worker core each).
+    pub num_queues: u16,
+    /// Depth of each RX ring (rounded up to a power of two).
+    pub queue_depth: usize,
+    /// Number of mbufs in the pool.
+    pub pool_size: usize,
+    /// Data room of each mbuf.
+    pub buf_size: usize,
+    /// Use the symmetric RSS key (Ruru's configuration). When false, the
+    /// standard Microsoft key is used — the ablation case.
+    pub symmetric_rss: bool,
+}
+
+impl Default for PortConfig {
+    fn default() -> Self {
+        PortConfig {
+            num_queues: 4,
+            queue_depth: 4096,
+            pool_size: 16384,
+            buf_size: crate::mbuf::DEFAULT_BUF_SIZE,
+            symmetric_rss: true,
+        }
+    }
+}
+
+#[derive(Default)]
+struct QueueCounters {
+    packets: AtomicU64,
+    bytes: AtomicU64,
+    ring_full_drops: AtomicU64,
+}
+
+struct Shared {
+    counters: Box<[QueueCounters]>,
+    no_mbuf_drops: AtomicU64,
+    non_ip_packets: AtomicU64,
+}
+
+/// Aggregate statistics of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortStats {
+    /// Packets delivered to queues.
+    pub rx_packets: u64,
+    /// Bytes delivered to queues.
+    pub rx_bytes: u64,
+    /// Packets dropped: pool exhausted.
+    pub no_mbuf_drops: u64,
+    /// Packets dropped: destination ring full.
+    pub ring_full_drops: u64,
+    /// Packets that were not IPv4/IPv6 TCP (delivered with hash 0).
+    pub non_ip_packets: u64,
+}
+
+/// Per-queue statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Packets delivered to this queue.
+    pub packets: u64,
+    /// Bytes delivered to this queue.
+    pub bytes: u64,
+    /// Packets dropped because this ring was full.
+    pub ring_full_drops: u64,
+}
+
+/// The receive handle of one queue, owned by one worker core.
+pub struct RxQueue {
+    /// Queue index on the port.
+    pub queue_id: u16,
+    consumer: Consumer<Mbuf>,
+    shared: Arc<Shared>,
+}
+
+impl RxQueue {
+    /// Drain up to `max` packets into `out`; returns how many were received.
+    pub fn rx_burst(&mut self, out: &mut Vec<Mbuf>, max: usize) -> usize {
+        self.consumer.pop_burst(out, max)
+    }
+
+    /// Packets currently waiting in this queue.
+    pub fn backlog(&self) -> usize {
+        self.consumer.len()
+    }
+
+    /// Statistics for this queue.
+    pub fn stats(&self) -> QueueStats {
+        let c = &self.shared.counters[self.queue_id as usize];
+        QueueStats {
+            packets: c.packets.load(Ordering::Relaxed),
+            bytes: c.bytes.load(Ordering::Relaxed),
+            ring_full_drops: c.ring_full_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The injection (wire) side of the port; single-threaded like a DPDK PMD's
+/// RX descriptor ring fill path.
+pub struct Port {
+    config: PortConfig,
+    pool: MbufPool,
+    hasher: RssHasher,
+    clock: Clock,
+    producers: Vec<Producer<Mbuf>>,
+    rx_queues: Vec<Option<RxQueue>>,
+    shared: Arc<Shared>,
+}
+
+impl Port {
+    /// Create a port with the given configuration and timestamp source.
+    pub fn new(config: PortConfig, clock: Clock) -> Port {
+        assert!(config.num_queues > 0, "need at least one queue");
+        let pool = MbufPool::new(config.pool_size, config.buf_size);
+        let hasher = if config.symmetric_rss {
+            RssHasher::symmetric(config.num_queues)
+        } else {
+            RssHasher::microsoft(config.num_queues)
+        };
+        let shared = Arc::new(Shared {
+            counters: (0..config.num_queues)
+                .map(|_| QueueCounters::default())
+                .collect(),
+            no_mbuf_drops: AtomicU64::new(0),
+            non_ip_packets: AtomicU64::new(0),
+        });
+        let mut producers = Vec::with_capacity(config.num_queues as usize);
+        let mut rx_queues = Vec::with_capacity(config.num_queues as usize);
+        for q in 0..config.num_queues {
+            let (p, c) = ring::ring(config.queue_depth);
+            producers.push(p);
+            rx_queues.push(Some(RxQueue {
+                queue_id: q,
+                consumer: c,
+                shared: Arc::clone(&shared),
+            }));
+        }
+        Port {
+            config,
+            pool,
+            hasher,
+            clock,
+            producers,
+            rx_queues,
+            shared,
+        }
+    }
+
+    /// Take ownership of queue `q`'s receive handle (once).
+    pub fn take_rx_queue(&mut self, q: u16) -> RxQueue {
+        self.rx_queues[q as usize]
+            .take()
+            .expect("rx queue already taken")
+    }
+
+    /// Take all remaining receive handles.
+    pub fn take_all_rx_queues(&mut self) -> Vec<RxQueue> {
+        self.rx_queues.iter_mut().filter_map(|q| q.take()).collect()
+    }
+
+    /// The port's mbuf pool (shared; useful for monitoring).
+    pub fn pool(&self) -> &MbufPool {
+        &self.pool
+    }
+
+    /// The RSS hasher (useful for predicting queue placement in tests).
+    pub fn hasher(&self) -> &RssHasher {
+        &self.hasher
+    }
+
+    /// The port configuration.
+    pub fn config(&self) -> &PortConfig {
+        &self.config
+    }
+
+    /// Extract the TCP/IP 4-tuple a NIC would feed to RSS.
+    ///
+    /// Returns `None` for non-IP, non-TCP, fragmented or truncated packets —
+    /// those get hash 0 (what hardware does when the configured hash fields
+    /// are absent).
+    pub fn parse_rss_tuple(frame: &[u8]) -> Option<(IpAddress, IpAddress, u16, u16)> {
+        let eth = ethernet::Frame::new_checked(frame).ok()?;
+        match eth.ethertype() {
+            ethernet::EtherType::Ipv4 => {
+                let ip = ipv4::Packet::new_checked(eth.payload()).ok()?;
+                if ip.protocol() != ipv4::Protocol::Tcp || ip.is_non_initial_fragment() {
+                    return None;
+                }
+                let seg = tcp::Packet::new_checked(ip.payload()).ok()?;
+                Some((
+                    IpAddress::V4(ip.src()),
+                    IpAddress::V4(ip.dst()),
+                    seg.src_port(),
+                    seg.dst_port(),
+                ))
+            }
+            ethernet::EtherType::Ipv6 => {
+                let ip = ipv6::Packet::new_checked(eth.payload()).ok()?;
+                let (proto, payload) = ip.upper_layer().ok()?;
+                if proto != ipv4::Protocol::Tcp {
+                    return None;
+                }
+                let seg = tcp::Packet::new_checked(payload).ok()?;
+                Some((
+                    IpAddress::V6(ip.src()),
+                    IpAddress::V6(ip.dst()),
+                    seg.src_port(),
+                    seg.dst_port(),
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// Deliver one frame from the wire at the current clock time.
+    ///
+    /// Returns the queue it was delivered to, or `None` if it was dropped
+    /// (pool exhausted or ring full).
+    pub fn inject(&mut self, frame: &[u8]) -> Option<u16> {
+        self.inject_at(frame, self.clock.now())
+    }
+
+    /// Deliver one frame with an explicit arrival timestamp (used when the
+    /// generator batches simulated time).
+    pub fn inject_at(&mut self, frame: &[u8], timestamp: Timestamp) -> Option<u16> {
+        let hash = match Self::parse_rss_tuple(frame) {
+            Some((src, dst, sp, dp)) => self.hasher.hash_tuple(src, dst, sp, dp),
+            None => {
+                self.shared.non_ip_packets.fetch_add(1, Ordering::Relaxed);
+                0
+            }
+        };
+        let queue = self.hasher.queue_for(hash);
+        let Some(mut mbuf) = self.pool.alloc(frame) else {
+            self.shared.no_mbuf_drops.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        mbuf.rss_hash = hash;
+        mbuf.queue_id = queue;
+        mbuf.timestamp = timestamp;
+        let len = frame.len() as u64;
+        match self.producers[queue as usize].push(mbuf) {
+            Ok(()) => {
+                let c = &self.shared.counters[queue as usize];
+                c.packets.fetch_add(1, Ordering::Relaxed);
+                c.bytes.fetch_add(len, Ordering::Relaxed);
+                Some(queue)
+            }
+            Err(_mbuf) => {
+                // The mbuf drops here, returning its buffer to the pool.
+                self.shared.counters[queue as usize]
+                    .ring_full_drops
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Aggregate statistics across queues.
+    pub fn stats(&self) -> PortStats {
+        let mut s = PortStats {
+            no_mbuf_drops: self.shared.no_mbuf_drops.load(Ordering::Relaxed),
+            non_ip_packets: self.shared.non_ip_packets.load(Ordering::Relaxed),
+            ..PortStats::default()
+        };
+        for c in self.shared.counters.iter() {
+            s.rx_packets += c.packets.load(Ordering::Relaxed);
+            s.rx_bytes += c.bytes.load(Ordering::Relaxed);
+            s.ring_full_drops += c.ring_full_drops.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruru_wire::checksum::PseudoHeader;
+
+    /// Build a minimal Ethernet+IPv4+TCP frame.
+    fn tcp_frame(
+        src: [u8; 4],
+        dst: [u8; 4],
+        sport: u16,
+        dport: u16,
+        flags: tcp::Flags,
+    ) -> Vec<u8> {
+        let tcp_repr = tcp::Repr {
+            src_port: sport,
+            dst_port: dport,
+            seq: 1,
+            ack: 0,
+            flags,
+            window: 65535,
+            options: tcp::OptionList::default(),
+        };
+        let ip_repr = ipv4::Repr {
+            src: ipv4::Address(src),
+            dst: ipv4::Address(dst),
+            protocol: ipv4::Protocol::Tcp,
+            ttl: 64,
+            payload_len: tcp_repr.header_len(),
+        };
+        let mut buf = vec![0u8; ethernet::HEADER_LEN + ip_repr.total_len()];
+        ethernet::Repr {
+            src: ethernet::Address([2, 0, 0, 0, 0, 1]),
+            dst: ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ethertype: ethernet::EtherType::Ipv4,
+        }
+        .emit(&mut ethernet::Frame::new_unchecked(&mut buf[..]));
+        let mut ip = ipv4::Packet::new_unchecked(&mut buf[ethernet::HEADER_LEN..]);
+        ip_repr.emit(&mut ip);
+        let ph: PseudoHeader = ip_repr.pseudo_header();
+        let mut seg = tcp::Packet::new_unchecked(ip.payload_mut());
+        tcp_repr.emit(&mut seg, &ph);
+        buf
+    }
+
+    fn small_port(queues: u16) -> Port {
+        Port::new(
+            PortConfig {
+                num_queues: queues,
+                queue_depth: 64,
+                pool_size: 128,
+                buf_size: 2048,
+                symmetric_rss: true,
+            },
+            Clock::virtual_clock(),
+        )
+    }
+
+    #[test]
+    fn inject_delivers_to_rss_queue() {
+        let mut port = small_port(4);
+        let frame = tcp_frame([10, 0, 0, 1], [10, 0, 0, 2], 40000, 443, tcp::Flags::SYN);
+        let q = port.inject(&frame).unwrap();
+        let mut rx = port.take_rx_queue(q);
+        let mut out = Vec::new();
+        assert_eq!(rx.rx_burst(&mut out, 32), 1);
+        assert_eq!(out[0].data(), &frame[..]);
+        assert_eq!(out[0].queue_id, q);
+    }
+
+    #[test]
+    fn both_directions_land_on_same_queue() {
+        let mut port = small_port(8);
+        let syn = tcp_frame([130, 216, 1, 2], [128, 9, 160, 1], 51000, 443, tcp::Flags::SYN);
+        let synack = tcp_frame(
+            [128, 9, 160, 1],
+            [130, 216, 1, 2],
+            443,
+            51000,
+            tcp::Flags::SYN | tcp::Flags::ACK,
+        );
+        let q1 = port.inject(&syn).unwrap();
+        let q2 = port.inject(&synack).unwrap();
+        assert_eq!(q1, q2, "symmetric RSS: both handshake directions colocate");
+    }
+
+    #[test]
+    fn asymmetric_rss_can_split_directions() {
+        let mut port = Port::new(
+            PortConfig {
+                num_queues: 8,
+                symmetric_rss: false,
+                ..PortConfig::default()
+            },
+            Clock::virtual_clock(),
+        );
+        // Find some flow whose directions split (most do under the MS key).
+        let mut split = false;
+        for i in 0..32u16 {
+            let syn = tcp_frame([10, 0, 0, 1], [10, 0, 0, 2], 40000 + i, 443, tcp::Flags::SYN);
+            let synack = tcp_frame(
+                [10, 0, 0, 2],
+                [10, 0, 0, 1],
+                443,
+                40000 + i,
+                tcp::Flags::SYN | tcp::Flags::ACK,
+            );
+            if port.inject(&syn) != port.inject(&synack) {
+                split = true;
+                break;
+            }
+        }
+        assert!(split, "Microsoft key should split some flows");
+    }
+
+    #[test]
+    fn timestamp_comes_from_clock() {
+        let clock = Clock::virtual_clock();
+        let mut port = Port::new(
+            PortConfig {
+                num_queues: 1,
+                ..PortConfig::default()
+            },
+            clock.clone(),
+        );
+        clock.advance(12_345);
+        let frame = tcp_frame([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, tcp::Flags::SYN);
+        port.inject(&frame).unwrap();
+        let mut rx = port.take_rx_queue(0);
+        let mut out = Vec::new();
+        rx.rx_burst(&mut out, 1);
+        assert_eq!(out[0].timestamp.as_nanos(), 12_345);
+    }
+
+    #[test]
+    fn non_tcp_packet_gets_hash_zero() {
+        let mut port = small_port(2);
+        let garbage = vec![0xffu8; 60];
+        port.inject(&garbage).unwrap();
+        assert_eq!(port.stats().non_ip_packets, 1);
+        let q0_expected = port.hasher().queue_for(0);
+        let mut rx = port.take_rx_queue(q0_expected);
+        let mut out = Vec::new();
+        assert_eq!(rx.rx_burst(&mut out, 8), 1);
+        assert_eq!(out[0].rss_hash, 0);
+    }
+
+    #[test]
+    fn ring_overflow_counts_drops() {
+        let mut port = Port::new(
+            PortConfig {
+                num_queues: 1,
+                queue_depth: 4,
+                pool_size: 64,
+                buf_size: 2048,
+                symmetric_rss: true,
+            },
+            Clock::virtual_clock(),
+        );
+        let frame = tcp_frame([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, tcp::Flags::SYN);
+        for _ in 0..10 {
+            port.inject(&frame);
+        }
+        let s = port.stats();
+        assert_eq!(s.rx_packets, 4);
+        assert_eq!(s.ring_full_drops, 6);
+    }
+
+    #[test]
+    fn pool_exhaustion_counts_drops() {
+        let mut port = Port::new(
+            PortConfig {
+                num_queues: 1,
+                queue_depth: 1024,
+                pool_size: 3,
+                buf_size: 2048,
+                symmetric_rss: true,
+            },
+            Clock::virtual_clock(),
+        );
+        let frame = tcp_frame([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, tcp::Flags::SYN);
+        for _ in 0..5 {
+            port.inject(&frame);
+        }
+        let s = port.stats();
+        assert_eq!(s.rx_packets, 3);
+        assert_eq!(s.no_mbuf_drops, 2);
+    }
+
+    #[test]
+    fn freeing_mbufs_releases_pool_buffers() {
+        let mut port = Port::new(
+            PortConfig {
+                num_queues: 1,
+                queue_depth: 8,
+                pool_size: 2,
+                buf_size: 2048,
+                symmetric_rss: true,
+            },
+            Clock::virtual_clock(),
+        );
+        let frame = tcp_frame([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, tcp::Flags::SYN);
+        let mut rx = port.take_rx_queue(0);
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            assert!(port.inject(&frame).is_some());
+            rx.rx_burst(&mut out, 8);
+            out.clear(); // drop mbufs -> return to pool
+        }
+        assert_eq!(port.stats().rx_packets, 10);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let mut port = small_port(1);
+        let frame = tcp_frame([1, 1, 1, 1], [2, 2, 2, 2], 1, 2, tcp::Flags::SYN);
+        port.inject(&frame).unwrap();
+        port.inject(&frame).unwrap();
+        assert_eq!(port.stats().rx_bytes, 2 * frame.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn queue_cannot_be_taken_twice() {
+        let mut port = small_port(1);
+        let _a = port.take_rx_queue(0);
+        let _b = port.take_rx_queue(0);
+    }
+
+    #[test]
+    fn take_all_returns_each_queue_once() {
+        let mut port = small_port(4);
+        let _q2 = port.take_rx_queue(2);
+        let rest = port.take_all_rx_queues();
+        assert_eq!(rest.len(), 3);
+        let ids: Vec<u16> = rest.iter().map(|q| q.queue_id).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+    }
+}

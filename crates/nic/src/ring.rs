@@ -1,0 +1,325 @@
+//! A bounded lock-free single-producer single-consumer ring — the
+//! `rte_ring` (SP/SC mode) analogue.
+//!
+//! Each RX queue of a [`crate::port::Port`] is one of these: the simulated
+//! NIC is the single producer, the worker lcore polling the queue is the
+//! single consumer. Like `rte_ring`, capacity is a power of two and burst
+//! enqueue/dequeue operations amortize the atomic traffic.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct RingInner<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the producer writes (monotonic, wrapped by `mask`).
+    head: AtomicUsize,
+    /// Next slot the consumer reads.
+    tail: AtomicUsize,
+    /// Items rejected because the ring was full.
+    drops: AtomicU64,
+}
+
+// SAFETY: the producer only writes slots in [tail+len, head) and the consumer
+// only reads slots in [tail, head); the head/tail Acquire/Release pairs order
+// those accesses. T must be Send for values to cross the thread boundary.
+unsafe impl<T: Send> Send for RingInner<T> {}
+unsafe impl<T: Send> Sync for RingInner<T> {}
+
+impl<T> Drop for RingInner<T> {
+    fn drop(&mut self) {
+        // Drain any items still in the ring so their destructors run.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in tail..head {
+            // SAFETY: slots in [tail, head) hold initialized values and we
+            // have exclusive access in Drop.
+            unsafe {
+                (*self.slots[i & self.mask].get()).assume_init_drop();
+            }
+        }
+    }
+}
+
+/// The producer half of an SPSC ring.
+pub struct Producer<T> {
+    inner: Arc<RingInner<T>>,
+    /// Producer-local cache of the consumer's tail, refreshed on apparent
+    /// fullness to avoid cacheline ping-pong on every enqueue.
+    cached_tail: usize,
+}
+
+/// The consumer half of an SPSC ring.
+pub struct Consumer<T> {
+    inner: Arc<RingInner<T>>,
+    /// Consumer-local cache of the producer's head.
+    cached_head: usize,
+}
+
+/// Create an SPSC ring with capacity `capacity` (rounded up to a power of
+/// two, minimum 2).
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(RingInner {
+        slots,
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        drops: AtomicU64::new(0),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+            cached_tail: 0,
+        },
+        Consumer {
+            inner,
+            cached_head: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+
+    /// Try to enqueue one item; on a full ring the item is returned and the
+    /// drop counter is *not* incremented (the caller decides).
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let head = self.inner.head.load(Ordering::Relaxed);
+        if head - self.cached_tail == self.capacity() {
+            self.cached_tail = self.inner.tail.load(Ordering::Acquire);
+            if head - self.cached_tail == self.capacity() {
+                return Err(value);
+            }
+        }
+        // SAFETY: slot `head` is unoccupied (head - tail < capacity) and only
+        // this producer writes it.
+        unsafe {
+            (*self.inner.slots[head & self.inner.mask].get()).write(value);
+        }
+        self.inner.head.store(head + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueue as many items from `iter` as fit; returns how many were
+    /// accepted. Rejected items are counted as drops.
+    pub fn push_burst(&mut self, iter: impl IntoIterator<Item = T>) -> usize {
+        let mut accepted = 0;
+        for item in iter {
+            match self.push(item) {
+                Ok(()) => accepted += 1,
+                Err(_dropped) => {
+                    self.inner.drops.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        accepted
+    }
+
+    /// Items dropped by `push_burst` because the ring was full.
+    pub fn drops(&self) -> u64 {
+        self.inner.drops.load(Ordering::Relaxed)
+    }
+
+    /// Number of items currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.inner.head.load(Ordering::Relaxed) - self.inner.tail.load(Ordering::Relaxed)
+    }
+
+    /// True when no items are queued (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+
+    /// Dequeue one item, if available.
+    pub fn pop(&mut self) -> Option<T> {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        if tail == self.cached_head {
+            self.cached_head = self.inner.head.load(Ordering::Acquire);
+            if tail == self.cached_head {
+                return None;
+            }
+        }
+        // SAFETY: slot `tail` was initialized by the producer (tail < head)
+        // and only this consumer reads it.
+        let value = unsafe { (*self.inner.slots[tail & self.inner.mask].get()).assume_init_read() };
+        self.inner.tail.store(tail + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Dequeue up to `max` items into `out`; returns how many were taken.
+    /// This is the `rx_burst` primitive.
+    pub fn pop_burst(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut taken = 0;
+        while taken < max {
+            match self.pop() {
+                Some(v) => {
+                    out.push(v);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
+    }
+
+    /// Items dropped on the producer side.
+    pub fn drops(&self) -> u64 {
+        self.inner.drops.load(Ordering::Relaxed)
+    }
+
+    /// Number of items currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.inner.head.load(Ordering::Relaxed) - self.inner.tail.load(Ordering::Relaxed)
+    }
+
+    /// True when no items are queued (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (mut p, mut c) = ring::<u32>(8);
+        for i in 0..5 {
+            p.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(c.pop(), Some(i));
+        }
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (p, _c) = ring::<u8>(5);
+        assert_eq!(p.capacity(), 8);
+        let (p, _c) = ring::<u8>(0);
+        assert_eq!(p.capacity(), 2);
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let (mut p, mut c) = ring::<u8>(2);
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        assert_eq!(p.push(3), Err(3));
+        assert_eq!(c.pop(), Some(1));
+        p.push(3).unwrap();
+        assert_eq!(c.pop(), Some(2));
+        assert_eq!(c.pop(), Some(3));
+    }
+
+    #[test]
+    fn burst_counts_drops() {
+        let (mut p, c) = ring::<u8>(2);
+        let accepted = p.push_burst(0..5);
+        assert_eq!(accepted, 2);
+        assert_eq!(p.drops(), 3);
+        assert_eq!(c.drops(), 3);
+    }
+
+    #[test]
+    fn pop_burst_respects_max() {
+        let (mut p, mut c) = ring::<u32>(16);
+        p.push_burst(0..10);
+        let mut out = Vec::new();
+        assert_eq!(c.pop_burst(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(c.pop_burst(&mut out, 100), 6);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut p, mut c) = ring::<u8>(4);
+        assert!(p.is_empty() && c.is_empty());
+        p.push(9).unwrap();
+        p.push(9).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(c.len(), 2);
+        c.pop();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn drop_runs_destructors_of_queued_items() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (mut p, mut c) = ring::<D>(8);
+            p.push(D).unwrap();
+            p.push(D).unwrap();
+            p.push(D).unwrap();
+            drop(c.pop()); // one explicit
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn spsc_stress_preserves_sequence() {
+        let (mut p, mut c) = ring::<u64>(64);
+        const N: u64 = 200_000;
+        let producer = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while i < N {
+                if p.push(i).is_ok() {
+                    i += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = c.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut p, mut c) = ring::<usize>(4);
+        for round in 0..1000 {
+            for i in 0..3 {
+                p.push(round * 3 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(c.pop(), Some(round * 3 + i));
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Token-bucket rate limiting.
+//!
+//! Used to emulate a link rate (the paper's 10 Gbit/s tap) in simulated
+//! time: the generator asks the shaper when the next packet of a given size
+//! may be transmitted, producing realistic serialization spacing.
+
+use crate::clock::Timestamp;
+
+/// A token bucket accumulating `rate_bps` bits per second up to a burst
+/// capacity, spent by packet transmissions.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_bps: u64,
+    burst_bits: u64,
+    tokens_millibits: u64,
+    last_update: Timestamp,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate_bps` with capacity `burst_bits` (starts
+    /// full).
+    pub fn new(rate_bps: u64, burst_bits: u64) -> TokenBucket {
+        assert!(rate_bps > 0, "rate must be positive");
+        assert!(burst_bits > 0, "burst must be positive");
+        TokenBucket {
+            rate_bps,
+            burst_bits,
+            tokens_millibits: burst_bits * 1000,
+            last_update: Timestamp::ZERO,
+        }
+    }
+
+    /// A 10 Gbit/s link with a 2×MTU burst, matching the paper's deployment.
+    pub fn link_10g() -> TokenBucket {
+        TokenBucket::new(10_000_000_000, 2 * 1500 * 8)
+    }
+
+    fn refill(&mut self, now: Timestamp) {
+        let elapsed_ns = now.saturating_nanos_since(self.last_update);
+        if elapsed_ns == 0 {
+            return;
+        }
+        // tokens(millibits) = rate(bits/s) × elapsed(ns) / 1e9 × 1000
+        let add = (self.rate_bps as u128 * elapsed_ns as u128 / 1_000_000) as u64;
+        self.tokens_millibits = (self.tokens_millibits + add).min(self.burst_bits * 1000);
+        self.last_update = now;
+    }
+
+    /// Try to transmit `bytes` at time `now`; returns true and spends tokens
+    /// if the bucket has enough.
+    pub fn try_consume(&mut self, now: Timestamp, bytes: usize) -> bool {
+        self.refill(now);
+        let need = bytes as u64 * 8 * 1000;
+        if self.tokens_millibits >= need {
+            self.tokens_millibits -= need;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The earliest time a packet of `bytes` can be sent, given the current
+    /// token level at `now` (does not consume).
+    pub fn earliest_send(&mut self, now: Timestamp, bytes: usize) -> Timestamp {
+        self.refill(now);
+        let need = bytes as u64 * 8 * 1000;
+        if self.tokens_millibits >= need {
+            now
+        } else {
+            let deficit = need - self.tokens_millibits;
+            // time(ns) = deficit(millibits) × 1e9 / (rate(bits/s) × 1000)
+            let wait_ns = (deficit as u128 * 1_000_000 / self.rate_bps as u128) as u64 + 1;
+            now.advanced(wait_ns)
+        }
+    }
+
+    /// Serialization delay of `bytes` at the link rate, in nanoseconds.
+    pub fn serialization_ns(&self, bytes: usize) -> u64 {
+        (bytes as u128 * 8 * 1_000_000_000 / self.rate_bps as u128) as u64
+    }
+
+    /// Current token level in bits.
+    pub fn tokens_bits(&self) -> u64 {
+        self.tokens_millibits / 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_spends() {
+        let mut tb = TokenBucket::new(1_000_000, 8000); // 1 Mbit/s, 1000 B burst
+        let t0 = Timestamp::ZERO;
+        assert!(tb.try_consume(t0, 1000));
+        assert!(!tb.try_consume(t0, 1));
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut tb = TokenBucket::new(8_000_000, 8000); // 8 Mbit/s = 1 B/µs
+        assert!(tb.try_consume(Timestamp::ZERO, 1000)); // empty the bucket
+        // After 500 µs, 500 bytes of tokens accumulated.
+        let t = Timestamp::from_micros(500);
+        assert!(tb.try_consume(t, 500));
+        assert!(!tb.try_consume(t, 1));
+    }
+
+    #[test]
+    fn burst_caps_accumulation() {
+        let mut tb = TokenBucket::new(1_000_000_000, 800);
+        // A long idle period cannot accumulate more than the burst.
+        assert!(!tb.try_consume(Timestamp::from_secs(100), 101));
+        assert!(tb.try_consume(Timestamp::from_secs(100), 100));
+    }
+
+    #[test]
+    fn earliest_send_predicts_consumable_time() {
+        let mut tb = TokenBucket::new(8_000_000, 8000);
+        assert!(tb.try_consume(Timestamp::ZERO, 1000));
+        let t = tb.earliest_send(Timestamp::ZERO, 200);
+        assert!(t > Timestamp::ZERO);
+        assert!(tb.try_consume(t, 200), "predicted time must be sufficient");
+    }
+
+    #[test]
+    fn earliest_send_is_now_when_tokens_available() {
+        let mut tb = TokenBucket::new(8_000_000, 8000);
+        assert_eq!(tb.earliest_send(Timestamp::ZERO, 10), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn serialization_delay_10g() {
+        let tb = TokenBucket::link_10g();
+        // 1500 B at 10 Gbit/s = 1.2 µs.
+        assert_eq!(tb.serialization_ns(1500), 1200);
+        // 64 B = 51.2 ns.
+        assert_eq!(tb.serialization_ns(64), 51);
+    }
+
+    #[test]
+    fn sustained_rate_approximates_configured_rate() {
+        let mut tb = TokenBucket::new(10_000_000, 12000); // 10 Mbit/s
+        let mut now = Timestamp::ZERO;
+        let mut sent_bytes = 0u64;
+        // Send 1000-byte packets as fast as the shaper allows for 1 second.
+        while now < Timestamp::from_secs(1) {
+            now = tb.earliest_send(now, 1000);
+            if now >= Timestamp::from_secs(1) {
+                break;
+            }
+            assert!(tb.try_consume(now, 1000));
+            sent_bytes += 1000;
+        }
+        let rate_bps = sent_bytes * 8;
+        assert!(
+            (9_000_000..=10_100_000).contains(&rate_bps),
+            "achieved {rate_bps} bps"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        TokenBucket::new(0, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the dataplane primitives: ring FIFO/conservation,
+//! pool conservation, RSS invariants, shaper rate bounds.
+
+use proptest::prelude::*;
+use ruru_nic::clock::Timestamp;
+use ruru_nic::mbuf::MbufPool;
+use ruru_nic::ring;
+use ruru_nic::rss::RssHasher;
+use ruru_nic::shaper::TokenBucket;
+
+proptest! {
+    /// Any interleaving of pushes and pops preserves FIFO order and loses
+    /// nothing that was accepted.
+    #[test]
+    fn ring_fifo_under_any_interleaving(ops in proptest::collection::vec(any::<bool>(), 1..400),
+                                        cap in 1usize..64) {
+        let (mut p, mut c) = ring::ring::<u64>(cap);
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        let mut queued = 0usize;
+        for push in ops {
+            if push {
+                match p.push(next_push) {
+                    Ok(()) => {
+                        next_push += 1;
+                        queued += 1;
+                        prop_assert!(queued <= p.capacity());
+                    }
+                    Err(v) => {
+                        prop_assert_eq!(v, next_push);
+                        prop_assert_eq!(queued, p.capacity());
+                    }
+                }
+            } else if let Some(v) = c.pop() {
+                prop_assert_eq!(v, next_pop);
+                next_pop += 1;
+                queued -= 1;
+            } else {
+                prop_assert_eq!(queued, 0);
+            }
+        }
+        // Drain: everything accepted comes out in order.
+        while let Some(v) = c.pop() {
+            prop_assert_eq!(v, next_pop);
+            next_pop += 1;
+        }
+        prop_assert_eq!(next_pop, next_push);
+    }
+
+    /// The pool conserves buffers across arbitrary alloc/free sequences.
+    #[test]
+    fn pool_conserves_buffers(ops in proptest::collection::vec(any::<bool>(), 1..200),
+                              cap in 1usize..32) {
+        let pool = MbufPool::new(cap, 256);
+        let mut held = Vec::new();
+        for alloc in ops {
+            if alloc {
+                if let Some(m) = pool.alloc(&[1, 2, 3]) {
+                    held.push(m);
+                }
+                prop_assert!(held.len() <= cap);
+            } else {
+                held.pop();
+            }
+            prop_assert_eq!(pool.available() + held.len(), cap);
+        }
+        held.clear();
+        prop_assert_eq!(pool.available(), cap);
+        let stats = pool.stats();
+        prop_assert_eq!(stats.allocs, stats.frees);
+    }
+
+    /// Table-driven Toeplitz equals the bit-serial reference for arbitrary
+    /// inputs, and symmetric hashing is direction-invariant.
+    #[test]
+    fn rss_table_matches_reference(input in proptest::collection::vec(any::<u8>(), 0..36)) {
+        for h in [RssHasher::microsoft(8), RssHasher::symmetric(8)] {
+            prop_assert_eq!(h.toeplitz(&input), h.toeplitz_reference(&input));
+        }
+    }
+
+    /// The shaper never releases more bytes than rate × time + burst.
+    #[test]
+    fn shaper_respects_rate(rate_kbps in 1u64..100_000, burst_bits in 8u64..100_000,
+                            sizes in proptest::collection::vec(1usize..2000, 1..100)) {
+        let rate_bps = rate_kbps * 1000;
+        let mut tb = TokenBucket::new(rate_bps, burst_bits);
+        let mut now = Timestamp::ZERO;
+        let mut sent_bits = 0u64;
+        for size in sizes {
+            now = tb.earliest_send(now, size);
+            if tb.try_consume(now, size) {
+                sent_bits += size as u64 * 8;
+            }
+            // Invariant: everything sent fits in the rate envelope.
+            let envelope = burst_bits as u128
+                + rate_bps as u128 * now.as_nanos() as u128 / 1_000_000_000
+                + 1; // integer rounding slack
+            prop_assert!(
+                (sent_bits as u128) <= envelope,
+                "sent {sent_bits} bits > envelope {envelope} at {now}"
+            );
+        }
+    }
+}

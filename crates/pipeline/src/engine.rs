@@ -1,0 +1,678 @@
+//! The assembled Ruru pipeline.
+//!
+//! Construction wires the stages of Figure 2 together; [`Pipeline::feed`]
+//! plays tap events through it (advancing the shared virtual clock);
+//! [`Pipeline::finish`] drains and joins every stage and returns a
+//! [`Report`] with the statistics every experiment reads.
+
+use crate::snmp::{SnmpPoller, SnmpSample};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ruru_analytics::detect::{FloodConfig, RateConfig, SpikeConfig};
+use ruru_analytics::{
+    AlertSink, EnrichedMeasurement, EnrichmentPool, LatencySpikeDetector, PairAggregator,
+    RateAnomalyDetector, SynFloodDetector,
+};
+use ruru_flow::classify::{classify, ChecksumMode, Reject};
+use ruru_flow::{HandshakeTracker, TrackerConfig, TrackerStats};
+use ruru_gen::Event;
+use ruru_geo::{GeoDb, SynthWorld};
+use ruru_mq::{pipe, Message, Publisher, Push};
+use ruru_nic::lcore::WorkerGroup;
+use ruru_nic::port::{Port, PortConfig, PortStats};
+use ruru_nic::{Clock, Timestamp};
+use ruru_tsdb::TsDb;
+use ruru_viz::frame::{FrameBatcher, FrameConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Whole-pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The simulated NIC.
+    pub port: PortConfig,
+    /// Per-queue handshake tracker settings.
+    pub tracker: TrackerConfig,
+    /// Enrichment worker threads ("multiple threads" in the paper).
+    pub enrich_threads: usize,
+    /// Validate checksums at classification (Ruru's default).
+    pub checksum_mode: ChecksumMode,
+    /// Message-bus high-water mark.
+    pub mq_hwm: usize,
+    /// Geo cache capacity per enrichment worker.
+    pub geo_cache: usize,
+    /// Frontend frame batching.
+    pub frame: FrameConfig,
+    /// Latency-spike detector settings.
+    pub spike: SpikeConfig,
+    /// SYN-flood detector settings.
+    pub flood: FloodConfig,
+    /// Connection-rate detector settings.
+    pub rate: RateConfig,
+    /// SNMP baseline poll interval (ns).
+    pub snmp_interval_ns: u64,
+    /// When true (the default), [`Pipeline::feed`] waits for ring space
+    /// instead of dropping at a full RX ring. Simulated time is decoupled
+    /// from wall time, so "waiting" costs nothing and runs are lossless on
+    /// any host. Set false to study genuine NIC overload behaviour.
+    pub lossless_inject: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            port: PortConfig::default(),
+            tracker: TrackerConfig::default(),
+            enrich_threads: 2,
+            checksum_mode: ChecksumMode::Validate,
+            mq_hwm: 65536,
+            geo_cache: 4096,
+            frame: FrameConfig::default(),
+            spike: SpikeConfig::default(),
+            flood: FloodConfig::default(),
+            rate: RateConfig::default(),
+            snmp_interval_ns: 300 * 1_000_000_000,
+            lossless_inject: true,
+        }
+    }
+}
+
+/// Everything the run produced.
+pub struct Report {
+    /// NIC-level statistics.
+    pub port: PortStats,
+    /// Per-queue tracker statistics.
+    pub trackers: Vec<(u16, TrackerStats)>,
+    /// Enrichment pool statistics.
+    pub pool: ruru_analytics::workers::PoolStats,
+    /// All alerts raised.
+    pub alerts: Vec<ruru_analytics::Alert>,
+    /// Frontend frames cut.
+    pub frames_emitted: u64,
+    /// Arcs drawn across all frames.
+    pub arcs_drawn: u64,
+    /// Arcs dropped over the per-frame budget.
+    pub arcs_dropped: u64,
+    /// The time-series database, for panel queries.
+    pub tsdb: Arc<TsDb>,
+    /// SNMP baseline samples.
+    pub snmp: Vec<SnmpSample>,
+    /// Packets rejected at classification, by cause count.
+    pub classify_rejects: u64,
+    /// Rolling per-location-pair / per-AS-pair aggregates (the paper's
+    /// "aggregates statistics by source and destination locations, and AS
+    /// numbers").
+    pub aggregates: PairAggregator,
+}
+
+impl Report {
+    /// Total measurements across queues.
+    pub fn measurements(&self) -> u64 {
+        self.trackers.iter().map(|(_, s)| s.measurements).sum()
+    }
+
+    /// Total SYNs seen across queues.
+    pub fn syns(&self) -> u64 {
+        self.trackers.iter().map(|(_, s)| s.syns).sum()
+    }
+}
+
+struct WorkerState {
+    tracker: HandshakeTracker,
+    push: Push,
+    syn_tx: Sender<(u16, u64)>,
+    checksum_mode: ChecksumMode,
+    rejects: Arc<AtomicU64>,
+}
+
+/// The running pipeline.
+pub struct Pipeline {
+    clock: Clock,
+    lossless_inject: bool,
+    publisher: Publisher,
+    port: Port,
+    workers: WorkerGroup,
+    pool: EnrichmentPool,
+    stats_rx: Receiver<(u16, TrackerStats)>,
+    detector_handle: std::thread::JoinHandle<DetectorResult>,
+    detector_stop: Arc<AtomicBool>,
+    tsdb: Arc<TsDb>,
+    alerts: AlertSink,
+    snmp: SnmpPoller,
+    rejects: Arc<AtomicU64>,
+    last_event: Timestamp,
+}
+
+struct DetectorResult {
+    frames_emitted: u64,
+    arcs_drawn: u64,
+    arcs_dropped: u64,
+    aggregates: PairAggregator,
+}
+
+impl Pipeline {
+    /// Build and start a pipeline over the given geo database.
+    pub fn new(config: PipelineConfig, db: Arc<GeoDb>) -> Pipeline {
+        let clock = Clock::virtual_clock();
+        let mut port = Port::new(config.port.clone(), clock.clone());
+        let queues = port.take_all_rx_queues();
+
+        let (push, pull) = pipe(config.mq_hwm);
+        let (syn_tx, syn_rx) = unbounded::<(u16, u64)>();
+        let publisher = Publisher::new();
+        // Detectors read a lossless PUSH/PULL feed (back-pressure, never
+        // drops); the PUB side stays available for best-effort consumers
+        // like external frontends.
+        let (det_push, det_pull) = pipe(config.mq_hwm);
+        let tsdb = Arc::new(TsDb::new());
+        let alerts = AlertSink::new();
+        let rejects = Arc::new(AtomicU64::new(0));
+
+        let pool = EnrichmentPool::spawn_with_detector_feed(
+            config.enrich_threads,
+            pull,
+            Arc::clone(&db),
+            Arc::clone(&tsdb),
+            publisher.clone(),
+            config.geo_cache,
+            Some(det_push),
+        );
+
+        // Detector + frontend thread: consumes SYN events and enriched
+        // measurements, raises alerts, batches map frames.
+        let detector_stop = Arc::new(AtomicBool::new(false));
+        let det_stop = Arc::clone(&detector_stop);
+        let det_alerts = alerts.clone();
+        let spike_cfg = config.spike.clone();
+        let flood_cfg = config.flood.clone();
+        let rate_cfg = config.rate.clone();
+        let frame_cfg = config.frame.clone();
+        // A sharded dataplane delivers events to analytics out of simulated-
+        // time order (a briefly descheduled worker is minutes of simulated
+        // time behind its siblings). Detectors that window on time need an
+        // in-order stream, so the thread runs a classic watermark reorderer:
+        // events buffer in a min-heap and release only once every source
+        // stream (per queue, per event kind) has progressed past them.
+        let num_queues = config.port.num_queues;
+        let detector_handle = std::thread::Builder::new()
+            .name("ruru-detect".into())
+            .spawn(move || {
+                use std::cmp::Reverse;
+                use std::collections::{BinaryHeap, HashMap};
+
+                enum Ev {
+                    Syn,
+                    Meas(Box<EnrichedMeasurement>),
+                }
+                let mut spike = LatencySpikeDetector::new(spike_cfg);
+                let mut flood = SynFloodDetector::new(flood_cfg);
+                let mut rate = RateAnomalyDetector::new(rate_cfg);
+                let mut batcher = FrameBatcher::new(frame_cfg, Timestamp::ZERO);
+                let mut aggregates = PairAggregator::new();
+                let mut frames_emitted = 0u64;
+                let mut last_at = Timestamp::ZERO;
+
+                // Source id: queue × {syn=0, measurement=1}. All sources
+                // start at watermark zero; nothing is released until every
+                // source has reported (or the stream ends and we flush).
+                let mut watermarks: HashMap<(u16, u8), u64> = (0..num_queues)
+                    .flat_map(|q| [((q, 0u8), 0u64), ((q, 1u8), 0u64)])
+                    .collect();
+                let mut pending: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+                let mut payloads: HashMap<u64, Ev> = HashMap::new();
+                let mut seq = 0u64;
+
+                let process = |ev: Ev,
+                                   at: Timestamp,
+                                   spike: &mut LatencySpikeDetector,
+                                   flood: &mut SynFloodDetector,
+                                   rate: &mut RateAnomalyDetector,
+                                   batcher: &mut FrameBatcher,
+                                   aggregates: &mut PairAggregator,
+                                   frames_emitted: &mut u64| match ev {
+                    Ev::Syn => {
+                        det_alerts.push_opt(flood.observe_syn(at));
+                    }
+                    Ev::Meas(em) => {
+                        det_alerts.push_opt(flood.observe_completion(at));
+                        let key = format!(
+                            "{}→{}",
+                            if em.src.city.is_empty() { "?" } else { &em.src.city },
+                            if em.dst.city.is_empty() { "?" } else { &em.dst.city }
+                        );
+                        det_alerts.push_opt(spike.observe(&key, em.total_ns(), at));
+                        det_alerts.push_opt(rate.observe(&key, at));
+                        aggregates.observe(&em);
+                        let frames = batcher.add(
+                            at,
+                            (em.src.lat, em.src.lon),
+                            (em.dst.lat, em.dst.lon),
+                            em.total_ns() as f64 / 1e6,
+                        );
+                        *frames_emitted += frames.len() as u64;
+                    }
+                };
+
+                loop {
+                    let mut idle = true;
+                    while let Ok((qid, ts)) = syn_rx.try_recv() {
+                        idle = false;
+                        let w = watermarks.entry((qid.min(num_queues - 1), 0)).or_insert(0);
+                        *w = (*w).max(ts);
+                        pending.push(Reverse((ts, seq)));
+                        payloads.insert(seq, Ev::Syn);
+                        seq += 1;
+                    }
+                    while let Some(msg) = det_pull.try_recv() {
+                        idle = false;
+                        let Ok(line) = core::str::from_utf8(&msg.payload) else {
+                            continue;
+                        };
+                        let Some(em) = EnrichedMeasurement::from_line(line) else {
+                            continue;
+                        };
+                        let at = em.completed_at;
+                        last_at = last_at.max(at);
+                        let w = watermarks
+                            .entry((em.queue_id.min(num_queues - 1), 1))
+                            .or_insert(0);
+                        *w = (*w).max(at.as_nanos());
+                        pending.push(Reverse((at.as_nanos(), seq)));
+                        payloads.insert(seq, Ev::Meas(Box::new(em)));
+                        seq += 1;
+                    }
+                    // Release everything at or below the lowest watermark.
+                    let low = watermarks.values().copied().min().unwrap_or(0);
+                    while let Some(&Reverse((at, s))) = pending.peek() {
+                        if at > low {
+                            break;
+                        }
+                        pending.pop();
+                        let ev = payloads.remove(&s).expect("payload for pending event");
+                        process(
+                            ev,
+                            Timestamp::from_nanos(at),
+                            &mut spike,
+                            &mut flood,
+                            &mut rate,
+                            &mut batcher,
+                            &mut aggregates,
+                            &mut frames_emitted,
+                        );
+                    }
+                    if idle {
+                        if det_stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+                // End of stream: flush the reorder buffer in time order.
+                while let Some(Reverse((at, s))) = pending.pop() {
+                    let ev = payloads.remove(&s).expect("payload for pending event");
+                    process(
+                        ev,
+                        Timestamp::from_nanos(at),
+                        &mut spike,
+                        &mut flood,
+                        &mut rate,
+                        &mut batcher,
+                        &mut aggregates,
+                        &mut frames_emitted,
+                    );
+                }
+                frames_emitted += batcher.advance_to(last_at.advanced(1_000_000_000)).len() as u64;
+                let (arcs_drawn, arcs_dropped) = batcher.stats();
+                DetectorResult {
+                    frames_emitted,
+                    arcs_drawn,
+                    arcs_dropped,
+                    aggregates,
+                }
+            })
+            .expect("spawn detector thread");
+
+        // lcore workers: classify → track → push measurements.
+        let (stats_tx, stats_rx) = unbounded();
+        let tracker_cfg = config.tracker.clone();
+        let checksum_mode = config.checksum_mode;
+        let rejects_for_workers = Arc::clone(&rejects);
+        let workers = WorkerGroup::spawn(
+            queues,
+            move |qid| WorkerState {
+                tracker: HandshakeTracker::new(qid, tracker_cfg.clone()),
+                push: push.clone(),
+                syn_tx: syn_tx.clone(),
+                checksum_mode,
+                rejects: Arc::clone(&rejects_for_workers),
+            },
+            |state, mbuf| {
+                match classify(mbuf.data(), mbuf.timestamp, state.checksum_mode) {
+                    Ok(meta) => {
+                        if meta.flags.is_syn_only() {
+                            let _ = state
+                                .syn_tx
+                                .send((state.tracker.queue_id(), meta.timestamp.as_nanos()));
+                        }
+                        if let Some(m) = state.tracker.process(&meta) {
+                            // PUSH blocks at the HWM: analytics back-pressure,
+                            // never measurement loss (ZeroMQ PUSH semantics).
+                            let _ = state.push.send(Message::new(
+                                Bytes::from_static(b"latency"),
+                                m.encode(),
+                            ));
+                        }
+                    }
+                    Err(reject) => {
+                        // Fragments/UDP/ARP are normal on a live tap; only
+                        // count them.
+                        let _ = matches!(reject, Reject::NotTcp);
+                        state.rejects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            },
+            move |qid, state| {
+                let _ = stats_tx.send((qid, state.tracker.stats()));
+                // Dropping `state` drops this worker's Push and syn_tx
+                // clones; when the last worker exits, the pipe closes.
+            },
+        );
+
+        let snmp = SnmpPoller::new(config.snmp_interval_ns, 10_000_000_000);
+
+        Pipeline {
+            clock,
+            lossless_inject: config.lossless_inject,
+            publisher: publisher.clone(),
+            port,
+            workers,
+            pool,
+            stats_rx,
+            detector_handle,
+            detector_stop,
+            tsdb,
+            alerts,
+            snmp,
+            rejects,
+            last_event: Timestamp::ZERO,
+        }
+    }
+
+    /// Build over a fresh synthetic world's database.
+    pub fn with_synth_world(config: PipelineConfig) -> (Pipeline, SynthWorld) {
+        let world = SynthWorld::generate(2);
+        let db = Arc::new(world.db().clone());
+        (Pipeline::new(config, db), world)
+    }
+
+    /// Inject one tap event: advances the virtual clock to `event.at` and
+    /// delivers the frame to the port. Returns false if the NIC dropped it
+    /// (only possible with `lossless_inject: false`).
+    pub fn feed(&mut self, event: &Event) -> bool {
+        if event.at > self.clock.now() {
+            self.clock.set(event.at);
+        }
+        self.last_event = self.last_event.max(event.at);
+        self.snmp.observe_packet(event.at, event.frame.len());
+        if self.port.inject_at(&event.frame, event.at).is_some() {
+            return true;
+        }
+        if !self.lossless_inject {
+            return false;
+        }
+        // Ring or pool full: the simulated NIC is ahead of the workers.
+        // Virtual time is ours to pace, so yield until space frees up.
+        loop {
+            std::thread::yield_now();
+            if self.port.inject_at(&event.frame, event.at).is_some() {
+                return true;
+            }
+        }
+    }
+
+    /// Feed an entire generator run.
+    pub fn run(&mut self, gen: &mut ruru_gen::TrafficGen) -> u64 {
+        let mut fed = 0;
+        for event in gen.by_ref() {
+            if self.feed(&event) {
+                fed += 1;
+            }
+        }
+        fed
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Subscribe to the live enriched-measurement stream (topic
+    /// `enriched`, line-protocol payloads) — how external frontends attach,
+    /// exactly as the deployed system exposed its ZeroMQ PUB socket. Slow
+    /// subscribers drop (PUB semantics); the internal detector feed is
+    /// unaffected.
+    pub fn subscribe_enriched(&self, hwm: usize) -> ruru_mq::Subscriber {
+        self.publisher
+            .subscribe(ruru_analytics::workers::ENRICHED_TOPIC, hwm)
+    }
+
+    /// Measurements enriched so far (for progress displays).
+    pub fn enriched_so_far(&self) -> u64 {
+        self.pool.enriched()
+    }
+
+    /// Drain and join every stage; returns the final report.
+    pub fn finish(self) -> Report {
+        // 1. Stop lcore workers (they drain their queues first). Their exit
+        //    drops the last Push/syn_tx, closing the analytics inputs.
+        self.workers.shutdown();
+        // 2. The pool drains the pipe and exits.
+        let pool_stats = self.pool.join();
+        // 3. Detector: let it drain, then signal stop.
+        self.detector_stop.store(true, Ordering::Release);
+        let det = self.detector_handle.join().expect("detector panicked");
+        // 4. Collect tracker stats.
+        let mut trackers: Vec<(u16, TrackerStats)> = self.stats_rx.try_iter().collect();
+        trackers.sort_by_key(|(q, _)| *q);
+
+        Report {
+            port: self.port.stats(),
+            trackers,
+            pool: pool_stats,
+            alerts: self.alerts.snapshot(),
+            frames_emitted: det.frames_emitted,
+            arcs_drawn: det.arcs_drawn,
+            arcs_dropped: det.arcs_dropped,
+            tsdb: self.tsdb,
+            snmp: self.snmp.finish(self.last_event),
+            classify_rejects: self.rejects.load(Ordering::Relaxed),
+            aggregates: det.aggregates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruru_gen::{GenConfig, TrafficGen};
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig {
+            port: PortConfig {
+                num_queues: 2,
+                queue_depth: 8192,
+                pool_size: 16384,
+                buf_size: 2048,
+                symmetric_rss: true,
+            },
+            enrich_threads: 2,
+            snmp_interval_ns: 1_000_000_000,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_run_measures_all_flows() {
+        let (mut pipeline, world) = Pipeline::with_synth_world(quick_config());
+        let mut gen = TrafficGen::with_world(
+            GenConfig {
+                seed: 5,
+                flows_per_sec: 300.0,
+                duration: Timestamp::from_secs(2),
+                data_exchanges: (0, 2),
+                ..GenConfig::default()
+            },
+            world,
+        );
+        let fed = pipeline.run(&mut gen);
+        assert!(fed > 0);
+        let truths = gen.truths().len() as u64;
+        let report = pipeline.finish();
+        assert_eq!(report.measurements(), truths, "all flows measured");
+        assert_eq!(report.pool.enriched, truths, "all measurements enriched");
+        assert_eq!(report.pool.geo_misses, 0);
+        assert_eq!(report.tsdb.points_ingested(), truths);
+        assert!(report.arcs_drawn > 0, "frontend received arcs");
+        assert!(report.frames_emitted > 0);
+        assert_eq!(report.port.no_mbuf_drops, 0);
+        assert_eq!(report.port.ring_full_drops, 0);
+        assert!(!report.snmp.is_empty());
+    }
+
+    #[test]
+    fn multiple_queues_share_the_load() {
+        let (mut pipeline, world) = Pipeline::with_synth_world(PipelineConfig {
+            port: PortConfig {
+                num_queues: 4,
+                ..quick_config().port
+            },
+            ..quick_config()
+        });
+        let mut gen = TrafficGen::with_world(
+            GenConfig {
+                seed: 6,
+                flows_per_sec: 500.0,
+                duration: Timestamp::from_secs(2),
+                ..GenConfig::default()
+            },
+            world,
+        );
+        pipeline.run(&mut gen);
+        let report = pipeline.finish();
+        let busy_queues = report
+            .trackers
+            .iter()
+            .filter(|(_, s)| s.measurements > 0)
+            .count();
+        assert!(busy_queues >= 3, "RSS spreads flows: {:?}", report.trackers);
+        // No queue sees a partial handshake (symmetric RSS keeps flows whole):
+        // measurements add up to the truth count.
+        assert_eq!(report.measurements(), gen.truths().len() as u64);
+    }
+
+    #[test]
+    fn external_subscribers_see_the_enriched_stream() {
+        let (mut pipeline, world) = Pipeline::with_synth_world(quick_config());
+        let sub = pipeline.subscribe_enriched(1 << 16);
+        let mut gen = TrafficGen::with_world(
+            GenConfig {
+                seed: 10,
+                flows_per_sec: 100.0,
+                duration: Timestamp::from_secs(1),
+                data_exchanges: (0, 0),
+                ..GenConfig::default()
+            },
+            world,
+        );
+        pipeline.run(&mut gen);
+        let truths = gen.truths().len();
+        let report = pipeline.finish();
+        assert_eq!(sub.backlog(), truths, "every measurement published");
+        let msg = sub.try_recv().unwrap();
+        let line = core::str::from_utf8(&msg.payload).unwrap();
+        assert!(ruru_analytics::EnrichedMeasurement::from_line(line).is_some());
+        assert_eq!(report.measurements(), truths as u64);
+    }
+
+    #[test]
+    fn no_false_alerts_on_clean_diurnal_traffic() {
+        // Regression guard for the watermark reorderer: cross-queue
+        // delivery skew must not manufacture rate/spike/flood alerts.
+        let (mut pipeline, world) = Pipeline::with_synth_world(quick_config());
+        let mut gen = TrafficGen::with_world(
+            GenConfig {
+                seed: 9,
+                flows_per_sec: 120.0,
+                duration: Timestamp::from_secs(30),
+                data_exchanges: (0, 1),
+                rate_profile: ruru_gen::RateProfile::diurnal(),
+                ..GenConfig::default()
+            },
+            world,
+        );
+        pipeline.run(&mut gen);
+        let report = pipeline.finish();
+        assert_eq!(report.measurements(), gen.truths().len() as u64);
+        assert!(
+            report.alerts.is_empty(),
+            "clean traffic raised {} alerts: {:?}",
+            report.alerts.len(),
+            report.alerts.first()
+        );
+    }
+
+    #[test]
+    fn aggregates_cover_all_pairs() {
+        let (mut pipeline, world) = Pipeline::with_synth_world(quick_config());
+        let mut gen = TrafficGen::with_world(
+            GenConfig {
+                seed: 8,
+                flows_per_sec: 200.0,
+                duration: Timestamp::from_secs(2),
+                data_exchanges: (0, 0),
+                ..GenConfig::default()
+            },
+            world,
+        );
+        pipeline.run(&mut gen);
+        let truths = gen.truths().len() as u64;
+        let report = pipeline.finish();
+        use ruru_analytics::KeySpace;
+        let total: u64 = report
+            .aggregates
+            .top_by_count(KeySpace::CityPair, usize::MAX)
+            .iter()
+            .map(|(_, s)| s.count())
+            .sum();
+        assert_eq!(total, truths, "every measurement aggregated");
+        assert!(report.aggregates.key_count(KeySpace::CountryPair) >= 2);
+        // NZ→US must exist and look trans-Pacific.
+        let nzus = report
+            .aggregates
+            .get(KeySpace::CountryPair, "NZ→US")
+            .expect("NZ→US pair present");
+        assert!(nzus.mean() > 50.0 && nzus.mean() < 300.0);
+    }
+
+    #[test]
+    fn tsdb_panels_work_after_run() {
+        let (mut pipeline, world) = Pipeline::with_synth_world(quick_config());
+        let mut gen = TrafficGen::with_world(
+            GenConfig {
+                seed: 7,
+                flows_per_sec: 200.0,
+                duration: Timestamp::from_secs(2),
+                data_exchanges: (0, 0),
+                ..GenConfig::default()
+            },
+            world,
+        );
+        pipeline.run(&mut gen);
+        let report = pipeline.finish();
+        let panel = ruru_viz::Panel::latency_overview();
+        let data = panel.evaluate(&report.tsdb, 0, 2_000_000_000, 4);
+        let mean = data.series_for(ruru_viz::panel::Stat::Mean).unwrap();
+        assert!(mean.iter().any(|v| v.is_some()), "panel has data");
+    }
+}

@@ -1,0 +1,135 @@
+//! The aggregates Ruru's Grafana panels display: min, max, median, mean —
+//! plus count, p95, p99 and standard deviation.
+
+/// Aggregate statistics over a set of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile, nearest-rank interpolated).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl Aggregate {
+    /// Compute aggregates; returns `None` for an empty set. `values` is
+    /// sorted in place (callers hand over scratch buffers).
+    pub fn compute(values: &mut [f64]) -> Option<Aggregate> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let count = values.len();
+        let sum: f64 = values.iter().sum();
+        let mean = sum / count as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        Some(Aggregate {
+            count,
+            min: values[0],
+            max: values[count - 1],
+            mean,
+            median: percentile_sorted(values, 50.0),
+            p95: percentile_sorted(values, 95.0),
+            p99: percentile_sorted(values, 99.0),
+            stddev: var.sqrt(),
+        })
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Aggregate::compute(&mut []).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let a = Aggregate::compute(&mut [42.0]).unwrap();
+        assert_eq!(a.count, 1);
+        assert_eq!(a.min, 42.0);
+        assert_eq!(a.max, 42.0);
+        assert_eq!(a.mean, 42.0);
+        assert_eq!(a.median, 42.0);
+        assert_eq!(a.p99, 42.0);
+        assert_eq!(a.stddev, 0.0);
+    }
+
+    #[test]
+    fn known_small_set() {
+        let mut v = [4.0, 1.0, 3.0, 2.0];
+        let a = Aggregate::compute(&mut v).unwrap();
+        assert_eq!(a.count, 4);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 4.0);
+        assert_eq!(a.mean, 2.5);
+        assert_eq!(a.median, 2.5);
+        assert!((a.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((percentile_sorted(&v, 50.0) - 50.5).abs() < 1e-9);
+        assert!((percentile_sorted(&v, 95.0) - 95.05).abs() < 1e-9);
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 100.0), 100.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut v = vec![5.0, 1.0, 9.0, 3.0, 7.0];
+        let a = Aggregate::compute(&mut v).unwrap();
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 9.0);
+        assert_eq!(a.median, 5.0);
+    }
+
+    #[test]
+    fn p99_catches_outliers() {
+        // 980 samples at ~130, 20 at 4000 (the firewall anomaly shape).
+        let mut v: Vec<f64> = (0..980).map(|i| 130.0 + (i % 10) as f64 * 0.1).collect();
+        v.extend(std::iter::repeat_n(4000.0, 20));
+        let a = Aggregate::compute(&mut v).unwrap();
+        assert!(a.median < 132.0);
+        assert!(a.p99 > 1000.0, "p99 {} must expose the spike", a.p99);
+        assert!(a.max == 4000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty slice")]
+    fn percentile_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # ruru-tsdb — an embedded tagged time-series database
+//!
+//! The pipeline's long-term store: *"the geographically enriched
+//! measurements are sent to a time-series database (InfluxDB) for long-term
+//! storage … InfluxDB takes care of indexing data on geo-location and AS
+//! information"*, and the Grafana UI queries it for *"min, max, median,
+//! mean … for a required time interval"*.
+//!
+//! This crate reproduces the slice of InfluxDB that Ruru uses:
+//!
+//! * [`point`] — tagged, timestamped points and series keys.
+//! * [`line`](crate::line) — the InfluxDB line protocol (parse + encode), the ingest
+//!   format of the deployed system.
+//! * [`agg`] — the aggregates Grafana panels request: count / min / max /
+//!   mean / median / p95 / p99 / stddev.
+//! * [`store`] — [`store::TsDb`]: concurrent ingest, tag-filtered and
+//!   time-bucketed queries, retention enforcement and downsampling.
+
+pub mod agg;
+pub mod line;
+pub mod point;
+pub mod snapshot;
+pub mod store;
+
+pub use agg::Aggregate;
+pub use point::Point;
+pub use store::{Query, TsDb};

@@ -1,0 +1,530 @@
+//! The time-series store: concurrent ingest, tag-filtered bucketed
+//! queries, retention and downsampling.
+//!
+//! Storage is one sorted run per series (measurement + tag set). Ruru's
+//! ingest is nearly in timestamp order, so appends are O(1) with a
+//! binary-search insertion fallback for stragglers.
+
+use crate::agg::Aggregate;
+use crate::point::Point;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// One stored sample: timestamp and value (per field).
+type Sample = (u64, f64);
+
+#[derive(Debug, Default)]
+struct Series {
+    tags: Vec<(String, String)>,
+    /// Per-field sorted sample runs.
+    fields: HashMap<String, Vec<Sample>>,
+}
+
+impl Series {
+    fn insert(&mut self, field: &str, ts: u64, value: f64) {
+        let run = self.fields.entry(field.to_string()).or_default();
+        match run.last() {
+            Some(&(last_ts, _)) if last_ts > ts => {
+                // Out-of-order straggler: binary insert.
+                let idx = run.partition_point(|&(t, _)| t <= ts);
+                run.insert(idx, (ts, value));
+            }
+            _ => run.push((ts, value)),
+        }
+    }
+}
+
+/// A tag-filtered, time-bounded, optionally bucketed aggregate query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Measurement to read.
+    pub measurement: String,
+    /// Field to aggregate.
+    pub field: String,
+    /// Required tag values (all must match). Empty = all series.
+    pub tag_filters: Vec<(String, String)>,
+    /// Inclusive start of the time range (ns).
+    pub start_ns: u64,
+    /// Exclusive end of the time range (ns).
+    pub end_ns: u64,
+    /// Bucket width; `None` aggregates the whole range as one bucket.
+    pub bucket_ns: Option<u64>,
+}
+
+impl Query {
+    /// A whole-range query over one measurement/field.
+    pub fn range(measurement: &str, field: &str, start_ns: u64, end_ns: u64) -> Query {
+        Query {
+            measurement: measurement.into(),
+            field: field.into(),
+            tag_filters: Vec::new(),
+            start_ns,
+            end_ns,
+            bucket_ns: None,
+        }
+    }
+
+    /// Add a required tag value.
+    pub fn with_tag(mut self, key: &str, value: &str) -> Query {
+        self.tag_filters.push((key.into(), value.into()));
+        self
+    }
+
+    /// Bucket the range into windows of `bucket_ns`.
+    pub fn with_buckets(mut self, bucket_ns: u64) -> Query {
+        assert!(bucket_ns > 0, "bucket width must be positive");
+        self.bucket_ns = Some(bucket_ns);
+        self
+    }
+}
+
+/// One bucket of a query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Bucket start time (ns).
+    pub start_ns: u64,
+    /// Aggregates of the samples falling in the bucket; `None` if empty.
+    pub agg: Option<Aggregate>,
+}
+
+/// The database. All methods take `&self`; internal locking permits
+/// concurrent ingest from many analytics workers.
+pub struct TsDb {
+    inner: RwLock<HashMap<String, HashMap<String, Series>>>,
+    ingested: std::sync::atomic::AtomicU64,
+}
+
+impl TsDb {
+    /// An empty database.
+    pub fn new() -> TsDb {
+        TsDb {
+            inner: RwLock::new(HashMap::new()),
+            ingested: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Ingest one point.
+    pub fn write(&self, point: &Point) {
+        let mut inner = self.inner.write();
+        let series_map = inner.entry(point.measurement.clone()).or_default();
+        let series = series_map
+            .entry(point.series_key())
+            .or_insert_with(|| Series {
+                tags: point.tags.clone(),
+                fields: HashMap::new(),
+            });
+        for (field, value) in &point.fields {
+            series.insert(field, point.timestamp_ns, *value);
+        }
+        self.ingested
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Ingest a line-protocol line.
+    pub fn write_line(&self, line: &str) -> Result<(), crate::line::LineError> {
+        let point = crate::line::parse(line)?;
+        self.write(&point);
+        Ok(())
+    }
+
+    /// Total points ingested (including later-retained ones).
+    pub fn points_ingested(&self) -> u64 {
+        self.ingested.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of distinct series in a measurement.
+    pub fn series_count(&self, measurement: &str) -> usize {
+        self.inner.read().get(measurement).map_or(0, |m| m.len())
+    }
+
+    /// Execute a query; returns one [`Bucket`] per window (a single bucket
+    /// for un-bucketed queries).
+    pub fn query(&self, q: &Query) -> Vec<Bucket> {
+        assert!(q.end_ns >= q.start_ns, "inverted time range");
+        let inner = self.inner.read();
+        let Some(series_map) = inner.get(&q.measurement) else {
+            return empty_buckets(q);
+        };
+        let bucket_ns = q.bucket_ns.unwrap_or(q.end_ns.saturating_sub(q.start_ns).max(1));
+        let n_buckets = bucket_count(q.start_ns, q.end_ns, bucket_ns);
+        let mut per_bucket: Vec<Vec<f64>> = vec![Vec::new(); n_buckets];
+
+        for series in series_map.values() {
+            if !q
+                .tag_filters
+                .iter()
+                .all(|(k, v)| series.tags.iter().any(|(sk, sv)| sk == k && sv == v))
+            {
+                continue;
+            }
+            let Some(run) = series.fields.get(&q.field) else {
+                continue;
+            };
+            let lo = run.partition_point(|&(t, _)| t < q.start_ns);
+            for &(t, v) in &run[lo..] {
+                if t >= q.end_ns {
+                    break;
+                }
+                let b = ((t - q.start_ns) / bucket_ns) as usize;
+                per_bucket[b].push(v);
+            }
+        }
+
+        per_bucket
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut values)| Bucket {
+                start_ns: q.start_ns + i as u64 * bucket_ns,
+                agg: Aggregate::compute(&mut values),
+            })
+            .collect()
+    }
+
+    /// Stable dump of all data for snapshot serialization (sorted for
+    /// deterministic images).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn dump_for_snapshot(
+        &self,
+    ) -> Vec<(
+        String,
+        Vec<(Vec<(String, String)>, Vec<(String, Vec<(u64, f64)>)>)>,
+    )> {
+        let inner = self.inner.read();
+        let mut measurements: Vec<&String> = inner.keys().collect();
+        measurements.sort_unstable();
+        measurements
+            .into_iter()
+            .map(|m| {
+                let series_map = &inner[m];
+                let mut keys: Vec<&String> = series_map.keys().collect();
+                keys.sort_unstable();
+                let series = keys
+                    .into_iter()
+                    .map(|k| {
+                        let s = &series_map[k];
+                        let mut fields: Vec<(String, Vec<(u64, f64)>)> = s
+                            .fields
+                            .iter()
+                            .map(|(name, run)| (name.clone(), run.clone()))
+                            .collect();
+                        fields.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                        (s.tags.clone(), fields)
+                    })
+                    .collect();
+                (m.clone(), series)
+            })
+            .collect()
+    }
+
+    /// Distinct values of tag `key` across a measurement's series, sorted —
+    /// what a dashboard uses to populate its "city" / "ASN" selectors.
+    pub fn tag_values(&self, measurement: &str, key: &str) -> Vec<String> {
+        let inner = self.inner.read();
+        let Some(series_map) = inner.get(measurement) else {
+            return Vec::new();
+        };
+        let mut values: Vec<String> = series_map
+            .values()
+            .filter_map(|s| {
+                s.tags
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone())
+            })
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        values
+    }
+
+    /// Drop samples older than `keep_ns` relative to `now_ns`; empty series
+    /// are removed. Returns how many samples were dropped.
+    pub fn enforce_retention(&self, now_ns: u64, keep_ns: u64) -> u64 {
+        let cutoff = now_ns.saturating_sub(keep_ns);
+        let mut dropped = 0u64;
+        let mut inner = self.inner.write();
+        for series_map in inner.values_mut() {
+            for series in series_map.values_mut() {
+                for run in series.fields.values_mut() {
+                    let keep_from = run.partition_point(|&(t, _)| t < cutoff);
+                    dropped += keep_from as u64;
+                    run.drain(..keep_from);
+                }
+                series.fields.retain(|_, run| !run.is_empty());
+            }
+            series_map.retain(|_, s| !s.fields.is_empty());
+        }
+        dropped
+    }
+
+    /// Downsample: write `mean` of each `bucket_ns` window of
+    /// `(measurement, field)` into `target_measurement` (tags preserved),
+    /// over `[start_ns, end_ns)`. Returns points written.
+    pub fn downsample(
+        &self,
+        measurement: &str,
+        field: &str,
+        target_measurement: &str,
+        bucket_ns: u64,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> usize {
+        assert!(bucket_ns > 0, "bucket width must be positive");
+        // Collect first (cannot hold the read lock while writing).
+        let mut out: Vec<Point> = Vec::new();
+        {
+            let inner = self.inner.read();
+            let Some(series_map) = inner.get(measurement) else {
+                return 0;
+            };
+            for series in series_map.values() {
+                let Some(run) = series.fields.get(field) else {
+                    continue;
+                };
+                let n_buckets = bucket_count(start_ns, end_ns, bucket_ns);
+                let mut sums = vec![(0.0f64, 0usize); n_buckets];
+                let lo = run.partition_point(|&(t, _)| t < start_ns);
+                for &(t, v) in &run[lo..] {
+                    if t >= end_ns {
+                        break;
+                    }
+                    let b = ((t - start_ns) / bucket_ns) as usize;
+                    sums[b].0 += v;
+                    sums[b].1 += 1;
+                }
+                for (i, (sum, count)) in sums.into_iter().enumerate() {
+                    if count > 0 {
+                        out.push(Point::new(
+                            target_measurement,
+                            series.tags.clone(),
+                            vec![(field.to_string(), sum / count as f64)],
+                            start_ns + i as u64 * bucket_ns,
+                        ));
+                    }
+                }
+            }
+        }
+        let n = out.len();
+        for p in &out {
+            self.write(p);
+        }
+        n
+    }
+}
+
+impl Default for TsDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_count(start: u64, end: u64, width: u64) -> usize {
+    if end <= start {
+        return 0;
+    }
+    ((end - start).div_ceil(width)) as usize
+}
+
+fn empty_buckets(q: &Query) -> Vec<Bucket> {
+    let width = q.bucket_ns.unwrap_or(q.end_ns.saturating_sub(q.start_ns).max(1));
+    (0..bucket_count(q.start_ns, q.end_ns, width))
+        .map(|i| Bucket {
+            start_ns: q.start_ns + i as u64 * width,
+            agg: None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(city: &str, ms: f64, ts: u64) -> Point {
+        Point::new(
+            "latency",
+            vec![("city".into(), city.into())],
+            vec![("total_ms".into(), ms)],
+            ts,
+        )
+    }
+
+    #[test]
+    fn write_and_whole_range_query() {
+        let db = TsDb::new();
+        db.write(&point("akl", 130.0, 10));
+        db.write(&point("akl", 132.0, 20));
+        db.write(&point("lax", 60.0, 15));
+        let buckets = db.query(&Query::range("latency", "total_ms", 0, 100));
+        assert_eq!(buckets.len(), 1);
+        let agg = buckets[0].agg.unwrap();
+        assert_eq!(agg.count, 3);
+        assert_eq!(agg.min, 60.0);
+        assert_eq!(agg.max, 132.0);
+        assert_eq!(db.points_ingested(), 3);
+        assert_eq!(db.series_count("latency"), 2);
+    }
+
+    #[test]
+    fn tag_filter_restricts_series() {
+        let db = TsDb::new();
+        db.write(&point("akl", 130.0, 10));
+        db.write(&point("lax", 60.0, 15));
+        let buckets = db.query(
+            &Query::range("latency", "total_ms", 0, 100).with_tag("city", "akl"),
+        );
+        let agg = buckets[0].agg.unwrap();
+        assert_eq!(agg.count, 1);
+        assert_eq!(agg.mean, 130.0);
+    }
+
+    #[test]
+    fn time_range_is_half_open() {
+        let db = TsDb::new();
+        db.write(&point("akl", 1.0, 10));
+        db.write(&point("akl", 2.0, 20));
+        let buckets = db.query(&Query::range("latency", "total_ms", 10, 20));
+        assert_eq!(buckets[0].agg.unwrap().count, 1, "end is exclusive");
+    }
+
+    #[test]
+    fn bucketed_query_splits_windows() {
+        let db = TsDb::new();
+        for i in 0..10u64 {
+            db.write(&point("akl", i as f64, i * 100));
+        }
+        let buckets = db.query(&Query::range("latency", "total_ms", 0, 1000).with_buckets(500));
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].start_ns, 0);
+        assert_eq!(buckets[1].start_ns, 500);
+        assert_eq!(buckets[0].agg.unwrap().count, 5);
+        assert_eq!(buckets[1].agg.unwrap().count, 5);
+        assert_eq!(buckets[0].agg.unwrap().mean, 2.0);
+        assert_eq!(buckets[1].agg.unwrap().mean, 7.0);
+    }
+
+    #[test]
+    fn empty_buckets_are_reported() {
+        let db = TsDb::new();
+        db.write(&point("akl", 1.0, 50));
+        let buckets = db.query(&Query::range("latency", "total_ms", 0, 300).with_buckets(100));
+        assert_eq!(buckets.len(), 3);
+        assert!(buckets[0].agg.is_some());
+        assert!(buckets[1].agg.is_none());
+        assert!(buckets[2].agg.is_none());
+    }
+
+    #[test]
+    fn unknown_measurement_returns_empty_buckets() {
+        let db = TsDb::new();
+        let buckets = db.query(&Query::range("nope", "f", 0, 200).with_buckets(100));
+        assert_eq!(buckets.len(), 2);
+        assert!(buckets.iter().all(|b| b.agg.is_none()));
+    }
+
+    #[test]
+    fn out_of_order_ingest_is_sorted() {
+        let db = TsDb::new();
+        db.write(&point("akl", 3.0, 300));
+        db.write(&point("akl", 1.0, 100));
+        db.write(&point("akl", 2.0, 200));
+        let buckets = db.query(&Query::range("latency", "total_ms", 0, 400).with_buckets(100));
+        let means: Vec<Option<f64>> = buckets.iter().map(|b| b.agg.map(|a| a.mean)).collect();
+        assert_eq!(means, vec![None, Some(1.0), Some(2.0), Some(3.0)]);
+    }
+
+    #[test]
+    fn tag_values_lists_distinct_sorted() {
+        let db = TsDb::new();
+        db.write(&point("lax", 1.0, 1));
+        db.write(&point("akl", 1.0, 2));
+        db.write(&point("akl", 2.0, 3));
+        assert_eq!(db.tag_values("latency", "city"), vec!["akl", "lax"]);
+        assert!(db.tag_values("latency", "nope").is_empty());
+        assert!(db.tag_values("nope", "city").is_empty());
+    }
+
+    #[test]
+    fn retention_drops_old_samples() {
+        let db = TsDb::new();
+        for i in 0..10u64 {
+            db.write(&point("akl", i as f64, i * 1000));
+        }
+        let dropped = db.enforce_retention(10_000, 5_000);
+        assert_eq!(dropped, 5); // samples at 0..4999 dropped
+        let agg = db.query(&Query::range("latency", "total_ms", 0, 100_000))[0]
+            .agg
+            .unwrap();
+        assert_eq!(agg.count, 5);
+        assert_eq!(agg.min, 5.0);
+    }
+
+    #[test]
+    fn retention_removes_empty_series() {
+        let db = TsDb::new();
+        db.write(&point("akl", 1.0, 10));
+        db.enforce_retention(1_000_000, 0);
+        assert_eq!(db.series_count("latency"), 0);
+    }
+
+    #[test]
+    fn line_protocol_ingest() {
+        let db = TsDb::new();
+        db.write_line("latency,city=akl total_ms=130 100").unwrap();
+        assert!(db.write_line("garbage").is_err());
+        let agg = db.query(&Query::range("latency", "total_ms", 0, 200))[0]
+            .agg
+            .unwrap();
+        assert_eq!(agg.count, 1);
+    }
+
+    #[test]
+    fn downsample_writes_means() {
+        let db = TsDb::new();
+        for i in 0..100u64 {
+            db.write(&point("akl", i as f64, i * 10));
+        }
+        let n = db.downsample("latency", "total_ms", "latency_1us", 500, 0, 1000);
+        assert_eq!(n, 2);
+        let buckets = db.query(&Query::range("latency_1us", "total_ms", 0, 1000).with_buckets(500));
+        assert_eq!(buckets[0].agg.unwrap().count, 1);
+        assert_eq!(buckets[0].agg.unwrap().mean, 24.5); // mean of 0..49
+        assert_eq!(buckets[1].agg.unwrap().mean, 74.5); // mean of 50..99
+    }
+
+    #[test]
+    fn concurrent_ingest() {
+        let db = std::sync::Arc::new(TsDb::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let db = std::sync::Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    db.write(&point(if t % 2 == 0 { "akl" } else { "lax" }, 1.0, i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.points_ingested(), 4000);
+        let agg = db.query(&Query::range("latency", "total_ms", 0, 2000))[0]
+            .agg
+            .unwrap();
+        assert_eq!(agg.count, 4000);
+    }
+
+    #[test]
+    fn multiple_fields_per_point() {
+        let db = TsDb::new();
+        db.write(&Point::new(
+            "latency",
+            vec![("city".into(), "akl".into())],
+            vec![("int_ms".into(), 1.0), ("ext_ms".into(), 130.0)],
+            5,
+        ));
+        let int_agg = db.query(&Query::range("latency", "int_ms", 0, 10))[0].agg.unwrap();
+        let ext_agg = db.query(&Query::range("latency", "ext_ms", 0, 10))[0].agg.unwrap();
+        assert_eq!(int_agg.mean, 1.0);
+        assert_eq!(ext_agg.mean, 130.0);
+    }
+}

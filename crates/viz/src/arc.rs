@@ -1,0 +1,177 @@
+//! Great-circle arc tessellation.
+//!
+//! Each connection becomes a 3D arc from source to destination: points
+//! spherically interpolated along the great circle, lifted by a sine
+//! altitude profile proportional to the arc's ground distance (what MapGL
+//! renders as the glowing connection arcs).
+
+use crate::color::{Color, LatencyScale};
+
+/// One tessellated arc ready for the map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arc3D {
+    /// Polyline vertices as `(lat, lon, altitude_km)`.
+    pub points: Vec<(f32, f32, f32)>,
+    /// Render colour (from the latency scale).
+    pub color: Color,
+    /// The latency that coloured the arc, ms.
+    pub latency_ms: f64,
+}
+
+fn to_unit(lat_deg: f32, lon_deg: f32) -> [f64; 3] {
+    let lat = (lat_deg as f64).to_radians();
+    let lon = (lon_deg as f64).to_radians();
+    [lat.cos() * lon.cos(), lat.cos() * lon.sin(), lat.sin()]
+}
+
+fn from_unit(v: [f64; 3]) -> (f32, f32) {
+    let lat = v[2].asin().to_degrees();
+    let lon = v[1].atan2(v[0]).to_degrees();
+    (lat as f32, lon as f32)
+}
+
+/// Spherical linear interpolation between two unit vectors.
+fn slerp(a: [f64; 3], b: [f64; 3], t: f64) -> [f64; 3] {
+    let dot = (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]).clamp(-1.0, 1.0);
+    let omega = dot.acos();
+    if omega.abs() < 1e-9 {
+        return a;
+    }
+    let so = omega.sin();
+    let ka = ((1.0 - t) * omega).sin() / so;
+    let kb = (t * omega).sin() / so;
+    let v = [
+        ka * a[0] + kb * b[0],
+        ka * a[1] + kb * b[1],
+        ka * a[2] + kb * b[2],
+    ];
+    // Normalize to stay on the sphere.
+    let n = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    [v[0] / n, v[1] / n, v[2] / n]
+}
+
+/// Central angle between two coordinates, radians.
+fn central_angle(a: [f64; 3], b: [f64; 3]) -> f64 {
+    (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]).clamp(-1.0, 1.0).acos()
+}
+
+/// Tessellate an arc with `segments` spans (`segments+1` vertices).
+///
+/// Peak altitude scales with ground distance, capped at 1200 km — long
+/// trans-Pacific arcs rise high, metro arcs hug the ground.
+pub fn tessellate(
+    src: (f32, f32),
+    dst: (f32, f32),
+    latency_ms: f64,
+    segments: usize,
+    scale: &LatencyScale,
+) -> Arc3D {
+    assert!(segments >= 1, "need at least one segment");
+    let a = to_unit(src.0, src.1);
+    let b = to_unit(dst.0, dst.1);
+    let angle = central_angle(a, b);
+    let ground_km = angle * 6371.0;
+    let peak_km = (ground_km * 0.12).min(1200.0);
+    let mut points = Vec::with_capacity(segments + 1);
+    for i in 0..=segments {
+        let t = i as f64 / segments as f64;
+        let (lat, lon) = from_unit(slerp(a, b, t));
+        let alt = (std::f64::consts::PI * t).sin() * peak_km;
+        points.push((lat, lon, alt as f32));
+    }
+    Arc3D {
+        points,
+        color: scale.color(latency_ms),
+        latency_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AKL: (f32, f32) = (-36.85, 174.76);
+    const LAX: (f32, f32) = (34.05, -118.24);
+
+    #[test]
+    fn endpoints_are_exact() {
+        let arc = tessellate(AKL, LAX, 130.0, 64, &LatencyScale::default());
+        assert_eq!(arc.points.len(), 65);
+        let first = arc.points[0];
+        let last = arc.points[64];
+        assert!((first.0 - AKL.0).abs() < 1e-3 && (first.1 - AKL.1).abs() < 1e-3);
+        assert!((last.0 - LAX.0).abs() < 1e-3 && (last.1 - LAX.1).abs() < 1e-3);
+        assert_eq!(first.2, 0.0);
+        assert!(last.2.abs() < 1e-3);
+    }
+
+    #[test]
+    fn altitude_peaks_mid_arc() {
+        let arc = tessellate(AKL, LAX, 130.0, 64, &LatencyScale::default());
+        let mid_alt = arc.points[32].2;
+        assert!(mid_alt > 500.0, "trans-Pacific arc flies high: {mid_alt}");
+        assert!(mid_alt <= 1200.0);
+        // Altitudes rise then fall.
+        for i in 0..32 {
+            assert!(arc.points[i].2 <= arc.points[i + 1].2 + 1e-3);
+        }
+        for i in 32..64 {
+            assert!(arc.points[i].2 >= arc.points[i + 1].2 - 1e-3);
+        }
+    }
+
+    #[test]
+    fn short_arcs_stay_low() {
+        // Auckland → Wellington (~480 km).
+        let arc = tessellate(AKL, (-41.29, 174.78), 8.0, 16, &LatencyScale::default());
+        let peak = arc.points.iter().map(|p| p.2).fold(0.0f32, f32::max);
+        assert!(peak < 100.0, "short arc peak {peak}");
+    }
+
+    #[test]
+    fn dateline_crossing_stays_on_great_circle() {
+        // AKL→LAX crosses the antimeridian; every interpolated point must
+        // stay on the unit sphere with sane coordinates.
+        let arc = tessellate(AKL, LAX, 130.0, 128, &LatencyScale::default());
+        for (lat, lon, _) in &arc.points {
+            assert!((-90.0..=90.0).contains(lat));
+            assert!((-180.0..=180.0).contains(lon));
+        }
+        // And consecutive points should be roughly evenly spaced: compare
+        // first and middle span lengths via unit vectors.
+        let d = |i: usize| {
+            let p = to_unit(arc.points[i].0, arc.points[i].1);
+            let q = to_unit(arc.points[i + 1].0, arc.points[i + 1].1);
+            central_angle(p, q)
+        };
+        let a = d(0);
+        let b = d(64);
+        assert!((a - b).abs() / a < 0.05, "spans uneven: {a} vs {b}");
+    }
+
+    #[test]
+    fn latency_sets_color() {
+        let scale = LatencyScale::default();
+        let green = tessellate(AKL, LAX, 50.0, 8, &scale);
+        let red = tessellate(AKL, LAX, 4000.0, 8, &scale);
+        assert_eq!(green.color, Color::GREEN);
+        assert_eq!(red.color, Color::RED);
+    }
+
+    #[test]
+    fn degenerate_same_point_arc() {
+        let arc = tessellate(AKL, AKL, 1.0, 8, &LatencyScale::default());
+        assert_eq!(arc.points.len(), 9);
+        for (lat, lon, alt) in &arc.points {
+            assert!((lat - AKL.0).abs() < 1e-3);
+            assert!((lon - AKL.1).abs() < 1e-3);
+            assert!(alt.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_rejected() {
+        tessellate(AKL, LAX, 1.0, 0, &LatencyScale::default());
+    }
+}

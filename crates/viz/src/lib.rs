@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # ruru-viz — the frontend backend
+//!
+//! The paper's frontend *"visualizes multiple thousands of connections per
+//! second on a live 3D map on-the-fly … multiple thousands of 3D arcs drawn
+//! on a map with 30 fps"*, plus a Grafana UI showing *"min, max, median,
+//! mean … for a required time interval"*. The browser-side WebGL raster
+//! pass is out of scope (it runs on the client GPU); everything the Ruru
+//! *server* does to feed it is here:
+//!
+//! * [`arc`] — great-circle arc tessellation (spherical interpolation with
+//!   an altitude profile), the geometry uploaded to the map.
+//! * [`color`] — the latency→colour scale ("red lines in areas where most
+//!   lines are green show increased latency").
+//! * [`frame`] — the 30 fps frame batcher with a per-frame arc budget.
+//! * [`json`] — a minimal JSON writer (frames and panels are JSON on the
+//!   WebSocket, as in the deployed system).
+//! * [`ws`] — RFC 6455 WebSocket server framing, including the handshake
+//!   accept-key computation (SHA-1 + Base64, implemented here).
+//! * [`panel`] — Grafana-style stat panels evaluated against
+//!   [`ruru_tsdb::TsDb`], with an ASCII sparkline renderer for terminal
+//!   demos.
+
+pub mod arc;
+pub mod color;
+pub mod dashboard;
+pub mod frame;
+pub mod json;
+pub mod panel;
+pub mod ws;
+
+pub use arc::Arc3D;
+pub use color::Color;
+pub use frame::{Frame, FrameBatcher};
+pub use dashboard::{Dashboard, DashboardData};
+pub use panel::{Panel, PanelData};

@@ -1,0 +1,84 @@
+//! Property tests for the frontend geometry and encodings.
+
+use proptest::prelude::*;
+use ruru_viz::arc::tessellate;
+use ruru_viz::color::LatencyScale;
+use ruru_viz::json::JsonWriter;
+use ruru_viz::ws;
+
+proptest! {
+    /// Arc tessellation stays inside valid geographic coordinates, starts
+    /// and ends on the endpoints, and keeps altitude non-negative — for any
+    /// endpoint pair on the globe.
+    #[test]
+    fn arcs_are_geometrically_sane(lat1 in -89.0f32..89.0, lon1 in -180.0f32..180.0,
+                                   lat2 in -89.0f32..89.0, lon2 in -180.0f32..180.0,
+                                   latency in 0.0f64..10_000.0,
+                                   segments in 1usize..64) {
+        let arc = tessellate((lat1, lon1), (lat2, lon2), latency, segments, &LatencyScale::default());
+        prop_assert_eq!(arc.points.len(), segments + 1);
+        for &(lat, lon, alt) in &arc.points {
+            prop_assert!((-90.0..=90.0).contains(&lat), "lat {lat}");
+            prop_assert!((-180.0..=180.0).contains(&lon), "lon {lon}");
+            prop_assert!(alt >= -1e-3, "altitude {alt}");
+            prop_assert!(alt <= 1200.5, "altitude {alt}");
+        }
+        let first = arc.points[0];
+        let last = arc.points[segments];
+        prop_assert!((first.0 - lat1).abs() < 1e-2);
+        prop_assert!((last.0 - lat2).abs() < 1e-2);
+    }
+
+    /// The colour scale is total (no panics) and yields full alpha.
+    #[test]
+    fn color_scale_total(ms in -1.0e6f64..1.0e9) {
+        let c = LatencyScale::default().color(ms);
+        prop_assert_eq!(c.a, 0xff);
+        prop_assert_eq!(c.to_hex().len(), 9);
+    }
+
+    /// JSON string values always escape to parseable, quote-balanced text.
+    #[test]
+    fn json_strings_always_balanced(s in "\\PC*") {
+        let mut w = JsonWriter::new();
+        w.begin_object().key("k").string(&s).end_object();
+        let doc = w.finish();
+        let starts = doc.starts_with("{\"k\":\"");
+        prop_assert!(starts, "bad prefix: {doc}");
+        let ends = doc.ends_with("\"}");
+        prop_assert!(ends, "bad suffix: {doc}");
+        // No raw control characters survive.
+        prop_assert!(!doc.chars().any(|c| (c as u32) < 0x20));
+    }
+
+    /// Fixed-point numbers round-trip to within half an ulp of the scale.
+    #[test]
+    fn json_fixed_accuracy(v in -1.0e9f64..1.0e9, decimals in 0u32..7) {
+        let mut w = JsonWriter::new();
+        w.fixed(v, decimals);
+        let out = w.finish();
+        let parsed: f64 = out.parse().unwrap();
+        let scale = 10f64.powi(decimals as i32);
+        prop_assert!((parsed - v).abs() <= 0.5 / scale + v.abs() * 1e-12,
+                     "v {v} decimals {decimals} -> {out}");
+    }
+
+    /// WebSocket encode→decode round-trips arbitrary payloads (after
+    /// client-side masking is applied to the encoded frame).
+    #[test]
+    fn ws_frames_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..70_000),
+                           mask in any::<[u8; 4]>()) {
+        // Take a server frame and re-mask it as a client would.
+        let server = ws::encode_frame(ws::Opcode::Binary, &payload);
+        let header_len = server.len() - payload.len();
+        let mut client = Vec::with_capacity(server.len() + 4);
+        client.extend_from_slice(&server[..header_len]);
+        client[1] |= 0x80; // masked bit
+        client.extend_from_slice(&mask);
+        client.extend(payload.iter().enumerate().map(|(i, b)| b ^ mask[i % 4]));
+        let (frame, used) = ws::decode_client_frame(&client).unwrap();
+        prop_assert_eq!(used, client.len());
+        prop_assert_eq!(frame.payload, payload);
+        prop_assert!(frame.fin);
+    }
+}

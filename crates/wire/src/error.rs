@@ -1,0 +1,49 @@
+//! Crate-wide error type.
+
+/// Errors produced while parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is shorter than the fixed header of the protocol.
+    Truncated,
+    /// A length field points past the end of the buffer.
+    BadLength,
+    /// A version field does not match the expected protocol version.
+    BadVersion,
+    /// A checksum did not verify.
+    BadChecksum,
+    /// A field holds a value the parser cannot represent (e.g. TCP data
+    /// offset below 5, malformed option length).
+    Malformed,
+    /// A pcap file had an unknown magic number or unsupported link type.
+    UnsupportedFormat,
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Error::Truncated => "buffer truncated",
+            Error::BadLength => "length field inconsistent with buffer",
+            Error::BadVersion => "wrong protocol version",
+            Error::BadChecksum => "checksum mismatch",
+            Error::Malformed => "malformed field",
+            Error::UnsupportedFormat => "unsupported capture format",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_human_readable() {
+        assert_eq!(Error::Truncated.to_string(), "buffer truncated");
+        assert_eq!(Error::BadChecksum.to_string(), "checksum mismatch");
+    }
+}

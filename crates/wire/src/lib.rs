@@ -1,0 +1,152 @@
+#![warn(missing_docs)]
+
+//! # ruru-wire — packet wire formats for the Ruru pipeline
+//!
+//! Zero-copy views over raw packet bytes, in the style of an event-driven
+//! embedded TCP/IP stack: each protocol has a `Packet<T: AsRef<[u8]>>` wrapper
+//! that validates lengths once and then exposes cheap field accessors, plus a
+//! high-level `Repr` value type that can be parsed from and emitted into a
+//! buffer.
+//!
+//! Layers implemented:
+//!
+//! * [`ethernet`] — Ethernet II frames (with optional 802.1Q VLAN tag).
+//! * [`ipv4`] / [`ipv6`] — the two IP versions Ruru taps.
+//! * [`tcp`] — TCP segments including the option kinds Ruru and the `pping`
+//!   baseline care about (MSS, window scale, SACK-permitted, timestamps).
+//! * [`checksum`] — the ones-complement Internet checksum and pseudo-headers.
+//! * [`pcap`] — classic libpcap capture files (read + write), used by the
+//!   traffic generator for export and by the offline-analysis example.
+//!
+//! Everything here is freestanding: no I/O, no allocation on the parse path.
+//!
+//! ```
+//! use ruru_wire::{ethernet, ipv4, tcp};
+//!
+//! // Build a SYN packet, then parse it back.
+//! let tcp_repr = tcp::Repr {
+//!     src_port: 40000,
+//!     dst_port: 443,
+//!     seq: 7,
+//!     ack: 0,
+//!     flags: tcp::Flags::SYN,
+//!     window: 65535,
+//!     options: tcp::OptionList::default(),
+//! };
+//! let ip_repr = ipv4::Repr {
+//!     src: ipv4::Address([192, 168, 1, 2]),
+//!     dst: ipv4::Address([10, 0, 0, 1]),
+//!     protocol: ipv4::Protocol::Tcp,
+//!     ttl: 64,
+//!     payload_len: tcp_repr.header_len(),
+//! };
+//! let mut buf = vec![0u8; ethernet::HEADER_LEN + ip_repr.total_len()];
+//! let eth_repr = ethernet::Repr {
+//!     src: ethernet::Address([2, 0, 0, 0, 0, 1]),
+//!     dst: ethernet::Address([2, 0, 0, 0, 0, 2]),
+//!     ethertype: ethernet::EtherType::Ipv4,
+//! };
+//! eth_repr.emit(&mut ethernet::Frame::new_unchecked(&mut buf[..]));
+//! let mut ip = ipv4::Packet::new_unchecked(&mut buf[ethernet::HEADER_LEN..]);
+//! ip_repr.emit(&mut ip);
+//! let mut seg = tcp::Packet::new_unchecked(ip.payload_mut());
+//! tcp_repr.emit(&mut seg, &ip_repr.pseudo_header());
+//!
+//! let frame = ethernet::Frame::new_checked(&buf[..]).unwrap();
+//! assert_eq!(frame.ethertype(), ethernet::EtherType::Ipv4);
+//! let ip = ipv4::Packet::new_checked(frame.payload()).unwrap();
+//! let seg = tcp::Packet::new_checked(ip.payload()).unwrap();
+//! assert!(tcp::Flags::from_bits(seg.flags()).contains(tcp::Flags::SYN));
+//! ```
+
+pub mod checksum;
+pub mod ethernet;
+pub mod ipv4;
+pub mod ipv6;
+pub mod pcap;
+pub mod tcp;
+
+mod error;
+
+pub use error::{Error, Result};
+
+/// A parsed network-layer address of either IP version.
+///
+/// Ruru taps dual-stack links; flow keys and geo lookups are generic over
+/// this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IpAddress {
+    /// An IPv4 address.
+    V4(ipv4::Address),
+    /// An IPv6 address.
+    V6(ipv6::Address),
+}
+
+impl IpAddress {
+    /// Returns true if this is an IPv4 address.
+    pub fn is_v4(&self) -> bool {
+        matches!(self, IpAddress::V4(_))
+    }
+
+    /// Map the address into the u128 key space used by the geo database:
+    /// IPv4 addresses occupy the IPv4-mapped IPv6 range `::ffff:a.b.c.d`.
+    pub fn as_u128(&self) -> u128 {
+        match self {
+            IpAddress::V4(a) => 0xffff_0000_0000 | u32::from_be_bytes(a.0) as u128,
+            IpAddress::V6(a) => u128::from_be_bytes(a.0),
+        }
+    }
+}
+
+impl core::fmt::Display for IpAddress {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IpAddress::V4(a) => write!(f, "{a}"),
+            IpAddress::V6(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+impl From<ipv4::Address> for IpAddress {
+    fn from(a: ipv4::Address) -> Self {
+        IpAddress::V4(a)
+    }
+}
+
+impl From<ipv6::Address> for IpAddress {
+    fn from(a: ipv6::Address) -> Self {
+        IpAddress::V6(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_address_u128_mapping_v4() {
+        let a = IpAddress::V4(ipv4::Address([1, 2, 3, 4]));
+        assert_eq!(a.as_u128(), 0xffff_0102_0304u128);
+        assert!(a.is_v4());
+    }
+
+    #[test]
+    fn ip_address_u128_mapping_v6() {
+        let a = IpAddress::V6(ipv6::Address([0xfd; 16]));
+        assert_eq!(a.as_u128(), u128::from_be_bytes([0xfd; 16]));
+        assert!(!a.is_v4());
+    }
+
+    #[test]
+    fn ip_address_display() {
+        let a = IpAddress::V4(ipv4::Address([10, 0, 0, 1]));
+        assert_eq!(a.to_string(), "10.0.0.1");
+    }
+
+    #[test]
+    fn ip_address_ordering_groups_versions() {
+        let v4 = IpAddress::V4(ipv4::Address([255, 255, 255, 255]));
+        let v6 = IpAddress::V6(ipv6::Address([0; 16]));
+        assert!(v4 < v6);
+    }
+}

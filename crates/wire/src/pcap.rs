@@ -1,0 +1,324 @@
+//! Classic libpcap capture files (the 24-byte global header format).
+//!
+//! The traffic generator exports pcaps so runs can be inspected in Wireshark,
+//! and the offline-analysis example replays pcaps through the Ruru flow
+//! tracker without the simulated NIC — the libpcap fall-back path the paper's
+//! repo also offered for hosts without DPDK.
+//!
+//! Timestamps use the nanosecond-resolution magic (`0xa1b23c4d`) by default,
+//! since Ruru's whole point is sub-microsecond timestamping; the
+//! microsecond magic (`0xa1b2c3d4`) is read transparently.
+
+use crate::{Error, Result};
+use std::io::{Read, Write};
+
+/// Magic for microsecond-resolution captures.
+pub const MAGIC_MICROS: u32 = 0xa1b2_c3d4;
+/// Magic for nanosecond-resolution captures.
+pub const MAGIC_NANOS: u32 = 0xa1b2_3c4d;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Length of the global file header.
+pub const GLOBAL_HEADER_LEN: usize = 24;
+/// Length of each per-record header.
+pub const RECORD_HEADER_LEN: usize = 16;
+
+/// One captured packet: a nanosecond timestamp and the frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Capture timestamp in nanoseconds since the epoch of the capture.
+    pub timestamp_ns: u64,
+    /// Original (on-the-wire) length, which may exceed `data.len()` if the
+    /// capture used a snap length.
+    pub orig_len: u32,
+    /// The captured bytes.
+    pub data: Vec<u8>,
+}
+
+/// Streaming pcap writer.
+///
+/// ```
+/// use ruru_wire::pcap::{Writer, Reader, Record};
+/// let mut buf = Vec::new();
+/// {
+///     let mut w = Writer::new(&mut buf).unwrap();
+///     w.write(&Record { timestamp_ns: 123, orig_len: 4, data: vec![1, 2, 3, 4] }).unwrap();
+/// }
+/// let mut r = Reader::new(&buf[..]).unwrap();
+/// let rec = r.next().unwrap().unwrap();
+/// assert_eq!(rec.timestamp_ns, 123);
+/// assert_eq!(rec.data, vec![1, 2, 3, 4]);
+/// ```
+pub struct Writer<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> Writer<W> {
+    /// Create a writer, emitting a nanosecond-resolution Ethernet global
+    /// header immediately.
+    pub fn new(mut inner: W) -> std::io::Result<Writer<W>> {
+        let mut hdr = [0u8; GLOBAL_HEADER_LEN];
+        hdr[0..4].copy_from_slice(&MAGIC_NANOS.to_le_bytes());
+        hdr[4..6].copy_from_slice(&2u16.to_le_bytes()); // major
+        hdr[6..8].copy_from_slice(&4u16.to_le_bytes()); // minor
+        // thiszone = 0, sigfigs = 0
+        hdr[16..20].copy_from_slice(&65535u32.to_le_bytes()); // snaplen
+        hdr[20..24].copy_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        inner.write_all(&hdr)?;
+        Ok(Writer { inner })
+    }
+
+    /// Append one record.
+    pub fn write(&mut self, rec: &Record) -> std::io::Result<()> {
+        let mut hdr = [0u8; RECORD_HEADER_LEN];
+        let secs = (rec.timestamp_ns / 1_000_000_000) as u32;
+        let nanos = (rec.timestamp_ns % 1_000_000_000) as u32;
+        hdr[0..4].copy_from_slice(&secs.to_le_bytes());
+        hdr[4..8].copy_from_slice(&nanos.to_le_bytes());
+        hdr[8..12].copy_from_slice(&(rec.data.len() as u32).to_le_bytes());
+        hdr[12..16].copy_from_slice(&rec.orig_len.to_le_bytes());
+        self.inner.write_all(&hdr)?;
+        self.inner.write_all(&rec.data)
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Streaming pcap reader supporting both timestamp resolutions and both byte
+/// orders (the magic doubles as a byte-order mark).
+pub struct Reader<R: Read> {
+    inner: R,
+    swapped: bool,
+    nanos: bool,
+}
+
+impl<R: Read> Reader<R> {
+    /// Open a capture, parsing and validating the global header.
+    pub fn new(mut inner: R) -> Result<Reader<R>> {
+        let mut hdr = [0u8; GLOBAL_HEADER_LEN];
+        inner.read_exact(&mut hdr).map_err(|_| Error::Truncated)?;
+        let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        let (swapped, nanos) = match magic {
+            MAGIC_MICROS => (false, false),
+            MAGIC_NANOS => (false, true),
+            m if m == MAGIC_MICROS.swap_bytes() => (true, false),
+            m if m == MAGIC_NANOS.swap_bytes() => (true, true),
+            _ => return Err(Error::UnsupportedFormat),
+        };
+        let rd32 = |b: &[u8]| {
+            let v = u32::from_le_bytes(b.try_into().unwrap());
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        if rd32(&hdr[20..24]) != LINKTYPE_ETHERNET {
+            return Err(Error::UnsupportedFormat);
+        }
+        Ok(Reader {
+            inner,
+            swapped,
+            nanos,
+        })
+    }
+
+    /// True if the capture declared nanosecond resolution.
+    pub fn is_nanosecond(&self) -> bool {
+        self.nanos
+    }
+
+    fn rd32(&self, b: &[u8]) -> u32 {
+        let v = u32::from_le_bytes(b.try_into().unwrap());
+        if self.swapped {
+            v.swap_bytes()
+        } else {
+            v
+        }
+    }
+
+    /// Read the next record; `None` at clean end-of-file.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Result<Record>> {
+        let mut hdr = [0u8; RECORD_HEADER_LEN];
+        match self.inner.read_exact(&mut hdr) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return None,
+            Err(_) => return Some(Err(Error::Truncated)),
+        }
+        let secs = self.rd32(&hdr[0..4]) as u64;
+        let frac = self.rd32(&hdr[4..8]) as u64;
+        let incl_len = self.rd32(&hdr[8..12]) as usize;
+        let orig_len = self.rd32(&hdr[12..16]);
+        if incl_len > 256 * 1024 {
+            return Some(Err(Error::BadLength));
+        }
+        let mut data = vec![0u8; incl_len];
+        if self.inner.read_exact(&mut data).is_err() {
+            return Some(Err(Error::Truncated));
+        }
+        let timestamp_ns = secs * 1_000_000_000 + if self.nanos { frac } else { frac * 1000 };
+        Some(Ok(Record {
+            timestamp_ns,
+            orig_len,
+            data,
+        }))
+    }
+
+    /// Collect all remaining records, failing on the first malformed one.
+    pub fn read_all(&mut self) -> Result<Vec<Record>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next() {
+            out.push(rec?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(records: &[Record]) -> Vec<Record> {
+        let mut buf = Vec::new();
+        {
+            let mut w = Writer::new(&mut buf).unwrap();
+            for r in records {
+                w.write(r).unwrap();
+            }
+        }
+        Reader::new(&buf[..]).unwrap().read_all().unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let records = vec![
+            Record {
+                timestamp_ns: 1_500_000_000_123_456_789,
+                orig_len: 3,
+                data: vec![9, 8, 7],
+            },
+            Record {
+                timestamp_ns: 1,
+                orig_len: 100,
+                data: vec![0; 60],
+            },
+        ];
+        assert_eq!(roundtrip(&records), records);
+    }
+
+    #[test]
+    fn empty_capture() {
+        assert!(roundtrip(&[]).is_empty());
+    }
+
+    #[test]
+    fn nanosecond_resolution_preserved() {
+        let rec = Record {
+            timestamp_ns: 999_999_999,
+            orig_len: 0,
+            data: vec![],
+        };
+        let got = roundtrip(std::slice::from_ref(&rec));
+        assert_eq!(got[0].timestamp_ns, 999_999_999);
+    }
+
+    #[test]
+    fn microsecond_magic_scales_to_ns() {
+        // Hand-craft a microsecond-format capture.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_MICROS.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&4u16.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 8]);
+        buf.extend_from_slice(&65535u32.to_le_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        // record: 1s + 5µs, 2 bytes
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&5u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xaa, 0xbb]);
+        let mut r = Reader::new(&buf[..]).unwrap();
+        assert!(!r.is_nanosecond());
+        let rec = r.next().unwrap().unwrap();
+        assert_eq!(rec.timestamp_ns, 1_000_005_000);
+        assert_eq!(rec.data, vec![0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn big_endian_capture_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_NANOS.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&[0u8; 8]);
+        buf.extend_from_slice(&65535u32.to_be_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&42u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.push(0xcc);
+        let mut r = Reader::new(&buf[..]).unwrap();
+        let rec = r.next().unwrap().unwrap();
+        assert_eq!(rec.timestamp_ns, 42);
+        assert_eq!(rec.data, vec![0xcc]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = [0u8; GLOBAL_HEADER_LEN];
+        assert_eq!(
+            Reader::new(&buf[..]).err(),
+            Some(Error::UnsupportedFormat)
+        );
+    }
+
+    #[test]
+    fn non_ethernet_linktype_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_NANOS.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        buf.extend_from_slice(&101u32.to_le_bytes()); // LINKTYPE_RAW
+        assert_eq!(
+            Reader::new(&buf[..]).err(),
+            Some(Error::UnsupportedFormat)
+        );
+    }
+
+    #[test]
+    fn truncated_record_reported() {
+        let mut buf = Vec::new();
+        {
+            let mut w = Writer::new(&mut buf).unwrap();
+            w.write(&Record {
+                timestamp_ns: 0,
+                orig_len: 4,
+                data: vec![1, 2, 3, 4],
+            })
+            .unwrap();
+        }
+        buf.truncate(buf.len() - 2);
+        let mut r = Reader::new(&buf[..]).unwrap();
+        assert_eq!(r.next(), Some(Err(Error::Truncated)));
+    }
+
+    #[test]
+    fn absurd_record_length_rejected() {
+        let mut buf = Vec::new();
+        {
+            let _ = Writer::new(&mut buf).unwrap();
+        }
+        buf.extend_from_slice(&[0u8; 8]);
+        buf.extend_from_slice(&(300u32 * 1024 * 1024).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = Reader::new(&buf[..]).unwrap();
+        assert_eq!(r.next(), Some(Err(Error::BadLength)));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the wire formats: emit→parse roundtrips, parser
+//! totality on arbitrary bytes, and checksum invariants.
+
+use proptest::prelude::*;
+use ruru_wire::{checksum, ethernet, ipv4, ipv6, pcap, tcp};
+
+proptest! {
+    /// The Internet checksum of data with its checksum inserted verifies.
+    #[test]
+    fn checksum_self_verifies(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut data = data;
+        // reserve a 2-byte checksum slot at the front
+        data.insert(0, 0);
+        data.insert(0, 0);
+        let c = checksum::checksum(0, &data);
+        data[0..2].copy_from_slice(&c.to_be_bytes());
+        prop_assert!(checksum::verify(0, &data));
+    }
+
+    /// Checksumming is independent of how the accumulator is split.
+    #[test]
+    fn checksum_sum_is_associative(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                   b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Only when the first chunk has even length does splitting commute.
+        prop_assume!(a.len() % 2 == 0);
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        prop_assert_eq!(
+            checksum::fold(checksum::sum(&joined)),
+            checksum::fold(checksum::sum(&a) + checksum::sum(&b))
+        );
+    }
+
+    /// IPv4 emit→parse is the identity on the representation.
+    #[test]
+    fn ipv4_roundtrip(src in any::<u32>(), dst in any::<u32>(), ttl in any::<u8>(),
+                      payload_len in 0usize..512) {
+        let repr = ipv4::Repr {
+            src: ipv4::Address::from_u32(src),
+            dst: ipv4::Address::from_u32(dst),
+            protocol: ipv4::Protocol::Tcp,
+            ttl,
+            payload_len,
+        };
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut ipv4::Packet::new_unchecked(&mut buf[..]));
+        let p = ipv4::Packet::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(ipv4::Repr::parse(&p).unwrap(), repr);
+    }
+
+    /// IPv6 emit→parse is the identity on the representation.
+    #[test]
+    fn ipv6_roundtrip(src in any::<[u8; 16]>(), dst in any::<[u8; 16]>(),
+                      hop_limit in any::<u8>(), payload_len in 0usize..512) {
+        let repr = ipv6::Repr {
+            src: ipv6::Address(src),
+            dst: ipv6::Address(dst),
+            protocol: ipv4::Protocol::Tcp,
+            hop_limit,
+            payload_len,
+        };
+        let mut buf = vec![0u8; repr.total_len()];
+        repr.emit(&mut ipv6::Packet::new_unchecked(&mut buf[..]));
+        let p = ipv6::Packet::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(ipv6::Repr::parse(&p), repr);
+    }
+
+    /// TCP emit→parse preserves every field the tracker reads, and the
+    /// emitted checksum verifies.
+    #[test]
+    fn tcp_roundtrip(src_port in any::<u16>(), dst_port in any::<u16>(),
+                     seq in any::<u32>(), ack in any::<u32>(),
+                     flag_bits in any::<u8>(), window in any::<u16>(),
+                     tsval in any::<u32>(), tsecr in any::<u32>(),
+                     with_ts in any::<bool>()) {
+        let mut options = tcp::OptionList::new();
+        if with_ts {
+            options.push(tcp::TcpOption::Timestamps { tsval, tsecr }).unwrap();
+        }
+        let repr = tcp::Repr {
+            src_port, dst_port, seq, ack,
+            flags: tcp::Flags::from_bits(flag_bits),
+            window,
+            options,
+        };
+        let ph = checksum::PseudoHeader::v4([1, 2, 3, 4], [5, 6, 7, 8], 6, repr.header_len() as u16);
+        let mut buf = vec![0u8; repr.header_len()];
+        repr.emit(&mut tcp::Packet::new_unchecked(&mut buf[..]), &ph);
+        let p = tcp::Packet::new_checked(&buf[..]).unwrap();
+        prop_assert!(p.verify_checksum(&ph));
+        let parsed = tcp::Repr::parse(&p);
+        prop_assert_eq!(parsed.src_port, src_port);
+        prop_assert_eq!(parsed.dst_port, dst_port);
+        prop_assert_eq!(parsed.seq, seq);
+        prop_assert_eq!(parsed.ack, ack);
+        prop_assert_eq!(parsed.flags, tcp::Flags::from_bits(flag_bits));
+        prop_assert_eq!(parsed.window, window);
+        prop_assert_eq!(parsed.options.timestamps(),
+                        if with_ts { Some((tsval, tsecr)) } else { None });
+    }
+
+    /// Parsers never panic on arbitrary bytes.
+    #[test]
+    fn parsers_are_total(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = ethernet::Frame::new_checked(&data[..]).map(|f| {
+            let _ = f.ethertype();
+            let _ = f.vlan_id();
+            let _ = f.payload().len();
+        });
+        let _ = ipv4::Packet::new_checked(&data[..]).map(|p| {
+            let _ = ipv4::Repr::parse(&p);
+            let _ = p.payload().len();
+        });
+        let _ = ipv6::Packet::new_checked(&data[..]).map(|p| {
+            let _ = p.upper_layer();
+        });
+        let _ = tcp::Packet::new_checked(&data[..]).map(|p| {
+            for o in p.options() {
+                let _ = o;
+            }
+        });
+    }
+
+    /// TCP option iteration never panics and terminates on arbitrary bytes.
+    #[test]
+    fn tcp_options_iter_total(data in proptest::collection::vec(any::<u8>(), 0..40)) {
+        // bounded by construction: each iteration consumes ≥1 byte or ends
+        let count = tcp::OptionsIter::new(&data).count();
+        prop_assert!(count <= data.len());
+    }
+
+    /// pcap write→read is the identity.
+    #[test]
+    fn pcap_roundtrip(records in proptest::collection::vec(
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)), 0..8)) {
+        let records: Vec<pcap::Record> = records.into_iter().map(|(ts, data)| pcap::Record {
+            timestamp_ns: ts % (u32::MAX as u64 * 1_000_000_000),
+            orig_len: data.len() as u32,
+            data,
+        }).collect();
+        let mut buf = Vec::new();
+        {
+            let mut w = pcap::Writer::new(&mut buf).unwrap();
+            for r in &records {
+                w.write(r).unwrap();
+            }
+        }
+        let got = pcap::Reader::new(&buf[..]).unwrap().read_all().unwrap();
+        prop_assert_eq!(got, records);
+    }
+}

@@ -1,0 +1,160 @@
+//! The live 3D-map feed: what the WebGL frontend receives.
+//!
+//! Runs the pipeline, then replays the enriched measurements through the
+//! 30 fps frame batcher and serves them to a real WebSocket client over
+//! loopback TCP — handshake (Sec-WebSocket-Accept), RFC 6455 text frames,
+//! JSON arc payloads — the exact wire bytes a browser would consume.
+//!
+//! ```sh
+//! cargo run --release --example live_map_feed
+//! ```
+
+use ruru::gen::{GenConfig, TrafficGen};
+use ruru::nic::Timestamp;
+use ruru::pipeline::{Pipeline, PipelineConfig};
+use ruru::viz::frame::{FrameBatcher, FrameConfig};
+use ruru::viz::ws;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+fn main() {
+    // 1. Measure some traffic.
+    let duration = Timestamp::from_secs(10);
+    let (mut pipeline, world) = Pipeline::with_synth_world(PipelineConfig::default());
+    let mut gen = TrafficGen::with_world(
+        GenConfig {
+            seed: 30,
+            flows_per_sec: 400.0,
+            duration,
+            data_exchanges: (0, 0),
+            ..GenConfig::default()
+        },
+        world,
+    );
+    pipeline.run(&mut gen);
+    let truths: Vec<_> = gen.truths().to_vec();
+    let report = pipeline.finish();
+    println!(
+        "measured {} flows; frontend cut {} frames live",
+        report.measurements(),
+        report.frames_emitted
+    );
+
+    // 2. Re-batch the flows into frames (standalone batcher, 30 fps).
+    let world2 = ruru::geo::SynthWorld::generate(2);
+    let mut batcher = FrameBatcher::new(FrameConfig::default(), Timestamp::ZERO);
+    let mut frames = Vec::new();
+    for t in &truths {
+        let src = world2.city_location(t.client_city);
+        let dst = world2.city_location(t.server_city);
+        frames.extend(batcher.add(
+            t.t_syn_tap.advanced(t.external_ns + t.internal_ns),
+            (src.lat, src.lon),
+            (dst.lat, dst.lon),
+            (t.external_ns + t.internal_ns) as f64 / 1e6,
+        ));
+    }
+    frames.extend(batcher.advance_to(duration.advanced(1_000_000_000)));
+    let (arcs, dropped) = batcher.stats();
+    println!("re-batched into {} frames ({arcs} arcs, {dropped} dropped)", frames.len());
+
+    // 3. Serve the first 100 frames over a real WebSocket.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let n_frames = frames.len().min(100);
+
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        // HTTP upgrade handshake.
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut key = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let l = line.trim();
+            if let Some(k) = l.strip_prefix("Sec-WebSocket-Key:") {
+                key = k.trim().to_string();
+            }
+            if l.is_empty() {
+                break;
+            }
+        }
+        let response = format!(
+            "HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\n\
+             Connection: Upgrade\r\nSec-WebSocket-Accept: {}\r\n\r\n",
+            ws::accept_key(&key)
+        );
+        stream.write_all(response.as_bytes()).unwrap();
+        // Push frames as text frames, then close.
+        for frame in frames.iter().take(n_frames) {
+            let payload = frame.to_json();
+            stream
+                .write_all(&ws::encode_frame(ws::Opcode::Text, payload.as_bytes()))
+                .unwrap();
+        }
+        stream
+            .write_all(&ws::encode_frame(ws::Opcode::Close, &[]))
+            .unwrap();
+    });
+
+    // 4. A minimal client: handshake, read frames, verify.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let client_key = "dGhlIHNhbXBsZSBub25jZQ==";
+    write!(
+        stream,
+        "GET /feed HTTP/1.1\r\nHost: localhost\r\nUpgrade: websocket\r\n\
+         Connection: Upgrade\r\nSec-WebSocket-Key: {client_key}\r\n\
+         Sec-WebSocket-Version: 13\r\n\r\n"
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut accept = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let l = line.trim();
+        if let Some(a) = l.strip_prefix("Sec-WebSocket-Accept:") {
+            accept = a.trim().to_string();
+        }
+        if l.is_empty() {
+            break;
+        }
+    }
+    assert_eq!(accept, ws::accept_key(client_key), "handshake verified");
+    println!("websocket handshake ok (accept {accept})");
+
+    // Read everything the server sent, then parse server frames.
+    let mut buf = Vec::new();
+    reader.read_to_end(&mut buf).unwrap();
+    let mut at = 0;
+    let mut received = 0;
+    let mut total_bytes = 0usize;
+    let mut first_json = None;
+    while at < buf.len() {
+        // Server frames are unmasked: parse header manually.
+        let fin_op = buf[at];
+        let len7 = buf[at + 1] & 0x7f;
+        let (len, hdr) = match len7 {
+            126 => (u16::from_be_bytes([buf[at + 2], buf[at + 3]]) as usize, 4),
+            127 => (u64::from_be_bytes(buf[at + 2..at + 10].try_into().unwrap()) as usize, 10),
+            n => (n as usize, 2),
+        };
+        let payload = &buf[at + hdr..at + hdr + len];
+        if fin_op & 0x0f == 0x1 {
+            received += 1;
+            total_bytes += len;
+            if first_json.is_none() {
+                first_json = Some(String::from_utf8_lossy(payload).into_owned());
+            }
+        }
+        at += hdr + len;
+    }
+    server.join().unwrap();
+    println!("client received {received} frames, {total_bytes} bytes of JSON");
+    if let Some(json) = first_json {
+        let preview: String = json.chars().take(160).collect();
+        println!("first frame: {preview}…");
+    }
+    assert_eq!(received, n_frames);
+    println!("all frames delivered over the wire ✓");
+}

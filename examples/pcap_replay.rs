@@ -1,0 +1,105 @@
+//! Offline analysis — the libpcap fall-back path of the original repo:
+//! capture to a pcap, then measure latency from the file with no DPDK (and
+//! no simulated NIC) at all. Also runs the `pping` and SYN-only baselines
+//! over the same capture for comparison.
+//!
+//! ```sh
+//! cargo run --release --example pcap_replay
+//! ```
+
+use ruru::flow::baseline::pping::{Pping, PpingConfig};
+use ruru::flow::baseline::synonly::SynOnly;
+use ruru::flow::classify::{classify, ChecksumMode};
+use ruru::flow::{HandshakeTracker, TrackerConfig};
+use ruru::gen::{GenConfig, TrafficGen};
+use ruru::nic::Timestamp;
+use ruru::wire::pcap;
+
+fn main() {
+    // 1. Capture: generate 5 s of traffic into a pcap file.
+    let path = std::env::temp_dir().join("ruru_replay.pcap");
+    let mut gen = TrafficGen::new(GenConfig {
+        seed: 11,
+        flows_per_sec: 200.0,
+        duration: Timestamp::from_secs(5),
+        data_exchanges: (1, 3),
+        ..GenConfig::default()
+    });
+    {
+        let file = std::fs::File::create(&path).unwrap();
+        let mut writer = pcap::Writer::new(std::io::BufWriter::new(file)).unwrap();
+        for ev in gen.by_ref() {
+            writer
+                .write(&pcap::Record {
+                    timestamp_ns: ev.at.as_nanos(),
+                    orig_len: ev.frame.len() as u32,
+                    data: ev.frame,
+                })
+                .unwrap();
+        }
+        writer.into_inner().unwrap().into_inner().unwrap();
+    }
+    let (flows, _, packets) = gen.stats();
+    let size = std::fs::metadata(&path).unwrap().len();
+    println!("captured {packets} packets / {flows} flows to {} ({size} bytes)", path.display());
+
+    // 2. Replay: read the pcap and run all three estimators.
+    let file = std::fs::File::open(&path).unwrap();
+    let mut reader = pcap::Reader::new(std::io::BufReader::new(file)).unwrap();
+    println!(
+        "capture resolution: {}",
+        if reader.is_nanosecond() { "nanosecond" } else { "microsecond" }
+    );
+
+    let mut tracker = HandshakeTracker::new(0, TrackerConfig::default());
+    let mut pping = Pping::new(PpingConfig::default());
+    let mut synonly = SynOnly::new(1 << 20, 10_000_000_000);
+    let mut ruru_samples: Vec<f64> = Vec::new();
+    let mut pping_samples: Vec<f64> = Vec::new();
+    let mut syn_samples: Vec<f64> = Vec::new();
+
+    while let Some(record) = reader.next() {
+        let record = record.unwrap();
+        let at = Timestamp::from_nanos(record.timestamp_ns);
+        let Ok(meta) = classify(&record.data, at, ChecksumMode::Validate) else {
+            continue;
+        };
+        if let Some(m) = tracker.process(&meta) {
+            ruru_samples.push(m.total_ms());
+        }
+        if let Some(s) = pping.process(&meta) {
+            pping_samples.push(s.rtt_ns as f64 / 1e6);
+        }
+        if let Some(s) = synonly.process(&meta) {
+            syn_samples.push(s.rtt_ns as f64 / 1e6);
+        }
+    }
+
+    let stats = |name: &str, mut v: Vec<f64>| {
+        if v.is_empty() {
+            println!("  {name:<10} no samples");
+            return;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "  {name:<10} {:>6} samples  median {median:>7.1} ms  mean {mean:>7.1} ms",
+            v.len()
+        );
+    };
+
+    println!("\n== offline measurement of the same capture ==");
+    stats("ruru", ruru_samples.clone());
+    stats("pping", pping_samples);
+    stats("syn-only", syn_samples);
+    println!(
+        "\nruru: one total-RTT measurement per flow ({}/{} flows covered)",
+        ruru_samples.len(),
+        flows
+    );
+    println!("pping: continuous per-exchange samples (more samples, per-packet cost)");
+    println!("syn-only: external half only — underestimates the client side");
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,244 @@
+//! Serve the live 3D-map frontend to a real browser.
+//!
+//! A miniature of the deployed Ruru frontend: this binary simulates
+//! traffic, batches connection arcs into 30 fps frames, and runs a tiny
+//! HTTP server that delivers an HTML5-canvas world map which subscribes to
+//! the frame stream over a WebSocket (handshake and framing from
+//! `ruru::viz::ws`).
+//!
+//! ```sh
+//! cargo run --release --example serve_map            # visit the printed URL
+//! cargo run --release --example serve_map -- --self-test   # CI smoke mode
+//! ```
+
+use ruru::gen::{GenConfig, TrafficGen};
+use ruru::geo::SynthWorld;
+use ruru::nic::Timestamp;
+use ruru::viz::frame::{Frame, FrameBatcher, FrameConfig};
+use ruru::viz::ws;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+const PAGE: &str = r#"<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ruru — live latency map</title>
+<style>
+ body { margin:0; background:#0b1020; color:#dde; font:13px monospace; }
+ #hud { position:fixed; top:8px; left:12px; }
+ canvas { display:block; width:100vw; height:100vh; }
+</style></head>
+<body><div id="hud">connecting…</div><canvas id="map"></canvas>
+<script>
+const canvas = document.getElementById('map');
+const ctx = canvas.getContext('2d');
+const hud = document.getElementById('hud');
+let arcs = [];   // {path:[[lat,lon,alt]..], color, born}
+function resize(){ canvas.width = innerWidth; canvas.height = innerHeight; }
+addEventListener('resize', resize); resize();
+function project(lat, lon){
+  return [ (lon + 180) / 360 * canvas.width,
+           (90 - lat) / 180 * canvas.height ];
+}
+function draw(){
+  ctx.fillStyle = 'rgba(11,16,32,0.25)';
+  ctx.fillRect(0,0,canvas.width,canvas.height);
+  // graticule
+  ctx.strokeStyle = 'rgba(120,140,180,0.12)'; ctx.lineWidth = 1;
+  for (let lon=-180; lon<=180; lon+=30){ const [x]=project(0,lon);
+    ctx.beginPath(); ctx.moveTo(x,0); ctx.lineTo(x,canvas.height); ctx.stroke(); }
+  for (let lat=-60; lat<=60; lat+=30){ const [,y]=project(lat,0);
+    ctx.beginPath(); ctx.moveTo(0,y); ctx.lineTo(canvas.width,y); ctx.stroke(); }
+  const now = performance.now();
+  arcs = arcs.filter(a => now - a.born < 2500);
+  for (const a of arcs){
+    const age = (now - a.born) / 2500;
+    ctx.strokeStyle = a.color.slice(0,7);
+    ctx.globalAlpha = 1 - age;
+    ctx.lineWidth = 1.5;
+    ctx.beginPath();
+    let started = false, prevLon = null;
+    for (const [lat, lon, alt] of a.path){
+      // lift by altitude for the 3D feel
+      const [x, y0] = project(lat, lon);
+      const y = y0 - alt / 40;
+      // break the stroke at the antimeridian
+      if (prevLon !== null && Math.abs(lon - prevLon) > 180) started = false;
+      prevLon = lon;
+      if (!started){ ctx.moveTo(x, y); started = true; } else ctx.lineTo(x, y);
+    }
+    ctx.stroke();
+  }
+  ctx.globalAlpha = 1;
+  requestAnimationFrame(draw);
+}
+requestAnimationFrame(draw);
+const ws = new WebSocket(`ws://${location.host}/ws`);
+let frames = 0, shown = 0;
+ws.onmessage = ev => {
+  const f = JSON.parse(ev.data);
+  frames++;
+  shown += f.arcs.length;
+  const born = performance.now();
+  for (const arc of f.arcs) arcs.push({path: arc.path, color: arc.color, born});
+  hud.textContent = `ruru live map — frame ${f.seq} · ${f.arcs.length} new arcs · ` +
+                    `${shown} total · ${f.dropped} dropped`;
+};
+ws.onclose = () => hud.textContent += ' — stream ended';
+</script></body></html>"#;
+
+/// Pre-compute a loopable frame reel from a simulated run.
+fn build_frames() -> Vec<Arc<String>> {
+    let world = SynthWorld::generate(2);
+    let mut gen = TrafficGen::with_world(
+        GenConfig {
+            seed: 3030,
+            flows_per_sec: 250.0,
+            duration: Timestamp::from_secs(30),
+            data_exchanges: (0, 0),
+            ..GenConfig::default()
+        },
+        world,
+    );
+    for _ in gen.by_ref() {}
+    let world = gen.world();
+    let mut batcher = FrameBatcher::new(
+        FrameConfig {
+            segments: 24,
+            ..FrameConfig::default()
+        },
+        Timestamp::ZERO,
+    );
+    let mut frames: Vec<Frame> = Vec::new();
+    for t in gen.truths() {
+        let src = world.city_location(t.client_city);
+        let dst = world.city_location(t.server_city);
+        frames.extend(batcher.add(
+            t.t_syn_tap.advanced(t.external_ns + t.internal_ns),
+            (src.lat, src.lon),
+            (dst.lat, dst.lon),
+            (t.external_ns + t.internal_ns) as f64 / 1e6,
+        ));
+    }
+    frames.extend(batcher.advance_to(Timestamp::from_secs(31)));
+    frames
+        .into_iter()
+        .map(|f| Arc::new(f.to_json()))
+        .collect()
+}
+
+fn handle_client(mut stream: TcpStream, frames: Arc<Vec<Arc<String>>>, max_frames: Option<usize>) {
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/").to_string();
+    let mut ws_key = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).is_err() {
+            return;
+        }
+        let l = line.trim();
+        if let Some(k) = l.strip_prefix("Sec-WebSocket-Key:") {
+            ws_key = k.trim().to_string();
+        }
+        if l.is_empty() {
+            break;
+        }
+    }
+    if path == "/ws" && !ws_key.is_empty() {
+        let response = format!(
+            "HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\n\
+             Connection: Upgrade\r\nSec-WebSocket-Accept: {}\r\n\r\n",
+            ws::accept_key(&ws_key)
+        );
+        if stream.write_all(response.as_bytes()).is_err() {
+            return;
+        }
+        // Stream the reel at wall-clock 30 fps, looping.
+        let mut sent = 0usize;
+        'outer: loop {
+            for frame in frames.iter() {
+                let data = ws::encode_frame(ws::Opcode::Text, frame.as_bytes());
+                if stream.write_all(&data).is_err() {
+                    break 'outer;
+                }
+                sent += 1;
+                if let Some(max) = max_frames {
+                    if sent >= max {
+                        let _ = stream.write_all(&ws::encode_frame(ws::Opcode::Close, &[]));
+                        break 'outer;
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(33));
+            }
+        }
+    } else {
+        let response = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/html; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            PAGE.len(),
+            PAGE
+        );
+        let _ = stream.write_all(response.as_bytes());
+    }
+}
+
+fn main() {
+    let self_test = std::env::args().any(|a| a == "--self-test");
+    println!("building frame reel from a 30 s simulated run…");
+    let frames = Arc::new(build_frames());
+    println!("{} frames ready", frames.len());
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    println!("serving live map on http://{addr}/  (Ctrl-C to stop)");
+
+    if self_test {
+        // Smoke mode: fetch the page and a few frames, then exit.
+        let frames2 = Arc::clone(&frames);
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().expect("accept");
+                let f = Arc::clone(&frames2);
+                handle_client(stream, f, Some(5));
+            }
+        });
+        // 1. Page fetch.
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET / HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut page = String::new();
+        s.read_to_string(&mut page).unwrap();
+        assert!(page.contains("200 OK") && page.contains("ruru — live latency map"));
+        // 2. WebSocket: handshake + 5 frames.
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "GET /ws HTTP/1.1\r\nHost: x\r\nUpgrade: websocket\r\nConnection: Upgrade\r\n\
+             Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\nSec-WebSocket-Version: 13\r\n\r\n"
+        )
+        .unwrap();
+        let mut r = BufReader::new(s);
+        loop {
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            if line.trim().is_empty() {
+                break;
+            }
+        }
+        let mut body = Vec::new();
+        r.read_to_end(&mut body).unwrap();
+        let text_frames = body.iter().filter(|&&b| b == 0x81).count();
+        assert!(text_frames >= 5, "got {text_frames} ws frames");
+        server.join().unwrap();
+        println!("self-test ok: page + {text_frames} websocket frames delivered");
+        return;
+    }
+
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let frames = Arc::clone(&frames);
+        std::thread::spawn(move || handle_client(stream, frames, None));
+    }
+}

@@ -1,0 +1,60 @@
+//! # ruru — high-speed, flow-level latency measurement of live traffic
+//!
+//! A complete Rust reproduction of **Ruru** (Cziva, Lorier, Pezaros —
+//! SIGCOMM Posters & Demos 2017): a passive, real-time TCP latency
+//! measurement and visualization pipeline, including every substrate the
+//! deployed system relied on (DPDK-style dataplane, ZeroMQ-style bus,
+//! IP2Location-style geo database, InfluxDB-style time-series store,
+//! WebGL-map feed), built from scratch.
+//!
+//! The measurement idea (the paper's Figure 1): record the tap timestamps
+//! of each flow's **SYN**, **SYN-ACK** and first **ACK**; then
+//!
+//! * external latency = `t(SYN-ACK) − t(SYN)` (tap → server → tap),
+//! * internal latency = `t(ACK) − t(SYN-ACK)` (tap → client → tap),
+//! * total = external + internal — per connection, purely passively.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ruru::nic::Timestamp;
+//! use ruru::pipeline::{Pipeline, PipelineConfig};
+//! use ruru::gen::{GenConfig, TrafficGen};
+//!
+//! // A pipeline over a synthetic world, fed two simulated seconds of
+//! // trans-Pacific traffic.
+//! let (mut pipeline, world) = Pipeline::with_synth_world(PipelineConfig::default());
+//! let mut gen = TrafficGen::with_world(
+//!     GenConfig { flows_per_sec: 100.0, duration: Timestamp::from_secs(2), ..GenConfig::default() },
+//!     world,
+//! );
+//! pipeline.run(&mut gen);
+//! let report = pipeline.finish();
+//! assert_eq!(report.measurements(), gen.truths().len() as u64);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`wire`] | `ruru-wire` | packet formats + pcap |
+//! | [`nic`] | `ruru-nic` | DPDK-style dataplane (mbufs, rings, RSS, lcores) |
+//! | [`flow`] | `ruru-flow` | **the paper's contribution**: handshake tracking |
+//! | [`mq`] | `ruru-mq` | ZeroMQ-style PUB/SUB + PUSH/PULL bus |
+//! | [`geo`] | `ruru-geo` | IP2Location-style geo/AS database |
+//! | [`tsdb`] | `ruru-tsdb` | InfluxDB-style time-series store |
+//! | [`analytics`] | `ruru-analytics` | enrichment, privacy, anomaly detection |
+//! | [`viz`] | `ruru-viz` | arcs, colours, 30 fps frames, WebSocket, panels |
+//! | [`gen`] | `ruru-gen` | synthetic traffic with ground truth |
+//! | [`pipeline`] | `ruru-pipeline` | the assembled system + SNMP baseline |
+
+pub use ruru_analytics as analytics;
+pub use ruru_flow as flow;
+pub use ruru_gen as gen;
+pub use ruru_geo as geo;
+pub use ruru_mq as mq;
+pub use ruru_nic as nic;
+pub use ruru_pipeline as pipeline;
+pub use ruru_tsdb as tsdb;
+pub use ruru_viz as viz;
+pub use ruru_wire as wire;

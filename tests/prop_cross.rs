@@ -1,0 +1,156 @@
+//! Cross-crate property tests: invariants that must hold for *any* traffic,
+//! fault pattern or parameterization.
+
+use proptest::prelude::*;
+use ruru::flow::classify::{classify, ChecksumMode};
+use ruru::flow::{HandshakeTracker, TrackerConfig};
+use ruru::gen::{GenConfig, TrafficGen};
+use ruru::nic::fault::{FaultConfig, FaultInjector};
+use ruru::nic::rss::RssHasher;
+use ruru::nic::Timestamp;
+use ruru::wire::{ipv4, IpAddress};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any seed and rate, every generated flow is measured exactly once
+    /// and the measured components equal ground truth.
+    #[test]
+    fn tracker_matches_truth_for_any_traffic(seed in 0u64..1000, fps in 20.0f64..400.0) {
+        let mut gen = TrafficGen::new(GenConfig {
+            seed,
+            flows_per_sec: fps,
+            duration: Timestamp::from_millis(1500),
+            data_exchanges: (0, 2),
+            ..GenConfig::default()
+        });
+        let mut tracker = HandshakeTracker::new(0, TrackerConfig::default());
+        let mut measured = 0u64;
+        let mut sum_ext = 0u128;
+        for ev in gen.by_ref() {
+            let meta = classify(&ev.frame, ev.at, ChecksumMode::Validate).unwrap();
+            if let Some(m) = tracker.process(&meta) {
+                measured += 1;
+                sum_ext += m.external_ns as u128;
+            }
+        }
+        prop_assert_eq!(measured, gen.truths().len() as u64);
+        let truth_sum: u128 = gen.truths().iter().map(|t| t.external_ns as u128).sum();
+        prop_assert_eq!(sum_ext, truth_sum);
+    }
+
+    /// Symmetric RSS is direction-invariant for arbitrary tuples.
+    #[test]
+    fn symmetric_rss_invariant(src in any::<u32>(), dst in any::<u32>(),
+                               sp in any::<u16>(), dp in any::<u16>(),
+                               queues in 1u16..64) {
+        let h = RssHasher::symmetric(queues);
+        let a = ipv4::Address::from_u32(src);
+        let b = ipv4::Address::from_u32(dst);
+        let fwd = h.hash_v4(a, b, sp, dp);
+        let rev = h.hash_v4(b, a, dp, sp);
+        prop_assert_eq!(fwd, rev);
+        prop_assert!(h.queue_for(fwd) < queues);
+    }
+
+    /// Under arbitrary fault probabilities the tracker never measures more
+    /// flows than were generated, never crashes, and never emits a
+    /// negative/overflowed latency.
+    #[test]
+    fn faults_never_fabricate_flows(seed in 0u64..500,
+                                    drop in 0.0f64..0.3,
+                                    corrupt in 0.0f64..0.2,
+                                    duplicate in 0.0f64..0.2,
+                                    reorder in 0.0f64..0.2) {
+        let mut gen = TrafficGen::new(GenConfig {
+            seed,
+            flows_per_sec: 100.0,
+            duration: Timestamp::from_millis(800),
+            data_exchanges: (0, 1),
+            ..GenConfig::default()
+        });
+        let mut injector = FaultInjector::new(
+            FaultConfig { drop, corrupt, duplicate, reorder },
+            seed ^ 0xabcdef,
+        );
+        let mut tracker = HandshakeTracker::new(0, TrackerConfig::default());
+        let mut measured = 0u64;
+        for ev in gen.by_ref() {
+            for frame in injector.apply(ev.frame) {
+                if let Ok(meta) = classify(&frame, ev.at, ChecksumMode::Validate) {
+                    if let Some(m) = tracker.process(&meta) {
+                        measured += 1;
+                        prop_assert!(m.total_ns() < 3_600_000_000_000, "sane latency");
+                    }
+                }
+            }
+        }
+        prop_assert!(measured <= gen.truths().len() as u64);
+    }
+
+    /// Measurement wire-format roundtrip for arbitrary field values.
+    #[test]
+    fn measurement_codec_roundtrip(src in any::<u32>(), dst in any::<u32>(),
+                                   sp in any::<u16>(), dp in any::<u16>(),
+                                   int_ns in any::<u64>(), ext_ns in any::<u64>(),
+                                   at in any::<u64>(), q in any::<u16>(), retx in any::<u8>()) {
+        let m = ruru::flow::LatencyMeasurement {
+            src: IpAddress::V4(ipv4::Address::from_u32(src)),
+            dst: IpAddress::V4(ipv4::Address::from_u32(dst)),
+            src_port: sp,
+            dst_port: dp,
+            internal_ns: int_ns,
+            external_ns: ext_ns,
+            completed_at: Timestamp::from_nanos(at),
+            queue_id: q,
+            syn_retransmissions: retx,
+        };
+        prop_assert_eq!(ruru::flow::LatencyMeasurement::decode(&m.encode()), Some(m));
+    }
+
+    /// The enriched line-protocol roundtrip holds for every city pair in
+    /// the synthetic world.
+    #[test]
+    fn enriched_line_roundtrip(city_a in 0usize..42, city_b in 0usize..42,
+                               int_ms in 0u64..10_000, ext_ms in 0u64..10_000) {
+        use ruru::analytics::{EndpointInfo, EnrichedMeasurement};
+        let world = ruru::geo::SynthWorld::generate(1);
+        let loc = |c: usize| {
+            let l = world.city_location(c);
+            EndpointInfo {
+                country_code: l.country_code,
+                city: l.city.clone(),
+                lat: l.lat,
+                lon: l.lon,
+                asn: l.asn,
+            }
+        };
+        let em = EnrichedMeasurement {
+            src: loc(city_a),
+            dst: loc(city_b),
+            internal_ns: int_ms * 1_000_000,
+            external_ns: ext_ms * 1_000_000,
+            completed_at: Timestamp::from_millis(77),
+            queue_id: 0,
+        };
+        let back = EnrichedMeasurement::from_line(&em.to_line()).unwrap();
+        prop_assert_eq!(back.src.city, em.src.city);
+        prop_assert_eq!(back.dst.asn, em.dst.asn);
+        prop_assert_eq!(back.internal_ns, em.internal_ns);
+        prop_assert_eq!(back.external_ns, em.external_ns);
+    }
+
+    /// tsdb bucket counts always sum to the number of in-range points.
+    #[test]
+    fn tsdb_buckets_conserve_points(timestamps in proptest::collection::vec(0u64..10_000, 1..200),
+                                    bucket_ns in 1u64..5_000) {
+        use ruru::tsdb::{Point, Query, TsDb};
+        let db = TsDb::new();
+        for &ts in &timestamps {
+            db.write(&Point::new("m", vec![], vec![("v".into(), 1.0)], ts));
+        }
+        let buckets = db.query(&Query::range("m", "v", 0, 10_000).with_buckets(bucket_ns));
+        let total: usize = buckets.iter().filter_map(|b| b.agg.map(|a| a.count)).sum();
+        prop_assert_eq!(total, timestamps.len());
+    }
+}
