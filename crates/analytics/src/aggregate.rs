@@ -8,6 +8,7 @@
 //! city pairs, country pairs and AS pairs.
 
 use crate::enrich::EnrichedMeasurement;
+use crate::intern::Interner;
 use std::collections::HashMap;
 
 /// Streaming statistics over one key, in O(1) memory.
@@ -200,12 +201,37 @@ pub enum KeySpace {
     AsPair,
 }
 
+/// One key space: stats keyed by a packed `u64`, with the human-readable
+/// pair name formatted exactly once, when the key is first seen. Queries
+/// by name (off the hot path) scan linearly.
+#[derive(Debug, Default)]
+struct Space {
+    entries: HashMap<u64, (String, RunningStats)>,
+}
+
+impl Space {
+    fn push_with(&mut self, key: u64, v: f64, name: impl FnOnce() -> String) {
+        self.entries
+            .entry(key)
+            .or_insert_with(|| (name(), RunningStats::new()))
+            .1
+            .push(v);
+    }
+}
+
 /// Rolling per-pair aggregates over the enriched measurement stream.
+///
+/// The hot path ([`PairAggregator::observe`]) keys each space by a packed
+/// `u64` — interned city atoms, raw country-code bytes, raw AS numbers —
+/// so folding a measurement does no string formatting and no allocation
+/// after the first sight of a pair. The query API still speaks
+/// human-readable `"src→dst"` names.
 #[derive(Debug, Default)]
 pub struct PairAggregator {
-    cities: HashMap<String, RunningStats>,
-    countries: HashMap<String, RunningStats>,
-    asns: HashMap<String, RunningStats>,
+    city_atoms: Interner,
+    cities: Space,
+    countries: Space,
+    asns: Space,
 }
 
 impl PairAggregator {
@@ -217,18 +243,23 @@ impl PairAggregator {
     /// Fold one measurement into all three key spaces (total latency, ms).
     pub fn observe(&mut self, m: &EnrichedMeasurement) {
         let v = m.total_ns() as f64 / 1e6;
-        let city_key = format!("{}→{}", m.src.city, m.dst.city);
-        let country_key = format!("{}→{}", m.src.cc_str(), m.dst.cc_str());
-        let asn_key = format!("{}→{}", m.src.asn, m.dst.asn);
-        self.cities.entry(city_key).or_insert_with(RunningStats::new).push(v);
-        self.countries
-            .entry(country_key)
-            .or_insert_with(RunningStats::new)
-            .push(v);
-        self.asns.entry(asn_key).or_insert_with(RunningStats::new).push(v);
+        let sc = self.city_atoms.intern(&m.src.city);
+        let dc = self.city_atoms.intern(&m.dst.city);
+        self.cities.push_with((u64::from(sc) << 32) | u64::from(dc), v, || {
+            format!("{}→{}", m.src.city, m.dst.city)
+        });
+        let country_key = (u64::from(u16::from_be_bytes(m.src.country_code)) << 16)
+            | u64::from(u16::from_be_bytes(m.dst.country_code));
+        self.countries.push_with(country_key, v, || {
+            format!("{}→{}", m.src.cc_str(), m.dst.cc_str())
+        });
+        self.asns
+            .push_with((u64::from(m.src.asn) << 32) | u64::from(m.dst.asn), v, || {
+                format!("{}→{}", m.src.asn, m.dst.asn)
+            });
     }
 
-    fn space(&self, space: KeySpace) -> &HashMap<String, RunningStats> {
+    fn space(&self, space: KeySpace) -> &Space {
         match space {
             KeySpace::CityPair => &self.cities,
             KeySpace::CountryPair => &self.countries,
@@ -238,19 +269,24 @@ impl PairAggregator {
 
     /// The stats for one key, if seen.
     pub fn get(&self, space: KeySpace, key: &str) -> Option<&RunningStats> {
-        self.space(space).get(key)
+        self.space(space)
+            .entries
+            .values()
+            .find(|(name, _)| name == key)
+            .map(|(_, stats)| stats)
     }
 
     /// Number of distinct keys in a space.
     pub fn key_count(&self, space: KeySpace) -> usize {
-        self.space(space).len()
+        self.space(space).entries.len()
     }
 
     /// The `n` busiest keys (by count), descending.
     pub fn top_by_count(&self, space: KeySpace, n: usize) -> Vec<(&str, &RunningStats)> {
         let mut all: Vec<(&str, &RunningStats)> = self
             .space(space)
-            .iter()
+            .entries
+            .values()
             .map(|(k, v)| (k.as_str(), v))
             .collect();
         all.sort_by(|a, b| b.1.count().cmp(&a.1.count()).then(a.0.cmp(b.0)));
@@ -263,7 +299,8 @@ impl PairAggregator {
     pub fn top_by_mean(&self, space: KeySpace, n: usize, min_count: u64) -> Vec<(&str, &RunningStats)> {
         let mut all: Vec<(&str, &RunningStats)> = self
             .space(space)
-            .iter()
+            .entries
+            .values()
             .filter(|(_, v)| v.count() >= min_count)
             .map(|(k, v)| (k.as_str(), v))
             .collect();
@@ -366,6 +403,16 @@ mod tests {
         assert_eq!(s.mean(), 131.0);
         let c = agg.get(KeySpace::CountryPair, "NZ→US").unwrap();
         assert_eq!(c.count(), 3);
+    }
+
+    #[test]
+    fn interned_city_keys_do_not_collide_on_separator() {
+        // With formatted string keys, ("A→B", "C") and ("A", "B→C") would
+        // both map to "A→B→C"; packed interned atoms keep them distinct.
+        let mut agg = PairAggregator::new();
+        agg.observe(&em("A→B", "NZ", "C", 1, 100));
+        agg.observe(&em("A", "NZ", "B→C", 1, 200));
+        assert_eq!(agg.key_count(KeySpace::CityPair), 2);
     }
 
     #[test]

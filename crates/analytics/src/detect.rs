@@ -50,9 +50,18 @@ struct KeyState {
 }
 
 /// Per-key robust latency-spike detection.
+///
+/// Keys are stored as dense `u32` ids: the fast path
+/// ([`LatencySpikeDetector::observe_id`]) takes an id from an external
+/// interner (e.g. [`crate::intern::PairInterner`]) and indexes a `Vec`
+/// directly — no string formatting, hashing or allocation per sample. The
+/// string API ([`LatencySpikeDetector::observe`]) interns internally and is
+/// kept for callers off the hot path. Don't mix the two id namespaces on
+/// one detector instance.
 pub struct LatencySpikeDetector {
     config: SpikeConfig,
-    keys: HashMap<String, KeyState>,
+    ids: HashMap<String, u32>,
+    states: Vec<KeyState>,
     alerts_raised: u64,
 }
 
@@ -63,7 +72,8 @@ impl LatencySpikeDetector {
         assert!(config.min_samples >= 2, "need some history");
         LatencySpikeDetector {
             config,
-            keys: HashMap::new(),
+            ids: HashMap::new(),
+            states: Vec::new(),
             alerts_raised: 0,
         }
     }
@@ -75,12 +85,36 @@ impl LatencySpikeDetector {
     /// sustained incident keeps alerting instead of poisoning its own
     /// baseline.
     pub fn observe(&mut self, key: &str, value_ns: u64, at: Timestamp) -> Option<Alert> {
-        let state = self
-            .keys
-            .entry(key.to_string())
-            .or_insert_with(|| KeyState {
-                window: VecDeque::with_capacity(self.config.window),
+        let id = match self.ids.get(key) {
+            Some(&id) => id,
+            None => {
+                let id = self.ids.len() as u32;
+                self.ids.insert(key.to_string(), id);
+                id
+            }
+        };
+        self.observe_id(id, key, value_ns, at)
+    }
+
+    /// [`LatencySpikeDetector::observe`] for pre-interned keys: `id` must
+    /// come from one dense id namespace (it indexes per-key state
+    /// directly); `name` is only used in alert text, so it is never copied
+    /// on the no-alert path.
+    pub fn observe_id(
+        &mut self,
+        id: u32,
+        name: &str,
+        value_ns: u64,
+        at: Timestamp,
+    ) -> Option<Alert> {
+        let idx = id as usize;
+        if idx >= self.states.len() {
+            let window = self.config.window;
+            self.states.resize_with(idx + 1, || KeyState {
+                window: VecDeque::with_capacity(window),
             });
+        }
+        let state = &mut self.states[idx];
 
         let alert = if state.window.len() >= self.config.min_samples {
             let mut sorted: Vec<u64> = state.window.iter().copied().collect();
@@ -106,7 +140,7 @@ impl LatencySpikeDetector {
                         Severity::Warning
                     },
                     kind: "latency_spike".into(),
-                    key: key.to_string(),
+                    key: name.to_string(),
                     message: format!(
                         "latency {:.1} ms vs median {:.1} ms (threshold {:.1} ms)",
                         value_ns as f64 / 1e6,
@@ -137,9 +171,9 @@ impl LatencySpikeDetector {
         self.alerts_raised
     }
 
-    /// Number of tracked keys.
+    /// Number of tracked key slots (distinct keys when ids are dense).
     pub fn key_count(&self) -> usize {
-        self.keys.len()
+        self.states.len()
     }
 }
 
@@ -378,9 +412,16 @@ struct PairState {
 /// cross-queue reordering inherent in a sharded pipeline: a burst of
 /// stragglers from a stalled queue lands in the windows it belongs to, not
 /// in whichever window happens to be open when it arrives.
+///
+/// Like [`LatencySpikeDetector`], per-pair state is keyed by dense `u32`
+/// ids: [`RateAnomalyDetector::observe_id`] is the allocation-free fast
+/// path for pre-interned pairs, [`RateAnomalyDetector::observe`] the
+/// string convenience API. Don't mix the two id namespaces on one
+/// detector instance.
 pub struct RateAnomalyDetector {
     config: RateConfig,
-    pairs: HashMap<String, PairState>,
+    ids: HashMap<String, u32>,
+    pairs: Vec<Option<PairState>>,
     alerts_raised: u64,
 }
 
@@ -390,24 +431,40 @@ impl RateAnomalyDetector {
         assert!(config.window_ns > 0, "window must be positive");
         RateAnomalyDetector {
             config,
-            pairs: HashMap::new(),
+            ids: HashMap::new(),
+            pairs: Vec::new(),
             alerts_raised: 0,
         }
     }
 
     /// Record one new connection between `pair` at `at`.
     pub fn observe(&mut self, pair: &str, at: Timestamp) -> Option<Alert> {
+        let id = match self.ids.get(pair) {
+            Some(&id) => id,
+            None => {
+                let id = self.ids.len() as u32;
+                self.ids.insert(pair.to_string(), id);
+                id
+            }
+        };
+        self.observe_id(id, pair, at)
+    }
+
+    /// [`RateAnomalyDetector::observe`] for pre-interned pairs: `id` must
+    /// come from one dense id namespace; `name` is only used in alert text.
+    pub fn observe_id(&mut self, id: u32, name: &str, at: Timestamp) -> Option<Alert> {
+        let idx_slot = id as usize;
+        if idx_slot >= self.pairs.len() {
+            self.pairs.resize_with(idx_slot + 1, || None);
+        }
         let config = self.config.clone();
         let first_idx = at.as_nanos() / config.window_ns;
-        let state = self
-            .pairs
-            .entry(pair.to_string())
-            .or_insert_with(|| PairState {
-                open: std::collections::BTreeMap::new(),
-                max_at: at,
-                last_closed: first_idx.saturating_sub(1),
-                history: VecDeque::with_capacity(config.history),
-            });
+        let state = self.pairs[idx_slot].get_or_insert_with(|| PairState {
+            open: std::collections::BTreeMap::new(),
+            max_at: at,
+            last_closed: first_idx.saturating_sub(1),
+            history: VecDeque::with_capacity(config.history),
+        });
 
         let idx = at.as_nanos() / config.window_ns;
         if idx > state.last_closed {
@@ -435,7 +492,7 @@ impl RateAnomalyDetector {
                     alert = Some(Alert {
                         severity: Severity::Warning,
                         kind: "connection_rate".into(),
-                        key: pair.to_string(),
+                        key: name.to_string(),
                         message: format!("{count} connections/window vs median {median}"),
                         at: Timestamp::from_nanos((closing + 1) * config.window_ns),
                         value: count as f64,
@@ -518,6 +575,53 @@ mod tests {
         assert!(d.observe("high", 310 * MS, t(100)).is_none());
         assert!(d.observe("low", 300 * MS, t(100)).is_some());
         assert_eq!(d.key_count(), 2);
+    }
+
+    #[test]
+    fn observe_id_matches_string_observe() {
+        use crate::intern::PairInterner;
+        let mut pairs = PairInterner::new();
+        let mut by_id = LatencySpikeDetector::new(SpikeConfig::default());
+        let mut by_str = LatencySpikeDetector::new(SpikeConfig::default());
+        let key = pairs.pair_of("Auckland", "Los Angeles");
+        for i in 0..100u64 {
+            let v = 130 * MS + (i % 7) * MS / 10;
+            assert!(by_id.observe_id(key, pairs.name(key), v, t(i)).is_none());
+            by_str.observe("Auckland→Los Angeles", v, t(i));
+        }
+        let a = by_id
+            .observe_id(key, pairs.name(key), 4130 * MS, t(2000))
+            .expect("alert via id path");
+        let b = by_str
+            .observe("Auckland→Los Angeles", 4130 * MS, t(2000))
+            .expect("alert via string path");
+        assert_eq!(a.key, "Auckland→Los Angeles");
+        assert_eq!(a.message, b.message);
+        assert_eq!(by_id.key_count(), 1);
+
+        // Rate detector: same equivalence.
+        let cfg = RateConfig {
+            window_ns: 1_000_000_000,
+            history: 10,
+            min_history: 3,
+            factor: 4.0,
+            min_count: 50,
+        };
+        let mut rate = RateAnomalyDetector::new(cfg);
+        for w in 0..5u64 {
+            for i in 0..20u64 {
+                assert!(rate
+                    .observe_id(key, pairs.name(key), t(w * 1000 + i * 45))
+                    .is_none());
+            }
+        }
+        let mut alert = None;
+        for i in 0..200u64 {
+            alert = alert.or(rate.observe_id(key, pairs.name(key), t(5000 + i * 4)));
+        }
+        alert = alert.or(rate.observe_id(key, pairs.name(key), t(6100)));
+        let alert = alert.expect("rate alert via id path");
+        assert_eq!(alert.key, "Auckland→Los Angeles");
     }
 
     #[test]

@@ -5,11 +5,29 @@
 //! requires. What remains is exactly what the tsdb indexes and the frontend
 //! draws: locations, AS numbers, and the three latency components.
 
+use bytes::{BufMut, Bytes, BytesMut};
+use core::cell::RefCell;
 use ruru_flow::LatencyMeasurement;
 use ruru_geo::{GeoDb, LruCache};
 use ruru_nic::Timestamp;
 use ruru_tsdb::Point;
 use std::sync::Arc;
+
+/// Wire length of the fixed binary enriched record.
+pub const ENRICHED_WIRE_LEN: usize = 122;
+
+/// Longest city name the binary form carries; longer names are truncated
+/// at a UTF-8 character boundary.
+pub const MAX_CITY_BYTES: usize = 32;
+
+const ENRICHED_VERSION: u8 = 1;
+/// cc(2) + asn(4) + lat(4) + lon(4) + city_len(1) + city(32)
+const ENDPOINT_WIRE_LEN: usize = 47;
+const SCRATCH_CHUNK: usize = 64 * 1024;
+
+thread_local! {
+    static ENRICHED_SCRATCH: RefCell<BytesMut> = RefCell::new(BytesMut::new());
+}
 
 /// Geographic summary of one endpoint (IP removed).
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +123,58 @@ impl EnrichedMeasurement {
         ruru_tsdb::line::encode(&self.to_point())
     }
 
+    /// Encode into the fixed binary wire form ([`ENRICHED_WIRE_LEN`]
+    /// bytes), appending into a thread-local scratch block and freezing a
+    /// zero-copy slice — no per-record allocation in the steady state.
+    ///
+    /// This is the **internal** bus format (enrichment → detector). The
+    /// external PUB edge keeps [`EnrichedMeasurement::to_line`] so outside
+    /// subscribers parse text, as documented in DESIGN.md.
+    pub fn encode(&self) -> Bytes {
+        ENRICHED_SCRATCH.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            if buf.capacity() < ENRICHED_WIRE_LEN {
+                buf.reserve(SCRATCH_CHUNK);
+            }
+            self.encode_into(&mut buf);
+            buf.split().freeze()
+        })
+    }
+
+    /// Append the fixed binary wire form to `buf` (exactly
+    /// [`ENRICHED_WIRE_LEN`] bytes); capacity management is the caller's.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        let start = buf.len();
+        buf.reserve(ENRICHED_WIRE_LEN);
+        buf.put_u8(ENRICHED_VERSION);
+        buf.put_u8(0); // reserved
+        buf.put_u16_le(self.queue_id);
+        buf.put_u64_le(self.internal_ns);
+        buf.put_u64_le(self.external_ns);
+        buf.put_u64_le(self.completed_at.as_nanos());
+        encode_endpoint(&self.src, buf);
+        encode_endpoint(&self.dst, buf);
+        debug_assert_eq!(buf.len() - start, ENRICHED_WIRE_LEN);
+    }
+
+    /// Decode from the binary wire form; `None` on wrong length, wrong
+    /// version, an out-of-range city length, or non-UTF-8 city bytes.
+    pub fn decode(data: &[u8]) -> Option<EnrichedMeasurement> {
+        if data.len() != ENRICHED_WIRE_LEN || data[0] != ENRICHED_VERSION {
+            return None;
+        }
+        let rd16 = |at: usize| u16::from_le_bytes(data[at..at + 2].try_into().unwrap());
+        let rd64 = |at: usize| u64::from_le_bytes(data[at..at + 8].try_into().unwrap());
+        Some(EnrichedMeasurement {
+            src: decode_endpoint(&data[28..28 + ENDPOINT_WIRE_LEN])?,
+            dst: decode_endpoint(&data[28 + ENDPOINT_WIRE_LEN..])?,
+            internal_ns: rd64(4),
+            external_ns: rd64(12),
+            completed_at: Timestamp::from_nanos(rd64(20)),
+            queue_id: rd16(2),
+        })
+    }
+
     /// Decode from the line-protocol form.
     pub fn from_line(line: &str) -> Option<EnrichedMeasurement> {
         let p = ruru_tsdb::line::parse(line).ok()?;
@@ -135,6 +205,39 @@ impl EnrichedMeasurement {
             queue_id: p.tag("queue").and_then(|q| q.parse().ok()).unwrap_or(0),
         })
     }
+}
+
+fn encode_endpoint(ep: &EndpointInfo, buf: &mut BytesMut) {
+    buf.put_slice(&ep.country_code);
+    buf.put_u32_le(ep.asn);
+    buf.put_f32_le(ep.lat);
+    buf.put_f32_le(ep.lon);
+    // Truncate over-long city names at a char boundary so the fixed field
+    // always holds valid UTF-8.
+    let city = ep.city.as_bytes();
+    let mut end = city.len().min(MAX_CITY_BYTES);
+    while !ep.city.is_char_boundary(end) {
+        end -= 1;
+    }
+    buf.put_u8(end as u8);
+    buf.put_slice(&city[..end]);
+    buf.put_bytes(0, MAX_CITY_BYTES - end);
+}
+
+fn decode_endpoint(data: &[u8]) -> Option<EndpointInfo> {
+    debug_assert_eq!(data.len(), ENDPOINT_WIRE_LEN);
+    let city_len = data[14] as usize;
+    if city_len > MAX_CITY_BYTES {
+        return None;
+    }
+    let city = core::str::from_utf8(&data[15..15 + city_len]).ok()?;
+    Some(EndpointInfo {
+        country_code: data[..2].try_into().unwrap(),
+        asn: u32::from_le_bytes(data[2..6].try_into().unwrap()),
+        lat: f32::from_le_bytes(data[6..10].try_into().unwrap()),
+        lon: f32::from_le_bytes(data[10..14].try_into().unwrap()),
+        city: city.to_string(),
+    })
 }
 
 /// One worker's enricher: a shared database behind a private LRU cache.
@@ -297,6 +400,104 @@ mod tests {
         let dst_str = format!("{}.{}.{}.{}", dst[0], dst[1], dst[2], dst[3]);
         assert!(!line.contains(&src_str), "line leaks src IP: {line}");
         assert!(!line.contains(&dst_str), "line leaks dst IP: {line}");
+    }
+
+    fn enriched(src_city: &str, dst_city: &str) -> EnrichedMeasurement {
+        EnrichedMeasurement {
+            src: EndpointInfo {
+                country_code: *b"NZ",
+                city: src_city.to_string(),
+                lat: -36.8485,
+                lon: 174.7633,
+                asn: 64010,
+            },
+            dst: EndpointInfo {
+                country_code: *b"US",
+                city: dst_city.to_string(),
+                lat: 34.0522,
+                lon: -118.2437,
+                asn: 64020,
+            },
+            internal_ns: 1_200_000,
+            external_ns: 128_700_000,
+            completed_at: Timestamp::from_millis(42),
+            queue_id: 3,
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let em = enriched("Auckland", "Los Angeles");
+        let wire = em.encode();
+        assert_eq!(wire.len(), ENRICHED_WIRE_LEN);
+        assert_eq!(EnrichedMeasurement::decode(&wire), Some(em));
+    }
+
+    #[test]
+    fn binary_roundtrip_empty_and_max_length_city() {
+        let max = "m".repeat(MAX_CITY_BYTES);
+        for (s, d) in [("", ""), (max.as_str(), "x")] {
+            let em = enriched(s, d);
+            let back = EnrichedMeasurement::decode(&em.encode()).unwrap();
+            assert_eq!(back, em);
+        }
+    }
+
+    #[test]
+    fn binary_truncates_long_city_at_char_boundary() {
+        // 12 × 'Ā' = 24 bytes, + "city" = 28; 3 more 'Ā's would cross the
+        // 32-byte cap mid-character.
+        let long = format!("{}city{}", "Ā".repeat(12), "Ā".repeat(8));
+        let em = enriched(&long, "ok");
+        let back = EnrichedMeasurement::decode(&em.encode()).unwrap();
+        assert!(back.src.city.len() <= MAX_CITY_BYTES);
+        assert!(long.starts_with(&back.src.city));
+        assert_eq!(back.src.city, format!("{}city{}", "Ā".repeat(12), "Ā".repeat(2)));
+        assert_eq!(back.dst.city, "ok");
+
+        // "x" + 20×'Ā' puts every boundary on an odd offset, so the 32-byte
+        // cap lands mid-character and must back off to 31.
+        let awkward = format!("x{}", "Ā".repeat(20));
+        let em = enriched(&awkward, "ok");
+        let back = EnrichedMeasurement::decode(&em.encode()).unwrap();
+        assert_eq!(back.src.city.len(), 31);
+        assert!(awkward.starts_with(&back.src.city));
+    }
+
+    #[test]
+    fn binary_decode_rejects_garbage() {
+        let em = enriched("Auckland", "Los Angeles");
+        let wire = em.encode();
+        assert_eq!(EnrichedMeasurement::decode(&wire[..wire.len() - 1]), None);
+        assert_eq!(EnrichedMeasurement::decode(&[]), None);
+        assert_eq!(EnrichedMeasurement::decode(&[0u8; ENRICHED_WIRE_LEN]), None);
+        let mut bad_ver = wire.to_vec();
+        bad_ver[0] = 7;
+        assert_eq!(EnrichedMeasurement::decode(&bad_ver), None);
+        let mut bad_city_len = wire.to_vec();
+        bad_city_len[28 + 14] = (MAX_CITY_BYTES + 1) as u8;
+        assert_eq!(EnrichedMeasurement::decode(&bad_city_len), None);
+        let mut bad_utf8 = wire.to_vec();
+        bad_utf8[28 + 15] = 0xFF;
+        assert_eq!(EnrichedMeasurement::decode(&bad_utf8), None);
+    }
+
+    #[test]
+    fn binary_and_line_decodes_agree() {
+        let (w, mut e) = world_enricher();
+        let mut rng = StdRng::seed_from_u64(6);
+        let src = w.sample_v4(AUCKLAND, &mut rng);
+        let dst = w.sample_v4(LOS_ANGELES, &mut rng);
+        let em = e.enrich(&measurement(src, dst));
+        let from_bin = EnrichedMeasurement::decode(&em.encode()).unwrap();
+        let from_line = EnrichedMeasurement::from_line(&em.to_line()).unwrap();
+        assert_eq!(from_bin, em, "binary is lossless");
+        assert_eq!(from_bin.src.city, from_line.src.city);
+        assert_eq!(from_bin.dst.asn, from_line.dst.asn);
+        assert_eq!(from_bin.internal_ns, from_line.internal_ns);
+        assert_eq!(from_bin.external_ns, from_line.external_ns);
+        assert_eq!(from_bin.completed_at, from_line.completed_at);
+        assert_eq!(from_bin.queue_id, from_line.queue_id);
     }
 
     #[test]

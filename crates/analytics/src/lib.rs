@@ -18,12 +18,15 @@
 //!   anomaly, a SYN-flood detector, and a per-location-pair connection-rate
 //!   detector.
 //! * [`alert`] — alert records and an in-memory sink.
+//! * [`intern`] — string/pair-key interning so the detector hot loop keys
+//!   its state by dense `u32` ids instead of formatted `String`s.
 
 pub mod aggregate;
 pub mod alert;
 pub mod detect;
 pub mod enrich;
 pub mod filter;
+pub mod intern;
 pub mod workers;
 
 pub use aggregate::{KeySpace, PairAggregator, RunningStats};
@@ -31,4 +34,5 @@ pub use alert::{Alert, AlertSink, Severity};
 pub use detect::{EwmaDetector, LatencySpikeDetector, RateAnomalyDetector, SynFloodDetector};
 pub use enrich::{EndpointInfo, EnrichedMeasurement, Enricher};
 pub use filter::{Criterion, FilterSpec, FilterStage};
+pub use intern::{Interner, PairInterner};
 pub use workers::EnrichmentPool;

@@ -4,11 +4,17 @@
 //! PULL socket (work distribution — each measurement is enriched exactly
 //! once), every worker thread owns a private geo cache over the shared
 //! database, and the enriched, IP-free records are written to the tsdb and
-//! republished on a PUB socket (topic `enriched`) for the frontend feed and
-//! the detectors.
+//! republished on a PUB socket (topic `enriched`) for the frontend feed.
+//!
+//! Workers run in DPDK-style bursts: up to [`WORKER_BURST`] records per
+//! [`Pull::recv_batch`], encoded into a per-thread scratch buffer, and
+//! forwarded with one [`PushFeed::send_batch`] / `publish_batch` per burst.
+//! The detector feed carries the fixed **binary**
+//! [`crate::enrich::EnrichedMeasurement`] record; the PUB edge keeps the
+//! line protocol so external subscribers stay text-parseable.
 
-use crate::enrich::Enricher;
-use bytes::Bytes;
+use crate::enrich::{Enricher, ENRICHED_WIRE_LEN};
+use bytes::{Bytes, BytesMut};
 use ruru_flow::LatencyMeasurement;
 use ruru_geo::GeoDb;
 use ruru_mq::{Message, Publisher, Pull};
@@ -19,6 +25,13 @@ use std::thread::JoinHandle;
 
 /// Topic the pool republishes enriched measurements on.
 pub const ENRICHED_TOPIC: &[u8] = b"enriched";
+
+/// Records a worker moves per batched bus operation (mirrors the
+/// dataplane's DPDK burst size).
+pub const WORKER_BURST: usize = 32;
+
+/// Scratch-block size for the per-worker encode buffer.
+const SCRATCH_CHUNK: usize = 64 * 1024;
 
 /// The PUSH end of a lossless detector feed (alias for readability).
 pub type PushFeed = ruru_mq::Push;
@@ -32,14 +45,46 @@ pub struct PoolStats {
     pub decode_errors: u64,
     /// Geo lookups that missed the database.
     pub geo_misses: u64,
+    /// Input batches drained from the PULL socket.
+    pub batches_in: u64,
+    /// Output batches forwarded (detector feed + PUB, counted per edge).
+    pub batches_out: u64,
+    /// Payload bytes emitted on both output edges.
+    pub bytes_out: u64,
+    /// Times the scratch encode path had to allocate a fresh block
+    /// (≈ one per [`SCRATCH_CHUNK`] bytes of binary output, not per record).
+    pub alloc_hits: u64,
+}
+
+#[derive(Default)]
+struct PoolCounters {
+    enriched: AtomicU64,
+    decode_errors: AtomicU64,
+    geo_misses: AtomicU64,
+    batches_in: AtomicU64,
+    batches_out: AtomicU64,
+    bytes_out: AtomicU64,
+    alloc_hits: AtomicU64,
+}
+
+impl PoolCounters {
+    fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            enriched: self.enriched.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            geo_misses: self.geo_misses.load(Ordering::Relaxed),
+            batches_in: self.batches_in.load(Ordering::Relaxed),
+            batches_out: self.batches_out.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            alloc_hits: self.alloc_hits.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A running pool of enrichment workers.
 pub struct EnrichmentPool {
     handles: Vec<JoinHandle<()>>,
-    enriched: Arc<AtomicU64>,
-    decode_errors: Arc<AtomicU64>,
-    geo_misses: Arc<AtomicU64>,
+    counters: Arc<PoolCounters>,
 }
 
 impl EnrichmentPool {
@@ -60,7 +105,9 @@ impl EnrichmentPool {
     /// Like [`EnrichmentPool::spawn`], with an optional *lossless* feed to
     /// the detector stage. The PUB fan-out may drop for slow best-effort
     /// consumers (the frontend); detectors must see every measurement, so
-    /// they get PUSH/PULL back-pressure semantics instead.
+    /// they get PUSH/PULL back-pressure semantics instead. The feed carries
+    /// the fixed binary [`crate::enrich::EnrichedMeasurement`] record (no
+    /// text parsing on the detector thread); PUB keeps line protocol.
     pub fn spawn_with_detector_feed(
         threads: usize,
         input: Pull,
@@ -71,9 +118,7 @@ impl EnrichmentPool {
         detector_feed: Option<crate::workers::PushFeed>,
     ) -> EnrichmentPool {
         assert!(threads > 0, "need at least one worker");
-        let enriched = Arc::new(AtomicU64::new(0));
-        let decode_errors = Arc::new(AtomicU64::new(0));
-        let geo_misses = Arc::new(AtomicU64::new(0));
+        let counters = Arc::new(PoolCounters::default());
         let mut handles = Vec::with_capacity(threads);
         for i in 0..threads {
             let input = input.clone();
@@ -81,63 +126,100 @@ impl EnrichmentPool {
             let tsdb = Arc::clone(&tsdb);
             let publisher = publisher.clone();
             let detector_feed = detector_feed.clone();
-            let enriched = Arc::clone(&enriched);
-            let decode_errors = Arc::clone(&decode_errors);
-            let geo_misses = Arc::clone(&geo_misses);
+            let counters = Arc::clone(&counters);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("enrich-{i}"))
                     .spawn(move || {
                         let mut enricher = Enricher::new(db, cache_capacity);
-                        while let Some(msg) = input.recv() {
-                            let Some(m) = LatencyMeasurement::decode(&msg.payload) else {
-                                decode_errors.fetch_add(1, Ordering::Relaxed);
-                                continue;
-                            };
-                            let em = enricher.enrich(&m);
-                            if em.src.is_unknown() || em.dst.is_unknown() {
-                                geo_misses.fetch_add(1, Ordering::Relaxed);
+                        let mut batch: Vec<Message> = Vec::with_capacity(WORKER_BURST);
+                        let mut feed_out: Vec<Message> = Vec::with_capacity(WORKER_BURST);
+                        let mut pub_out: Vec<Message> = Vec::with_capacity(WORKER_BURST);
+                        let mut scratch = BytesMut::new();
+                        loop {
+                            // One blocking rendezvous per burst.
+                            if input.recv_batch(&mut batch, WORKER_BURST) == 0 {
+                                break;
                             }
-                            let point = em.to_point();
-                            tsdb.write(&point);
-                            let line = Bytes::from(em.to_line());
-                            if let Some(feed) = &detector_feed {
-                                // Blocks at the HWM: detectors never miss.
-                                let _ = feed.send(Message::new(
+                            let mut enriched = 0u64;
+                            let mut decode_errors = 0u64;
+                            let mut geo_misses = 0u64;
+                            let mut bytes_out = 0u64;
+                            let mut alloc_hits = 0u64;
+                            let mut batches_out = 0u64;
+                            for msg in batch.drain(..) {
+                                let Some(m) = LatencyMeasurement::decode(&msg.payload) else {
+                                    decode_errors += 1;
+                                    continue;
+                                };
+                                let em = enricher.enrich(&m);
+                                if em.src.is_unknown() || em.dst.is_unknown() {
+                                    geo_misses += 1;
+                                }
+                                let point = em.to_point();
+                                tsdb.write(&point);
+                                if detector_feed.is_some() {
+                                    if scratch.capacity() < ENRICHED_WIRE_LEN {
+                                        scratch.reserve(SCRATCH_CHUNK);
+                                        alloc_hits += 1;
+                                    }
+                                    em.encode_into(&mut scratch);
+                                    let bin = scratch.split().freeze();
+                                    bytes_out += bin.len() as u64;
+                                    feed_out.push(Message::new(
+                                        Bytes::from_static(ENRICHED_TOPIC),
+                                        bin,
+                                    ));
+                                }
+                                let line = Bytes::from(em.to_line());
+                                bytes_out += line.len() as u64;
+                                pub_out.push(Message::new(
                                     Bytes::from_static(ENRICHED_TOPIC),
-                                    line.clone(),
+                                    line,
                                 ));
+                                enriched += 1;
                             }
-                            publisher.publish(Message::new(
-                                Bytes::from_static(ENRICHED_TOPIC),
-                                line,
-                            ));
-                            enriched.fetch_add(1, Ordering::Relaxed);
+                            if let Some(feed) = &detector_feed {
+                                if !feed_out.is_empty() {
+                                    // Blocks at the HWM: detectors never miss.
+                                    let _ = feed.send_batch(feed_out.drain(..));
+                                    batches_out += 1;
+                                }
+                            }
+                            if !pub_out.is_empty() {
+                                publisher.publish_batch(pub_out.drain(..));
+                                batches_out += 1;
+                            }
+                            // One counter flush per burst, not per record.
+                            counters.batches_in.fetch_add(1, Ordering::Relaxed);
+                            counters.enriched.fetch_add(enriched, Ordering::Relaxed);
+                            if decode_errors > 0 {
+                                counters
+                                    .decode_errors
+                                    .fetch_add(decode_errors, Ordering::Relaxed);
+                            }
+                            if geo_misses > 0 {
+                                counters.geo_misses.fetch_add(geo_misses, Ordering::Relaxed);
+                            }
+                            counters.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+                            counters.alloc_hits.fetch_add(alloc_hits, Ordering::Relaxed);
+                            counters.batches_out.fetch_add(batches_out, Ordering::Relaxed);
                         }
                     })
                     .expect("spawn enrichment worker"),
             );
         }
-        EnrichmentPool {
-            handles,
-            enriched,
-            decode_errors,
-            geo_misses,
-        }
+        EnrichmentPool { handles, counters }
     }
 
     /// Measurements enriched so far.
     pub fn enriched(&self) -> u64 {
-        self.enriched.load(Ordering::Relaxed)
+        self.counters.enriched.load(Ordering::Relaxed)
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            enriched: self.enriched.load(Ordering::Relaxed),
-            decode_errors: self.decode_errors.load(Ordering::Relaxed),
-            geo_misses: self.geo_misses.load(Ordering::Relaxed),
-        }
+        self.counters.snapshot()
     }
 
     /// Wait for all workers to finish (after the input pipe closes).
@@ -145,11 +227,7 @@ impl EnrichmentPool {
         for h in self.handles {
             h.join().expect("enrichment worker panicked");
         }
-        PoolStats {
-            enriched: self.enriched.load(Ordering::Relaxed),
-            decode_errors: self.decode_errors.load(Ordering::Relaxed),
-            geo_misses: self.geo_misses.load(Ordering::Relaxed),
-        }
+        self.counters.snapshot()
     }
 }
 
@@ -205,6 +283,62 @@ mod tests {
         let em = crate::enrich::EnrichedMeasurement::from_line(line).unwrap();
         assert_eq!(em.src.city, "Auckland");
         assert!(!line.contains("100."), "no raw IPs on the bus: {line}");
+    }
+
+    #[test]
+    fn detector_feed_carries_binary_records() {
+        let world = SynthWorld::generate(2);
+        let db = Arc::new(world.db().clone());
+        let tsdb = Arc::new(TsDb::new());
+        let publisher = Publisher::new();
+        let sub = publisher.subscribe(ENRICHED_TOPIC, 10_000);
+        let (push, pull) = pipe(1024);
+        let (det_push, det_pull) = pipe(10_000);
+        let pool = EnrichmentPool::spawn_with_detector_feed(
+            2,
+            pull,
+            db,
+            tsdb,
+            publisher,
+            64,
+            Some(det_push),
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..100u64 {
+            let m = measurement(&world, &mut rng, i);
+            push.send(Message::new("latency", m.encode())).unwrap();
+        }
+        drop(push);
+        let stats = pool.join();
+        assert_eq!(stats.enriched, 100);
+
+        // The internal feed is the fixed binary record, not a line.
+        let mut seen = 0;
+        while let Some(msg) = det_pull.try_recv() {
+            assert_eq!(msg.payload.len(), crate::enrich::ENRICHED_WIRE_LEN);
+            let em = crate::enrich::EnrichedMeasurement::decode(&msg.payload)
+                .expect("binary enriched record");
+            assert_eq!(em.src.city, "Auckland");
+            seen += 1;
+        }
+        assert_eq!(seen, 100, "detector feed is lossless");
+
+        // The external PUB edge still speaks line protocol.
+        let msg = sub.try_recv().unwrap();
+        let line = core::str::from_utf8(&msg.payload).unwrap();
+        assert!(crate::enrich::EnrichedMeasurement::from_line(line).is_some());
+
+        // Batching and allocation counters: work moved in bursts, and the
+        // scratch block amortized allocations far below one per record.
+        assert!(stats.batches_in >= 4, "batched input: {}", stats.batches_in);
+        assert!(stats.batches_in <= 100);
+        assert!(stats.batches_out >= stats.batches_in);
+        assert!(stats.bytes_out >= 100 * crate::enrich::ENRICHED_WIRE_LEN as u64);
+        assert!(
+            (1..=2).contains(&stats.alloc_hits),
+            "one scratch block per worker, not per record: {}",
+            stats.alloc_hits
+        );
     }
 
     #[test]

@@ -6,11 +6,123 @@
 //! payload × subscribers; PUSH/PULL moves measurement records far faster
 //! than the dataplane produces them.
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruru_analytics::enrich::{EndpointInfo, ENRICHED_WIRE_LEN};
+use ruru_analytics::EnrichedMeasurement;
 use ruru_mq::{pipe, Message, Publisher};
+use ruru_nic::Timestamp;
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// The detector-feed burst size (mirrors the pipeline's `BURST_SIZE`).
+const BURST: usize = 32;
+
+fn sample_enriched() -> EnrichedMeasurement {
+    EnrichedMeasurement {
+        src: EndpointInfo {
+            country_code: *b"NZ",
+            city: "Auckland".to_string(),
+            lat: -36.85,
+            lon: 174.76,
+            asn: 9500,
+        },
+        dst: EndpointInfo {
+            country_code: *b"US",
+            city: "Los Angeles".to_string(),
+            lat: 34.05,
+            lon: -118.24,
+            asn: 15169,
+        },
+        internal_ns: 1_200_000,
+        external_ns: 131_000_000,
+        completed_at: Timestamp::from_nanos(1_700_000_000_000_000_000),
+        queue_id: 3,
+    }
+}
+
+/// One record per `send`, line-protocol payload, parsed on receive — the
+/// original detector-feed wire format.
+fn run_line_per_message(em: &EnrichedMeasurement, n: u64) -> Duration {
+    let (push, pull) = pipe(65536);
+    let consumer = std::thread::spawn(move || {
+        let mut seen = 0u64;
+        while let Some(msg) = pull.recv() {
+            let line = core::str::from_utf8(&msg.payload).unwrap();
+            black_box(EnrichedMeasurement::from_line(line).unwrap());
+            seen += 1;
+        }
+        seen
+    });
+    let start = Instant::now();
+    for _ in 0..n {
+        push.send(Message::new("enriched", Bytes::from(em.to_line())))
+            .unwrap();
+    }
+    drop(push);
+    let seen = consumer.join().unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(seen, n);
+    elapsed
+}
+
+/// Fixed binary records, scratch-encoded, moved `BURST` at a time with
+/// `send_batch`/`recv_batch` — the current detector-feed wire format.
+fn run_binary_batched(em: &EnrichedMeasurement, n: u64) -> Duration {
+    let (push, pull) = pipe(65536);
+    let consumer = std::thread::spawn(move || {
+        let mut seen = 0u64;
+        let mut batch = Vec::with_capacity(BURST);
+        loop {
+            let got = pull.recv_batch(&mut batch, BURST);
+            if got == 0 {
+                break;
+            }
+            for msg in batch.drain(..) {
+                black_box(EnrichedMeasurement::decode(&msg.payload).unwrap());
+                seen += 1;
+            }
+        }
+        seen
+    });
+    let mut scratch = BytesMut::new();
+    let mut batch: Vec<Message> = Vec::with_capacity(BURST);
+    let start = Instant::now();
+    for i in 0..n {
+        if scratch.capacity() < ENRICHED_WIRE_LEN {
+            scratch.reserve(64 * 1024);
+        }
+        em.encode_into(&mut scratch);
+        batch.push(Message::new("enriched", scratch.split().freeze()));
+        if batch.len() >= BURST || i + 1 == n {
+            push.send_batch(batch.drain(..)).unwrap();
+        }
+    }
+    drop(push);
+    let seen = consumer.join().unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(seen, n);
+    elapsed
+}
+
+fn transfer_table() {
+    println!("== E8: detector feed — per-message line vs batched binary ==");
+    let em = sample_enriched();
+    let n = 200_000u64;
+    // Warm-up pass each, then the measured pass.
+    run_line_per_message(&em, 20_000);
+    run_binary_batched(&em, 20_000);
+    let line = run_line_per_message(&em, n);
+    let bin = run_binary_batched(&em, n);
+    let line_rate = n as f64 / line.as_secs_f64() / 1e6;
+    let bin_rate = n as f64 / bin.as_secs_f64() / 1e6;
+    println!("  per-message line protocol : {line_rate:.2} M rec/s");
+    println!("  batched binary (burst {BURST}) : {bin_rate:.2} M rec/s");
+    println!(
+        "  speedup: {:.1}× (target ≥2×)",
+        line.as_secs_f64() / bin.as_secs_f64()
+    );
+}
 
 fn fanout_table() {
     println!("== E8: message bus ==");
@@ -36,6 +148,7 @@ fn fanout_table() {
 
 fn bench(c: &mut Criterion) {
     fanout_table();
+    transfer_table();
 
     let mut group = c.benchmark_group("e8_bus");
     group
@@ -102,6 +215,29 @@ fn bench(c: &mut Criterion) {
                 let n = consumer.join().unwrap();
                 total += start.elapsed();
                 assert_eq!(n, 100_000);
+            }
+            total
+        });
+    });
+
+    // The detector-feed ablation criterion tracks over time: line protocol
+    // one-send-per-record vs fixed binary records in vectored bursts.
+    let em = sample_enriched();
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("detector_feed_line_per_msg_100k", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += run_line_per_message(&em, 100_000);
+            }
+            total
+        });
+    });
+    group.bench_function("detector_feed_binary_batched_100k", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += run_binary_batched(&em, 100_000);
             }
             total
         });

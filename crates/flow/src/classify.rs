@@ -8,6 +8,7 @@
 
 use ruru_nic::Timestamp;
 use ruru_wire::{ethernet, ipv4, ipv6, tcp, IpAddress};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Why a frame was not classified as a usable TCP packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,6 +25,87 @@ pub enum Reject {
     BadTcpChecksum,
     /// The TCP header was malformed or truncated.
     BadTcp,
+}
+
+/// Shared per-cause reject counters, updated lock-free by the dataplane
+/// workers and snapshotted into a [`RejectStats`] for the run report.
+#[derive(Debug, Default)]
+pub struct RejectCounters {
+    not_ip: AtomicU64,
+    not_tcp: AtomicU64,
+    fragment: AtomicU64,
+    bad_ip_checksum: AtomicU64,
+    bad_tcp_checksum: AtomicU64,
+    bad_tcp: AtomicU64,
+}
+
+impl RejectCounters {
+    /// Count one rejected frame under its cause.
+    pub fn record(&self, reject: Reject) {
+        let counter = match reject {
+            Reject::NotIp => &self.not_ip,
+            Reject::NotTcp => &self.not_tcp,
+            Reject::Fragment => &self.fragment,
+            Reject::BadIpChecksum => &self.bad_ip_checksum,
+            Reject::BadTcpChecksum => &self.bad_tcp_checksum,
+            Reject::BadTcp => &self.bad_tcp,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read a consistent-enough snapshot of every counter.
+    pub fn snapshot(&self) -> RejectStats {
+        RejectStats {
+            not_ip: self.not_ip.load(Ordering::Relaxed),
+            not_tcp: self.not_tcp.load(Ordering::Relaxed),
+            fragment: self.fragment.load(Ordering::Relaxed),
+            bad_ip_checksum: self.bad_ip_checksum.load(Ordering::Relaxed),
+            bad_tcp_checksum: self.bad_tcp_checksum.load(Ordering::Relaxed),
+            bad_tcp: self.bad_tcp.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time reading of [`RejectCounters`]: how many frames each
+/// [`Reject`] cause discarded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectStats {
+    /// Frames rejected as [`Reject::NotIp`].
+    pub not_ip: u64,
+    /// Frames rejected as [`Reject::NotTcp`].
+    pub not_tcp: u64,
+    /// Frames rejected as [`Reject::Fragment`].
+    pub fragment: u64,
+    /// Frames rejected as [`Reject::BadIpChecksum`].
+    pub bad_ip_checksum: u64,
+    /// Frames rejected as [`Reject::BadTcpChecksum`].
+    pub bad_tcp_checksum: u64,
+    /// Frames rejected as [`Reject::BadTcp`].
+    pub bad_tcp: u64,
+}
+
+impl RejectStats {
+    /// Total rejected frames across every cause.
+    pub fn total(&self) -> u64 {
+        self.not_ip
+            + self.not_tcp
+            + self.fragment
+            + self.bad_ip_checksum
+            + self.bad_tcp_checksum
+            + self.bad_tcp
+    }
+
+    /// The count for one cause.
+    pub fn get(&self, reject: Reject) -> u64 {
+        match reject {
+            Reject::NotIp => self.not_ip,
+            Reject::NotTcp => self.not_tcp,
+            Reject::Fragment => self.fragment,
+            Reject::BadIpChecksum => self.bad_ip_checksum,
+            Reject::BadTcpChecksum => self.bad_tcp_checksum,
+            Reject::BadTcp => self.bad_tcp,
+        }
+    }
 }
 
 /// Whether to validate TCP checksums during classification.
@@ -218,6 +300,23 @@ mod tests {
         let mut seg = tcp::Packet::new_unchecked(tcp_buf);
         tcp_repr.emit(&mut seg, &ph);
         buf
+    }
+
+    #[test]
+    fn reject_counters_count_per_cause() {
+        let counters = RejectCounters::default();
+        counters.record(Reject::NotTcp);
+        counters.record(Reject::NotTcp);
+        counters.record(Reject::Fragment);
+        counters.record(Reject::BadTcpChecksum);
+        let stats = counters.snapshot();
+        assert_eq!(stats.not_tcp, 2);
+        assert_eq!(stats.get(Reject::NotTcp), 2);
+        assert_eq!(stats.fragment, 1);
+        assert_eq!(stats.bad_tcp_checksum, 1);
+        assert_eq!(stats.not_ip, 0);
+        assert_eq!(stats.total(), 4);
+        assert_eq!(RejectStats::default().total(), 0);
     }
 
     #[test]

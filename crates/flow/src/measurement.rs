@@ -6,12 +6,25 @@
 //! and the analytics workers can decode without allocation.
 
 use bytes::{BufMut, Bytes, BytesMut};
+use core::cell::RefCell;
 use ruru_nic::Timestamp;
 use ruru_wire::{ipv4, ipv6, IpAddress};
 
 /// Wire length of an encoded measurement.
 pub const WIRE_LEN: usize = 66;
 const VERSION: u8 = 1;
+
+/// Scratch-block size for [`LatencyMeasurement::encode`]'s thread-local
+/// buffer: one heap allocation amortizes over ~1000 encoded records.
+pub const SCRATCH_CHUNK: usize = 64 * 1024;
+
+thread_local! {
+    /// Per-thread encode scratch. `encode` appends into this block and
+    /// freezes a zero-copy slice out of it, so the steady state performs
+    /// no per-record heap allocation — only one block allocation per
+    /// [`SCRATCH_CHUNK`] bytes of output.
+    static ENCODE_SCRATCH: RefCell<BytesMut> = RefCell::new(BytesMut::new());
+}
 
 /// A completed-handshake latency measurement (the paper's Figure 1 output).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,8 +61,30 @@ impl LatencyMeasurement {
     }
 
     /// Encode into the fixed binary wire form.
+    ///
+    /// Appends to a thread-local scratch block and freezes a zero-copy
+    /// slice out of it: the returned [`Bytes`] shares the block, so the
+    /// steady state allocates once per [`SCRATCH_CHUNK`] bytes rather than
+    /// once per record. Callers that manage their own scratch (and want to
+    /// count allocation-path hits) use [`LatencyMeasurement::encode_into`]
+    /// directly.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(WIRE_LEN);
+        ENCODE_SCRATCH.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            if buf.capacity() < WIRE_LEN {
+                buf.reserve(SCRATCH_CHUNK);
+            }
+            self.encode_into(&mut buf);
+            buf.split().freeze()
+        })
+    }
+
+    /// Append the fixed binary wire form to `buf` (exactly [`WIRE_LEN`]
+    /// bytes). The caller is responsible for capacity management; combined
+    /// with `split().freeze()` this gives an allocation-free encode path.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        let start = buf.len();
+        buf.reserve(WIRE_LEN);
         buf.put_u8(VERSION);
         buf.put_u8(if self.src.is_v4() { 4 } else { 6 });
         buf.put_u8(self.syn_retransmissions);
@@ -62,8 +97,7 @@ impl LatencyMeasurement {
         buf.put_u64_le(self.internal_ns);
         buf.put_u64_le(self.external_ns);
         buf.put_u64_le(self.completed_at.as_nanos());
-        debug_assert_eq!(buf.len(), WIRE_LEN);
-        buf.freeze()
+        debug_assert_eq!(buf.len() - start, WIRE_LEN);
     }
 
     /// Decode from the binary wire form.
@@ -170,6 +204,36 @@ mod tests {
         bad_family[1] = 5;
         assert_eq!(LatencyMeasurement::decode(&bad_family), None);
         assert_eq!(LatencyMeasurement::decode(&[]), None);
+    }
+
+    #[test]
+    fn encode_into_appends_without_disturbing_prefix() {
+        let m = sample_v4();
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"prefix");
+        m.encode_into(&mut buf);
+        assert_eq!(buf.len(), 6 + WIRE_LEN);
+        assert_eq!(&buf[..6], b"prefix");
+        assert_eq!(LatencyMeasurement::decode(&buf[6..]), Some(m));
+    }
+
+    #[test]
+    fn scratch_encode_yields_independent_records() {
+        // Consecutive encodes slice the same thread-local block; each
+        // frozen record must still be a correct, independent view.
+        let records: Vec<(LatencyMeasurement, Bytes)> = (0..100u16)
+            .map(|i| {
+                let m = LatencyMeasurement {
+                    queue_id: i,
+                    src_port: 50_000 + i,
+                    ..sample_v4()
+                };
+                (m, m.encode())
+            })
+            .collect();
+        for (m, wire) in &records {
+            assert_eq!(LatencyMeasurement::decode(wire), Some(*m));
+        }
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //! Payloads are [`bytes::Bytes`]: fanning a message out to N subscribers
 //! clones a reference count, never the bytes — the "zero-copy" the paper
 //! leans on. Experiment E8 benchmarks this against a copying bus.
+//!
+//! All three patterns also expose **vectored batch transfer**
+//! ([`Push::send_batch`], [`Pull::recv_batch`], [`Publisher::publish_batch`])
+//! so stages that already work in DPDK-style bursts amortize channel
+//! synchronization over up to a burst of records instead of paying it per
+//! message. Batch calls are semantically identical to their per-message
+//! forms — same ordering, same HWM back-pressure (PUSH) and drop-on-full
+//! (PUB) behaviour — batched and unbatched endpoints interoperate freely.
 
 pub mod message;
 pub mod pubsub;

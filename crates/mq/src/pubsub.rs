@@ -64,44 +64,84 @@ impl Publisher {
         Subscriber { rx, drops, alive }
     }
 
+    /// Deliver one message to every matching subscriber under an
+    /// already-held subscriber list. Returns the delivery count and sets
+    /// `gone` when a dead subscription was seen.
+    fn deliver(&self, subs: &[SubEntry], msg: &Message, gone: &mut bool) -> u64 {
+        let mut delivered = 0;
+        for sub in subs.iter() {
+            if !sub.alive.load(Ordering::Acquire) {
+                *gone = true;
+                continue;
+            }
+            if !msg.matches(&sub.prefix) {
+                continue;
+            }
+            match sub.sender.try_send(msg.clone()) {
+                Ok(()) => delivered += 1,
+                Err(crossbeam::channel::TrySendError::Full(_)) => {
+                    sub.drops.fetch_add(1, Ordering::Relaxed);
+                    self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                    *gone = true;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Prune subscriptions whose receiving end is gone.
+    fn prune(&self) {
+        self.inner
+            .subs
+            .write()
+            .retain(|s| s.alive.load(Ordering::Acquire));
+    }
+
     /// Publish a message to every matching subscriber. Never blocks;
     /// returns the number of subscribers that received it.
     pub fn publish(&self, msg: Message) -> usize {
         self.inner.published.fetch_add(1, Ordering::Relaxed);
-        let mut delivered = 0;
         let mut gone = false;
+        let delivered = {
+            let subs = self.inner.subs.read();
+            self.deliver(&subs, &msg, &mut gone)
+        };
+        if gone {
+            // Prune dead subscriptions outside the read lock.
+            self.prune();
+        }
+        self.inner.delivered.fetch_add(delivered, Ordering::Relaxed);
+        delivered as usize
+    }
+
+    /// Publish a burst of messages under a single subscriber-list lock
+    /// acquisition, amortizing the fan-out synchronization over the batch.
+    /// Per-message semantics are identical to [`Publisher::publish`]:
+    /// never blocks, a subscriber at its high-water mark drops exactly the
+    /// messages that did not fit (counted per subscriber), and delivery
+    /// order within the batch is preserved. Returns the total number of
+    /// (message, subscriber) deliveries.
+    pub fn publish_batch<I>(&self, msgs: I) -> usize
+    where
+        I: IntoIterator<Item = Message>,
+    {
+        let mut gone = false;
+        let mut published = 0u64;
+        let mut delivered = 0u64;
         {
             let subs = self.inner.subs.read();
-            for sub in subs.iter() {
-                if !sub.alive.load(Ordering::Acquire) {
-                    gone = true;
-                    continue;
-                }
-                if !msg.matches(&sub.prefix) {
-                    continue;
-                }
-                match sub.sender.try_send(msg.clone()) {
-                    Ok(()) => delivered += 1,
-                    Err(crossbeam::channel::TrySendError::Full(_)) => {
-                        sub.drops.fetch_add(1, Ordering::Relaxed);
-                        self.inner.dropped.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
-                        gone = true;
-                    }
-                }
+            for msg in msgs {
+                published += 1;
+                delivered += self.deliver(&subs, &msg, &mut gone);
             }
         }
         if gone {
-            // Prune dead subscriptions outside the read lock.
-            self.inner
-                .subs
-                .write()
-                .retain(|s| s.alive.load(Ordering::Acquire));
+            self.prune();
         }
-        self.inner
-            .delivered
-            .fetch_add(delivered as u64, Ordering::Relaxed);
+        self.inner.published.fetch_add(published, Ordering::Relaxed);
+        self.inner.delivered.fetch_add(delivered, Ordering::Relaxed);
         delivered as usize
     }
 
@@ -263,6 +303,52 @@ mod tests {
         // First publish after the drop notices and prunes.
         assert_eq!(p.publish(Message::new("t", "m")), 1);
         assert_eq!(p.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn publish_batch_matches_per_message_semantics() {
+        let p = Publisher::new();
+        let all = p.subscribe("", 100);
+        let lat = p.subscribe("latency", 100);
+        let batch: Vec<Message> = (0..10u8)
+            .map(|i| {
+                Message::new(
+                    if i % 2 == 0 { "latency" } else { "alerts" },
+                    vec![i],
+                )
+            })
+            .collect();
+        // 10 to `all` + 5 to `lat`.
+        assert_eq!(p.publish_batch(batch), 15);
+        assert_eq!(all.backlog(), 10);
+        assert_eq!(lat.backlog(), 5);
+        // Order within the batch is preserved.
+        assert_eq!(all.try_recv().unwrap().payload, &[0u8][..]);
+        assert_eq!(all.try_recv().unwrap().payload, &[1u8][..]);
+        assert_eq!(lat.try_recv().unwrap().payload, &[0u8][..]);
+        assert_eq!(lat.try_recv().unwrap().payload, &[2u8][..]);
+        let (published, delivered, dropped) = p.stats();
+        assert_eq!(published, 10);
+        assert_eq!(delivered, 15);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn publish_batch_slow_subscriber_still_drops_not_blocks() {
+        // PUB drop-on-full semantics are unchanged under batching: the
+        // oldest messages are retained, the overflow is counted, and the
+        // publisher never blocks.
+        let p = Publisher::new();
+        let s = p.subscribe("", 3);
+        let batch: Vec<Message> = (0..10u8).map(|i| Message::new("t", vec![i])).collect();
+        assert_eq!(p.publish_batch(batch), 3);
+        assert_eq!(s.backlog(), 3, "only HWM retained");
+        assert_eq!(s.drops(), 7);
+        assert_eq!(s.try_recv().unwrap().payload, &[0u8][..]);
+        let (published, delivered, dropped) = p.stats();
+        assert_eq!(published, 10);
+        assert_eq!(delivered, 3);
+        assert_eq!(dropped, 7);
     }
 
     #[test]

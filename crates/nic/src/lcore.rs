@@ -75,9 +75,33 @@ impl WorkerGroup {
         F: Fn(&mut S, Mbuf) + Send + Sync + 'static,
         E: Fn(u16, S) + Send + Sync + 'static,
     {
+        Self::spawn_batched(queues, init, on_packet, |_state: &mut S| {}, on_stop)
+    }
+
+    /// Like [`WorkerGroup::spawn`], with an additional `on_burst_end`
+    /// callback invoked after each non-empty burst has been fed through
+    /// `on_packet`. This is the flush point for stages that accumulate
+    /// per-burst output (e.g. a batch of bus messages): the callback runs
+    /// once per up-to-[`BURST_SIZE`] packets, so downstream batch sends
+    /// amortize their synchronization the same way the RX poll does.
+    pub fn spawn_batched<S, I, F, B, E>(
+        queues: Vec<RxQueue>,
+        init: I,
+        on_packet: F,
+        on_burst_end: B,
+        on_stop: E,
+    ) -> WorkerGroup
+    where
+        S: 'static,
+        I: Fn(u16) -> S + Send + Sync + 'static,
+        F: Fn(&mut S, Mbuf) + Send + Sync + 'static,
+        B: Fn(&mut S) + Send + Sync + 'static,
+        E: Fn(u16, S) + Send + Sync + 'static,
+    {
         let stop = StopFlag::new();
         let init = Arc::new(init);
         let on_packet = Arc::new(on_packet);
+        let on_burst_end = Arc::new(on_burst_end);
         let on_stop = Arc::new(on_stop);
         let mut handles = Vec::with_capacity(queues.len());
         let mut counters = Vec::with_capacity(queues.len());
@@ -85,6 +109,7 @@ impl WorkerGroup {
             let stop = stop.clone();
             let init = Arc::clone(&init);
             let on_packet = Arc::clone(&on_packet);
+            let on_burst_end = Arc::clone(&on_burst_end);
             let on_stop = Arc::clone(&on_stop);
             let ctrs = Arc::new(WorkerCounters::default());
             counters.push(Arc::clone(&ctrs));
@@ -116,6 +141,7 @@ impl WorkerGroup {
                             for mbuf in burst.drain(..) {
                                 on_packet(&mut state, mbuf);
                             }
+                            on_burst_end(&mut state);
                         }
                         on_stop(qid, state);
                     })
@@ -262,6 +288,35 @@ mod tests {
         assert_eq!(finals.len(), 2);
         let total: u64 = finals.iter().map(|(_, c)| c).sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn burst_end_flushes_accumulated_work() {
+        let mut port = port(1);
+        let queues = port.take_all_rx_queues();
+        let flushed = Arc::new(AtomicU64::new(0));
+        let flushed2 = Arc::clone(&flushed);
+        let group = WorkerGroup::spawn_batched(
+            queues,
+            |_q| 0u64, // packets accumulated since the last flush
+            |pending, _m| *pending += 1,
+            move |pending| {
+                assert!((1..=BURST_SIZE as u64).contains(pending));
+                flushed2.fetch_add(*pending, Ordering::Relaxed);
+                *pending = 0;
+            },
+            |_q, pending| assert_eq!(pending, 0, "every burst was flushed"),
+        );
+        for _ in 0..100 {
+            while port.inject(&frame_with_marker(1)).is_none() {
+                std::thread::yield_now();
+            }
+        }
+        while flushed.load(Ordering::Relaxed) < 100 {
+            std::thread::yield_now();
+        }
+        group.shutdown();
+        assert_eq!(flushed.load(Ordering::Relaxed), 100);
     }
 
     #[test]

@@ -6,19 +6,20 @@
 //! [`Report`] with the statistics every experiment reads.
 
 use crate::snmp::{SnmpPoller, SnmpSample};
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ruru_analytics::detect::{FloodConfig, RateConfig, SpikeConfig};
 use ruru_analytics::{
     AlertSink, EnrichedMeasurement, EnrichmentPool, LatencySpikeDetector, PairAggregator,
-    RateAnomalyDetector, SynFloodDetector,
+    PairInterner, RateAnomalyDetector, SynFloodDetector,
 };
-use ruru_flow::classify::{classify, ChecksumMode, Reject};
+use ruru_flow::classify::{classify, ChecksumMode, RejectCounters, RejectStats};
+use ruru_flow::measurement::{SCRATCH_CHUNK, WIRE_LEN};
 use ruru_flow::{HandshakeTracker, TrackerConfig, TrackerStats};
 use ruru_gen::Event;
 use ruru_geo::{GeoDb, SynthWorld};
 use ruru_mq::{pipe, Message, Publisher, Push};
-use ruru_nic::lcore::WorkerGroup;
+use ruru_nic::lcore::{WorkerGroup, BURST_SIZE};
 use ruru_nic::port::{Port, PortConfig, PortStats};
 use ruru_nic::{Clock, Timestamp};
 use ruru_tsdb::TsDb;
@@ -78,6 +79,44 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Per-stage throughput counters: what moved through one pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Records (packets or bus events) entering the stage.
+    pub records_in: u64,
+    /// Records the stage emitted downstream.
+    pub records_out: u64,
+    /// Batched bus transfers (vectored sends/receives) performed.
+    pub batches: u64,
+    /// Payload bytes moved on the stage's bus edge.
+    pub bytes: u64,
+    /// Times the stage's scratch encode path had to allocate a fresh
+    /// block — ≈ one per 64 KiB of output, not one per record.
+    pub alloc_hits: u64,
+}
+
+/// Shared atomic backing for a [`StageStats`] snapshot.
+#[derive(Default)]
+struct StageCounters {
+    records_in: AtomicU64,
+    records_out: AtomicU64,
+    batches: AtomicU64,
+    bytes: AtomicU64,
+    alloc_hits: AtomicU64,
+}
+
+impl StageCounters {
+    fn snapshot(&self) -> StageStats {
+        StageStats {
+            records_in: self.records_in.load(Ordering::Relaxed),
+            records_out: self.records_out.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            alloc_hits: self.alloc_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Everything the run produced.
 pub struct Report {
     /// NIC-level statistics.
@@ -98,8 +137,17 @@ pub struct Report {
     pub tsdb: Arc<TsDb>,
     /// SNMP baseline samples.
     pub snmp: Vec<SnmpSample>,
-    /// Packets rejected at classification, by cause count.
+    /// Packets rejected at classification, total across causes
+    /// (equals `rejects.total()`; kept for existing consumers).
     pub classify_rejects: u64,
+    /// Per-cause classification reject counts.
+    pub rejects: RejectStats,
+    /// Throughput counters for the dataplane stage (classify → track →
+    /// batched PUSH of binary measurements).
+    pub dataplane: StageStats,
+    /// Throughput counters for the detector stage (batched PULL of binary
+    /// enriched records + SYN events).
+    pub detector_stage: StageStats,
     /// Rolling per-location-pair / per-AS-pair aggregates (the paper's
     /// "aggregates statistics by source and destination locations, and AS
     /// numbers").
@@ -123,7 +171,58 @@ struct WorkerState {
     push: Push,
     syn_tx: Sender<(u16, u64)>,
     checksum_mode: ChecksumMode,
-    rejects: Arc<AtomicU64>,
+    rejects: Arc<RejectCounters>,
+    stage: Arc<StageCounters>,
+    /// Measurements accumulated this burst, flushed with one `send_batch`.
+    batch: Vec<Message>,
+    /// Encode scratch: measurements append here and freeze zero-copy
+    /// slices, one block allocation per ~64 KiB of output.
+    scratch: BytesMut,
+    // Local counters, flushed to `stage` once per burst.
+    records_in: u64,
+    records_out: u64,
+    batches: u64,
+    bytes: u64,
+    alloc_hits: u64,
+}
+
+impl WorkerState {
+    /// Send the accumulated burst downstream and flush local counters to
+    /// the shared stage atomics — called at every burst end and on stop.
+    fn flush(&mut self) {
+        if !self.batch.is_empty() {
+            self.batches += 1;
+            // PUSH blocks at the HWM: analytics back-pressure, never
+            // measurement loss (ZeroMQ PUSH semantics).
+            let _ = self.push.send_batch(self.batch.drain(..));
+        }
+        if self.records_in > 0 {
+            self.stage
+                .records_in
+                .fetch_add(self.records_in, Ordering::Relaxed);
+            self.records_in = 0;
+        }
+        if self.records_out > 0 {
+            self.stage
+                .records_out
+                .fetch_add(self.records_out, Ordering::Relaxed);
+            self.records_out = 0;
+        }
+        if self.batches > 0 {
+            self.stage.batches.fetch_add(self.batches, Ordering::Relaxed);
+            self.batches = 0;
+        }
+        if self.bytes > 0 {
+            self.stage.bytes.fetch_add(self.bytes, Ordering::Relaxed);
+            self.bytes = 0;
+        }
+        if self.alloc_hits > 0 {
+            self.stage
+                .alloc_hits
+                .fetch_add(self.alloc_hits, Ordering::Relaxed);
+            self.alloc_hits = 0;
+        }
+    }
 }
 
 /// The running pipeline.
@@ -140,7 +239,8 @@ pub struct Pipeline {
     tsdb: Arc<TsDb>,
     alerts: AlertSink,
     snmp: SnmpPoller,
-    rejects: Arc<AtomicU64>,
+    rejects: Arc<RejectCounters>,
+    dataplane: Arc<StageCounters>,
     last_event: Timestamp,
 }
 
@@ -149,6 +249,7 @@ struct DetectorResult {
     arcs_drawn: u64,
     arcs_dropped: u64,
     aggregates: PairAggregator,
+    stage: StageStats,
 }
 
 impl Pipeline {
@@ -167,7 +268,8 @@ impl Pipeline {
         let (det_push, det_pull) = pipe(config.mq_hwm);
         let tsdb = Arc::new(TsDb::new());
         let alerts = AlertSink::new();
-        let rejects = Arc::new(AtomicU64::new(0));
+        let rejects = Arc::new(RejectCounters::default());
+        let dataplane = Arc::new(StageCounters::default());
 
         let pool = EnrichmentPool::spawn_with_detector_feed(
             config.enrich_threads,
@@ -210,8 +312,12 @@ impl Pipeline {
                 let mut rate = RateAnomalyDetector::new(rate_cfg);
                 let mut batcher = FrameBatcher::new(frame_cfg, Timestamp::ZERO);
                 let mut aggregates = PairAggregator::new();
+                // City-pair keys interned once; the per-measurement hot path
+                // below works on dense u32 ids, no `format!` per record.
+                let mut pairs = PairInterner::new();
                 let mut frames_emitted = 0u64;
                 let mut last_at = Timestamp::ZERO;
+                let mut stage = StageStats::default();
 
                 // Source id: queue × {syn=0, measurement=1}. All sources
                 // start at watermark zero; nothing is released until every
@@ -230,19 +336,31 @@ impl Pipeline {
                                    rate: &mut RateAnomalyDetector,
                                    batcher: &mut FrameBatcher,
                                    aggregates: &mut PairAggregator,
+                                   pairs: &mut PairInterner,
                                    frames_emitted: &mut u64| match ev {
                     Ev::Syn => {
                         det_alerts.push_opt(flood.observe_syn(at));
                     }
                     Ev::Meas(em) => {
                         det_alerts.push_opt(flood.observe_completion(at));
-                        let key = format!(
-                            "{}→{}",
-                            if em.src.city.is_empty() { "?" } else { &em.src.city },
-                            if em.dst.city.is_empty() { "?" } else { &em.dst.city }
-                        );
-                        det_alerts.push_opt(spike.observe(&key, em.total_ns(), at));
-                        det_alerts.push_opt(rate.observe(&key, at));
+                        let src = pairs.atom(if em.src.city.is_empty() {
+                            "?"
+                        } else {
+                            &em.src.city
+                        });
+                        let dst = pairs.atom(if em.dst.city.is_empty() {
+                            "?"
+                        } else {
+                            &em.dst.city
+                        });
+                        let key = pairs.pair(src, dst);
+                        det_alerts.push_opt(spike.observe_id(
+                            key,
+                            pairs.name(key),
+                            em.total_ns(),
+                            at,
+                        ));
+                        det_alerts.push_opt(rate.observe_id(key, pairs.name(key), at));
                         aggregates.observe(&em);
                         let frames = batcher.add(
                             at,
@@ -254,33 +372,49 @@ impl Pipeline {
                     }
                 };
 
+                let mut det_batch: Vec<ruru_mq::Message> = Vec::with_capacity(BURST_SIZE);
+                let mut idle_spins = 0u32;
                 loop {
                     let mut idle = true;
-                    while let Ok((qid, ts)) = syn_rx.try_recv() {
+                    // Fair drains under sustained load: at most one burst
+                    // from each input per loop iteration, so a firehose on
+                    // one feed cannot starve the other.
+                    let mut syn_quota = BURST_SIZE;
+                    while syn_quota > 0 {
+                        let Ok((qid, ts)) = syn_rx.try_recv() else {
+                            break;
+                        };
+                        syn_quota -= 1;
                         idle = false;
+                        stage.records_in += 1;
                         let w = watermarks.entry((qid.min(num_queues - 1), 0)).or_insert(0);
                         *w = (*w).max(ts);
                         pending.push(Reverse((ts, seq)));
                         payloads.insert(seq, Ev::Syn);
                         seq += 1;
                     }
-                    while let Some(msg) = det_pull.try_recv() {
+                    let n = det_pull.try_recv_batch(&mut det_batch, BURST_SIZE);
+                    if n > 0 {
                         idle = false;
-                        let Ok(line) = core::str::from_utf8(&msg.payload) else {
-                            continue;
-                        };
-                        let Some(em) = EnrichedMeasurement::from_line(line) else {
-                            continue;
-                        };
-                        let at = em.completed_at;
-                        last_at = last_at.max(at);
-                        let w = watermarks
-                            .entry((em.queue_id.min(num_queues - 1), 1))
-                            .or_insert(0);
-                        *w = (*w).max(at.as_nanos());
-                        pending.push(Reverse((at.as_nanos(), seq)));
-                        payloads.insert(seq, Ev::Meas(Box::new(em)));
-                        seq += 1;
+                        stage.batches += 1;
+                        stage.records_in += n as u64;
+                        for msg in det_batch.drain(..) {
+                            stage.bytes += msg.payload.len() as u64;
+                            // The internal feed carries the fixed binary
+                            // record — no UTF-8 or line parsing here.
+                            let Some(em) = EnrichedMeasurement::decode(&msg.payload) else {
+                                continue;
+                            };
+                            let at = em.completed_at;
+                            last_at = last_at.max(at);
+                            let w = watermarks
+                                .entry((em.queue_id.min(num_queues - 1), 1))
+                                .or_insert(0);
+                            *w = (*w).max(at.as_nanos());
+                            pending.push(Reverse((at.as_nanos(), seq)));
+                            payloads.insert(seq, Ev::Meas(Box::new(em)));
+                            seq += 1;
+                        }
                     }
                     // Release everything at or below the lowest watermark.
                     let low = watermarks.values().copied().min().unwrap_or(0);
@@ -290,6 +424,7 @@ impl Pipeline {
                         }
                         pending.pop();
                         let ev = payloads.remove(&s).expect("payload for pending event");
+                        stage.records_out += 1;
                         process(
                             ev,
                             Timestamp::from_nanos(at),
@@ -298,6 +433,7 @@ impl Pipeline {
                             &mut rate,
                             &mut batcher,
                             &mut aggregates,
+                            &mut pairs,
                             &mut frames_emitted,
                         );
                     }
@@ -305,12 +441,26 @@ impl Pipeline {
                         if det_stop.load(Ordering::Acquire) {
                             break;
                         }
-                        std::thread::sleep(Duration::from_micros(200));
+                        // Adaptive backoff like the lcore workers: spin for
+                        // the first empty polls (lowest drain latency), then
+                        // yield, then park — never a fixed sleep on a path
+                        // that might have work microseconds away.
+                        idle_spins += 1;
+                        if idle_spins < 64 {
+                            std::hint::spin_loop();
+                        } else if idle_spins < 256 {
+                            std::thread::yield_now();
+                        } else {
+                            std::thread::park_timeout(Duration::from_micros(200));
+                        }
+                    } else {
+                        idle_spins = 0;
                     }
                 }
                 // End of stream: flush the reorder buffer in time order.
                 while let Some(Reverse((at, s))) = pending.pop() {
                     let ev = payloads.remove(&s).expect("payload for pending event");
+                    stage.records_out += 1;
                     process(
                         ev,
                         Timestamp::from_nanos(at),
@@ -319,6 +469,7 @@ impl Pipeline {
                         &mut rate,
                         &mut batcher,
                         &mut aggregates,
+                        &mut pairs,
                         &mut frames_emitted,
                     );
                 }
@@ -329,6 +480,7 @@ impl Pipeline {
                     arcs_drawn,
                     arcs_dropped,
                     aggregates,
+                    stage,
                 }
             })
             .expect("spawn detector thread");
@@ -338,7 +490,8 @@ impl Pipeline {
         let tracker_cfg = config.tracker.clone();
         let checksum_mode = config.checksum_mode;
         let rejects_for_workers = Arc::clone(&rejects);
-        let workers = WorkerGroup::spawn(
+        let dataplane_for_workers = Arc::clone(&dataplane);
+        let workers = WorkerGroup::spawn_batched(
             queues,
             move |qid| WorkerState {
                 tracker: HandshakeTracker::new(qid, tracker_cfg.clone()),
@@ -346,8 +499,17 @@ impl Pipeline {
                 syn_tx: syn_tx.clone(),
                 checksum_mode,
                 rejects: Arc::clone(&rejects_for_workers),
+                stage: Arc::clone(&dataplane_for_workers),
+                batch: Vec::with_capacity(BURST_SIZE),
+                scratch: BytesMut::new(),
+                records_in: 0,
+                records_out: 0,
+                batches: 0,
+                bytes: 0,
+                alloc_hits: 0,
             },
             |state, mbuf| {
+                state.records_in += 1;
                 match classify(mbuf.data(), mbuf.timestamp, state.checksum_mode) {
                     Ok(meta) => {
                         if meta.flags.is_syn_only() {
@@ -356,23 +518,40 @@ impl Pipeline {
                                 .send((state.tracker.queue_id(), meta.timestamp.as_nanos()));
                         }
                         if let Some(m) = state.tracker.process(&meta) {
-                            // PUSH blocks at the HWM: analytics back-pressure,
-                            // never measurement loss (ZeroMQ PUSH semantics).
-                            let _ = state.push.send(Message::new(
-                                Bytes::from_static(b"latency"),
-                                m.encode(),
-                            ));
+                            // Encode into the worker's scratch block: one
+                            // backing allocation per ~1000 records, each
+                            // payload a zero-copy slice of it.
+                            if state.scratch.capacity() < WIRE_LEN {
+                                state.scratch.reserve(SCRATCH_CHUNK);
+                                state.alloc_hits += 1;
+                            }
+                            m.encode_into(&mut state.scratch);
+                            let payload = state.scratch.split().freeze();
+                            state.bytes += payload.len() as u64;
+                            state
+                                .batch
+                                .push(Message::new(Bytes::from_static(b"latency"), payload));
+                            state.records_out += 1;
+                            // Keep the batch bounded even if a burst produces
+                            // more measurements than packets ever should.
+                            if state.batch.len() >= BURST_SIZE {
+                                state.flush();
+                            }
                         }
                     }
                     Err(reject) => {
-                        // Fragments/UDP/ARP are normal on a live tap; only
-                        // count them.
-                        let _ = matches!(reject, Reject::NotTcp);
-                        state.rejects.fetch_add(1, Ordering::Relaxed);
+                        // Fragments/UDP/ARP are normal on a live tap; count
+                        // them per cause.
+                        state.rejects.record(reject);
                     }
                 }
             },
-            move |qid, state| {
+            // Burst boundary: one vectored send covers the whole burst's
+            // measurements. PUSH blocks at the HWM, so this is analytics
+            // back-pressure, never measurement loss (ZeroMQ PUSH semantics).
+            |state: &mut WorkerState| state.flush(),
+            move |qid, mut state| {
+                state.flush();
                 let _ = stats_tx.send((qid, state.tracker.stats()));
                 // Dropping `state` drops this worker's Push and syn_tx
                 // clones; when the last worker exits, the pipe closes.
@@ -395,6 +574,7 @@ impl Pipeline {
             alerts,
             snmp,
             rejects,
+            dataplane,
             last_event: Timestamp::ZERO,
         }
     }
@@ -476,6 +656,7 @@ impl Pipeline {
         let mut trackers: Vec<(u16, TrackerStats)> = self.stats_rx.try_iter().collect();
         trackers.sort_by_key(|(q, _)| *q);
 
+        let rejects = self.rejects.snapshot();
         Report {
             port: self.port.stats(),
             trackers,
@@ -486,7 +667,10 @@ impl Pipeline {
             arcs_dropped: det.arcs_dropped,
             tsdb: self.tsdb,
             snmp: self.snmp.finish(self.last_event),
-            classify_rejects: self.rejects.load(Ordering::Relaxed),
+            classify_rejects: rejects.total(),
+            rejects,
+            dataplane: self.dataplane.snapshot(),
+            detector_stage: det.stage,
             aggregates: det.aggregates,
         }
     }
@@ -538,6 +722,67 @@ mod tests {
         assert_eq!(report.port.no_mbuf_drops, 0);
         assert_eq!(report.port.ring_full_drops, 0);
         assert!(!report.snmp.is_empty());
+        assert_eq!(report.rejects.total(), 0, "clean traffic: no rejects");
+        assert_eq!(report.dataplane.records_out, truths);
+        assert!(report.pool.batches_in > 0, "enrichers read batched input");
+        assert!(report.pool.bytes_out > 0);
+    }
+
+    #[test]
+    fn reject_and_stage_counters_track_the_run() {
+        let (mut pipeline, world) = Pipeline::with_synth_world(quick_config());
+        // Non-IP frames are normal on a live tap: counted per cause,
+        // never measured.
+        for i in 0..10u64 {
+            assert!(pipeline.feed(&Event {
+                at: Timestamp::from_nanos(i * 1_000),
+                frame: vec![0u8; 64],
+            }));
+        }
+        let mut gen = TrafficGen::with_world(
+            GenConfig {
+                seed: 11,
+                flows_per_sec: 200.0,
+                duration: Timestamp::from_secs(2),
+                data_exchanges: (0, 1),
+                ..GenConfig::default()
+            },
+            world,
+        );
+        let fed = pipeline.run(&mut gen);
+        let truths = gen.truths().len() as u64;
+        let report = pipeline.finish();
+        assert_eq!(report.measurements(), truths);
+
+        // Per-cause reject counters replace the old single total.
+        assert_eq!(report.rejects.not_ip, 10);
+        assert_eq!(report.rejects.total(), 10);
+        assert_eq!(report.classify_rejects, report.rejects.total());
+
+        // Dataplane stage: every frame in, every measurement out as a
+        // fixed binary record, batched through the scratch encoder.
+        let dp = report.dataplane;
+        assert_eq!(dp.records_in, fed + 10);
+        assert_eq!(dp.records_out, truths);
+        assert_eq!(dp.bytes, truths * WIRE_LEN as u64);
+        assert!((1..=truths).contains(&dp.batches));
+        assert!(
+            (1..=8).contains(&dp.alloc_hits),
+            "scratch blocks, not per-record allocations: {}",
+            dp.alloc_hits
+        );
+
+        // Detector stage: binary enriched records arrive batched; every
+        // event admitted to the reorder buffer is eventually processed.
+        let det = report.detector_stage;
+        assert_eq!(
+            det.bytes,
+            truths * ruru_analytics::enrich::ENRICHED_WIRE_LEN as u64
+        );
+        assert!(det.records_in >= truths, "SYN events plus measurements");
+        assert_eq!(det.records_out, det.records_in);
+        assert!((1..=det.records_in).contains(&det.batches));
+        assert_eq!(det.alloc_hits, 0);
     }
 
     #[test]

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The full local gate: everything CI runs, in the same order.
+# Usage: scripts/check.sh [--quick]
+#   --quick  skip the release build and bench compilation
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+    quick=1
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+if [[ "$quick" -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+
+    echo "==> cargo bench --no-run"
+    cargo bench --no-run
+fi
+
+echo "OK"
