@@ -17,6 +17,11 @@
 //! * [`tcp`] — a length-prefixed TCP transport so modules can run in
 //!   separate processes, as in the deployed system.
 //!
+//! Both in-process patterns sit on [`chan`], a bounded blocking MPMC
+//! channel built on the [`sync`] shim (`std` normally, `loom` under
+//! `RUSTFLAGS="--cfg loom"`), so the bus's blocking and drop semantics are
+//! model-checked by `tests/loom_mq.rs` — see DESIGN.md §9.
+//!
 //! Payloads are [`bytes::Bytes`]: fanning a message out to N subscribers
 //! clones a reference count, never the bytes — the "zero-copy" the paper
 //! leans on. Experiment E8 benchmarks this against a copying bus.
@@ -29,9 +34,11 @@
 //! forms — same ordering, same HWM back-pressure (PUSH) and drop-on-full
 //! (PUB) behaviour — batched and unbatched endpoints interoperate freely.
 
+pub mod chan;
 pub mod message;
 pub mod pubsub;
 pub mod pushpull;
+pub mod sync;
 pub mod tcp;
 
 pub use message::Message;

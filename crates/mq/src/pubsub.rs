@@ -5,11 +5,10 @@
 //! ZeroMQ's PUB behaviour, chosen so a slow analytics module can never stall
 //! the DPDK dataplane.
 
+use crate::chan::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use crate::message::Message;
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{Arc, RwLock};
 use std::time::Duration;
 
 /// Default per-subscriber high-water mark (ZeroMQ's default is 1000).
@@ -19,7 +18,7 @@ struct SubEntry {
     prefix: Vec<u8>,
     sender: Sender<Message>,
     drops: Arc<AtomicU64>,
-    alive: Arc<std::sync::atomic::AtomicBool>,
+    alive: Arc<AtomicBool>,
 }
 
 struct PubInner {
@@ -54,8 +53,8 @@ impl Publisher {
         assert!(hwm > 0, "high-water mark must be positive");
         let (tx, rx) = bounded(hwm);
         let drops = Arc::new(AtomicU64::new(0));
-        let alive = Arc::new(std::sync::atomic::AtomicBool::new(true));
-        self.inner.subs.write().push(SubEntry {
+        let alive = Arc::new(AtomicBool::new(true));
+        self.inner.subs.write().unwrap().push(SubEntry {
             prefix: prefix.as_ref().to_vec(),
             sender: tx,
             drops: Arc::clone(&drops),
@@ -79,11 +78,11 @@ impl Publisher {
             }
             match sub.sender.try_send(msg.clone()) {
                 Ok(()) => delivered += 1,
-                Err(crossbeam::channel::TrySendError::Full(_)) => {
+                Err(TrySendError::Full(_)) => {
                     sub.drops.fetch_add(1, Ordering::Relaxed);
                     self.inner.dropped.fetch_add(1, Ordering::Relaxed);
                 }
-                Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                Err(TrySendError::Disconnected(_)) => {
                     *gone = true;
                 }
             }
@@ -96,6 +95,7 @@ impl Publisher {
         self.inner
             .subs
             .write()
+            .unwrap()
             .retain(|s| s.alive.load(Ordering::Acquire));
     }
 
@@ -105,7 +105,7 @@ impl Publisher {
         self.inner.published.fetch_add(1, Ordering::Relaxed);
         let mut gone = false;
         let delivered = {
-            let subs = self.inner.subs.read();
+            let subs = self.inner.subs.read().unwrap();
             self.deliver(&subs, &msg, &mut gone)
         };
         if gone {
@@ -131,7 +131,7 @@ impl Publisher {
         let mut published = 0u64;
         let mut delivered = 0u64;
         {
-            let subs = self.inner.subs.read();
+            let subs = self.inner.subs.read().unwrap();
             for msg in msgs {
                 published += 1;
                 delivered += self.deliver(&subs, &msg, &mut gone);
@@ -147,7 +147,7 @@ impl Publisher {
 
     /// Number of live subscriptions.
     pub fn subscriber_count(&self) -> usize {
-        self.inner.subs.read().len()
+        self.inner.subs.read().unwrap().len()
     }
 
     /// (published, delivered, dropped) counters.
@@ -170,7 +170,7 @@ impl Default for Publisher {
 pub struct Subscriber {
     rx: Receiver<Message>,
     drops: Arc<AtomicU64>,
-    alive: Arc<std::sync::atomic::AtomicBool>,
+    alive: Arc<AtomicBool>,
 }
 
 impl Drop for Subscriber {

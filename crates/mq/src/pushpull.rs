@@ -7,8 +7,8 @@
 //! analytics must see every measurement, unlike the best-effort frontend
 //! feed.
 
+use crate::chan::{bounded, Receiver, RecvTimeoutError, Sender};
 use crate::message::Message;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
 /// Create a PUSH/PULL pipe with the given high-water mark.

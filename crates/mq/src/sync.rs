@@ -1,0 +1,34 @@
+//! Concurrency shim: `std` primitives normally, `loom` under `cfg(loom)`.
+//!
+//! The mirror of `ruru_nic::sync` for this crate (each shimmed crate owns
+//! its shim so the `cfg(loom)` dependency stays local): every module in
+//! `ruru-mq` imports its synchronization primitives from here instead of
+//! `std::sync` / `std::thread` directly — enforced by `cargo xtask lint` —
+//! so a `RUSTFLAGS="--cfg loom"` build swaps the whole bus onto the model
+//! checker's instrumented types and `tests/loom_mq.rs` explores real
+//! production interleavings (HWM blocking, per-subscriber drop,
+//! disconnect-while-blocked) exhaustively.
+
+#[cfg(loom)]
+pub use loom::sync::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard,
+    RwLockWriteGuard, WaitTimeoutResult, Weak,
+};
+
+#[cfg(loom)]
+pub use loom::sync::atomic;
+
+#[cfg(loom)]
+pub use loom::{hint, thread};
+
+#[cfg(not(loom))]
+pub use std::sync::{
+    Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard,
+    RwLockWriteGuard, WaitTimeoutResult, Weak,
+};
+
+#[cfg(not(loom))]
+pub use std::sync::atomic;
+
+#[cfg(not(loom))]
+pub use std::{hint, thread};

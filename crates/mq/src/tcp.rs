@@ -17,13 +17,18 @@
 //! the publisher (the TCP analogue of PUB's drop-on-full).
 
 use crate::message::Message;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{thread, Arc, Mutex, MutexGuard, PoisonError};
 use bytes::Bytes;
-use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
+
+/// Poison-tolerant lock for the peer list: a panic in one publisher thread
+/// must not wedge every other publisher clone.
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Maximum accepted frame component size (defensive bound).
 pub const MAX_PART: usize = 64 * 1024 * 1024;
@@ -81,7 +86,7 @@ pub struct TcpPublisher {
     peers: Arc<Mutex<Vec<Peer>>>,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    accept_thread: Option<thread::JoinHandle<()>>,
     sent: AtomicU64,
     disconnects: AtomicU64,
 }
@@ -97,7 +102,7 @@ impl TcpPublisher {
         let stop = Arc::new(AtomicBool::new(false));
         let peers2 = Arc::clone(&peers);
         let stop2 = Arc::clone(&stop);
-        let accept_thread = std::thread::Builder::new()
+        let accept_thread = thread::Builder::new()
             .name("mq-accept".into())
             .spawn(move || {
                 while !stop2.load(Ordering::Acquire) {
@@ -115,7 +120,7 @@ impl TcpPublisher {
                                     .set_write_timeout(Some(Duration::from_secs(1)))
                                     .ok();
                                 stream.set_nodelay(true).ok();
-                                peers2.lock().push(Peer {
+                                plock(&peers2).push(Peer {
                                     stream,
                                     prefix: hello.topic.to_vec(),
                                 });
@@ -146,7 +151,7 @@ impl TcpPublisher {
 
     /// Connected subscriber count.
     pub fn peer_count(&self) -> usize {
-        self.peers.lock().len()
+        plock(&self.peers).len()
     }
 
     /// Publish to all matching subscribers; peers whose socket errors
@@ -154,7 +159,7 @@ impl TcpPublisher {
     /// Returns the number of peers written.
     pub fn publish(&self, msg: &Message) -> usize {
         let frame = encode_frame(msg);
-        let mut peers = self.peers.lock();
+        let mut peers = plock(&self.peers);
         let mut written = 0;
         peers.retain_mut(|peer| {
             if !msg.matches(&peer.prefix) {

@@ -1,6 +1,11 @@
 //! Property tests for the message bus: delivery accounting, topic-prefix
 //! semantics, and TCP frame codec round-trips.
 
+
+// Proptest exercises thousands of cases per property: far too slow under
+// Miri's interpreter, and the properties are memory-safety-neutral anyway.
+#![cfg(not(miri))]
+
 use proptest::prelude::*;
 use ruru_mq::tcp::{encode_frame, read_frame};
 use ruru_mq::{pipe, Message, Publisher};

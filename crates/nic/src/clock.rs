@@ -7,8 +7,8 @@
 //! time, so a 24-hour experiment runs in milliseconds and latencies are
 //! exactly reproducible).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Arc;
 use std::time::Instant;
 
 /// A monotonic timestamp in nanoseconds since the clock's origin.

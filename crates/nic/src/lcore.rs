@@ -6,11 +6,12 @@
 //! on an empty poll they spin briefly then yield, trading a little latency
 //! for not burning a host core in tests.
 
+use crate::backoff::Backoff;
 use crate::mbuf::Mbuf;
 use crate::port::RxQueue;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{thread, Arc};
 
 /// Burst size workers use when draining their queue (DPDK's conventional 32).
 pub const BURST_SIZE: usize = 32;
@@ -114,13 +115,13 @@ impl WorkerGroup {
             let ctrs = Arc::new(WorkerCounters::default());
             counters.push(Arc::clone(&ctrs));
             handles.push(
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("lcore-rx{}", queue.queue_id))
                     .spawn(move || {
                         let qid = queue.queue_id;
                         let mut state = init(qid);
                         let mut burst: Vec<Mbuf> = Vec::with_capacity(BURST_SIZE);
-                        let mut idle_spins = 0u32;
+                        let mut backoff = Backoff::lcore();
                         loop {
                             let n = queue.rx_burst(&mut burst, BURST_SIZE);
                             if n == 0 {
@@ -128,15 +129,10 @@ impl WorkerGroup {
                                 if stop.is_stopped() {
                                     break;
                                 }
-                                idle_spins += 1;
-                                if idle_spins < 64 {
-                                    std::hint::spin_loop();
-                                } else {
-                                    std::thread::yield_now();
-                                }
+                                backoff.idle();
                                 continue;
                             }
-                            idle_spins = 0;
+                            backoff.reset();
                             ctrs.packets.fetch_add(n as u64, Ordering::Relaxed);
                             for mbuf in burst.drain(..) {
                                 on_packet(&mut state, mbuf);
@@ -216,6 +212,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // spawns real worker threads; modeled by loom instead
     fn workers_process_all_packets() {
         let mut port = port(2);
         let queues = port.take_all_rx_queues();
@@ -244,6 +241,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // spawns real worker threads; modeled by loom instead
     fn shutdown_drains_pending_packets() {
         let mut port = port(1);
         let queues = port.take_all_rx_queues();
@@ -266,6 +264,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // spawns real worker threads; modeled by loom instead
     fn per_worker_state_and_on_stop() {
         let mut port = port(2);
         let queues = port.take_all_rx_queues();
@@ -291,6 +290,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // spawns real worker threads; modeled by loom instead
     fn burst_end_flushes_accumulated_work() {
         let mut port = port(1);
         let queues = port.take_all_rx_queues();
@@ -329,6 +329,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // spawns real worker threads; modeled by loom instead
     fn counters_report_empty_polls() {
         let mut port = port(1);
         let queues = port.take_all_rx_queues();

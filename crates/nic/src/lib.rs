@@ -24,18 +24,28 @@
 //!   workers drain with `rx_burst`.
 //! * [`lcore`] — the worker-thread harness: one busy-polling thread per
 //!   queue with cooperative shutdown, mirroring DPDK lcores.
+//! * [`queue`] — a bounded lock-free MPMC queue (Vyukov), the pool's
+//!   free list.
+//! * [`backoff`] — the spin → yield → park idle policy shared by every
+//!   poll loop.
 //! * [`fault`] — wire-level fault injection (drop / corrupt / duplicate /
 //!   reorder), for testing tracker robustness.
 //! * [`shaper`] — a token-bucket rate limiter used to emulate link rates.
+//! * [`sync`] — the concurrency shim (`std` normally, `loom` under
+//!   `cfg(loom)`) every hot-path module draws its primitives from, making
+//!   the unsafe core model-checkable.
 
+pub mod backoff;
 pub mod clock;
 pub mod fault;
 pub mod lcore;
 pub mod mbuf;
 pub mod port;
+pub mod queue;
 pub mod ring;
 pub mod rss;
 pub mod shaper;
+pub mod sync;
 
 pub use clock::{Clock, Timestamp};
 pub use mbuf::{Mbuf, MbufPool};

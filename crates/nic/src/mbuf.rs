@@ -8,9 +8,9 @@
 //! queue.
 
 use crate::clock::Timestamp;
-use crossbeam::queue::ArrayQueue;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use crate::queue::MpmcQueue;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Arc;
 
 /// Default data-room size of a pool buffer (DPDK's conventional 2 KiB).
 pub const DEFAULT_BUF_SIZE: usize = 2048;
@@ -104,7 +104,7 @@ impl core::fmt::Debug for Mbuf {
 }
 
 struct PoolInner {
-    free: ArrayQueue<Box<[u8]>>,
+    free: MpmcQueue<Box<[u8]>>,
     buf_size: usize,
     allocs: AtomicU64,
     frees: AtomicU64,
@@ -140,9 +140,13 @@ impl MbufPool {
     pub fn new(count: usize, buf_size: usize) -> MbufPool {
         assert!(count > 0, "pool must hold at least one buffer");
         assert!(buf_size > 0, "buffer size must be positive");
-        let free = ArrayQueue::new(count);
+        // The queue rounds its capacity up to a power of two, but only
+        // `count` buffers ever exist, so the pool still holds exactly
+        // `count` — exhaustion means the free list is *empty*, not full.
+        let free = MpmcQueue::new(count);
         for _ in 0..count {
-            free.push(vec![0u8; buf_size].into_boxed_slice()).expect("queue sized for count");
+            free.push(vec![0u8; buf_size].into_boxed_slice())
+                .expect("queue sized for count");
         }
         MbufPool {
             inner: Arc::new(PoolInner {
@@ -305,6 +309,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // thread-heavy stress; covered by loom instead
     fn concurrent_alloc_free() {
         let pool = MbufPool::new(64, 128);
         let mut handles = Vec::new();

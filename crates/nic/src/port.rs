@@ -14,9 +14,9 @@ use crate::clock::{Clock, Timestamp};
 use crate::mbuf::{Mbuf, MbufPool};
 use crate::ring::{self, Consumer, Producer};
 use crate::rss::RssHasher;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Arc;
 use ruru_wire::{ethernet, ipv4, ipv6, tcp, IpAddress};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Configuration of a simulated port.
 #[derive(Debug, Clone)]

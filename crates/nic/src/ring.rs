@@ -5,40 +5,68 @@
 //! NIC is the single producer, the worker lcore polling the queue is the
 //! single consumer. Like `rte_ring`, capacity is a power of two and burst
 //! enqueue/dequeue operations amortize the atomic traffic.
+//!
+//! # Memory ordering (verified by loom — see `tests/loom_nic.rs`)
+//!
+//! `head` and `tail` are monotonically increasing counters (wrapping at
+//! `usize::MAX`, masked for slot indexing). The producer publishes a slot
+//! write with a Release store of `head`; the consumer's Acquire load of
+//! `head` is what licenses it to read the slot. Symmetrically, the consumer
+//! retires a slot with a Release store of `tail`, and the producer's
+//! Acquire load of `tail` licenses reuse. Each side may load *its own*
+//! counter Relaxed (it is the only writer of it) — those loads are
+//! annotated `lint: relaxed-ok` for the `cargo xtask lint` ordering rule.
+//!
+//! `len()` loads the counterpart's counter **first** (Acquire), then its
+//! own: because its own counter cannot move underneath it and the
+//! counterpart only advances, the subtraction can never underflow, and the
+//! result is clamped to `capacity` for the transient case where the
+//! counterpart advanced between the two loads. (A plain `saturating_sub`
+//! would be wrong here: the counters wrap at `usize::MAX`, where a
+//! perfectly valid occupied range straddles the wrap point — only
+//! `wrapping_sub` gives the right distance. See DESIGN.md §9.)
 
-use std::cell::UnsafeCell;
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::cell::UnsafeCell;
+use crate::sync::Arc;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 
 struct RingInner<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
     mask: usize,
-    /// Next slot the producer writes (monotonic, wrapped by `mask`).
+    /// Next slot the producer writes (monotonic wrapping counter).
     head: AtomicUsize,
-    /// Next slot the consumer reads.
+    /// Next slot the consumer reads (monotonic wrapping counter).
     tail: AtomicUsize,
     /// Items rejected because the ring was full.
     drops: AtomicU64,
 }
 
-// SAFETY: the producer only writes slots in [tail+len, head) and the consumer
-// only reads slots in [tail, head); the head/tail Acquire/Release pairs order
-// those accesses. T must be Send for values to cross the thread boundary.
+// SAFETY: the producer only writes slots in [head, tail+capacity) and the
+// consumer only reads slots in [tail, head); the head/tail Acquire/Release
+// pairs order those accesses (model-checked by the loom tests). T must be
+// Send for values to cross the thread boundary.
 unsafe impl<T: Send> Send for RingInner<T> {}
+// SAFETY: as above — the head/tail protocol gives each slot a single owner
+// at any point in the happens-before order, so `&RingInner` may be shared.
 unsafe impl<T: Send> Sync for RingInner<T> {}
 
 impl<T> Drop for RingInner<T> {
     fn drop(&mut self) {
-        // Drain any items still in the ring so their destructors run.
-        let head = *self.head.get_mut();
-        let tail = *self.tail.get_mut();
-        for i in tail..head {
-            // SAFETY: slots in [tail, head) hold initialized values and we
-            // have exclusive access in Drop.
-            unsafe {
-                (*self.slots[i & self.mask].get()).assume_init_drop();
-            }
+        // Drain any items still in the ring so their destructors run. The
+        // counters wrap, so walk `tail` forward until it meets `head`
+        // rather than iterating a `tail..head` range.
+        let head = self.head.load(Ordering::Acquire);
+        let mut tail = self.tail.load(Ordering::Acquire);
+        while tail != head {
+            self.slots[tail & self.mask].with_mut(|slot| {
+                // SAFETY: slots in [tail, head) hold initialized values and
+                // we have exclusive access in Drop.
+                unsafe {
+                    (*slot).assume_init_drop();
+                }
+            });
+            tail = tail.wrapping_add(1);
         }
     }
 }
@@ -61,6 +89,15 @@ pub struct Consumer<T> {
 /// Create an SPSC ring with capacity `capacity` (rounded up to a power of
 /// two, minimum 2).
 pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    ring_with_counters(capacity, 0)
+}
+
+/// Like [`ring`], but with `head`/`tail` starting at `initial` instead of 0.
+///
+/// Test-only: lets wraparound tests start the counters near `usize::MAX`
+/// so the wrap happens within a few operations instead of after 2^64.
+#[doc(hidden)]
+pub fn ring_with_counters<T>(capacity: usize, initial: usize) -> (Producer<T>, Consumer<T>) {
     let cap = capacity.max(2).next_power_of_two();
     let slots = (0..cap)
         .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
@@ -69,18 +106,18 @@ pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     let inner = Arc::new(RingInner {
         slots,
         mask: cap - 1,
-        head: AtomicUsize::new(0),
-        tail: AtomicUsize::new(0),
+        head: AtomicUsize::new(initial),
+        tail: AtomicUsize::new(initial),
         drops: AtomicU64::new(0),
     });
     (
         Producer {
             inner: Arc::clone(&inner),
-            cached_tail: 0,
+            cached_tail: initial,
         },
         Consumer {
             inner,
-            cached_head: 0,
+            cached_head: initial,
         },
     )
 }
@@ -94,19 +131,23 @@ impl<T> Producer<T> {
     /// Try to enqueue one item; on a full ring the item is returned and the
     /// drop counter is *not* incremented (the caller decides).
     pub fn push(&mut self, value: T) -> Result<(), T> {
+        // Own counter: only this producer writes `head`. lint: relaxed-ok
         let head = self.inner.head.load(Ordering::Relaxed);
-        if head - self.cached_tail == self.capacity() {
+        if head.wrapping_sub(self.cached_tail) == self.capacity() {
             self.cached_tail = self.inner.tail.load(Ordering::Acquire);
-            if head - self.cached_tail == self.capacity() {
+            if head.wrapping_sub(self.cached_tail) == self.capacity() {
                 return Err(value);
             }
         }
-        // SAFETY: slot `head` is unoccupied (head - tail < capacity) and only
-        // this producer writes it.
-        unsafe {
-            (*self.inner.slots[head & self.inner.mask].get()).write(value);
-        }
-        self.inner.head.store(head + 1, Ordering::Release);
+        self.inner.slots[head & self.inner.mask].with_mut(|slot| {
+            // SAFETY: slot `head` is unoccupied (head - tail < capacity,
+            // established by the Acquire load of `tail` above) and only
+            // this producer writes it.
+            unsafe {
+                (*slot).write(value);
+            }
+        });
+        self.inner.head.store(head.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
@@ -130,9 +171,15 @@ impl<T> Producer<T> {
         self.inner.drops.load(Ordering::Relaxed)
     }
 
-    /// Number of items currently queued (approximate under concurrency).
+    /// Number of items currently queued (approximate under concurrency,
+    /// but always in `0..=capacity`).
     pub fn len(&self) -> usize {
-        self.inner.head.load(Ordering::Relaxed) - self.inner.tail.load(Ordering::Relaxed)
+        // Counterpart first: `tail` can only advance afterwards, so the
+        // subtraction cannot underflow (see the module docs).
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        // Own counter: only this producer writes `head`. lint: relaxed-ok
+        let head = self.inner.head.load(Ordering::Relaxed);
+        head.wrapping_sub(tail).min(self.capacity())
     }
 
     /// True when no items are queued (approximate under concurrency).
@@ -149,6 +196,7 @@ impl<T> Consumer<T> {
 
     /// Dequeue one item, if available.
     pub fn pop(&mut self) -> Option<T> {
+        // Own counter: only this consumer writes `tail`. lint: relaxed-ok
         let tail = self.inner.tail.load(Ordering::Relaxed);
         if tail == self.cached_head {
             self.cached_head = self.inner.head.load(Ordering::Acquire);
@@ -156,10 +204,13 @@ impl<T> Consumer<T> {
                 return None;
             }
         }
-        // SAFETY: slot `tail` was initialized by the producer (tail < head)
-        // and only this consumer reads it.
-        let value = unsafe { (*self.inner.slots[tail & self.inner.mask].get()).assume_init_read() };
-        self.inner.tail.store(tail + 1, Ordering::Release);
+        let value = self.inner.slots[tail & self.inner.mask].with(|slot| {
+            // SAFETY: slot `tail` was initialized by the producer (tail !=
+            // head, established by the Acquire load of `head` above) and
+            // only this consumer reads it.
+            unsafe { (*slot).assume_init_read() }
+        });
+        self.inner.tail.store(tail.wrapping_add(1), Ordering::Release);
         Some(value)
     }
 
@@ -184,9 +235,16 @@ impl<T> Consumer<T> {
         self.inner.drops.load(Ordering::Relaxed)
     }
 
-    /// Number of items currently queued (approximate under concurrency).
+    /// Number of items currently queued (approximate under concurrency,
+    /// but always in `0..=capacity`).
     pub fn len(&self) -> usize {
-        self.inner.head.load(Ordering::Relaxed) - self.inner.tail.load(Ordering::Relaxed)
+        // Own counter first: `head` only advances afterwards, and the
+        // producer never moves it past `tail + capacity`, so the clamped
+        // wrapping distance is exact-or-under, never garbage.
+        // lint: relaxed-ok (own counter)
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        head.wrapping_sub(tail).min(self.capacity())
     }
 
     /// True when no items are queued (approximate under concurrency).
@@ -285,6 +343,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // spin-heavy stress; covered by loom instead
     fn spsc_stress_preserves_sequence() {
         let (mut p, mut c) = ring::<u64>(64);
         const N: u64 = 200_000;
@@ -321,5 +380,61 @@ mod tests {
                 assert_eq!(c.pop(), Some(round * 3 + i));
             }
         }
+    }
+
+    /// Regression (ISSUE 2 satellite): the occupied range may straddle the
+    /// counter wrap at `usize::MAX`; every operation and `len()` must keep
+    /// working across the boundary.
+    #[test]
+    fn wraparound_at_usize_max_boundary() {
+        let (mut p, mut c) = ring_with_counters::<u32>(4, usize::MAX - 2);
+        // Fill while head wraps past usize::MAX.
+        for i in 0..4 {
+            p.push(i).unwrap();
+            assert_eq!(p.len(), i as usize + 1);
+        }
+        assert_eq!(p.push(99), Err(99), "full across the wrap");
+        assert_eq!(c.len(), 4);
+        // Drain while tail wraps.
+        for i in 0..4 {
+            assert_eq!(c.pop(), Some(i));
+        }
+        assert_eq!(c.pop(), None);
+        assert!(p.is_empty() && c.is_empty());
+        // Keep cycling well past the boundary.
+        for round in 0..16u32 {
+            p.push(round).unwrap();
+            assert_eq!(c.pop(), Some(round));
+        }
+    }
+
+    /// Regression (ISSUE 2 satellite): `len()` used to subtract two
+    /// independent Relaxed loads, which could observe `tail > head` and
+    /// wrap to a huge value. The fixed load order plus clamping must keep
+    /// every observation within `0..=capacity` under real concurrency.
+    #[test]
+    #[cfg_attr(miri, ignore)] // timing-dependent stress; bound proven by loom
+    fn len_is_always_bounded_under_concurrency() {
+        let (mut p, mut c) = ring::<u64>(8);
+        let cap = p.capacity();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = std::sync::Arc::clone(&stop);
+        let sampler = std::thread::spawn(move || {
+            let mut max_seen = 0usize;
+            while !stop2.load(std::sync::atomic::Ordering::Acquire) {
+                let l = c.len();
+                assert!(l <= cap, "consumer len {l} exceeds capacity {cap}");
+                max_seen = max_seen.max(l);
+                if let Some(_v) = c.pop() {}
+            }
+            max_seen
+        });
+        for i in 0..100_000u64 {
+            let l = p.len();
+            assert!(l <= cap, "producer len {l} exceeds capacity {cap}");
+            let _ = p.push(i);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        sampler.join().unwrap();
     }
 }

@@ -1,6 +1,11 @@
 //! Property tests for the dataplane primitives: ring FIFO/conservation,
 //! pool conservation, RSS invariants, shaper rate bounds.
 
+
+// Proptest exercises thousands of cases per property: far too slow under
+// Miri's interpreter, and the properties are memory-safety-neutral anyway.
+#![cfg(not(miri))]
+
 use proptest::prelude::*;
 use ruru_nic::clock::Timestamp;
 use ruru_nic::mbuf::MbufPool;

@@ -373,7 +373,12 @@ impl Pipeline {
                 };
 
                 let mut det_batch: Vec<ruru_mq::Message> = Vec::with_capacity(BURST_SIZE);
-                let mut idle_spins = 0u32;
+                // Adaptive backoff like the lcore workers: spin for the
+                // first empty polls (lowest drain latency), then yield,
+                // then park — never a fixed sleep on a path that might
+                // have work microseconds away. Shared with the dataplane
+                // pollers (and loom-checked there) via ruru_nic::backoff.
+                let mut backoff = ruru_nic::backoff::Backoff::new(64, 256, Duration::from_micros(200));
                 loop {
                     let mut idle = true;
                     // Fair drains under sustained load: at most one burst
@@ -441,20 +446,9 @@ impl Pipeline {
                         if det_stop.load(Ordering::Acquire) {
                             break;
                         }
-                        // Adaptive backoff like the lcore workers: spin for
-                        // the first empty polls (lowest drain latency), then
-                        // yield, then park — never a fixed sleep on a path
-                        // that might have work microseconds away.
-                        idle_spins += 1;
-                        if idle_spins < 64 {
-                            std::hint::spin_loop();
-                        } else if idle_spins < 256 {
-                            std::thread::yield_now();
-                        } else {
-                            std::thread::park_timeout(Duration::from_micros(200));
-                        }
+                        backoff.idle();
                     } else {
-                        idle_spins = 0;
+                        backoff.reset();
                     }
                 }
                 // End of stream: flush the reorder buffer in time order.

@@ -1,6 +1,11 @@
 //! Property-based tests for the wire formats: emit→parse roundtrips, parser
 //! totality on arbitrary bytes, and checksum invariants.
 
+
+// Proptest exercises thousands of cases per property: far too slow under
+// Miri's interpreter, and the properties are memory-safety-neutral anyway.
+#![cfg(not(miri))]
+
 use proptest::prelude::*;
 use ruru_wire::{checksum, ethernet, ipv4, ipv6, pcap, tcp};
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The full local gate: everything CI runs, in the same order.
 # Usage: scripts/check.sh [--quick]
-#   --quick  skip the release build and bench compilation
+#   --quick  skip the release build, bench compilation, and loom models
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,10 +13,17 @@ fi
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo xtask lint"
+cargo xtask lint
 
 if [[ "$quick" -eq 0 ]]; then
+    echo "==> loom models (RUSTFLAGS=--cfg loom)"
+    RUSTFLAGS="--cfg loom" LOOM_MAX_PREEMPTIONS="${LOOM_MAX_PREEMPTIONS:-2}" \
+        cargo test --release -p ruru-loom -p ruru-nic -p ruru-mq
+
     echo "==> cargo build --release"
     cargo build --release
 

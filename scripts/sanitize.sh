@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run the workspace tests under ThreadSanitizer and AddressSanitizer.
+#
+# Sanitizers need the nightly toolchain (-Z sanitizer) plus the rust-src
+# component for -Zbuild-std; this script degrades gracefully when either is
+# missing so it can run in minimal containers. The loom models and Miri
+# cover the lock-free cores exhaustively; the sanitizers are the coarse
+# whole-workspace net that also sees the OS-thread tests (lcore workers,
+# TCP transport) the model checker cannot.
+#
+# Usage: scripts/sanitize.sh [tsan|asan|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+which="${1:-all}"
+
+if ! rustup toolchain list 2>/dev/null | grep -q nightly; then
+    echo "sanitize: nightly toolchain not installed; skipping (rustup toolchain install nightly)"
+    exit 0
+fi
+if ! rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src.*(installed)"; then
+    echo "sanitize: rust-src not installed for nightly; skipping (rustup component add rust-src --toolchain nightly)"
+    exit 0
+fi
+
+host="$(rustc -vV | sed -n 's/^host: //p')"
+
+run_san() {
+    local san="$1"
+    echo "==> cargo +nightly test (-Z sanitizer=$san)"
+    # -Zbuild-std rebuilds std with the sanitizer so the runtime's own
+    # allocations are instrumented too; without it TSan drowns in false
+    # positives from uninstrumented std synchronization.
+    RUSTFLAGS="-Zsanitizer=$san" \
+    RUSTDOCFLAGS="-Zsanitizer=$san" \
+        cargo +nightly test -Zbuild-std --target "$host" --workspace -q
+}
+
+case "$which" in
+    tsan) run_san thread ;;
+    asan) run_san address ;;
+    all)
+        run_san thread
+        run_san address
+        ;;
+    *)
+        echo "usage: scripts/sanitize.sh [tsan|asan|all]" >&2
+        exit 2
+        ;;
+esac
+echo "sanitize: OK"
