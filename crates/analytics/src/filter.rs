@@ -161,6 +161,8 @@ pub fn subscribe_enriched(publisher: &Publisher, hwm: usize) -> Subscriber {
 
 #[cfg(test)]
 mod tests {
+    // Tests coordinate real threads with fixed sleeps; fine off the dataplane.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::enrich::EndpointInfo;
     use ruru_nic::Timestamp;

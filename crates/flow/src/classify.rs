@@ -25,6 +25,10 @@ pub enum Reject {
     BadTcpChecksum,
     /// The TCP header was malformed or truncated.
     BadTcp,
+    /// Classified fine, but every downstream bus consumer was gone when the
+    /// measurement was pushed: the record was dropped at the bus edge
+    /// instead of panicking the dataplane worker.
+    BusClosed,
 }
 
 /// Shared per-cause reject counters, updated lock-free by the dataplane
@@ -37,6 +41,7 @@ pub struct RejectCounters {
     bad_ip_checksum: AtomicU64,
     bad_tcp_checksum: AtomicU64,
     bad_tcp: AtomicU64,
+    bus_closed: AtomicU64,
 }
 
 impl RejectCounters {
@@ -49,8 +54,14 @@ impl RejectCounters {
             Reject::BadIpChecksum => &self.bad_ip_checksum,
             Reject::BadTcpChecksum => &self.bad_tcp_checksum,
             Reject::BadTcp => &self.bad_tcp,
+            Reject::BusClosed => &self.bus_closed,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` records dropped because the downstream bus closed.
+    pub fn record_bus_closed(&self, n: u64) {
+        self.bus_closed.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Read a consistent-enough snapshot of every counter.
@@ -62,6 +73,7 @@ impl RejectCounters {
             bad_ip_checksum: self.bad_ip_checksum.load(Ordering::Relaxed),
             bad_tcp_checksum: self.bad_tcp_checksum.load(Ordering::Relaxed),
             bad_tcp: self.bad_tcp.load(Ordering::Relaxed),
+            bus_closed: self.bus_closed.load(Ordering::Relaxed),
         }
     }
 }
@@ -82,17 +94,20 @@ pub struct RejectStats {
     pub bad_tcp_checksum: u64,
     /// Frames rejected as [`Reject::BadTcp`].
     pub bad_tcp: u64,
+    /// Measurements dropped as [`Reject::BusClosed`].
+    pub bus_closed: u64,
 }
 
 impl RejectStats {
     /// Total rejected frames across every cause.
     pub fn total(&self) -> u64 {
         self.not_ip
-            + self.not_tcp
-            + self.fragment
-            + self.bad_ip_checksum
-            + self.bad_tcp_checksum
-            + self.bad_tcp
+            .saturating_add(self.not_tcp)
+            .saturating_add(self.fragment)
+            .saturating_add(self.bad_ip_checksum)
+            .saturating_add(self.bad_tcp_checksum)
+            .saturating_add(self.bad_tcp)
+            .saturating_add(self.bus_closed)
     }
 
     /// The count for one cause.
@@ -104,6 +119,7 @@ impl RejectStats {
             Reject::BadIpChecksum => self.bad_ip_checksum,
             Reject::BadTcpChecksum => self.bad_tcp_checksum,
             Reject::BadTcp => self.bad_tcp,
+            Reject::BusClosed => self.bus_closed,
         }
     }
 }
@@ -309,13 +325,16 @@ mod tests {
         counters.record(Reject::NotTcp);
         counters.record(Reject::Fragment);
         counters.record(Reject::BadTcpChecksum);
+        counters.record_bus_closed(3);
         let stats = counters.snapshot();
         assert_eq!(stats.not_tcp, 2);
         assert_eq!(stats.get(Reject::NotTcp), 2);
         assert_eq!(stats.fragment, 1);
         assert_eq!(stats.bad_tcp_checksum, 1);
         assert_eq!(stats.not_ip, 0);
-        assert_eq!(stats.total(), 4);
+        assert_eq!(stats.bus_closed, 3);
+        assert_eq!(stats.get(Reject::BusClosed), 3);
+        assert_eq!(stats.total(), 7);
         assert_eq!(RejectStats::default().total(), 0);
     }
 

@@ -74,7 +74,10 @@ impl LatencyHistogram {
     /// Record one value.
     pub fn record(&mut self, value: u64) {
         let idx = self.index_of(value);
-        self.counts[idx] += 1;
+        // index_of() maps into 0..counts.len() by construction.
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
         self.total += 1;
         self.min = self.min.min(value);
         self.max = self.max.max(value);

@@ -52,7 +52,7 @@ pub struct LatencyMeasurement {
 impl LatencyMeasurement {
     /// Total end-to-end latency: internal + external.
     pub fn total_ns(&self) -> u64 {
-        self.internal_ns + self.external_ns
+        self.internal_ns.saturating_add(self.external_ns)
     }
 
     /// Total latency in (fractional) milliseconds.
@@ -97,18 +97,23 @@ impl LatencyMeasurement {
         buf.put_u64_le(self.internal_ns);
         buf.put_u64_le(self.external_ns);
         buf.put_u64_le(self.completed_at.as_nanos());
-        debug_assert_eq!(buf.len() - start, WIRE_LEN);
+        debug_assert_eq!(buf.len().saturating_sub(start), WIRE_LEN);
     }
 
     /// Decode from the binary wire form.
     pub fn decode(data: &[u8]) -> Option<LatencyMeasurement> {
-        if data.len() != WIRE_LEN || data[0] != VERSION {
+        // Total little-endian readers: 0 past the end (unreachable once the
+        // length is checked, but no read below can abort the dataplane).
+        fn chunk<const N: usize>(d: &[u8], at: usize) -> Option<&[u8; N]> {
+            d.get(at..).and_then(|rest| rest.first_chunk::<N>())
+        }
+        if data.len() != WIRE_LEN || data.first() != Some(&VERSION) {
             return None;
         }
-        let family = data[1];
-        let rd16 = |at: usize| u16::from_le_bytes(data[at..at + 2].try_into().unwrap());
-        let rd64 = |at: usize| u64::from_le_bytes(data[at..at + 8].try_into().unwrap());
-        let rd128 = |at: usize| u128::from_le_bytes(data[at..at + 16].try_into().unwrap());
+        let family = data.get(1).copied().unwrap_or(0);
+        let rd16 = |at: usize| chunk::<2>(data, at).map_or(0, |c| u16::from_le_bytes(*c));
+        let rd64 = |at: usize| chunk::<8>(data, at).map_or(0, |c| u64::from_le_bytes(*c));
+        let rd128 = |at: usize| chunk::<16>(data, at).map_or(0, |c| u128::from_le_bytes(*c));
         let addr = |v: u128| -> Option<IpAddress> {
             match family {
                 4 => Some(IpAddress::V4(ipv4::Address(
@@ -127,7 +132,7 @@ impl LatencyMeasurement {
             external_ns: rd64(50),
             completed_at: Timestamp::from_nanos(rd64(58)),
             queue_id: rd16(4),
-            syn_retransmissions: data[2],
+            syn_retransmissions: data.get(2).copied().unwrap_or(0),
         })
     }
 }

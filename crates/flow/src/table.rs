@@ -144,17 +144,26 @@ impl<K: Eq + Hash + Clone, V> ExpiringTable<K, V> {
     /// Remove all entries older than the TTL at time `now`, invoking
     /// `on_expire` for each.
     pub fn expire(&mut self, now: Timestamp, mut on_expire: impl FnMut(K, V)) {
-        while let Some(&(_, inserted, _)) = self.fifo.front() {
-            if now.saturating_nanos_since(inserted) < self.ttl_ns {
+        loop {
+            // Pop the front only once its age is known to exceed the TTL;
+            // popping directly (instead of peek-then-expect) keeps this
+            // total without a second lookup.
+            match self.fifo.front() {
+                Some(&(_, inserted, _)) if now.saturating_nanos_since(inserted) >= self.ttl_ns => {}
+                _ => break,
+            }
+            let Some((key, _, generation)) = self.fifo.pop_front() else {
                 break;
-            }
-            let (key, _, generation) = self.fifo.pop_front().expect("front checked");
+            };
             let live = matches!(self.map.get(&key), Some(slot) if slot.generation == generation);
-            if live {
-                let slot = self.map.remove(&key).expect("live entry");
-                self.expirations += 1;
-                on_expire(key, slot.value);
+            if !live {
+                continue; // stale deque entry (removed or re-inserted)
             }
+            let Some(slot) = self.map.remove(&key) else {
+                continue;
+            };
+            self.expirations += 1;
+            on_expire(key, slot.value);
         }
     }
 

@@ -221,6 +221,9 @@ impl<T> Receiver<T> {
     }
 
     /// Blocking receive, giving up after `timeout`.
+    // Timeout bookkeeping needs a wall-clock deadline; this is a blocking
+    // consumer API, not a poll-mode dataplane path.
+    #[allow(clippy::disallowed_methods)]
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
         let mut inner = lock(&self.chan);
@@ -309,6 +312,8 @@ impl<T> Drop for Receiver<T> {
 
 #[cfg(test)]
 mod tests {
+    // Tests coordinate real threads with fixed sleeps; fine off the dataplane.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

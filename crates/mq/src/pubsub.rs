@@ -54,7 +54,11 @@ impl Publisher {
         let (tx, rx) = bounded(hwm);
         let drops = Arc::new(AtomicU64::new(0));
         let alive = Arc::new(AtomicBool::new(true));
-        self.inner.subs.write().unwrap().push(SubEntry {
+        self.inner
+            .subs
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(SubEntry {
             prefix: prefix.as_ref().to_vec(),
             sender: tx,
             drops: Arc::clone(&drops),
@@ -92,10 +96,12 @@ impl Publisher {
 
     /// Prune subscriptions whose receiving end is gone.
     fn prune(&self) {
+        // Recover rather than propagate a poisoned lock: the subscriber
+        // list is valid after any panic elsewhere (retain/push only).
         self.inner
             .subs
             .write()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .retain(|s| s.alive.load(Ordering::Acquire));
     }
 
@@ -105,7 +111,7 @@ impl Publisher {
         self.inner.published.fetch_add(1, Ordering::Relaxed);
         let mut gone = false;
         let delivered = {
-            let subs = self.inner.subs.read().unwrap();
+            let subs = self.inner.subs.read().unwrap_or_else(|e| e.into_inner());
             self.deliver(&subs, &msg, &mut gone)
         };
         if gone {
@@ -131,7 +137,7 @@ impl Publisher {
         let mut published = 0u64;
         let mut delivered = 0u64;
         {
-            let subs = self.inner.subs.read().unwrap();
+            let subs = self.inner.subs.read().unwrap_or_else(|e| e.into_inner());
             for msg in msgs {
                 published += 1;
                 delivered += self.deliver(&subs, &msg, &mut gone);
@@ -147,7 +153,7 @@ impl Publisher {
 
     /// Number of live subscriptions.
     pub fn subscriber_count(&self) -> usize {
-        self.inner.subs.read().unwrap().len()
+        self.inner.subs.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// (published, delivered, dropped) counters.
@@ -207,6 +213,8 @@ impl Subscriber {
 
 #[cfg(test)]
 mod tests {
+    // Tests coordinate real threads with fixed sleeps; fine off the dataplane.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

@@ -143,6 +143,8 @@ impl Pull {
 
 #[cfg(test)]
 mod tests {
+    // Tests coordinate real threads with fixed sleeps; fine off the dataplane.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;

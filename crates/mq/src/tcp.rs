@@ -94,6 +94,9 @@ pub struct TcpPublisher {
 impl TcpPublisher {
     /// Bind to `addr` (use port 0 for an ephemeral port) and start
     /// accepting subscribers in a background thread.
+    // Accept-thread spawn failure is a startup-time OS error; the accept
+    // loop sleeps on WouldBlock because it is an IO thread, not a poller.
+    #[allow(clippy::expect_used, clippy::disallowed_methods)]
     pub fn bind(addr: &str) -> std::io::Result<TcpPublisher> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -226,6 +229,8 @@ impl TcpSubscriber {
 
 #[cfg(test)]
 mod tests {
+    // Tests coordinate real threads with fixed sleeps; fine off the dataplane.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn wait_for_peers(publisher: &TcpPublisher, n: usize) {

@@ -15,6 +15,10 @@
 //! ```
 #![cfg(loom)]
 
+// Tests are exempt from the panic-freedom policy (DESIGN.md §10):
+// unwrap/expect on known-good fixtures is idiomatic here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use loom::thread;
 use ruru_mq::pubsub::Publisher;
 use ruru_mq::pushpull::pipe;

@@ -27,6 +27,7 @@ impl Backoff {
     /// A policy that spins for the first `spin_limit` idle rounds, yields
     /// until `yield_limit`, then parks for `park_timeout` per round.
     pub fn new(spin_limit: u32, yield_limit: u32, park_timeout: Duration) -> Backoff {
+        // panic-ok: construction-time config validation with literal limits
         assert!(spin_limit <= yield_limit);
         Backoff {
             spin_limit,

@@ -108,7 +108,9 @@ impl FaultInjector {
         if !packet.is_empty() && self.rng.gen_bool(self.config.corrupt) {
             let idx = self.rng.gen_range(0..packet.len());
             let bit = 1u8 << self.rng.gen_range(0..8);
-            packet[idx] ^= bit;
+            if let Some(b) = packet.get_mut(idx) {
+                *b ^= bit;
+            }
             self.stats.corrupted += 1;
         }
 

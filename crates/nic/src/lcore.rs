@@ -85,6 +85,9 @@ impl WorkerGroup {
     /// per-burst output (e.g. a batch of bus messages): the callback runs
     /// once per up-to-[`BURST_SIZE`] packets, so downstream batch sends
     /// amortize their synchronization the same way the RX poll does.
+    // Thread spawn/creation failure is a startup-time OS error, not a
+    // dataplane condition; failing loudly is the right behaviour.
+    #[allow(clippy::expect_used)]
     pub fn spawn_batched<S, I, F, B, E>(
         queues: Vec<RxQueue>,
         init: I,
@@ -178,6 +181,8 @@ impl WorkerGroup {
     }
 
     /// Signal stop and join all workers (each drains its queue first).
+    // Propagating a worker panic at join is shutdown-time, by design.
+    #[allow(clippy::expect_used)]
     pub fn shutdown(self) {
         self.stop.stop();
         for h in self.handles {
@@ -188,6 +193,8 @@ impl WorkerGroup {
 
 #[cfg(test)]
 mod tests {
+    // Tests coordinate real threads with fixed sleeps; fine off the dataplane.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::clock::Clock;
     use crate::port::{Port, PortConfig};

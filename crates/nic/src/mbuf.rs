@@ -47,14 +47,22 @@ impl Mbuf {
         }
     }
 
-    /// The packet bytes.
+    /// The packet bytes. Empty if the storage was already returned to the
+    /// pool (a logic bug, but one that must not abort a dataplane worker).
     pub fn data(&self) -> &[u8] {
-        &self.storage.as_ref().expect("mbuf storage present")[..self.len]
+        self.storage
+            .as_deref()
+            .and_then(|s| s.get(..self.len))
+            .unwrap_or(&[])
     }
 
-    /// Mutable access to the packet bytes.
+    /// Mutable access to the packet bytes; empty under the same conditions
+    /// as [`Mbuf::data`].
     pub fn data_mut(&mut self) -> &mut [u8] {
-        &mut self.storage.as_mut().expect("mbuf storage present")[..self.len]
+        self.storage
+            .as_deref_mut()
+            .and_then(|s| s.get_mut(..self.len))
+            .unwrap_or(&mut [])
     }
 
     /// Packet length in bytes.
@@ -79,7 +87,9 @@ impl Mbuf {
 
     /// Total data room of the underlying buffer.
     pub fn capacity(&self) -> usize {
-        self.storage.as_ref().expect("mbuf storage present").len()
+        // Storage is only vacated in Drop; report 0 rather than panic if a
+        // view outlives it somehow.
+        self.storage.as_ref().map_or(0, |s| s.len())
     }
 }
 
@@ -137,6 +147,9 @@ pub struct MbufPool {
 
 impl MbufPool {
     /// Pre-allocate `count` buffers of `buf_size` bytes each.
+    // Construction-time pool fill: the queue is sized for `count`, so the
+    // expect is unreachable and acceptable outside the dataplane.
+    #[allow(clippy::expect_used)]
     pub fn new(count: usize, buf_size: usize) -> MbufPool {
         assert!(count > 0, "pool must hold at least one buffer");
         assert!(buf_size > 0, "buffer size must be positive");
@@ -176,7 +189,10 @@ impl MbufPool {
         match self.inner.free.pop() {
             Some(mut storage) => {
                 self.inner.allocs.fetch_add(1, Ordering::Relaxed);
-                storage[..data.len()].copy_from_slice(data);
+                // data.len() <= buf_size == storage.len(), checked above.
+                if let Some(dst) = storage.get_mut(..data.len()) {
+                    dst.copy_from_slice(data);
+                }
                 Some(Mbuf {
                     storage: Some(storage),
                     len: data.len(),

@@ -106,7 +106,9 @@ impl RxQueue {
 
     /// Statistics for this queue.
     pub fn stats(&self) -> QueueStats {
-        let c = &self.shared.counters[self.queue_id as usize];
+        let Some(c) = self.shared.counters.get(usize::from(self.queue_id)) else {
+            return QueueStats::default();
+        };
         QueueStats {
             packets: c.packets.load(Ordering::Relaxed),
             bytes: c.bytes.load(Ordering::Relaxed),
@@ -167,6 +169,8 @@ impl Port {
     }
 
     /// Take ownership of queue `q`'s receive handle (once).
+    // Setup-time API: double-take is a harness bug, caught loudly.
+    #[allow(clippy::expect_used)]
     pub fn take_rx_queue(&mut self, q: u16) -> RxQueue {
         self.rx_queues[q as usize]
             .take()
@@ -259,18 +263,24 @@ impl Port {
         mbuf.queue_id = queue;
         mbuf.timestamp = timestamp;
         let len = frame.len() as u64;
-        match self.producers[queue as usize].push(mbuf) {
+        let qi = usize::from(queue);
+        // queue_for() maps into 0..num_queues and producers/counters both
+        // have num_queues entries, so the lookups cannot miss; dropping the
+        // frame is still better than aborting if that invariant ever broke.
+        let (Some(producer), Some(c)) =
+            (self.producers.get_mut(qi), self.shared.counters.get(qi))
+        else {
+            return None;
+        };
+        match producer.push(mbuf) {
             Ok(()) => {
-                let c = &self.shared.counters[queue as usize];
                 c.packets.fetch_add(1, Ordering::Relaxed);
                 c.bytes.fetch_add(len, Ordering::Relaxed);
                 Some(queue)
             }
             Err(_mbuf) => {
                 // The mbuf drops here, returning its buffer to the pool.
-                self.shared.counters[queue as usize]
-                    .ring_full_drops
-                    .fetch_add(1, Ordering::Relaxed);
+                c.ring_full_drops.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }

@@ -79,6 +79,7 @@ impl<T> MpmcQueue<T> {
     pub fn push(&self, value: T) -> Result<(), T> {
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
         loop {
+            // panic-ok: masked index; slots.len() is mask + 1 by construction
             let slot = &self.slots[pos & self.mask];
             let seq = slot.seq.load(Ordering::Acquire);
             let dif = seq.wrapping_sub(pos) as isize;
@@ -120,6 +121,7 @@ impl<T> MpmcQueue<T> {
     pub fn pop(&self) -> Option<T> {
         let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
         loop {
+            // panic-ok: masked index; slots.len() is mask + 1 by construction
             let slot = &self.slots[pos & self.mask];
             let seq = slot.seq.load(Ordering::Acquire);
             let dif = seq.wrapping_sub(pos.wrapping_add(1)) as isize;

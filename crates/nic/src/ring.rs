@@ -59,6 +59,7 @@ impl<T> Drop for RingInner<T> {
         let head = self.head.load(Ordering::Acquire);
         let mut tail = self.tail.load(Ordering::Acquire);
         while tail != head {
+            // panic-ok: masked index; slots.len() is mask + 1 by construction
             self.slots[tail & self.mask].with_mut(|slot| {
                 // SAFETY: slots in [tail, head) hold initialized values and
                 // we have exclusive access in Drop.
@@ -139,6 +140,7 @@ impl<T> Producer<T> {
                 return Err(value);
             }
         }
+        // panic-ok: masked index; slots.len() is mask + 1 by construction
         self.inner.slots[head & self.inner.mask].with_mut(|slot| {
             // SAFETY: slot `head` is unoccupied (head - tail < capacity,
             // established by the Acquire load of `tail` above) and only
@@ -204,6 +206,7 @@ impl<T> Consumer<T> {
                 return None;
             }
         }
+        // panic-ok: masked index; slots.len() is mask + 1 by construction
         let value = self.inner.slots[tail & self.inner.mask].with(|slot| {
             // SAFETY: slot `tail` was initialized by the producer (tail !=
             // head, established by the Acquire load of `head` above) and

@@ -124,11 +124,14 @@ impl RssHasher {
     }
 
     /// The raw Toeplitz hash of an input byte string (table-driven).
+    ///
+    /// Input bytes beyond the key-derived table count contribute nothing
+    /// (the caller never exceeds it: `zip` makes that total).
     pub fn toeplitz(&self, input: &[u8]) -> u32 {
         debug_assert!(input.len() <= MAX_INPUT, "input too long for key");
         let mut result = 0u32;
-        for (pos, &byte) in input.iter().enumerate() {
-            result ^= self.tables[pos][byte as usize];
+        for (table, &byte) in self.tables.iter().zip(input) {
+            result ^= table.get(usize::from(byte)).copied().unwrap_or(0);
         }
         result
     }
@@ -139,7 +142,7 @@ impl RssHasher {
         debug_assert!(input.len() + 4 <= KEY_LEN, "input too long for key");
         let mut result = 0u32;
         // Current 32-bit window of the key, advanced one bit per input bit.
-        let mut window = u32::from_be_bytes(self.key[0..4].try_into().unwrap());
+        let mut window = self.key.first_chunk::<4>().map_or(0, |c| u32::from_be_bytes(*c));
         let mut next_byte = 4; // next key byte to shift in
         let mut bits_into_next = 0u32;
         for &byte in input {
@@ -167,20 +170,20 @@ impl RssHasher {
     /// Hash an IPv4 TCP/UDP 4-tuple (addresses and ports in wire order).
     pub fn hash_v4(&self, src: ipv4::Address, dst: ipv4::Address, src_port: u16, dst_port: u16) -> u32 {
         let mut input = [0u8; 12];
-        input[0..4].copy_from_slice(&src.0);
-        input[4..8].copy_from_slice(&dst.0);
-        input[8..10].copy_from_slice(&src_port.to_be_bytes());
-        input[10..12].copy_from_slice(&dst_port.to_be_bytes());
+        put(&mut input, 0, &src.0);
+        put(&mut input, 4, &dst.0);
+        put(&mut input, 8, &src_port.to_be_bytes());
+        put(&mut input, 10, &dst_port.to_be_bytes());
         self.toeplitz(&input)
     }
 
     /// Hash an IPv6 TCP/UDP 4-tuple.
     pub fn hash_v6(&self, src: ipv6::Address, dst: ipv6::Address, src_port: u16, dst_port: u16) -> u32 {
         let mut input = [0u8; 36];
-        input[0..16].copy_from_slice(&src.0);
-        input[16..32].copy_from_slice(&dst.0);
-        input[32..34].copy_from_slice(&src_port.to_be_bytes());
-        input[34..36].copy_from_slice(&dst_port.to_be_bytes());
+        put(&mut input, 0, &src.0);
+        put(&mut input, 16, &dst.0);
+        put(&mut input, 32, &src_port.to_be_bytes());
+        put(&mut input, 34, &dst_port.to_be_bytes());
         self.toeplitz(&input)
     }
 
@@ -192,10 +195,10 @@ impl RssHasher {
             // Mixed families cannot occur on the wire; hash what we have.
             (s, d) => {
                 let mut input = [0u8; 36];
-                input[0..16].copy_from_slice(&s.as_u128().to_be_bytes());
-                input[16..32].copy_from_slice(&d.as_u128().to_be_bytes());
-                input[32..34].copy_from_slice(&src_port.to_be_bytes());
-                input[34..36].copy_from_slice(&dst_port.to_be_bytes());
+                put(&mut input, 0, &s.as_u128().to_be_bytes());
+                put(&mut input, 16, &d.as_u128().to_be_bytes());
+                put(&mut input, 32, &src_port.to_be_bytes());
+                put(&mut input, 34, &dst_port.to_be_bytes());
                 self.toeplitz(&input)
             }
         }
@@ -204,7 +207,22 @@ impl RssHasher {
     /// Map a hash to a queue through the redirection table, as the NIC does:
     /// the low `log2(RETA_SIZE)` bits of the hash index the table.
     pub fn queue_for(&self, hash: u32) -> u16 {
-        self.reta[(hash as usize) & (RETA_SIZE - 1)]
+        self.reta
+            .get((hash as usize) & (RETA_SIZE - 1))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Copy `src` into `buf[at..]`; a no-op when it does not fit. The hash
+/// inputs are fixed-size arrays written at literal offsets, so the miss arm
+/// is unreachable — this just keeps the copies total.
+fn put(buf: &mut [u8], at: usize, src: &[u8]) {
+    if let Some(dst) = buf
+        .get_mut(at..)
+        .and_then(|rest| rest.get_mut(..src.len()))
+    {
+        dst.copy_from_slice(src);
     }
 }
 

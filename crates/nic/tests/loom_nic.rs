@@ -17,6 +17,10 @@
 //! execution; CI runs with 3 for deeper coverage.
 #![cfg(loom)]
 
+// Tests are exempt from the panic-freedom policy (DESIGN.md §10):
+// unwrap/expect on known-good fixtures is idiomatic here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use loom::sync::Arc;
 use loom::thread;

@@ -19,6 +19,11 @@
 //! cargo run --release --bin ruru-sim -- synflood --rate 50 --json
 //! ```
 
+
+// CLI runner: fail-fast on IO errors and wall-clock timing of the run
+// are the point; the panic-freedom policy targets the dataplane library.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::disallowed_methods)]
+
 use ruru_gen::{Anomaly, GenConfig, TrafficGen};
 use ruru_geo::synth::LOS_ANGELES;
 use ruru_nic::port::PortConfig;

@@ -14,6 +14,7 @@ use ruru_analytics::{
     PairInterner, RateAnomalyDetector, SynFloodDetector,
 };
 use ruru_flow::classify::{classify, ChecksumMode, RejectCounters, RejectStats};
+use ruru_nic::Mbuf;
 use ruru_flow::measurement::{SCRATCH_CHUNK, WIRE_LEN};
 use ruru_flow::{HandshakeTracker, TrackerConfig, TrackerStats};
 use ruru_gen::Event;
@@ -192,9 +193,20 @@ impl WorkerState {
     fn flush(&mut self) {
         if !self.batch.is_empty() {
             self.batches += 1;
+            let queued = self.batch.len();
             // PUSH blocks at the HWM: analytics back-pressure, never
-            // measurement loss (ZeroMQ PUSH semantics).
-            let _ = self.push.send_batch(self.batch.drain(..));
+            // measurement loss (ZeroMQ PUSH semantics). A send can only
+            // fail once every puller is gone; the unsent remainder of the
+            // burst is then counted as bus-closed drops, not panicked on.
+            let mut consumed = 0usize;
+            let sent = self
+                .push
+                .send_batch(self.batch.drain(..).inspect(|_| consumed += 1));
+            if sent.is_err() {
+                // `consumed` includes the message that failed to send.
+                let lost = queued.saturating_sub(consumed.saturating_sub(1));
+                self.rejects.record_bus_closed(lost as u64);
+            }
         }
         if self.records_in > 0 {
             self.stage
@@ -252,8 +264,269 @@ struct DetectorResult {
     stage: StageStats,
 }
 
+/// Everything the detector thread consumes, bundled so the thread body can
+/// be a named function (see [`detector_loop`]).
+struct DetectorInputs {
+    syn_rx: Receiver<(u16, u64)>,
+    det_pull: ruru_mq::Pull,
+    stop: Arc<AtomicBool>,
+    alerts: AlertSink,
+    spike: SpikeConfig,
+    flood: FloodConfig,
+    rate: RateConfig,
+    frame: FrameConfig,
+    num_queues: u16,
+}
+
+/// One packet through the dataplane stage: classify → track → encode into
+/// the scratch block → batch for a vectored PUSH. Named (rather than left as
+/// a closure inside [`Pipeline::new`]) so `cargo xtask panic-check` can root
+/// its reachability walk at the per-packet hot path.
+fn dataplane_worker(state: &mut WorkerState, mbuf: Mbuf) {
+    state.records_in += 1;
+    match classify(mbuf.data(), mbuf.timestamp, state.checksum_mode) {
+        Ok(meta) => {
+            if meta.flags.is_syn_only() {
+                let _ = state
+                    .syn_tx
+                    .send((state.tracker.queue_id(), meta.timestamp.as_nanos()));
+            }
+            if let Some(m) = state.tracker.process(&meta) {
+                // Encode into the worker's scratch block: one backing
+                // allocation per ~1000 records, each payload a zero-copy
+                // slice of it.
+                if state.scratch.capacity() < WIRE_LEN {
+                    state.scratch.reserve(SCRATCH_CHUNK);
+                    state.alloc_hits += 1;
+                }
+                m.encode_into(&mut state.scratch);
+                let payload = state.scratch.split().freeze();
+                state.bytes += payload.len() as u64;
+                state
+                    .batch
+                    .push(Message::new(Bytes::from_static(b"latency"), payload));
+                state.records_out += 1;
+                // Keep the batch bounded even if a burst produces more
+                // measurements than packets ever should.
+                if state.batch.len() >= BURST_SIZE {
+                    state.flush();
+                }
+            }
+        }
+        Err(reject) => {
+            // Fragments/UDP/ARP are normal on a live tap; count them per
+            // cause.
+            state.rejects.record(reject);
+        }
+    }
+}
+
+/// The detector + frontend thread: consumes SYN events and enriched
+/// measurements, raises alerts, batches map frames. Named so the panic
+/// checker roots here.
+///
+/// A sharded dataplane delivers events to analytics out of simulated-time
+/// order (a briefly descheduled worker is minutes of simulated time behind
+/// its siblings). Detectors that window on time need an in-order stream, so
+/// this runs a classic watermark reorderer: events buffer in a min-heap and
+/// release only once every source stream (per queue, per event kind) has
+/// progressed past them.
+fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
+
+    let DetectorInputs {
+        syn_rx,
+        det_pull,
+        stop,
+        alerts,
+        spike,
+        flood,
+        rate,
+        frame,
+        num_queues,
+    } = inputs;
+
+    enum Ev {
+        Syn,
+        Meas(Box<EnrichedMeasurement>),
+    }
+    let mut spike = LatencySpikeDetector::new(spike);
+    let mut flood = SynFloodDetector::new(flood);
+    let mut rate = RateAnomalyDetector::new(rate);
+    let mut batcher = FrameBatcher::new(frame, Timestamp::ZERO);
+    let mut aggregates = PairAggregator::new();
+    // City-pair keys interned once; the per-measurement hot path below
+    // works on dense u32 ids, no `format!` per record.
+    let mut pairs = PairInterner::new();
+    let mut frames_emitted = 0u64;
+    let mut last_at = Timestamp::ZERO;
+    let mut stage = StageStats::default();
+    let top_queue = num_queues.saturating_sub(1);
+
+    // Source id: queue × {syn=0, measurement=1}. All sources start at
+    // watermark zero; nothing is released until every source has reported
+    // (or the stream ends and we flush).
+    let mut watermarks: HashMap<(u16, u8), u64> = (0..num_queues)
+        .flat_map(|q| [((q, 0u8), 0u64), ((q, 1u8), 0u64)])
+        .collect();
+    let mut pending: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut payloads: HashMap<u64, Ev> = HashMap::new();
+    let mut seq = 0u64;
+
+    let process = |ev: Ev,
+                   at: Timestamp,
+                   spike: &mut LatencySpikeDetector,
+                   flood: &mut SynFloodDetector,
+                   rate: &mut RateAnomalyDetector,
+                   batcher: &mut FrameBatcher,
+                   aggregates: &mut PairAggregator,
+                   pairs: &mut PairInterner,
+                   frames_emitted: &mut u64| match ev {
+        Ev::Syn => {
+            alerts.push_opt(flood.observe_syn(at));
+        }
+        Ev::Meas(em) => {
+            alerts.push_opt(flood.observe_completion(at));
+            let src = pairs.atom(if em.src.city.is_empty() {
+                "?"
+            } else {
+                &em.src.city
+            });
+            let dst = pairs.atom(if em.dst.city.is_empty() {
+                "?"
+            } else {
+                &em.dst.city
+            });
+            let key = pairs.pair(src, dst);
+            alerts.push_opt(spike.observe_id(key, pairs.name(key), em.total_ns(), at));
+            alerts.push_opt(rate.observe_id(key, pairs.name(key), at));
+            aggregates.observe(&em);
+            let frames = batcher.add(
+                at,
+                (em.src.lat, em.src.lon),
+                (em.dst.lat, em.dst.lon),
+                em.total_ns() as f64 / 1e6,
+            );
+            *frames_emitted += frames.len() as u64;
+        }
+    };
+
+    let mut det_batch: Vec<ruru_mq::Message> = Vec::with_capacity(BURST_SIZE);
+    // Adaptive backoff like the lcore workers: spin for the first empty
+    // polls (lowest drain latency), then yield, then park — never a fixed
+    // sleep on a path that might have work microseconds away. Shared with
+    // the dataplane pollers (and loom-checked there) via ruru_nic::backoff.
+    let mut backoff = ruru_nic::backoff::Backoff::new(64, 256, Duration::from_micros(200));
+    loop {
+        let mut idle = true;
+        // Fair drains under sustained load: at most one burst from each
+        // input per loop iteration, so a firehose on one feed cannot starve
+        // the other.
+        let mut syn_quota = BURST_SIZE;
+        while syn_quota > 0 {
+            let Ok((qid, ts)) = syn_rx.try_recv() else {
+                break;
+            };
+            syn_quota -= 1;
+            idle = false;
+            stage.records_in += 1;
+            let w = watermarks.entry((qid.min(top_queue), 0)).or_insert(0);
+            *w = (*w).max(ts);
+            pending.push(Reverse((ts, seq)));
+            payloads.insert(seq, Ev::Syn);
+            seq += 1;
+        }
+        let n = det_pull.try_recv_batch(&mut det_batch, BURST_SIZE);
+        if n > 0 {
+            idle = false;
+            stage.batches += 1;
+            stage.records_in += n as u64;
+            for msg in det_batch.drain(..) {
+                stage.bytes += msg.payload.len() as u64;
+                // The internal feed carries the fixed binary record — no
+                // UTF-8 or line parsing here.
+                let Some(em) = EnrichedMeasurement::decode(&msg.payload) else {
+                    continue;
+                };
+                let at = em.completed_at;
+                last_at = last_at.max(at);
+                let w = watermarks
+                    .entry((em.queue_id.min(top_queue), 1))
+                    .or_insert(0);
+                *w = (*w).max(at.as_nanos());
+                pending.push(Reverse((at.as_nanos(), seq)));
+                payloads.insert(seq, Ev::Meas(Box::new(em)));
+                seq += 1;
+            }
+        }
+        // Release everything at or below the lowest watermark.
+        let low = watermarks.values().copied().min().unwrap_or(0);
+        while let Some(&Reverse((at, s))) = pending.peek() {
+            if at > low {
+                break;
+            }
+            pending.pop();
+            // Heap entries and payloads are inserted together; a missing
+            // payload means the event was already consumed — skip it.
+            let Some(ev) = payloads.remove(&s) else {
+                continue;
+            };
+            stage.records_out += 1;
+            process(
+                ev,
+                Timestamp::from_nanos(at),
+                &mut spike,
+                &mut flood,
+                &mut rate,
+                &mut batcher,
+                &mut aggregates,
+                &mut pairs,
+                &mut frames_emitted,
+            );
+        }
+        if idle {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            backoff.idle();
+        } else {
+            backoff.reset();
+        }
+    }
+    // End of stream: flush the reorder buffer in time order.
+    while let Some(Reverse((at, s))) = pending.pop() {
+        let Some(ev) = payloads.remove(&s) else {
+            continue;
+        };
+        stage.records_out += 1;
+        process(
+            ev,
+            Timestamp::from_nanos(at),
+            &mut spike,
+            &mut flood,
+            &mut rate,
+            &mut batcher,
+            &mut aggregates,
+            &mut pairs,
+            &mut frames_emitted,
+        );
+    }
+    frames_emitted += batcher.advance_to(last_at.advanced(1_000_000_000)).len() as u64;
+    let (arcs_drawn, arcs_dropped) = batcher.stats();
+    DetectorResult {
+        frames_emitted,
+        arcs_drawn,
+        arcs_dropped,
+        aggregates,
+        stage,
+    }
+}
+
 impl Pipeline {
     /// Build and start a pipeline over the given geo database.
+    // Thread spawn failure is a startup-time OS error; fail loudly.
+    #[allow(clippy::expect_used)]
     pub fn new(config: PipelineConfig, db: Arc<GeoDb>) -> Pipeline {
         let clock = Clock::virtual_clock();
         let mut port = Port::new(config.port.clone(), clock.clone());
@@ -281,202 +554,23 @@ impl Pipeline {
             Some(det_push),
         );
 
-        // Detector + frontend thread: consumes SYN events and enriched
-        // measurements, raises alerts, batches map frames.
+        // Detector + frontend thread; the body is the named
+        // [`detector_loop`] so the panic checker can root there.
         let detector_stop = Arc::new(AtomicBool::new(false));
-        let det_stop = Arc::clone(&detector_stop);
-        let det_alerts = alerts.clone();
-        let spike_cfg = config.spike.clone();
-        let flood_cfg = config.flood.clone();
-        let rate_cfg = config.rate.clone();
-        let frame_cfg = config.frame.clone();
-        // A sharded dataplane delivers events to analytics out of simulated-
-        // time order (a briefly descheduled worker is minutes of simulated
-        // time behind its siblings). Detectors that window on time need an
-        // in-order stream, so the thread runs a classic watermark reorderer:
-        // events buffer in a min-heap and release only once every source
-        // stream (per queue, per event kind) has progressed past them.
-        let num_queues = config.port.num_queues;
+        let detector_inputs = DetectorInputs {
+            syn_rx,
+            det_pull,
+            stop: Arc::clone(&detector_stop),
+            alerts: alerts.clone(),
+            spike: config.spike.clone(),
+            flood: config.flood.clone(),
+            rate: config.rate.clone(),
+            frame: config.frame.clone(),
+            num_queues: config.port.num_queues,
+        };
         let detector_handle = std::thread::Builder::new()
             .name("ruru-detect".into())
-            .spawn(move || {
-                use std::cmp::Reverse;
-                use std::collections::{BinaryHeap, HashMap};
-
-                enum Ev {
-                    Syn,
-                    Meas(Box<EnrichedMeasurement>),
-                }
-                let mut spike = LatencySpikeDetector::new(spike_cfg);
-                let mut flood = SynFloodDetector::new(flood_cfg);
-                let mut rate = RateAnomalyDetector::new(rate_cfg);
-                let mut batcher = FrameBatcher::new(frame_cfg, Timestamp::ZERO);
-                let mut aggregates = PairAggregator::new();
-                // City-pair keys interned once; the per-measurement hot path
-                // below works on dense u32 ids, no `format!` per record.
-                let mut pairs = PairInterner::new();
-                let mut frames_emitted = 0u64;
-                let mut last_at = Timestamp::ZERO;
-                let mut stage = StageStats::default();
-
-                // Source id: queue × {syn=0, measurement=1}. All sources
-                // start at watermark zero; nothing is released until every
-                // source has reported (or the stream ends and we flush).
-                let mut watermarks: HashMap<(u16, u8), u64> = (0..num_queues)
-                    .flat_map(|q| [((q, 0u8), 0u64), ((q, 1u8), 0u64)])
-                    .collect();
-                let mut pending: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-                let mut payloads: HashMap<u64, Ev> = HashMap::new();
-                let mut seq = 0u64;
-
-                let process = |ev: Ev,
-                                   at: Timestamp,
-                                   spike: &mut LatencySpikeDetector,
-                                   flood: &mut SynFloodDetector,
-                                   rate: &mut RateAnomalyDetector,
-                                   batcher: &mut FrameBatcher,
-                                   aggregates: &mut PairAggregator,
-                                   pairs: &mut PairInterner,
-                                   frames_emitted: &mut u64| match ev {
-                    Ev::Syn => {
-                        det_alerts.push_opt(flood.observe_syn(at));
-                    }
-                    Ev::Meas(em) => {
-                        det_alerts.push_opt(flood.observe_completion(at));
-                        let src = pairs.atom(if em.src.city.is_empty() {
-                            "?"
-                        } else {
-                            &em.src.city
-                        });
-                        let dst = pairs.atom(if em.dst.city.is_empty() {
-                            "?"
-                        } else {
-                            &em.dst.city
-                        });
-                        let key = pairs.pair(src, dst);
-                        det_alerts.push_opt(spike.observe_id(
-                            key,
-                            pairs.name(key),
-                            em.total_ns(),
-                            at,
-                        ));
-                        det_alerts.push_opt(rate.observe_id(key, pairs.name(key), at));
-                        aggregates.observe(&em);
-                        let frames = batcher.add(
-                            at,
-                            (em.src.lat, em.src.lon),
-                            (em.dst.lat, em.dst.lon),
-                            em.total_ns() as f64 / 1e6,
-                        );
-                        *frames_emitted += frames.len() as u64;
-                    }
-                };
-
-                let mut det_batch: Vec<ruru_mq::Message> = Vec::with_capacity(BURST_SIZE);
-                // Adaptive backoff like the lcore workers: spin for the
-                // first empty polls (lowest drain latency), then yield,
-                // then park — never a fixed sleep on a path that might
-                // have work microseconds away. Shared with the dataplane
-                // pollers (and loom-checked there) via ruru_nic::backoff.
-                let mut backoff = ruru_nic::backoff::Backoff::new(64, 256, Duration::from_micros(200));
-                loop {
-                    let mut idle = true;
-                    // Fair drains under sustained load: at most one burst
-                    // from each input per loop iteration, so a firehose on
-                    // one feed cannot starve the other.
-                    let mut syn_quota = BURST_SIZE;
-                    while syn_quota > 0 {
-                        let Ok((qid, ts)) = syn_rx.try_recv() else {
-                            break;
-                        };
-                        syn_quota -= 1;
-                        idle = false;
-                        stage.records_in += 1;
-                        let w = watermarks.entry((qid.min(num_queues - 1), 0)).or_insert(0);
-                        *w = (*w).max(ts);
-                        pending.push(Reverse((ts, seq)));
-                        payloads.insert(seq, Ev::Syn);
-                        seq += 1;
-                    }
-                    let n = det_pull.try_recv_batch(&mut det_batch, BURST_SIZE);
-                    if n > 0 {
-                        idle = false;
-                        stage.batches += 1;
-                        stage.records_in += n as u64;
-                        for msg in det_batch.drain(..) {
-                            stage.bytes += msg.payload.len() as u64;
-                            // The internal feed carries the fixed binary
-                            // record — no UTF-8 or line parsing here.
-                            let Some(em) = EnrichedMeasurement::decode(&msg.payload) else {
-                                continue;
-                            };
-                            let at = em.completed_at;
-                            last_at = last_at.max(at);
-                            let w = watermarks
-                                .entry((em.queue_id.min(num_queues - 1), 1))
-                                .or_insert(0);
-                            *w = (*w).max(at.as_nanos());
-                            pending.push(Reverse((at.as_nanos(), seq)));
-                            payloads.insert(seq, Ev::Meas(Box::new(em)));
-                            seq += 1;
-                        }
-                    }
-                    // Release everything at or below the lowest watermark.
-                    let low = watermarks.values().copied().min().unwrap_or(0);
-                    while let Some(&Reverse((at, s))) = pending.peek() {
-                        if at > low {
-                            break;
-                        }
-                        pending.pop();
-                        let ev = payloads.remove(&s).expect("payload for pending event");
-                        stage.records_out += 1;
-                        process(
-                            ev,
-                            Timestamp::from_nanos(at),
-                            &mut spike,
-                            &mut flood,
-                            &mut rate,
-                            &mut batcher,
-                            &mut aggregates,
-                            &mut pairs,
-                            &mut frames_emitted,
-                        );
-                    }
-                    if idle {
-                        if det_stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        backoff.idle();
-                    } else {
-                        backoff.reset();
-                    }
-                }
-                // End of stream: flush the reorder buffer in time order.
-                while let Some(Reverse((at, s))) = pending.pop() {
-                    let ev = payloads.remove(&s).expect("payload for pending event");
-                    stage.records_out += 1;
-                    process(
-                        ev,
-                        Timestamp::from_nanos(at),
-                        &mut spike,
-                        &mut flood,
-                        &mut rate,
-                        &mut batcher,
-                        &mut aggregates,
-                        &mut pairs,
-                        &mut frames_emitted,
-                    );
-                }
-                frames_emitted += batcher.advance_to(last_at.advanced(1_000_000_000)).len() as u64;
-                let (arcs_drawn, arcs_dropped) = batcher.stats();
-                DetectorResult {
-                    frames_emitted,
-                    arcs_drawn,
-                    arcs_dropped,
-                    aggregates,
-                    stage,
-                }
-            })
+            .spawn(move || detector_loop(detector_inputs))
             .expect("spawn detector thread");
 
         // lcore workers: classify → track → push measurements.
@@ -502,44 +596,7 @@ impl Pipeline {
                 bytes: 0,
                 alloc_hits: 0,
             },
-            |state, mbuf| {
-                state.records_in += 1;
-                match classify(mbuf.data(), mbuf.timestamp, state.checksum_mode) {
-                    Ok(meta) => {
-                        if meta.flags.is_syn_only() {
-                            let _ = state
-                                .syn_tx
-                                .send((state.tracker.queue_id(), meta.timestamp.as_nanos()));
-                        }
-                        if let Some(m) = state.tracker.process(&meta) {
-                            // Encode into the worker's scratch block: one
-                            // backing allocation per ~1000 records, each
-                            // payload a zero-copy slice of it.
-                            if state.scratch.capacity() < WIRE_LEN {
-                                state.scratch.reserve(SCRATCH_CHUNK);
-                                state.alloc_hits += 1;
-                            }
-                            m.encode_into(&mut state.scratch);
-                            let payload = state.scratch.split().freeze();
-                            state.bytes += payload.len() as u64;
-                            state
-                                .batch
-                                .push(Message::new(Bytes::from_static(b"latency"), payload));
-                            state.records_out += 1;
-                            // Keep the batch bounded even if a burst produces
-                            // more measurements than packets ever should.
-                            if state.batch.len() >= BURST_SIZE {
-                                state.flush();
-                            }
-                        }
-                    }
-                    Err(reject) => {
-                        // Fragments/UDP/ARP are normal on a live tap; count
-                        // them per cause.
-                        state.rejects.record(reject);
-                    }
-                }
-            },
+            dataplane_worker,
             // Burst boundary: one vectored send covers the whole burst's
             // measurements. PUSH blocks at the HWM, so this is analytics
             // back-pressure, never measurement loss (ZeroMQ PUSH semantics).
@@ -637,6 +694,8 @@ impl Pipeline {
     }
 
     /// Drain and join every stage; returns the final report.
+    // Propagating a detector panic at join is shutdown-time, by design.
+    #[allow(clippy::expect_used)]
     pub fn finish(self) -> Report {
         // 1. Stop lcore workers (they drain their queues first). Their exit
         //    drops the last Push/syn_tx, closing the analytics inputs.

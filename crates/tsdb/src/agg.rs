@@ -29,15 +29,20 @@ impl Aggregate {
         if values.is_empty() {
             return None;
         }
-        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        // total_cmp orders NaN deterministically (greatest) instead of
+        // panicking on it: a NaN smuggled in by a corrupt sample sorts last
+        // and shows up in max/p99 rather than aborting the detector.
+        values.sort_unstable_by(|a, b| a.total_cmp(b));
         let count = values.len();
         let sum: f64 = values.iter().sum();
+        // panic-ok: f64 division never panics (flagged conservatively)
         let mean = sum / count as f64;
+        // panic-ok: f64 division never panics (flagged conservatively)
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
         Some(Aggregate {
             count,
-            min: values[0],
-            max: values[count - 1],
+            min: values.first().copied().unwrap_or(0.0),
+            max: values.last().copied().unwrap_or(0.0),
             mean,
             median: percentile_sorted(values, 50.0),
             p95: percentile_sorted(values, 95.0),
@@ -48,20 +53,27 @@ impl Aggregate {
 }
 
 /// Linear-interpolated percentile of an ascending-sorted slice.
+///
+/// Total: an empty slice yields NaN (there is no percentile to report) and
+/// `pct` is clamped to `0..=100`, so no input can abort a query path.
 pub fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&pct), "percentile out of range");
+    let Some((&first, _)) = sorted.split_first() else {
+        return f64::NAN;
+    };
+    let pct = pct.clamp(0.0, 100.0);
     if sorted.len() == 1 {
-        return sorted[0];
+        return first;
     }
-    let rank = pct / 100.0 * (sorted.len() - 1) as f64;
+    let rank = pct / 100.0 * (sorted.len().saturating_sub(1)) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
+    let lo_v = sorted.get(lo).copied().unwrap_or(first);
+    let hi_v = sorted.get(hi).copied().unwrap_or(lo_v);
     if lo == hi {
-        sorted[lo]
+        lo_v
     } else {
         let frac = rank - lo as f64;
-        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        lo_v * (1.0 - frac) + hi_v * frac
     }
 }
 
@@ -128,8 +140,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "percentile of empty slice")]
-    fn percentile_empty_panics() {
-        percentile_sorted(&[], 50.0);
+    fn percentile_empty_is_nan() {
+        assert!(percentile_sorted(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_out_of_range_clamps() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile_sorted(&v, -5.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 250.0), 3.0);
+    }
+
+    #[test]
+    fn nan_sample_does_not_abort() {
+        let mut v = [2.0, f64::NAN, 1.0];
+        let a = Aggregate::compute(&mut v).unwrap();
+        // NaN sorts last under total_cmp: min stays finite, max is NaN.
+        assert_eq!(a.min, 1.0);
+        assert!(a.max.is_nan());
     }
 }

@@ -88,30 +88,38 @@ pub fn parse(line: &str) -> Result<Point, LineError> {
     let bytes = line.as_bytes();
     let mut start = 0;
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' => i += 2,
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            // Skipping the escaped byte can land mid-way through a UTF-8
+            // sequence (`\` before a multi-byte char); the checked slices
+            // below turn that into a parse error instead of a panic.
+            b'\\' => i = i.saturating_add(2),
             b' ' => {
-                sections.push(&line[start..i]);
-                start = i + 1;
-                i += 1;
+                sections.push(line.get(start..i).ok_or(LineError::BadPair)?);
+                start = i.saturating_add(1);
+                i = i.saturating_add(1);
             }
-            _ => i += 1,
+            _ => i = i.saturating_add(1),
         }
     }
-    sections.push(&line[start..]);
-    if sections.len() < 2 || sections.len() > 3 {
-        return Err(LineError::MissingSection);
-    }
+    sections.push(line.get(start..).unwrap_or(""));
+    let (series_sec, fields_sec, ts_sec) = match sections.as_slice() {
+        [a, b] => (*a, *b, None),
+        [a, b, c] => (*a, *b, Some(*c)),
+        _ => return Err(LineError::MissingSection),
+    };
 
     // Series section: measurement,tag=v,...
-    let series_parts = split_unescaped(sections[0], ',');
-    let measurement = series_parts[0].clone();
+    let series_parts = split_unescaped(series_sec, ',');
+    let Some((measurement, tag_parts)) = series_parts.split_first() else {
+        return Err(LineError::EmptyMeasurement);
+    };
+    let measurement = measurement.clone();
     if measurement.is_empty() {
         return Err(LineError::EmptyMeasurement);
     }
     let mut tags = Vec::new();
-    for part in &series_parts[1..] {
+    for part in tag_parts {
         // `part` is already unescaped; split on the first '=' is safe only
         // if values contain no '='. To support escaped '=' we re-split the
         // raw text; for Ruru's tag values (cities, countries, ASNs) '=' does
@@ -122,7 +130,7 @@ pub fn parse(line: &str) -> Result<Point, LineError> {
 
     // Fields section.
     let mut fields = Vec::new();
-    for part in split_unescaped(sections[1], ',') {
+    for part in split_unescaped(fields_sec, ',') {
         let (k, v) = part.split_once('=').ok_or(LineError::BadPair)?;
         let v: f64 = v.parse().map_err(|_| LineError::BadNumber)?;
         fields.push((k.to_string(), v));
@@ -131,10 +139,9 @@ pub fn parse(line: &str) -> Result<Point, LineError> {
         return Err(LineError::NoFields);
     }
 
-    let timestamp_ns = if sections.len() == 3 {
-        sections[2].parse().map_err(|_| LineError::BadTimestamp)?
-    } else {
-        0
+    let timestamp_ns = match ts_sec {
+        Some(ts) => ts.parse().map_err(|_| LineError::BadTimestamp)?,
+        None => 0,
     };
 
     Ok(Point::new(measurement, tags, fields, timestamp_ns))
@@ -202,6 +209,14 @@ mod tests {
         assert_eq!(parse("m value=1 notanumber"), Err(LineError::BadTimestamp));
         assert_eq!(parse("m value=1 1 extra"), Err(LineError::MissingSection));
         assert_eq!(parse(",t=1 v=1 1"), Err(LineError::EmptyMeasurement));
+    }
+
+    #[test]
+    fn escape_before_multibyte_char_is_rejected_not_panicking() {
+        // `\` directly before a multi-byte character makes the escape scan
+        // land on a non-boundary; the parser must error, not panic.
+        let _ = parse("m\\\u{00e9} value=1 1");
+        let _ = parse("\\\u{00e9}m,t\\\u{00e9}=x v=1");
     }
 
     #[test]

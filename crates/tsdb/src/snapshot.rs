@@ -50,21 +50,28 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        if self.at + n > self.data.len() {
-            return Err(SnapshotError::Corrupt("truncated"));
-        }
-        let s = &self.data[self.at..self.at + n];
-        self.at += n;
+        let s = self
+            .data
+            .get(self.at..)
+            .and_then(|rest| rest.get(..n))
+            .ok_or(SnapshotError::Corrupt("truncated"))?;
+        self.at = self.at.saturating_add(n);
         Ok(s)
     }
+    fn chunk<const N: usize>(&mut self) -> Result<[u8; N], SnapshotError> {
+        match self.take(N)?.first_chunk::<N>() {
+            Some(c) => Ok(*c),
+            None => Err(SnapshotError::Corrupt("truncated")),
+        }
+    }
     fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.chunk()?))
     }
     fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.chunk()?))
     }
     fn f64(&mut self) -> Result<f64, SnapshotError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.chunk()?))
     }
     fn string(&mut self) -> Result<String, SnapshotError> {
         let len = self.u32()? as usize;

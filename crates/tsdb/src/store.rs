@@ -140,12 +140,18 @@ impl TsDb {
     /// Execute a query; returns one [`Bucket`] per window (a single bucket
     /// for un-bucketed queries).
     pub fn query(&self, q: &Query) -> Vec<Bucket> {
-        assert!(q.end_ns >= q.start_ns, "inverted time range");
+        if q.end_ns < q.start_ns {
+            // Inverted range: no window can match; the detector keeps running.
+            return Vec::new();
+        }
         let inner = self.inner.read();
         let Some(series_map) = inner.get(&q.measurement) else {
             return empty_buckets(q);
         };
-        let bucket_ns = q.bucket_ns.unwrap_or(q.end_ns.saturating_sub(q.start_ns).max(1));
+        let bucket_ns = q
+            .bucket_ns
+            .unwrap_or(q.end_ns.saturating_sub(q.start_ns))
+            .max(1);
         let n_buckets = bucket_count(q.start_ns, q.end_ns, bucket_ns);
         let mut per_bucket: Vec<Vec<f64>> = vec![Vec::new(); n_buckets];
 
@@ -161,12 +167,15 @@ impl TsDb {
                 continue;
             };
             let lo = run.partition_point(|&(t, _)| t < q.start_ns);
-            for &(t, v) in &run[lo..] {
+            for &(t, v) in run.get(lo..).unwrap_or(&[]) {
                 if t >= q.end_ns {
                     break;
                 }
-                let b = ((t - q.start_ns) / bucket_ns) as usize;
-                per_bucket[b].push(v);
+                // panic-ok: bucket_ns is clamped to at least 1 above
+                let b = (t.saturating_sub(q.start_ns) / bucket_ns) as usize;
+                if let Some(bucket) = per_bucket.get_mut(b) {
+                    bucket.push(v);
+                }
             }
         }
 
@@ -174,7 +183,7 @@ impl TsDb {
             .into_iter()
             .enumerate()
             .map(|(i, mut values)| Bucket {
-                start_ns: q.start_ns + i as u64 * bucket_ns,
+                start_ns: q.start_ns.saturating_add((i as u64).saturating_mul(bucket_ns)),
                 agg: Aggregate::compute(&mut values),
             })
             .collect()
@@ -194,24 +203,24 @@ impl TsDb {
         measurements.sort_unstable();
         measurements
             .into_iter()
-            .map(|m| {
-                let series_map = &inner[m];
+            .filter_map(|m| {
+                let series_map = inner.get(m)?;
                 let mut keys: Vec<&String> = series_map.keys().collect();
                 keys.sort_unstable();
                 let series = keys
                     .into_iter()
-                    .map(|k| {
-                        let s = &series_map[k];
+                    .filter_map(|k| {
+                        let s = series_map.get(k)?;
                         let mut fields: Vec<(String, Vec<(u64, f64)>)> = s
                             .fields
                             .iter()
                             .map(|(name, run)| (name.clone(), run.clone()))
                             .collect();
                         fields.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-                        (s.tags.clone(), fields)
+                        Some((s.tags.clone(), fields))
                     })
                     .collect();
-                (m.clone(), series)
+                Some((m.clone(), series))
             })
             .collect()
     }
@@ -269,7 +278,9 @@ impl TsDb {
         start_ns: u64,
         end_ns: u64,
     ) -> usize {
-        assert!(bucket_ns > 0, "bucket width must be positive");
+        // A zero bucket width is meaningless; treat it as the full range
+        // rather than aborting mid-pipeline.
+        let bucket_ns = bucket_ns.max(1);
         // Collect first (cannot hold the read lock while writing).
         let mut out: Vec<Point> = Vec::new();
         {
@@ -284,21 +295,25 @@ impl TsDb {
                 let n_buckets = bucket_count(start_ns, end_ns, bucket_ns);
                 let mut sums = vec![(0.0f64, 0usize); n_buckets];
                 let lo = run.partition_point(|&(t, _)| t < start_ns);
-                for &(t, v) in &run[lo..] {
+                for &(t, v) in run.get(lo..).unwrap_or(&[]) {
                     if t >= end_ns {
                         break;
                     }
-                    let b = ((t - start_ns) / bucket_ns) as usize;
-                    sums[b].0 += v;
-                    sums[b].1 += 1;
+                    // panic-ok: bucket_ns is clamped to at least 1 above
+                    let b = (t.saturating_sub(start_ns) / bucket_ns) as usize;
+                    if let Some((sum, count)) = sums.get_mut(b) {
+                        *sum += v;
+                        *count = count.saturating_add(1);
+                    }
                 }
                 for (i, (sum, count)) in sums.into_iter().enumerate() {
                     if count > 0 {
                         out.push(Point::new(
                             target_measurement,
                             series.tags.clone(),
+                            // panic-ok: f64 division never panics (flagged conservatively)
                             vec![(field.to_string(), sum / count as f64)],
-                            start_ns + i as u64 * bucket_ns,
+                            start_ns.saturating_add((i as u64).saturating_mul(bucket_ns)),
                         ));
                     }
                 }

@@ -5,25 +5,36 @@
 //! the latency tables) and the traffic generator emits valid ones, so both
 //! directions are exercised heavily.
 
-/// Running ones-complement sum folded to 16 bits at the end.
+/// Running ones-complement sum of `data`, pre-folded to 16 bits.
 ///
-/// Data of odd length is padded with a zero byte, per RFC 1071.
+/// Data of odd length is padded with a zero byte, per RFC 1071. The sum is
+/// accumulated in 64 bits (which cannot overflow for any in-memory slice)
+/// and folded before returning, so combining partial sums with plain u32
+/// addition stays exact.
 pub fn sum(data: &[u8]) -> u32 {
-    let mut acc: u32 = 0;
+    let mut acc: u64 = 0;
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
-        acc += u16::from_be_bytes([c[0], c[1]]) as u32;
+        if let &[a, b] = c {
+            acc = acc.saturating_add(u64::from(u16::from_be_bytes([a, b])));
+        }
     }
-    if let [last] = chunks.remainder() {
-        acc += u16::from_be_bytes([*last, 0]) as u32;
+    if let &[last] = chunks.remainder() {
+        acc = acc.saturating_add(u64::from(u16::from_be_bytes([last, 0])));
     }
-    acc
+    u32::from(fold_u64(acc))
 }
 
 /// Fold a 32-bit accumulator into a 16-bit ones-complement value.
-pub fn fold(mut acc: u32) -> u16 {
+pub fn fold(acc: u32) -> u16 {
+    fold_u64(u64::from(acc))
+}
+
+/// End-around-carry fold of a wide accumulator. The add cannot saturate
+/// (`acc >> 16` leaves 48 bits of headroom), so this is exact.
+fn fold_u64(mut acc: u64) -> u16 {
     while acc > 0xffff {
-        acc = (acc & 0xffff) + (acc >> 16);
+        acc = (acc & 0xffff).saturating_add(acc >> 16);
     }
     acc as u16
 }
@@ -31,13 +42,13 @@ pub fn fold(mut acc: u32) -> u16 {
 /// Compute the Internet checksum of `data` combined with an already-summed
 /// `partial` accumulator (e.g. a pseudo-header sum).
 pub fn checksum(partial: u32, data: &[u8]) -> u16 {
-    !fold(partial + sum(data))
+    !fold_u64(u64::from(partial).saturating_add(u64::from(sum(data))))
 }
 
 /// Verify that `data` (which includes its checksum field) sums to the
 /// all-ones pattern when combined with `partial`.
 pub fn verify(partial: u32, data: &[u8]) -> bool {
-    fold(partial + sum(data)) == 0xffff
+    fold_u64(u64::from(partial).saturating_add(u64::from(sum(data)))) == 0xffff
 }
 
 /// The pseudo-header contribution for TCP/UDP checksums.
@@ -53,21 +64,20 @@ pub struct PseudoHeader {
 impl PseudoHeader {
     /// IPv4 pseudo-header: src, dst, zero+protocol, TCP length.
     pub fn v4(src: [u8; 4], dst: [u8; 4], protocol: u8, len: u16) -> Self {
-        let mut acc = 0u32;
-        acc += sum(&src);
-        acc += sum(&dst);
-        acc += protocol as u32;
-        acc += len as u32;
+        // Each term is a folded 16-bit sum; four adds cannot overflow u32.
+        let acc = sum(&src)
+            .saturating_add(sum(&dst))
+            .saturating_add(u32::from(protocol))
+            .saturating_add(u32::from(len));
         PseudoHeader { partial: acc }
     }
 
     /// IPv6 pseudo-header: src, dst, upper-layer length, next header.
     pub fn v6(src: [u8; 16], dst: [u8; 16], next_header: u8, len: u32) -> Self {
-        let mut acc = 0u32;
-        acc += sum(&src);
-        acc += sum(&dst);
-        acc += sum(&len.to_be_bytes());
-        acc += next_header as u32;
+        let acc = sum(&src)
+            .saturating_add(sum(&dst))
+            .saturating_add(sum(&len.to_be_bytes()))
+            .saturating_add(u32::from(next_header));
         PseudoHeader { partial: acc }
     }
 

@@ -4,6 +4,7 @@
 //! needs to classify the EtherType (IPv4/IPv6, possibly behind one VLAN tag)
 //! and hand the payload to the IP parser.
 
+use crate::field;
 use crate::{Error, Result};
 
 /// Length of an untagged Ethernet II header.
@@ -26,23 +27,21 @@ impl Address {
 
     /// True if the group bit (multicast) is set.
     pub fn is_multicast(&self) -> bool {
-        self.0[0] & 0x01 != 0
+        let [first, ..] = self.0;
+        first & 0x01 != 0
     }
 
     /// True if the locally-administered bit is set.
     pub fn is_local(&self) -> bool {
-        self.0[0] & 0x02 != 0
+        let [first, ..] = self.0;
+        first & 0x02 != 0
     }
 }
 
 impl core::fmt::Display for Address {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        let b = self.0;
-        write!(
-            f,
-            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
-            b[0], b[1], b[2], b[3], b[4], b[5]
-        )
+        let [a, b, c, d, e, g] = self.0;
+        write!(f, "{a:02x}:{b:02x}:{c:02x}:{d:02x}:{e:02x}:{g:02x}")
     }
 }
 
@@ -94,7 +93,7 @@ pub struct Frame<T: AsRef<[u8]>> {
 impl<T: AsRef<[u8]>> Frame<T> {
     /// Wrap a buffer without checking its length.
     ///
-    /// Accessors panic if the buffer is shorter than [`HEADER_LEN`]; use
+    /// Accessors on a buffer shorter than [`HEADER_LEN`] read zeros; use
     /// [`Frame::new_checked`] on untrusted input.
     pub fn new_unchecked(buffer: T) -> Frame<T> {
         Frame { buffer }
@@ -120,20 +119,17 @@ impl<T: AsRef<[u8]>> Frame<T> {
     }
 
     fn raw_ethertype(&self) -> u16 {
-        let d = self.buffer.as_ref();
-        u16::from_be_bytes([d[12], d[13]])
+        field::be16(self.buffer.as_ref(), 12)
     }
 
     /// Destination MAC.
     pub fn dst(&self) -> Address {
-        let d = self.buffer.as_ref();
-        Address(d[0..6].try_into().unwrap())
+        Address(field::array6(self.buffer.as_ref(), 0))
     }
 
     /// Source MAC.
     pub fn src(&self) -> Address {
-        let d = self.buffer.as_ref();
-        Address(d[6..12].try_into().unwrap())
+        Address(field::array6(self.buffer.as_ref(), 6))
     }
 
     /// The *effective* EtherType: if the frame carries one 802.1Q tag, the
@@ -141,8 +137,7 @@ impl<T: AsRef<[u8]>> Frame<T> {
     pub fn ethertype(&self) -> EtherType {
         let raw = self.raw_ethertype();
         if raw == 0x8100 {
-            let d = self.buffer.as_ref();
-            EtherType::from(u16::from_be_bytes([d[16], d[17]]))
+            EtherType::from(field::be16(self.buffer.as_ref(), 16))
         } else {
             EtherType::from(raw)
         }
@@ -151,8 +146,7 @@ impl<T: AsRef<[u8]>> Frame<T> {
     /// The 802.1Q VLAN ID, if the frame is tagged.
     pub fn vlan_id(&self) -> Option<u16> {
         if self.raw_ethertype() == 0x8100 {
-            let d = self.buffer.as_ref();
-            Some(u16::from_be_bytes([d[14], d[15]]) & 0x0fff)
+            Some(field::be16(self.buffer.as_ref(), 14) & 0x0fff)
         } else {
             None
         }
@@ -167,33 +161,34 @@ impl<T: AsRef<[u8]>> Frame<T> {
         }
     }
 
-    /// The layer-3 payload (past any VLAN tag).
+    /// The layer-3 payload (past any VLAN tag); empty when the buffer is
+    /// shorter than the header.
     pub fn payload(&self) -> &[u8] {
-        &self.buffer.as_ref()[self.header_len()..]
+        self.buffer.as_ref().get(self.header_len()..).unwrap_or(&[])
     }
 }
 
 impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
     /// Set the destination MAC.
     pub fn set_dst(&mut self, addr: Address) {
-        self.buffer.as_mut()[0..6].copy_from_slice(&addr.0);
+        field::set_bytes(self.buffer.as_mut(), 0, &addr.0);
     }
 
     /// Set the source MAC.
     pub fn set_src(&mut self, addr: Address) {
-        self.buffer.as_mut()[6..12].copy_from_slice(&addr.0);
+        field::set_bytes(self.buffer.as_mut(), 6, &addr.0);
     }
 
     /// Set the EtherType (untagged form).
     pub fn set_ethertype(&mut self, ty: EtherType) {
-        let v: u16 = ty.into();
-        self.buffer.as_mut()[12..14].copy_from_slice(&v.to_be_bytes());
+        field::set_be16(self.buffer.as_mut(), 12, ty.into());
     }
 
-    /// Mutable access to the payload of an untagged frame.
+    /// Mutable access to the payload of an untagged frame; empty when the
+    /// buffer is shorter than the header.
     pub fn payload_mut(&mut self) -> &mut [u8] {
         let off = self.header_len();
-        &mut self.buffer.as_mut()[off..]
+        self.buffer.as_mut().get_mut(off..).unwrap_or(&mut [])
     }
 }
 

@@ -1,0 +1,159 @@
+//! Total field accessors for wire views.
+//!
+//! Parser views validate once in `new_checked` and then read fields at
+//! fixed offsets. These helpers make every read/write *total*: a view
+//! wrapped `new_unchecked` around a short buffer reads zeros (and writes
+//! nowhere) instead of panicking, so no code path from raw bytes to field
+//! access can abort the dataplane. They compile to the same bounds-checked
+//! loads as indexing — the difference is the failure mode, not the cost.
+
+/// Byte at `at`, or 0 past the end.
+#[inline]
+pub(crate) fn byte(d: &[u8], at: usize) -> u8 {
+    d.get(at).copied().unwrap_or(0)
+}
+
+/// Big-endian u16 at `at`, or 0 when truncated.
+#[inline]
+pub(crate) fn be16(d: &[u8], at: usize) -> u16 {
+    match d.get(at..) {
+        Some([a, b, ..]) => u16::from_be_bytes([*a, *b]),
+        _ => 0,
+    }
+}
+
+/// Big-endian u32 at `at`, or 0 when truncated.
+#[inline]
+pub(crate) fn be32(d: &[u8], at: usize) -> u32 {
+    match d.get(at..) {
+        Some([a, b, c, e, ..]) => u32::from_be_bytes([*a, *b, *c, *e]),
+        _ => 0,
+    }
+}
+
+/// Little-endian u32 at `at`, or 0 when truncated (pcap headers are
+/// host-endian, typically little).
+#[inline]
+pub(crate) fn le32(d: &[u8], at: usize) -> u32 {
+    match d.get(at..) {
+        Some([a, b, c, e, ..]) => u32::from_le_bytes([*a, *b, *c, *e]),
+        _ => 0,
+    }
+}
+
+/// Copy of the 4 bytes at `at`, or zeros when truncated.
+#[inline]
+pub(crate) fn array4(d: &[u8], at: usize) -> [u8; 4] {
+    match d.get(at..) {
+        Some([a, b, c, e, ..]) => [*a, *b, *c, *e],
+        _ => [0; 4],
+    }
+}
+
+/// Copy of the 6 bytes at `at`, or zeros when truncated.
+#[inline]
+pub(crate) fn array6(d: &[u8], at: usize) -> [u8; 6] {
+    match d.get(at..) {
+        Some([a, b, c, e, f, g, ..]) => [*a, *b, *c, *e, *f, *g],
+        _ => [0; 6],
+    }
+}
+
+/// Copy of the 16 bytes at `at`, or zeros when truncated.
+#[inline]
+pub(crate) fn array16(d: &[u8], at: usize) -> [u8; 16] {
+    match d.get(at..) {
+        Some(rest) => match rest.first_chunk::<16>() {
+            Some(chunk) => *chunk,
+            None => [0; 16],
+        },
+        None => [0; 16],
+    }
+}
+
+/// Store `v` at `at`; no-op when out of bounds.
+#[inline]
+pub(crate) fn set_byte(d: &mut [u8], at: usize, v: u8) {
+    if let Some(slot) = d.get_mut(at) {
+        *slot = v;
+    }
+}
+
+/// Store a big-endian u16 at `at`; no-op when it does not fit.
+#[inline]
+pub(crate) fn set_be16(d: &mut [u8], at: usize, v: u16) {
+    if let Some([a, b, ..]) = d.get_mut(at..) {
+        [*a, *b] = v.to_be_bytes();
+    }
+}
+
+/// Store a big-endian u32 at `at`; no-op when it does not fit.
+#[inline]
+pub(crate) fn set_be32(d: &mut [u8], at: usize, v: u32) {
+    if let Some([a, b, c, e, ..]) = d.get_mut(at..) {
+        [*a, *b, *c, *e] = v.to_be_bytes();
+    }
+}
+
+/// Copy `src` to `d[at..]`; no-op when it does not fit entirely.
+#[inline]
+pub(crate) fn set_bytes(d: &mut [u8], at: usize, src: &[u8]) {
+    if let Some(dst) = d
+        .get_mut(at..)
+        .and_then(|rest| rest.get_mut(..src.len()))
+    {
+        dst.copy_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_total() {
+        let d = [0x12u8, 0x34, 0x56, 0x78, 0x9a];
+        assert_eq!(byte(&d, 0), 0x12);
+        assert_eq!(byte(&d, 99), 0);
+        assert_eq!(be16(&d, 1), 0x3456);
+        assert_eq!(be16(&d, 4), 0, "one byte short");
+        assert_eq!(be32(&d, 0), 0x12345678);
+        assert_eq!(be32(&d, 2), 0, "two bytes short");
+        assert_eq!(le32(&d, 0), 0x78563412);
+        assert_eq!(le32(&d, 2), 0, "two bytes short");
+        assert_eq!(array4(&d, 1), [0x34, 0x56, 0x78, 0x9a]);
+        assert_eq!(array4(&d, 3), [0; 4]);
+        assert_eq!(array6(&[9u8; 6], 0), [9; 6]);
+        assert_eq!(array6(&d, 0), [0; 6]);
+        assert_eq!(array16(&d, 0), [0; 16]);
+        let long = [7u8; 20];
+        assert_eq!(array16(&long, 2), [7; 16]);
+    }
+
+    #[test]
+    fn writes_are_total() {
+        let mut d = [0u8; 4];
+        set_byte(&mut d, 3, 0xff);
+        set_byte(&mut d, 4, 0xee); // no-op
+        assert_eq!(d, [0, 0, 0, 0xff]);
+        set_be16(&mut d, 0, 0xabcd);
+        assert_eq!(d, [0xab, 0xcd, 0, 0xff]);
+        set_be16(&mut d, 3, 0x1111); // does not fit: untouched
+        assert_eq!(d, [0xab, 0xcd, 0, 0xff]);
+        set_be32(&mut d, 0, 0x01020304);
+        assert_eq!(d, [1, 2, 3, 4]);
+        set_bytes(&mut d, 1, &[9, 9]);
+        assert_eq!(d, [1, 9, 9, 4]);
+        set_bytes(&mut d, 3, &[8, 8]); // does not fit: untouched
+        assert_eq!(d, [1, 9, 9, 4]);
+    }
+
+    #[test]
+    fn usize_max_offsets_do_not_overflow() {
+        let d = [1u8, 2, 3];
+        assert_eq!(be32(&d, usize::MAX), 0);
+        let mut m = [0u8; 3];
+        set_be16(&mut m, usize::MAX, 7);
+        assert_eq!(m, [0; 3]);
+    }
+}

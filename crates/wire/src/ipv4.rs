@@ -6,6 +6,7 @@
 //! header and are skipped).
 
 use crate::checksum::{self, PseudoHeader};
+use crate::field;
 use crate::{Error, Result};
 
 /// Minimum (option-less) IPv4 header length.
@@ -34,7 +35,8 @@ impl Address {
 
     /// True for 127/8.
     pub fn is_loopback(&self) -> bool {
-        self.0[0] == 127
+        let [a, ..] = self.0;
+        a == 127
     }
 }
 
@@ -87,7 +89,8 @@ pub struct Packet<T: AsRef<[u8]>> {
 }
 
 impl<T: AsRef<[u8]>> Packet<T> {
-    /// Wrap a buffer without validation (accessors may panic on short input).
+    /// Wrap a buffer without validation (accessors on short input read
+    /// zeros rather than panicking).
     pub fn new_unchecked(buffer: T) -> Packet<T> {
         Packet { buffer }
     }
@@ -120,40 +123,37 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// IP version field (must be 4).
     pub fn version(&self) -> u8 {
-        self.buffer.as_ref()[0] >> 4
+        field::byte(self.buffer.as_ref(), 0) >> 4
     }
 
     /// Header length in bytes (IHL × 4).
     pub fn header_len(&self) -> usize {
-        ((self.buffer.as_ref()[0] & 0x0f) as usize) * 4
+        usize::from(field::byte(self.buffer.as_ref(), 0) & 0x0f) << 2
     }
 
     /// Total packet length (header + payload) in bytes.
     pub fn total_len(&self) -> usize {
-        let d = self.buffer.as_ref();
-        u16::from_be_bytes([d[2], d[3]]) as usize
+        usize::from(field::be16(self.buffer.as_ref(), 2))
     }
 
     /// Identification field.
     pub fn ident(&self) -> u16 {
-        let d = self.buffer.as_ref();
-        u16::from_be_bytes([d[4], d[5]])
+        field::be16(self.buffer.as_ref(), 4)
     }
 
     /// Don't Fragment bit.
     pub fn dont_frag(&self) -> bool {
-        self.buffer.as_ref()[6] & 0x40 != 0
+        field::byte(self.buffer.as_ref(), 6) & 0x40 != 0
     }
 
     /// More Fragments bit.
     pub fn more_frags(&self) -> bool {
-        self.buffer.as_ref()[6] & 0x20 != 0
+        field::byte(self.buffer.as_ref(), 6) & 0x20 != 0
     }
 
     /// Fragment offset in bytes.
     pub fn frag_offset(&self) -> usize {
-        let d = self.buffer.as_ref();
-        ((u16::from_be_bytes([d[6], d[7]]) & 0x1fff) as usize) * 8
+        usize::from(field::be16(self.buffer.as_ref(), 6) & 0x1fff) << 3
     }
 
     /// True if this packet is a fragment other than the first — such packets
@@ -164,43 +164,42 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Time to live.
     pub fn ttl(&self) -> u8 {
-        self.buffer.as_ref()[8]
+        field::byte(self.buffer.as_ref(), 8)
     }
 
     /// Payload protocol.
     pub fn protocol(&self) -> Protocol {
-        Protocol::from(self.buffer.as_ref()[9])
+        Protocol::from(field::byte(self.buffer.as_ref(), 9))
     }
 
     /// Header checksum field.
     pub fn header_checksum(&self) -> u16 {
-        let d = self.buffer.as_ref();
-        u16::from_be_bytes([d[10], d[11]])
+        field::be16(self.buffer.as_ref(), 10)
     }
 
     /// Source address.
     pub fn src(&self) -> Address {
-        let d = self.buffer.as_ref();
-        Address(d[12..16].try_into().unwrap())
+        Address(field::array4(self.buffer.as_ref(), 12))
     }
 
     /// Destination address.
     pub fn dst(&self) -> Address {
-        let d = self.buffer.as_ref();
-        Address(d[16..20].try_into().unwrap())
+        Address(field::array4(self.buffer.as_ref(), 16))
     }
 
     /// Validate the header checksum.
     pub fn verify_header_checksum(&self) -> bool {
         let hl = self.header_len();
-        checksum::verify(0, &self.buffer.as_ref()[..hl])
+        let header = self.buffer.as_ref().get(..hl).unwrap_or(&[]);
+        checksum::verify(0, header)
     }
 
-    /// The L4 payload as bounded by `total_len`.
+    /// The L4 payload as bounded by `total_len`; empty when the length
+    /// fields are out of range for the buffer.
     pub fn payload(&self) -> &[u8] {
         let hl = self.header_len();
         let tl = self.total_len();
-        &self.buffer.as_ref()[hl..tl]
+        self.buffer.as_ref().get(hl..tl).unwrap_or(&[])
     }
 
     /// The pseudo-header for checksumming this packet's L4 payload.
@@ -209,7 +208,7 @@ impl<T: AsRef<[u8]>> Packet<T> {
             self.src().0,
             self.dst().0,
             self.protocol().into(),
-            (self.total_len() - self.header_len()) as u16,
+            self.total_len().saturating_sub(self.header_len()) as u16,
         )
     }
 }
@@ -218,58 +217,60 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
     /// Set version=4 and the header length (bytes; must be a multiple of 4).
     pub fn set_version_and_header_len(&mut self, header_len: usize) {
         debug_assert!(header_len.is_multiple_of(4) && (MIN_HEADER_LEN..=60).contains(&header_len));
-        self.buffer.as_mut()[0] = 0x40 | (header_len / 4) as u8;
+        field::set_byte(self.buffer.as_mut(), 0, 0x40 | (header_len / 4) as u8);
     }
 
     /// Set the total length field.
     pub fn set_total_len(&mut self, len: usize) {
-        self.buffer.as_mut()[2..4].copy_from_slice(&(len as u16).to_be_bytes());
+        field::set_be16(self.buffer.as_mut(), 2, len as u16);
     }
 
     /// Set the identification field.
     pub fn set_ident(&mut self, v: u16) {
-        self.buffer.as_mut()[4..6].copy_from_slice(&v.to_be_bytes());
+        field::set_be16(self.buffer.as_mut(), 4, v);
     }
 
     /// Clear fragmentation fields and set Don't Fragment.
     pub fn set_unfragmented(&mut self) {
-        self.buffer.as_mut()[6] = 0x40;
-        self.buffer.as_mut()[7] = 0;
+        field::set_byte(self.buffer.as_mut(), 6, 0x40);
+        field::set_byte(self.buffer.as_mut(), 7, 0);
     }
 
     /// Set the TTL.
     pub fn set_ttl(&mut self, ttl: u8) {
-        self.buffer.as_mut()[8] = ttl;
+        field::set_byte(self.buffer.as_mut(), 8, ttl);
     }
 
     /// Set the payload protocol.
     pub fn set_protocol(&mut self, p: Protocol) {
-        self.buffer.as_mut()[9] = p.into();
+        field::set_byte(self.buffer.as_mut(), 9, p.into());
     }
 
     /// Set the source address.
     pub fn set_src(&mut self, a: Address) {
-        self.buffer.as_mut()[12..16].copy_from_slice(&a.0);
+        field::set_bytes(self.buffer.as_mut(), 12, &a.0);
     }
 
     /// Set the destination address.
     pub fn set_dst(&mut self, a: Address) {
-        self.buffer.as_mut()[16..20].copy_from_slice(&a.0);
+        field::set_bytes(self.buffer.as_mut(), 16, &a.0);
     }
 
     /// Compute and store the header checksum (call last).
     pub fn fill_header_checksum(&mut self) {
         let hl = self.header_len();
-        self.buffer.as_mut()[10..12].copy_from_slice(&[0, 0]);
-        let c = checksum::checksum(0, &self.buffer.as_ref()[..hl]);
-        self.buffer.as_mut()[10..12].copy_from_slice(&c.to_be_bytes());
+        field::set_be16(self.buffer.as_mut(), 10, 0);
+        let header = self.buffer.as_ref().get(..hl).unwrap_or(&[]);
+        let c = checksum::checksum(0, header);
+        field::set_be16(self.buffer.as_mut(), 10, c);
     }
 
-    /// Mutable access to the payload region.
+    /// Mutable access to the payload region; empty when the length fields
+    /// are out of range for the buffer.
     pub fn payload_mut(&mut self) -> &mut [u8] {
         let hl = self.header_len();
         let tl = self.total_len();
-        &mut self.buffer.as_mut()[hl..tl]
+        self.buffer.as_mut().get_mut(hl..tl).unwrap_or(&mut [])
     }
 }
 
@@ -301,19 +302,19 @@ impl Repr {
             dst: packet.dst(),
             protocol: packet.protocol(),
             ttl: packet.ttl(),
-            payload_len: packet.total_len() - packet.header_len(),
+            payload_len: packet.total_len().saturating_sub(packet.header_len()),
         })
     }
 
     /// Total emitted length (header + payload).
     pub fn total_len(&self) -> usize {
-        MIN_HEADER_LEN + self.payload_len
+        MIN_HEADER_LEN.saturating_add(self.payload_len)
     }
 
     /// Emit this header into a packet buffer (sized ≥ `total_len`).
     pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
         packet.set_version_and_header_len(MIN_HEADER_LEN);
-        packet.buffer.as_mut()[1] = 0; // DSCP/ECN
+        field::set_byte(packet.buffer.as_mut(), 1, 0); // DSCP/ECN
         packet.set_total_len(self.total_len());
         packet.set_ident(0);
         packet.set_unfragmented();

@@ -5,6 +5,7 @@
 //! destination-options and fragment headers (the common transit set).
 
 use crate::checksum::PseudoHeader;
+use crate::field;
 use crate::ipv4::Protocol;
 use crate::{Error, Result};
 
@@ -19,8 +20,8 @@ impl Address {
     /// Construct from eight 16-bit groups.
     pub fn from_groups(g: [u16; 8]) -> Self {
         let mut b = [0u8; 16];
-        for (i, v) in g.iter().enumerate() {
-            b[i * 2..i * 2 + 2].copy_from_slice(&v.to_be_bytes());
+        for (chunk, v) in b.chunks_exact_mut(2).zip(g) {
+            chunk.copy_from_slice(&v.to_be_bytes());
         }
         Address(b)
     }
@@ -28,20 +29,21 @@ impl Address {
     /// The eight 16-bit groups of the address.
     pub fn groups(&self) -> [u16; 8] {
         let mut g = [0u16; 8];
-        for (i, item) in g.iter_mut().enumerate() {
-            *item = u16::from_be_bytes([self.0[i * 2], self.0[i * 2 + 1]]);
+        for (item, chunk) in g.iter_mut().zip(self.0.chunks_exact(2)) {
+            *item = field::be16(chunk, 0);
         }
         g
     }
 
     /// True for `::1`.
     pub fn is_loopback(&self) -> bool {
-        self.0[..15].iter().all(|&b| b == 0) && self.0[15] == 1
+        u128::from_be_bytes(self.0) == 1
     }
 
     /// True for fc00::/7 unique-local addresses.
     pub fn is_unique_local(&self) -> bool {
-        self.0[0] & 0xfe == 0xfc
+        let [first, ..] = self.0;
+        first & 0xfe == 0xfc
     }
 }
 
@@ -118,7 +120,7 @@ impl<T: AsRef<[u8]>> Packet<T> {
         if p.version() != 6 {
             return Err(Error::BadVersion);
         }
-        if HEADER_LEN + p.payload_len() > len {
+        if p.payload_len() > len.saturating_sub(HEADER_LEN) {
             return Err(Error::BadLength);
         }
         Ok(p)
@@ -131,38 +133,39 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Version field (must be 6).
     pub fn version(&self) -> u8 {
-        self.buffer.as_ref()[0] >> 4
+        field::byte(self.buffer.as_ref(), 0) >> 4
     }
 
     /// Payload length (everything after the fixed header).
     pub fn payload_len(&self) -> usize {
-        let d = self.buffer.as_ref();
-        u16::from_be_bytes([d[4], d[5]]) as usize
+        usize::from(field::be16(self.buffer.as_ref(), 4))
     }
 
     /// Raw Next Header field of the fixed header.
     pub fn next_header(&self) -> u8 {
-        self.buffer.as_ref()[6]
+        field::byte(self.buffer.as_ref(), 6)
     }
 
     /// Hop limit.
     pub fn hop_limit(&self) -> u8 {
-        self.buffer.as_ref()[7]
+        field::byte(self.buffer.as_ref(), 7)
     }
 
     /// Source address.
     pub fn src(&self) -> Address {
-        Address(self.buffer.as_ref()[8..24].try_into().unwrap())
+        Address(field::array16(self.buffer.as_ref(), 8))
     }
 
     /// Destination address.
     pub fn dst(&self) -> Address {
-        Address(self.buffer.as_ref()[24..40].try_into().unwrap())
+        Address(field::array16(self.buffer.as_ref(), 24))
     }
 
-    /// The raw payload (extension headers + upper layer).
+    /// The raw payload (extension headers + upper layer); empty when the
+    /// length field is out of range for the buffer.
     pub fn payload(&self) -> &[u8] {
-        &self.buffer.as_ref()[HEADER_LEN..HEADER_LEN + self.payload_len()]
+        let end = HEADER_LEN.saturating_add(self.payload_len());
+        self.buffer.as_ref().get(HEADER_LEN..end).unwrap_or(&[])
     }
 
     /// Walk extension headers to the upper-layer protocol.
@@ -176,27 +179,27 @@ impl<T: AsRef<[u8]>> Packet<T> {
         loop {
             match nh {
                 NH_HOP_BY_HOP | NH_ROUTING | NH_DEST_OPTS => {
-                    if data.len() < 8 {
+                    let &[next, len8, ..] = data else {
                         return Err(Error::Truncated);
-                    }
-                    let ext_len = 8 + data[1] as usize * 8;
-                    if data.len() < ext_len {
+                    };
+                    let ext_len = usize::from(len8).saturating_add(1) << 3;
+                    let Some(rest) = data.get(ext_len..) else {
                         return Err(Error::Truncated);
-                    }
-                    nh = data[0];
-                    data = &data[ext_len..];
+                    };
+                    nh = next;
+                    data = rest;
                 }
                 NH_FRAGMENT => {
-                    if data.len() < 8 {
+                    let Some((header, rest)) = data.split_at_checked(8) else {
                         return Err(Error::Truncated);
-                    }
-                    let frag_offset = u16::from_be_bytes([data[2], data[3]]) >> 3;
+                    };
+                    let frag_offset = field::be16(header, 2) >> 3;
                     if frag_offset != 0 {
                         // Non-initial fragment: no L4 header present.
-                        return Ok((Protocol::Unknown(NH_FRAGMENT), &data[8..]));
+                        return Ok((Protocol::Unknown(NH_FRAGMENT), rest));
                     }
-                    nh = data[0];
-                    data = &data[8..];
+                    nh = field::byte(header, 0);
+                    data = rest;
                 }
                 other => return Ok((Protocol::from(other), data)),
             }
@@ -218,42 +221,39 @@ impl<T: AsRef<[u8]>> Packet<T> {
 impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
     /// Set version=6 and zero traffic class / flow label.
     pub fn set_version(&mut self) {
-        let d = self.buffer.as_mut();
-        d[0] = 0x60;
-        d[1] = 0;
-        d[2] = 0;
-        d[3] = 0;
+        field::set_be32(self.buffer.as_mut(), 0, 0x6000_0000);
     }
 
     /// Set the payload length field.
     pub fn set_payload_len(&mut self, len: usize) {
-        self.buffer.as_mut()[4..6].copy_from_slice(&(len as u16).to_be_bytes());
+        field::set_be16(self.buffer.as_mut(), 4, len as u16);
     }
 
     /// Set the Next Header field.
     pub fn set_next_header(&mut self, nh: u8) {
-        self.buffer.as_mut()[6] = nh;
+        field::set_byte(self.buffer.as_mut(), 6, nh);
     }
 
     /// Set the hop limit.
     pub fn set_hop_limit(&mut self, hl: u8) {
-        self.buffer.as_mut()[7] = hl;
+        field::set_byte(self.buffer.as_mut(), 7, hl);
     }
 
     /// Set the source address.
     pub fn set_src(&mut self, a: Address) {
-        self.buffer.as_mut()[8..24].copy_from_slice(&a.0);
+        field::set_bytes(self.buffer.as_mut(), 8, &a.0);
     }
 
     /// Set the destination address.
     pub fn set_dst(&mut self, a: Address) {
-        self.buffer.as_mut()[24..40].copy_from_slice(&a.0);
+        field::set_bytes(self.buffer.as_mut(), 24, &a.0);
     }
 
-    /// Mutable payload region.
+    /// Mutable payload region; empty when the length field is out of range
+    /// for the buffer.
     pub fn payload_mut(&mut self) -> &mut [u8] {
-        let pl = self.payload_len();
-        &mut self.buffer.as_mut()[HEADER_LEN..HEADER_LEN + pl]
+        let end = HEADER_LEN.saturating_add(self.payload_len());
+        self.buffer.as_mut().get_mut(HEADER_LEN..end).unwrap_or(&mut [])
     }
 }
 
@@ -286,7 +286,7 @@ impl Repr {
 
     /// Total emitted length.
     pub fn total_len(&self) -> usize {
-        HEADER_LEN + self.payload_len
+        HEADER_LEN.saturating_add(self.payload_len)
     }
 
     /// Emit this header into a buffer (sized ≥ `total_len`).

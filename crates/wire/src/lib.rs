@@ -67,6 +67,7 @@ pub mod pcap;
 pub mod tcp;
 
 mod error;
+mod field;
 
 pub use error::{Error, Result};
 

@@ -9,6 +9,7 @@
 //! since Ruru's whole point is sub-microsecond timestamping; the
 //! microsecond magic (`0xa1b2c3d4`) is read transparently.
 
+use crate::field;
 use crate::{Error, Result};
 use std::io::{Read, Write};
 
@@ -59,12 +60,12 @@ impl<W: Write> Writer<W> {
     /// header immediately.
     pub fn new(mut inner: W) -> std::io::Result<Writer<W>> {
         let mut hdr = [0u8; GLOBAL_HEADER_LEN];
-        hdr[0..4].copy_from_slice(&MAGIC_NANOS.to_le_bytes());
-        hdr[4..6].copy_from_slice(&2u16.to_le_bytes()); // major
-        hdr[6..8].copy_from_slice(&4u16.to_le_bytes()); // minor
+        field::set_bytes(&mut hdr, 0, &MAGIC_NANOS.to_le_bytes());
+        field::set_bytes(&mut hdr, 4, &2u16.to_le_bytes()); // major
+        field::set_bytes(&mut hdr, 6, &4u16.to_le_bytes()); // minor
         // thiszone = 0, sigfigs = 0
-        hdr[16..20].copy_from_slice(&65535u32.to_le_bytes()); // snaplen
-        hdr[20..24].copy_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        field::set_bytes(&mut hdr, 16, &65535u32.to_le_bytes()); // snaplen
+        field::set_bytes(&mut hdr, 20, &LINKTYPE_ETHERNET.to_le_bytes());
         inner.write_all(&hdr)?;
         Ok(Writer { inner })
     }
@@ -74,10 +75,10 @@ impl<W: Write> Writer<W> {
         let mut hdr = [0u8; RECORD_HEADER_LEN];
         let secs = (rec.timestamp_ns / 1_000_000_000) as u32;
         let nanos = (rec.timestamp_ns % 1_000_000_000) as u32;
-        hdr[0..4].copy_from_slice(&secs.to_le_bytes());
-        hdr[4..8].copy_from_slice(&nanos.to_le_bytes());
-        hdr[8..12].copy_from_slice(&(rec.data.len() as u32).to_le_bytes());
-        hdr[12..16].copy_from_slice(&rec.orig_len.to_le_bytes());
+        field::set_bytes(&mut hdr, 0, &secs.to_le_bytes());
+        field::set_bytes(&mut hdr, 4, &nanos.to_le_bytes());
+        field::set_bytes(&mut hdr, 8, &(rec.data.len() as u32).to_le_bytes());
+        field::set_bytes(&mut hdr, 12, &rec.orig_len.to_le_bytes());
         self.inner.write_all(&hdr)?;
         self.inner.write_all(&rec.data)
     }
@@ -102,7 +103,7 @@ impl<R: Read> Reader<R> {
     pub fn new(mut inner: R) -> Result<Reader<R>> {
         let mut hdr = [0u8; GLOBAL_HEADER_LEN];
         inner.read_exact(&mut hdr).map_err(|_| Error::Truncated)?;
-        let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+        let magic = field::le32(&hdr, 0);
         let (swapped, nanos) = match magic {
             MAGIC_MICROS => (false, false),
             MAGIC_NANOS => (false, true),
@@ -110,15 +111,15 @@ impl<R: Read> Reader<R> {
             m if m == MAGIC_NANOS.swap_bytes() => (true, true),
             _ => return Err(Error::UnsupportedFormat),
         };
-        let rd32 = |b: &[u8]| {
-            let v = u32::from_le_bytes(b.try_into().unwrap());
+        let linktype = {
+            let v = field::le32(&hdr, 20);
             if swapped {
                 v.swap_bytes()
             } else {
                 v
             }
         };
-        if rd32(&hdr[20..24]) != LINKTYPE_ETHERNET {
+        if linktype != LINKTYPE_ETHERNET {
             return Err(Error::UnsupportedFormat);
         }
         Ok(Reader {
@@ -133,8 +134,8 @@ impl<R: Read> Reader<R> {
         self.nanos
     }
 
-    fn rd32(&self, b: &[u8]) -> u32 {
-        let v = u32::from_le_bytes(b.try_into().unwrap());
+    fn rd32(&self, hdr: &[u8], at: usize) -> u32 {
+        let v = field::le32(hdr, at);
         if self.swapped {
             v.swap_bytes()
         } else {
@@ -142,19 +143,41 @@ impl<R: Read> Reader<R> {
         }
     }
 
-    /// Read the next record; `None` at clean end-of-file.
+    /// Read the record header, distinguishing a clean end-of-file (no bytes
+    /// at all: `Ok(false)`) from a header cut off mid-way (`Err(Truncated)`).
+    ///
+    /// `read_exact` cannot make that distinction — it reports `UnexpectedEof`
+    /// for both, which previously made a file truncated inside a record
+    /// header look like a clean EOF and silently drop the damage.
+    fn read_record_header(&mut self, hdr: &mut [u8; RECORD_HEADER_LEN]) -> Result<bool> {
+        let mut filled = 0usize;
+        while filled < RECORD_HEADER_LEN {
+            let rest = hdr.get_mut(filled..).unwrap_or(&mut []);
+            match self.inner.read(rest) {
+                Ok(0) if filled == 0 => return Ok(false),
+                Ok(0) => return Err(Error::Truncated),
+                Ok(n) => filled = filled.saturating_add(n),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(Error::Truncated),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Read the next record; `None` at clean end-of-file. A file that ends
+    /// part-way through a record header yields `Some(Err(Truncated))`.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Result<Record>> {
         let mut hdr = [0u8; RECORD_HEADER_LEN];
-        match self.inner.read_exact(&mut hdr) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return None,
-            Err(_) => return Some(Err(Error::Truncated)),
+        match self.read_record_header(&mut hdr) {
+            Ok(true) => {}
+            Ok(false) => return None,
+            Err(e) => return Some(Err(e)),
         }
-        let secs = self.rd32(&hdr[0..4]) as u64;
-        let frac = self.rd32(&hdr[4..8]) as u64;
-        let incl_len = self.rd32(&hdr[8..12]) as usize;
-        let orig_len = self.rd32(&hdr[12..16]);
+        let secs = u64::from(self.rd32(&hdr, 0));
+        let frac = u64::from(self.rd32(&hdr, 4));
+        let incl_len = self.rd32(&hdr, 8) as usize;
+        let orig_len = self.rd32(&hdr, 12);
         if incl_len > 256 * 1024 {
             return Some(Err(Error::BadLength));
         }
@@ -162,7 +185,12 @@ impl<R: Read> Reader<R> {
         if self.inner.read_exact(&mut data).is_err() {
             return Some(Err(Error::Truncated));
         }
-        let timestamp_ns = secs * 1_000_000_000 + if self.nanos { frac } else { frac * 1000 };
+        let frac_ns = if self.nanos {
+            frac
+        } else {
+            frac.saturating_mul(1000)
+        };
+        let timestamp_ns = secs.saturating_mul(1_000_000_000).saturating_add(frac_ns);
         Some(Ok(Record {
             timestamp_ns,
             orig_len,
@@ -307,6 +335,51 @@ mod tests {
         buf.truncate(buf.len() - 2);
         let mut r = Reader::new(&buf[..]).unwrap();
         assert_eq!(r.next(), Some(Err(Error::Truncated)));
+    }
+
+    #[test]
+    fn truncated_record_header_is_an_error_not_eof() {
+        // A file that ends 7 bytes into a 16-byte record header must report
+        // Truncated, not a clean EOF (regression: read_exact's UnexpectedEof
+        // was previously mapped to None).
+        let mut buf = Vec::new();
+        {
+            let mut w = Writer::new(&mut buf).unwrap();
+            w.write(&Record {
+                timestamp_ns: 7,
+                orig_len: 2,
+                data: vec![1, 2],
+            })
+            .unwrap();
+        }
+        buf.truncate(GLOBAL_HEADER_LEN + 7);
+        let mut r = Reader::new(&buf[..]).unwrap();
+        assert_eq!(r.next(), Some(Err(Error::Truncated)));
+        // read_all surfaces the same error.
+        let mut r = Reader::new(&buf[..]).unwrap();
+        assert_eq!(r.read_all(), Err(Error::Truncated));
+    }
+
+    #[test]
+    fn timestamp_near_u64_max_saturates() {
+        // secs = u32::MAX in a microsecond capture: scaling must saturate,
+        // not wrap or abort.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_MICROS.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = Reader::new(&buf[..]).unwrap();
+        let rec = r.next().unwrap().unwrap();
+        assert_eq!(
+            rec.timestamp_ns,
+            u64::from(u32::MAX)
+                .saturating_mul(1_000_000_000)
+                .saturating_add(u64::from(u32::MAX).saturating_mul(1000))
+        );
     }
 
     #[test]

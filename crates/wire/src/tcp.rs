@@ -6,6 +6,7 @@
 //! bytes, and [`OptionList`] is a fixed-capacity collection for emission.
 
 use crate::checksum::PseudoHeader;
+use crate::field;
 use crate::{Error, Result};
 
 /// Minimum (option-less) TCP header length.
@@ -148,7 +149,7 @@ impl TcpOption {
             TcpOption::WindowScale(_) => 3,
             TcpOption::SackPermitted => 2,
             TcpOption::Timestamps { .. } => 10,
-            TcpOption::Unknown { data_len, .. } => 2 + *data_len as usize,
+            TcpOption::Unknown { data_len, .. } => usize::from(*data_len).saturating_add(2),
         }
     }
 }
@@ -181,24 +182,31 @@ impl<'a> Iterator for OptionsIter<'a> {
                 }
                 [kind, len, ..] => {
                     let len = *len as usize;
-                    if len < 2 || len > self.data.len() {
+                    let split = if len < 2 {
+                        None
+                    } else {
+                        self.data.split_at_checked(len)
+                    };
+                    let Some((opt, rest)) = split else {
                         self.data = &[];
                         return Some(Err(Error::Malformed));
-                    }
-                    let (opt, rest) = self.data.split_at(len);
+                    };
                     self.data = rest;
-                    let body = &opt[2..];
-                    let parsed = match (*kind, body.len()) {
-                        (2, 2) => TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])),
-                        (3, 1) => TcpOption::WindowScale(body[0]),
-                        (4, 0) => TcpOption::SackPermitted,
-                        (8, 8) => TcpOption::Timestamps {
-                            tsval: u32::from_be_bytes(body[0..4].try_into().unwrap()),
-                            tsecr: u32::from_be_bytes(body[4..8].try_into().unwrap()),
+                    let body = match opt {
+                        [_, _, body @ ..] => body,
+                        _ => &[],
+                    };
+                    let parsed = match (*kind, body) {
+                        (2, [a, b]) => TcpOption::Mss(u16::from_be_bytes([*a, *b])),
+                        (3, [shift]) => TcpOption::WindowScale(*shift),
+                        (4, []) => TcpOption::SackPermitted,
+                        (8, [v0, v1, v2, v3, e0, e1, e2, e3]) => TcpOption::Timestamps {
+                            tsval: u32::from_be_bytes([*v0, *v1, *v2, *v3]),
+                            tsecr: u32::from_be_bytes([*e0, *e1, *e2, *e3]),
                         },
-                        (k, l) => TcpOption::Unknown {
+                        (k, b) => TcpOption::Unknown {
                             kind: k,
-                            data_len: l as u8,
+                            data_len: b.len() as u8,
                         },
                     };
                     return Some(Ok(parsed));
@@ -232,11 +240,14 @@ impl OptionList {
     /// Append an option. Returns `Err(Malformed)` if capacity or the 40-byte
     /// option-space limit would be exceeded.
     pub fn push(&mut self, opt: TcpOption) -> Result<()> {
-        if self.len == MAX_OPTIONS || self.wire_len_unpadded() + opt.wire_len() > 40 {
+        if self.wire_len_unpadded().saturating_add(opt.wire_len()) > 40 {
             return Err(Error::Malformed);
         }
-        self.opts[self.len] = Some(opt);
-        self.len += 1;
+        let Some(slot) = self.opts.get_mut(self.len) else {
+            return Err(Error::Malformed); // at MAX_OPTIONS capacity
+        };
+        *slot = Some(opt);
+        self.len = self.len.saturating_add(1);
         Ok(())
     }
 
@@ -252,7 +263,7 @@ impl OptionList {
 
     /// Iterate over the stored options.
     pub fn iter(&self) -> impl Iterator<Item = &TcpOption> {
-        self.opts[..self.len].iter().filter_map(|o| o.as_ref())
+        self.opts.iter().take(self.len).filter_map(|o| o.as_ref())
     }
 
     /// Find the timestamps option, if present.
@@ -269,45 +280,55 @@ impl OptionList {
 
     /// The emitted size, padded to a multiple of 4.
     pub fn wire_len(&self) -> usize {
-        self.wire_len_unpadded().div_ceil(4) * 4
+        self.wire_len_unpadded().next_multiple_of(4)
     }
 
     /// Emit into `buf` (must be exactly `wire_len()` bytes), NOP-padding.
+    /// A too-short buffer truncates the emission instead of panicking (the
+    /// resulting header fails checksum/parse validation downstream).
     pub fn emit(&self, buf: &mut [u8]) {
         debug_assert_eq!(buf.len(), self.wire_len());
-        let mut at = 0;
+        let mut rest: &mut [u8] = buf;
         for opt in self.iter() {
-            match *opt {
-                TcpOption::Mss(v) => {
-                    buf[at] = 2;
-                    buf[at + 1] = 4;
-                    buf[at + 2..at + 4].copy_from_slice(&v.to_be_bytes());
+            let Some((chunk, tail)) = std::mem::take(&mut rest).split_at_mut_checked(opt.wire_len())
+            else {
+                return;
+            };
+            // Each arm matches the exact chunk length `wire_len` returned,
+            // so the catch-all is unreachable by construction.
+            match (*opt, chunk) {
+                (TcpOption::Mss(v), [k, l, a, b]) => {
+                    *k = 2;
+                    *l = 4;
+                    [*a, *b] = v.to_be_bytes();
                 }
-                TcpOption::WindowScale(s) => {
-                    buf[at] = 3;
-                    buf[at + 1] = 3;
-                    buf[at + 2] = s;
+                (TcpOption::WindowScale(s), [k, l, v]) => {
+                    *k = 3;
+                    *l = 3;
+                    *v = s;
                 }
-                TcpOption::SackPermitted => {
-                    buf[at] = 4;
-                    buf[at + 1] = 2;
+                (TcpOption::SackPermitted, [k, l]) => {
+                    *k = 4;
+                    *l = 2;
                 }
-                TcpOption::Timestamps { tsval, tsecr } => {
-                    buf[at] = 8;
-                    buf[at + 1] = 10;
-                    buf[at + 2..at + 6].copy_from_slice(&tsval.to_be_bytes());
-                    buf[at + 6..at + 10].copy_from_slice(&tsecr.to_be_bytes());
+                (TcpOption::Timestamps { tsval, tsecr }, [k, l, v0, v1, v2, v3, e0, e1, e2, e3]) => {
+                    *k = 8;
+                    *l = 10;
+                    [*v0, *v1, *v2, *v3] = tsval.to_be_bytes();
+                    [*e0, *e1, *e2, *e3] = tsecr.to_be_bytes();
                 }
-                TcpOption::Unknown { kind, data_len } => {
-                    buf[at] = kind;
-                    buf[at + 1] = 2 + data_len;
-                    buf[at + 2..at + 2 + data_len as usize].fill(0);
+                (TcpOption::Unknown { kind, data_len }, [k, l, body @ ..]) => {
+                    *k = kind;
+                    // data_len <= 38: push() caps the option space at 40.
+                    *l = data_len.saturating_add(2);
+                    body.fill(0);
                 }
+                _ => {}
             }
-            at += opt.wire_len();
+            rest = tail;
         }
         // NOP-pad to the 4-byte boundary.
-        buf[at..].fill(1);
+        rest.fill(1);
     }
 }
 
@@ -347,36 +368,32 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Source port.
     pub fn src_port(&self) -> u16 {
-        let d = self.buffer.as_ref();
-        u16::from_be_bytes([d[0], d[1]])
+        field::be16(self.buffer.as_ref(), 0)
     }
 
     /// Destination port.
     pub fn dst_port(&self) -> u16 {
-        let d = self.buffer.as_ref();
-        u16::from_be_bytes([d[2], d[3]])
+        field::be16(self.buffer.as_ref(), 2)
     }
 
     /// Sequence number.
     pub fn seq(&self) -> u32 {
-        let d = self.buffer.as_ref();
-        u32::from_be_bytes(d[4..8].try_into().unwrap())
+        field::be32(self.buffer.as_ref(), 4)
     }
 
     /// Acknowledgment number.
     pub fn ack(&self) -> u32 {
-        let d = self.buffer.as_ref();
-        u32::from_be_bytes(d[8..12].try_into().unwrap())
+        field::be32(self.buffer.as_ref(), 8)
     }
 
     /// Header length in bytes (data offset × 4).
     pub fn header_len(&self) -> usize {
-        ((self.buffer.as_ref()[12] >> 4) as usize) * 4
+        usize::from(field::byte(self.buffer.as_ref(), 12) >> 4) << 2
     }
 
     /// Raw flag byte.
     pub fn flags(&self) -> u8 {
-        self.buffer.as_ref()[13]
+        field::byte(self.buffer.as_ref(), 13)
     }
 
     /// Parsed flag set.
@@ -386,19 +403,21 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Receive window.
     pub fn window(&self) -> u16 {
-        let d = self.buffer.as_ref();
-        u16::from_be_bytes([d[14], d[15]])
+        field::be16(self.buffer.as_ref(), 14)
     }
 
     /// Checksum field.
     pub fn checksum(&self) -> u16 {
-        let d = self.buffer.as_ref();
-        u16::from_be_bytes([d[16], d[17]])
+        field::be16(self.buffer.as_ref(), 16)
     }
 
-    /// Raw option bytes (between byte 20 and the data offset).
+    /// Raw option bytes (between byte 20 and the data offset); empty when
+    /// the offsets are out of range for the buffer.
     pub fn options_raw(&self) -> &[u8] {
-        &self.buffer.as_ref()[MIN_HEADER_LEN..self.header_len()]
+        self.buffer
+            .as_ref()
+            .get(MIN_HEADER_LEN..self.header_len())
+            .unwrap_or(&[])
     }
 
     /// Iterate the parsed options.
@@ -406,9 +425,10 @@ impl<T: AsRef<[u8]>> Packet<T> {
         OptionsIter::new(self.options_raw())
     }
 
-    /// The segment payload.
+    /// The segment payload; empty when the data offset is out of range.
     pub fn payload(&self) -> &[u8] {
-        &self.buffer.as_ref()[self.header_len()..]
+        let hl = self.header_len();
+        self.buffer.as_ref().get(hl..).unwrap_or(&[])
     }
 
     /// Verify the TCP checksum under `ph` (covering header + payload).
@@ -420,51 +440,51 @@ impl<T: AsRef<[u8]>> Packet<T> {
 impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
     /// Set the source port.
     pub fn set_src_port(&mut self, v: u16) {
-        self.buffer.as_mut()[0..2].copy_from_slice(&v.to_be_bytes());
+        field::set_be16(self.buffer.as_mut(), 0, v);
     }
 
     /// Set the destination port.
     pub fn set_dst_port(&mut self, v: u16) {
-        self.buffer.as_mut()[2..4].copy_from_slice(&v.to_be_bytes());
+        field::set_be16(self.buffer.as_mut(), 2, v);
     }
 
     /// Set the sequence number.
     pub fn set_seq(&mut self, v: u32) {
-        self.buffer.as_mut()[4..8].copy_from_slice(&v.to_be_bytes());
+        field::set_be32(self.buffer.as_mut(), 4, v);
     }
 
     /// Set the acknowledgment number.
     pub fn set_ack(&mut self, v: u32) {
-        self.buffer.as_mut()[8..12].copy_from_slice(&v.to_be_bytes());
+        field::set_be32(self.buffer.as_mut(), 8, v);
     }
 
     /// Set the data offset (header length in bytes, multiple of 4).
     pub fn set_header_len(&mut self, len: usize) {
         debug_assert!(len.is_multiple_of(4) && (MIN_HEADER_LEN..=MAX_HEADER_LEN).contains(&len));
-        self.buffer.as_mut()[12] = ((len / 4) as u8) << 4;
+        field::set_byte(self.buffer.as_mut(), 12, ((len / 4) as u8) << 4);
     }
 
     /// Set the flag byte.
     pub fn set_flags(&mut self, flags: Flags) {
-        self.buffer.as_mut()[13] = flags.0;
+        field::set_byte(self.buffer.as_mut(), 13, flags.0);
     }
 
     /// Set the receive window.
     pub fn set_window(&mut self, v: u16) {
-        self.buffer.as_mut()[14..16].copy_from_slice(&v.to_be_bytes());
+        field::set_be16(self.buffer.as_mut(), 14, v);
     }
 
     /// Compute and store the checksum under `ph` (call last).
     pub fn fill_checksum(&mut self, ph: &PseudoHeader) {
-        self.buffer.as_mut()[16..18].copy_from_slice(&[0, 0]);
+        field::set_be16(self.buffer.as_mut(), 16, 0);
         let c = ph.checksum(self.buffer.as_ref());
-        self.buffer.as_mut()[16..18].copy_from_slice(&c.to_be_bytes());
+        field::set_be16(self.buffer.as_mut(), 16, c);
     }
 
-    /// Mutable payload region.
+    /// Mutable payload region; empty when the data offset is out of range.
     pub fn payload_mut(&mut self) -> &mut [u8] {
         let hl = self.header_len();
-        &mut self.buffer.as_mut()[hl..]
+        self.buffer.as_mut().get_mut(hl..).unwrap_or(&mut [])
     }
 }
 
@@ -518,7 +538,7 @@ impl Repr {
 
     /// Emitted header length (fixed header + padded options).
     pub fn header_len(&self) -> usize {
-        MIN_HEADER_LEN + self.options.wire_len()
+        MIN_HEADER_LEN.saturating_add(self.options.wire_len())
     }
 
     /// Emit into a buffer sized `header_len() + payload`; the payload must
@@ -531,10 +551,10 @@ impl Repr {
         packet.set_header_len(self.header_len());
         packet.set_flags(self.flags);
         packet.set_window(self.window);
-        packet.buffer.as_mut()[18..20].copy_from_slice(&[0, 0]); // urgent ptr
-        let optlen = self.options.wire_len();
-        self.options
-            .emit(&mut packet.buffer.as_mut()[MIN_HEADER_LEN..MIN_HEADER_LEN + optlen]);
+        field::set_be16(packet.buffer.as_mut(), 18, 0); // urgent ptr
+        if let Some(region) = packet.buffer.as_mut().get_mut(MIN_HEADER_LEN..self.header_len()) {
+            self.options.emit(region);
+        }
         packet.fill_checksum(ph);
     }
 }

@@ -2,6 +2,10 @@
 //! totality on arbitrary bytes, and checksum invariants.
 
 
+// Tests are exempt from the panic-freedom policy (DESIGN.md §10):
+// unwrap/expect on known-good fixtures is idiomatic here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 // Proptest exercises thousands of cases per property: far too slow under
 // Miri's interpreter, and the properties are memory-safety-neutral anyway.
 #![cfg(not(miri))]

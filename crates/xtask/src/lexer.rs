@@ -1,0 +1,356 @@
+//! A tiny hand-rolled Rust lexer shared by `lint` and `panic-check`.
+//!
+//! Produces a per-line [`FileView`]: the code with comments and string/char
+//! literals blanked out (structure preserved), the comment text alone (for
+//! `SAFETY:` / `lint: relaxed-ok` / `panic-ok:` annotations), and marks for
+//! `#[cfg(test)] mod … { … }` regions. Keyword scans over `code` therefore
+//! cannot be fooled by doc text or string contents.
+
+use std::path::{Path, PathBuf};
+
+/// Per-line view of a source file after lexing.
+pub struct FileView {
+    /// Source lines with comments and string/char literals removed.
+    pub code: Vec<String>,
+    /// Comment text per line (without the code).
+    pub comments: Vec<String>,
+    /// True for lines inside a `mod tests { … }` region.
+    pub in_tests: Vec<bool>,
+}
+
+/// Strip comments and string/char/byte literals from `source`, keeping the
+/// line structure. Handles `//`, nested `/* */`, `"…"` with escapes, raw
+/// strings `r#"…"#`, byte strings, char literals (including `'\''`), and
+/// lifetimes (`'a` is not a char literal).
+pub fn lex(source: &str) -> FileView {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut state = State::Code;
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied().unwrap_or('\0');
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code.push(String::new());
+            comments.push(String::new());
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if next == '/' => {
+                    state = State::LineComment;
+                    comments.last_mut().unwrap().push_str("//");
+                    i += 2;
+                }
+                '/' if next == '*' => {
+                    state = State::BlockComment(1);
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    code.last_mut().unwrap().push('"');
+                    i += 1;
+                }
+                'r' | 'b' => {
+                    // Possible raw/byte string start: r", r#", br", b"…
+                    let mut j = i + 1;
+                    if bytes.get(j) == Some(&'r') && c == 'b' {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') && (hashes > 0 || j > i + usize::from(c == 'b')) {
+                        state = State::RawStr(hashes);
+                        code.last_mut().unwrap().push('"');
+                        i = j + 1;
+                    } else if c == 'b' && bytes.get(i + 1) == Some(&'"') {
+                        state = State::Str;
+                        code.last_mut().unwrap().push('"');
+                        i += 2;
+                    } else {
+                        code.last_mut().unwrap().push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs. lifetime: a lifetime is '<ident> not
+                    // followed by a closing quote.
+                    let is_char = match bytes.get(i + 1) {
+                        Some('\\') => true,
+                        Some(&d) => bytes.get(i + 2) == Some(&'\'') || !unicode_ident(d),
+                        None => false,
+                    };
+                    if is_char {
+                        state = State::Char;
+                        code.last_mut().unwrap().push('\'');
+                    } else {
+                        code.last_mut().unwrap().push('\'');
+                    }
+                    i += 1;
+                }
+                _ => {
+                    code.last_mut().unwrap().push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                comments.last_mut().unwrap().push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == '/' {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == '*' {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comments.last_mut().unwrap().push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    code.last_mut().unwrap().push('"');
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && bytes.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        state = State::Code;
+                        code.last_mut().unwrap().push('"');
+                        i = j;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::Char => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    code.last_mut().unwrap().push('\'');
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    let in_tests = mark_test_regions(&code);
+    FileView {
+        code,
+        comments,
+        in_tests,
+    }
+}
+
+/// True for characters that can be part of a Rust identifier.
+pub fn unicode_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Mark the lines inside `mod tests { … }` (and `#[cfg(test)] mod … { … }`)
+/// by brace counting on the comment-stripped code.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_tests = vec![false; code.len()];
+    let mut depth: i32 = 0;
+    let mut active = false;
+    let mut saw_cfg_test = false;
+    for (idx, line) in code.iter().enumerate() {
+        if !active {
+            let trimmed = line.trim();
+            if trimmed.contains("#[cfg(test)]") {
+                saw_cfg_test = true;
+            }
+            let is_mod_tests = trimmed.starts_with("mod tests")
+                || trimmed.starts_with("pub mod tests")
+                || (saw_cfg_test && trimmed.starts_with("mod "));
+            if is_mod_tests && line.contains('{') {
+                active = true;
+                saw_cfg_test = false;
+                depth = 0;
+            } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
+                saw_cfg_test = false;
+            }
+        }
+        if active {
+            in_tests[idx] = true;
+            for c in line.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            active = false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    in_tests
+}
+
+/// True when the contiguous comment block directly above `idx` (or the
+/// comment on `idx` itself) contains `needle`.
+pub fn annotated_above(view: &FileView, idx: usize, needle: &str) -> bool {
+    annotation_above(view, idx, needle).is_some()
+}
+
+/// Like [`annotated_above`], but returns the text following `needle` on the
+/// matching comment line (trimmed), so callers can audit the reason given.
+pub fn annotation_above(view: &FileView, idx: usize, needle: &str) -> Option<String> {
+    annotation_above_at(view, idx, needle).map(|(_, r)| r)
+}
+
+/// Like [`annotation_above`], but also returns the 0-based line index of the
+/// comment that carried the annotation (for used/unused auditing).
+pub fn annotation_above_at(view: &FileView, idx: usize, needle: &str) -> Option<(usize, String)> {
+    let reason = |comment: &str| {
+        comment
+            .find(needle)
+            .map(|at| comment[at + needle.len()..].trim().to_string())
+    };
+    if let Some(r) = reason(&view.comments[idx]) {
+        return Some((idx, r));
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let comment = &view.comments[i];
+        if let Some(r) = reason(comment) {
+            return Some((i, r));
+        }
+        // A line with no comment — whether blank or real code — ends the
+        // attached comment block.
+        if comment.is_empty() {
+            return None;
+        }
+    }
+    None
+}
+
+/// Recursively collect `.rs` files under `dir` (skipping `target/`).
+pub fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Locate the workspace root: walk up from this file's manifest.
+pub fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <root>/crates/xtask at compile time; at run time
+    // prefer the cwd cargo sets for `cargo run` (the invocation dir), so
+    // fall back to walking up until a directory containing `crates/` and a
+    // workspace Cargo.toml appears.
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        if let Some(root) = Path::new(&dir).ancestors().nth(2) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            panic!("workspace root not found");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_blanked() {
+        let v = lex("let s = \"unsafe\"; // unsafe here\n/* unsafe */ let t = 1;\n");
+        assert!(!v.code[0].contains("unsafe"));
+        assert!(v.comments[0].contains("unsafe here"));
+        assert!(!v.code[1].contains("unsafe"));
+        assert!(v.code[1].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_handled() {
+        let v = lex("fn f<'a>(x: &'a str) { let r = r#\"panic!\"#; let c = '\\''; }\n");
+        assert!(!v.code[0].contains("panic!"));
+        assert!(v.code[0].contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn test_regions_marked() {
+        let v = lex("fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n");
+        // The trailing newline yields a final empty line.
+        assert_eq!(
+            v.in_tests,
+            vec![false, false, true, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn annotation_reason_extracted() {
+        let v = lex("// panic-ok: bounded by construction\nlet x = a[0];\n");
+        assert_eq!(
+            annotation_above(&v, 1, "panic-ok:").as_deref(),
+            Some("bounded by construction")
+        );
+        let v = lex("let x = a[0]; // panic-ok: same line\n");
+        assert_eq!(
+            annotation_above(&v, 0, "panic-ok:").as_deref(),
+            Some("same line")
+        );
+        let v = lex("// panic-ok: stale\n\nlet x = a[0];\n");
+        assert_eq!(annotation_above(&v, 2, "panic-ok:"), None);
+    }
+}

@@ -1,0 +1,323 @@
+//! `cargo xtask lint` — the concurrency invariants rustc cannot enforce
+//! (see DESIGN.md §9). Rules:
+//!
+//! 1. **unsafe-allowlist** — `unsafe` code may only appear in the modules
+//!    that implement the two lock-free structures (`ruru-nic`'s `ring.rs`
+//!    and `queue.rs`) and in the model checker itself (`crates/loom`).
+//! 2. **safety-comment** — every `unsafe` block or `unsafe impl` must have
+//!    a `// SAFETY:` comment on the same line or in the comment block
+//!    immediately above it.
+//! 3. **seqcst-ban** — `Ordering::SeqCst` is banned (`crates/loom` exempt).
+//! 4. **relaxed-head-tail** — a `Relaxed` access on a line touching the
+//!    ring's `head`/`tail` counters must carry a `lint: relaxed-ok` comment.
+//! 5. **sleep-ban** — `thread::sleep` may not appear in the poll-mode hot
+//!    path; idle waiting must go through `ruru_nic::backoff::Backoff`.
+//! 6. **raw-atomic-import** — inside the shimmed crates (`ruru-nic`,
+//!    `ruru-mq`), production code must take atomics from the crate's
+//!    `sync` shim, never `std::sync::atomic` directly.
+//!
+//! Test code (`mod tests` regions, `tests/` files, `benches/`) is exempt
+//! from 4–6.
+
+use crate::lexer::{annotated_above, collect_rs_files, lex, unicode_ident, FileView};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Run the lint over `<root>/crates`, printing violations.
+pub fn lint(root: &Path) -> ExitCode {
+    match lint_dir(root) {
+        Ok((files, violations)) => {
+            if violations.is_empty() {
+                println!("xtask lint: {files} files clean");
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Collect every violation under `<root>/crates`; returns (files checked,
+/// violations). Separated from [`lint`] so fixture tests can drive it.
+pub fn lint_dir(root: &Path) -> Result<(usize, Vec<Violation>), String> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+    let mut violations = Vec::new();
+    for path in &files {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        violations.extend(check_file(&rel, &source));
+    }
+    Ok((files.len(), violations))
+}
+
+/// One lint finding, displayed as `path:line: [rule] message`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Files allowed to contain `unsafe` (the audited lock-free cores and the
+/// model checker).
+fn unsafe_allowed(path: &str) -> bool {
+    path == "crates/nic/src/ring.rs"
+        || path == "crates/nic/src/queue.rs"
+        || path.starts_with("crates/loom/")
+        || path.starts_with("crates/xtask/")
+}
+
+/// Crates exempt from the SeqCst ban (the checker dispatches on orderings;
+/// xtask's own sources spell them in lint rules and tests).
+fn seqcst_allowed(path: &str) -> bool {
+    path.starts_with("crates/loom/") || path.starts_with("crates/xtask/")
+}
+
+/// Production code of the shimmed crates: must import atomics via `sync`.
+fn shimmed(path: &str) -> bool {
+    (path.starts_with("crates/nic/src/") || path.starts_with("crates/mq/src/"))
+        && !path.ends_with("/sync.rs")
+}
+
+/// Hot-path modules where `thread::sleep` is banned.
+fn hot_path(path: &str) -> bool {
+    path.starts_with("crates/nic/src/") || path == "crates/pipeline/src/engine.rs"
+}
+
+/// Integration-test / bench files: exempt from the style rules (4–6).
+fn test_file(path: &str) -> bool {
+    path.contains("/tests/") || path.contains("/benches/")
+}
+
+/// Apply every rule to one file.
+pub fn check_file(path: &str, source: &str) -> Vec<Violation> {
+    let view: FileView = lex(source);
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<Violation>, line: usize, rule: &'static str, message: String| {
+        out.push(Violation {
+            path: path.to_string(),
+            line: line + 1,
+            rule,
+            message,
+        });
+    };
+
+    for (idx, line) in view.code.iter().enumerate() {
+        let has_word = |w: &str| {
+            line.match_indices(w).any(|(pos, _)| {
+                let before = line[..pos].chars().next_back();
+                let after = line[pos + w.len()..].chars().next();
+                !before.is_some_and(unicode_ident) && !after.is_some_and(unicode_ident)
+            })
+        };
+
+        // Rule 1 + 2: unsafe allowlist and SAFETY comments.
+        if has_word("unsafe") {
+            if !unsafe_allowed(path) {
+                push(
+                    &mut out,
+                    idx,
+                    "unsafe-allowlist",
+                    "`unsafe` outside the audited lock-free modules (ring.rs, queue.rs, crates/loom)"
+                        .into(),
+                );
+            } else if !annotated_above(&view, idx, "SAFETY:") {
+                push(
+                    &mut out,
+                    idx,
+                    "safety-comment",
+                    "`unsafe` without a `// SAFETY:` comment on or directly above it".into(),
+                );
+            }
+        }
+
+        // Rule 3: SeqCst ban.
+        if line.contains("SeqCst") && !seqcst_allowed(path) {
+            push(
+                &mut out,
+                idx,
+                "seqcst-ban",
+                "`Ordering::SeqCst` is banned; use the weakest ordering that is provably sufficient"
+                    .into(),
+            );
+        }
+
+        let in_test_code = view.in_tests[idx] || test_file(path);
+
+        // Rule 4: Relaxed on head/tail needs a relaxed-ok annotation.
+        if !in_test_code
+            && !seqcst_allowed(path)
+            && line.contains("Relaxed")
+            && (has_word("head") || has_word("tail"))
+            && !annotated_above(&view, idx, "lint: relaxed-ok")
+        {
+            push(
+                &mut out,
+                idx,
+                "relaxed-head-tail",
+                "`Relaxed` access to a head/tail counter without a `lint: relaxed-ok` justification"
+                    .into(),
+            );
+        }
+
+        // Rule 5: no sleeping on the hot path.
+        if !in_test_code && hot_path(path) && line.contains("thread::sleep") {
+            push(
+                &mut out,
+                idx,
+                "sleep-ban",
+                "`thread::sleep` in a poll-mode hot module; use backoff::Backoff".into(),
+            );
+        }
+
+        // Rule 6: shimmed crates must not bypass the sync shim.
+        if !in_test_code && shimmed(path) && line.contains("std::sync::atomic") {
+            push(
+                &mut out,
+                idx,
+                "raw-atomic-import",
+                "raw `std::sync::atomic` in a shimmed crate; import via the crate's `sync` module"
+                    .into(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(path: &str, src: &str) -> Vec<&'static str> {
+        check_file(path, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn clean_file_passes() {
+        let src = "use crate::sync::atomic::AtomicU64;\nfn f() -> u32 { 1 }\n";
+        assert!(rules("crates/nic/src/port.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_flagged() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert_eq!(rules("crates/mq/src/chan.rs", src), ["unsafe-allowlist"]);
+        // Same code in an allowlisted file only wants a SAFETY comment.
+        assert_eq!(rules("crates/nic/src/ring.rs", src), ["safety-comment"]);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_allowlisted_unsafe() {
+        let src = "// SAFETY: p is valid for reads by contract.\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert!(rules("crates/nic/src/ring.rs", src).is_empty());
+        let inline = "fn f(p: *const u8) -> u8 { unsafe { *p } } // SAFETY: contract\n";
+        assert!(rules("crates/nic/src/queue.rs", inline).is_empty());
+    }
+
+    #[test]
+    fn blank_line_detaches_safety_comment() {
+        let src = "// SAFETY: stale justification.\n\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert_eq!(rules("crates/nic/src/ring.rs", src), ["safety-comment"]);
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_strings_ignored() {
+        let src = "//! This module avoids unsafe code.\nconst HINT: &str = \"unsafe\";\n/* unsafe */\n";
+        assert!(rules("crates/flow/src/table.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seqcst_flagged_except_in_loom() {
+        let src = "fn f(x: &std::sync::atomic::AtomicU32) { x.load(core::sync::atomic::Ordering::SeqCst); }\n";
+        assert_eq!(
+            rules("crates/tsdb/src/store.rs", src),
+            ["seqcst-ban"]
+        );
+        assert!(rules("crates/loom/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_head_tail_needs_annotation() {
+        let bad = "let h = self.head.load(Ordering::Relaxed);\n";
+        assert_eq!(rules("crates/nic/src/ring.rs", bad), ["relaxed-head-tail"]);
+        let ok = "// Own counter. lint: relaxed-ok\nlet h = self.head.load(Ordering::Relaxed);\n";
+        assert!(rules("crates/nic/src/ring.rs", ok).is_empty());
+        let inline = "let h = self.head.load(Ordering::Relaxed); // lint: relaxed-ok\n";
+        assert!(rules("crates/nic/src/ring.rs", inline).is_empty());
+    }
+
+    #[test]
+    fn sleep_flagged_only_on_hot_path() {
+        let src = "fn idle() { std::thread::sleep(d); }\n";
+        assert_eq!(rules("crates/nic/src/lcore.rs", src), ["sleep-ban"]);
+        assert_eq!(rules("crates/pipeline/src/engine.rs", src), ["sleep-ban"]);
+        assert!(rules("crates/mq/src/tcp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_atomic_flagged_in_shimmed_crates_only() {
+        let src = "use std::sync::atomic::AtomicU64;\n";
+        assert_eq!(
+            rules("crates/nic/src/clock.rs", src),
+            ["raw-atomic-import"]
+        );
+        assert_eq!(rules("crates/mq/src/chan.rs", src), ["raw-atomic-import"]);
+        // The shim itself and unshimmed crates are exempt.
+        assert!(rules("crates/nic/src/sync.rs", src).is_empty());
+        assert!(rules("crates/tsdb/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt_from_style_rules() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicU64;\n    fn t() { std::thread::sleep(d); }\n}\n";
+        assert!(rules("crates/nic/src/lcore.rs", src).is_empty());
+        // …but not from the unsafe allowlist (rule 1 is structural).
+        let with_unsafe = "#[cfg(test)]\nmod tests {\n    fn t(p: *const u8) -> u8 { unsafe { *p } }\n}\n";
+        assert_eq!(
+            rules("crates/mq/src/chan.rs", with_unsafe),
+            ["unsafe-allowlist"]
+        );
+    }
+
+    #[test]
+    fn integration_test_files_exempt_from_style_rules() {
+        let src = "use std::sync::atomic::AtomicU64;\nfn f() { std::thread::sleep(d); }\n";
+        assert!(rules("crates/nic/tests/prop_nic.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lexer_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nconst R: &str = r#\"unsafe SeqCst thread::sleep\"#;\nconst C: char = '\\'';\n";
+        assert!(rules("crates/nic/src/port.rs", src).is_empty());
+    }
+}

@@ -1,615 +1,29 @@
 //! `cargo xtask` — repo automation, dependency-free by design.
 //!
-//! The one subcommand, `lint`, enforces the concurrency invariants that
-//! rustc cannot (see DESIGN.md §9). Rules:
+//! Subcommands:
 //!
-//! 1. **unsafe-allowlist** — `unsafe` code may only appear in the modules
-//!    that implement the two lock-free structures (`ruru-nic`'s `ring.rs`
-//!    and `queue.rs`) and in the model checker itself (`crates/loom`).
-//!    Everything else must stay safe Rust; new unsafe requires widening the
-//!    allowlist in review, not sprinkling `unsafe` ad hoc.
-//! 2. **safety-comment** — every `unsafe` block or `unsafe impl` must have
-//!    a `// SAFETY:` comment on the same line or in the comment block
-//!    immediately above it, stating the invariant that makes it sound.
-//! 3. **seqcst-ban** — `Ordering::SeqCst` is banned: it is never needed in
-//!    this codebase and usually papers over not knowing the real ordering.
-//!    (`crates/loom` is exempt — it *dispatches on* user-passed orderings.)
-//! 4. **relaxed-head-tail** — a `Relaxed` access on a line touching the
-//!    ring's `head`/`tail` counters must carry a `lint: relaxed-ok` comment
-//!    on the line or just above it, documenting why the weak ordering is
-//!    sound (typically: it is the accessor's own single-writer counter).
-//! 5. **sleep-ban** — `thread::sleep` may not appear in the poll-mode hot
-//!    path (`crates/nic/src`, `crates/pipeline/src/engine.rs`); idle
-//!    waiting there must go through `ruru_nic::backoff::Backoff` so the
-//!    spin → yield → park policy stays uniform and loom-checkable.
-//! 6. **raw-atomic-import** — inside the shimmed crates (`ruru-nic`,
-//!    `ruru-mq`), production code must take atomics from the crate's
-//!    `sync` shim, never `std::sync::atomic` directly, or a `--cfg loom`
-//!    build silently stops instrumenting them.
-//!
-//! Test code (`mod tests` regions, `tests/` files, `benches/`) is exempt
-//! from 4–6: tests may use bare std primitives freely.
+//! - `lint` — the six concurrency invariants rustc cannot enforce
+//!   (unsafe allowlist, SAFETY comments, SeqCst ban, relaxed-ok audit,
+//!   sleep ban, sync-shim imports). See [`lint`] and DESIGN.md §9.
+//! - `panic-check [--root DIR]` — dataplane panic-freedom analyzer:
+//!   call-graph reachability from the RX/parse/flow/codec/mq entry points
+//!   to classified panic sites, with `panic-ok` annotation auditing and
+//!   call-chain witnesses. See [`panic_check`] and DESIGN.md §10.
 
-use std::path::{Path, PathBuf};
+mod lexer;
+mod lint;
+mod panic_check;
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint::lint(&lexer::workspace_root()),
+        Some("panic-check") => panic_check::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint | panic-check [--root DIR]>");
             ExitCode::from(2)
         }
-    }
-}
-
-fn lint() -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    collect_rs_files(&root.join("crates"), &mut files);
-    files.sort();
-    let mut violations = Vec::new();
-    for path in &files {
-        let source = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("xtask: cannot read {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let rel = path
-            .strip_prefix(&root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        violations.extend(check_file(&rel, &source));
-    }
-    if violations.is_empty() {
-        println!("xtask lint: {} files clean", files.len());
-        ExitCode::SUCCESS
-    } else {
-        for v in &violations {
-            eprintln!("{v}");
-        }
-        eprintln!("xtask lint: {} violation(s)", violations.len());
-        ExitCode::FAILURE
-    }
-}
-
-/// Locate the workspace root: walk up from this file's manifest.
-fn workspace_root() -> PathBuf {
-    // CARGO_MANIFEST_DIR = <root>/crates/xtask at compile time; at run time
-    // prefer the cwd cargo sets for `cargo run` (the invocation dir), so
-    // fall back to walking up until a directory containing `crates/` and a
-    // workspace Cargo.toml appears.
-    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
-        if let Some(root) = Path::new(&dir).ancestors().nth(2) {
-            if root.join("Cargo.toml").is_file() {
-                return root.to_path_buf();
-            }
-        }
-    }
-    let mut dir = std::env::current_dir().expect("cwd");
-    loop {
-        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
-            return dir;
-        }
-        if !dir.pop() {
-            panic!("workspace root not found");
-        }
-    }
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// One lint finding, displayed as `path:line: [rule] message`.
-#[derive(Debug, PartialEq, Eq)]
-struct Violation {
-    path: String,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl std::fmt::Display for Violation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.message
-        )
-    }
-}
-
-/// Per-line view of a source file after lexing: the code with comments and
-/// string/char literals blanked out (structure preserved), plus the comment
-/// text alone (for SAFETY / relaxed-ok annotations), plus test-region marks.
-struct FileView {
-    code: Vec<String>,
-    comments: Vec<String>,
-    in_tests: Vec<bool>,
-}
-
-/// Strip comments and string/char/byte literals from `source`, keeping the
-/// line structure, so keyword scans cannot be fooled by doc text or string
-/// contents. A tiny hand-rolled lexer: handles `//`, nested `/* */`, `"…"`
-/// with escapes, raw strings `r#"…"#`, byte strings, char literals
-/// (including `'\''`), and lifetimes (`'a` is not a char literal).
-fn lex(source: &str) -> FileView {
-    #[derive(PartialEq)]
-    enum State {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(usize),
-        Char,
-    }
-    let mut state = State::Code;
-    let mut code = vec![String::new()];
-    let mut comments = vec![String::new()];
-    let bytes: Vec<char> = source.chars().collect();
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i];
-        let next = bytes.get(i + 1).copied().unwrap_or('\0');
-        if c == '\n' {
-            if state == State::LineComment {
-                state = State::Code;
-            }
-            code.push(String::new());
-            comments.push(String::new());
-            i += 1;
-            continue;
-        }
-        match state {
-            State::Code => match c {
-                '/' if next == '/' => {
-                    state = State::LineComment;
-                    comments.last_mut().unwrap().push_str("//");
-                    i += 2;
-                }
-                '/' if next == '*' => {
-                    state = State::BlockComment(1);
-                    i += 2;
-                }
-                '"' => {
-                    state = State::Str;
-                    code.last_mut().unwrap().push('"');
-                    i += 1;
-                }
-                'r' | 'b' => {
-                    // Possible raw/byte string start: r", r#", br", b"…
-                    let mut j = i + 1;
-                    if bytes.get(j) == Some(&'r') && c == 'b' {
-                        j += 1;
-                    }
-                    let mut hashes = 0;
-                    while bytes.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if bytes.get(j) == Some(&'"') && (hashes > 0 || j > i + usize::from(c == 'b')) {
-                        state = State::RawStr(hashes);
-                        code.last_mut().unwrap().push('"');
-                        i = j + 1;
-                    } else if c == 'b' && bytes.get(i + 1) == Some(&'"') {
-                        state = State::Str;
-                        code.last_mut().unwrap().push('"');
-                        i += 2;
-                    } else {
-                        code.last_mut().unwrap().push(c);
-                        i += 1;
-                    }
-                }
-                '\'' => {
-                    // Char literal vs. lifetime: a lifetime is '<ident> not
-                    // followed by a closing quote.
-                    let is_char = match bytes.get(i + 1) {
-                        Some('\\') => true,
-                        Some(&d) => bytes.get(i + 2) == Some(&'\'') || !unicode_ident(d),
-                        None => false,
-                    };
-                    if is_char {
-                        state = State::Char;
-                        code.last_mut().unwrap().push('\'');
-                    } else {
-                        code.last_mut().unwrap().push('\'');
-                    }
-                    i += 1;
-                }
-                _ => {
-                    code.last_mut().unwrap().push(c);
-                    i += 1;
-                }
-            },
-            State::LineComment => {
-                comments.last_mut().unwrap().push(c);
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                if c == '*' && next == '/' {
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                    i += 2;
-                } else if c == '/' && next == '*' {
-                    state = State::BlockComment(depth + 1);
-                    i += 2;
-                } else {
-                    comments.last_mut().unwrap().push(c);
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if c == '\\' {
-                    i += 2;
-                } else if c == '"' {
-                    state = State::Code;
-                    code.last_mut().unwrap().push('"');
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == '"' {
-                    let mut j = i + 1;
-                    let mut seen = 0;
-                    while seen < hashes && bytes.get(j) == Some(&'#') {
-                        seen += 1;
-                        j += 1;
-                    }
-                    if seen == hashes {
-                        state = State::Code;
-                        code.last_mut().unwrap().push('"');
-                        i = j;
-                        continue;
-                    }
-                }
-                i += 1;
-            }
-            State::Char => {
-                if c == '\\' {
-                    i += 2;
-                } else if c == '\'' {
-                    state = State::Code;
-                    code.last_mut().unwrap().push('\'');
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-        }
-    }
-    let in_tests = mark_test_regions(&code);
-    FileView {
-        code,
-        comments,
-        in_tests,
-    }
-}
-
-fn unicode_ident(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// Mark the lines inside `mod tests { … }` (and `#[cfg(test)] mod … { … }`)
-/// by brace counting on the comment-stripped code.
-fn mark_test_regions(code: &[String]) -> Vec<bool> {
-    let mut in_tests = vec![false; code.len()];
-    let mut depth: i32 = 0;
-    let mut active = false;
-    let mut saw_cfg_test = false;
-    for (idx, line) in code.iter().enumerate() {
-        if !active {
-            let trimmed = line.trim();
-            if trimmed.contains("#[cfg(test)]") {
-                saw_cfg_test = true;
-            }
-            let is_mod_tests = trimmed.starts_with("mod tests")
-                || trimmed.starts_with("pub mod tests")
-                || (saw_cfg_test && trimmed.starts_with("mod "));
-            if is_mod_tests && line.contains('{') {
-                active = true;
-                saw_cfg_test = false;
-                depth = 0;
-            } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
-                saw_cfg_test = false;
-            }
-        }
-        if active {
-            in_tests[idx] = true;
-            for c in line.chars() {
-                match c {
-                    '{' => depth += 1,
-                    '}' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            active = false;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-    }
-    in_tests
-}
-
-/// Files allowed to contain `unsafe` (the audited lock-free cores and the
-/// model checker).
-fn unsafe_allowed(path: &str) -> bool {
-    path == "crates/nic/src/ring.rs"
-        || path == "crates/nic/src/queue.rs"
-        || path.starts_with("crates/loom/")
-        || path.starts_with("crates/xtask/")
-}
-
-/// Crates exempt from the SeqCst ban (the checker dispatches on orderings;
-/// xtask's own sources spell them in lint rules and tests).
-fn seqcst_allowed(path: &str) -> bool {
-    path.starts_with("crates/loom/") || path.starts_with("crates/xtask/")
-}
-
-/// Production code of the shimmed crates: must import atomics via `sync`.
-fn shimmed(path: &str) -> bool {
-    (path.starts_with("crates/nic/src/") || path.starts_with("crates/mq/src/"))
-        && !path.ends_with("/sync.rs")
-}
-
-/// Hot-path modules where `thread::sleep` is banned.
-fn hot_path(path: &str) -> bool {
-    path.starts_with("crates/nic/src/") || path == "crates/pipeline/src/engine.rs"
-}
-
-/// Integration-test / bench files: exempt from the style rules (4–6).
-fn test_file(path: &str) -> bool {
-    path.contains("/tests/") || path.contains("/benches/")
-}
-
-/// True when the contiguous comment block directly above `idx` (or the
-/// comment on `idx` itself) contains `needle`.
-fn annotated_above(view: &FileView, idx: usize, needle: &str) -> bool {
-    if view.comments[idx].contains(needle) {
-        return true;
-    }
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let code = view.code[i].trim();
-        let comment = &view.comments[i];
-        if comment.contains(needle) {
-            return true;
-        }
-        // Stop once a line has real code and no comment: the block ended.
-        if !code.is_empty() && comment.is_empty() {
-            return false;
-        }
-        if comment.is_empty() && code.is_empty() {
-            // Blank line also ends the attached comment block.
-            return false;
-        }
-    }
-    false
-}
-
-fn check_file(path: &str, source: &str) -> Vec<Violation> {
-    let view = lex(source);
-    let mut out = Vec::new();
-    let push = |out: &mut Vec<Violation>, line: usize, rule: &'static str, message: String| {
-        out.push(Violation {
-            path: path.to_string(),
-            line: line + 1,
-            rule,
-            message,
-        });
-    };
-
-    for (idx, line) in view.code.iter().enumerate() {
-        let has_word = |w: &str| {
-            line.match_indices(w).any(|(pos, _)| {
-                let before = line[..pos].chars().next_back();
-                let after = line[pos + w.len()..].chars().next();
-                !before.is_some_and(unicode_ident) && !after.is_some_and(unicode_ident)
-            })
-        };
-
-        // Rule 1 + 2: unsafe allowlist and SAFETY comments.
-        if has_word("unsafe") {
-            if !unsafe_allowed(path) {
-                push(
-                    &mut out,
-                    idx,
-                    "unsafe-allowlist",
-                    "`unsafe` outside the audited lock-free modules (ring.rs, queue.rs, crates/loom)"
-                        .into(),
-                );
-            } else if !annotated_above(&view, idx, "SAFETY:") {
-                push(
-                    &mut out,
-                    idx,
-                    "safety-comment",
-                    "`unsafe` without a `// SAFETY:` comment on or directly above it".into(),
-                );
-            }
-        }
-
-        // Rule 3: SeqCst ban.
-        if line.contains("SeqCst") && !seqcst_allowed(path) {
-            push(
-                &mut out,
-                idx,
-                "seqcst-ban",
-                "`Ordering::SeqCst` is banned; use the weakest ordering that is provably sufficient"
-                    .into(),
-            );
-        }
-
-        let in_test_code = view.in_tests[idx] || test_file(path);
-
-        // Rule 4: Relaxed on head/tail needs a relaxed-ok annotation.
-        if !in_test_code
-            && !seqcst_allowed(path)
-            && line.contains("Relaxed")
-            && (has_word("head") || has_word("tail"))
-            && !annotated_above(&view, idx, "lint: relaxed-ok")
-        {
-            push(
-                &mut out,
-                idx,
-                "relaxed-head-tail",
-                "`Relaxed` access to a head/tail counter without a `lint: relaxed-ok` justification"
-                    .into(),
-            );
-        }
-
-        // Rule 5: no sleeping on the hot path.
-        if !in_test_code && hot_path(path) && line.contains("thread::sleep") {
-            push(
-                &mut out,
-                idx,
-                "sleep-ban",
-                "`thread::sleep` in a poll-mode hot module; use backoff::Backoff".into(),
-            );
-        }
-
-        // Rule 6: shimmed crates must not bypass the sync shim.
-        if !in_test_code && shimmed(path) && line.contains("std::sync::atomic") {
-            push(
-                &mut out,
-                idx,
-                "raw-atomic-import",
-                "raw `std::sync::atomic` in a shimmed crate; import via the crate's `sync` module"
-                    .into(),
-            );
-        }
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn rules(path: &str, src: &str) -> Vec<&'static str> {
-        check_file(path, src).into_iter().map(|v| v.rule).collect()
-    }
-
-    #[test]
-    fn clean_file_passes() {
-        let src = "use crate::sync::atomic::AtomicU64;\nfn f() -> u32 { 1 }\n";
-        assert!(rules("crates/nic/src/port.rs", src).is_empty());
-    }
-
-    #[test]
-    fn unsafe_outside_allowlist_flagged() {
-        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
-        assert_eq!(rules("crates/mq/src/chan.rs", src), ["unsafe-allowlist"]);
-        // Same code in an allowlisted file only wants a SAFETY comment.
-        assert_eq!(rules("crates/nic/src/ring.rs", src), ["safety-comment"]);
-    }
-
-    #[test]
-    fn safety_comment_satisfies_allowlisted_unsafe() {
-        let src = "// SAFETY: p is valid for reads by contract.\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
-        assert!(rules("crates/nic/src/ring.rs", src).is_empty());
-        let inline = "fn f(p: *const u8) -> u8 { unsafe { *p } } // SAFETY: contract\n";
-        assert!(rules("crates/nic/src/queue.rs", inline).is_empty());
-    }
-
-    #[test]
-    fn blank_line_detaches_safety_comment() {
-        let src = "// SAFETY: stale justification.\n\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
-        assert_eq!(rules("crates/nic/src/ring.rs", src), ["safety-comment"]);
-    }
-
-    #[test]
-    fn unsafe_in_comments_and_strings_ignored() {
-        let src = "//! This module avoids unsafe code.\nconst HINT: &str = \"unsafe\";\n/* unsafe */\n";
-        assert!(rules("crates/flow/src/table.rs", src).is_empty());
-    }
-
-    #[test]
-    fn seqcst_flagged_except_in_loom() {
-        let src = "fn f(x: &std::sync::atomic::AtomicU32) { x.load(core::sync::atomic::Ordering::SeqCst); }\n";
-        assert_eq!(
-            rules("crates/tsdb/src/store.rs", src),
-            ["seqcst-ban"]
-        );
-        assert!(rules("crates/loom/src/lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn relaxed_head_tail_needs_annotation() {
-        let bad = "let h = self.head.load(Ordering::Relaxed);\n";
-        assert_eq!(rules("crates/nic/src/ring.rs", bad), ["relaxed-head-tail"]);
-        let ok = "// Own counter. lint: relaxed-ok\nlet h = self.head.load(Ordering::Relaxed);\n";
-        assert!(rules("crates/nic/src/ring.rs", ok).is_empty());
-        let inline = "let h = self.head.load(Ordering::Relaxed); // lint: relaxed-ok\n";
-        assert!(rules("crates/nic/src/ring.rs", inline).is_empty());
-    }
-
-    #[test]
-    fn sleep_flagged_only_on_hot_path() {
-        let src = "fn idle() { std::thread::sleep(d); }\n";
-        assert_eq!(rules("crates/nic/src/lcore.rs", src), ["sleep-ban"]);
-        assert_eq!(rules("crates/pipeline/src/engine.rs", src), ["sleep-ban"]);
-        assert!(rules("crates/mq/src/tcp.rs", src).is_empty());
-    }
-
-    #[test]
-    fn raw_atomic_flagged_in_shimmed_crates_only() {
-        let src = "use std::sync::atomic::AtomicU64;\n";
-        assert_eq!(
-            rules("crates/nic/src/clock.rs", src),
-            ["raw-atomic-import"]
-        );
-        assert_eq!(rules("crates/mq/src/chan.rs", src), ["raw-atomic-import"]);
-        // The shim itself and unshimmed crates are exempt.
-        assert!(rules("crates/nic/src/sync.rs", src).is_empty());
-        assert!(rules("crates/tsdb/src/store.rs", src).is_empty());
-    }
-
-    #[test]
-    fn test_regions_are_exempt_from_style_rules() {
-        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicU64;\n    fn t() { std::thread::sleep(d); }\n}\n";
-        assert!(rules("crates/nic/src/lcore.rs", src).is_empty());
-        // …but not from the unsafe allowlist (rule 1 is structural).
-        let with_unsafe = "#[cfg(test)]\nmod tests {\n    fn t(p: *const u8) -> u8 { unsafe { *p } }\n}\n";
-        assert_eq!(
-            rules("crates/mq/src/chan.rs", with_unsafe),
-            ["unsafe-allowlist"]
-        );
-    }
-
-    #[test]
-    fn integration_test_files_exempt_from_style_rules() {
-        let src = "use std::sync::atomic::AtomicU64;\nfn f() { std::thread::sleep(d); }\n";
-        assert!(rules("crates/nic/tests/prop_nic.rs", src).is_empty());
-    }
-
-    #[test]
-    fn lexer_handles_raw_strings_and_lifetimes() {
-        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nconst R: &str = r#\"unsafe SeqCst thread::sleep\"#;\nconst C: char = '\\'';\n";
-        assert!(rules("crates/nic/src/port.rs", src).is_empty());
     }
 }

@@ -1,0 +1,1377 @@
+//! `cargo xtask panic-check` — dataplane panic-freedom analyzer.
+//!
+//! Parses the six hot-path crates (`wire`, `nic`, `flow`, `mq`, `tsdb`,
+//! `pipeline`) with the shared hand-rolled lexer, extracts every function
+//! with its span and enclosing `impl` type, builds an intra-workspace call
+//! graph by name (qualified calls `Type::fn` resolve only to that type's
+//! impl; unqualified calls over-approximate to every same-named function),
+//! and walks reachability from the dataplane entry points (RX burst loop,
+//! parser views, flow-table ops, handshake machine, codec, mq send/recv).
+//!
+//! Panic sources classified in non-test code:
+//!   - `unwrap` / `expect`
+//!   - `panic!` / `unreachable!` / `todo!` / `unimplemented!` /
+//!     `assert!` / `assert_eq!` / `assert_ne!` (debug_assert* exempt —
+//!     compiled out of release dataplane builds)
+//!   - slice/array indexing `x[i]` (`x[..]` exempt: infallible)
+//!   - integer `/` and `%` with a non-literal divisor
+//!   - bare `+` / `-` / `*` on the wire-arithmetic surface (`crates/wire`,
+//!     `flow/src/measurement.rs`) outside `checked_*`/`wrapping_*` forms
+//!     (debug builds panic on overflow; adversarial wire input controls
+//!     these operands)
+//!
+//! A site reachable from a root fails the build unless annotated
+//! `// panic-ok: <reason>` on the line or in the comment block directly
+//! above it. Annotations are audited: an empty reason or an annotation that
+//! suppresses nothing is itself a violation. Output is a per-crate report
+//! with a call-chain witness (root → … → panic site) for each violation.
+//!
+//! Known soundness limits (documented in DESIGN.md §10): macro-expanded
+//! code is invisible; trait-object and closure dispatch produce no edges;
+//! calls qualified with external types (`HashMap::get`) are leaves;
+//! multi-line expressions are classified line-by-line.
+
+use crate::lexer::{annotation_above_at, collect_rs_files, lex, unicode_ident, FileView};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// The crates whose steady-state code must be panic-free.
+pub const DATAPLANE_CRATES: &[&str] = &["wire", "nic", "flow", "mq", "tsdb", "pipeline"];
+
+/// Dataplane entry points: (crate, fn name); `"*"` roots every fn in the
+/// crate. `new`/constructors are deliberately NOT rooted — init-time
+/// config-validation panics are accepted policy; `wire` is wildcarded
+/// because every parser view must be total on adversarial bytes.
+const ROOTS: &[(&str, &str)] = &[
+    ("wire", "*"),
+    // RX burst loop + fault injection + RSS steering + SPSC ring ops.
+    ("nic", "rx_burst"),
+    ("nic", "inject"),
+    ("nic", "inject_at"),
+    ("nic", "apply"),
+    ("nic", "hash_v4"),
+    ("nic", "hash_v6"),
+    ("nic", "hash_tuple"),
+    ("nic", "queue_for"),
+    ("nic", "parse_rss_tuple"),
+    ("nic", "push"),
+    ("nic", "pop"),
+    ("nic", "push_burst"),
+    ("nic", "pop_burst"),
+    // Handshake state machine, flow table, classifier, codec.
+    ("flow", "process"),
+    ("flow", "housekeep"),
+    ("flow", "insert"),
+    ("flow", "get"),
+    ("flow", "get_mut"),
+    ("flow", "remove"),
+    ("flow", "expire"),
+    ("flow", "classify"),
+    ("flow", "decode"),
+    ("flow", "encode"),
+    ("flow", "encode_into"),
+    // Message-queue send/recv surface.
+    ("mq", "send"),
+    ("mq", "send_batch"),
+    ("mq", "try_send"),
+    ("mq", "recv"),
+    ("mq", "recv_timeout"),
+    ("mq", "try_recv"),
+    ("mq", "recv_batch"),
+    ("mq", "try_recv_batch"),
+    ("mq", "publish"),
+    ("mq", "publish_batch"),
+    ("mq", "encode_frame"),
+    ("mq", "read_frame"),
+    // Time-series ingest/query path.
+    ("tsdb", "write"),
+    ("tsdb", "write_line"),
+    ("tsdb", "parse"),
+    ("tsdb", "encode"),
+    ("tsdb", "query"),
+    ("tsdb", "to_snapshot"),
+    ("tsdb", "from_snapshot"),
+    ("tsdb", "downsample"),
+    ("tsdb", "compute"),
+    ("tsdb", "percentile_sorted"),
+    // Engine worker + detector loops (named fns, not spawn closures).
+    ("pipeline", "dataplane_worker"),
+    ("pipeline", "detector_loop"),
+];
+
+/// Files where bare `+`/`-`/`*` is a panic source (wire-derived operands).
+fn arith_surface(path: &str) -> bool {
+    path.starts_with("crates/wire/src/") || path == "crates/flow/src/measurement.rs"
+}
+
+/// One panic-site finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired (`unwrap`, `expect`, `panic-macro`, `index`,
+    /// `div`, `arith`, `panic-ok-empty`, `panic-ok-unused`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// `crate::fn` the site lives in.
+    pub func: String,
+    /// Trimmed source line.
+    pub snippet: String,
+    /// Call-chain witness: root → … → containing fn (`crate::fn` each).
+    pub witness: Vec<String>,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}:{}: [{}] in `{}`: {}",
+            self.path, self.line, self.rule, self.func, self.snippet
+        )?;
+        write!(f, "    witness: {}", self.witness.join(" -> "))
+    }
+}
+
+/// The full result of one `panic-check` run.
+pub struct Analysis {
+    /// Functions extracted across the scanned crates.
+    pub fn_count: usize,
+    /// Resolved intra-workspace call edges.
+    pub edge_count: usize,
+    /// Unannotated panic sites reachable from a root — these fail the run.
+    pub violations: Vec<Finding>,
+    /// Suppressed sites: (path, 1-based line, audited reason).
+    pub audited: Vec<(String, usize, String)>,
+    /// `panic-ok` audit failures (empty reason, unused annotation).
+    pub annotation_errors: Vec<Finding>,
+    /// Panic sites in functions no root reaches (reported, not fatal).
+    pub unreachable_sites: usize,
+    /// Per-crate (crate, fns, reachable fns, violations).
+    pub per_crate: Vec<(String, usize, usize, usize)>,
+}
+
+/// CLI entry: `cargo xtask panic-check [--root DIR]`.
+pub fn run(args: &[String]) -> ExitCode {
+    let mut root = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(d) => root = Some(std::path::PathBuf::from(d)),
+                None => {
+                    eprintln!("panic-check: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("panic-check: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(crate::lexer::workspace_root);
+    match analyze(&root) {
+        Ok(a) => report(&a),
+        Err(e) => {
+            eprintln!("panic-check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Print the per-crate report and turn the analysis into an exit code.
+fn report(a: &Analysis) -> ExitCode {
+    println!(
+        "panic-check: {} fns, {} call edges across {}",
+        a.fn_count,
+        a.edge_count,
+        DATAPLANE_CRATES.join(", ")
+    );
+    for (name, fns, reachable, viols) in &a.per_crate {
+        println!("  {name:<9} {fns:>4} fns  {reachable:>4} reachable  {viols:>3} violation(s)");
+    }
+    println!(
+        "  audited panic-ok sites: {}; panic sites outside the reachable dataplane: {}",
+        a.audited.len(),
+        a.unreachable_sites
+    );
+    let total = a.violations.len() + a.annotation_errors.len();
+    if total == 0 {
+        println!("panic-check: clean");
+        return ExitCode::SUCCESS;
+    }
+    for v in a.violations.iter().chain(&a.annotation_errors) {
+        eprintln!("{v}");
+    }
+    eprintln!("panic-check: {total} violation(s)");
+    ExitCode::FAILURE
+}
+
+// ---------------------------------------------------------------------------
+// Source model
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+    rel: String,
+    crate_name: String,
+    view: FileView,
+    raw: Vec<String>,
+}
+
+/// Character stream of the comment/string-stripped code with a line map,
+/// for scans that cross line boundaries (fn spans, impl headers, calls).
+struct Flat {
+    chars: Vec<char>,
+    line_of: Vec<usize>,
+}
+
+fn flatten(view: &FileView) -> Flat {
+    let mut chars = Vec::new();
+    let mut line_of = Vec::new();
+    for (ln, l) in view.code.iter().enumerate() {
+        for c in l.chars() {
+            chars.push(c);
+            line_of.push(ln);
+        }
+        chars.push('\n');
+        line_of.push(ln);
+    }
+    Flat { chars, line_of }
+}
+
+struct FnDef {
+    file: usize,
+    name: String,
+    impl_type: Option<String>,
+    is_pub: bool,
+    start_line: usize,
+    end_line: usize,
+    body_start: usize,
+    body_end: usize,
+}
+
+struct Call {
+    name: String,
+    qualifier: Option<String>,
+}
+
+/// Run the analyzer over `<root>/crates/{wire,nic,flow,mq,tsdb,pipeline}/src`.
+pub fn analyze(root: &Path) -> Result<Analysis, String> {
+    let mut files = Vec::new();
+    for krate in DATAPLANE_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        let mut paths = Vec::new();
+        collect_rs_files(&src, &mut paths);
+        paths.sort();
+        for path in paths {
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(SourceFile {
+                rel,
+                crate_name: krate.to_string(),
+                view: lex(&source),
+                raw: source.lines().map(str::to_string).collect(),
+            });
+        }
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "no dataplane sources under {}/crates",
+            root.display()
+        ));
+    }
+
+    // --- extract fns (with impl context) per file ------------------------
+    let flats: Vec<Flat> = files.iter().map(|f| flatten(&f.view)).collect();
+    let mut fns: Vec<FnDef> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        let flat = &flats[fi];
+        let impls = extract_impls(flat);
+        for f in extract_fns(flat, &file.view, fi, &impls) {
+            fns.push(f);
+        }
+    }
+
+    // --- resolution indexes ---------------------------------------------
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut by_type: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    let mut impl_types: HashSet<&str> = HashSet::new();
+    let mut by_module: HashMap<String, Vec<usize>> = HashMap::new();
+    for (id, f) in fns.iter().enumerate() {
+        by_name.entry(&f.name).or_default().push(id);
+        if let Some(t) = &f.impl_type {
+            impl_types.insert(t);
+            by_type
+                .entry((t.clone(), f.name.clone()))
+                .or_default()
+                .push(id);
+        }
+        let file = &files[f.file];
+        if let Some(stem) = Path::new(&file.rel).file_stem().and_then(|s| s.to_str()) {
+            if stem != "lib" && stem != "mod" {
+                by_module.entry(stem.to_string()).or_default().push(id);
+            }
+        }
+        by_module
+            .entry(format!("ruru_{}", file.crate_name))
+            .or_default()
+            .push(id);
+    }
+
+    // --- call edges ------------------------------------------------------
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+    let mut edge_count = 0usize;
+    for (id, f) in fns.iter().enumerate() {
+        let flat = &flats[f.file];
+        let view = &files[f.file].view;
+        let mut out: HashSet<usize> = HashSet::new();
+        for call in extract_calls(flat, view, f.body_start, f.body_end) {
+            for target in resolve(&call, f, &by_name, &by_type, &impl_types, &by_module) {
+                if target != id {
+                    out.insert(target);
+                }
+            }
+        }
+        let mut out: Vec<usize> = out.into_iter().collect();
+        out.sort_unstable();
+        edge_count += out.len();
+        edges[id] = out;
+    }
+
+    // --- reachability (BFS with parent pointers for witnesses) ----------
+    let mut parent: Vec<Option<usize>> = vec![None; fns.len()];
+    let mut reachable = vec![false; fns.len()];
+    let mut queue = VecDeque::new();
+    for (id, f) in fns.iter().enumerate() {
+        let krate = &files[f.file].crate_name;
+        let rooted = ROOTS
+            .iter()
+            .any(|(c, n)| c == krate && ((*n == "*" && f.is_pub) || *n == f.name));
+        if rooted {
+            reachable[id] = true;
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for &next in &edges[id] {
+            if !reachable[next] {
+                reachable[next] = true;
+                parent[next] = Some(id);
+                queue.push_back(next);
+            }
+        }
+    }
+    let label = |id: usize| -> String {
+        let f = &fns[id];
+        format!("{}::{}", files[f.file].crate_name, f.name)
+    };
+    let witness = |id: usize| -> Vec<String> {
+        let mut chain = vec![label(id)];
+        let mut cur = id;
+        while let Some(p) = parent[cur] {
+            chain.push(label(p));
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    };
+
+    // --- panic-site scan -------------------------------------------------
+    // Innermost-fn attribution per file: fn ids sorted by span size.
+    let mut fns_by_file: Vec<Vec<usize>> = vec![Vec::new(); files.len()];
+    for (id, f) in fns.iter().enumerate() {
+        fns_by_file[f.file].push(id);
+    }
+    let innermost = |file: usize, line: usize| -> Option<usize> {
+        fns_by_file[file]
+            .iter()
+            .copied()
+            .filter(|&id| fns[id].start_line <= line && line <= fns[id].end_line)
+            .min_by_key(|&id| fns[id].end_line - fns[id].start_line)
+    };
+
+    let mut violations = Vec::new();
+    let mut audited = Vec::new();
+    let mut annotation_errors = Vec::new();
+    let mut unreachable_sites = 0usize;
+    let mut crate_viols: HashMap<&str, usize> = HashMap::new();
+    let mut used_annotations: HashSet<(usize, usize)> = HashSet::new();
+
+    for (fi, file) in files.iter().enumerate() {
+        for (idx, line) in file.view.code.iter().enumerate() {
+            if file.view.in_tests[idx] || line.trim_start().starts_with('#') {
+                continue;
+            }
+            let mut rules: Vec<&'static str> = Vec::new();
+            if line.contains(".unwrap()") {
+                rules.push("unwrap");
+            }
+            if line.contains(".expect(") {
+                rules.push("expect");
+            }
+            if has_panic_macro(line) {
+                rules.push("panic-macro");
+            }
+            if has_panicking_index(line) {
+                rules.push("index");
+            }
+            if has_unchecked_div(line) {
+                rules.push("div");
+            }
+            if arith_surface(&file.rel) && has_unchecked_arith(line) {
+                rules.push("arith");
+            }
+            if rules.is_empty() {
+                continue;
+            }
+            let Some(owner) = innermost(fi, idx) else {
+                continue; // const/static item: evaluated at compile time
+            };
+            // panic-ok suppression (covers every rule on the line).
+            if let Some((ann_line, reason)) = annotation_above_at(&file.view, idx, "panic-ok:") {
+                used_annotations.insert((fi, ann_line));
+                if reason.is_empty() {
+                    annotation_errors.push(Finding {
+                        rule: "panic-ok-empty",
+                        path: file.rel.clone(),
+                        line: ann_line + 1,
+                        func: label(owner),
+                        snippet: snippet(file, ann_line),
+                        witness: vec!["annotation audit".into()],
+                    });
+                } else {
+                    audited.push((file.rel.clone(), idx + 1, reason));
+                }
+                continue;
+            }
+            if !reachable[owner] {
+                unreachable_sites += rules.len();
+                continue;
+            }
+            for rule in rules {
+                *crate_viols.entry(crate_of(&file.rel)).or_default() += 1;
+                violations.push(Finding {
+                    rule,
+                    path: file.rel.clone(),
+                    line: idx + 1,
+                    func: label(owner),
+                    snippet: snippet(file, idx),
+                    witness: witness(owner),
+                });
+            }
+        }
+    }
+
+    // --- unused annotations ----------------------------------------------
+    for (fi, file) in files.iter().enumerate() {
+        for (idx, comment) in file.view.comments.iter().enumerate() {
+            if file.view.in_tests[idx] || !comment.contains("panic-ok:") {
+                continue;
+            }
+            if !used_annotations.contains(&(fi, idx)) {
+                annotation_errors.push(Finding {
+                    rule: "panic-ok-unused",
+                    path: file.rel.clone(),
+                    line: idx + 1,
+                    func: "-".into(),
+                    snippet: snippet(file, idx),
+                    witness: vec!["annotation audit".into()],
+                });
+            }
+        }
+    }
+
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    annotation_errors.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+
+    let mut per_crate = Vec::new();
+    for krate in DATAPLANE_CRATES {
+        let ids: Vec<usize> = fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| files[f.file].crate_name == *krate)
+            .map(|(id, _)| id)
+            .collect();
+        let reach = ids.iter().filter(|&&id| reachable[id]).count();
+        per_crate.push((
+            krate.to_string(),
+            ids.len(),
+            reach,
+            crate_viols.get(krate).copied().unwrap_or(0),
+        ));
+    }
+
+    Ok(Analysis {
+        fn_count: fns.len(),
+        edge_count,
+        violations,
+        audited,
+        annotation_errors,
+        unreachable_sites,
+        per_crate,
+    })
+}
+
+fn snippet(file: &SourceFile, idx: usize) -> String {
+    file.raw.get(idx).map(|s| s.trim().to_string()).unwrap_or_default()
+}
+
+fn crate_of(rel: &str) -> &'static str {
+    for krate in DATAPLANE_CRATES {
+        if rel.starts_with(&format!("crates/{krate}/")) {
+            return krate;
+        }
+    }
+    "?"
+}
+
+// ---------------------------------------------------------------------------
+// Extraction: impl blocks, fn spans, call sites
+// ---------------------------------------------------------------------------
+
+/// True when `chars[i..]` starts the word `w` with ident boundaries on both
+/// sides.
+fn word_at(chars: &[char], i: usize, w: &str) -> bool {
+    if i > 0 && unicode_ident(chars[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    for wc in w.chars() {
+        if chars.get(j) != Some(&wc) {
+            return false;
+        }
+        j += 1;
+    }
+    !chars.get(j).copied().is_some_and(unicode_ident)
+}
+
+fn skip_ws(chars: &[char], mut i: usize) -> usize {
+    while chars.get(i).copied().is_some_and(char::is_whitespace) {
+        i += 1;
+    }
+    i
+}
+
+fn read_ident(chars: &[char], mut i: usize) -> (String, usize) {
+    let mut s = String::new();
+    while chars.get(i).copied().is_some_and(unicode_ident) {
+        s.push(chars[i]);
+        i += 1;
+    }
+    (s, i)
+}
+
+/// Skip a balanced `<…>` generic list starting at `i` (which must point at
+/// `<`). Returns the index just past the closing `>`.
+fn skip_angles(chars: &[char], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < chars.len() {
+        match chars[i] {
+            '<' => depth += 1,
+            '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            // `->` inside `Fn(..) -> T` bounds: the '>' belongs to the
+            // arrow, not the generic list.
+            '-' if chars.get(i + 1) == Some(&'>') => {
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Find the matching `}` for the `{` at `open`; returns its index.
+fn match_brace(chars: &[char], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < chars.len() {
+        match chars[i] {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    chars.len() - 1
+}
+
+/// `impl` blocks as (type name, span start char, span end char).
+fn extract_impls(flat: &Flat) -> Vec<(String, usize, usize)> {
+    let chars = &flat.chars;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if !word_at(chars, i, "impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = skip_ws(chars, i + 4);
+        if chars.get(j) == Some(&'<') {
+            j = skip_angles(chars, j);
+        }
+        // Collect the header text up to the body `{` (paren depth 0 —
+        // where-clauses may contain `Fn(..)`).
+        let mut header = String::new();
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < chars.len() {
+            match chars[k] {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                '{' if depth == 0 => break,
+                ';' if depth == 0 => break, // `impl Trait for T;` — not Rust, bail
+                _ => {}
+            }
+            header.push(chars[k]);
+            k += 1;
+        }
+        if chars.get(k) == Some(&'{') {
+            let end = match_brace(chars, k);
+            if let Some(name) = parse_impl_type(&header) {
+                out.push((name, i, end));
+            }
+            // Do not jump past the block: nested impls are rare but legal.
+        }
+        i = k + 1;
+    }
+    out
+}
+
+/// Pull the implemented type's name out of an impl header (the text between
+/// `impl<…>` and `{`): `Display for Packet<'a>` → `Packet`.
+fn parse_impl_type(header: &str) -> Option<String> {
+    let after_for = match header.find(" for ") {
+        Some(at) => &header[at + 5..],
+        None => header,
+    };
+    let before_where = match after_for.find(" where") {
+        Some(at) => &after_for[..at],
+        None => after_for,
+    };
+    let mut s = before_where.trim();
+    for prefix in ["&", "mut ", "dyn "] {
+        s = s.strip_prefix(prefix).unwrap_or(s).trim_start();
+    }
+    let head = s.split('<').next()?;
+    let name = head.rsplit("::").next()?.trim();
+    if name.is_empty() || !name.chars().all(unicode_ident) {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Every named fn in the file with its body span; test-region fns skipped.
+fn extract_fns(
+    flat: &Flat,
+    view: &FileView,
+    file: usize,
+    impls: &[(String, usize, usize)],
+) -> Vec<FnDef> {
+    let chars = &flat.chars;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if !word_at(chars, i, "fn") {
+            i += 1;
+            continue;
+        }
+        let j = skip_ws(chars, i + 2);
+        let (name, after_name) = read_ident(chars, j);
+        if name.is_empty() {
+            i = j + 1; // `fn(` pointer type
+            continue;
+        }
+        // Find the body `{` at paren/bracket depth 0, or `;` (no body).
+        let mut depth = 0i32;
+        let mut k = after_name;
+        let mut body = None;
+        while k < chars.len() {
+            match chars[k] {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                '{' if depth == 0 => {
+                    body = Some(k);
+                    break;
+                }
+                ';' if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = body else {
+            i = k + 1;
+            continue;
+        };
+        let end = match_brace(chars, open);
+        let start_line = flat.line_of[i];
+        if view.in_tests[start_line] {
+            i = after_name;
+            continue;
+        }
+        let impl_type = impls
+            .iter()
+            .filter(|(_, s, e)| *s <= i && i <= *e)
+            .min_by_key(|(_, s, e)| e - s)
+            .map(|(t, _, _)| t.clone());
+        out.push(FnDef {
+            file,
+            name,
+            impl_type,
+            is_pub: is_pub_at(chars, i),
+            start_line,
+            end_line: flat.line_of[end],
+            body_start: open,
+            body_end: end,
+        });
+        i = after_name;
+    }
+    out
+}
+
+/// True when the `fn` keyword at `fn_kw` carries a `pub` (or `pub(...)`)
+/// visibility, looking back through `const`/`unsafe`/`async`/`extern`.
+fn is_pub_at(chars: &[char], fn_kw: usize) -> bool {
+    let mut i = fn_kw;
+    while i > 0 && chars[i - 1].is_whitespace() {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    if chars[i - 1] == ')' {
+        // `pub(crate) fn` / `pub(super) fn`
+        let mut j = i - 1;
+        while j > 0 && chars[j] != '(' {
+            j -= 1;
+        }
+        while j > 0 && chars[j - 1].is_whitespace() {
+            j -= 1;
+        }
+        return j > 0 && tok_ending_at(chars, j - 1) == "pub";
+    }
+    if unicode_ident(chars[i - 1]) {
+        let tok = tok_ending_at(chars, i - 1);
+        if tok == "pub" {
+            return true;
+        }
+        if matches!(tok.as_str(), "const" | "unsafe" | "async" | "extern") {
+            return is_pub_at(chars, i - tok.len());
+        }
+    }
+    false
+}
+
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "move", "in", "as", "let", "else", "fn",
+    "unsafe", "use", "mod", "pub", "where", "break", "continue", "yield", "await",
+];
+
+/// Scan a fn body for call sites `name(`, `qual::name(`, `.name(`,
+/// `name::<T>(`; macros (`name!`) are excluded — panic macros are
+/// classified separately and other macro bodies are a documented blind
+/// spot.
+fn extract_calls(flat: &Flat, view: &FileView, body_start: usize, body_end: usize) -> Vec<Call> {
+    let chars = &flat.chars;
+    let mut out = Vec::new();
+    let mut i = body_start;
+    while i < body_end {
+        let c = chars[i];
+        if !unicode_ident(c) || (i > 0 && unicode_ident(chars[i - 1])) {
+            i += 1;
+            continue;
+        }
+        // Lifetime `'a` is not an ident start.
+        if i > 0 && chars[i - 1] == '\'' {
+            i += 1;
+            continue;
+        }
+        let (name, after) = read_ident(chars, i);
+        if view.in_tests[flat.line_of[i]] || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            i = after;
+            continue;
+        }
+        let mut j = skip_ws(chars, after);
+        // Turbofish: `name::<T>(`.
+        if chars.get(j) == Some(&':') && chars.get(j + 1) == Some(&':') {
+            let k = skip_ws(chars, j + 2);
+            if chars.get(k) == Some(&'<') {
+                j = skip_ws(chars, skip_angles(chars, k));
+            } else {
+                i = after;
+                continue; // path segment, not a call of `name`
+            }
+        }
+        if chars.get(j) == Some(&'!') {
+            i = after;
+            continue; // macro
+        }
+        if chars.get(j) != Some(&'(') || CALL_KEYWORDS.contains(&name.as_str()) {
+            i = after;
+            continue;
+        }
+        // Qualifier: `qual::name(` — read the segment before a `::`.
+        let mut qualifier = None;
+        if i >= 2 && chars[i - 1] == ':' && chars[i - 2] == ':' {
+            let mut q_end = i - 2;
+            while q_end > 0 && chars[q_end - 1].is_whitespace() {
+                q_end -= 1;
+            }
+            if q_end > 0 && chars[q_end - 1] == '>' {
+                qualifier = Some(String::new()); // generic qualifier: unknown
+            } else {
+                let mut q_start = q_end;
+                while q_start > 0 && unicode_ident(chars[q_start - 1]) {
+                    q_start -= 1;
+                }
+                if q_start < q_end {
+                    qualifier = Some(chars[q_start..q_end].iter().collect());
+                }
+            }
+        }
+        out.push(Call { name, qualifier });
+        i = after;
+    }
+    out
+}
+
+/// Resolve a call to candidate fn ids. Qualified calls narrow to the
+/// matching impl type or module; unknown qualifiers (std/external types)
+/// are leaves; unqualified calls over-approximate to every fn of that
+/// name in the scanned crates.
+fn resolve(
+    call: &Call,
+    caller: &FnDef,
+    by_name: &HashMap<&str, Vec<usize>>,
+    by_type: &HashMap<(String, String), Vec<usize>>,
+    impl_types: &HashSet<&str>,
+    by_module: &HashMap<String, Vec<usize>>,
+) -> Vec<usize> {
+    match &call.qualifier {
+        None => by_name.get(call.name.as_str()).cloned().unwrap_or_default(),
+        Some(q) => {
+            let q = if q == "Self" {
+                match &caller.impl_type {
+                    Some(t) => t.clone(),
+                    None => return Vec::new(),
+                }
+            } else {
+                q.clone()
+            };
+            if impl_types.contains(q.as_str()) {
+                by_type
+                    .get(&(q, call.name.clone()))
+                    .cloned()
+                    .unwrap_or_default()
+            } else if let Some(in_module) = by_module.get(&q) {
+                let named = by_name.get(call.name.as_str()).cloned().unwrap_or_default();
+                named
+                    .into_iter()
+                    .filter(|id| in_module.contains(id))
+                    .collect()
+            } else {
+                Vec::new() // external type/module: leaf
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-line panic-source classification
+// ---------------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &[
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+];
+
+fn has_panic_macro(line: &str) -> bool {
+    PANIC_MACROS.iter().any(|m| {
+        line.match_indices(m).any(|(pos, _)| {
+            // Word boundary on the left excludes `debug_assert!`.
+            !line[..pos].chars().next_back().is_some_and(unicode_ident)
+        })
+    })
+}
+
+/// `x[i]` where `x` is a value (prev char ident/`)`/`]`). `x[..]` is
+/// infallible and exempt; `#[attr]` lines are filtered by the caller.
+fn has_panicking_index(line: &str) -> bool {
+    let b: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == '[' {
+            let prev = b[..i].iter().rev().find(|c| !c.is_whitespace());
+            let mut indexable = matches!(prev, Some(&c) if unicode_ident(c) || c == ')' || c == ']');
+            if indexable && matches!(prev, Some(&c) if unicode_ident(c)) {
+                // A keyword before `[` introduces a slice pattern or type
+                // (`let [a, ..] =`, `&mut [u8]`), not an indexing expression.
+                let mut k = i;
+                while k > 0 && b[k - 1].is_whitespace() {
+                    k -= 1;
+                }
+                let start = (0..k).rev().take_while(|&p| unicode_ident(b[p])).last();
+                if let Some(s) = start {
+                    let word: String = b[s..k].iter().collect();
+                    if matches!(
+                        word.as_str(),
+                        "let" | "mut" | "ref" | "in" | "as" | "dyn" | "impl" | "const"
+                            | "static" | "return" | "else" | "box" | "move" | "where"
+                    ) || (s > 0 && b[s - 1] == '\'')
+                    {
+                        // Keyword before `[` introduces a slice pattern or
+                        // type; a lifetime (`&'a [u8]`) precedes a type.
+                        indexable = false;
+                    }
+                }
+            }
+            if indexable {
+                let mut depth = 1i32;
+                let mut j = i + 1;
+                let mut content = String::new();
+                while j < b.len() && depth > 0 {
+                    match b[j] {
+                        '[' => depth += 1,
+                        ']' => depth -= 1,
+                        _ => {}
+                    }
+                    if depth > 0 {
+                        content.push(b[j]);
+                    }
+                    j += 1;
+                }
+                let t = content.trim();
+                if !t.is_empty() && t != ".." {
+                    return true;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Integer `/` or `%` whose divisor is not a numeric literal or ALL_CAPS
+/// constant (compile-time-checked). Conservative: float division is
+/// flagged too and needs a `panic-ok` annotation or a guard rewrite.
+fn has_unchecked_div(line: &str) -> bool {
+    let b: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c != '/' && c != '%' {
+            i += 1;
+            continue;
+        }
+        // Binary operator only: something divisible must precede it.
+        let prev = b[..i].iter().rev().find(|c| !c.is_whitespace());
+        if !matches!(prev, Some(&p) if unicode_ident(p) || p == ')' || p == ']') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if b.get(j) == Some(&'=') {
+            j += 1; // compound `/=` `%=`
+        }
+        j = skip_ws_chars(&b, j);
+        if j >= b.len() {
+            return true; // divisor continues on the next line: conservative
+        }
+        if b[j].is_ascii_digit() {
+            i = j;
+            continue; // literal divisor: nonzero or a compile error
+        }
+        let (tok, _) = read_tok(&b, j);
+        if !tok.is_empty()
+            && tok
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+        {
+            i = j + tok.len();
+            continue; // ALL_CAPS constant: const-evaluated
+        }
+        return true;
+    }
+    false
+}
+
+/// Bare `+` / `-` / `*` on the arithmetic surface, outside signature-ish
+/// lines. Both-literal operands are const-folded and exempt.
+fn has_unchecked_arith(line: &str) -> bool {
+    for kw in ["fn ", "impl ", "where ", "dyn ", "struct ", "enum ", "trait "] {
+        if line.contains(kw) {
+            return false;
+        }
+    }
+    let b: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c != '+' && c != '-' && c != '*' {
+            i += 1;
+            continue;
+        }
+        if c == '-' && b.get(i + 1) == Some(&'>') {
+            i += 2; // `->`
+            continue;
+        }
+        let mut pi = i;
+        let mut prev = None;
+        while pi > 0 {
+            pi -= 1;
+            if !b[pi].is_whitespace() {
+                prev = Some((b[pi], pi));
+                break;
+            }
+        }
+        let Some((p, p_at)) = prev else {
+            i += 1;
+            continue;
+        };
+        if !(unicode_ident(p) || p == ')' || p == ']') {
+            i += 1;
+            continue; // unary minus, deref, pattern, etc.
+        }
+        let prev_tok = tok_ending_at(&b, p_at);
+        if prev_tok == "as" {
+            i += 1;
+            continue; // `x as *const u8`
+        }
+        // Lifetime bound `'a + 'b`.
+        if p_at >= prev_tok.len() && prev_tok.len() > 0 {
+            let before = p_at + 1 - prev_tok.len();
+            if before > 0 && b[before - 1] == '\'' {
+                i += 1;
+                continue;
+            }
+        }
+        let mut j = i + 1;
+        if b.get(j) == Some(&'=') {
+            j += 1; // compound `+=` `-=` `*=`
+        }
+        j = skip_ws_chars(&b, j);
+        let (next_tok, _) = read_tok(&b, j);
+        if c == '*' && (next_tok == "const" || next_tok == "mut") {
+            i += 1;
+            continue; // raw pointer type
+        }
+        if (is_numeric_tok(&prev_tok) || is_const_tok(&prev_tok))
+            && (is_numeric_tok(&next_tok) || is_const_tok(&next_tok))
+        {
+            i = j;
+            continue; // const-folded literal/constant arithmetic
+        }
+        return true;
+    }
+    false
+}
+
+fn skip_ws_chars(b: &[char], mut i: usize) -> usize {
+    while i < b.len() && b[i].is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+fn read_tok(b: &[char], mut i: usize) -> (String, usize) {
+    let mut s = String::new();
+    while i < b.len() && unicode_ident(b[i]) {
+        s.push(b[i]);
+        i += 1;
+    }
+    (s, i)
+}
+
+fn tok_ending_at(b: &[char], end: usize) -> String {
+    if !unicode_ident(b[end]) {
+        return String::new();
+    }
+    let mut start = end;
+    while start > 0 && unicode_ident(b[start - 1]) {
+        start -= 1;
+    }
+    b[start..=end].iter().collect()
+}
+
+fn is_numeric_tok(t: &str) -> bool {
+    !t.is_empty() && t.chars().all(|c| c.is_ascii_digit() || c == '_')
+}
+
+/// An `ALL_CAPS` identifier: a named constant, whose arithmetic the compiler
+/// const-folds and overflow-checks at build time.
+fn is_const_tok(t: &str) -> bool {
+    t.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        && t.chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Build a throwaway workspace fixture: `files` are (rel path, source).
+    fn fixture(files: &[(&str, &str)]) -> std::path::PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let root = std::env::temp_dir().join(format!(
+            "ruru-panic-check-{}-{n}",
+            std::process::id()
+        ));
+        for (rel, content) in files {
+            let path = root.join(rel);
+            std::fs::create_dir_all(path.parent().expect("fixture parent")).expect("mkdir");
+            std::fs::write(path, content).expect("write fixture");
+        }
+        root
+    }
+
+    fn run_on(files: &[(&str, &str)]) -> Analysis {
+        let root = fixture(files);
+        let a = analyze(&root).expect("analyze fixture");
+        std::fs::remove_dir_all(&root).ok();
+        a
+    }
+
+    fn rules(a: &Analysis) -> Vec<&'static str> {
+        a.violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_rooted_wire_fn_is_a_violation() {
+        let a = run_on(&[(
+            "crates/wire/src/lib.rs",
+            "pub fn parse(d: &[u8]) -> u8 { d.first().copied().ok_or(0u8).unwrap() }\n",
+        )]);
+        assert_eq!(rules(&a), ["unwrap"]);
+        assert_eq!(a.violations[0].witness, ["wire::parse"]);
+        assert_eq!(a.violations[0].func, "wire::parse");
+    }
+
+    #[test]
+    fn call_chain_witness_reaches_helper() {
+        let a = run_on(&[(
+            "crates/flow/src/lib.rs",
+            "pub fn classify(d: &[u8]) -> u8 { helper(d) }\n\
+             fn helper(d: &[u8]) -> u8 { d.iter().next().copied().expect(\"x\") }\n",
+        )]);
+        assert_eq!(rules(&a), ["expect"]);
+        assert_eq!(a.violations[0].witness, ["flow::classify", "flow::helper"]);
+    }
+
+    #[test]
+    fn unreachable_fn_sites_reported_not_fatal() {
+        let a = run_on(&[(
+            "crates/flow/src/lib.rs",
+            "fn debug_dump(d: &[u8]) -> u8 { d.first().copied().unwrap() }\n",
+        )]);
+        assert!(a.violations.is_empty());
+        assert_eq!(a.unreachable_sites, 1);
+    }
+
+    #[test]
+    fn panic_ok_annotation_suppresses_and_is_audited() {
+        let a = run_on(&[(
+            "crates/wire/src/lib.rs",
+            "pub fn parse(d: &[u8]) -> u8 {\n\
+             \x20   // panic-ok: length validated by new_checked above\n\
+             \x20   d.first().copied().unwrap()\n\
+             }\n",
+        )]);
+        assert!(a.violations.is_empty());
+        assert!(a.annotation_errors.is_empty());
+        assert_eq!(a.audited.len(), 1);
+        assert_eq!(a.audited[0].2, "length validated by new_checked above");
+    }
+
+    #[test]
+    fn empty_panic_ok_reason_is_a_violation() {
+        let a = run_on(&[(
+            "crates/wire/src/lib.rs",
+            "pub fn parse(d: &[u8]) -> u8 {\n\
+             \x20   // panic-ok:\n\
+             \x20   d.first().copied().unwrap()\n\
+             }\n",
+        )]);
+        assert_eq!(
+            a.annotation_errors.iter().map(|v| v.rule).collect::<Vec<_>>(),
+            ["panic-ok-empty"]
+        );
+    }
+
+    #[test]
+    fn unused_panic_ok_annotation_is_a_violation() {
+        let a = run_on(&[(
+            "crates/wire/src/lib.rs",
+            "// panic-ok: stale claim about code that no longer panics\n\
+             pub fn parse(d: &[u8]) -> u8 { d.first().copied().unwrap_or(0) }\n",
+        )]);
+        assert_eq!(
+            a.annotation_errors.iter().map(|v| v.rule).collect::<Vec<_>>(),
+            ["panic-ok-unused"]
+        );
+    }
+
+    #[test]
+    fn panic_macros_flagged_but_debug_assert_exempt() {
+        let a = run_on(&[(
+            "crates/wire/src/lib.rs",
+            "pub fn parse(len: usize) {\n\
+             \x20   debug_assert!(len > 0);\n\
+             \x20   assert!(len < 65536);\n\
+             }\n",
+        )]);
+        assert_eq!(rules(&a), ["panic-macro"]);
+        assert_eq!(a.violations[0].line, 3);
+    }
+
+    #[test]
+    fn indexing_flagged_full_range_exempt() {
+        let a = run_on(&[(
+            "crates/wire/src/lib.rs",
+            "pub fn parse(d: &[u8]) -> u8 {\n\
+             \x20   let all = &d[..];\n\
+             \x20   all[0]\n\
+             }\n",
+        )]);
+        assert_eq!(rules(&a), ["index"]);
+        assert_eq!(a.violations[0].line, 3);
+    }
+
+    #[test]
+    fn division_by_non_literal_flagged() {
+        let a = run_on(&[(
+            "crates/tsdb/src/lib.rs",
+            "pub fn compute(total: u64, n: u64) -> u64 {\n\
+             \x20   let half = total / 2;\n\
+             \x20   half / n\n\
+             }\n",
+        )]);
+        assert_eq!(rules(&a), ["div"]);
+        assert_eq!(a.violations[0].line, 3);
+    }
+
+    #[test]
+    fn arith_flagged_on_wire_surface_only() {
+        let body = "pub fn parse(a: u16, b: u16) -> u16 {\n\
+                    \x20   let c = a.wrapping_add(b);\n\
+                    \x20   c + b\n\
+                    }\n";
+        let a = run_on(&[("crates/wire/src/lib.rs", body)]);
+        assert_eq!(rules(&a), ["arith"]);
+        assert_eq!(a.violations[0].line, 3);
+        // The same code outside the arithmetic surface is not flagged
+        // (reachable via the tsdb `parse` root, so it is scanned).
+        let a = run_on(&[("crates/tsdb/src/lib.rs", body)]);
+        assert!(rules(&a).is_empty());
+    }
+
+    #[test]
+    fn test_regions_exempt() {
+        let a = run_on(&[(
+            "crates/wire/src/lib.rs",
+            "pub fn parse(d: &[u8]) -> u8 { d.first().copied().unwrap_or(0) }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn t(d: &[u8]) -> u8 { d.first().copied().unwrap() }\n\
+             }\n",
+        )]);
+        assert!(rules(&a).is_empty());
+        assert_eq!(a.unreachable_sites, 0);
+    }
+
+    #[test]
+    fn qualified_constructor_does_not_over_approximate() {
+        // `Backoff::new` in a rooted fn must NOT make `Table::new` (with
+        // its assert) reachable; name-based resolution is narrowed by the
+        // `Type::` qualifier.
+        let a = run_on(&[
+            (
+                "crates/nic/src/backoff.rs",
+                "pub struct Backoff;\n\
+                 impl Backoff {\n\
+                 \x20   pub fn new() -> Self { Backoff }\n\
+                 }\n",
+            ),
+            (
+                "crates/nic/src/rx.rs",
+                "use crate::backoff::Backoff;\n\
+                 pub fn rx_burst() { let _b = Backoff::new(); }\n",
+            ),
+            (
+                "crates/flow/src/table.rs",
+                "pub struct Table;\n\
+                 impl Table {\n\
+                 \x20   pub fn new(capacity: usize) -> Self { assert!(capacity > 0); Table }\n\
+                 }\n",
+            ),
+        ]);
+        assert!(rules(&a).is_empty(), "got {:?}", a.violations);
+        assert_eq!(a.unreachable_sites, 1, "Table::new assert stays unreachable");
+    }
+
+    #[test]
+    fn seeded_unwrap_in_parser_fails_with_witness() {
+        // The acceptance-criteria scenario: an unwrap seeded into a parser
+        // helper reachable from a root is caught and carries the chain.
+        let a = run_on(&[(
+            "crates/wire/src/tcp.rs",
+            "pub fn parse(d: &[u8]) -> u16 { field(d) }\n\
+             fn field(d: &[u8]) -> u16 {\n\
+             \x20   let hi = d.get(0).copied().unwrap();\n\
+             \x20   u16::from(hi)\n\
+             }\n",
+        )]);
+        assert_eq!(rules(&a), ["unwrap"]);
+        let w = &a.violations[0].witness;
+        assert_eq!(w.first().map(String::as_str), Some("wire::parse"));
+        assert_eq!(w.last().map(String::as_str), Some("wire::field"));
+    }
+
+    #[test]
+    fn impl_type_parsed_through_trait_impls() {
+        let flat = flatten(&lex(
+            "impl<'a> Iterator for OptionsIter<'a> {\n    fn next(&mut self) {}\n}\n",
+        ));
+        let impls = extract_impls(&flat);
+        assert_eq!(impls.len(), 1);
+        assert_eq!(impls[0].0, "OptionsIter");
+    }
+
+    #[test]
+    fn self_qualifier_resolves_within_impl() {
+        let a = run_on(&[(
+            "crates/mq/src/chan.rs",
+            "pub struct Chan;\n\
+             impl Chan {\n\
+             \x20   pub fn send(&self) { Self::slot(); }\n\
+             \x20   fn slot() { panic!(\"full\"); }\n\
+             }\n",
+        )]);
+        assert_eq!(rules(&a), ["panic-macro"]);
+        assert_eq!(a.violations[0].witness, ["mq::send", "mq::slot"]);
+    }
+}

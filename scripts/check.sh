@@ -10,25 +10,40 @@ if [[ "${1:-}" == "--quick" ]]; then
     quick=1
 fi
 
-echo "==> cargo test -q"
-cargo test -q
+# Run one gate step with wall-clock accounting; the per-step summary at
+# the end tells you where a slow `check.sh` actually spent its time.
+declare -a step_names=()
+declare -a step_secs=()
+step() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    local started=$SECONDS
+    "$@"
+    step_names+=("$name")
+    step_secs+=($((SECONDS - started)))
+}
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> cargo xtask lint"
-cargo xtask lint
-
-if [[ "$quick" -eq 0 ]]; then
-    echo "==> loom models (RUSTFLAGS=--cfg loom)"
+loom_models() {
     RUSTFLAGS="--cfg loom" LOOM_MAX_PREEMPTIONS="${LOOM_MAX_PREEMPTIONS:-2}" \
         cargo test --release -p ruru-loom -p ruru-nic -p ruru-mq
+}
 
-    echo "==> cargo build --release"
-    cargo build --release
+step "cargo test -q" cargo test -q
+step "cargo clippy --workspace --all-targets -- -D warnings" \
+    cargo clippy --workspace --all-targets -- -D warnings
+step "cargo xtask lint" cargo xtask lint
+step "cargo xtask panic-check" cargo xtask panic-check
 
-    echo "==> cargo bench --no-run"
-    cargo bench --no-run
+if [[ "$quick" -eq 0 ]]; then
+    step "loom models (RUSTFLAGS=--cfg loom)" loom_models
+    step "cargo build --release" cargo build --release
+    step "cargo bench --no-run" cargo bench --no-run
 fi
 
+echo
+echo "step timings:"
+for i in "${!step_names[@]}"; do
+    printf '  %4ss  %s\n' "${step_secs[$i]}" "${step_names[$i]}"
+done
 echo "OK"
