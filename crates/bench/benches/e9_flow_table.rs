@@ -1,0 +1,193 @@
+//! E9 — the RSS-native bulk flow table vs the original `HashMap` +
+//! `VecDeque` store (`baseline::expiring::ExpiringTable`).
+//!
+//! Three regimes, each timed for the baseline, the new table driven
+//! scalar, and the new table driven through its burst APIs:
+//!
+//! * **lookup** — probe a warm table (the per-packet common case: most
+//!   packets are data packets hitting an established or absent flow);
+//! * **insert churn** — a SYN-flood-shaped stream of brand-new keys
+//!   through a full table, so every insert pays capacity eviction;
+//! * **tracker** — the end-to-end handshake state machine per packet,
+//!   `process` vs the prefetch-staged `process_burst`.
+//!
+//! The table is keyed by the hash the NIC already computed (symmetric
+//! Toeplitz RSS), so hashing is *not* part of the timed work — mirroring
+//! the dataplane, where `classify_mbuf` carries `Mbuf::rss_hash` through
+//! `TcpMeta` for free.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use ruru_bench::workload;
+use ruru_flow::baseline::expiring::ExpiringTable;
+use ruru_flow::key::FlowKey;
+use ruru_flow::table::FlowTable;
+use ruru_flow::{HandshakeTracker, TrackerConfig};
+use ruru_nic::lcore::BURST_SIZE;
+use ruru_nic::Timestamp;
+use ruru_wire::{ipv4, IpAddress};
+use std::hint::black_box;
+
+const CAPACITY: usize = 4096;
+const TTL_NS: u64 = 10_000_000_000;
+
+/// Distinct canonical flow keys with their (precomputed, NIC-style) hashes.
+fn flows(n: usize) -> Vec<(u32, FlowKey)> {
+    (0..n)
+        .map(|i| {
+            let src = IpAddress::V4(ipv4::Address([
+                10,
+                (i >> 16) as u8,
+                (i >> 8) as u8,
+                i as u8,
+            ]));
+            let dst = IpAddress::V4(ipv4::Address([100, 64, 0, 1]));
+            let (key, _) = FlowKey::from_tuple(src, dst, 40_000 + (i % 20_000) as u16, 443);
+            (key.mix_hash(), key)
+        })
+        .collect()
+}
+
+fn preloaded(entries: &[(u32, FlowKey)]) -> (FlowTable<FlowKey, u64>, ExpiringTable<FlowKey, u64>) {
+    let mut table = FlowTable::new(CAPACITY, TTL_NS);
+    let mut baseline = ExpiringTable::new(CAPACITY, TTL_NS);
+    let now = Timestamp::from_nanos(1);
+    for (i, &(h, k)) in entries.iter().take(CAPACITY).enumerate() {
+        table.insert(h, k, i as u64, now);
+        baseline.insert(k, i as u64, now);
+    }
+    (table, baseline)
+}
+
+fn bench(crit: &mut Criterion) {
+    // 75 % hits: the first CAPACITY keys are resident, the tail is absent.
+    let universe = flows(CAPACITY + CAPACITY / 3);
+    let (table, baseline) = preloaded(&universe);
+
+    let mut group = crit.benchmark_group("e9_lookup");
+    group
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(universe.len() as u64));
+    group.bench_with_input(BenchmarkId::new("probe", "baseline"), &universe, |b, u| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for (_, k) in u {
+                hits += baseline.get(black_box(k)).is_some() as u64;
+            }
+            black_box(hits)
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("probe", "scalar"), &universe, |b, u| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &(h, ref k) in u {
+                hits += table.get(black_box(h), black_box(k)).is_some() as u64;
+            }
+            black_box(hits)
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("probe", "burst"), &universe, |b, u| {
+        let mut found: Vec<Option<&u64>> = Vec::with_capacity(BURST_SIZE);
+        b.iter(|| {
+            let mut hits = 0u64;
+            for chunk in u.chunks(BURST_SIZE) {
+                table.lookup_burst(black_box(chunk), &mut found);
+                hits += found.iter().filter(|f| f.is_some()).count() as u64;
+            }
+            black_box(hits)
+        });
+    });
+    group.finish();
+
+    // SYN-flood churn: 16× capacity of brand-new keys, every insert past
+    // the fill point evicts the oldest entry.
+    let flood = flows(16 * CAPACITY);
+    let mut group = crit.benchmark_group("e9_insert_churn");
+    group
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(flood.len() as u64));
+    group.bench_with_input(BenchmarkId::new("flood", "baseline"), &flood, |b, f| {
+        b.iter_batched(
+            || ExpiringTable::<FlowKey, u64>::new(CAPACITY, TTL_NS),
+            |mut t| {
+                let now = Timestamp::from_nanos(1);
+                for (i, &(_, k)) in f.iter().enumerate() {
+                    t.insert(black_box(k), i as u64, now);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_with_input(BenchmarkId::new("flood", "scalar"), &flood, |b, f| {
+        b.iter_batched(
+            || FlowTable::<FlowKey, u64>::new(CAPACITY, TTL_NS),
+            |mut t| {
+                let now = Timestamp::from_nanos(1);
+                for (i, &(h, k)) in f.iter().enumerate() {
+                    t.insert(black_box(h), black_box(k), i as u64, now);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_with_input(BenchmarkId::new("flood", "burst"), &flood, |b, f| {
+        b.iter_batched(
+            || {
+                (
+                    FlowTable::<FlowKey, u64>::new(CAPACITY, TTL_NS),
+                    Vec::with_capacity(BURST_SIZE),
+                    Vec::with_capacity(BURST_SIZE),
+                )
+            },
+            |(mut t, mut staged, mut outcomes)| {
+                let now = Timestamp::from_nanos(1);
+                for chunk in f.chunks(BURST_SIZE) {
+                    staged.clear();
+                    for (i, &(h, k)) in chunk.iter().enumerate() {
+                        staged.push((h, k, i as u64));
+                    }
+                    t.insert_burst(&mut staged, now, &mut outcomes);
+                }
+                t
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+
+    // End-to-end tracker: per-packet `process` vs prefetch-staged
+    // `process_burst` over a realistic mixed workload.
+    let w = workload(91, 300.0, 2, (2, 4));
+    let mut group = crit.benchmark_group("e9_tracker");
+    group
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(w.metas.len() as u64));
+    group.bench_with_input(BenchmarkId::new("track", "scalar"), &w, |b, w| {
+        b.iter(|| {
+            let mut t = HandshakeTracker::new(0, TrackerConfig::default());
+            let mut n = 0u64;
+            for meta in &w.metas {
+                n += t.process(black_box(meta)).is_some() as u64;
+            }
+            black_box(n)
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("track", "burst"), &w, |b, w| {
+        b.iter(|| {
+            let mut t = HandshakeTracker::new(0, TrackerConfig::default());
+            let mut n = 0u64;
+            for chunk in w.metas.chunks(BURST_SIZE) {
+                t.process_burst(black_box(chunk), |_| n += 1);
+            }
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

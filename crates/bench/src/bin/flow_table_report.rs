@@ -1,0 +1,270 @@
+//! Machine-readable flow-table benchmark: times the E9 regimes (lookup,
+//! SYN-flood insert churn, end-to-end tracker) for the baseline
+//! `ExpiringTable` and the RSS-native `FlowTable` (scalar and burst), plus
+//! the E2 worker-stage guard (classify + track over raw frames) and a
+//! steady-state allocation count, and writes `BENCH_flowtable.json`.
+//!
+//! `scripts/bench.sh` runs this after the criterion benches; CI's
+//! `cargo bench --no-run` smoke keeps it compiling.
+
+use ruru_bench::workload;
+use ruru_flow::baseline::expiring::ExpiringTable;
+use ruru_flow::classify::{classify, ChecksumMode};
+use ruru_flow::key::FlowKey;
+use ruru_flow::table::FlowTable;
+use ruru_flow::{HandshakeTracker, TrackerConfig};
+use ruru_nic::lcore::BURST_SIZE;
+use ruru_nic::Timestamp;
+use ruru_wire::{ipv4, IpAddress};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts heap hits while armed; defers everything to [`System`]. Same
+/// instrument as `crates/flow/tests/alloc_steady_state.rs`, here so the
+/// JSON artifact records the measured figure next to the throughputs.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static HEAP_HITS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to the `System` allocator — identical layout
+// contracts — plus a relaxed counter increment, which allocates nothing
+// and cannot reenter the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            HEAP_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    // SAFETY: forwards `ptr`/`layout` unchanged to `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: forwards all arguments unchanged to `System.realloc`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            HEAP_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const CAPACITY: usize = 4096;
+const TTL_NS: u64 = 10_000_000_000;
+const REPS: usize = 7;
+
+fn flows(n: usize) -> Vec<(u32, FlowKey)> {
+    (0..n)
+        .map(|i| {
+            let src = IpAddress::V4(ipv4::Address([
+                10,
+                (i >> 16) as u8,
+                (i >> 8) as u8,
+                i as u8,
+            ]));
+            let dst = IpAddress::V4(ipv4::Address([100, 64, 0, 1]));
+            let (key, _) = FlowKey::from_tuple(src, dst, 40_000 + (i % 20_000) as u16, 443);
+            (key.mix_hash(), key)
+        })
+        .collect()
+}
+
+/// Best-of-`REPS` wall time for `f`, as (ops/s, ns/op) over `ops`.
+fn time(ops: u64, mut f: impl FnMut() -> u64) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        black_box(f());
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    (ops as f64 / best, best * 1e9 / ops as f64)
+}
+
+fn json_entry(name: &str, ops_per_s: f64, ns_per_op: f64) -> String {
+    format!(
+        "    \"{name}\": {{ \"ops_per_sec\": {:.0}, \"ns_per_op\": {:.2} }}",
+        ops_per_s, ns_per_op
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_flowtable.json".into());
+    let mut entries: Vec<String> = Vec::new();
+
+    // ---- E9 lookup: warm table, 75 % hit probes -------------------------
+    let universe = flows(CAPACITY + CAPACITY / 3);
+    let mut table = FlowTable::new(CAPACITY, TTL_NS);
+    let mut baseline = ExpiringTable::new(CAPACITY, TTL_NS);
+    let now = Timestamp::from_nanos(1);
+    for (i, &(h, k)) in universe.iter().take(CAPACITY).enumerate() {
+        table.insert(h, k, i as u64, now);
+        baseline.insert(k, i as u64, now);
+    }
+    let n = universe.len() as u64;
+
+    let (ops, ns) = time(n, || {
+        universe
+            .iter()
+            .filter(|(_, k)| baseline.get(black_box(k)).is_some())
+            .count() as u64
+    });
+    entries.push(json_entry("lookup_baseline", ops, ns));
+    let base_lookup = ns;
+
+    let (ops, ns) = time(n, || {
+        universe
+            .iter()
+            .filter(|&&(h, ref k)| table.get(black_box(h), black_box(k)).is_some())
+            .count() as u64
+    });
+    entries.push(json_entry("lookup_scalar", ops, ns));
+
+    let mut found: Vec<Option<&u64>> = Vec::with_capacity(BURST_SIZE);
+    let (ops, ns) = time(n, || {
+        let mut hits = 0u64;
+        for chunk in universe.chunks(BURST_SIZE) {
+            table.lookup_burst(black_box(chunk), &mut found);
+            hits += found.iter().filter(|f| f.is_some()).count() as u64;
+        }
+        hits
+    });
+    entries.push(json_entry("lookup_burst", ops, ns));
+    let burst_lookup = ns;
+    drop(found);
+
+    // ---- E9 insert churn: SYN-flood through a full table ----------------
+    let flood = flows(16 * CAPACITY);
+    let n = flood.len() as u64;
+
+    let (ops, ns) = time(n, || {
+        let mut t = ExpiringTable::<FlowKey, u64>::new(CAPACITY, TTL_NS);
+        for (i, &(_, k)) in flood.iter().enumerate() {
+            t.insert(black_box(k), i as u64, now);
+        }
+        t.len() as u64
+    });
+    entries.push(json_entry("insert_churn_baseline", ops, ns));
+    let base_insert = ns;
+
+    let (ops, ns) = time(n, || {
+        let mut t = FlowTable::<FlowKey, u64>::new(CAPACITY, TTL_NS);
+        for (i, &(h, k)) in flood.iter().enumerate() {
+            t.insert(black_box(h), black_box(k), i as u64, now);
+        }
+        t.len() as u64
+    });
+    entries.push(json_entry("insert_churn_scalar", ops, ns));
+
+    let mut staged = Vec::with_capacity(BURST_SIZE);
+    let mut outcomes = Vec::with_capacity(BURST_SIZE);
+    let (ops, ns) = time(n, || {
+        let mut t = FlowTable::<FlowKey, u64>::new(CAPACITY, TTL_NS);
+        for chunk in flood.chunks(BURST_SIZE) {
+            staged.clear();
+            for (i, &(h, k)) in chunk.iter().enumerate() {
+                staged.push((h, k, i as u64));
+            }
+            t.insert_burst(&mut staged, now, &mut outcomes);
+        }
+        t.len() as u64
+    });
+    entries.push(json_entry("insert_churn_burst", ops, ns));
+    let burst_insert = ns;
+
+    // ---- E9 tracker: process vs process_burst ---------------------------
+    let w = workload(91, 300.0, 2, (2, 4));
+    let n = w.metas.len() as u64;
+
+    let (ops, ns) = time(n, || {
+        let mut t = HandshakeTracker::new(0, TrackerConfig::default());
+        let mut m = 0u64;
+        for meta in &w.metas {
+            m += t.process(black_box(meta)).is_some() as u64;
+        }
+        m
+    });
+    entries.push(json_entry("tracker_scalar", ops, ns));
+
+    let (ops, ns) = time(n, || {
+        let mut t = HandshakeTracker::new(0, TrackerConfig::default());
+        let mut m = 0u64;
+        for chunk in w.metas.chunks(BURST_SIZE) {
+            t.process_burst(black_box(chunk), |_| m += 1);
+        }
+        m
+    });
+    entries.push(json_entry("tracker_burst", ops, ns));
+
+    // ---- E2 guard: worker stage (classify + track) over raw frames ------
+    let (ops, ns) = time(n, || {
+        let mut t = HandshakeTracker::new(0, TrackerConfig::default());
+        let mut m = 0u64;
+        for (at, frame) in &w.events {
+            if let Ok(meta) = classify(black_box(frame), *at, ChecksumMode::Trust) {
+                m += t.process(&meta).is_some() as u64;
+            }
+        }
+        m
+    });
+    entries.push(json_entry("e2_worker_stage", ops, ns));
+
+    // ---- steady-state allocations over 1M mixed ops ---------------------
+    let mut t = FlowTable::<u64, u64>::new(CAPACITY, TTL_NS);
+    let mut now_ns = 1u64;
+    for i in 0..(2 * CAPACITY as u64) {
+        now_ns += 1;
+        t.insert((i.wrapping_mul(0x9e37_79b1) >> 1) as u32, i, i, Timestamp::from_nanos(now_ns));
+    }
+    ARMED.store(true, Ordering::Relaxed);
+    let mut op = 0u64;
+    let mut key = 1u64 << 32;
+    while op < 1_000_000 {
+        now_ns += 1;
+        let nts = Timestamp::from_nanos(now_ns);
+        let h = (key.wrapping_mul(0x9e37_79b1) >> 1) as u32;
+        match op % 3 {
+            0 => {
+                t.insert(h, key, op, nts);
+                key += 1;
+            }
+            1 => {
+                t.get(h, &key);
+            }
+            _ => {
+                t.remove(h, &(key.saturating_sub(7)));
+            }
+        }
+        op += 1;
+        if op % 65_536 == 0 {
+            now_ns += TTL_NS / 8;
+            t.expire(Timestamp::from_nanos(now_ns), |_, _| {});
+        }
+    }
+    ARMED.store(false, Ordering::Relaxed);
+    let heap_hits = HEAP_HITS.load(Ordering::Relaxed);
+
+    let json = format!(
+        "{{\n  \"benchmarks\": {{\n{}\n  }},\n  \"steady_state_allocations\": {},\n  \"speedup\": {{\n    \"lookup_burst_vs_baseline\": {:.2},\n    \"insert_burst_vs_baseline\": {:.2}\n  }}\n}}\n",
+        entries.join(",\n"),
+        heap_hits,
+        base_lookup / burst_lookup,
+        base_insert / burst_insert,
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -1,5 +1,5 @@
-//! A bounded single-threaded hash table with FIFO expiry — the per-queue
-//! flow store.
+//! The original `HashMap` + `VecDeque` flow store, kept as the
+//! differential baseline for [`crate::table::FlowTable`].
 //!
 //! Because handshake timeouts are uniform, insertion order equals expiry
 //! order, so expiry is a deque scan from the front: O(1) amortized, no
@@ -9,8 +9,17 @@
 //!
 //! Entries removed or replaced before expiry are invalidated through a
 //! generation counter rather than scanning the deque.
+//!
+//! This implementation re-hashes every key with SipHash and pays one
+//! `VecDeque` bookkeeping entry per insert; the production store
+//! ([`crate::table::FlowTable`]) reuses the NIC's Toeplitz hash and threads
+//! its FIFO through slab links instead. The old contains-then-insert
+//! double lookup and per-insert `key.clone()` were fixed here (entry API,
+//! `Copy` keys) so E9's old-vs-new comparison isolates the structural win.
 
+use crate::table::InsertOutcome;
 use ruru_nic::Timestamp;
+use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 
@@ -20,19 +29,8 @@ struct Slot<V> {
     generation: u64,
 }
 
-/// The outcome of an insert.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum InsertOutcome {
-    /// A fresh entry was created.
-    Inserted,
-    /// A fresh entry was created and the oldest entry was evicted for room.
-    InsertedWithEviction,
-    /// An entry with this key already existed; it was left untouched.
-    AlreadyPresent,
-}
-
 /// A bounded hash map with FIFO time-based expiry.
-pub struct ExpiringTable<K: Eq + Hash + Clone, V> {
+pub struct ExpiringTable<K: Eq + Hash + Copy, V> {
     map: HashMap<K, Slot<V>>,
     fifo: VecDeque<(K, Timestamp, u64)>,
     capacity: usize,
@@ -42,7 +40,7 @@ pub struct ExpiringTable<K: Eq + Hash + Clone, V> {
     expirations: u64,
 }
 
-impl<K: Eq + Hash + Clone, V> ExpiringTable<K, V> {
+impl<K: Eq + Hash + Copy, V> ExpiringTable<K, V> {
     /// A table holding at most `capacity` entries, each expiring `ttl_ns`
     /// after insertion.
     pub fn new(capacity: usize, ttl_ns: u64) -> Self {
@@ -81,29 +79,31 @@ impl<K: Eq + Hash + Clone, V> ExpiringTable<K, V> {
     /// Insert `value` under `key` at time `now` if absent. Never replaces an
     /// existing entry (the tracker keeps the *first* SYN timestamp).
     pub fn insert(&mut self, key: K, value: V, now: Timestamp) -> InsertOutcome {
-        if self.map.contains_key(&key) {
-            return InsertOutcome::AlreadyPresent;
-        }
-        let mut evicted = false;
-        if self.map.len() >= self.capacity {
-            evicted = self.evict_oldest();
-        }
         let generation = self.next_generation;
-        self.next_generation += 1;
-        self.map.insert(
-            key.clone(),
-            Slot {
-                value,
-                inserted: now,
-                generation,
-            },
-        );
-        self.fifo.push_back((key, now, generation));
-        if evicted {
-            InsertOutcome::InsertedWithEviction
-        } else {
-            InsertOutcome::Inserted
+        // One entry-API probe doubles as the duplicate check and the
+        // placement (the old code paid contains_key + insert, plus a
+        // key.clone(); keys are Copy now).
+        match self.map.entry(key) {
+            MapEntry::Occupied(_) => return InsertOutcome::AlreadyPresent,
+            MapEntry::Vacant(v) => {
+                v.insert(Slot {
+                    value,
+                    inserted: now,
+                    generation,
+                });
+            }
         }
+        self.next_generation += 1;
+        self.fifo.push_back((key, now, generation));
+        // Evict after the insert instead of before: same observable
+        // semantics (an eviction happens iff the table was full and the key
+        // absent), and the just-inserted entry sits at the deque *back*, so
+        // with len > capacity ≥ 1 the oldest live entry popped from the
+        // front can never be it.
+        if self.map.len() > self.capacity && self.evict_oldest() {
+            return InsertOutcome::InsertedWithEviction;
+        }
+        InsertOutcome::Inserted
     }
 
     /// Get a mutable reference to the live entry for `key`.

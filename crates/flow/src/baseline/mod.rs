@@ -7,7 +7,11 @@
 //! * [`synonly`] — the minimal approach: SYN→SYN-ACK delta only. One sample
 //!   per flow, *external* latency only — it cannot see the internal side,
 //!   which is exactly the gap Ruru's three-timestamp method closes.
+//! * [`expiring`] — the original `HashMap` + `VecDeque` flow store, the
+//!   differential baseline experiment E9 and the model-based property
+//!   tests compare [`crate::table::FlowTable`] against.
 
+pub mod expiring;
 pub mod pping;
 pub mod synonly;
 

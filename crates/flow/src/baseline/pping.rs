@@ -13,7 +13,7 @@
 use crate::baseline::RttSample;
 use crate::classify::TcpMeta;
 use crate::key::{Direction, FlowKey};
-use crate::table::ExpiringTable;
+use crate::baseline::expiring::ExpiringTable;
 use ruru_nic::Timestamp;
 
 /// Configuration for the pping estimator.
@@ -174,6 +174,7 @@ mod tests {
             payload_len: 100,
             timestamps: ts,
             timestamp: Timestamp::from_micros(t_us),
+            rss_hash: 0,
         }
     }
 

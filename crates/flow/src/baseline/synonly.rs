@@ -9,7 +9,7 @@
 use crate::baseline::RttSample;
 use crate::classify::TcpMeta;
 use crate::key::{Direction, FlowKey};
-use crate::table::ExpiringTable;
+use crate::baseline::expiring::ExpiringTable;
 use ruru_nic::Timestamp;
 
 /// Counters for the SYN-only estimator.
@@ -131,6 +131,7 @@ mod tests {
             payload_len: 0,
             timestamps: None,
             timestamp: Timestamp::from_micros(t_us),
+            rss_hash: 0,
         }
     }
 

@@ -161,6 +161,12 @@ pub struct TcpMeta {
     pub timestamps: Option<(u32, u32)>,
     /// Arrival timestamp from the RX path.
     pub timestamp: Timestamp,
+    /// The NIC's 32-bit symmetric Toeplitz RSS hash for this packet, or 0
+    /// when the frame did not come through an RX descriptor (raw
+    /// [`classify`] callers). The flow table keys on this hash directly;
+    /// consumers fall back to [`crate::key::FlowKey::mix_hash`] when it is
+    /// 0, which is direction-consistent either way.
+    pub rss_hash: u32,
 }
 
 impl TcpMeta {
@@ -204,6 +210,7 @@ fn classify_tcp(
         payload_len: payload.len() - seg.header_len(),
         timestamps: parse_tcp_options(&seg),
         timestamp,
+        rss_hash: 0,
     })
 }
 
@@ -259,6 +266,15 @@ pub fn classify(frame: &[u8], timestamp: Timestamp, mode: ChecksumMode) -> Resul
         }
         _ => Err(Reject::NotIp),
     }
+}
+
+/// Classify a received [`ruru_nic::Mbuf`], carrying the NIC-computed RSS
+/// hash from the RX descriptor into the [`TcpMeta`] so the flow table can
+/// key on it directly instead of re-hashing the 4-tuple.
+pub fn classify_mbuf(mbuf: &ruru_nic::Mbuf, mode: ChecksumMode) -> Result<TcpMeta, Reject> {
+    let mut meta = classify(mbuf.data(), mbuf.timestamp, mode)?;
+    meta.rss_hash = mbuf.rss_hash;
+    Ok(meta)
 }
 
 #[cfg(test)]
@@ -358,6 +374,30 @@ mod tests {
         assert_eq!(meta.payload_len, 0);
         assert_eq!(meta.timestamps, Some((111, 0)));
         assert_eq!(meta.timestamp.as_micros(), 5);
+    }
+
+    #[test]
+    fn classify_mbuf_carries_the_rss_hash() {
+        let frame = build_v4_frame(
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            40000,
+            443,
+            tcp::Flags::SYN,
+            1000,
+            0,
+            &[],
+            None,
+        );
+        let mut mbuf = ruru_nic::Mbuf::from_bytes(&frame);
+        mbuf.rss_hash = 0xdead_beef;
+        mbuf.timestamp = Timestamp::from_micros(7);
+        let meta = classify_mbuf(&mbuf, ChecksumMode::Validate).unwrap();
+        assert_eq!(meta.rss_hash, 0xdead_beef);
+        assert_eq!(meta.timestamp.as_micros(), 7);
+        // The raw-frame path reports no hash.
+        let raw = classify(&frame, Timestamp::ZERO, ChecksumMode::Validate).unwrap();
+        assert_eq!(raw.rss_hash, 0);
     }
 
     #[test]

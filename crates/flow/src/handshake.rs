@@ -24,7 +24,7 @@ use crate::classify::TcpMeta;
 use crate::histogram::LatencyHistogram;
 use crate::key::{Direction, FlowKey};
 use crate::measurement::LatencyMeasurement;
-use crate::table::{ExpiringTable, InsertOutcome};
+use crate::table::{FlowTable, InsertOutcome};
 use ruru_nic::Timestamp;
 
 /// Configuration of a per-queue tracker.
@@ -34,8 +34,15 @@ pub struct TrackerConfig {
     pub capacity: usize,
     /// Handshake time-to-live: entries older than this are dropped.
     pub ttl_ns: u64,
-    /// How many packets between housekeeping (expiry) sweeps.
+    /// How many packets between housekeeping (expiry) sweeps on the
+    /// per-packet [`HandshakeTracker::process`] path.
     pub expire_interval_packets: u64,
+    /// Minimum simulated time between housekeeping sweeps on the burst
+    /// path ([`HandshakeTracker::process_burst`] /
+    /// [`HandshakeTracker::housekeep_guarded`]): expiry is amortized to
+    /// burst boundaries and skipped entirely while less than this has
+    /// elapsed since the last sweep.
+    pub housekeep_interval_ns: u64,
 }
 
 impl Default for TrackerConfig {
@@ -44,6 +51,7 @@ impl Default for TrackerConfig {
             capacity: 1 << 20,
             ttl_ns: 10_000_000_000, // 10 s — covers several SYN retransmissions
             expire_interval_packets: 1024,
+            housekeep_interval_ns: 1_000_000_000, // 1 s ≪ the 10 s TTL
         }
     }
 }
@@ -105,19 +113,26 @@ struct Entry {
 
 /// The per-queue handshake tracker.
 pub struct HandshakeTracker {
-    table: ExpiringTable<FlowKey, Entry>,
+    table: FlowTable<FlowKey, Entry>,
     queue_id: u16,
     config: TrackerConfig,
     stats: TrackerStats,
     packets_since_expiry: u64,
     last_seen: Timestamp,
+    last_housekeep: Timestamp,
     histogram: LatencyHistogram,
+    /// Per-burst staging for route hashes, so the burst path computes each
+    /// packet's hash exactly once (prefetch + state machine) without
+    /// allocating per burst. Only the hash is staged: recomputing the
+    /// canonical key is a couple of compares, while the software-hash
+    /// fallback is the expensive part.
+    burst_scratch: Vec<u32>,
 }
 
 impl HandshakeTracker {
     /// A tracker for queue `queue_id`.
     pub fn new(queue_id: u16, config: TrackerConfig) -> HandshakeTracker {
-        let table = ExpiringTable::new(config.capacity, config.ttl_ns);
+        let table = FlowTable::new(config.capacity, config.ttl_ns);
         HandshakeTracker {
             table,
             queue_id,
@@ -125,49 +140,132 @@ impl HandshakeTracker {
             stats: TrackerStats::default(),
             packets_since_expiry: 0,
             last_seen: Timestamp::ZERO,
+            last_housekeep: Timestamp::ZERO,
             histogram: LatencyHistogram::for_latency(),
+            burst_scratch: Vec::new(),
+        }
+    }
+
+    /// The hash the flow table is keyed by: the NIC's symmetric Toeplitz
+    /// RSS hash when the packet carries one, else a software hash of the
+    /// canonical key. Both are direction-invariant, so the SYN and the
+    /// SYN-ACK of one flow always key identically, and a flow whose
+    /// packets carry no NIC hash falls back consistently.
+    #[inline]
+    fn route_hash(meta: &TcpMeta, key: &FlowKey) -> u32 {
+        if meta.rss_hash != 0 {
+            meta.rss_hash
+        } else {
+            key.mix_hash()
         }
     }
 
     /// Process one classified TCP packet; returns a measurement when this
-    /// packet completed a handshake.
+    /// packet completed a handshake. Runs packet-count-based housekeeping
+    /// (the scalar path; the engine's burst path uses
+    /// [`HandshakeTracker::process_burst`], which amortizes expiry to
+    /// burst boundaries behind a time-delta guard instead).
     pub fn process(&mut self, meta: &TcpMeta) -> Option<LatencyMeasurement> {
-        self.stats.packets += 1;
-        self.last_seen = meta.timestamp;
         self.packets_since_expiry += 1;
         if self.packets_since_expiry >= self.config.expire_interval_packets {
             self.housekeep(meta.timestamp);
         }
+        self.process_at(meta)
+    }
 
+    /// The handshake state machine for one packet, with no housekeeping
+    /// trigger — callers choose their expiry cadence.
+    pub fn process_at(&mut self, meta: &TcpMeta) -> Option<LatencyMeasurement> {
         let (key, dir) = FlowKey::from_tuple(meta.src, meta.dst, meta.src_port, meta.dst_port);
+        let hash = Self::route_hash(meta, &key);
+        self.dispatch(hash, key, dir, meta)
+    }
+
+    /// The state machine proper, with the route already resolved — shared
+    /// by the scalar path (which resolves per packet) and the burst path
+    /// (which resolves once during prefetch staging).
+    fn dispatch(
+        &mut self,
+        hash: u32,
+        key: FlowKey,
+        dir: Direction,
+        meta: &TcpMeta,
+    ) -> Option<LatencyMeasurement> {
+        self.stats.packets += 1;
+        self.last_seen = meta.timestamp;
 
         if meta.flags.contains(ruru_wire::tcp::Flags::RST) {
-            if self.table.remove(&key).is_some() {
+            if self.table.remove(hash, &key).is_some() {
                 self.stats.rst_aborts += 1;
             }
             return None;
         }
 
         if meta.flags.is_syn_only() {
-            self.on_syn(key, dir, meta);
+            self.on_syn(hash, key, dir, meta);
             return None;
         }
 
         if meta.flags.is_syn_ack() {
-            self.on_synack(key, dir, meta);
+            self.on_synack(hash, key, dir, meta);
             return None;
         }
 
         if meta.flags.contains(ruru_wire::tcp::Flags::ACK) {
-            return self.on_ack(key, dir, meta);
+            return self.on_ack(hash, key, dir, meta);
         }
 
         None
     }
 
-    fn on_syn(&mut self, key: FlowKey, dir: Direction, meta: &TcpMeta) {
+    /// Process a whole RX burst, `rte_hash_lookup_bulk`-style: stage every
+    /// packet's home bucket into cache, then run the state machine per
+    /// packet (emitting measurements through `emit`), and finish with one
+    /// time-delta-guarded housekeeping sweep at the burst boundary.
+    pub fn process_burst(
+        &mut self,
+        metas: &[TcpMeta],
+        mut emit: impl FnMut(LatencyMeasurement),
+    ) {
+        // Stage 1: hash each packet's route once and prefetch its home
+        // bucket.
+        let mut staged = core::mem::take(&mut self.burst_scratch);
+        staged.clear();
+        staged.reserve(metas.len());
+        for meta in metas {
+            let (key, _) = FlowKey::from_tuple(meta.src, meta.dst, meta.src_port, meta.dst_port);
+            let hash = Self::route_hash(meta, &key);
+            self.table.prefetch(hash);
+            staged.push(hash);
+        }
+        // Stage 2: the per-packet state machine against warmed lines,
+        // reusing the staged hashes instead of re-hashing.
+        for (&hash, meta) in staged.iter().zip(metas) {
+            let (key, dir) = FlowKey::from_tuple(meta.src, meta.dst, meta.src_port, meta.dst_port);
+            if let Some(m) = self.dispatch(hash, key, dir, meta) {
+                emit(m);
+            }
+        }
+        self.burst_scratch = staged;
+        // Stage 3: expiry amortized to the burst boundary.
+        if let Some(last) = metas.last() {
+            self.housekeep_guarded(last.timestamp);
+        }
+    }
+
+    /// Run a housekeeping sweep only if at least
+    /// [`TrackerConfig::housekeep_interval_ns`] has elapsed since the last
+    /// one — the burst path's cheap per-burst guard (two u64 reads and a
+    /// subtraction when it doesn't fire).
+    pub fn housekeep_guarded(&mut self, now: Timestamp) {
+        if now.saturating_nanos_since(self.last_housekeep) >= self.config.housekeep_interval_ns {
+            self.housekeep(now);
+        }
+    }
+
+    fn on_syn(&mut self, hash: u32, key: FlowKey, dir: Direction, meta: &TcpMeta) {
         self.stats.syns += 1;
-        if let Some(entry) = self.table.get_mut(&key) {
+        if let Some(entry) = self.table.get_mut(hash, &key) {
             match entry.state {
                 HsState::SynSeen {
                     client_isn,
@@ -184,11 +282,12 @@ impl HandshakeTracker {
                     // New ISN or new direction on a live tuple: a fresh
                     // connection attempt. Restart the entry.
                     self.stats.restarts += 1;
-                    self.table.remove(&key);
+                    self.table.remove(hash, &key);
                 }
             }
         }
         let outcome = self.table.insert(
+            hash,
             key,
             Entry {
                 state: HsState::SynSeen {
@@ -205,9 +304,9 @@ impl HandshakeTracker {
         }
     }
 
-    fn on_synack(&mut self, key: FlowKey, dir: Direction, meta: &TcpMeta) {
+    fn on_synack(&mut self, hash: u32, key: FlowKey, dir: Direction, meta: &TcpMeta) {
         self.stats.synacks += 1;
-        let Some(entry) = self.table.get_mut(&key) else {
+        let Some(entry) = self.table.get_mut(hash, &key) else {
             self.stats.stray_synacks += 1;
             return;
         };
@@ -242,12 +341,13 @@ impl HandshakeTracker {
 
     fn on_ack(
         &mut self,
+        hash: u32,
         key: FlowKey,
         dir: Direction,
         meta: &TcpMeta,
     ) -> Option<LatencyMeasurement> {
         // Fast path: data packets of established flows miss the table.
-        let entry = self.table.get(&key).copied()?;
+        let entry = self.table.get(hash, &key).copied()?;
         let HsState::SynAckSeen {
             t_syn,
             t_synack,
@@ -262,7 +362,7 @@ impl HandshakeTracker {
         if dir != entry.client_dir || meta.ack != server_isn.wrapping_add(1) {
             return None;
         }
-        self.table.remove(&key);
+        self.table.remove(hash, &key);
         if meta.timestamp < t_synack || t_synack < t_syn {
             self.stats.nonmonotonic += 1;
             return None;
@@ -285,9 +385,11 @@ impl HandshakeTracker {
     }
 
     /// Run an expiry sweep at `now` (also called automatically every
-    /// `expire_interval_packets` packets).
+    /// `expire_interval_packets` packets on the scalar path, and behind
+    /// the time-delta guard on the burst path).
     pub fn housekeep(&mut self, now: Timestamp) {
         self.packets_since_expiry = 0;
+        self.last_housekeep = now;
         let before = self.table.expirations();
         self.table.expire(now, |_k, _v| {});
         self.stats.expired += self.table.expirations() - before;
@@ -355,6 +457,7 @@ mod tests {
             payload_len: 0,
             timestamps: None,
             timestamp: Timestamp::from_micros(t_us),
+            rss_hash: 0,
         }
     }
 
@@ -604,6 +707,76 @@ mod tests {
         assert!(tr
             .process(&meta(c, s, 51000, 443, Flags::ACK, 1001, 9001, 22_000))
             .is_some());
+    }
+
+    #[test]
+    fn process_burst_matches_per_packet_processing() {
+        let mut scalar = HandshakeTracker::new(3, TrackerConfig::default());
+        let mut burst = HandshakeTracker::new(3, TrackerConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        let packets = vec![
+            meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 0),
+            meta(ip(5), s, 52000, 443, Flags::SYN, 7, 0, 10),
+            meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 130_000),
+            meta(c, s, 51000, 443, Flags::ACK, 1001, 9001, 131_200),
+            meta(s, ip(5), 443, 52000, Flags::RST, 0, 8, 131_500),
+        ];
+        let scalar_ms: Vec<_> = packets.iter().filter_map(|m| scalar.process_at(m)).collect();
+        let mut burst_ms = Vec::new();
+        burst.process_burst(&packets, |m| burst_ms.push(m));
+        assert_eq!(scalar_ms, burst_ms);
+        assert_eq!(scalar_ms.len(), 1);
+        assert_eq!(scalar.stats(), burst.stats());
+        assert_eq!(scalar.in_flight(), burst.in_flight());
+    }
+
+    #[test]
+    fn burst_housekeeping_is_time_guarded() {
+        let mut tr = HandshakeTracker::new(
+            0,
+            TrackerConfig {
+                ttl_ns: 1_000, // 1 µs
+                housekeep_interval_ns: 1_000_000, // 1 ms between sweeps
+                ..TrackerConfig::default()
+            },
+        );
+        let c = ip(1);
+        let s = ip(2);
+        tr.process_burst(&[meta(c, s, 51000, 443, Flags::SYN, 1, 0, 0)], |_| {});
+        // A burst 10 µs later: the entry is past its TTL but the guard
+        // hasn't elapsed, so no sweep runs.
+        tr.process_burst(&[meta(ip(3), ip(4), 1000, 80, Flags::ACK, 1, 1, 10)], |_| {});
+        assert_eq!(tr.stats().expired, 0, "guard suppressed the sweep");
+        assert_eq!(tr.in_flight(), 1);
+        // A burst 2 ms later clears the guard and expires the entry.
+        tr.process_burst(&[meta(ip(3), ip(4), 1001, 80, Flags::ACK, 1, 1, 2_000)], |_| {});
+        assert_eq!(tr.stats().expired, 1);
+        assert_eq!(tr.in_flight(), 0);
+    }
+
+    #[test]
+    fn nic_rss_hash_and_software_fallback_key_identically_per_flow() {
+        // A flow whose packets all carry the same NIC hash completes, and
+        // an (independent) flow with no NIC hash completes via mix_hash —
+        // both through the same table.
+        let mut tr = HandshakeTracker::new(0, TrackerConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        let mut syn = meta(c, s, 51000, 443, Flags::SYN, 1000, 0, 0);
+        let mut synack = meta(s, c, 443, 51000, Flags::SYN | Flags::ACK, 9000, 1001, 130_000);
+        let mut ack = meta(c, s, 51000, 443, Flags::ACK, 1001, 9001, 131_200);
+        // Symmetric RSS: both directions carry the same hash.
+        syn.rss_hash = 0x5a5a_1234;
+        synack.rss_hash = 0x5a5a_1234;
+        ack.rss_hash = 0x5a5a_1234;
+        assert!(tr.process(&syn).is_none());
+        assert!(tr.process(&synack).is_none());
+        let m = tr.process(&ack).expect("NIC-hashed flow measured");
+        assert_eq!(m.external_ns, 130_000_000);
+        // Software-fallback flow (rss_hash == 0 via the meta() helper).
+        let mut tr2 = HandshakeTracker::new(0, TrackerConfig::default());
+        assert!(run_handshake(&mut tr2).is_some());
     }
 
     #[test]

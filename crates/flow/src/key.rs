@@ -58,6 +58,37 @@ impl FlowKey {
         }
     }
 
+    /// A cheap direction-invariant hash of the canonical key: the software
+    /// fallback for packets carrying no NIC RSS hash (`rss_hash == 0`,
+    /// e.g. raw `classify` callers and generator-driven tests).
+    ///
+    /// Both directions of a connection canonicalize to the same key, so
+    /// they hash identically — the same guarantee the symmetric Toeplitz
+    /// key gives the hardware hash. FNV-1a over both endpoints, finished
+    /// with an avalanche so the low bits (consumed by the table's bucket
+    /// mask) are well mixed.
+    pub fn mix_hash(&self) -> u32 {
+        let mut h: u32 = 0x811c_9dc5;
+        for bytes in [
+            self.a.0.as_u128().to_be_bytes(),
+            self.b.0.as_u128().to_be_bytes(),
+        ] {
+            for &byte in bytes.iter() {
+                h = (h ^ byte as u32).wrapping_mul(0x0100_0193);
+            }
+        }
+        for port in [self.a.1, self.b.1] {
+            for &byte in port.to_be_bytes().iter() {
+                h = (h ^ byte as u32).wrapping_mul(0x0100_0193);
+            }
+        }
+        // Final avalanche (xorshift-multiply) for bucket-mask quality.
+        h ^= h >> 16;
+        h = h.wrapping_mul(0x7feb_352d);
+        h ^= h >> 15;
+        h
+    }
+
     /// The `(src, dst, src_port, dst_port)` tuple as seen travelling in
     /// `dir`.
     pub fn as_seen(&self, dir: Direction) -> (IpAddress, IpAddress, u16, u16) {
@@ -126,6 +157,16 @@ mod tests {
         assert_eq!(sp, 443);
         assert_eq!(dst, ip(200, 1, 1, 1));
         assert_eq!(dp, 5000);
+    }
+
+    #[test]
+    fn mix_hash_is_direction_invariant() {
+        let (k1, _) = FlowKey::from_tuple(ip(10, 0, 0, 1), ip(10, 0, 0, 2), 40000, 443);
+        let (k2, _) = FlowKey::from_tuple(ip(10, 0, 0, 2), ip(10, 0, 0, 1), 443, 40000);
+        assert_eq!(k1.mix_hash(), k2.mix_hash());
+        // Distinct flows spread.
+        let (k3, _) = FlowKey::from_tuple(ip(10, 0, 0, 1), ip(10, 0, 0, 2), 40001, 443);
+        assert_ne!(k1.mix_hash(), k3.mix_hash());
     }
 
     #[test]

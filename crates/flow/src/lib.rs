@@ -19,16 +19,21 @@
 //!   validation so corrupted packets can't pollute the tables).
 //! * [`key`] — direction-normalized flow keys, so both directions of a
 //!   connection address the same table entry.
-//! * [`table`] — a single-threaded bounded hash table with FIFO expiry,
-//!   the per-queue storage (per-queue sharding via symmetric RSS is what
-//!   makes it lock-free).
+//! * [`table`] — the per-queue storage: a slab-backed open-addressing
+//!   table keyed directly by the NIC's symmetric Toeplitz RSS hash, with
+//!   intrusive-FIFO expiry and `rte_hash_lookup_bulk`-style burst
+//!   operations (per-queue sharding via symmetric RSS is what makes it
+//!   lock-free; reusing the RSS hash is what makes it allocation- and
+//!   SipHash-free).
 //! * [`handshake`] — the SYN / SYN-ACK / ACK state machine and
 //!   [`handshake::HandshakeTracker`], the paper's measurement engine.
 //! * [`measurement`] — the [`measurement::LatencyMeasurement`] record and
 //!   its compact binary wire form used on the message bus.
 //! * [`baseline`] — comparison implementations: `pping`-style TCP-timestamp
-//!   matching (per-packet RTTs) and a SYN-only estimator (external RTT
-//!   only), used by experiment E7.
+//!   matching (per-packet RTTs), a SYN-only estimator (external RTT only),
+//!   and the original `HashMap`-based flow store
+//!   ([`baseline::expiring::ExpiringTable`]) kept as the differential
+//!   reference for the new table; used by experiments E7 and E9.
 
 pub mod baseline;
 pub mod classify;

@@ -1,0 +1,54 @@
+//! The RSS-native per-queue flow store: a slab-backed open-addressing hash
+//! table with intrusive FIFO expiry and burst (bulk) operations.
+//!
+//! The paper tracks handshakes in "hash tables indexed by the RSS hash" —
+//! the NIC already computed a 32-bit symmetric Toeplitz hash for every
+//! packet (to pick its queue), so re-hashing the 4-tuple with SipHash on
+//! every table operation is pure waste. [`FlowTable`] is keyed directly by
+//! that carried hash, DPDK `rte_hash`-style:
+//!
+//! * **Bucket array** — power-of-two length (≥ 2 × capacity, so load stays
+//!   ≤ 50 % and every probe chain ends at an empty bucket), linear probing,
+//!   masked indexing. Each bucket holds a slab index plus a **1-byte tag**
+//!   (the hash's top byte) checked before any slab access: a probe touches
+//!   only the compact tag/bucket lines until the tag matches, and a full
+//!   `FlowKey` compare then resolves genuine collisions.
+//! * **Slab** — entries live in a fixed `capacity`-sized slab; free slots
+//!   are a preallocated stack. No entry ever moves in memory, so the FIFO
+//!   can thread raw `u32` links through the slab: an **intrusive doubly
+//!   linked list** in insertion order replaces the baseline's `VecDeque` +
+//!   generation counters. Handshake TTLs are uniform, so insertion order
+//!   *is* expiry order; removal unlinks in O(1) with no stale ghosts to
+//!   skip.
+//! * **Deletion** — backward-shift (Knuth), not tombstones: probe chains
+//!   stay gapless, lookups never slow down under churn, and a SYN flood's
+//!   insert/evict cycling cannot poison the table.
+//! * **Burst ops** — [`FlowTable::lookup_burst`] / [`FlowTable::insert_burst`]
+//!   mirror `rte_hash_lookup_bulk`: a software-pipelined first stage touches
+//!   every probe's home bucket line (via `core::hint::black_box`, the
+//!   portable prefetch), then the probe stage runs against warmed lines.
+//!
+//! After construction the table performs **zero heap allocation**: insert,
+//! lookup, remove, evict and expire all work within the preallocated slab,
+//! bucket array and free stack (asserted by the counting-allocator test in
+//! `tests/alloc_steady_state.rs`).
+//!
+//! Invariants (checked by the differential proptest against the baseline
+//! [`crate::baseline::expiring::ExpiringTable`]) are documented in
+//! DESIGN.md §11.
+
+mod burst;
+mod store;
+
+pub use store::FlowTable;
+
+/// The outcome of an insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// A fresh entry was created.
+    Inserted,
+    /// A fresh entry was created and the oldest entry was evicted for room.
+    InsertedWithEviction,
+    /// An entry with this key already existed; it was left untouched.
+    AlreadyPresent,
+}

@@ -1,0 +1,173 @@
+//! Steady-state allocation audit: after construction and a warm-up pass,
+//! one million mixed operations against [`FlowTable`] — scalar inserts,
+//! removals, burst inserts, burst lookups, and expiry sweeps — perform
+//! **zero** heap allocations. This is the load-bearing property of the
+//! slab/intrusive-FIFO design: the old `HashMap` + `VecDeque` store
+//! allocated on rehash and deque growth at exactly the moment (a SYN
+//! flood) the dataplane could least afford it.
+
+// Tests are exempt from the panic-freedom policy (DESIGN.md §10).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+// Miri has its own allocator machinery and a 1M-op loop is far too slow
+// under its interpreter; the property is native-allocator behaviour anyway.
+#![cfg(not(miri))]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use ruru_flow::table::FlowTable;
+use ruru_nic::Timestamp;
+
+/// Counts allocator hits while `ARMED`; defers everything to [`System`].
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to the `System` allocator — identical layout
+// contracts — plus two relaxed counter increments, which allocate nothing
+// and cannot reenter the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    // SAFETY: forwards `ptr`/`layout` unchanged to `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: forwards all arguments unchanged to `System.realloc`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const CAPACITY: usize = 4096;
+const TTL_NS: u64 = 10_000;
+const BURST: usize = 32;
+/// Mutating ops (inserts/removes/expiries) in the audit window.
+const MUTATE_OPS: u64 = 600_000;
+/// Burst-lookup probes in the audit window (phase two: `lookup_burst`
+/// hands out borrows, so lookups run against the settled table).
+const LOOKUP_OPS: u64 = 400_000;
+
+/// Cheap deterministic key/hash mix (the table's correctness never depends
+/// on hash quality, only its speed does).
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z ^= z >> 29;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 32)
+}
+
+#[test]
+fn one_million_mixed_ops_allocate_nothing() {
+    let mut table: FlowTable<u64, u64> = FlowTable::new(CAPACITY, TTL_NS);
+
+    // Scratch the burst APIs reuse — sized once, before arming. `found` is
+    // declared here (so its backing store predates the audit window) but
+    // only used in the post-mutation lookup phase, since its elements
+    // borrow the table.
+    let mut staged: Vec<(u32, u64, u64)> = Vec::with_capacity(BURST);
+    let mut probes: Vec<(u32, u64)> = Vec::with_capacity(BURST);
+    let mut outcomes = Vec::with_capacity(BURST);
+    let mut found: Vec<Option<&u64>> = Vec::with_capacity(BURST);
+
+    // Warm-up: touch every mutating code path once so lazy one-time setup
+    // (if any) happens before the audit window.
+    let mut now_ns = 1u64;
+    for i in 0..(2 * CAPACITY as u64) {
+        let key = mix(i);
+        let hash = (key >> 32) as u32;
+        now_ns += 1;
+        table.insert(hash, key, i, Timestamp::from_nanos(now_ns));
+    }
+    table.expire(Timestamp::from_nanos(now_ns + TTL_NS), |_, _| {});
+
+    ARMED.store(true, Ordering::Relaxed);
+
+    // Phase one: mutation churn — scalar and burst inserts straight
+    // through capacity eviction, removals, periodic expiry sweeps.
+    let mut op = 0u64;
+    let mut next_key = 0u64;
+    let mut hits = 0u64;
+    while op < MUTATE_OPS {
+        now_ns += 1;
+        let now = Timestamp::from_nanos(now_ns);
+        match op % 4 {
+            0 => {
+                for _ in 0..BURST {
+                    let key = mix(next_key);
+                    next_key += 1;
+                    table.insert((key >> 32) as u32, key, op, now);
+                    op += 1;
+                }
+            }
+            1 => {
+                staged.clear();
+                for _ in 0..BURST {
+                    let key = mix(next_key);
+                    next_key += 1;
+                    staged.push(((key >> 32) as u32, key, op));
+                }
+                table.insert_burst(&mut staged, now, &mut outcomes);
+                op += BURST as u64;
+            }
+            2 => {
+                for j in 0..BURST as u64 {
+                    let key = mix(next_key.saturating_sub(j * 3 + 1));
+                    if table.remove((key >> 32) as u32, &key).is_some() {
+                        hits += 1;
+                    }
+                    op += 1;
+                }
+            }
+            _ => {
+                now_ns += TTL_NS / 4;
+                table.expire(Timestamp::from_nanos(now_ns), |_, _| {});
+                op += 1;
+            }
+        }
+    }
+
+    // Phase two: burst lookups (present and absent keys) against the
+    // settled table.
+    let mut probed = 0u64;
+    while probed < LOOKUP_OPS {
+        probes.clear();
+        for j in 0..BURST as u64 {
+            let key = mix(next_key.saturating_sub(probed + j * 7 + 1));
+            probes.push(((key >> 32) as u32, key));
+        }
+        table.lookup_burst(&probes, &mut found);
+        hits += found.iter().filter(|f| f.is_some()).count() as u64;
+        probed += BURST as u64;
+    }
+
+    ARMED.store(false, Ordering::Relaxed);
+
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+    let reallocs = REALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        (allocs, reallocs),
+        (0, 0),
+        "steady-state flow table ops must not touch the heap"
+    );
+    // The audit window did real work.
+    assert!(table.evictions() > 0, "audit window exercised eviction");
+    assert!(table.expirations() > 0, "audit window exercised expiry");
+    assert!(hits > 0, "audit window exercised hit paths");
+}

@@ -1,0 +1,189 @@
+//! Model-based differential tests: the slab-backed open-addressing
+//! [`FlowTable`] against the original `HashMap` + `VecDeque`
+//! [`ExpiringTable`], driven through identical randomized operation
+//! sequences. The baseline *is* the model — every observable (operation
+//! results, membership, live count, eviction/expiry counters, expiry
+//! callback order) must match exactly, including under adversarial hash
+//! collisions the baseline never sees (its `HashMap` hashes keys itself).
+
+// Tests are exempt from the panic-freedom policy (DESIGN.md §10):
+// unwrap/expect on known-good fixtures is idiomatic here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+// Proptest exercises thousands of cases per property: far too slow under
+// Miri's interpreter, and the properties are memory-safety-neutral anyway.
+#![cfg(not(miri))]
+
+use proptest::prelude::*;
+use ruru_flow::baseline::expiring::ExpiringTable;
+use ruru_flow::table::FlowTable;
+use ruru_nic::Timestamp;
+
+const CAPACITY: usize = 24;
+const TTL_NS: u64 = 5_000;
+
+/// The hash the caller presents to [`FlowTable`]. `modulus` squeezes the
+/// key space onto that many distinct hashes: `modulus == 1` puts every key
+/// on one probe chain (pure key-compare resolution), large moduli behave
+/// like a real RSS hash. The multiplier spreads the surviving values over
+/// the full 32 bits so home buckets and tags both vary.
+fn hash_for(key: u32, modulus: u32) -> u32 {
+    (key % modulus).wrapping_mul(0x9e37_79b1)
+}
+
+/// One scripted operation against both tables.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u32),
+    Remove(u32),
+    Get(u32),
+    /// Advance time by `dt` ns and run expiry.
+    Expire(u16),
+}
+
+fn op_strategy(key_space: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..key_space).prop_map(Op::Insert),
+        2 => (0..key_space).prop_map(Op::Remove),
+        2 => (0..key_space).prop_map(Op::Get),
+        1 => any::<u16>().prop_map(Op::Expire),
+    ]
+}
+
+/// Drive both tables through `ops`, asserting every observable matches.
+fn run_differential(ops: &[Op], modulus: u32) -> Result<(), TestCaseError> {
+    let mut table: FlowTable<u32, u64> = FlowTable::new(CAPACITY, TTL_NS);
+    let mut model: ExpiringTable<u32, u64> = ExpiringTable::new(CAPACITY, TTL_NS);
+    let mut now_ns = 0u64;
+    let mut next_value = 0u64;
+
+    for &op in ops {
+        // Every packet of a flow carries the same RSS hash; time moves
+        // forward one tick per packet.
+        now_ns += 1;
+        let now = Timestamp::from_nanos(now_ns);
+        match op {
+            Op::Insert(key) => {
+                next_value += 1;
+                let a = table.insert(hash_for(key, modulus), key, next_value, now);
+                let b = model.insert(key, next_value, now);
+                prop_assert_eq!(a, b, "insert({}) diverged", key);
+            }
+            Op::Remove(key) => {
+                let a = table.remove(hash_for(key, modulus), &key);
+                let b = model.remove(&key);
+                prop_assert_eq!(a, b, "remove({}) diverged", key);
+            }
+            Op::Get(key) => {
+                let a = table.get(hash_for(key, modulus), &key).copied();
+                let b = model.get(&key).copied();
+                prop_assert_eq!(a, b, "get({}) diverged", key);
+                let at_a = table.inserted_at(hash_for(key, modulus), &key);
+                let at_b = model.inserted_at(&key);
+                prop_assert_eq!(at_a, at_b, "inserted_at({}) diverged", key);
+            }
+            Op::Expire(dt) => {
+                now_ns += dt as u64;
+                let now = Timestamp::from_nanos(now_ns);
+                let mut out_a: Vec<(u32, u64)> = Vec::new();
+                let mut out_b: Vec<(u32, u64)> = Vec::new();
+                table.expire(now, |k, v| out_a.push((k, v)));
+                model.expire(now, |k, v| out_b.push((k, v)));
+                // Same victims, same FIFO order.
+                prop_assert_eq!(out_a, out_b, "expiry order diverged");
+            }
+        }
+        prop_assert_eq!(table.len(), model.len());
+        prop_assert_eq!(table.evictions(), model.evictions());
+        prop_assert_eq!(table.expirations(), model.expirations());
+    }
+
+    // Final full-state audit: identical membership, values, and insertion
+    // timestamps.
+    let mut live_a: Vec<(u32, u64)> = table.iter().map(|(k, v)| (*k, *v)).collect();
+    let mut live_b: Vec<(u32, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    live_a.sort_unstable();
+    live_b.sort_unstable();
+    prop_assert_eq!(live_a, live_b, "surviving entries diverged");
+    Ok(())
+}
+
+proptest! {
+    /// Realistic regime: plenty of distinct hashes, churn well past the
+    /// capacity so evictions and expiry interleave with removals.
+    #[test]
+    fn matches_baseline_with_spread_hashes(
+        ops in proptest::collection::vec(op_strategy(128), 1..400),
+    ) {
+        run_differential(&ops, 1 << 16)?;
+    }
+
+    /// Adversarial regime: every key collides onto a handful of probe
+    /// chains (down to a single chain), so backward-shift deletion and
+    /// full-key comparison carry all the correctness weight.
+    #[test]
+    fn matches_baseline_under_forced_collisions(
+        ops in proptest::collection::vec(op_strategy(64), 1..300),
+        modulus in 1u32..8,
+    ) {
+        run_differential(&ops, modulus)?;
+    }
+
+    /// SYN-flood churn: an endless stream of brand-new keys hammering
+    /// capacity eviction, with occasional expiry sweeps.
+    #[test]
+    fn matches_baseline_under_flood(
+        extra in proptest::collection::vec(any::<u16>(), 1..60),
+    ) {
+        let mut ops: Vec<Op> = Vec::new();
+        let mut key = 0u32;
+        for dt in extra {
+            for _ in 0..16 {
+                ops.push(Op::Insert(key));
+                key += 1;
+            }
+            ops.push(Op::Expire(dt));
+        }
+        run_differential(&ops, 1 << 16)?;
+    }
+
+    /// Burst lookups observe exactly what scalar lookups observe, and
+    /// burst inserts leave the table in exactly the state sequential
+    /// inserts produce.
+    #[test]
+    fn burst_ops_match_scalar_ops(
+        keys in proptest::collection::vec(0u32..64, 1..200),
+        probes in proptest::collection::vec(0u32..64, 1..64),
+    ) {
+        let mut burst: FlowTable<u32, u64> = FlowTable::new(CAPACITY, TTL_NS);
+        let mut scalar: FlowTable<u32, u64> = FlowTable::new(CAPACITY, TTL_NS);
+        let modulus = 1u32 << 16;
+
+        let mut staged: Vec<(u32, u32, u64)> = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut t = 0u64;
+        for chunk in keys.chunks(16) {
+            t += 1;
+            let now = Timestamp::from_nanos(t);
+            staged.clear();
+            for (i, &k) in chunk.iter().enumerate() {
+                staged.push((hash_for(k, modulus), k, i as u64));
+            }
+            let scalar_outcomes: Vec<_> = staged
+                .iter()
+                .map(|&(h, k, v)| scalar.insert(h, k, v, now))
+                .collect();
+            burst.insert_burst(&mut staged, now, &mut outcomes);
+            prop_assert_eq!(&outcomes, &scalar_outcomes);
+        }
+
+        let probe_pairs: Vec<(u32, u32)> =
+            probes.iter().map(|&k| (hash_for(k, modulus), k)).collect();
+        let mut found = Vec::new();
+        burst.lookup_burst(&probe_pairs, &mut found);
+        prop_assert_eq!(found.len(), probe_pairs.len());
+        for (&(h, k), got) in probe_pairs.iter().zip(found) {
+            prop_assert_eq!(got.copied(), scalar.get(h, &k).copied());
+        }
+    }
+}

@@ -85,9 +85,6 @@ impl WorkerGroup {
     /// per-burst output (e.g. a batch of bus messages): the callback runs
     /// once per up-to-[`BURST_SIZE`] packets, so downstream batch sends
     /// amortize their synchronization the same way the RX poll does.
-    // Thread spawn/creation failure is a startup-time OS error, not a
-    // dataplane condition; failing loudly is the right behaviour.
-    #[allow(clippy::expect_used)]
     pub fn spawn_batched<S, I, F, B, E>(
         queues: Vec<RxQueue>,
         init: I,
@@ -102,18 +99,51 @@ impl WorkerGroup {
         B: Fn(&mut S) + Send + Sync + 'static,
         E: Fn(u16, S) + Send + Sync + 'static,
     {
+        Self::spawn_bursts(
+            queues,
+            init,
+            move |state, burst| {
+                for mbuf in burst.drain(..) {
+                    on_packet(state, mbuf);
+                }
+                on_burst_end(state);
+            },
+            on_stop,
+        )
+    }
+
+    /// The whole-burst variant: `on_burst` receives each non-empty RX burst
+    /// as a `&mut Vec<Mbuf>` (up to [`BURST_SIZE`] packets) and is expected
+    /// to drain it. Stages that pipeline across a burst — prefetch-staged
+    /// table lookups, bulk classification — use this to see all packets of
+    /// a poll at once instead of one at a time; [`WorkerGroup::spawn`] and
+    /// [`WorkerGroup::spawn_batched`] are per-packet conveniences layered
+    /// on top.
+    // Thread spawn/creation failure is a startup-time OS error, not a
+    // dataplane condition; failing loudly is the right behaviour.
+    #[allow(clippy::expect_used)]
+    pub fn spawn_bursts<S, I, F, E>(
+        queues: Vec<RxQueue>,
+        init: I,
+        on_burst: F,
+        on_stop: E,
+    ) -> WorkerGroup
+    where
+        S: 'static,
+        I: Fn(u16) -> S + Send + Sync + 'static,
+        F: Fn(&mut S, &mut Vec<Mbuf>) + Send + Sync + 'static,
+        E: Fn(u16, S) + Send + Sync + 'static,
+    {
         let stop = StopFlag::new();
         let init = Arc::new(init);
-        let on_packet = Arc::new(on_packet);
-        let on_burst_end = Arc::new(on_burst_end);
+        let on_burst = Arc::new(on_burst);
         let on_stop = Arc::new(on_stop);
         let mut handles = Vec::with_capacity(queues.len());
         let mut counters = Vec::with_capacity(queues.len());
         for mut queue in queues {
             let stop = stop.clone();
             let init = Arc::clone(&init);
-            let on_packet = Arc::clone(&on_packet);
-            let on_burst_end = Arc::clone(&on_burst_end);
+            let on_burst = Arc::clone(&on_burst);
             let on_stop = Arc::clone(&on_stop);
             let ctrs = Arc::new(WorkerCounters::default());
             counters.push(Arc::clone(&ctrs));
@@ -137,10 +167,10 @@ impl WorkerGroup {
                             }
                             backoff.reset();
                             ctrs.packets.fetch_add(n as u64, Ordering::Relaxed);
-                            for mbuf in burst.drain(..) {
-                                on_packet(&mut state, mbuf);
-                            }
-                            on_burst_end(&mut state);
+                            on_burst(&mut state, &mut burst);
+                            // A callback that chose not to drain everything
+                            // must not see stale packets next poll.
+                            burst.clear();
                         }
                         on_stop(qid, state);
                     })
@@ -324,6 +354,37 @@ mod tests {
         }
         group.shutdown();
         assert_eq!(flushed.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // spawns real worker threads; modeled by loom instead
+    fn burst_workers_see_whole_bursts() {
+        let mut port = port(1);
+        let queues = port.take_all_rx_queues();
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let group = WorkerGroup::spawn_bursts(
+            queues,
+            |_q| (),
+            move |_s, burst: &mut Vec<Mbuf>| {
+                assert!((1..=BURST_SIZE).contains(&burst.len()));
+                for mbuf in burst.drain(..) {
+                    assert_eq!(mbuf.len(), 64);
+                    seen2.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            |_q, _s| {},
+        );
+        for _ in 0..100 {
+            while port.inject(&frame_with_marker(2)).is_none() {
+                std::thread::yield_now();
+            }
+        }
+        while seen.load(Ordering::Relaxed) < 100 {
+            std::thread::yield_now();
+        }
+        group.shutdown();
+        assert_eq!(seen.load(Ordering::Relaxed), 100);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use ruru_analytics::{
     AlertSink, EnrichedMeasurement, EnrichmentPool, LatencySpikeDetector, PairAggregator,
     PairInterner, RateAnomalyDetector, SynFloodDetector,
 };
-use ruru_flow::classify::{classify, ChecksumMode, RejectCounters, RejectStats};
+use ruru_flow::classify::{classify_mbuf, ChecksumMode, RejectCounters, RejectStats, TcpMeta};
 use ruru_nic::Mbuf;
 use ruru_flow::measurement::{SCRATCH_CHUNK, WIRE_LEN};
 use ruru_flow::{HandshakeTracker, TrackerConfig, TrackerStats};
@@ -176,6 +176,9 @@ struct WorkerState {
     stage: Arc<StageCounters>,
     /// Measurements accumulated this burst, flushed with one `send_batch`.
     batch: Vec<Message>,
+    /// Classified packets of the current burst, reused across bursts so
+    /// the burst path stays allocation-free at steady state.
+    metas: Vec<TcpMeta>,
     /// Encode scratch: measurements append here and freeze zero-copy
     /// slices, one block allocation per ~64 KiB of output.
     scratch: BytesMut,
@@ -278,47 +281,62 @@ struct DetectorInputs {
     num_queues: u16,
 }
 
-/// One packet through the dataplane stage: classify → track → encode into
-/// the scratch block → batch for a vectored PUSH. Named (rather than left as
-/// a closure inside [`Pipeline::new`]) so `cargo xtask panic-check` can root
-/// its reachability walk at the per-packet hot path.
-fn dataplane_worker(state: &mut WorkerState, mbuf: Mbuf) {
-    state.records_in += 1;
-    match classify(mbuf.data(), mbuf.timestamp, state.checksum_mode) {
-        Ok(meta) => {
-            if meta.flags.is_syn_only() {
-                let _ = state
-                    .syn_tx
-                    .send((state.tracker.queue_id(), meta.timestamp.as_nanos()));
-            }
-            if let Some(m) = state.tracker.process(&meta) {
-                // Encode into the worker's scratch block: one backing
-                // allocation per ~1000 records, each payload a zero-copy
-                // slice of it.
-                if state.scratch.capacity() < WIRE_LEN {
-                    state.scratch.reserve(SCRATCH_CHUNK);
-                    state.alloc_hits += 1;
+/// One RX burst through the dataplane stage: classify every packet (carrying
+/// the NIC's RSS hash through [`classify_mbuf`]), then run the whole burst
+/// through the tracker's software-pipelined [`HandshakeTracker::process_burst`]
+/// — flow-table bucket and tag lines are prefetch-staged across the burst
+/// before any packet touches the table — encoding each measurement into the
+/// scratch block and flushing one vectored PUSH per burst. Named (rather
+/// than left as a closure inside [`Pipeline::new`]) so `cargo xtask
+/// panic-check` can root its reachability walk at the hot path.
+fn dataplane_worker(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
+    state.records_in += burst.len() as u64;
+    state.metas.clear();
+    for mbuf in burst.drain(..) {
+        match classify_mbuf(&mbuf, state.checksum_mode) {
+            Ok(meta) => {
+                if meta.flags.is_syn_only() {
+                    let _ = state
+                        .syn_tx
+                        .send((state.tracker.queue_id(), meta.timestamp.as_nanos()));
                 }
-                m.encode_into(&mut state.scratch);
-                let payload = state.scratch.split().freeze();
-                state.bytes += payload.len() as u64;
-                state
-                    .batch
-                    .push(Message::new(Bytes::from_static(b"latency"), payload));
-                state.records_out += 1;
-                // Keep the batch bounded even if a burst produces more
-                // measurements than packets ever should.
-                if state.batch.len() >= BURST_SIZE {
-                    state.flush();
-                }
+                state.metas.push(meta);
             }
-        }
-        Err(reject) => {
-            // Fragments/UDP/ARP are normal on a live tap; count them per
-            // cause.
-            state.rejects.record(reject);
+            Err(reject) => {
+                // Fragments/UDP/ARP are normal on a live tap; count them
+                // per cause.
+                state.rejects.record(reject);
+            }
         }
     }
+    // Split the borrows: the tracker walks `metas` while the emit closure
+    // owns the encode/batch fields.
+    let WorkerState {
+        tracker,
+        metas,
+        scratch,
+        batch,
+        bytes,
+        records_out,
+        alloc_hits,
+        ..
+    } = state;
+    tracker.process_burst(metas, |m| {
+        // Encode into the worker's scratch block: one backing allocation
+        // per ~1000 records, each payload a zero-copy slice of it.
+        if scratch.capacity() < WIRE_LEN {
+            scratch.reserve(SCRATCH_CHUNK);
+            *alloc_hits += 1;
+        }
+        m.encode_into(scratch);
+        let payload = scratch.split().freeze();
+        *bytes += payload.len() as u64;
+        batch.push(Message::new(Bytes::from_static(b"latency"), payload));
+        *records_out += 1;
+    });
+    // Burst boundary: at most one measurement per packet, so the batch is
+    // bounded by BURST_SIZE; one vectored send covers the whole burst.
+    state.flush();
 }
 
 /// The detector + frontend thread: consumes SYN events and enriched
@@ -579,7 +597,7 @@ impl Pipeline {
         let checksum_mode = config.checksum_mode;
         let rejects_for_workers = Arc::clone(&rejects);
         let dataplane_for_workers = Arc::clone(&dataplane);
-        let workers = WorkerGroup::spawn_batched(
+        let workers = WorkerGroup::spawn_bursts(
             queues,
             move |qid| WorkerState {
                 tracker: HandshakeTracker::new(qid, tracker_cfg.clone()),
@@ -589,6 +607,7 @@ impl Pipeline {
                 rejects: Arc::clone(&rejects_for_workers),
                 stage: Arc::clone(&dataplane_for_workers),
                 batch: Vec::with_capacity(BURST_SIZE),
+                metas: Vec::with_capacity(BURST_SIZE),
                 scratch: BytesMut::new(),
                 records_in: 0,
                 records_out: 0,
@@ -596,11 +615,11 @@ impl Pipeline {
                 bytes: 0,
                 alloc_hits: 0,
             },
+            // Whole-burst worker: classify the burst, prefetch-staged table
+            // walk, one vectored PUSH at the burst boundary (PUSH blocks at
+            // the HWM, so that is analytics back-pressure, never
+            // measurement loss — ZeroMQ PUSH semantics).
             dataplane_worker,
-            // Burst boundary: one vectored send covers the whole burst's
-            // measurements. PUSH blocks at the HWM, so this is analytics
-            // back-pressure, never measurement loss (ZeroMQ PUSH semantics).
-            |state: &mut WorkerState| state.flush(),
             move |qid, mut state| {
                 state.flush();
                 let _ = stats_tx.send((qid, state.tracker.stats()));

@@ -61,13 +61,22 @@ const ROOTS: &[(&str, &str)] = &[
     ("nic", "pop_burst"),
     // Handshake state machine, flow table, classifier, codec.
     ("flow", "process"),
+    ("flow", "process_at"),
+    ("flow", "process_burst"),
     ("flow", "housekeep"),
+    ("flow", "housekeep_guarded"),
     ("flow", "insert"),
     ("flow", "get"),
     ("flow", "get_mut"),
     ("flow", "remove"),
     ("flow", "expire"),
     ("flow", "classify"),
+    ("flow", "classify_mbuf"),
+    ("flow", "mix_hash"),
+    // RSS-native flow-table burst surface.
+    ("flow", "lookup_burst"),
+    ("flow", "insert_burst"),
+    ("flow", "prefetch"),
     ("flow", "decode"),
     ("flow", "encode"),
     ("flow", "encode_into"),

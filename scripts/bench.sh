@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Flow-table benchmark gate: runs the criterion benches the RSS-native
+# table participates in (E2 pipeline throughput as the no-regression
+# guard, E9 flow table as the head-to-head vs the baseline store) and the
+# machine-readable reporter, which rewrites BENCH_flowtable.json with
+# ops/s, ns/op, the burst-vs-baseline speedups, and the steady-state
+# allocation count (must be 0).
+# Usage: scripts/bench.sh [--report-only]
+#   --report-only  skip the criterion runs, only refresh the JSON artifact
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+report_only=0
+if [[ "${1:-}" == "--report-only" ]]; then
+    report_only=1
+fi
+
+if [[ "$report_only" -eq 0 ]]; then
+    echo "==> cargo bench -p ruru-bench --bench e2_pipeline_throughput"
+    cargo bench -p ruru-bench --bench e2_pipeline_throughput
+    echo "==> cargo bench -p ruru-bench --bench e9_flow_table"
+    cargo bench -p ruru-bench --bench e9_flow_table
+fi
+
+echo "==> flow_table_report -> BENCH_flowtable.json"
+cargo run --release -p ruru-bench --bin flow_table_report -- BENCH_flowtable.json
+
+# The artifact doubles as a gate: burst lookup and insert must beat the
+# baseline store by >=2x, and the 1M-op steady-state window must not
+# allocate.
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_flowtable.json") as f:
+    r = json.load(f)
+ok = True
+for name, floor in [("lookup_burst_vs_baseline", 2.0), ("insert_burst_vs_baseline", 2.0)]:
+    got = r["speedup"][name]
+    print(f"  {name}: {got:.2f}x (floor {floor}x)")
+    ok &= got >= floor
+allocs = r["steady_state_allocations"]
+print(f"  steady_state_allocations: {allocs} (must be 0)")
+ok &= allocs == 0
+sys.exit(0 if ok else 1)
+EOF
+echo "OK"
