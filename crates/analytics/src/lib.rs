@@ -35,4 +35,4 @@ pub use detect::{EwmaDetector, LatencySpikeDetector, RateAnomalyDetector, SynFlo
 pub use enrich::{EndpointInfo, EnrichedMeasurement, Enricher};
 pub use filter::{Criterion, FilterSpec, FilterStage};
 pub use intern::{Interner, PairInterner};
-pub use workers::EnrichmentPool;
+pub use workers::{EnrichmentPool, PoolTelemetry};

@@ -18,6 +18,8 @@ use bytes::{Bytes, BytesMut};
 use ruru_flow::LatencyMeasurement;
 use ruru_geo::GeoDb;
 use ruru_mq::{Message, Publisher, Pull};
+use ruru_nic::Clock;
+use ruru_telemetry::{CounterId, GaugeId, HistId, Registry};
 use ruru_tsdb::TsDb;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -81,6 +83,33 @@ impl PoolCounters {
     }
 }
 
+/// Handles into the pipeline's self-telemetry registry for the pool's
+/// worker threads (ISSUE 5). Worker `i` owns shard `shard_base + i`, so
+/// its updates are single-writer and contention-free; the pipeline's
+/// collector merges shards at snapshot time.
+#[derive(Clone)]
+pub struct PoolTelemetry {
+    /// The shared metric registry.
+    pub registry: Arc<Registry>,
+    /// The pipeline's virtual clock — enrich residency is virtual time
+    /// since the measurement completed, never wall time.
+    pub clock: Clock,
+    /// First registry shard reserved for this pool.
+    pub shard_base: usize,
+    /// Measurements enriched.
+    pub enriched: CounterId,
+    /// Bus payloads that failed to decode.
+    pub decode_errors: CounterId,
+    /// Payload bytes emitted on the output edges.
+    pub bytes_out: CounterId,
+    /// Geo cache hits (absolute per worker; summed across shards).
+    pub geo_cache_hits: GaugeId,
+    /// Geo cache misses (absolute per worker; summed across shards).
+    pub geo_cache_misses: GaugeId,
+    /// Track → enrich residency histogram (virtual ns).
+    pub enrich_residency: HistId,
+}
+
 /// A running pool of enrichment workers.
 pub struct EnrichmentPool {
     handles: Vec<JoinHandle<()>>,
@@ -117,6 +146,33 @@ impl EnrichmentPool {
         cache_capacity: usize,
         detector_feed: Option<crate::workers::PushFeed>,
     ) -> EnrichmentPool {
+        Self::spawn_with_telemetry(
+            threads,
+            input,
+            db,
+            tsdb,
+            publisher,
+            cache_capacity,
+            detector_feed,
+            None,
+        )
+    }
+
+    /// Like [`EnrichmentPool::spawn_with_detector_feed`], wired into the
+    /// pipeline's self-telemetry registry: each worker writes its counters,
+    /// geo-cache gauges and the track→enrich residency histogram into its
+    /// own shard, burst-framed so the collector never reads a torn burst.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_with_telemetry(
+        threads: usize,
+        input: Pull,
+        db: Arc<GeoDb>,
+        tsdb: Arc<TsDb>,
+        publisher: Publisher,
+        cache_capacity: usize,
+        detector_feed: Option<crate::workers::PushFeed>,
+        telemetry: Option<PoolTelemetry>,
+    ) -> EnrichmentPool {
         assert!(threads > 0, "need at least one worker");
         let counters = Arc::new(PoolCounters::default());
         let mut handles = Vec::with_capacity(threads);
@@ -127,6 +183,7 @@ impl EnrichmentPool {
             let publisher = publisher.clone();
             let detector_feed = detector_feed.clone();
             let counters = Arc::clone(&counters);
+            let telemetry = telemetry.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("enrich-{i}"))
@@ -136,6 +193,8 @@ impl EnrichmentPool {
                         let mut feed_out: Vec<Message> = Vec::with_capacity(WORKER_BURST);
                         let mut pub_out: Vec<Message> = Vec::with_capacity(WORKER_BURST);
                         let mut scratch = BytesMut::new();
+                        // Reused residency scratch: no steady-state allocation.
+                        let mut residencies: Vec<u64> = Vec::with_capacity(WORKER_BURST);
                         loop {
                             // One blocking rendezvous per burst.
                             if input.recv_batch(&mut batch, WORKER_BURST) == 0 {
@@ -147,11 +206,17 @@ impl EnrichmentPool {
                             let mut bytes_out = 0u64;
                             let mut alloc_hits = 0u64;
                             let mut batches_out = 0u64;
+                            residencies.clear();
                             for msg in batch.drain(..) {
                                 let Some(m) = LatencyMeasurement::decode(&msg.payload) else {
                                     decode_errors += 1;
                                     continue;
                                 };
+                                if let Some(t) = &telemetry {
+                                    residencies.push(
+                                        t.clock.now().saturating_nanos_since(m.completed_at),
+                                    );
+                                }
                                 let em = enricher.enrich(&m);
                                 if em.src.is_unknown() || em.dst.is_unknown() {
                                     geo_misses += 1;
@@ -204,6 +269,22 @@ impl EnrichmentPool {
                             counters.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
                             counters.alloc_hits.fetch_add(alloc_hits, Ordering::Relaxed);
                             counters.batches_out.fetch_add(batches_out, Ordering::Relaxed);
+                            // One registry burst per input burst: the
+                            // collector either sees all of it or none.
+                            if let Some(t) = &telemetry {
+                                let shard = t.shard_base + i;
+                                let (hits, misses) = enricher.cache_stats();
+                                t.registry.burst_begin(shard);
+                                for &r in &residencies {
+                                    t.registry.hist_record(shard, t.enrich_residency, r);
+                                }
+                                t.registry.counter_add(shard, t.enriched, enriched);
+                                t.registry.counter_add(shard, t.decode_errors, decode_errors);
+                                t.registry.counter_add(shard, t.bytes_out, bytes_out);
+                                t.registry.gauge_store(shard, t.geo_cache_hits, hits);
+                                t.registry.gauge_store(shard, t.geo_cache_misses, misses);
+                                t.registry.burst_end(shard);
+                            }
                         }
                     })
                     .expect("spawn enrichment worker"),

@@ -5,13 +5,68 @@
 //! magnitude is split into `2^precision` linear sub-buckets, giving a
 //! bounded relative error of `2^-precision` across the whole range — the
 //! scheme HdrHistogram popularized for exactly this job.
+//!
+//! The bucket geometry is exposed as free functions
+//! ([`bucket_count`], [`bucket_index`], [`bucket_floor_of`]) so other
+//! layers — notably `ruru-telemetry`'s sharded atomic histograms — can
+//! share the exact same binning without duplicating the math.
+
+/// Highest representable magnitude: values occupy at most 64 bits, so the
+/// top power-of-two bucket row covers magnitude 63 (`1 << 63 ..= u64::MAX`).
+const MAX_MAGNITUDE: u32 = 64;
+
+/// Number of buckets a precision-`p` histogram needs.
+///
+/// The linear region holds values `0..2^p` exactly (one slot each); every
+/// magnitude `p..=63` then contributes `2^p` sub-buckets, so the total is
+/// `(65 − p)·2^p`. Sized exactly: [`bucket_index`] of `u64::MAX` is the
+/// last slot, so the top bucket saturates instead of falling off the array.
+pub fn bucket_count(precision: u32) -> usize {
+    (MAX_MAGNITUDE as usize + 1 - precision as usize) << precision
+}
+
+/// The bucket index for `value` at the given precision.
+///
+/// Total over all of `u64` — the result is always `< bucket_count(p)`;
+/// values at or above `1 << 63` land in the top (saturating) row. Uses
+/// only shifts and masks: this runs on the dataplane hot path.
+#[inline]
+pub fn bucket_index(precision: u32, value: u64) -> usize {
+    if value == 0 {
+        return 0;
+    }
+    let magnitude = 63 - value.leading_zeros();
+    if magnitude < precision {
+        // Small values: fully linear region, exact.
+        return value as usize;
+    }
+    let sub = (value >> (magnitude - precision)) as usize & ((1usize << precision) - 1);
+    (((magnitude - precision) as usize + 1) << precision) + sub
+}
+
+/// The lower bound (representative value) of bucket `idx` at the given
+/// precision — the value reported for anything recorded in that bucket.
+///
+/// Saturates on out-of-range indices instead of overflowing the shift.
+#[inline]
+pub fn bucket_floor_of(precision: u32, idx: usize) -> u64 {
+    let per = 1usize << precision;
+    if idx < per {
+        return idx as u64;
+    }
+    let magnitude = ((idx >> precision) as u32 + precision)
+        .saturating_sub(1)
+        .min(63);
+    let sub = (idx & (per - 1)) as u64;
+    (1u64 << magnitude) | (sub << (magnitude - precision))
+}
 
 /// A fixed-precision log-linear histogram over `u64` values (nanoseconds).
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     /// `2^precision` sub-buckets per magnitude; relative error ≤ 2⁻ᵖ.
     precision: u32,
-    /// Bucket counts, indexed by [`Self::index_of`].
+    /// Bucket counts, indexed by [`bucket_index`].
     counts: Vec<u64>,
     total: u64,
     min: u64,
@@ -19,17 +74,14 @@ pub struct LatencyHistogram {
     sum: u128,
 }
 
-const MAX_MAGNITUDE: u32 = 64;
-
 impl LatencyHistogram {
     /// A histogram with `2^precision` sub-buckets per octave (precision
     /// 0–8; 5 ≈ 3 % relative error, 1.9 KiB of counters).
     pub fn new(precision: u32) -> LatencyHistogram {
         assert!(precision <= 8, "precision above 8 wastes memory");
-        let sub = 1usize << precision;
         LatencyHistogram {
             precision,
-            counts: vec![0; MAX_MAGNITUDE as usize * sub],
+            counts: vec![0; bucket_count(precision)],
             total: 0,
             min: u64::MAX,
             max: 0,
@@ -43,38 +95,20 @@ impl LatencyHistogram {
     }
 
     fn index_of(&self, value: u64) -> usize {
-        if value == 0 {
-            return 0;
-        }
-        let sub_bits = self.precision;
-        let v = value;
-        let magnitude = 63 - v.leading_zeros();
-        if magnitude < sub_bits {
-            // Small values: fully linear region.
-            return v as usize;
-        }
-        let sub = (v >> (magnitude - sub_bits)) as usize & ((1 << sub_bits) - 1);
-        ((magnitude - sub_bits + 1) as usize) * (1 << sub_bits) + sub
+        bucket_index(self.precision, value)
     }
 
     /// The lower bound of the bucket containing `value` — the value the
     /// histogram will report for anything recorded in that bucket.
     pub fn bucket_floor(&self, value: u64) -> u64 {
-        let idx = self.index_of(value);
-        let sub_bits = self.precision;
-        let per = 1usize << sub_bits;
-        if idx < per {
-            return idx as u64;
-        }
-        let magnitude = (idx / per) as u32 + sub_bits - 1;
-        let sub = (idx % per) as u64;
-        (1u64 << magnitude) | (sub << (magnitude - sub_bits))
+        bucket_floor_of(self.precision, self.index_of(value))
     }
 
     /// Record one value.
     pub fn record(&mut self, value: u64) {
         let idx = self.index_of(value);
-        // index_of() maps into 0..counts.len() by construction.
+        // index_of() maps into 0..counts.len() by construction (the array
+        // is sized so even u64::MAX hits the last, saturating bucket).
         if let Some(c) = self.counts.get_mut(idx) {
             *c += 1;
         }
@@ -131,17 +165,11 @@ impl LatencyHistogram {
             seen += c;
             if seen >= target {
                 // Report the representative (floor) value of this bucket,
-                // clamped into the recorded range.
-                let sub_bits = self.precision;
-                let per = 1usize << sub_bits;
-                let floor = if idx < per {
-                    idx as u64
-                } else {
-                    let magnitude = (idx / per) as u32 + sub_bits - 1;
-                    let sub = (idx % per) as u64;
-                    (1u64 << magnitude) | (sub << (magnitude - sub_bits))
-                };
-                return floor.clamp(self.min, self.max);
+                // clamped into the recorded range. max/min (not `clamp`):
+                // this stays total even if min/max are ever inconsistent
+                // (e.g. a merged-then-cleared histogram mid-transition).
+                let floor = bucket_floor_of(self.precision, idx);
+                return floor.max(self.min).min(self.max);
             }
         }
         self.max
@@ -150,6 +178,11 @@ impl LatencyHistogram {
     /// Merge another histogram (same precision) into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         assert_eq!(self.precision, other.precision, "precision mismatch");
+        if other.total == 0 {
+            // An empty histogram contributes nothing; skipping keeps our
+            // min/max untouched by the other's sentinel values.
+            return;
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -299,5 +332,125 @@ mod tests {
         let p995 = h.value_at_quantile(0.995);
         assert!((125_000_000..145_000_000).contains(&p50), "p50 {p50}");
         assert!(p995 >= 3_800_000_000, "p99.5 {p995}");
+    }
+
+    // ---- boundary behaviour at and above the top bucket ----
+
+    #[test]
+    fn top_bucket_values_are_counted_at_every_precision() {
+        // Regression: precision 0 used to size the array one slot short,
+        // so values at magnitude 63 incremented `total` but no bucket —
+        // quantiles silently drifted from the count. Every recorded value
+        // must land in a real bucket.
+        for p in 0..=8u32 {
+            let mut h = LatencyHistogram::new(p);
+            for v in [1u64, 1 << 62, (1 << 63) - 1, 1 << 63, u64::MAX - 1, u64::MAX] {
+                h.record(v);
+            }
+            let bucketed: u64 = h.counts.iter().sum();
+            assert_eq!(
+                bucketed,
+                h.count(),
+                "precision {p}: {bucketed} bucketed of {} recorded",
+                h.count()
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_total_and_in_range() {
+        for p in 0..=8u32 {
+            let len = bucket_count(p);
+            for v in [
+                0u64,
+                1,
+                (1 << p) - 1,
+                1 << p,
+                u64::MAX >> 1,
+                (u64::MAX >> 1) + 1,
+                1 << 63,
+                u64::MAX,
+            ] {
+                let idx = bucket_index(p, v);
+                assert!(idx < len, "precision {p}: index {idx} out of {len} for {v}");
+            }
+            assert_eq!(
+                bucket_index(p, u64::MAX),
+                len - 1,
+                "u64::MAX saturates into the last bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_floor_saturates_above_max_magnitude() {
+        for p in 0..=8u32 {
+            let h = LatencyHistogram::new(p);
+            for v in [1u64 << 63, u64::MAX - 1, u64::MAX] {
+                let floor = h.bucket_floor(v);
+                assert!(floor <= v, "precision {p}: floor {floor} > {v}");
+                assert!(
+                    floor >= 1 << 63,
+                    "precision {p}: top-row value {v} reported below its magnitude: {floor}"
+                );
+            }
+            // Out-of-range indices saturate rather than overflow the shift.
+            assert!(bucket_floor_of(p, usize::MAX >> 8) >= 1 << 63);
+        }
+    }
+
+    #[test]
+    fn quantile_of_extreme_values_stays_in_range() {
+        let mut h = LatencyHistogram::new(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.value_at_quantile(0.5), u64::MAX);
+        assert_eq!(h.value_at_quantile(1.0), u64::MAX);
+        h.record(1);
+        let p25 = h.value_at_quantile(0.25);
+        assert_eq!(p25, 1, "low quantile finds the small value: {p25}");
+    }
+
+    // ---- merged-then-cleared sequences ----
+
+    #[test]
+    fn merge_with_empty_keeps_exact_min_max() {
+        let mut h = LatencyHistogram::new(5);
+        h.record(500);
+        let empty = LatencyHistogram::new(5);
+        h.merge(&empty);
+        // The empty histogram's sentinel min (u64::MAX) must not leak.
+        assert_eq!(h.min(), 500);
+        assert_eq!(h.max(), 500);
+        assert_eq!(h.count(), 1);
+
+        // And merging *into* a cleared histogram restores the source.
+        let mut cleared = LatencyHistogram::new(5);
+        cleared.record(77);
+        cleared.clear();
+        cleared.merge(&h);
+        assert_eq!(cleared.min(), 500);
+        assert_eq!(cleared.value_at_quantile(0.5), h.value_at_quantile(0.5));
+    }
+
+    #[test]
+    fn merged_then_cleared_histogram_recovers() {
+        let mut a = LatencyHistogram::new(5);
+        let mut b = LatencyHistogram::new(5);
+        for v in 1..100u64 {
+            b.record(v * 1_000);
+        }
+        a.merge(&b);
+        a.clear();
+        // After clearing a merged histogram, quantiles are empty-safe...
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.value_at_quantile(0.5), 0);
+        assert_eq!(a.value_at_quantile(1.0), 0);
+        // ...and re-merging reproduces the source distribution exactly.
+        a.merge(&b);
+        assert_eq!(a.count(), b.count());
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(a.value_at_quantile(q), b.value_at_quantile(q));
+        }
     }
 }

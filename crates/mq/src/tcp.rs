@@ -13,13 +13,25 @@
 //!
 //! The subscription handshake is a single frame from subscriber to
 //! publisher whose *topic* is the requested prefix and whose payload is
-//! empty. Slow subscribers are disconnected rather than allowed to stall
-//! the publisher (the TCP analogue of PUB's drop-on-full).
+//! empty.
+//!
+//! # Slow subscribers never stall the publisher
+//!
+//! Peer sockets are **nonblocking** with a bounded per-peer byte buffer
+//! ([`PEER_BUFFER_CAP`]). `publish` only ever memcpys into that buffer and
+//! attempts nonblocking flushes — it performs no blocking syscalls, so its
+//! latency is bounded independent of the slowest peer. When a peer's
+//! backlog is full, **whole frames** are dropped for that peer (the TCP
+//! analogue of PUB's drop-on-full HWM) — never partial frames, so the
+//! byte stream always stays frame-aligned. Peers are disconnected only on
+//! hard socket errors (reset, broken pipe), never for being slow; the
+//! accept thread keeps draining buffered tails between publishes.
 
 use crate::message::Message;
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::{thread, Arc, Mutex, MutexGuard, PoisonError};
 use bytes::Bytes;
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
@@ -32,6 +44,16 @@ fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Maximum accepted frame component size (defensive bound).
 pub const MAX_PART: usize = 64 * 1024 * 1024;
+
+/// Per-peer backlog bound: once a slow subscriber has this many bytes
+/// queued, further frames are dropped *for that peer* until it drains.
+/// An empty backlog always accepts one frame (so any frame ≤ [`MAX_PART`]
+/// can be delivered), which bounds per-peer memory at
+/// `PEER_BUFFER_CAP + MAX_PART`.
+pub const PEER_BUFFER_CAP: usize = 4 * 1024 * 1024;
+
+/// Flushed-bytes threshold past which a peer's buffer is compacted.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
 
 /// Encode a message into its wire frame.
 pub fn encode_frame(msg: &Message) -> Vec<u8> {
@@ -76,9 +98,110 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Message>> {
     }))
 }
 
+/// One connected subscriber: its nonblocking socket plus the bounded
+/// backlog of frame bytes accepted but not yet handed to the OS.
 struct Peer {
     stream: TcpStream,
     prefix: Vec<u8>,
+    /// Queued frame bytes; `cursor..` is the unflushed region.
+    pending: Vec<u8>,
+    /// Bytes of `pending` already written to the socket.
+    cursor: usize,
+    /// Remaining unflushed byte length of each queued frame, oldest first
+    /// (lets the flusher count *fully sent* frames exactly).
+    frame_lens: VecDeque<usize>,
+    /// Whole frames dropped for this peer because its backlog was full.
+    drops: u64,
+}
+
+impl Peer {
+    fn backlog(&self) -> usize {
+        self.pending.len().saturating_sub(self.cursor)
+    }
+
+    /// Nonblocking drain of the backlog. Returns the number of frames
+    /// whose final byte reached the OS, or a hard error (transient
+    /// `WouldBlock` just stops the drain; `Interrupted` retries).
+    fn try_flush(&mut self) -> std::io::Result<u64> {
+        let mut sent_frames = 0u64;
+        while self.cursor < self.pending.len() {
+            let unsent = self.pending.get(self.cursor..).unwrap_or(&[]);
+            match self.stream.write(unsent) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "peer socket accepted no bytes",
+                    ));
+                }
+                Ok(n) => {
+                    self.cursor = self.cursor.saturating_add(n);
+                    let mut credit = n;
+                    while let Some(front) = self.frame_lens.front_mut() {
+                        if credit >= *front {
+                            credit = credit.saturating_sub(*front);
+                            self.frame_lens.pop_front();
+                            sent_frames = sent_frames.saturating_add(1);
+                        } else {
+                            *front = front.saturating_sub(credit);
+                            break;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.cursor >= self.pending.len() {
+            self.pending.clear();
+            self.cursor = 0;
+        } else if self.cursor > COMPACT_THRESHOLD {
+            self.pending.drain(..self.cursor);
+            self.cursor = 0;
+        }
+        Ok(sent_frames)
+    }
+
+    /// Queue `frame` if the backlog allows it (an empty backlog always
+    /// accepts). Returns `false` — a per-peer whole-frame drop — when full.
+    fn enqueue(&mut self, frame: &[u8]) -> bool {
+        let backlog = self.backlog();
+        if backlog > 0 && backlog.saturating_add(frame.len()) > PEER_BUFFER_CAP {
+            self.drops = self.drops.saturating_add(1);
+            return false;
+        }
+        self.pending.extend_from_slice(frame);
+        self.frame_lens.push_back(frame.len());
+        true
+    }
+}
+
+/// Cumulative [`TcpPublisher`] counters, shared with the accept/flush
+/// thread.
+#[derive(Default)]
+struct PubCounters {
+    published: AtomicU64,
+    sent_frames: AtomicU64,
+    dropped_frames: AtomicU64,
+    disconnects: AtomicU64,
+}
+
+/// A consistent read of the publisher's counters.
+///
+/// Conservation: every frame passed to `publish` is, per matching peer,
+/// either eventually counted in `sent_frames`, counted in
+/// `dropped_frames`, or lost with its peer's `disconnects` increment —
+/// never double-counted, never silently vanished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpPubStats {
+    /// Frames passed to [`TcpPublisher::publish`] (independent of peers).
+    pub published: u64,
+    /// Frames whose final byte was handed to the OS, summed over peers.
+    pub sent_frames: u64,
+    /// Whole frames dropped because a peer's backlog was full.
+    pub dropped_frames: u64,
+    /// Peers disconnected on hard socket errors (never for slowness).
+    pub disconnects: u64,
 }
 
 /// A TCP publisher: binds a listener and fans frames out to subscribers.
@@ -87,13 +210,30 @@ pub struct TcpPublisher {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<thread::JoinHandle<()>>,
-    sent: AtomicU64,
-    disconnects: AtomicU64,
+    counters: Arc<PubCounters>,
+}
+
+/// Flush every peer, retaining only those without hard errors; feeds the
+/// shared counters. Runs under the peers lock but performs only
+/// nonblocking writes.
+fn flush_peers(peers: &mut Vec<Peer>, counters: &PubCounters) {
+    peers.retain_mut(|peer| match peer.try_flush() {
+        Ok(sent) => {
+            counters.sent_frames.fetch_add(sent, Ordering::Relaxed);
+            true
+        }
+        Err(_) => {
+            counters.disconnects.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    });
 }
 
 impl TcpPublisher {
     /// Bind to `addr` (use port 0 for an ephemeral port) and start
-    /// accepting subscribers in a background thread.
+    /// accepting subscribers in a background thread. The same thread
+    /// doubles as the periodic flusher, draining buffered tails so a
+    /// quiet publisher still delivers everything it queued.
     // Accept-thread spawn failure is a startup-time OS error; the accept
     // loop sleeps on WouldBlock because it is an IO thread, not a poller.
     #[allow(clippy::expect_used, clippy::disallowed_methods)]
@@ -103,8 +243,10 @@ impl TcpPublisher {
         listener.set_nonblocking(true)?;
         let peers: Arc<Mutex<Vec<Peer>>> = Arc::new(Mutex::new(Vec::new()));
         let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(PubCounters::default());
         let peers2 = Arc::clone(&peers);
         let stop2 = Arc::clone(&stop);
+        let counters2 = Arc::clone(&counters);
         let accept_thread = thread::Builder::new()
             .name("mq-accept".into())
             .spawn(move || {
@@ -119,17 +261,22 @@ impl TcpPublisher {
                                 .set_read_timeout(Some(Duration::from_secs(5)))
                                 .ok();
                             if let Ok(Some(hello)) = read_frame(&mut stream) {
-                                stream
-                                    .set_write_timeout(Some(Duration::from_secs(1)))
-                                    .ok();
                                 stream.set_nodelay(true).ok();
+                                // All publisher writes are nonblocking; a
+                                // backlogged peer buffers, never stalls us.
+                                stream.set_nonblocking(true).ok();
                                 plock(&peers2).push(Peer {
                                     stream,
                                     prefix: hello.topic.to_vec(),
+                                    pending: Vec::new(),
+                                    cursor: 0,
+                                    frame_lens: VecDeque::new(),
+                                    drops: 0,
                                 });
                             }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            flush_peers(&mut plock(&peers2), &counters2);
                             std::thread::sleep(Duration::from_millis(1));
                         }
                         Err(_) => break,
@@ -142,8 +289,7 @@ impl TcpPublisher {
             local_addr,
             stop,
             accept_thread: Some(accept_thread),
-            sent: AtomicU64::new(0),
-            disconnects: AtomicU64::new(0),
+            counters,
         })
     }
 
@@ -157,38 +303,56 @@ impl TcpPublisher {
         plock(&self.peers).len()
     }
 
-    /// Publish to all matching subscribers; peers whose socket errors
-    /// (including write timeouts from unread backlogs) are disconnected.
-    /// Returns the number of peers written.
+    /// Largest per-peer backlog in bytes (a liveness gauge for telemetry:
+    /// a persistently high-water backlog means a subscriber is falling
+    /// behind and shedding frames).
+    pub fn max_peer_backlog(&self) -> usize {
+        plock(&self.peers)
+            .iter()
+            .map(Peer::backlog)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Publish to all matching subscribers. Never blocks: each matching
+    /// peer either gets the whole frame queued (flushed opportunistically
+    /// with nonblocking writes) or drops the whole frame if its backlog
+    /// is full. Peers are disconnected only on hard socket errors.
+    /// Returns the number of peers the frame was queued for.
     pub fn publish(&self, msg: &Message) -> usize {
         let frame = encode_frame(msg);
+        self.counters.published.fetch_add(1, Ordering::Relaxed);
         let mut peers = plock(&self.peers);
-        let mut written = 0;
+        let mut queued = 0usize;
         peers.retain_mut(|peer| {
-            if !msg.matches(&peer.prefix) {
-                return true;
+            let matches = msg.matches(&peer.prefix);
+            if matches && peer.enqueue(&frame) {
+                queued = queued.saturating_add(1);
+            } else if matches {
+                self.counters.dropped_frames.fetch_add(1, Ordering::Relaxed);
             }
-            match peer.stream.write_all(&frame) {
-                Ok(()) => {
-                    written += 1;
+            match peer.try_flush() {
+                Ok(sent) => {
+                    self.counters.sent_frames.fetch_add(sent, Ordering::Relaxed);
                     true
                 }
                 Err(_) => {
-                    self.disconnects.fetch_add(1, Ordering::Relaxed);
+                    self.counters.disconnects.fetch_add(1, Ordering::Relaxed);
                     false
                 }
             }
         });
-        self.sent.fetch_add(written as u64, Ordering::Relaxed);
-        written
+        queued
     }
 
-    /// (frames written, peers disconnected) counters.
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.sent.load(Ordering::Relaxed),
-            self.disconnects.load(Ordering::Relaxed),
-        )
+    /// Cumulative publisher counters.
+    pub fn stats(&self) -> TcpPubStats {
+        TcpPubStats {
+            published: self.counters.published.load(Ordering::Relaxed),
+            sent_frames: self.counters.sent_frames.load(Ordering::Relaxed),
+            dropped_frames: self.counters.dropped_frames.load(Ordering::Relaxed),
+            disconnects: self.counters.disconnects.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -198,6 +362,9 @@ impl Drop for TcpPublisher {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
+        // Best-effort final drain so frames queued just before drop still
+        // reach peers whose sockets have room.
+        flush_peers(&mut plock(&self.peers), &self.counters);
     }
 }
 
@@ -327,9 +494,10 @@ mod tests {
             if publisher.peer_count() == 0 {
                 break;
             }
+            std::thread::sleep(Duration::from_micros(100));
         }
         assert_eq!(publisher.peer_count(), 0);
-        assert_eq!(publisher.stats().1, 1);
+        assert_eq!(publisher.stats().disconnects, 1);
     }
 
     #[test]
@@ -350,5 +518,93 @@ mod tests {
         }
         let got = reader.join().unwrap();
         assert_eq!(got, (0..1000).collect::<Vec<_>>());
+        // Nothing was dropped or disconnected, and every frame the
+        // publisher queued was eventually fully written.
+        let stats = publisher.stats();
+        assert_eq!(stats.published, 1000);
+        assert_eq!(stats.sent_frames, 1000);
+        assert_eq!(stats.dropped_frames, 0);
+        assert_eq!(stats.disconnects, 0);
+    }
+
+    /// The ISSUE 5 regression: a subscriber that never reads must not
+    /// add even a millisecond of blocking to `publish` (the old code
+    /// held the peers lock across a blocking `write_all` with a 1 s
+    /// timeout), must not be disconnected for mere slowness, and must
+    /// shed whole frames once its backlog hits the cap.
+    #[test]
+    fn slow_subscriber_never_blocks_publish() {
+        let publisher = TcpPublisher::bind("127.0.0.1:0").unwrap();
+        // Connected but never reads: the OS buffers fill, then our
+        // per-peer backlog fills, then frames drop.
+        let _lazy = TcpSubscriber::connect(publisher.local_addr(), "").unwrap();
+        wait_for_peers(&publisher, 1);
+
+        let payload = vec![0u8; 256 * 1024];
+        let mut slowest = Duration::ZERO;
+        for _ in 0..100 {
+            let t0 = std::time::Instant::now();
+            publisher.publish(&Message::new("t", payload.clone()));
+            slowest = slowest.max(t0.elapsed());
+        }
+
+        // 100 × 256 KiB ≫ PEER_BUFFER_CAP + any OS socket buffer.
+        let stats = publisher.stats();
+        assert!(
+            stats.dropped_frames > 0,
+            "a saturated backlog must shed whole frames, got {stats:?}"
+        );
+        assert_eq!(
+            publisher.peer_count(),
+            1,
+            "slowness alone must never disconnect a peer"
+        );
+        assert_eq!(stats.disconnects, 0);
+        // The old implementation blocked up to 1 s per publish; the new
+        // one only memcpys + nonblocking-writes. Allow generous CI slack.
+        assert!(
+            slowest < Duration::from_millis(500),
+            "publish took {slowest:?} with a stalled subscriber"
+        );
+        // Whatever wasn't dropped was queued or sent — conservation.
+        assert_eq!(
+            stats.sent_frames as usize
+                + stats.dropped_frames as usize
+                + plock(&publisher.peers)
+                    .first()
+                    .map(|p| p.frame_lens.len())
+                    .unwrap_or(0),
+            stats.published as usize
+        );
+    }
+
+    /// After a stall clears, buffered frames drain (via the accept
+    /// thread's periodic flush) and the stream stays frame-aligned.
+    #[test]
+    fn stalled_backlog_drains_frame_aligned_once_reader_resumes() {
+        let publisher = TcpPublisher::bind("127.0.0.1:0").unwrap();
+        let mut sub = TcpSubscriber::connect(publisher.local_addr(), "").unwrap();
+        wait_for_peers(&publisher, 1);
+
+        // Stall long enough to force a partial nonblocking write mid-frame.
+        let payload = vec![0xabu8; 512 * 1024];
+        for _ in 0..8 {
+            publisher.publish(&Message::new("big", payload.clone()));
+        }
+        // Resume reading: every frame that arrives must be intact and
+        // correctly framed (no torn length prefixes).
+        sub.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut received = 0;
+        while let Ok(Some(m)) = sub.recv() {
+            assert_eq!(m.topic, &b"big"[..]);
+            assert_eq!(m.payload.len(), payload.len());
+            assert!(m.payload.iter().all(|&b| b == 0xab));
+            received += 1;
+            let stats = publisher.stats();
+            if received as u64 + stats.dropped_frames >= stats.published {
+                break;
+            }
+        }
+        assert!(received > 0, "drained frames must reach the subscriber");
     }
 }

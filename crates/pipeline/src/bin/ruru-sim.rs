@@ -236,6 +236,8 @@ fn main() {
             .integer(report.measurements() as i64)
             .key("enriched")
             .integer(report.pool.enriched as i64)
+            .key("telemetry_points")
+            .integer(report.telemetry_points as i64)
             .key("alerts")
             .begin_object()
             .key("total")
@@ -257,10 +259,11 @@ fn main() {
     println!("scenario {}: {} sim-seconds in {wall_secs:.2} wall-seconds", args.scenario, args.secs);
     println!("packets {packets} | flows {flows} | flood SYNs {flood_syns}");
     println!(
-        "measured {} | enriched {} | tsdb points {}",
+        "measured {} | enriched {} | tsdb points {} ({} self-telemetry)",
         report.measurements(),
         report.pool.enriched,
-        report.tsdb.points_ingested()
+        report.tsdb.points_ingested(),
+        report.telemetry_points
     );
     println!(
         "alerts: {} total ({} spike / {} flood / {} rate)",

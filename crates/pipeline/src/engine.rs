@@ -6,6 +6,7 @@
 //! [`Report`] with the statistics every experiment reads.
 
 use crate::snmp::{SnmpPoller, SnmpSample};
+use crate::telemetry::SelfMetrics;
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ruru_analytics::detect::{FloodConfig, RateConfig, SpikeConfig};
@@ -13,7 +14,9 @@ use ruru_analytics::{
     AlertSink, EnrichedMeasurement, EnrichmentPool, LatencySpikeDetector, PairAggregator,
     PairInterner, RateAnomalyDetector, SynFloodDetector,
 };
-use ruru_flow::classify::{classify_mbuf, ChecksumMode, RejectCounters, RejectStats, TcpMeta};
+use ruru_flow::classify::{
+    classify_mbuf, ChecksumMode, Reject, RejectCounters, RejectStats, TcpMeta,
+};
 use ruru_nic::Mbuf;
 use ruru_flow::measurement::{SCRATCH_CHUNK, WIRE_LEN};
 use ruru_flow::{HandshakeTracker, TrackerConfig, TrackerStats};
@@ -23,9 +26,10 @@ use ruru_mq::{pipe, Message, Publisher, Push};
 use ruru_nic::lcore::{WorkerGroup, BURST_SIZE};
 use ruru_nic::port::{Port, PortConfig, PortStats};
 use ruru_nic::{Clock, Timestamp};
+use ruru_telemetry::Snapshot;
 use ruru_tsdb::TsDb;
 use ruru_viz::frame::{FrameBatcher, FrameConfig};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -54,6 +58,10 @@ pub struct PipelineConfig {
     pub rate: RateConfig,
     /// SNMP baseline poll interval (ns).
     pub snmp_interval_ns: u64,
+    /// Interval (virtual ns) between self-telemetry collections: each one
+    /// snapshots the sharded registry and writes `ruru_self` points into
+    /// the tsdb (see [`crate::telemetry`]).
+    pub telemetry_interval_ns: u64,
     /// When true (the default), [`Pipeline::feed`] waits for ring space
     /// instead of dropping at a full RX ring. Simulated time is decoupled
     /// from wall time, so "waiting" costs nothing and runs are lossless on
@@ -75,6 +83,7 @@ impl Default for PipelineConfig {
             flood: FloodConfig::default(),
             rate: RateConfig::default(),
             snmp_interval_ns: 300 * 1_000_000_000,
+            telemetry_interval_ns: 1_000_000_000,
             lossless_inject: true,
         }
     }
@@ -96,25 +105,28 @@ pub struct StageStats {
     pub alloc_hits: u64,
 }
 
-/// Shared atomic backing for a [`StageStats`] snapshot.
-#[derive(Default)]
-struct StageCounters {
-    records_in: AtomicU64,
-    records_out: AtomicU64,
-    batches: AtomicU64,
-    bytes: AtomicU64,
-    alloc_hits: AtomicU64,
-}
+/// Every classification reject cause, in [`reject_idx`] order — the
+/// dataplane workers count causes in a local array and flush one registry
+/// burst per RX burst.
+const REJECT_CAUSES: [Reject; 7] = [
+    Reject::NotIp,
+    Reject::NotTcp,
+    Reject::Fragment,
+    Reject::BadIpChecksum,
+    Reject::BadTcpChecksum,
+    Reject::BadTcp,
+    Reject::BusClosed,
+];
 
-impl StageCounters {
-    fn snapshot(&self) -> StageStats {
-        StageStats {
-            records_in: self.records_in.load(Ordering::Relaxed),
-            records_out: self.records_out.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            bytes: self.bytes.load(Ordering::Relaxed),
-            alloc_hits: self.alloc_hits.load(Ordering::Relaxed),
-        }
+fn reject_idx(reject: Reject) -> usize {
+    match reject {
+        Reject::NotIp => 0,
+        Reject::NotTcp => 1,
+        Reject::Fragment => 2,
+        Reject::BadIpChecksum => 3,
+        Reject::BadTcpChecksum => 4,
+        Reject::BadTcp => 5,
+        Reject::BusClosed => 6,
     }
 }
 
@@ -153,6 +165,13 @@ pub struct Report {
     /// "aggregates statistics by source and destination locations, and AS
     /// numbers").
     pub aggregates: PairAggregator,
+    /// Final self-telemetry snapshot: every registry counter, gauge and
+    /// stage-residency histogram, taken after all stages quiesced (the
+    /// source of the run's last `ruru_self` export).
+    pub telemetry: Snapshot,
+    /// `ruru_self` points written into the tsdb over the run, so
+    /// `tsdb.points_ingested() == measurements + telemetry_points` exactly.
+    pub telemetry_points: u64,
 }
 
 impl Report {
@@ -173,7 +192,10 @@ struct WorkerState {
     syn_tx: Sender<(u16, u64)>,
     checksum_mode: ChecksumMode,
     rejects: Arc<RejectCounters>,
-    stage: Arc<StageCounters>,
+    /// The shared self-metric registry; this worker writes only `shard`.
+    metrics: Arc<SelfMetrics>,
+    shard: usize,
+    clock: Clock,
     /// Measurements accumulated this burst, flushed with one `send_batch`.
     batch: Vec<Message>,
     /// Classified packets of the current burst, reused across bursts so
@@ -182,17 +204,23 @@ struct WorkerState {
     /// Encode scratch: measurements append here and freeze zero-copy
     /// slices, one block allocation per ~64 KiB of output.
     scratch: BytesMut,
-    // Local counters, flushed to `stage` once per burst.
+    /// RX residencies (virtual ns, mbuf timestamp → classify) of the
+    /// current burst, reused across bursts.
+    residencies: Vec<u64>,
+    // Local counters, flushed to the registry once per burst.
     records_in: u64,
     records_out: u64,
     batches: u64,
     bytes: u64,
     alloc_hits: u64,
+    syn_events: u64,
+    reject_counts: [u64; REJECT_CAUSES.len()],
 }
 
 impl WorkerState {
-    /// Send the accumulated burst downstream and flush local counters to
-    /// the shared stage atomics — called at every burst end and on stop.
+    /// Send the accumulated burst downstream and flush local counters into
+    /// this worker's registry shard — one epoch-framed burst per RX burst,
+    /// called at every burst end and on stop.
     fn flush(&mut self) {
         if !self.batch.is_empty() {
             self.batches += 1;
@@ -209,34 +237,75 @@ impl WorkerState {
                 // `consumed` includes the message that failed to send.
                 let lost = queued.saturating_sub(consumed.saturating_sub(1));
                 self.rejects.record_bus_closed(lost as u64);
+                if let Some(n) = self.reject_counts.get_mut(reject_idx(Reject::BusClosed)) {
+                    *n += lost as u64;
+                }
             }
         }
+        let m = &*self.metrics;
+        let r = m.registry();
+        r.burst_begin(self.shard);
         if self.records_in > 0 {
-            self.stage
-                .records_in
-                .fetch_add(self.records_in, Ordering::Relaxed);
+            r.counter_add(self.shard, m.dp_records_in, self.records_in);
             self.records_in = 0;
         }
         if self.records_out > 0 {
-            self.stage
-                .records_out
-                .fetch_add(self.records_out, Ordering::Relaxed);
+            r.counter_add(self.shard, m.dp_records_out, self.records_out);
             self.records_out = 0;
         }
         if self.batches > 0 {
-            self.stage.batches.fetch_add(self.batches, Ordering::Relaxed);
+            r.counter_add(self.shard, m.dp_batches, self.batches);
             self.batches = 0;
         }
         if self.bytes > 0 {
-            self.stage.bytes.fetch_add(self.bytes, Ordering::Relaxed);
+            r.counter_add(self.shard, m.dp_bytes, self.bytes);
             self.bytes = 0;
         }
         if self.alloc_hits > 0 {
-            self.stage
-                .alloc_hits
-                .fetch_add(self.alloc_hits, Ordering::Relaxed);
+            r.counter_add(self.shard, m.dp_alloc_hits, self.alloc_hits);
             self.alloc_hits = 0;
         }
+        if self.syn_events > 0 {
+            r.counter_add(self.shard, m.dp_syn_events, self.syn_events);
+            self.syn_events = 0;
+        }
+        for (i, &cause) in REJECT_CAUSES.iter().enumerate() {
+            if let Some(&n) = self.reject_counts.get(i) {
+                if n > 0 {
+                    r.counter_add(self.shard, m.reject_counter(cause), n);
+                }
+            }
+        }
+        self.reject_counts = [0; REJECT_CAUSES.len()];
+        for &ns in &self.residencies {
+            r.hist_record(self.shard, m.rx_residency, ns);
+        }
+        self.residencies.clear();
+        // Tracker stats are absolute per queue: stored as gauges, they sum
+        // across shards to the run totals.
+        let ts = self.tracker.stats();
+        r.gauge_store(self.shard, m.tracker_packets, ts.packets);
+        r.gauge_store(self.shard, m.tracker_syns, ts.syns);
+        r.gauge_store(self.shard, m.tracker_synacks, ts.synacks);
+        r.gauge_store(self.shard, m.tracker_measurements, ts.measurements);
+        r.gauge_store(self.shard, m.tracker_syn_retransmissions, ts.syn_retransmissions);
+        r.gauge_store(
+            self.shard,
+            m.tracker_synack_retransmissions,
+            ts.synack_retransmissions,
+        );
+        r.gauge_store(self.shard, m.tracker_restarts, ts.restarts);
+        r.gauge_store(self.shard, m.tracker_stray_synacks, ts.stray_synacks);
+        r.gauge_store(self.shard, m.tracker_rst_aborts, ts.rst_aborts);
+        r.gauge_store(self.shard, m.tracker_expired, ts.expired);
+        r.gauge_store(self.shard, m.tracker_evicted, ts.evicted);
+        r.gauge_store(self.shard, m.tracker_nonmonotonic, ts.nonmonotonic);
+        r.gauge_store(
+            self.shard,
+            m.flow_table_occupancy,
+            self.tracker.in_flight() as u64,
+        );
+        r.burst_end(self.shard);
     }
 }
 
@@ -255,7 +324,13 @@ pub struct Pipeline {
     alerts: AlertSink,
     snmp: SnmpPoller,
     rejects: Arc<RejectCounters>,
-    dataplane: Arc<StageCounters>,
+    metrics: Arc<SelfMetrics>,
+    telemetry_interval_ns: u64,
+    last_telemetry: u64,
+    telemetry_points: u64,
+    // Reused collection buffers: snapshots allocate nothing after warm-up.
+    telemetry_snap: Snapshot,
+    telemetry_scratch: Vec<u64>,
     last_event: Timestamp,
 }
 
@@ -279,6 +354,47 @@ struct DetectorInputs {
     rate: RateConfig,
     frame: FrameConfig,
     num_queues: u16,
+    metrics: Arc<SelfMetrics>,
+    clock: Clock,
+}
+
+/// Flush the detector's per-iteration deltas into its registry shard (one
+/// epoch-framed burst) and fold them into the cumulative stage totals.
+fn flush_detector_deltas(
+    metrics: &SelfMetrics,
+    shard: usize,
+    delta: &mut StageStats,
+    stage: &mut StageStats,
+    residencies: &mut Vec<u64>,
+) {
+    if delta.records_in == 0 && delta.records_out == 0 && residencies.is_empty() {
+        return;
+    }
+    let r = metrics.registry();
+    r.burst_begin(shard);
+    if delta.records_in > 0 {
+        r.counter_add(shard, metrics.det_records_in, delta.records_in);
+    }
+    if delta.records_out > 0 {
+        r.counter_add(shard, metrics.det_records_out, delta.records_out);
+    }
+    if delta.batches > 0 {
+        r.counter_add(shard, metrics.det_batches, delta.batches);
+    }
+    if delta.bytes > 0 {
+        r.counter_add(shard, metrics.det_bytes, delta.bytes);
+    }
+    for &ns in residencies.iter() {
+        r.hist_record(shard, metrics.publish_residency, ns);
+    }
+    r.burst_end(shard);
+    residencies.clear();
+    stage.records_in += delta.records_in;
+    stage.records_out += delta.records_out;
+    stage.batches += delta.batches;
+    stage.bytes += delta.bytes;
+    stage.alloc_hits += delta.alloc_hits;
+    *delta = StageStats::default();
 }
 
 /// One RX burst through the dataplane stage: classify every packet (carrying
@@ -292,10 +408,17 @@ struct DetectorInputs {
 fn dataplane_worker(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
     state.records_in += burst.len() as u64;
     state.metas.clear();
+    // One clock read per burst: RX residency is virtual time between the
+    // mbuf's tap timestamp and this classification pass.
+    let now = state.clock.now();
     for mbuf in burst.drain(..) {
         match classify_mbuf(&mbuf, state.checksum_mode) {
             Ok(meta) => {
+                state
+                    .residencies
+                    .push(now.saturating_nanos_since(meta.timestamp));
                 if meta.flags.is_syn_only() {
+                    state.syn_events += 1;
                     let _ = state
                         .syn_tx
                         .send((state.tracker.queue_id(), meta.timestamp.as_nanos()));
@@ -304,8 +427,12 @@ fn dataplane_worker(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
             }
             Err(reject) => {
                 // Fragments/UDP/ARP are normal on a live tap; count them
-                // per cause.
+                // per cause — in the shared run counters and in this
+                // worker's registry shard.
                 state.rejects.record(reject);
+                if let Some(n) = state.reject_counts.get_mut(reject_idx(reject)) {
+                    *n += 1;
+                }
             }
         }
     }
@@ -363,6 +490,8 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
         rate,
         frame,
         num_queues,
+        metrics,
+        clock,
     } = inputs;
 
     enum Ev {
@@ -380,6 +509,11 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
     let mut frames_emitted = 0u64;
     let mut last_at = Timestamp::ZERO;
     let mut stage = StageStats::default();
+    // Per-iteration deltas + publish residencies, flushed into the
+    // detector's registry shard as one epoch-framed burst per iteration.
+    let mut delta = StageStats::default();
+    let mut residencies: Vec<u64> = Vec::with_capacity(2 * BURST_SIZE);
+    let det_shard = metrics.detector_shard();
     let top_queue = num_queues.saturating_sub(1);
 
     // Source id: queue × {syn=0, measurement=1}. All sources start at
@@ -448,7 +582,7 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
             };
             syn_quota -= 1;
             idle = false;
-            stage.records_in += 1;
+            delta.records_in += 1;
             let w = watermarks.entry((qid.min(top_queue), 0)).or_insert(0);
             *w = (*w).max(ts);
             pending.push(Reverse((ts, seq)));
@@ -458,10 +592,10 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
         let n = det_pull.try_recv_batch(&mut det_batch, BURST_SIZE);
         if n > 0 {
             idle = false;
-            stage.batches += 1;
-            stage.records_in += n as u64;
+            delta.batches += 1;
+            delta.records_in += n as u64;
             for msg in det_batch.drain(..) {
-                stage.bytes += msg.payload.len() as u64;
+                delta.bytes += msg.payload.len() as u64;
                 // The internal feed carries the fixed binary record — no
                 // UTF-8 or line parsing here.
                 let Some(em) = EnrichedMeasurement::decode(&msg.payload) else {
@@ -480,6 +614,7 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
         }
         // Release everything at or below the lowest watermark.
         let low = watermarks.values().copied().min().unwrap_or(0);
+        let now = clock.now();
         while let Some(&Reverse((at, s))) = pending.peek() {
             if at > low {
                 break;
@@ -490,7 +625,10 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
             let Some(ev) = payloads.remove(&s) else {
                 continue;
             };
-            stage.records_out += 1;
+            delta.records_out += 1;
+            // Completion → frontend release, including the watermark
+            // reorder delay (virtual ns).
+            residencies.push(now.saturating_nanos_since(Timestamp::from_nanos(at)));
             process(
                 ev,
                 Timestamp::from_nanos(at),
@@ -503,6 +641,7 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
                 &mut frames_emitted,
             );
         }
+        flush_detector_deltas(&metrics, det_shard, &mut delta, &mut stage, &mut residencies);
         if idle {
             if stop.load(Ordering::Acquire) {
                 break;
@@ -513,11 +652,13 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
         }
     }
     // End of stream: flush the reorder buffer in time order.
+    let now = clock.now();
     while let Some(Reverse((at, s))) = pending.pop() {
         let Some(ev) = payloads.remove(&s) else {
             continue;
         };
-        stage.records_out += 1;
+        delta.records_out += 1;
+        residencies.push(now.saturating_nanos_since(Timestamp::from_nanos(at)));
         process(
             ev,
             Timestamp::from_nanos(at),
@@ -530,6 +671,7 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
             &mut frames_emitted,
         );
     }
+    flush_detector_deltas(&metrics, det_shard, &mut delta, &mut stage, &mut residencies);
     frames_emitted += batcher.advance_to(last_at.advanced(1_000_000_000)).len() as u64;
     let (arcs_drawn, arcs_dropped) = batcher.stats();
     DetectorResult {
@@ -560,9 +702,12 @@ impl Pipeline {
         let tsdb = Arc::new(TsDb::new());
         let alerts = AlertSink::new();
         let rejects = Arc::new(RejectCounters::default());
-        let dataplane = Arc::new(StageCounters::default());
+        let metrics = Arc::new(SelfMetrics::new(
+            config.port.num_queues as usize,
+            config.enrich_threads,
+        ));
 
-        let pool = EnrichmentPool::spawn_with_detector_feed(
+        let pool = EnrichmentPool::spawn_with_telemetry(
             config.enrich_threads,
             pull,
             Arc::clone(&db),
@@ -570,6 +715,7 @@ impl Pipeline {
             publisher.clone(),
             config.geo_cache,
             Some(det_push),
+            Some(metrics.pool_telemetry(clock.clone())),
         );
 
         // Detector + frontend thread; the body is the named
@@ -585,6 +731,8 @@ impl Pipeline {
             rate: config.rate.clone(),
             frame: config.frame.clone(),
             num_queues: config.port.num_queues,
+            metrics: Arc::clone(&metrics),
+            clock: clock.clone(),
         };
         let detector_handle = std::thread::Builder::new()
             .name("ruru-detect".into())
@@ -596,7 +744,8 @@ impl Pipeline {
         let tracker_cfg = config.tracker.clone();
         let checksum_mode = config.checksum_mode;
         let rejects_for_workers = Arc::clone(&rejects);
-        let dataplane_for_workers = Arc::clone(&dataplane);
+        let metrics_for_workers = Arc::clone(&metrics);
+        let clock_for_workers = clock.clone();
         let workers = WorkerGroup::spawn_bursts(
             queues,
             move |qid| WorkerState {
@@ -605,15 +754,20 @@ impl Pipeline {
                 syn_tx: syn_tx.clone(),
                 checksum_mode,
                 rejects: Arc::clone(&rejects_for_workers),
-                stage: Arc::clone(&dataplane_for_workers),
+                shard: metrics_for_workers.dataplane_shard(qid),
+                metrics: Arc::clone(&metrics_for_workers),
+                clock: clock_for_workers.clone(),
                 batch: Vec::with_capacity(BURST_SIZE),
                 metas: Vec::with_capacity(BURST_SIZE),
                 scratch: BytesMut::new(),
+                residencies: Vec::with_capacity(BURST_SIZE),
                 records_in: 0,
                 records_out: 0,
                 batches: 0,
                 bytes: 0,
                 alloc_hits: 0,
+                syn_events: 0,
+                reject_counts: [0; REJECT_CAUSES.len()],
             },
             // Whole-burst worker: classify the burst, prefetch-staged table
             // walk, one vectored PUSH at the burst boundary (PUSH blocks at
@@ -644,7 +798,12 @@ impl Pipeline {
             alerts,
             snmp,
             rejects,
-            dataplane,
+            metrics,
+            telemetry_interval_ns: config.telemetry_interval_ns.max(1),
+            last_telemetry: 0,
+            telemetry_points: 0,
+            telemetry_snap: Snapshot::default(),
+            telemetry_scratch: Vec::new(),
             last_event: Timestamp::ZERO,
         }
     }
@@ -665,6 +824,10 @@ impl Pipeline {
         }
         self.last_event = self.last_event.max(event.at);
         self.snmp.observe_packet(event.at, event.frame.len());
+        let now_ns = self.clock.now().as_nanos();
+        if now_ns.saturating_sub(self.last_telemetry) >= self.telemetry_interval_ns {
+            self.collect_telemetry(now_ns);
+        }
         if self.port.inject_at(&event.frame, event.at).is_some() {
             return true;
         }
@@ -712,10 +875,35 @@ impl Pipeline {
         self.pool.enriched()
     }
 
+    /// The pipeline's self-metric registry + ids (live observation; the
+    /// run's final snapshot lands in [`Report::telemetry`]).
+    pub fn self_metrics(&self) -> &Arc<SelfMetrics> {
+        &self.metrics
+    }
+
+    /// One self-telemetry collection: mirror the pull-based stats into the
+    /// collector shard, snapshot the registry, and export the snapshot as
+    /// `ruru_self` points into the tsdb.
+    fn collect_telemetry(&mut self, now_ns: u64) {
+        self.last_telemetry = now_ns;
+        let port = self.port.stats();
+        let mq = self.publisher.stats();
+        let ingested = self.tsdb.points_ingested();
+        self.metrics.collect_into(
+            now_ns,
+            &port,
+            mq,
+            ingested,
+            &mut self.telemetry_snap,
+            &mut self.telemetry_scratch,
+        );
+        self.telemetry_points += self.telemetry_snap.write_into(&self.tsdb) as u64;
+    }
+
     /// Drain and join every stage; returns the final report.
     // Propagating a detector panic at join is shutdown-time, by design.
     #[allow(clippy::expect_used)]
-    pub fn finish(self) -> Report {
+    pub fn finish(mut self) -> Report {
         // 1. Stop lcore workers (they drain their queues first). Their exit
         //    drops the last Push/syn_tx, closing the analytics inputs.
         self.workers.shutdown();
@@ -728,7 +916,36 @@ impl Pipeline {
         let mut trackers: Vec<(u16, TrackerStats)> = self.stats_rx.try_iter().collect();
         trackers.sort_by_key(|(q, _)| *q);
 
+        // 5. Final telemetry collection: every writer has quiesced, so the
+        //    snapshot is exact (no skipped shards) and the registry's
+        //    counters must reconcile with the run's other accounting.
+        //    (Inlined from `collect_telemetry` — joining `detector_handle`
+        //    partially moved `self`, ruling out the `&mut self` call.)
+        let final_ns = self.last_event.as_nanos().max(self.last_telemetry);
+        let port_stats = self.port.stats();
+        let mq = self.publisher.stats();
+        let ingested = self.tsdb.points_ingested();
+        self.metrics.collect_into(
+            final_ns,
+            &port_stats,
+            mq,
+            ingested,
+            &mut self.telemetry_snap,
+            &mut self.telemetry_scratch,
+        );
+        self.telemetry_points += self.telemetry_snap.write_into(&self.tsdb) as u64;
+
         let rejects = self.rejects.snapshot();
+        // The dataplane stage report is read back from the registry — the
+        // migration's proof that nothing was lost on the way through it.
+        let telemetry = self.telemetry_snap.clone();
+        let dataplane = StageStats {
+            records_in: telemetry.counter("dp_records_in"),
+            records_out: telemetry.counter("dp_records_out"),
+            batches: telemetry.counter("dp_batches"),
+            bytes: telemetry.counter("dp_bytes"),
+            alloc_hits: telemetry.counter("dp_alloc_hits"),
+        };
         Report {
             port: self.port.stats(),
             trackers,
@@ -741,9 +958,11 @@ impl Pipeline {
             snmp: self.snmp.finish(self.last_event),
             classify_rejects: rejects.total(),
             rejects,
-            dataplane: self.dataplane.snapshot(),
+            dataplane,
             detector_stage: det.stage,
             aggregates: det.aggregates,
+            telemetry,
+            telemetry_points: self.telemetry_points,
         }
     }
 }
@@ -788,7 +1007,12 @@ mod tests {
         assert_eq!(report.measurements(), truths, "all flows measured");
         assert_eq!(report.pool.enriched, truths, "all measurements enriched");
         assert_eq!(report.pool.geo_misses, 0);
-        assert_eq!(report.tsdb.points_ingested(), truths);
+        assert!(report.telemetry_points > 0, "self-telemetry was exported");
+        assert_eq!(
+            report.tsdb.points_ingested(),
+            truths + report.telemetry_points,
+            "every tsdb point is a measurement or a ruru_self export"
+        );
         assert!(report.arcs_drawn > 0, "frontend received arcs");
         assert!(report.frames_emitted > 0);
         assert_eq!(report.port.no_mbuf_drops, 0);
@@ -798,6 +1022,22 @@ mod tests {
         assert_eq!(report.dataplane.records_out, truths);
         assert!(report.pool.batches_in > 0, "enrichers read batched input");
         assert!(report.pool.bytes_out > 0);
+
+        // The registry agrees with every other accounting of the run.
+        let t = &report.telemetry;
+        assert_eq!(t.skipped_shards, 0, "quiesced final snapshot is exact");
+        assert_eq!(t.counter("dp_records_out"), truths);
+        assert_eq!(t.gauge("tracker_measurements"), truths);
+        assert_eq!(t.counter("enrich_enriched"), truths);
+        assert_eq!(t.counter("det_records_out"), t.counter("det_records_in"));
+        let rx = t.hist("stage_rx_residency_ns").expect("rx residency");
+        assert_eq!(rx.count, fed, "one RX residency sample per clean packet");
+        let enr = t.hist("stage_enrich_residency_ns").expect("enrich residency");
+        assert_eq!(enr.count, truths);
+        let publ = t.hist("stage_publish_residency_ns").expect("publish residency");
+        assert_eq!(publ.count, t.counter("det_records_out"));
+        // ruru_self series landed in the same tsdb the measurements use.
+        assert!(report.tsdb.series_count("ruru_self") > 0);
     }
 
     #[test]
@@ -826,10 +1066,14 @@ mod tests {
         let report = pipeline.finish();
         assert_eq!(report.measurements(), truths);
 
-        // Per-cause reject counters replace the old single total.
+        // Per-cause reject counters replace the old single total — and the
+        // registry's per-cause counters reconcile with them exactly.
         assert_eq!(report.rejects.not_ip, 10);
         assert_eq!(report.rejects.total(), 10);
         assert_eq!(report.classify_rejects, report.rejects.total());
+        assert_eq!(report.telemetry.counter("reject_not_ip"), 10);
+        assert_eq!(report.telemetry.counter("reject_not_tcp"), 0);
+        assert_eq!(report.telemetry.counter("reject_bus_closed"), 0);
 
         // Dataplane stage: every frame in, every measurement out as a
         // fixed binary record, batched through the scratch encoder.

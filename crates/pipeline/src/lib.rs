@@ -24,6 +24,8 @@
 
 pub mod engine;
 pub mod snmp;
+pub mod telemetry;
 
 pub use engine::{Pipeline, PipelineConfig, Report};
 pub use snmp::SnmpPoller;
+pub use telemetry::SelfMetrics;

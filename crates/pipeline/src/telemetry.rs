@@ -1,0 +1,382 @@
+//! Pipeline self-telemetry (ISSUE 5): every stage counter, gauge and
+//! stage-latency histogram lives in one sharded [`Registry`], and the
+//! collector exports it as `ruru_self` line-protocol points into the same
+//! tsdb the measurements land in — the pipeline monitors itself with its
+//! own storage, exactly as the deployed system pointed Grafana at
+//! InfluxDB.
+//!
+//! ## Shard layout
+//!
+//! Every writer owns exactly one shard, so all updates are single-writer
+//! (plain `load(Relaxed)`/`store(Release)` bumps, no RMW contention):
+//!
+//! ```text
+//! shard 0 .. Q-1   dataplane lcore worker per RX queue
+//! shard Q          detector + frontend thread
+//! shard Q+1 .. +E  enrichment pool workers
+//! shard Q+E+1      collector (mirrored port/mq/tsdb gauges)
+//! ```
+//!
+//! Counters are summed across shards at snapshot time; gauges are stored
+//! as absolute per-writer values and also summed, so a per-queue gauge
+//! (e.g. `flow_table_occupancy`) exports the whole-pipeline total.
+//!
+//! ## Stage residency histograms
+//!
+//! Three virtual-time histograms (never `Instant::now` — the clock is the
+//! pipeline's shared virtual clock, so residency is measured in simulated
+//! nanoseconds and runs are reproducible):
+//!
+//! * `stage_rx_residency_ns` — mbuf timestamp → classify/track, recorded
+//!   per packet by the dataplane workers (one clock read per burst);
+//! * `stage_enrich_residency_ns` — handshake completion → enrichment;
+//! * `stage_publish_residency_ns` — handshake completion → detector /
+//!   frontend release (includes the watermark reorder delay).
+
+use ruru_analytics::PoolTelemetry;
+use ruru_flow::classify::Reject;
+use ruru_nic::port::PortStats;
+use ruru_nic::Clock;
+use ruru_telemetry::{CounterId, GaugeId, HistId, Registry, RegistryBuilder, Snapshot};
+use std::sync::Arc;
+
+/// Bucket precision for the stage residency histograms: 2^-7 ≈ 0.8 %
+/// relative error, 58 × 128 buckets ≈ 58 KiB per shard.
+const RESIDENCY_PRECISION: u32 = 7;
+
+/// The pipeline's self-metric registry plus every metric id, pre-registered
+/// at construction so the hot paths never touch a name.
+pub struct SelfMetrics {
+    registry: Arc<Registry>,
+    num_queues: usize,
+    enrich_threads: usize,
+
+    // Dataplane stage (shards 0..Q).
+    pub(crate) dp_records_in: CounterId,
+    pub(crate) dp_records_out: CounterId,
+    pub(crate) dp_batches: CounterId,
+    pub(crate) dp_bytes: CounterId,
+    pub(crate) dp_alloc_hits: CounterId,
+    pub(crate) dp_syn_events: CounterId,
+    pub(crate) rx_residency: HistId,
+
+    // Per-cause classification rejects (dataplane shards).
+    pub(crate) reject_not_ip: CounterId,
+    pub(crate) reject_not_tcp: CounterId,
+    pub(crate) reject_fragment: CounterId,
+    pub(crate) reject_bad_ip_checksum: CounterId,
+    pub(crate) reject_bad_tcp_checksum: CounterId,
+    pub(crate) reject_bad_tcp: CounterId,
+    pub(crate) reject_bus_closed: CounterId,
+
+    // Tracker mirror (absolute per queue; summed = run totals).
+    pub(crate) tracker_packets: GaugeId,
+    pub(crate) tracker_syns: GaugeId,
+    pub(crate) tracker_synacks: GaugeId,
+    pub(crate) tracker_measurements: GaugeId,
+    pub(crate) tracker_syn_retransmissions: GaugeId,
+    pub(crate) tracker_synack_retransmissions: GaugeId,
+    pub(crate) tracker_restarts: GaugeId,
+    pub(crate) tracker_stray_synacks: GaugeId,
+    pub(crate) tracker_rst_aborts: GaugeId,
+    pub(crate) tracker_expired: GaugeId,
+    pub(crate) tracker_evicted: GaugeId,
+    pub(crate) tracker_nonmonotonic: GaugeId,
+    pub(crate) flow_table_occupancy: GaugeId,
+
+    // Enrichment pool (shards Q+1..Q+1+E).
+    pub(crate) enrich_enriched: CounterId,
+    pub(crate) enrich_decode_errors: CounterId,
+    pub(crate) enrich_bytes_out: CounterId,
+    pub(crate) geo_cache_hits: GaugeId,
+    pub(crate) geo_cache_misses: GaugeId,
+    pub(crate) enrich_residency: HistId,
+
+    // Detector stage (shard Q).
+    pub(crate) det_records_in: CounterId,
+    pub(crate) det_records_out: CounterId,
+    pub(crate) det_batches: CounterId,
+    pub(crate) det_bytes: CounterId,
+    pub(crate) publish_residency: HistId,
+
+    // Collector mirror gauges (shard Q+E+1).
+    pub(crate) port_rx_packets: GaugeId,
+    pub(crate) port_rx_bytes: GaugeId,
+    pub(crate) port_no_mbuf_drops: GaugeId,
+    pub(crate) port_ring_full_drops: GaugeId,
+    pub(crate) port_non_ip_packets: GaugeId,
+    pub(crate) mq_published: GaugeId,
+    pub(crate) mq_delivered: GaugeId,
+    pub(crate) mq_dropped: GaugeId,
+    pub(crate) tsdb_points: GaugeId,
+}
+
+impl SelfMetrics {
+    /// Build the registry for a pipeline with `num_queues` RX queues and
+    /// `enrich_threads` enrichment workers.
+    pub fn new(num_queues: usize, enrich_threads: usize) -> SelfMetrics {
+        let mut b = RegistryBuilder::new();
+        let dp_records_in = b.counter("dp_records_in");
+        let dp_records_out = b.counter("dp_records_out");
+        let dp_batches = b.counter("dp_batches");
+        let dp_bytes = b.counter("dp_bytes");
+        let dp_alloc_hits = b.counter("dp_alloc_hits");
+        let dp_syn_events = b.counter("dp_syn_events");
+        let reject_not_ip = b.counter("reject_not_ip");
+        let reject_not_tcp = b.counter("reject_not_tcp");
+        let reject_fragment = b.counter("reject_fragment");
+        let reject_bad_ip_checksum = b.counter("reject_bad_ip_checksum");
+        let reject_bad_tcp_checksum = b.counter("reject_bad_tcp_checksum");
+        let reject_bad_tcp = b.counter("reject_bad_tcp");
+        let reject_bus_closed = b.counter("reject_bus_closed");
+        let enrich_enriched = b.counter("enrich_enriched");
+        let enrich_decode_errors = b.counter("enrich_decode_errors");
+        let enrich_bytes_out = b.counter("enrich_bytes_out");
+        let det_records_in = b.counter("det_records_in");
+        let det_records_out = b.counter("det_records_out");
+        let det_batches = b.counter("det_batches");
+        let det_bytes = b.counter("det_bytes");
+
+        let tracker_packets = b.gauge("tracker_packets");
+        let tracker_syns = b.gauge("tracker_syns");
+        let tracker_synacks = b.gauge("tracker_synacks");
+        let tracker_measurements = b.gauge("tracker_measurements");
+        let tracker_syn_retransmissions = b.gauge("tracker_syn_retransmissions");
+        let tracker_synack_retransmissions = b.gauge("tracker_synack_retransmissions");
+        let tracker_restarts = b.gauge("tracker_restarts");
+        let tracker_stray_synacks = b.gauge("tracker_stray_synacks");
+        let tracker_rst_aborts = b.gauge("tracker_rst_aborts");
+        let tracker_expired = b.gauge("tracker_expired");
+        let tracker_evicted = b.gauge("tracker_evicted");
+        let tracker_nonmonotonic = b.gauge("tracker_nonmonotonic");
+        let flow_table_occupancy = b.gauge("flow_table_occupancy");
+        let geo_cache_hits = b.gauge("geo_cache_hits");
+        let geo_cache_misses = b.gauge("geo_cache_misses");
+        let port_rx_packets = b.gauge("port_rx_packets");
+        let port_rx_bytes = b.gauge("port_rx_bytes");
+        let port_no_mbuf_drops = b.gauge("port_no_mbuf_drops");
+        let port_ring_full_drops = b.gauge("port_ring_full_drops");
+        let port_non_ip_packets = b.gauge("port_non_ip_packets");
+        let mq_published = b.gauge("mq_published");
+        let mq_delivered = b.gauge("mq_delivered");
+        let mq_dropped = b.gauge("mq_dropped");
+        let tsdb_points = b.gauge("tsdb_points");
+
+        let rx_residency = b.histogram("stage_rx_residency_ns", RESIDENCY_PRECISION);
+        let enrich_residency = b.histogram("stage_enrich_residency_ns", RESIDENCY_PRECISION);
+        let publish_residency = b.histogram("stage_publish_residency_ns", RESIDENCY_PRECISION);
+
+        // queues + detector + enrichers + collector.
+        let shards = num_queues + 1 + enrich_threads + 1;
+        SelfMetrics {
+            registry: Arc::new(b.build(shards)),
+            num_queues,
+            enrich_threads,
+            dp_records_in,
+            dp_records_out,
+            dp_batches,
+            dp_bytes,
+            dp_alloc_hits,
+            dp_syn_events,
+            rx_residency,
+            reject_not_ip,
+            reject_not_tcp,
+            reject_fragment,
+            reject_bad_ip_checksum,
+            reject_bad_tcp_checksum,
+            reject_bad_tcp,
+            reject_bus_closed,
+            tracker_packets,
+            tracker_syns,
+            tracker_synacks,
+            tracker_measurements,
+            tracker_syn_retransmissions,
+            tracker_synack_retransmissions,
+            tracker_restarts,
+            tracker_stray_synacks,
+            tracker_rst_aborts,
+            tracker_expired,
+            tracker_evicted,
+            tracker_nonmonotonic,
+            flow_table_occupancy,
+            enrich_enriched,
+            enrich_decode_errors,
+            enrich_bytes_out,
+            geo_cache_hits,
+            geo_cache_misses,
+            enrich_residency,
+            det_records_in,
+            det_records_out,
+            det_batches,
+            det_bytes,
+            publish_residency,
+            port_rx_packets,
+            port_rx_bytes,
+            port_no_mbuf_drops,
+            port_ring_full_drops,
+            port_non_ip_packets,
+            mq_published,
+            mq_delivered,
+            mq_dropped,
+            tsdb_points,
+        }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Shard owned by the dataplane worker of RX queue `queue`.
+    pub fn dataplane_shard(&self, queue: u16) -> usize {
+        (queue as usize).min(self.num_queues.saturating_sub(1))
+    }
+
+    /// Shard owned by the detector thread.
+    pub fn detector_shard(&self) -> usize {
+        self.num_queues
+    }
+
+    /// First shard of the enrichment pool (worker `i` owns base + i).
+    pub fn enrich_shard_base(&self) -> usize {
+        self.num_queues + 1
+    }
+
+    /// Shard owned by the collector (mirrored port/mq/tsdb gauges).
+    pub fn collector_shard(&self) -> usize {
+        self.num_queues + 1 + self.enrich_threads
+    }
+
+    /// The per-cause reject counter for `reject`.
+    pub(crate) fn reject_counter(&self, reject: Reject) -> CounterId {
+        match reject {
+            Reject::NotIp => self.reject_not_ip,
+            Reject::NotTcp => self.reject_not_tcp,
+            Reject::Fragment => self.reject_fragment,
+            Reject::BadIpChecksum => self.reject_bad_ip_checksum,
+            Reject::BadTcpChecksum => self.reject_bad_tcp_checksum,
+            Reject::BadTcp => self.reject_bad_tcp,
+            Reject::BusClosed => self.reject_bus_closed,
+        }
+    }
+
+    /// The enrichment pool's handle bundle (worker `i` writes shard
+    /// `enrich_shard_base() + i`).
+    pub fn pool_telemetry(&self, clock: Clock) -> PoolTelemetry {
+        PoolTelemetry {
+            registry: Arc::clone(&self.registry),
+            clock,
+            shard_base: self.enrich_shard_base(),
+            enriched: self.enrich_enriched,
+            decode_errors: self.enrich_decode_errors,
+            bytes_out: self.enrich_bytes_out,
+            geo_cache_hits: self.geo_cache_hits,
+            geo_cache_misses: self.geo_cache_misses,
+            enrich_residency: self.enrich_residency,
+        }
+    }
+
+    /// One collection: mirror the pull-based stats (port, in-proc PUB bus,
+    /// tsdb ingest) into the collector shard, then take an epoch-validated
+    /// snapshot. `snap`/`scratch` are reused buffers — after warm-up the
+    /// collection allocates nothing.
+    pub(crate) fn collect_into(
+        &self,
+        timestamp_ns: u64,
+        port: &PortStats,
+        mq: (u64, u64, u64),
+        tsdb_points: u64,
+        snap: &mut Snapshot,
+        scratch: &mut Vec<u64>,
+    ) {
+        let shard = self.collector_shard();
+        self.registry.burst_begin(shard);
+        self.registry
+            .gauge_store(shard, self.port_rx_packets, port.rx_packets);
+        self.registry
+            .gauge_store(shard, self.port_rx_bytes, port.rx_bytes);
+        self.registry
+            .gauge_store(shard, self.port_no_mbuf_drops, port.no_mbuf_drops);
+        self.registry
+            .gauge_store(shard, self.port_ring_full_drops, port.ring_full_drops);
+        self.registry
+            .gauge_store(shard, self.port_non_ip_packets, port.non_ip_packets);
+        self.registry.gauge_store(shard, self.mq_published, mq.0);
+        self.registry.gauge_store(shard, self.mq_delivered, mq.1);
+        self.registry.gauge_store(shard, self.mq_dropped, mq.2);
+        self.registry
+            .gauge_store(shard, self.tsdb_points, tsdb_points);
+        self.registry.burst_end(shard);
+        self.registry.snapshot_into(timestamp_ns, snap, scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_layout_is_disjoint_and_covers_the_registry() {
+        let m = SelfMetrics::new(4, 2);
+        assert_eq!(m.registry().shard_count(), 4 + 1 + 2 + 1);
+        let mut shards = vec![
+            m.detector_shard(),
+            m.collector_shard(),
+            m.enrich_shard_base(),
+            m.enrich_shard_base() + 1,
+        ];
+        for q in 0..4 {
+            shards.push(m.dataplane_shard(q));
+        }
+        shards.sort_unstable();
+        shards.dedup();
+        assert_eq!(shards.len(), m.registry().shard_count(), "one owner per shard");
+        // Out-of-range queues clamp instead of colliding with the detector.
+        assert_eq!(m.dataplane_shard(99), 3);
+    }
+
+    #[test]
+    fn reject_counters_are_distinct_per_cause() {
+        let m = SelfMetrics::new(1, 1);
+        let causes = [
+            Reject::NotIp,
+            Reject::NotTcp,
+            Reject::Fragment,
+            Reject::BadIpChecksum,
+            Reject::BadTcpChecksum,
+            Reject::BadTcp,
+            Reject::BusClosed,
+        ];
+        let shard = m.dataplane_shard(0);
+        m.registry().burst_begin(shard);
+        for (i, c) in causes.iter().enumerate() {
+            m.registry()
+                .counter_add(shard, m.reject_counter(*c), (i + 1) as u64);
+        }
+        m.registry().burst_end(shard);
+        let snap = m.registry().snapshot(0);
+        assert_eq!(snap.counter("reject_not_ip"), 1);
+        assert_eq!(snap.counter("reject_fragment"), 3);
+        assert_eq!(snap.counter("reject_bus_closed"), 7);
+    }
+
+    #[test]
+    fn collect_into_mirrors_collector_gauges() {
+        let m = SelfMetrics::new(2, 1);
+        let port = PortStats {
+            rx_packets: 100,
+            rx_bytes: 6400,
+            no_mbuf_drops: 1,
+            ring_full_drops: 2,
+            non_ip_packets: 3,
+        };
+        let mut snap = ruru_telemetry::Snapshot::default();
+        let mut scratch = Vec::new();
+        m.collect_into(42, &port, (10, 20, 30), 55, &mut snap, &mut scratch);
+        assert_eq!(snap.timestamp_ns, 42);
+        assert_eq!(snap.gauge("port_rx_packets"), 100);
+        assert_eq!(snap.gauge("mq_delivered"), 20);
+        assert_eq!(snap.gauge("tsdb_points"), 55);
+        assert!(snap.hist("stage_rx_residency_ns").is_some());
+    }
+}

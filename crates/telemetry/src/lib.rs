@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # ruru-telemetry — the pipeline watching itself
+//!
+//! Ruru's pitch is continuous, low-overhead latency monitoring of a live
+//! link — this crate applies the same discipline to the pipeline's *own*
+//! dataplane, in the spirit of "Waiting at the front door" (host-stack
+//! residency as a first-class continuous signal) and P4TG's bounded-memory
+//! in-dataplane histograms.
+//!
+//! * [`registry`] — a fixed-capacity metric registry: per-lcore sharded
+//!   counters/gauges/histograms over plain `AtomicU64` cells,
+//!   allocation-free after construction, read by a collector through an
+//!   epoch-based seqlock that never blocks a writer. Snapshots export as
+//!   `ruru_self,metric=…` line-protocol points for `ruru-tsdb`.
+//! * [`sync`] — the std/loom shim so `tests/loom_telemetry.rs` can model
+//!   check the production snapshot protocol.
+//!
+//! Metric naming scheme (the `metric` tag of every `ruru_self` point):
+//! `<subsystem>_<quantity>`, e.g. `rx_packets`, `reject_bad_tcp_checksum`,
+//! `mq_tcp_sent_frames`, `stage_total_residency`. Histograms carry
+//! `count/sum/min/max/mean/p50/p95/p99` fields; counters and gauges carry
+//! a single `value` field.
+
+pub mod registry;
+pub mod sync;
+
+pub use registry::{
+    CounterId, GaugeId, HistId, HistSnap, Registry, RegistryBuilder, Snapshot, SNAP_RETRIES,
+};

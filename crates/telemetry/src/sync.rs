@@ -1,0 +1,25 @@
+//! Concurrency shim: `std` primitives normally, `loom` under `cfg(loom)`.
+//!
+//! The registry's hot path imports its atomics from here instead of
+//! `std::sync::atomic` directly (the `cargo xtask lint` pass enforces
+//! this), so the loom model in `tests/loom_telemetry.rs` exercises the
+//! *production* epoch-snapshot protocol, not a copy of it. A normal build
+//! compiles to plain `std` types with zero overhead.
+
+#[cfg(loom)]
+pub use loom::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+#[cfg(loom)]
+pub use loom::sync::atomic;
+
+#[cfg(loom)]
+pub use loom::{hint, thread};
+
+#[cfg(not(loom))]
+pub use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+#[cfg(not(loom))]
+pub use std::sync::atomic;
+
+#[cfg(not(loom))]
+pub use std::{hint, thread};

@@ -1,0 +1,139 @@
+//! Steady-state allocation audit for the metric registry: after
+//! construction and one warm-up snapshot, a million hot-path operations
+//! (counter adds, gauge stores, histogram records, burst brackets) plus
+//! repeated `snapshot_into` collections perform **zero** heap
+//! allocations. This is the acceptance bar of ISSUE 5: telemetry must be
+//! free to leave enabled on the 10 Gbit/s path, which means the registry
+//! can never touch the allocator at exactly the moment (a packet burst)
+//! the dataplane can least afford it.
+
+// Tests are exempt from the panic-freedom policy (DESIGN.md §10).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+// Miri has its own allocator machinery and a 1M-op loop is far too slow
+// under its interpreter; the property is native-allocator behaviour anyway.
+#![cfg(not(miri))]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ruru_telemetry::{RegistryBuilder, Snapshot};
+
+/// Counts allocator hits while the *current thread* is armed; defers
+/// everything to [`System`]. Arming is thread-local, not process-global:
+/// the libtest harness thread prints and does channel bookkeeping
+/// concurrently with the test body, and a global flag would count its
+/// allocations too (a real intermittent failure, not a theoretical one).
+struct CountingAlloc;
+
+std::thread_local! {
+    // const-initialized Cell: no lazy init, no destructor, so reading it
+    // from inside the allocator cannot itself allocate or recurse.
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// `true` iff this thread is inside the audit window. `try_with` covers
+/// allocator calls during TLS teardown, where `with` would panic.
+fn armed() -> bool {
+    ARMED.try_with(Cell::get).unwrap_or(false)
+}
+
+// SAFETY: pure pass-through to the `System` allocator — identical layout
+// contracts — plus a TLS flag read and relaxed counter increments, which
+// allocate nothing and cannot reenter the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if armed() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    // SAFETY: forwards `ptr`/`layout` unchanged to `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: forwards all arguments unchanged to `System.realloc`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if armed() {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const SHARDS: usize = 4;
+const OPS: u64 = 1_000_000;
+const SNAPSHOTS: u64 = 1_000;
+
+/// Cheap deterministic value mixer (spread across magnitudes so every
+/// histogram code path — min, max, high buckets — stays warm).
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z ^= z >> 29;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 32)
+}
+
+#[test]
+fn one_million_telemetry_ops_allocate_nothing() {
+    // A schema shaped like the pipeline's real one: a handful of
+    // counters and gauges plus per-stage histograms.
+    let mut b = RegistryBuilder::new();
+    let counters: Vec<_> = ["rx", "accepted", "rejected", "published", "expired"]
+        .iter()
+        .map(|n| b.counter(n))
+        .collect();
+    let gauges: Vec<_> = ["occupancy", "in_flight"].iter().map(|n| b.gauge(n)).collect();
+    let hists: Vec<_> = [("classify", 4u32), ("track", 4), ("total", 7)]
+        .iter()
+        .map(|&(n, p)| b.histogram(n, p))
+        .collect();
+    let registry = b.build(SHARDS);
+
+    // Warm-up: one collection sizes the reusable snapshot + scratch.
+    let mut snap = Snapshot::default();
+    let mut scratch = Vec::new();
+    registry.snapshot_into(0, &mut snap, &mut scratch);
+
+    ARMED.with(|a| a.set(true));
+
+    for i in 0..OPS {
+        let shard = (i % SHARDS as u64) as usize;
+        let v = mix(i);
+        registry.burst_begin(shard);
+        registry.counter_add(shard, counters[(i % 5) as usize], 1);
+        registry.gauge_store(shard, gauges[(i % 2) as usize], v & 0xfff);
+        registry.hist_record(shard, hists[(i % 3) as usize], v >> (i % 40));
+        registry.burst_end(shard);
+        if i % (OPS / SNAPSHOTS) == 0 {
+            registry.snapshot_into(i, &mut snap, &mut scratch);
+        }
+    }
+    registry.snapshot_into(OPS, &mut snap, &mut scratch);
+
+    ARMED.with(|a| a.set(false));
+
+    assert_eq!(
+        (ALLOCS.load(Ordering::Relaxed), REALLOCS.load(Ordering::Relaxed)),
+        (0, 0),
+        "telemetry hot path must be allocation-free in steady state"
+    );
+
+    // The audit window did real work: every op accounted for.
+    let total: u64 = snap.counters.iter().map(|(_, v)| v).sum();
+    assert_eq!(total, OPS);
+    let hist_total: u64 = snap.hists.iter().map(|h| h.count).sum();
+    assert_eq!(hist_total, OPS);
+    for h in &snap.hists {
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+}

@@ -58,6 +58,31 @@ impl Dashboard {
         }
     }
 
+    /// The pipeline self-monitoring dashboard over the `ruru_self` export
+    /// (see `ruru-telemetry`): stage throughput counters, flow-table
+    /// occupancy, bus drops, stage-residency tails, and the snapshot
+    /// health counter — the pipeline watching itself through the same
+    /// tsdb + panel machinery the latency data uses.
+    pub fn self_monitoring() -> Dashboard {
+        Dashboard {
+            title: "Ruru — pipeline self-telemetry".into(),
+            panels: vec![
+                Panel::self_metric("dp_records_in"),
+                Panel::self_metric("dp_records_out"),
+                Panel::self_metric("enrich_enriched"),
+                Panel::self_metric("det_records_out"),
+                Panel::self_metric("flow_table_occupancy"),
+                Panel::self_metric("geo_cache_misses"),
+                Panel::self_metric("mq_dropped"),
+                Panel::self_metric("reject_bus_closed"),
+                Panel::self_metric("snapshot_skipped_shards"),
+                Panel::stage_residency("stage_rx_residency_ns"),
+                Panel::stage_residency("stage_enrich_residency_ns"),
+                Panel::stage_residency("stage_publish_residency_ns"),
+            ],
+        }
+    }
+
     /// Evaluate every panel over the same window.
     pub fn evaluate(&self, db: &TsDb, start_ns: u64, end_ns: u64, buckets: usize) -> DashboardData {
         DashboardData {
@@ -180,5 +205,60 @@ mod tests {
         let db = seeded_db();
         let d = Dashboard::operator_default(&db, 0);
         assert_eq!(d.panels.len(), 4);
+    }
+
+    #[test]
+    fn self_monitoring_reads_ruru_self_exports() {
+        let db = TsDb::new();
+        // Three collections of the shape ruru-telemetry exports: cumulative
+        // scalars tagged by metric name, histogram tails as fields.
+        for (i, ts) in [(1u64, 1_000_000_000u64), (2, 2_000_000_000), (3, 2_900_000_000)] {
+            db.write(&Point::new(
+                "ruru_self",
+                vec![
+                    ("metric".into(), "dp_records_in".into()),
+                    ("kind".into(), "counter".into()),
+                ],
+                vec![("value".into(), (i * 100) as f64)],
+                ts,
+            ));
+            db.write(&Point::new(
+                "ruru_self",
+                vec![
+                    ("metric".into(), "stage_rx_residency_ns".into()),
+                    ("kind".into(), "histogram".into()),
+                ],
+                vec![("p95".into(), (i * 1000) as f64), ("count".into(), i as f64)],
+                ts,
+            ));
+        }
+        let d = Dashboard::self_monitoring();
+        assert!(d.panels.iter().any(|p| p.title == "self: dp_records_in"));
+        let data = d.evaluate(&db, 0, 3_000_000_000, 3);
+        let dp = data
+            .panels
+            .iter()
+            .find(|p| p.title == "self: dp_records_in")
+            .unwrap();
+        // Cumulative counter: Max per bucket is the state at bucket end
+        // (t=2.0s and t=2.9s both land in the last 1-second bucket).
+        assert_eq!(dp.series_for(Stat::Max).unwrap()[1], Some(100.0));
+        assert_eq!(dp.series_for(Stat::Max).unwrap()[2], Some(300.0));
+        let rx = data
+            .panels
+            .iter()
+            .find(|p| p.title == "residency: stage_rx_residency_ns")
+            .unwrap();
+        assert_eq!(rx.series_for(Stat::Max).unwrap()[2], Some(3000.0));
+        // Scalar panels must not pick up histogram points of other metrics.
+        assert!(data
+            .panels
+            .iter()
+            .find(|p| p.title == "self: mq_dropped")
+            .unwrap()
+            .series_for(Stat::Max)
+            .unwrap()
+            .iter()
+            .all(|v| v.is_none()));
     }
 }

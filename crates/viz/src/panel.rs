@@ -72,6 +72,37 @@ impl Panel {
         }
     }
 
+    /// A self-monitoring panel over one `ruru_self` scalar export (counter
+    /// or gauge): plots the exported running value over time. `Max` per
+    /// bucket is the right statistic for cumulative counters — each export
+    /// is a running total, so the bucket's last (= largest) value is the
+    /// state at bucket end.
+    pub fn self_metric(metric: &str) -> Panel {
+        Panel {
+            title: format!("self: {metric}"),
+            measurement: "ruru_self".into(),
+            field: "value".into(),
+            tags: vec![("metric".into(), metric.into())],
+            stats: vec![Stat::Max],
+        }
+    }
+
+    /// A self-monitoring panel over one `ruru_self` stage-residency
+    /// histogram export: plots the exported p95 (tail residency) per
+    /// collection interval.
+    pub fn stage_residency(metric: &str) -> Panel {
+        Panel {
+            title: format!("residency: {metric}"),
+            measurement: "ruru_self".into(),
+            field: "p95".into(),
+            tags: vec![
+                ("metric".into(), metric.into()),
+                ("kind".into(), "histogram".into()),
+            ],
+            stats: vec![Stat::Mean, Stat::Max],
+        }
+    }
+
     /// Restrict the panel to a tag value.
     pub fn with_tag(mut self, key: &str, value: &str) -> Panel {
         self.tags.push((key.into(), value.into()));

@@ -98,6 +98,7 @@ fn unsafe_allowed(path: &str) -> bool {
         // The steady-state allocation audits install a counting
         // `#[global_allocator]` — inherently an `unsafe impl`.
         || path == "crates/flow/tests/alloc_steady_state.rs"
+        || path == "crates/telemetry/tests/alloc_steady_state.rs"
         || path == "crates/bench/src/bin/flow_table_report.rs"
         || path.starts_with("crates/loom/")
         || path.starts_with("crates/xtask/")
@@ -111,7 +112,9 @@ fn seqcst_allowed(path: &str) -> bool {
 
 /// Production code of the shimmed crates: must import atomics via `sync`.
 fn shimmed(path: &str) -> bool {
-    (path.starts_with("crates/nic/src/") || path.starts_with("crates/mq/src/"))
+    (path.starts_with("crates/nic/src/")
+        || path.starts_with("crates/mq/src/")
+        || path.starts_with("crates/telemetry/src/"))
         && !path.ends_with("/sync.rs")
 }
 
@@ -119,7 +122,9 @@ fn shimmed(path: &str) -> bool {
 fn hot_path(path: &str) -> bool {
     path.starts_with("crates/nic/src/")
         || path.starts_with("crates/flow/src/table/")
+        || path.starts_with("crates/telemetry/src/")
         || path == "crates/pipeline/src/engine.rs"
+        || path == "crates/pipeline/src/telemetry.rs"
 }
 
 /// Integration-test / bench files: exempt from the style rules (4–6).

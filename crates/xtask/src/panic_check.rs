@@ -37,7 +37,8 @@ use std::path::Path;
 use std::process::ExitCode;
 
 /// The crates whose steady-state code must be panic-free.
-pub const DATAPLANE_CRATES: &[&str] = &["wire", "nic", "flow", "mq", "tsdb", "pipeline"];
+pub const DATAPLANE_CRATES: &[&str] =
+    &["wire", "nic", "flow", "mq", "tsdb", "telemetry", "pipeline"];
 
 /// Dataplane entry points: (crate, fn name); `"*"` roots every fn in the
 /// crate. `new`/constructors are deliberately NOT rooted — init-time
@@ -104,6 +105,14 @@ const ROOTS: &[(&str, &str)] = &[
     ("tsdb", "downsample"),
     ("tsdb", "compute"),
     ("tsdb", "percentile_sorted"),
+    // Self-telemetry registry: worker-side writes and the collector's
+    // epoch-validated snapshot both run on hot threads.
+    ("telemetry", "burst_begin"),
+    ("telemetry", "burst_end"),
+    ("telemetry", "counter_add"),
+    ("telemetry", "gauge_store"),
+    ("telemetry", "hist_record"),
+    ("telemetry", "snapshot_into"),
     // Engine worker + detector loops (named fns, not spawn closures).
     ("pipeline", "dataplane_worker"),
     ("pipeline", "detector_loop"),

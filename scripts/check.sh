@@ -26,10 +26,19 @@ step() {
 
 loom_models() {
     RUSTFLAGS="--cfg loom" LOOM_MAX_PREEMPTIONS="${LOOM_MAX_PREEMPTIONS:-2}" \
-        cargo test --release -p ruru-loom -p ruru-nic -p ruru-mq
+        cargo test --release -p ruru-loom -p ruru-nic -p ruru-mq -p ruru-telemetry
+}
+
+# Telemetry smoke: the self-telemetry integration suite proves counter
+# conservation end to end (every fed frame lands in exactly one reject or
+# tracker counter) and that the `ruru_self` export parses and reconciles.
+telemetry_smoke() {
+    cargo test -q -p ruru-telemetry
+    cargo test -q -p ruru-pipeline --test self_telemetry
 }
 
 step "cargo test -q" cargo test -q
+step "telemetry smoke (conservation + ruru_self export)" telemetry_smoke
 step "cargo clippy --workspace --all-targets -- -D warnings" \
     cargo clippy --workspace --all-targets -- -D warnings
 step "cargo xtask lint" cargo xtask lint

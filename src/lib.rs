@@ -43,6 +43,7 @@
 //! | [`mq`] | `ruru-mq` | ZeroMQ-style PUB/SUB + PUSH/PULL bus |
 //! | [`geo`] | `ruru-geo` | IP2Location-style geo/AS database |
 //! | [`tsdb`] | `ruru-tsdb` | InfluxDB-style time-series store |
+//! | [`telemetry`] | `ruru-telemetry` | sharded self-metrics + epoch snapshots |
 //! | [`analytics`] | `ruru-analytics` | enrichment, privacy, anomaly detection |
 //! | [`viz`] | `ruru-viz` | arcs, colours, 30 fps frames, WebSocket, panels |
 //! | [`gen`] | `ruru-gen` | synthetic traffic with ground truth |
@@ -55,6 +56,7 @@ pub use ruru_geo as geo;
 pub use ruru_mq as mq;
 pub use ruru_nic as nic;
 pub use ruru_pipeline as pipeline;
+pub use ruru_telemetry as telemetry;
 pub use ruru_tsdb as tsdb;
 pub use ruru_viz as viz;
 pub use ruru_wire as wire;
