@@ -259,26 +259,33 @@ impl Enricher {
         }
     }
 
-    /// Look up one address.
-    pub fn lookup(&mut self, key: u128) -> EndpointInfo {
+    /// Look up one address, returning a borrowed cache entry — `None` when
+    /// the database does not cover the address. Counter movement is
+    /// identical to [`Enricher::lookup`].
+    pub fn lookup_ref(&mut self, key: u128) -> Option<&EndpointInfo> {
         self.lookups += 1;
         let db = &self.db;
-        let info = self
-            .cache
-            .get_or_insert_with(&key, || {
-                db.lookup_key(key).map(|loc| EndpointInfo {
-                    country_code: loc.country_code,
-                    city: loc.city.clone(),
-                    lat: loc.lat,
-                    lon: loc.lon,
-                    asn: loc.asn,
-                })
+        let info = self.cache.get_or_insert_with(&key, || {
+            db.lookup_key(key).map(|loc| EndpointInfo {
+                country_code: loc.country_code,
+                city: loc.city.clone(),
+                lat: loc.lat,
+                lon: loc.lon,
+                asn: loc.asn,
             })
-            .cloned();
-        info.unwrap_or_else(|| {
+        });
+        if info.is_none() {
             self.misses += 1;
-            EndpointInfo::unknown()
-        })
+        }
+        info
+    }
+
+    /// Look up one address.
+    pub fn lookup(&mut self, key: u128) -> EndpointInfo {
+        match self.lookup_ref(key) {
+            Some(info) => info.clone(),
+            None => EndpointInfo::unknown(),
+        }
     }
 
     /// Enrich one measurement, discarding its IP addresses.
@@ -291,6 +298,43 @@ impl Enricher {
             completed_at: m.completed_at,
             queue_id: m.queue_id,
         }
+    }
+
+    /// Enrich `m` and append its fixed binary wire form directly to `buf`
+    /// — the fused run-to-completion hot path. Skips the intermediate
+    /// [`EnrichedMeasurement`] entirely: endpoint infos are borrowed from
+    /// the cache, never cloned, so the steady state allocates nothing.
+    ///
+    /// Byte-for-byte identical to [`Enricher::enrich`] followed by
+    /// [`EnrichedMeasurement::encode_into`]; counters move the same way.
+    /// Returns `true` when either side missed the geo database.
+    pub fn enrich_encode_into(&mut self, m: &LatencyMeasurement, buf: &mut BytesMut) -> bool {
+        let start = buf.len();
+        buf.reserve(ENRICHED_WIRE_LEN);
+        buf.put_u8(ENRICHED_VERSION);
+        buf.put_u8(0); // reserved
+        buf.put_u16_le(m.queue_id);
+        buf.put_u64_le(m.internal_ns);
+        buf.put_u64_le(m.external_ns);
+        buf.put_u64_le(m.completed_at.as_nanos());
+        let mut geo_miss = false;
+        // EndpointInfo::unknown() holds an empty String: no allocation.
+        match self.lookup_ref(m.src.as_u128()) {
+            Some(info) => encode_endpoint(info, buf),
+            None => {
+                geo_miss = true;
+                encode_endpoint(&EndpointInfo::unknown(), buf);
+            }
+        }
+        match self.lookup_ref(m.dst.as_u128()) {
+            Some(info) => encode_endpoint(info, buf),
+            None => {
+                geo_miss = true;
+                encode_endpoint(&EndpointInfo::unknown(), buf);
+            }
+        }
+        debug_assert_eq!(buf.len() - start, ENRICHED_WIRE_LEN);
+        geo_miss
     }
 
     /// `(lookups, db_misses)` counters.
@@ -354,6 +398,33 @@ mod tests {
         assert!(em.src.is_unknown());
         assert!(em.dst.is_unknown());
         assert_eq!(e.stats().1, 2);
+    }
+
+    #[test]
+    fn enrich_encode_into_matches_enrich_then_encode() {
+        let (w, mut e) = world_enricher();
+        let mut rng = StdRng::seed_from_u64(3);
+        let src = w.sample_v4(AUCKLAND, &mut rng);
+        let dst = w.sample_v4(LOS_ANGELES, &mut rng);
+        let m = measurement(src, dst);
+
+        let via_struct = e.enrich(&m).encode();
+        let mut direct = bytes::BytesMut::new();
+        let geo_miss = e.enrich_encode_into(&m, &mut direct);
+        assert!(!geo_miss);
+        assert_eq!(&direct[..], &via_struct[..], "byte-identical encodings");
+        assert_eq!(direct.len(), ENRICHED_WIRE_LEN);
+    }
+
+    #[test]
+    fn enrich_encode_into_reports_geo_misses() {
+        let (_w, mut e) = world_enricher();
+        let mut buf = bytes::BytesMut::new();
+        let geo_miss = e.enrich_encode_into(&measurement([9, 9, 9, 9], [8, 8, 8, 8]), &mut buf);
+        assert!(geo_miss, "both endpoints unknown");
+        let em = EnrichedMeasurement::decode(&buf).expect("decodes");
+        assert!(em.src.is_unknown());
+        assert!(em.dst.is_unknown());
     }
 
     #[test]

@@ -100,6 +100,8 @@ pub struct PoolTelemetry {
     pub enriched: CounterId,
     /// Bus payloads that failed to decode.
     pub decode_errors: CounterId,
+    /// Geo lookups that missed the database (either endpoint unknown).
+    pub geo_misses: CounterId,
     /// Payload bytes emitted on the output edges.
     pub bytes_out: CounterId,
     /// Geo cache hits (absolute per worker; summed across shards).
@@ -280,6 +282,7 @@ impl EnrichmentPool {
                                 }
                                 t.registry.counter_add(shard, t.enriched, enriched);
                                 t.registry.counter_add(shard, t.decode_errors, decode_errors);
+                                t.registry.counter_add(shard, t.geo_misses, geo_misses);
                                 t.registry.counter_add(shard, t.bytes_out, bytes_out);
                                 t.registry.gauge_store(shard, t.geo_cache_hits, hits);
                                 t.registry.gauge_store(shard, t.geo_cache_misses, misses);

@@ -1,0 +1,123 @@
+//! E10 — execution-mode scaling (ISSUE 6): per-core cost of the two lcore
+//! layouts, pre-sharded by RSS exactly as the NIC would.
+//!
+//! * `pipelined/{q}q` — the dataplane stage alone (classify + track +
+//!   66-byte encode); enrichment happens on other cores in this mode.
+//! * `rtc/{q}q` — the whole run-to-completion stage inline (classify +
+//!   track + geo/AS enrich + 122-byte encode), one warm enricher per shard.
+//!
+//! Sharded processing shares nothing between queues, so per-core cost is
+//! the honest measurement on any host; `scaling_report` derives the gated
+//! multi-core curve (BENCH_scaling.json) from the same service times via
+//! the stage bottleneck model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ruru_analytics::Enricher;
+use ruru_bench::workload;
+use ruru_flow::classify::{classify, ChecksumMode};
+use ruru_flow::{HandshakeTracker, TrackerConfig};
+use ruru_gen::{GenConfig, TrafficGen};
+use ruru_nic::port::Port;
+use ruru_nic::{RssHasher, Timestamp};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Pre-shard raw events by symmetric RSS into `queues` shards.
+fn shard_events(
+    events: &[(Timestamp, Vec<u8>)],
+    queues: u16,
+) -> Vec<Vec<&(Timestamp, Vec<u8>)>> {
+    let hasher = RssHasher::symmetric(queues);
+    let mut shards: Vec<Vec<&(Timestamp, Vec<u8>)>> = vec![Vec::new(); queues as usize];
+    for ev in events {
+        let hash = Port::parse_rss_tuple(&ev.1)
+            .map(|(s, d, sp, dp)| hasher.hash_tuple(s, d, sp, dp))
+            .unwrap_or(0);
+        shards[hasher.queue_for(hash) as usize].push(ev);
+    }
+    shards
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Same seed family as scaling_report so the two artifacts correlate.
+    let mut gen = TrafficGen::new(GenConfig {
+        seed: 91,
+        flows_per_sec: 200.0,
+        duration: Timestamp::from_secs(1),
+        data_exchanges: (2, 4),
+        ..GenConfig::default()
+    });
+    let mut events = Vec::new();
+    for ev in gen.by_ref() {
+        events.push((ev.at, ev.frame));
+    }
+    let db = Arc::new(gen.world().db().clone());
+    let packets = events.len() as u64;
+
+    let mut group = c.benchmark_group("e10_scaling");
+    group.throughput(Throughput::Elements(packets));
+
+    for queues in [1u16, 2, 4] {
+        let shards = shard_events(&events, queues);
+
+        group.bench_with_input(
+            BenchmarkId::new("pipelined", queues),
+            &shards,
+            |b, shards| {
+                b.iter(|| {
+                    let mut measured = 0u64;
+                    for (q, shard) in shards.iter().enumerate() {
+                        let mut tracker =
+                            HandshakeTracker::new(q as u16, TrackerConfig::default());
+                        let mut scratch = bytes::BytesMut::with_capacity(1 << 16);
+                        for (at, frame) in shard {
+                            if let Ok(meta) = classify(black_box(frame), *at, ChecksumMode::Trust)
+                            {
+                                tracker.process_burst(std::slice::from_ref(&meta), |m| {
+                                    m.encode_into(&mut scratch);
+                                    measured += 1;
+                                });
+                            }
+                        }
+                        scratch.clear();
+                    }
+                    black_box(measured)
+                });
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("rtc", queues), &shards, |b, shards| {
+            // One warm enricher per shard, as each RTC lcore owns one.
+            let mut enrichers: Vec<Enricher> = (0..shards.len())
+                .map(|_| Enricher::new(Arc::clone(&db), 4096))
+                .collect();
+            b.iter(|| {
+                let mut measured = 0u64;
+                for (q, shard) in shards.iter().enumerate() {
+                    let mut tracker = HandshakeTracker::new(q as u16, TrackerConfig::default());
+                    let enricher = &mut enrichers[q];
+                    let mut scratch = bytes::BytesMut::with_capacity(1 << 16);
+                    for (at, frame) in shard {
+                        if let Ok(meta) = classify(black_box(frame), *at, ChecksumMode::Trust) {
+                            tracker.process_burst(std::slice::from_ref(&meta), |m| {
+                                enricher.enrich_encode_into(&m, &mut scratch);
+                                measured += 1;
+                            });
+                        }
+                    }
+                    scratch.clear();
+                }
+                black_box(measured)
+            });
+        });
+    }
+    group.finish();
+
+    // Keep the shared workload helper exercised so the crate-level prep
+    // cost shows up in profiles alongside the stage numbers.
+    let w = workload(91, 100.0, 1, (1, 2));
+    black_box(w.flows);
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,540 @@
+//! Machine-readable multi-core scaling report for the two execution modes
+//! (ISSUE 6): writes `BENCH_scaling.json` with a `num_queues ∈ {1,2,4,8}`
+//! curve for the pipelined and run-to-completion layouts.
+//!
+//! Methodology (`"method": "bottleneck_model"`): sharded-by-RSS processing
+//! shares nothing between queues, so the honest measurement on any host —
+//! this one has a single CPU — is the **single-threaded service time of
+//! each stage on real components**, with the multi-core curve derived from
+//! the stage bottleneck model:
+//!
+//! * pipelined, Q queues + Q enrichers (the auto-sized pool):
+//!   `pkts/s = min(Q/S_rx, Q/(r·S_enr), 1/(r·S_store))` — the last term is
+//!   the shared-`TsDb` store path, serialized across all enrichers by the
+//!   global write lock no matter how many cores are added.
+//! * run-to-completion, Q lcores:
+//!   `pkts/s = Q/(S_rtc + r·S_shard)` — inline enrichment plus the
+//!   per-queue **lock-free** `IngestShard` build; nothing is serialized.
+//!
+//! where `r` is measurements per packet of the seeded workload. The gated
+//! mode-vs-mode ratio is computed on **records/s per core** (pipelined
+//! burns 2Q cores for Q queues; run-to-completion burns Q), which is the
+//! paper's actual claim for run-to-completion: the same work from fewer
+//! cores, with no inter-core hop. Raw per-mode records/s are reported
+//! alongside. A real-pipeline wall-clock section (both modes, threads
+//! time-sharing this host's cores) is included **ungated**, and a
+//! steady-state allocation audit of each mode's lcore hot path must be 0.
+//!
+//! Usage: scaling_report [--out PATH] [--smoke] [--queues 1,2,4,8]
+
+use ruru_analytics::Enricher;
+use ruru_flow::classify::{classify, ChecksumMode};
+use ruru_flow::{HandshakeTracker, LatencyMeasurement, TrackerConfig};
+use ruru_gen::{GenConfig, TrafficGen};
+use ruru_nic::{PortConfig, Timestamp};
+use ruru_pipeline::{ExecutionMode, Pipeline, PipelineConfig};
+use ruru_tsdb::{IngestShard, TsDb};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counts heap hits while armed; defers everything to [`System`]. Same
+/// instrument as `flow_table_report.rs`, auditing the per-mode hot path.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static HEAP_HITS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to the `System` allocator — identical layout
+// contracts — plus a relaxed counter increment, which allocates nothing
+// and cannot reenter the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            HEAP_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    // SAFETY: forwards `ptr`/`layout` unchanged to `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: forwards all arguments unchanged to `System.realloc`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            HEAP_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const REPS: usize = 7;
+
+struct Args {
+    out: String,
+    smoke: bool,
+    queues: Vec<u16>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_scaling.json".into(),
+        smoke: false,
+        queues: vec![1, 2, 4, 8],
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--smoke" => args.smoke = true,
+            "--queues" => {
+                args.queues = it
+                    .next()
+                    .expect("--queues needs a list")
+                    .split(',')
+                    .map(|q| q.parse().expect("queue count"))
+                    .collect();
+                assert!(!args.queues.is_empty(), "--queues must name at least one");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: scaling_report [--out PATH] [--smoke] [--queues 1,2,4,8]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Best-of-`REPS` wall time for `f`, as ns per op over `ops`.
+fn time_ns(ops: u64, mut f: impl FnMut() -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        black_box(f());
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best * 1e9 / ops as f64
+}
+
+/// The seeded workload: raw frames plus the measurements the tracker
+/// extracts from them, and the enrichment world they geolocate in.
+struct Scenario {
+    events: Vec<(Timestamp, Vec<u8>)>,
+    measurements: Vec<LatencyMeasurement>,
+    db: Arc<ruru_geo::GeoDb>,
+    bytes: u64,
+}
+
+fn scenario(smoke: bool) -> Scenario {
+    let mut gen = TrafficGen::new(GenConfig {
+        seed: 91,
+        flows_per_sec: if smoke { 150.0 } else { 300.0 },
+        duration: Timestamp::from_secs(if smoke { 1 } else { 2 }),
+        data_exchanges: (2, 4),
+        ..GenConfig::default()
+    });
+    let mut events = Vec::new();
+    let mut bytes = 0u64;
+    for ev in gen.by_ref() {
+        bytes += ev.frame.len() as u64;
+        events.push((ev.at, ev.frame));
+    }
+    let db = Arc::new(gen.world().db().clone());
+    let mut tracker = HandshakeTracker::new(0, TrackerConfig::default());
+    let mut measurements = Vec::new();
+    for (at, frame) in &events {
+        let meta = classify(frame, *at, ChecksumMode::Trust).expect("generated frames classify");
+        tracker.process_burst(std::slice::from_ref(&meta), |m| measurements.push(m));
+    }
+    Scenario {
+        events,
+        measurements,
+        db,
+        bytes,
+    }
+}
+
+/// Single-threaded service times (ns) of every stage the model needs.
+struct ServiceTimes {
+    /// Pipelined RX lcore, per packet: classify + track + 66-byte encode.
+    rx_pkt: f64,
+    /// Pipelined enricher, per measurement: decode + enrich + 122-byte encode.
+    enr_meas: f64,
+    /// Shared-store path, per measurement: `to_point` + `TsDb::write`
+    /// (the section serialized across enrichers by the global write lock).
+    store_meas: f64,
+    /// Run-to-completion lcore, per packet: classify + track + inline
+    /// enrich + 122-byte encode into the reused scratch block.
+    rtc_pkt: f64,
+    /// Run-to-completion deferred ingest, per measurement: `to_point` +
+    /// lock-free `IngestShard::write` (parallel per queue).
+    shard_meas: f64,
+}
+
+fn measure_service_times(sc: &Scenario) -> ServiceTimes {
+    let n = sc.events.len() as u64;
+    let nm = sc.measurements.len() as u64;
+
+    let rx_pkt = time_ns(n, || {
+        let mut t = HandshakeTracker::new(0, TrackerConfig::default());
+        let mut scratch = bytes::BytesMut::with_capacity(sc.measurements.len() * 80 + 1024);
+        let mut c = 0u64;
+        for (at, frame) in &sc.events {
+            if let Ok(meta) = classify(black_box(frame), *at, ChecksumMode::Trust) {
+                t.process_burst(std::slice::from_ref(&meta), |m| {
+                    m.encode_into(&mut scratch);
+                    c += 1;
+                });
+            }
+        }
+        scratch.clear();
+        c
+    });
+
+    let mut enricher = Enricher::new(Arc::clone(&sc.db), 4096);
+    let mut warm = bytes::BytesMut::with_capacity(1 << 16);
+    for m in &sc.measurements {
+        enricher.enrich_encode_into(m, &mut warm);
+    }
+    drop(warm);
+
+    let encoded: Vec<Vec<u8>> = sc
+        .measurements
+        .iter()
+        .map(|m| {
+            let mut b = bytes::BytesMut::new();
+            m.encode_into(&mut b);
+            b.to_vec()
+        })
+        .collect();
+    let enr_meas = time_ns(nm, || {
+        let mut c = 0u64;
+        for raw in &encoded {
+            let m = LatencyMeasurement::decode(black_box(raw)).expect("round trip");
+            let em = enricher.enrich(&m);
+            c += em.encode().len() as u64;
+        }
+        c
+    });
+
+    let enriched: Vec<_> = sc.measurements.iter().map(|m| enricher.enrich(m)).collect();
+    let store_meas = time_ns(nm, || {
+        let db = TsDb::new();
+        for em in &enriched {
+            db.write(&em.to_point());
+        }
+        db.points_ingested()
+    });
+
+    let shard_meas = time_ns(nm, || {
+        let mut shard = IngestShard::new();
+        for em in &enriched {
+            shard.write(&em.to_point());
+        }
+        shard.points_buffered()
+    });
+
+    let rtc_pkt = time_ns(n, || {
+        let mut t = HandshakeTracker::new(0, TrackerConfig::default());
+        let mut scratch = bytes::BytesMut::with_capacity(sc.measurements.len() * 128 + 1024);
+        let mut c = 0u64;
+        for (at, frame) in &sc.events {
+            if let Ok(meta) = classify(black_box(frame), *at, ChecksumMode::Trust) {
+                t.process_burst(std::slice::from_ref(&meta), |m| {
+                    enricher.enrich_encode_into(&m, &mut scratch);
+                    c += 1;
+                });
+            }
+        }
+        scratch.clear();
+        c
+    });
+
+    ServiceTimes {
+        rx_pkt,
+        enr_meas,
+        store_meas,
+        rtc_pkt,
+        shard_meas,
+    }
+}
+
+/// One point on the modeled curve.
+struct CurvePoint {
+    queues: u16,
+    pipelined_pps: f64,
+    pipelined_cores: u16,
+    pipelined_bottleneck: &'static str,
+    rtc_pps: f64,
+    rtc_cores: u16,
+}
+
+fn model_curve(st: &ServiceTimes, r: f64, queues: &[u16]) -> Vec<CurvePoint> {
+    queues
+        .iter()
+        .map(|&q| {
+            let qf = q as f64;
+            // Pipelined: Q RX lcores, Q enrichers (the auto-sized pool),
+            // one shared TsDb behind a global write lock.
+            let rx_cap = 1e9 * qf / st.rx_pkt;
+            let enr_cap = 1e9 * qf / (r * st.enr_meas);
+            let store_cap = 1e9 / (r * st.store_meas);
+            let (pipelined_pps, bottleneck) = [
+                (rx_cap, "rx"),
+                (enr_cap, "enrich"),
+                (store_cap, "tsdb_write_lock"),
+            ]
+            .into_iter()
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("non-empty");
+            // Run-to-completion: Q lcores do everything; the only extra
+            // work is the lock-free per-queue shard build.
+            let rtc_pps = 1e9 * qf / (st.rtc_pkt + r * st.shard_meas);
+            CurvePoint {
+                queues: q,
+                pipelined_pps,
+                pipelined_cores: 2 * q,
+                pipelined_bottleneck: bottleneck,
+                rtc_pps,
+                rtc_cores: q,
+            }
+        })
+        .collect()
+}
+
+/// Steady-state allocation audit of one mode's lcore hot path: everything
+/// pre-warmed and pre-reserved (tracker slab, geo cache, scratch block),
+/// then the whole workload replayed with the counting allocator armed.
+fn audit_allocs(sc: &Scenario, mode: ExecutionMode) -> u64 {
+    let mut tracker = HandshakeTracker::new(0, TrackerConfig::default());
+    let mut enricher = Enricher::new(Arc::clone(&sc.db), 4096);
+    let mut scratch = bytes::BytesMut::with_capacity(sc.measurements.len() * 128 + (1 << 16));
+    // Warm pass: slab insertions, geo cache fills, scratch reservation.
+    for (at, frame) in &sc.events {
+        if let Ok(meta) = classify(frame, *at, ChecksumMode::Trust) {
+            tracker.process_burst(std::slice::from_ref(&meta), |m| {
+                enricher.enrich_encode_into(&m, &mut scratch);
+            });
+        }
+    }
+    scratch.clear();
+
+    ARMED.store(true, Ordering::Relaxed);
+    let mut c = 0u64;
+    for (at, frame) in &sc.events {
+        if let Ok(meta) = classify(black_box(frame), *at, ChecksumMode::Trust) {
+            match mode {
+                ExecutionMode::Pipelined => {
+                    tracker.process_burst(std::slice::from_ref(&meta), |m| {
+                        m.encode_into(&mut scratch);
+                        c += 1;
+                    });
+                }
+                ExecutionMode::RunToCompletion => {
+                    tracker.process_burst(std::slice::from_ref(&meta), |m| {
+                        enricher.enrich_encode_into(&m, &mut scratch);
+                        c += 1;
+                    });
+                }
+            }
+        }
+    }
+    ARMED.store(false, Ordering::Relaxed);
+    black_box(c);
+    scratch.clear();
+    HEAP_HITS.swap(0, Ordering::Relaxed)
+}
+
+/// Ungated: run the real pipeline end to end in `mode` on this host
+/// (threads time-share whatever cores exist) and report wall-clock rates
+/// plus mean per-stage residency from the run's telemetry snapshot.
+struct WallClock {
+    records_per_sec: f64,
+    mpps: f64,
+    rx_residency_ns: f64,
+    enrich_residency_ns: f64,
+    publish_residency_ns: f64,
+}
+
+fn host_wall_clock(mode: ExecutionMode, queues: u16, smoke: bool) -> WallClock {
+    let config = PipelineConfig {
+        mode,
+        port: PortConfig {
+            num_queues: queues,
+            queue_depth: 8192,
+            pool_size: 16384,
+            buf_size: 2048,
+            symmetric_rss: true,
+        },
+        enrich_threads: 0,
+        ..PipelineConfig::default()
+    };
+    let (mut pipeline, world) = Pipeline::with_synth_world(config);
+    let mut gen = TrafficGen::with_world(
+        GenConfig {
+            seed: 91,
+            flows_per_sec: if smoke { 150.0 } else { 400.0 },
+            duration: Timestamp::from_secs(if smoke { 1 } else { 2 }),
+            data_exchanges: (2, 4),
+            ..GenConfig::default()
+        },
+        world,
+    );
+    let started = Instant::now();
+    let fed = pipeline.run(&mut gen);
+    let report = pipeline.finish();
+    let secs = started.elapsed().as_secs_f64();
+    let records = report.measurements();
+    let mean = |name: &str| -> f64 {
+        report
+            .telemetry
+            .hist(name)
+            .filter(|h| h.count > 0)
+            .map(|h| h.sum as f64 / h.count as f64)
+            .unwrap_or(0.0)
+    };
+    WallClock {
+        records_per_sec: records as f64 / secs,
+        mpps: fed as f64 / secs / 1e6,
+        rx_residency_ns: mean("stage_rx_residency_ns"),
+        enrich_residency_ns: mean("stage_enrich_residency_ns"),
+        publish_residency_ns: mean("stage_publish_residency_ns"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let sc = scenario(args.smoke);
+    let packets = sc.events.len() as u64;
+    let meas = sc.measurements.len() as u64;
+    let r = meas as f64 / packets as f64;
+    eprintln!("workload: {packets} packets, {meas} measurements (r={r:.4})");
+
+    let st = measure_service_times(&sc);
+    eprintln!(
+        "service times ns: rx={:.1}/pkt enr={:.1}/meas store={:.1}/meas rtc={:.1}/pkt shard={:.1}/meas",
+        st.rx_pkt, st.enr_meas, st.store_meas, st.rtc_pkt, st.shard_meas
+    );
+
+    let curve = model_curve(&st, r, &args.queues);
+
+    let allocs_pipelined = audit_allocs(&sc, ExecutionMode::Pipelined);
+    let allocs_rtc = audit_allocs(&sc, ExecutionMode::RunToCompletion);
+    eprintln!("steady-state allocations: pipelined={allocs_pipelined} rtc={allocs_rtc}");
+
+    // Real end-to-end runs on this host, never gated: on a small host the
+    // threads time-share and the numbers measure the scheduler, not the
+    // architecture — that is exactly why the curve above is modeled.
+    let wc_queues = args.queues.iter().min().copied().unwrap_or(1);
+    let wc_pipelined = host_wall_clock(ExecutionMode::Pipelined, wc_queues, args.smoke);
+    let wc_rtc = host_wall_clock(ExecutionMode::RunToCompletion, wc_queues, args.smoke);
+
+    let find = |q: u16| curve.iter().find(|p| p.queues == q);
+    let per_core =
+        |pps: f64, cores: u16, r: f64| -> f64 { pps * r / cores as f64 };
+    let (rtc_vs_pipelined_4q, rtc_scaling, pipelined_scaling, rtc_eff) =
+        match (find(1), find(4)) {
+            (Some(p1), Some(p4)) => (
+                per_core(p4.rtc_pps, p4.rtc_cores, r)
+                    / per_core(p4.pipelined_pps, p4.pipelined_cores, r),
+                p4.rtc_pps / p1.rtc_pps,
+                p4.pipelined_pps / p1.pipelined_pps,
+                (p4.rtc_pps / p1.rtc_pps) / 4.0,
+            ),
+            // A partial sweep (CI smoke) still writes the artifact; the
+            // gate is only run against the full sweep.
+            _ => (0.0, 0.0, 0.0, 0.0),
+        };
+
+    let mut curve_json: Vec<String> = Vec::new();
+    for p in &curve {
+        curve_json.push(format!(
+            "    {{ \"queues\": {}, \"pipelined\": {{ \"cores\": {}, \"mpps\": {:.3}, \"records_per_sec\": {:.0}, \"records_per_sec_per_core\": {:.0}, \"bottleneck\": \"{}\" }}, \"rtc\": {{ \"cores\": {}, \"mpps\": {:.3}, \"records_per_sec\": {:.0}, \"records_per_sec_per_core\": {:.0} }}, \"rtc_speedup_per_core\": {:.2} }}",
+            p.queues,
+            p.pipelined_cores,
+            p.pipelined_pps / 1e6,
+            p.pipelined_pps * r,
+            per_core(p.pipelined_pps, p.pipelined_cores, r),
+            p.pipelined_bottleneck,
+            p.rtc_cores,
+            p.rtc_pps / 1e6,
+            p.rtc_pps * r,
+            per_core(p.rtc_pps, p.rtc_cores, r),
+            per_core(p.rtc_pps, p.rtc_cores, r) / per_core(p.pipelined_pps, p.pipelined_cores, r),
+        ));
+    }
+
+    let json = format!(
+        r#"{{
+  "method": "bottleneck_model",
+  "note": "service times measured single-threaded on real components; multi-core curve derived from the stage bottleneck model (pipelined: min over rx lcores, enrich pool, serialized shared-TsDb store; rtc: fully parallel per-queue). Gated mode ratio uses records/s per core: pipelined spends 2Q cores for Q queues, run-to-completion spends Q.",
+  "host_cores": {host_cores},
+  "workload": {{ "packets": {packets}, "measurements": {meas}, "measurements_per_packet": {r:.4}, "frame_bytes": {bytes} }},
+  "service_times_ns": {{
+    "pipelined_rx_per_packet": {rx:.1},
+    "pipelined_enrich_per_measurement": {enr:.1},
+    "pipelined_store_per_measurement": {store:.1},
+    "rtc_per_packet": {rtc:.1},
+    "rtc_shard_ingest_per_measurement": {shard:.1}
+  }},
+  "curve": [
+{curve_body}
+  ],
+  "ratios": {{
+    "basis": "records_per_sec_per_core",
+    "rtc_vs_pipelined_4q": {r1:.2},
+    "rtc_scaling_4q_over_1q": {r2:.2},
+    "pipelined_scaling_4q_over_1q": {r3:.2},
+    "rtc_parallel_efficiency_4q": {r4:.2}
+  }},
+  "host_wall_clock": {{
+    "gated": false,
+    "queues": {wcq},
+    "pipelined": {{ "records_per_sec": {wp_rps:.0}, "mpps": {wp_mpps:.3}, "stage_residency_ns": {{ "rx": {wp_rx:.0}, "enrich": {wp_en:.0}, "publish": {wp_pub:.0} }} }},
+    "rtc": {{ "records_per_sec": {wr_rps:.0}, "mpps": {wr_mpps:.3}, "stage_residency_ns": {{ "rx": {wr_rx:.0}, "enrich": {wr_en:.0}, "publish": {wr_pub:.0} }} }}
+  }},
+  "steady_state_allocations": {{ "pipelined": {ap}, "rtc": {ar} }}
+}}
+"#,
+        host_cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        bytes = sc.bytes,
+        rx = st.rx_pkt,
+        enr = st.enr_meas,
+        store = st.store_meas,
+        rtc = st.rtc_pkt,
+        shard = st.shard_meas,
+        curve_body = curve_json.join(",\n"),
+        r1 = rtc_vs_pipelined_4q,
+        r2 = rtc_scaling,
+        r3 = pipelined_scaling,
+        r4 = rtc_eff,
+        wcq = wc_queues,
+        wp_rps = wc_pipelined.records_per_sec,
+        wp_mpps = wc_pipelined.mpps,
+        wp_rx = wc_pipelined.rx_residency_ns,
+        wp_en = wc_pipelined.enrich_residency_ns,
+        wp_pub = wc_pipelined.publish_residency_ns,
+        wr_rps = wc_rtc.records_per_sec,
+        wr_mpps = wc_rtc.mpps,
+        wr_rx = wc_rtc.rx_residency_ns,
+        wr_en = wc_rtc.enrich_residency_ns,
+        wr_pub = wc_rtc.publish_residency_ns,
+        ap = allocs_pipelined,
+        ar = allocs_rtc,
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", args.out);
+}

@@ -1,11 +1,14 @@
 //! `ruru-sim` — scenario runner for the Ruru pipeline.
 //!
 //! ```text
-//! ruru-sim [SCENARIO] [--secs N] [--rate F] [--queues N] [--seed N]
-//!          [--dashboard] [--json] [--pcap-in FILE] [--pcap-out FILE]
-//!          [--snapshot FILE]
+//! ruru-sim [SCENARIO] [--secs N] [--rate F] [--queues N]
+//!          [--mode pipelined|rtc] [--seed N] [--dashboard] [--json]
+//!          [--pcap-in FILE] [--pcap-out FILE] [--snapshot FILE]
 //!
 //! SCENARIO: steady (default) | firewall | synflood
+//! --mode      execution layout: `pipelined` (default; dedicated enrichment
+//!             pool behind a queue hop) or `rtc` (run-to-completion: each
+//!             RX lcore enriches and encodes inline, sharded tsdb ingest)
 //! --pcap-in   analyze a capture file instead of generating traffic
 //! --pcap-out  also write the generated traffic to a capture file
 //! --snapshot  save the time-series database to FILE after the run
@@ -28,7 +31,7 @@ use ruru_gen::{Anomaly, GenConfig, TrafficGen};
 use ruru_geo::synth::LOS_ANGELES;
 use ruru_nic::port::PortConfig;
 use ruru_nic::Timestamp;
-use ruru_pipeline::{Pipeline, PipelineConfig};
+use ruru_pipeline::{ExecutionMode, Pipeline, PipelineConfig};
 use ruru_viz::Dashboard;
 
 struct Args {
@@ -36,6 +39,7 @@ struct Args {
     secs: u64,
     rate: f64,
     queues: u16,
+    mode: ExecutionMode,
     seed: u64,
     dashboard: bool,
     json: bool,
@@ -51,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         secs: 60,
         rate: 100.0,
         queues: 4,
+        mode: ExecutionMode::default(),
         seed: 1,
         dashboard: false,
         json: false,
@@ -72,6 +77,13 @@ fn parse_args() -> Result<Args, String> {
             "--queues" => {
                 args.queues = value("--queues")?.parse().map_err(|e| format!("--queues: {e}"))?
             }
+            "--mode" => {
+                args.mode = match value("--mode")?.as_str() {
+                    "pipelined" => ExecutionMode::Pipelined,
+                    "rtc" | "run-to-completion" => ExecutionMode::RunToCompletion,
+                    other => return Err(format!("--mode: expected pipelined|rtc, got {other}")),
+                }
+            }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--dashboard" => args.dashboard = true,
             "--json" => args.json = true,
@@ -82,7 +94,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: ruru-sim [steady|firewall|synflood] [--secs N] [--rate F] \
-                     [--queues N] [--seed N] [--dashboard] [--json] \
+                     [--queues N] [--mode pipelined|rtc] [--seed N] [--dashboard] [--json] \
                      [--pcap-in FILE] [--pcap-out FILE] [--snapshot FILE] [--diurnal]"
                 );
                 std::process::exit(0);
@@ -125,6 +137,7 @@ fn main() {
     };
 
     let (mut pipeline, world) = Pipeline::with_synth_world(PipelineConfig {
+        mode: args.mode,
         port: PortConfig {
             num_queues: args.queues,
             queue_depth: 1 << 15,

@@ -10,9 +10,11 @@ use crate::telemetry::SelfMetrics;
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ruru_analytics::detect::{FloodConfig, RateConfig, SpikeConfig};
+use ruru_analytics::enrich::ENRICHED_WIRE_LEN;
+use ruru_analytics::workers::{PoolStats, ENRICHED_TOPIC};
 use ruru_analytics::{
-    AlertSink, EnrichedMeasurement, EnrichmentPool, LatencySpikeDetector, PairAggregator,
-    PairInterner, RateAnomalyDetector, SynFloodDetector,
+    AlertSink, EnrichedMeasurement, Enricher, EnrichmentPool, LatencySpikeDetector,
+    PairAggregator, PairInterner, RateAnomalyDetector, SynFloodDetector,
 };
 use ruru_flow::classify::{
     classify_mbuf, ChecksumMode, Reject, RejectCounters, RejectStats, TcpMeta,
@@ -27,11 +29,30 @@ use ruru_nic::lcore::{WorkerGroup, BURST_SIZE};
 use ruru_nic::port::{Port, PortConfig, PortStats};
 use ruru_nic::{Clock, Timestamp};
 use ruru_telemetry::Snapshot;
-use ruru_tsdb::TsDb;
+use ruru_tsdb::{IngestShard, TsDb};
 use ruru_viz::frame::{FrameBatcher, FrameConfig};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Which dataplane layout the pipeline runs (DPDK's two canonical
+/// packet-processing models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// The classic pipelined layout: lcore workers classify + track, PUSH
+    /// binary measurements to a pool of enrichment threads, which enrich,
+    /// write the tsdb, and forward encoded records to the detector feed.
+    #[default]
+    Pipelined,
+    /// Run-to-completion: each RX lcore classifies, tracks, geo/AS-enriches
+    /// and binary-encodes inline (per-worker [`Enricher`] cache and scratch
+    /// encoder, no push/pull hop), forwarding already-encoded records
+    /// straight to the detector feed. TsDb ingest is sharded per queue —
+    /// each worker logs its records privately and the store sees one merge
+    /// per queue at [`Pipeline::finish`], so writers never contend on the
+    /// global write lock.
+    RunToCompletion,
+}
 
 /// Whole-pipeline configuration.
 #[derive(Debug, Clone)]
@@ -40,7 +61,13 @@ pub struct PipelineConfig {
     pub port: PortConfig,
     /// Per-queue handshake tracker settings.
     pub tracker: TrackerConfig,
+    /// Dataplane layout; see [`ExecutionMode`].
+    pub mode: ExecutionMode,
     /// Enrichment worker threads ("multiple threads" in the paper).
+    /// `0` (the default) auto-sizes the pool to one worker per RX queue;
+    /// any explicit value is honored as-is. Ignored in
+    /// [`ExecutionMode::RunToCompletion`], where enrichment runs inline on
+    /// the lcores.
     pub enrich_threads: usize,
     /// Validate checksums at classification (Ruru's default).
     pub checksum_mode: ChecksumMode,
@@ -74,7 +101,8 @@ impl Default for PipelineConfig {
         PipelineConfig {
             port: PortConfig::default(),
             tracker: TrackerConfig::default(),
-            enrich_threads: 2,
+            mode: ExecutionMode::default(),
+            enrich_threads: 0,
             checksum_mode: ChecksumMode::Validate,
             mq_hwm: 65536,
             geo_cache: 4096,
@@ -85,6 +113,18 @@ impl Default for PipelineConfig {
             snmp_interval_ns: 300 * 1_000_000_000,
             telemetry_interval_ns: 1_000_000_000,
             lossless_inject: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The enrichment pool size after auto-sizing: `enrich_threads` if set
+    /// explicitly, else one worker per RX queue.
+    pub fn effective_enrich_threads(&self) -> usize {
+        if self.enrich_threads == 0 {
+            self.port.num_queues as usize
+        } else {
+            self.enrich_threads
         }
     }
 }
@@ -136,7 +176,9 @@ pub struct Report {
     pub port: PortStats,
     /// Per-queue tracker statistics.
     pub trackers: Vec<(u16, TrackerStats)>,
-    /// Enrichment pool statistics.
+    /// Enrichment statistics: the pool's counters in pipelined mode, or
+    /// the per-lcore inline-enrichment counters summed across queues in
+    /// run-to-completion mode.
     pub pool: ruru_analytics::workers::PoolStats,
     /// All alerts raised.
     pub alerts: Vec<ruru_analytics::Alert>,
@@ -215,6 +257,43 @@ struct WorkerState {
     alloc_hits: u64,
     syn_events: u64,
     reject_counts: [u64; REJECT_CAUSES.len()],
+    /// Run-to-completion extras: the per-lcore enricher, PUB batch, and
+    /// private tsdb record log. `None` in pipelined mode.
+    rtc: Option<RtcState>,
+}
+
+/// Per-lcore enrichment state for [`ExecutionMode::RunToCompletion`].
+struct RtcState {
+    /// This worker's private geo cache over the shared database.
+    enricher: Enricher,
+    /// The PUB edge; line-protocol fan-out happens only while external
+    /// subscribers are attached (it allocates, the binary path does not).
+    publisher: Publisher,
+    /// Reused PUB batch buffer.
+    pub_out: Vec<Message>,
+    /// Every enriched binary record this worker produced — its private
+    /// tsdb ingest log. Converted to an [`IngestShard`] and merged at
+    /// [`Pipeline::finish`], so lcores never touch the store's write lock.
+    records: Vec<Bytes>,
+    /// Cumulative pool-equivalent stats, reported at worker exit.
+    stats: PoolStats,
+    // Per-burst deltas, flushed into this worker's registry shard.
+    enriched: u64,
+    geo_misses: u64,
+    bytes_out: u64,
+    /// Track → enrich residencies (virtual ns) of the current burst.
+    enrich_residencies: Vec<u64>,
+    /// Shared live progress counter ([`Pipeline::enriched_so_far`]).
+    enriched_total: Arc<AtomicU64>,
+}
+
+/// Everything a worker hands back when it exits: tracker stats in both
+/// modes, plus the run-to-completion enrichment stats and record log.
+struct WorkerExit {
+    queue: u16,
+    tracker: TrackerStats,
+    enrich: PoolStats,
+    records: Vec<Bytes>,
 }
 
 impl WorkerState {
@@ -269,6 +348,35 @@ impl WorkerState {
             r.counter_add(self.shard, m.dp_syn_events, self.syn_events);
             self.syn_events = 0;
         }
+        // Run-to-completion: the enrichment stage lives on this lcore, so
+        // its counters flush into the same dataplane shard (counters sum
+        // across shards; the layout reserves no enricher shards in this
+        // mode).
+        if let Some(rtc) = &mut self.rtc {
+            if rtc.enriched > 0 {
+                r.counter_add(self.shard, m.enrich_enriched, rtc.enriched);
+                rtc.stats.enriched += rtc.enriched;
+                rtc.enriched_total.fetch_add(rtc.enriched, Ordering::Relaxed);
+                rtc.enriched = 0;
+            }
+            if rtc.geo_misses > 0 {
+                r.counter_add(self.shard, m.enrich_geo_misses, rtc.geo_misses);
+                rtc.stats.geo_misses += rtc.geo_misses;
+                rtc.geo_misses = 0;
+            }
+            if rtc.bytes_out > 0 {
+                r.counter_add(self.shard, m.enrich_bytes_out, rtc.bytes_out);
+                rtc.stats.bytes_out += rtc.bytes_out;
+                rtc.bytes_out = 0;
+            }
+            for &ns in &rtc.enrich_residencies {
+                r.hist_record(self.shard, m.enrich_residency, ns);
+            }
+            rtc.enrich_residencies.clear();
+            let (hits, misses) = rtc.enricher.cache_stats();
+            r.gauge_store(self.shard, m.geo_cache_hits, hits);
+            r.gauge_store(self.shard, m.geo_cache_misses, misses);
+        }
         for (i, &cause) in REJECT_CAUSES.iter().enumerate() {
             if let Some(&n) = self.reject_counts.get(i) {
                 if n > 0 {
@@ -316,8 +424,13 @@ pub struct Pipeline {
     publisher: Publisher,
     port: Port,
     workers: WorkerGroup,
-    pool: EnrichmentPool,
-    stats_rx: Receiver<(u16, TrackerStats)>,
+    /// The enrichment pool; `None` in run-to-completion mode, where the
+    /// lcores enrich inline.
+    pool: Option<EnrichmentPool>,
+    /// Live enriched count for run-to-completion mode (the pool counter's
+    /// stand-in).
+    rtc_enriched: Arc<AtomicU64>,
+    stats_rx: Receiver<WorkerExit>,
     detector_handle: std::thread::JoinHandle<DetectorResult>,
     detector_stop: Arc<AtomicBool>,
     tsdb: Arc<TsDb>,
@@ -406,6 +519,41 @@ fn flush_detector_deltas(
 /// than left as a closure inside [`Pipeline::new`]) so `cargo xtask
 /// panic-check` can root its reachability walk at the hot path.
 fn dataplane_worker(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
+    classify_burst(state, burst);
+    // Split the borrows: the tracker walks `metas` while the emit closure
+    // owns the encode/batch fields.
+    let WorkerState {
+        tracker,
+        metas,
+        scratch,
+        batch,
+        bytes,
+        records_out,
+        alloc_hits,
+        ..
+    } = state;
+    tracker.process_burst(metas, |m| {
+        // Encode into the worker's scratch block: one backing allocation
+        // per ~1000 records, each payload a zero-copy slice of it.
+        if scratch.capacity() < WIRE_LEN {
+            scratch.reserve(SCRATCH_CHUNK);
+            *alloc_hits += 1;
+        }
+        m.encode_into(scratch);
+        let payload = scratch.split().freeze();
+        *bytes += payload.len() as u64;
+        batch.push(Message::new(Bytes::from_static(b"latency"), payload));
+        *records_out += 1;
+    });
+    // Burst boundary: at most one measurement per packet, so the batch is
+    // bounded by BURST_SIZE; one vectored send covers the whole burst.
+    state.flush();
+}
+
+/// The classification half shared by both execution modes: drain the RX
+/// burst through [`classify_mbuf`], record residencies and SYN events, and
+/// stage the surviving [`TcpMeta`]s in `state.metas` for the tracker walk.
+fn classify_burst(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
     state.records_in += burst.len() as u64;
     state.metas.clear();
     // One clock read per burst: RX residency is virtual time between the
@@ -436,8 +584,21 @@ fn dataplane_worker(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
             }
         }
     }
-    // Split the borrows: the tracker walks `metas` while the emit closure
-    // owns the encode/batch fields.
+}
+
+/// One RX burst through the run-to-completion dataplane: classify, track,
+/// then — still on this lcore — geo/AS-enrich and binary-encode each
+/// measurement through the worker's private [`Enricher`] cache, forwarding
+/// the already-encoded 122-byte records to the detector feed with one
+/// vectored PUSH and appending them to the worker's private tsdb record
+/// log. No push/pull hop, no shared store lock, no allocation at steady
+/// state (the scratch block amortizes one allocation per ~64 KiB of
+/// output; the PUB line-protocol edge, which does allocate, is skipped
+/// unless external subscribers are attached). Named so `cargo xtask
+/// panic-check` can root its reachability walk here.
+fn run_to_completion_worker(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
+    classify_burst(state, burst);
+    let now = state.clock.now();
     let WorkerState {
         tracker,
         metas,
@@ -445,25 +606,72 @@ fn dataplane_worker(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
         batch,
         bytes,
         records_out,
-        alloc_hits,
+        rtc,
         ..
     } = state;
+    let Some(rtc) = rtc.as_mut() else {
+        // Unreachable by construction: the factory installs `RtcState` on
+        // every worker in run-to-completion mode.
+        return;
+    };
+    let log_start = rtc.records.len();
     tracker.process_burst(metas, |m| {
-        // Encode into the worker's scratch block: one backing allocation
-        // per ~1000 records, each payload a zero-copy slice of it.
-        if scratch.capacity() < WIRE_LEN {
+        if scratch.capacity() < ENRICHED_WIRE_LEN {
             scratch.reserve(SCRATCH_CHUNK);
-            *alloc_hits += 1;
+            rtc.stats.alloc_hits += 1;
         }
-        m.encode_into(scratch);
+        if rtc.enricher.enrich_encode_into(&m, scratch) {
+            rtc.geo_misses += 1;
+        }
         let payload = scratch.split().freeze();
         *bytes += payload.len() as u64;
-        batch.push(Message::new(Bytes::from_static(b"latency"), payload));
+        rtc.bytes_out += payload.len() as u64;
+        rtc.enrich_residencies
+            .push(now.saturating_nanos_since(m.completed_at));
+        // The record log keeps a zero-copy clone (refcount bump) of the
+        // same payload the detector receives.
+        rtc.records.push(payload.clone());
+        batch.push(Message::new(Bytes::from_static(ENRICHED_TOPIC), payload));
+        rtc.enriched += 1;
         *records_out += 1;
     });
-    // Burst boundary: at most one measurement per packet, so the batch is
-    // bounded by BURST_SIZE; one vectored send covers the whole burst.
+    if rtc.records.len() > log_start {
+        rtc.stats.batches_in += 1;
+        // One detector-feed send per burst (performed by `flush` below).
+        rtc.stats.batches_out += 1;
+        // Best-effort external fan-out: decode back to line protocol only
+        // while someone is listening (PUB drops for slow consumers anyway,
+        // and the text path allocates).
+        if rtc.publisher.subscriber_count() > 0 {
+            for payload in rtc.records.iter().skip(log_start) {
+                if let Some(em) = EnrichedMeasurement::decode(payload) {
+                    let line = Bytes::from(em.to_line());
+                    rtc.bytes_out += line.len() as u64;
+                    rtc.pub_out
+                        .push(Message::new(Bytes::from_static(ENRICHED_TOPIC), line));
+                }
+            }
+            if !rtc.pub_out.is_empty() {
+                rtc.publisher.publish_batch(rtc.pub_out.drain(..));
+                rtc.stats.batches_out += 1;
+            }
+        }
+    }
     state.flush();
+}
+
+/// Decode one run-to-completion worker's binary record log into a private
+/// [`IngestShard`]: tsdb points built and bucketed without ever touching
+/// the shared store's write lock. Runs on a scoped shutdown thread per
+/// queue; [`TsDb::merge_shard`] absorbs the result.
+fn shard_from_records(records: &[Bytes]) -> IngestShard {
+    let mut shard = IngestShard::new();
+    for payload in records {
+        if let Some(em) = EnrichedMeasurement::decode(payload) {
+            shard.write(&em.to_point());
+        }
+    }
+    shard
 }
 
 /// The detector + frontend thread: consumes SYN events and enriched
@@ -692,7 +900,6 @@ impl Pipeline {
         let mut port = Port::new(config.port.clone(), clock.clone());
         let queues = port.take_all_rx_queues();
 
-        let (push, pull) = pipe(config.mq_hwm);
         let (syn_tx, syn_rx) = unbounded::<(u16, u64)>();
         let publisher = Publisher::new();
         // Detectors read a lossless PUSH/PULL feed (back-pressure, never
@@ -702,21 +909,37 @@ impl Pipeline {
         let tsdb = Arc::new(TsDb::new());
         let alerts = AlertSink::new();
         let rejects = Arc::new(RejectCounters::default());
+        let enrich_threads = config.effective_enrich_threads();
         let metrics = Arc::new(SelfMetrics::new(
             config.port.num_queues as usize,
-            config.enrich_threads,
+            match config.mode {
+                // Run-to-completion reserves no enricher shards: the
+                // enrichment counters flush from the dataplane shards.
+                ExecutionMode::Pipelined => enrich_threads,
+                ExecutionMode::RunToCompletion => 0,
+            },
         ));
 
-        let pool = EnrichmentPool::spawn_with_telemetry(
-            config.enrich_threads,
-            pull,
-            Arc::clone(&db),
-            Arc::clone(&tsdb),
-            publisher.clone(),
-            config.geo_cache,
-            Some(det_push),
-            Some(metrics.pool_telemetry(clock.clone())),
-        );
+        // Pipelined mode interposes the enrichment pool between the lcores
+        // and the detector feed; run-to-completion hands the lcores the
+        // detector feed directly and enriches inline.
+        let (worker_push, pool) = match config.mode {
+            ExecutionMode::Pipelined => {
+                let (push, pull) = pipe(config.mq_hwm);
+                let pool = EnrichmentPool::spawn_with_telemetry(
+                    enrich_threads,
+                    pull,
+                    Arc::clone(&db),
+                    Arc::clone(&tsdb),
+                    publisher.clone(),
+                    config.geo_cache,
+                    Some(det_push),
+                    Some(metrics.pool_telemetry(clock.clone())),
+                );
+                (push, Some(pool))
+            }
+            ExecutionMode::RunToCompletion => (det_push, None),
+        };
 
         // Detector + frontend thread; the body is the named
         // [`detector_loop`] so the panic checker can root there.
@@ -739,48 +962,83 @@ impl Pipeline {
             .spawn(move || detector_loop(detector_inputs))
             .expect("spawn detector thread");
 
-        // lcore workers: classify → track → push measurements.
+        // lcore workers: classify → track → push measurements (pipelined)
+        // or classify → track → enrich → encode → push records (RTC).
         let (stats_tx, stats_rx) = unbounded();
         let tracker_cfg = config.tracker.clone();
         let checksum_mode = config.checksum_mode;
+        let mode = config.mode;
+        let geo_cache = config.geo_cache;
         let rejects_for_workers = Arc::clone(&rejects);
         let metrics_for_workers = Arc::clone(&metrics);
         let clock_for_workers = clock.clone();
-        let workers = WorkerGroup::spawn_bursts(
-            queues,
-            move |qid| WorkerState {
-                tracker: HandshakeTracker::new(qid, tracker_cfg.clone()),
-                push: push.clone(),
-                syn_tx: syn_tx.clone(),
-                checksum_mode,
-                rejects: Arc::clone(&rejects_for_workers),
-                shard: metrics_for_workers.dataplane_shard(qid),
-                metrics: Arc::clone(&metrics_for_workers),
-                clock: clock_for_workers.clone(),
-                batch: Vec::with_capacity(BURST_SIZE),
-                metas: Vec::with_capacity(BURST_SIZE),
-                scratch: BytesMut::new(),
-                residencies: Vec::with_capacity(BURST_SIZE),
-                records_in: 0,
-                records_out: 0,
-                batches: 0,
-                bytes: 0,
-                alloc_hits: 0,
-                syn_events: 0,
-                reject_counts: [0; REJECT_CAUSES.len()],
+        let rtc_enriched = Arc::new(AtomicU64::new(0));
+        let rtc_enriched_for_workers = Arc::clone(&rtc_enriched);
+        let db_for_workers = Arc::clone(&db);
+        let publisher_for_workers = publisher.clone();
+        let init = move |qid| WorkerState {
+            tracker: HandshakeTracker::new(qid, tracker_cfg.clone()),
+            push: worker_push.clone(),
+            syn_tx: syn_tx.clone(),
+            checksum_mode,
+            rejects: Arc::clone(&rejects_for_workers),
+            shard: metrics_for_workers.dataplane_shard(qid),
+            metrics: Arc::clone(&metrics_for_workers),
+            clock: clock_for_workers.clone(),
+            batch: Vec::with_capacity(BURST_SIZE),
+            metas: Vec::with_capacity(BURST_SIZE),
+            scratch: BytesMut::new(),
+            residencies: Vec::with_capacity(BURST_SIZE),
+            records_in: 0,
+            records_out: 0,
+            batches: 0,
+            bytes: 0,
+            alloc_hits: 0,
+            syn_events: 0,
+            reject_counts: [0; REJECT_CAUSES.len()],
+            rtc: match mode {
+                ExecutionMode::Pipelined => None,
+                ExecutionMode::RunToCompletion => Some(RtcState {
+                    enricher: Enricher::new(Arc::clone(&db_for_workers), geo_cache),
+                    publisher: publisher_for_workers.clone(),
+                    pub_out: Vec::with_capacity(BURST_SIZE),
+                    records: Vec::new(),
+                    stats: PoolStats::default(),
+                    enriched: 0,
+                    geo_misses: 0,
+                    bytes_out: 0,
+                    enrich_residencies: Vec::with_capacity(BURST_SIZE),
+                    enriched_total: Arc::clone(&rtc_enriched_for_workers),
+                }),
             },
-            // Whole-burst worker: classify the burst, prefetch-staged table
-            // walk, one vectored PUSH at the burst boundary (PUSH blocks at
-            // the HWM, so that is analytics back-pressure, never
-            // measurement loss — ZeroMQ PUSH semantics).
-            dataplane_worker,
-            move |qid, mut state| {
-                state.flush();
-                let _ = stats_tx.send((qid, state.tracker.stats()));
-                // Dropping `state` drops this worker's Push and syn_tx
-                // clones; when the last worker exits, the pipe closes.
-            },
-        );
+        };
+        let on_stop = move |qid, mut state: WorkerState| {
+            state.flush();
+            let (enrich, records) = match state.rtc.take() {
+                Some(rtc) => (rtc.stats, rtc.records),
+                None => (PoolStats::default(), Vec::new()),
+            };
+            let _ = stats_tx.send(WorkerExit {
+                queue: qid,
+                tracker: state.tracker.stats(),
+                enrich,
+                records,
+            });
+            // Dropping `state` drops this worker's Push and syn_tx
+            // clones; when the last worker exits, the pipe closes.
+        };
+        // Whole-burst workers: classify the burst, prefetch-staged table
+        // walk, one vectored PUSH at the burst boundary (PUSH blocks at
+        // the HWM, so that is back-pressure, never measurement loss —
+        // ZeroMQ PUSH semantics).
+        let workers = match mode {
+            ExecutionMode::Pipelined => {
+                WorkerGroup::spawn_bursts(queues, init, dataplane_worker, on_stop)
+            }
+            ExecutionMode::RunToCompletion => {
+                WorkerGroup::spawn_bursts(queues, init, run_to_completion_worker, on_stop)
+            }
+        };
 
         let snmp = SnmpPoller::new(config.snmp_interval_ns, 10_000_000_000);
 
@@ -791,6 +1049,7 @@ impl Pipeline {
             port,
             workers,
             pool,
+            rtc_enriched,
             stats_rx,
             detector_handle,
             detector_stop,
@@ -872,7 +1131,10 @@ impl Pipeline {
 
     /// Measurements enriched so far (for progress displays).
     pub fn enriched_so_far(&self) -> u64 {
-        self.pool.enriched()
+        match &self.pool {
+            Some(pool) => pool.enriched(),
+            None => self.rtc_enriched.load(Ordering::Relaxed),
+        }
     }
 
     /// The pipeline's self-metric registry + ids (live observation; the
@@ -907,14 +1169,50 @@ impl Pipeline {
         // 1. Stop lcore workers (they drain their queues first). Their exit
         //    drops the last Push/syn_tx, closing the analytics inputs.
         self.workers.shutdown();
-        // 2. The pool drains the pipe and exits.
-        let pool_stats = self.pool.join();
+        // 2. The pool (pipelined mode) drains the pipe and exits.
+        let mut pool_stats = match self.pool.take() {
+            Some(pool) => pool.join(),
+            None => PoolStats::default(),
+        };
         // 3. Detector: let it drain, then signal stop.
         self.detector_stop.store(true, Ordering::Release);
         let det = self.detector_handle.join().expect("detector panicked");
-        // 4. Collect tracker stats.
-        let mut trackers: Vec<(u16, TrackerStats)> = self.stats_rx.try_iter().collect();
-        trackers.sort_by_key(|(q, _)| *q);
+        // 4. Collect worker exits: tracker stats in both modes, plus the
+        //    run-to-completion enrichment stats and per-queue record logs.
+        let mut exits: Vec<WorkerExit> = self.stats_rx.try_iter().collect();
+        exits.sort_by_key(|e| e.queue);
+        let trackers: Vec<(u16, TrackerStats)> =
+            exits.iter().map(|e| (e.queue, e.tracker)).collect();
+        for e in &exits {
+            pool_stats.enriched += e.enrich.enriched;
+            pool_stats.decode_errors += e.enrich.decode_errors;
+            pool_stats.geo_misses += e.enrich.geo_misses;
+            pool_stats.batches_in += e.enrich.batches_in;
+            pool_stats.batches_out += e.enrich.batches_out;
+            pool_stats.bytes_out += e.enrich.bytes_out;
+            pool_stats.alloc_hits += e.enrich.alloc_hits;
+        }
+        // 4b. Sharded ingest merge (run-to-completion): each queue's record
+        //     log becomes a private [`IngestShard`] off the store's lock —
+        //     one scoped builder thread per queue — then the store absorbs
+        //     one merge per queue. This happens BEFORE the final telemetry
+        //     collection so `tsdb_points` and the conservation invariant
+        //     (`points_ingested == measurements + telemetry_points`) hold.
+        if exits.iter().any(|e| !e.records.is_empty()) {
+            let shards: Vec<IngestShard> = std::thread::scope(|s| {
+                let handles: Vec<_> = exits
+                    .iter()
+                    .map(|e| s.spawn(move || shard_from_records(&e.records)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard builder panicked"))
+                    .collect()
+            });
+            for shard in shards {
+                self.tsdb.merge_shard(shard);
+            }
+        }
 
         // 5. Final telemetry collection: every writer has quiesced, so the
         //    snapshot is exact (no skipped shards) and the registry's
@@ -1130,6 +1428,87 @@ mod tests {
         // No queue sees a partial handshake (symmetric RSS keeps flows whole):
         // measurements add up to the truth count.
         assert_eq!(report.measurements(), gen.truths().len() as u64);
+    }
+
+    #[test]
+    fn multiple_queues_share_the_load_run_to_completion() {
+        let (mut pipeline, world) = Pipeline::with_synth_world(PipelineConfig {
+            port: PortConfig {
+                num_queues: 4,
+                ..quick_config().port
+            },
+            mode: ExecutionMode::RunToCompletion,
+            ..quick_config()
+        });
+        let mut gen = TrafficGen::with_world(
+            GenConfig {
+                seed: 6,
+                flows_per_sec: 500.0,
+                duration: Timestamp::from_secs(2),
+                ..GenConfig::default()
+            },
+            world,
+        );
+        pipeline.run(&mut gen);
+        let report = pipeline.finish();
+        let truths = gen.truths().len() as u64;
+        let busy_queues = report
+            .trackers
+            .iter()
+            .filter(|(_, s)| s.measurements > 0)
+            .count();
+        assert!(busy_queues >= 3, "RSS spreads flows: {:?}", report.trackers);
+        assert_eq!(report.measurements(), truths);
+        // Inline enrichment covered every measurement, the sharded ingest
+        // merge landed every point, and the registry reconciles.
+        assert_eq!(report.pool.enriched, truths);
+        assert_eq!(report.pool.geo_misses, 0);
+        assert_eq!(report.pool.decode_errors, 0);
+        assert_eq!(
+            report.tsdb.points_ingested(),
+            truths + report.telemetry_points
+        );
+        let t = &report.telemetry;
+        assert_eq!(t.counter("enrich_enriched"), truths);
+        assert_eq!(t.counter("dp_records_out"), truths);
+        assert_eq!(t.counter("det_records_out"), t.counter("det_records_in"));
+        let enr = t.hist("stage_enrich_residency_ns").expect("enrich residency");
+        assert_eq!(enr.count, truths);
+        // RTC lcores push full enriched records: 122 bytes each on the
+        // detector edge.
+        assert_eq!(
+            report.dataplane.bytes,
+            truths * ruru_analytics::enrich::ENRICHED_WIRE_LEN as u64
+        );
+        assert!(report.arcs_drawn > 0, "detector consumed the inline feed");
+    }
+
+    #[test]
+    fn run_to_completion_serves_external_subscribers() {
+        let (mut pipeline, world) = Pipeline::with_synth_world(PipelineConfig {
+            mode: ExecutionMode::RunToCompletion,
+            ..quick_config()
+        });
+        let sub = pipeline.subscribe_enriched(1 << 16);
+        let mut gen = TrafficGen::with_world(
+            GenConfig {
+                seed: 10,
+                flows_per_sec: 100.0,
+                duration: Timestamp::from_secs(1),
+                data_exchanges: (0, 0),
+                ..GenConfig::default()
+            },
+            world,
+        );
+        pipeline.run(&mut gen);
+        let report = pipeline.finish();
+        let truths = gen.truths().len() as u64;
+        assert_eq!(report.pool.enriched, truths);
+        // The PUB edge still speaks line protocol when someone listens.
+        assert_eq!(sub.backlog() as u64, truths);
+        let msg = sub.try_recv().expect("a line");
+        let line = core::str::from_utf8(&msg.payload).expect("utf8");
+        assert!(EnrichedMeasurement::from_line(line).is_some());
     }
 
     #[test]

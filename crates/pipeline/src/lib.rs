@@ -26,6 +26,6 @@ pub mod engine;
 pub mod snmp;
 pub mod telemetry;
 
-pub use engine::{Pipeline, PipelineConfig, Report};
+pub use engine::{ExecutionMode, Pipeline, PipelineConfig, Report};
 pub use snmp::SnmpPoller;
 pub use telemetry::SelfMetrics;

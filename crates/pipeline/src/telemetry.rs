@@ -84,9 +84,12 @@ pub struct SelfMetrics {
     pub(crate) tracker_nonmonotonic: GaugeId,
     pub(crate) flow_table_occupancy: GaugeId,
 
-    // Enrichment pool (shards Q+1..Q+1+E).
+    // Enrichment stage (pool shards Q+1..Q+1+E in pipelined mode; the
+    // dataplane shards in run-to-completion mode, where enrichment runs
+    // inline on the lcore — counters sum across shards either way).
     pub(crate) enrich_enriched: CounterId,
     pub(crate) enrich_decode_errors: CounterId,
+    pub(crate) enrich_geo_misses: CounterId,
     pub(crate) enrich_bytes_out: CounterId,
     pub(crate) geo_cache_hits: GaugeId,
     pub(crate) geo_cache_misses: GaugeId,
@@ -131,6 +134,7 @@ impl SelfMetrics {
         let reject_bus_closed = b.counter("reject_bus_closed");
         let enrich_enriched = b.counter("enrich_enriched");
         let enrich_decode_errors = b.counter("enrich_decode_errors");
+        let enrich_geo_misses = b.counter("enrich_geo_misses");
         let enrich_bytes_out = b.counter("enrich_bytes_out");
         let det_records_in = b.counter("det_records_in");
         let det_records_out = b.counter("det_records_out");
@@ -201,6 +205,7 @@ impl SelfMetrics {
             flow_table_occupancy,
             enrich_enriched,
             enrich_decode_errors,
+            enrich_geo_misses,
             enrich_bytes_out,
             geo_cache_hits,
             geo_cache_misses,
@@ -269,6 +274,7 @@ impl SelfMetrics {
             shard_base: self.enrich_shard_base(),
             enriched: self.enrich_enriched,
             decode_errors: self.enrich_decode_errors,
+            geo_misses: self.enrich_geo_misses,
             bytes_out: self.enrich_bytes_out,
             geo_cache_hits: self.geo_cache_hits,
             geo_cache_misses: self.geo_cache_misses,

@@ -17,13 +17,18 @@
 //!   mean / median / p95 / p99 / stddev.
 //! * [`store`] — [`store::TsDb`]: concurrent ingest, tag-filtered and
 //!   time-bucketed queries, retention enforcement and downsampling.
+//! * [`sharded`] — [`sharded::IngestShard`]: contention-free single-writer
+//!   ingest buffers merged into the store at end of run (the
+//!   run-to-completion pipeline's per-queue ingest path).
 
 pub mod agg;
 pub mod line;
 pub mod point;
+pub mod sharded;
 pub mod snapshot;
 pub mod store;
 
 pub use agg::Aggregate;
 pub use point::Point;
+pub use sharded::IngestShard;
 pub use store::{Query, TsDb};

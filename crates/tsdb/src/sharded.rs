@@ -1,0 +1,267 @@
+//! Per-writer sharded ingest with merge-on-finish.
+//!
+//! [`crate::store::TsDb::write`] serializes every producer on one global
+//! write lock — fine for a handful of enrichment workers, but in the
+//! pipeline's run-to-completion mode every RX lcore ingests its own
+//! measurements, and the lock becomes the scaling ceiling. An
+//! [`IngestShard`] is the contention-free alternative: a private,
+//! single-writer mini-store (same sorted-run-per-series layout as the
+//! shared store, no lock at all) that each queue fills independently and
+//! the pipeline folds into the shared [`crate::TsDb`] once, at the end of
+//! the run, with [`crate::store::TsDb::merge_shard`].
+//!
+//! Merging is run-aware: each shard holds per-series sorted runs, so the
+//! common case (disjoint series — every `latency` series carries a
+//! `queue` tag) is a plain move, and overlapping series (e.g. `ruru_self`
+//! exports) merge two sorted runs without re-sorting. Ties keep the
+//! shared store's insertion order: samples already in the store stay
+//! ahead of incoming equal-timestamp samples, exactly as repeated
+//! [`crate::store::TsDb::write`] calls would have left them.
+
+use crate::point::Point;
+use std::collections::HashMap;
+
+/// One stored sample: timestamp and value (per field).
+pub(crate) type Sample = (u64, f64);
+
+/// A private series buffer inside an [`IngestShard`] — the same shape as
+/// the shared store's series (tag list + per-field sorted runs).
+#[derive(Debug, Default)]
+pub(crate) struct ShardSeries {
+    pub(crate) tags: Vec<(String, String)>,
+    pub(crate) fields: HashMap<String, Vec<Sample>>,
+}
+
+impl ShardSeries {
+    fn insert(&mut self, field: &str, ts: u64, value: f64) {
+        let run = self.fields.entry(field.to_string()).or_default();
+        match run.last() {
+            Some(&(last_ts, _)) if last_ts > ts => {
+                // Out-of-order straggler: binary insert.
+                let idx = run.partition_point(|&(t, _)| t <= ts);
+                run.insert(idx, (ts, value));
+            }
+            _ => run.push((ts, value)),
+        }
+    }
+}
+
+/// A single-writer ingest buffer: one producer writes points without any
+/// locking, and the whole shard is merged into the shared [`crate::TsDb`]
+/// at the end of the run.
+///
+/// Unlike [`crate::store::TsDb::write`], [`IngestShard::write`] touches no
+/// shared state — per-queue writers never contend on one store.
+#[derive(Debug, Default)]
+pub struct IngestShard {
+    pub(crate) measurements: HashMap<String, HashMap<String, ShardSeries>>,
+    pub(crate) points: u64,
+}
+
+impl IngestShard {
+    /// An empty shard.
+    pub fn new() -> IngestShard {
+        IngestShard::default()
+    }
+
+    /// Buffer one point. Same semantics as [`crate::store::TsDb::write`],
+    /// minus the lock: sorted-run append with a binary-insert fallback for
+    /// out-of-order stragglers.
+    pub fn write(&mut self, point: &Point) {
+        let series_map = self.measurements.entry(point.measurement.clone()).or_default();
+        let series = series_map
+            .entry(point.series_key())
+            .or_insert_with(|| ShardSeries {
+                tags: point.tags.clone(),
+                fields: HashMap::new(),
+            });
+        for (field, value) in &point.fields {
+            series.insert(field, point.timestamp_ns, *value);
+        }
+        self.points = self.points.saturating_add(1);
+    }
+
+    /// Points buffered so far (each counts toward
+    /// [`crate::store::TsDb::points_ingested`] once merged).
+    pub fn points_buffered(&self) -> u64 {
+        self.points
+    }
+
+    /// True if nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.points == 0
+    }
+}
+
+/// Merge sorted run `src` into sorted run `dst`, keeping existing samples
+/// ahead of incoming ones on timestamp ties (matching the insertion order
+/// repeated `write` calls produce).
+pub(crate) fn merge_runs(dst: &mut Vec<Sample>, src: Vec<Sample>) {
+    if src.is_empty() {
+        return;
+    }
+    let append_only = match (dst.last(), src.first()) {
+        (Some(&(last, _)), Some(&(first, _))) => last <= first,
+        _ => true,
+    };
+    if append_only {
+        dst.extend(src);
+        return;
+    }
+    let old = core::mem::take(dst);
+    dst.reserve(old.len() + src.len());
+    let mut a = old.into_iter().peekable();
+    let mut b = src.into_iter().peekable();
+    loop {
+        let take_existing = match (a.peek(), b.peek()) {
+            (Some(&(ta, _)), Some(&(tb, _))) => ta <= tb,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_existing {
+            if let Some(s) = a.next() {
+                dst.push(s);
+            }
+        } else if let Some(s) = b.next() {
+            dst.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Query, TsDb};
+
+    fn point(city: &str, ms: f64, ts: u64) -> Point {
+        Point::new(
+            "latency",
+            vec![("city".into(), city.into())],
+            vec![("total_ms".into(), ms)],
+            ts,
+        )
+    }
+
+    #[test]
+    fn shard_buffers_without_touching_the_store() {
+        let mut shard = IngestShard::new();
+        assert!(shard.is_empty());
+        shard.write(&point("akl", 130.0, 10));
+        shard.write(&point("akl", 131.0, 20));
+        assert_eq!(shard.points_buffered(), 2);
+        assert!(!shard.is_empty());
+    }
+
+    #[test]
+    fn merge_disjoint_series_moves_runs() {
+        let db = TsDb::new();
+        let mut a = IngestShard::new();
+        let mut b = IngestShard::new();
+        for i in 0..100u64 {
+            a.write(&point("akl", i as f64, i * 10));
+            b.write(&point("lax", i as f64, i * 10 + 5));
+        }
+        assert_eq!(db.merge_shard(a), 100);
+        assert_eq!(db.merge_shard(b), 100);
+        assert_eq!(db.points_ingested(), 200);
+        assert_eq!(db.series_count("latency"), 2);
+        let agg = db.query(&Query::range("latency", "total_ms", 0, 10_000))[0]
+            .agg
+            .unwrap();
+        assert_eq!(agg.count, 200);
+    }
+
+    #[test]
+    fn merge_interleaves_overlapping_series_in_time_order() {
+        let db = TsDb::new();
+        db.write(&point("akl", 0.0, 0));
+        db.write(&point("akl", 2.0, 200));
+        let mut shard = IngestShard::new();
+        shard.write(&point("akl", 1.0, 100));
+        shard.write(&point("akl", 3.0, 300));
+        db.merge_shard(shard);
+        assert_eq!(db.points_ingested(), 4);
+        let buckets =
+            db.query(&Query::range("latency", "total_ms", 0, 400).with_buckets(100));
+        let means: Vec<Option<f64>> =
+            buckets.iter().map(|b| b.agg.map(|a| a.mean)).collect();
+        assert_eq!(means, vec![Some(0.0), Some(1.0), Some(2.0), Some(3.0)]);
+    }
+
+    #[test]
+    fn merged_state_matches_direct_writes() {
+        // The differential property the pipeline's two execution modes
+        // rely on: shard-then-merge must land in exactly the state direct
+        // writes produce.
+        let direct = TsDb::new();
+        let sharded = TsDb::new();
+        let mut shards = [IngestShard::new(), IngestShard::new()];
+        let mut pts = Vec::new();
+        for i in 0..50u64 {
+            // Deterministic scramble: out-of-order and duplicate stamps.
+            let ts = (i * 37) % 100;
+            pts.push(point(if i % 2 == 0 { "akl" } else { "lax" }, i as f64, ts));
+        }
+        for (i, p) in pts.iter().enumerate() {
+            direct.write(p);
+            if let Some(s) = shards.get_mut(i % 2) {
+                s.write(p);
+            }
+        }
+        let [a, b] = shards;
+        sharded.merge_shard(a);
+        sharded.merge_shard(b);
+        assert_eq!(sharded.points_ingested(), direct.points_ingested());
+        assert_eq!(
+            sharded.series_count("latency"),
+            direct.series_count("latency")
+        );
+        for city in ["akl", "lax"] {
+            let q = Query::range("latency", "total_ms", 0, 1000).with_tag("city", city);
+            assert_eq!(direct.query(&q), sharded.query(&q), "city {city}");
+        }
+    }
+
+    #[test]
+    fn merge_runs_keeps_existing_ahead_on_ties() {
+        let mut dst = vec![(10, 1.0), (20, 2.0)];
+        merge_runs(&mut dst, vec![(5, 0.5), (10, 1.5), (30, 3.0)]);
+        assert_eq!(dst, vec![(5, 0.5), (10, 1.0), (10, 1.5), (20, 2.0), (30, 3.0)]);
+        // Append-only fast path.
+        let mut dst = vec![(10, 1.0)];
+        merge_runs(&mut dst, vec![(10, 2.0), (15, 3.0)]);
+        assert_eq!(dst, vec![(10, 1.0), (10, 2.0), (15, 3.0)]);
+        // Empty cases.
+        let mut dst: Vec<Sample> = Vec::new();
+        merge_runs(&mut dst, vec![(1, 1.0)]);
+        assert_eq!(dst, vec![(1, 1.0)]);
+        merge_runs(&mut dst, Vec::new());
+        assert_eq!(dst, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn merge_empty_shard_is_a_noop() {
+        let db = TsDb::new();
+        assert_eq!(db.merge_shard(IngestShard::new()), 0);
+        assert_eq!(db.points_ingested(), 0);
+    }
+
+    #[test]
+    fn merge_preserves_multi_field_points() {
+        let db = TsDb::new();
+        let mut shard = IngestShard::new();
+        shard.write(&Point::new(
+            "latency",
+            vec![("city".into(), "akl".into())],
+            vec![("int_ms".into(), 1.0), ("ext_ms".into(), 130.0)],
+            5,
+        ));
+        db.merge_shard(shard);
+        assert_eq!(db.points_ingested(), 1);
+        let int_agg = db.query(&Query::range("latency", "int_ms", 0, 10))[0]
+            .agg
+            .unwrap();
+        assert_eq!(int_agg.mean, 1.0);
+    }
+}

@@ -120,6 +120,50 @@ impl TsDb {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
+    /// Fold one [`crate::sharded::IngestShard`] into the store — the
+    /// merge-on-finish half of the per-queue sharded ingest path. One write
+    /// lock covers the whole shard (not one per point); disjoint series
+    /// move in wholesale, overlapping series merge their sorted runs with
+    /// existing samples staying ahead on timestamp ties. Returns the number
+    /// of points merged, which is also added to
+    /// [`TsDb::points_ingested`] so ingest accounting reconciles exactly.
+    pub fn merge_shard(&self, shard: crate::sharded::IngestShard) -> u64 {
+        let points = shard.points;
+        if points == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.write();
+        for (measurement, incoming) in shard.measurements {
+            let series_map = inner.entry(measurement).or_default();
+            for (key, s) in incoming {
+                match series_map.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(Series {
+                            tags: s.tags,
+                            fields: s.fields,
+                        });
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let dst = e.get_mut();
+                        for (field, run) in s.fields {
+                            match dst.fields.entry(field) {
+                                std::collections::hash_map::Entry::Vacant(f) => {
+                                    f.insert(run);
+                                }
+                                std::collections::hash_map::Entry::Occupied(mut f) => {
+                                    crate::sharded::merge_runs(f.get_mut(), run);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.ingested
+            .fetch_add(points, std::sync::atomic::Ordering::Relaxed);
+        points
+    }
+
     /// Ingest a line-protocol line.
     pub fn write_line(&self, line: &str) -> Result<(), crate::line::LineError> {
         let point = crate::line::parse(line)?;

@@ -100,6 +100,7 @@ fn unsafe_allowed(path: &str) -> bool {
         || path == "crates/flow/tests/alloc_steady_state.rs"
         || path == "crates/telemetry/tests/alloc_steady_state.rs"
         || path == "crates/bench/src/bin/flow_table_report.rs"
+        || path == "crates/bench/src/bin/scaling_report.rs"
         || path.starts_with("crates/loom/")
         || path.starts_with("crates/xtask/")
 }

@@ -115,6 +115,7 @@ const ROOTS: &[(&str, &str)] = &[
     ("telemetry", "snapshot_into"),
     // Engine worker + detector loops (named fns, not spawn closures).
     ("pipeline", "dataplane_worker"),
+    ("pipeline", "run_to_completion_worker"),
     ("pipeline", "detector_loop"),
 ];
 

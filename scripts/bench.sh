@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Flow-table benchmark gate: runs the criterion benches the RSS-native
-# table participates in (E2 pipeline throughput as the no-regression
-# guard, E9 flow table as the head-to-head vs the baseline store) and the
-# machine-readable reporter, which rewrites BENCH_flowtable.json with
-# ops/s, ns/op, the burst-vs-baseline speedups, and the steady-state
-# allocation count (must be 0).
+# Benchmark gate: runs the criterion benches (E2 pipeline throughput as the
+# no-regression guard, E9 flow table head-to-head, E10 execution-mode
+# scaling), then the machine-readable reporters, which rewrite
+# BENCH_flowtable.json and BENCH_scaling.json, and finally the shared gate
+# script (scripts/gate.py) against both artifacts.
 # Usage: scripts/bench.sh [--report-only]
-#   --report-only  skip the criterion runs, only refresh the JSON artifact
+#   --report-only  skip the criterion runs, only refresh the JSON artifacts.
+#                  Fails loudly if the criterion estimates from a previous
+#                  full run are missing or stale, instead of pretending the
+#                  benches were covered.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CRITERION_GROUPS=(e2_dataplane e9_lookup e9_insert_churn e9_tracker e10_scaling)
 
 report_only=0
 if [[ "${1:-}" == "--report-only" ]]; then
@@ -20,26 +24,23 @@ if [[ "$report_only" -eq 0 ]]; then
     cargo bench -p ruru-bench --bench e2_pipeline_throughput
     echo "==> cargo bench -p ruru-bench --bench e9_flow_table"
     cargo bench -p ruru-bench --bench e9_flow_table
+    echo "==> cargo bench -p ruru-bench --bench e10_scaling"
+    cargo bench -p ruru-bench --bench e10_scaling
+else
+    echo "==> --report-only: requiring fresh criterion estimates"
+    python3 scripts/gate.py criterion-fresh "${CRITERION_GROUPS[@]}"
 fi
 
 echo "==> flow_table_report -> BENCH_flowtable.json"
 cargo run --release -p ruru-bench --bin flow_table_report -- BENCH_flowtable.json
 
-# The artifact doubles as a gate: burst lookup and insert must beat the
-# baseline store by >=2x, and the 1M-op steady-state window must not
-# allocate.
-python3 - <<'EOF'
-import json, sys
-with open("BENCH_flowtable.json") as f:
-    r = json.load(f)
-ok = True
-for name, floor in [("lookup_burst_vs_baseline", 2.0), ("insert_burst_vs_baseline", 2.0)]:
-    got = r["speedup"][name]
-    print(f"  {name}: {got:.2f}x (floor {floor}x)")
-    ok &= got >= floor
-allocs = r["steady_state_allocations"]
-print(f"  steady_state_allocations: {allocs} (must be 0)")
-ok &= allocs == 0
-sys.exit(0 if ok else 1)
-EOF
+echo "==> scaling_report -> BENCH_scaling.json"
+cargo run --release -p ruru-bench --bin scaling_report -- --out BENCH_scaling.json
+
+echo "==> gate: BENCH_flowtable.json"
+python3 scripts/gate.py flowtable BENCH_flowtable.json
+
+echo "==> gate: BENCH_scaling.json"
+python3 scripts/gate.py scaling BENCH_scaling.json
+
 echo "OK"

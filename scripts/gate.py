@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Benchmark artifact gates, shared by scripts/bench.sh and CI.
+
+Subcommands:
+  flowtable PATH        gate BENCH_flowtable.json: burst lookup/insert must
+                        beat the baseline store by >= 2x, steady-state
+                        allocation count must be 0.
+  scaling PATH          gate BENCH_scaling.json: run-to-completion must beat
+                        pipelined by >= 1.3x records/s-per-core at 4 queues,
+                        4-queue RTC must be >= 2.5x 1-queue RTC, and the
+                        steady-state allocation audit must be 0 in both
+                        modes.
+  criterion-fresh GROUP [GROUP...]
+                        require at least one criterion estimates.json per
+                        named group under target/criterion/, no older than
+                        --max-age-hours (default 24). Used by bench.sh
+                        --report-only to fail loudly instead of silently
+                        reusing nothing.
+
+Every check prints what it compared; exit 1 on the first unmet floor.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+import time
+
+
+def fail(msg):
+    print(f"GATE FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        fail(f"{path} does not exist — run the reporter first")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+
+def gate_flowtable(path):
+    r = load(path)
+    ok = True
+    for name, floor in [
+        ("lookup_burst_vs_baseline", 2.0),
+        ("insert_burst_vs_baseline", 2.0),
+    ]:
+        got = r["speedup"][name]
+        print(f"  {name}: {got:.2f}x (floor {floor}x)")
+        ok &= got >= floor
+    allocs = r["steady_state_allocations"]
+    print(f"  steady_state_allocations: {allocs} (must be 0)")
+    ok &= allocs == 0
+    return ok
+
+
+def gate_scaling(path):
+    r = load(path)
+    queues = [p["queues"] for p in r.get("curve", [])]
+    for q in (1, 4):
+        if q not in queues:
+            fail(f"{path} curve has no {q}-queue point (got {queues}); "
+                 "the gate needs the full sweep, not a smoke run")
+    ok = True
+    ratios = r["ratios"]
+    for name, floor in [
+        ("rtc_vs_pipelined_4q", 1.3),
+        ("rtc_scaling_4q_over_1q", 2.5),
+    ]:
+        got = ratios[name]
+        print(f"  {name}: {got:.2f}x (floor {floor}x, basis {ratios['basis']})")
+        ok &= got >= floor
+    for mode in ("pipelined", "rtc"):
+        allocs = r["steady_state_allocations"][mode]
+        print(f"  steady_state_allocations.{mode}: {allocs} (must be 0)")
+        ok &= allocs == 0
+    return ok
+
+
+def gate_criterion_fresh(groups, max_age_hours):
+    ok = True
+    now = time.time()
+    for group in groups:
+        # Criterion writes under the workspace target dir; with a package
+        # CWD (`cargo bench -p`), output may land under the crate instead.
+        estimates = []
+        for root in ("target", os.path.join("crates", "*", "target")):
+            pattern = os.path.join(root, "criterion", group, "**", "new",
+                                   "estimates.json")
+            estimates.extend(glob.glob(pattern, recursive=True))
+        if not estimates:
+            print(f"  {group}: no estimates under target/criterion/{group}/",
+                  file=sys.stderr)
+            ok = False
+            continue
+        newest = max(os.path.getmtime(p) for p in estimates)
+        age_h = (now - newest) / 3600.0
+        print(f"  {group}: {len(estimates)} estimate(s), newest {age_h:.1f}h old "
+              f"(max {max_age_hours:.0f}h)")
+        if age_h > max_age_hours:
+            print(f"  {group}: estimates are stale — rerun the criterion "
+                  "benches without --report-only", file=sys.stderr)
+            ok = False
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    p = sub.add_parser("flowtable")
+    p.add_argument("path")
+    p = sub.add_parser("scaling")
+    p.add_argument("path")
+    p = sub.add_parser("criterion-fresh")
+    p.add_argument("groups", nargs="+")
+    p.add_argument("--max-age-hours", type=float, default=24.0)
+    args = ap.parse_args()
+
+    if args.cmd == "flowtable":
+        ok = gate_flowtable(args.path)
+    elif args.cmd == "scaling":
+        ok = gate_scaling(args.path)
+    else:
+        ok = gate_criterion_fresh(args.groups, args.max_age_hours)
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

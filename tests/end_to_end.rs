@@ -30,7 +30,12 @@ fn clean_run_measures_every_flow_exactly() {
     let truths = gen.truths();
     assert_eq!(report.measurements(), truths.len() as u64);
     assert_eq!(report.pool.enriched, truths.len() as u64);
-    assert_eq!(report.tsdb.points_ingested(), truths.len() as u64);
+    // Conservation: everything in the store is either an enriched
+    // measurement or a `ruru_self` telemetry export point.
+    assert_eq!(
+        report.tsdb.points_ingested(),
+        truths.len() as u64 + report.telemetry_points
+    );
     assert_eq!(report.pool.geo_misses, 0);
     assert_eq!(report.classify_rejects, 0);
     assert_eq!(report.arcs_drawn, truths.len() as u64);
