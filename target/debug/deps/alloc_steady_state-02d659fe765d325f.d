@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_steady_state-02d659fe765d325f.d: crates/telemetry/tests/alloc_steady_state.rs
+
+/root/repo/target/debug/deps/liballoc_steady_state-02d659fe765d325f.rmeta: crates/telemetry/tests/alloc_steady_state.rs
+
+crates/telemetry/tests/alloc_steady_state.rs:

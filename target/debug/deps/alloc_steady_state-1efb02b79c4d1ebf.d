@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_steady_state-1efb02b79c4d1ebf.d: crates/telemetry/tests/alloc_steady_state.rs
+
+/root/repo/target/debug/deps/alloc_steady_state-1efb02b79c4d1ebf: crates/telemetry/tests/alloc_steady_state.rs
+
+crates/telemetry/tests/alloc_steady_state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_steady_state-5df917c6e8a99aaf.d: crates/flow/tests/alloc_steady_state.rs
+
+/root/repo/target/debug/deps/liballoc_steady_state-5df917c6e8a99aaf.rmeta: crates/flow/tests/alloc_steady_state.rs
+
+crates/flow/tests/alloc_steady_state.rs:

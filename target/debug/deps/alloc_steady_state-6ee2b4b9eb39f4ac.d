@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_steady_state-6ee2b4b9eb39f4ac.d: crates/flow/tests/alloc_steady_state.rs
+
+/root/repo/target/debug/deps/alloc_steady_state-6ee2b4b9eb39f4ac: crates/flow/tests/alloc_steady_state.rs
+
+crates/flow/tests/alloc_steady_state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-147952e444d92d95.d: target/devstubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-147952e444d92d95.rmeta: target/devstubs/bytes/src/lib.rs
+
+target/devstubs/bytes/src/lib.rs:

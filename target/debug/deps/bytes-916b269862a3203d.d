@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-916b269862a3203d.d: target/devstubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-916b269862a3203d.rlib: target/devstubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-916b269862a3203d.rmeta: target/devstubs/bytes/src/lib.rs
+
+target/devstubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-254bce80819cd070.d: target/devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-254bce80819cd070.rmeta: target/devstubs/criterion/src/lib.rs
+
+target/devstubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-9220e067a27d7e98.d: target/devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9220e067a27d7e98.rlib: target/devstubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9220e067a27d7e98.rmeta: target/devstubs/criterion/src/lib.rs
+
+target/devstubs/criterion/src/lib.rs:

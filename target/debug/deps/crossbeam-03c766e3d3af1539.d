@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-03c766e3d3af1539.d: target/devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-03c766e3d3af1539.rlib: target/devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-03c766e3d3af1539.rmeta: target/devstubs/crossbeam/src/lib.rs
+
+target/devstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-b1c8787eb21bf64a.d: target/devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-b1c8787eb21bf64a.rmeta: target/devstubs/crossbeam/src/lib.rs
+
+target/devstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e10_scaling-6e1665b8e8a2fb5e.d: /root/repo/clippy.toml crates/bench/benches/e10_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe10_scaling-6e1665b8e8a2fb5e.rmeta: /root/repo/clippy.toml crates/bench/benches/e10_scaling.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/e10_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

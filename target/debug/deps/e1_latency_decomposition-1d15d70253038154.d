@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_latency_decomposition-1d15d70253038154.d: crates/bench/benches/e1_latency_decomposition.rs
+
+/root/repo/target/debug/deps/libe1_latency_decomposition-1d15d70253038154.rmeta: crates/bench/benches/e1_latency_decomposition.rs
+
+crates/bench/benches/e1_latency_decomposition.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e1_latency_decomposition-822f3881f9270c3a.d: /root/repo/clippy.toml crates/bench/benches/e1_latency_decomposition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_latency_decomposition-822f3881f9270c3a.rmeta: /root/repo/clippy.toml crates/bench/benches/e1_latency_decomposition.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/e1_latency_decomposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

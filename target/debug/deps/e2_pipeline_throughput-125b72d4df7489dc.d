@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e2_pipeline_throughput-125b72d4df7489dc.d: /root/repo/clippy.toml crates/bench/benches/e2_pipeline_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_pipeline_throughput-125b72d4df7489dc.rmeta: /root/repo/clippy.toml crates/bench/benches/e2_pipeline_throughput.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/e2_pipeline_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

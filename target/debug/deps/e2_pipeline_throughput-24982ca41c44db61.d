@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_pipeline_throughput-24982ca41c44db61.d: crates/bench/benches/e2_pipeline_throughput.rs
+
+/root/repo/target/debug/deps/libe2_pipeline_throughput-24982ca41c44db61.rmeta: crates/bench/benches/e2_pipeline_throughput.rs
+
+crates/bench/benches/e2_pipeline_throughput.rs:

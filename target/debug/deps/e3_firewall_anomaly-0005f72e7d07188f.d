@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e3_firewall_anomaly-0005f72e7d07188f.d: /root/repo/clippy.toml crates/bench/benches/e3_firewall_anomaly.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_firewall_anomaly-0005f72e7d07188f.rmeta: /root/repo/clippy.toml crates/bench/benches/e3_firewall_anomaly.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/e3_firewall_anomaly.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_firewall_anomaly-d2e34bb393963673.d: crates/bench/benches/e3_firewall_anomaly.rs
+
+/root/repo/target/debug/deps/libe3_firewall_anomaly-d2e34bb393963673.rmeta: crates/bench/benches/e3_firewall_anomaly.rs
+
+crates/bench/benches/e3_firewall_anomaly.rs:

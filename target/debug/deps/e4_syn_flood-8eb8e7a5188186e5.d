@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_syn_flood-8eb8e7a5188186e5.d: crates/bench/benches/e4_syn_flood.rs
+
+/root/repo/target/debug/deps/libe4_syn_flood-8eb8e7a5188186e5.rmeta: crates/bench/benches/e4_syn_flood.rs
+
+crates/bench/benches/e4_syn_flood.rs:

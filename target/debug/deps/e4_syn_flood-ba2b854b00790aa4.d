@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e4_syn_flood-ba2b854b00790aa4.d: /root/repo/clippy.toml crates/bench/benches/e4_syn_flood.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_syn_flood-ba2b854b00790aa4.rmeta: /root/repo/clippy.toml crates/bench/benches/e4_syn_flood.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/e4_syn_flood.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_frontend_arcs-36540add1fad9eab.d: crates/bench/benches/e5_frontend_arcs.rs
+
+/root/repo/target/debug/deps/libe5_frontend_arcs-36540add1fad9eab.rmeta: crates/bench/benches/e5_frontend_arcs.rs
+
+crates/bench/benches/e5_frontend_arcs.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e5_frontend_arcs-58752e0699a7a090.d: /root/repo/clippy.toml crates/bench/benches/e5_frontend_arcs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_frontend_arcs-58752e0699a7a090.rmeta: /root/repo/clippy.toml crates/bench/benches/e5_frontend_arcs.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/e5_frontend_arcs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e6_geo_enrichment-92933f14b8d9fa3e.d: /root/repo/clippy.toml crates/bench/benches/e6_geo_enrichment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_geo_enrichment-92933f14b8d9fa3e.rmeta: /root/repo/clippy.toml crates/bench/benches/e6_geo_enrichment.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/e6_geo_enrichment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

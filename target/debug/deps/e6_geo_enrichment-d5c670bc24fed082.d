@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_geo_enrichment-d5c670bc24fed082.d: crates/bench/benches/e6_geo_enrichment.rs
+
+/root/repo/target/debug/deps/libe6_geo_enrichment-d5c670bc24fed082.rmeta: crates/bench/benches/e6_geo_enrichment.rs
+
+crates/bench/benches/e6_geo_enrichment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e7_baselines-705a1059f2874c01.d: crates/bench/benches/e7_baselines.rs
+
+/root/repo/target/debug/deps/libe7_baselines-705a1059f2874c01.rmeta: crates/bench/benches/e7_baselines.rs
+
+crates/bench/benches/e7_baselines.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e7_baselines-9df10d935dc115c8.d: /root/repo/clippy.toml crates/bench/benches/e7_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_baselines-9df10d935dc115c8.rmeta: /root/repo/clippy.toml crates/bench/benches/e7_baselines.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/e7_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

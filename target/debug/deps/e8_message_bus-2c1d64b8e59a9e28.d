@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e8_message_bus-2c1d64b8e59a9e28.d: /root/repo/clippy.toml crates/bench/benches/e8_message_bus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_message_bus-2c1d64b8e59a9e28.rmeta: /root/repo/clippy.toml crates/bench/benches/e8_message_bus.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/e8_message_bus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

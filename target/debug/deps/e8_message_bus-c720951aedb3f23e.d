@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e8_message_bus-c720951aedb3f23e.d: crates/bench/benches/e8_message_bus.rs
+
+/root/repo/target/debug/deps/libe8_message_bus-c720951aedb3f23e.rmeta: crates/bench/benches/e8_message_bus.rs
+
+crates/bench/benches/e8_message_bus.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/e9_flow_table-0e03c90ad6df3b84.d: /root/repo/clippy.toml crates/bench/benches/e9_flow_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe9_flow_table-0e03c90ad6df3b84.rmeta: /root/repo/clippy.toml crates/bench/benches/e9_flow_table.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/e9_flow_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

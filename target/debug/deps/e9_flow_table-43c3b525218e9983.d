@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e9_flow_table-43c3b525218e9983.d: crates/bench/benches/e9_flow_table.rs
+
+/root/repo/target/debug/deps/libe9_flow_table-43c3b525218e9983.rmeta: crates/bench/benches/e9_flow_table.rs
+
+crates/bench/benches/e9_flow_table.rs:

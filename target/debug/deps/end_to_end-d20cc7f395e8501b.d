@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d20cc7f395e8501b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-d20cc7f395e8501b.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

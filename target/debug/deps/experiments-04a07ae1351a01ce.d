@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-04a07ae1351a01ce.d: tests/experiments.rs
+
+/root/repo/target/debug/deps/experiments-04a07ae1351a01ce: tests/experiments.rs
+
+tests/experiments.rs:

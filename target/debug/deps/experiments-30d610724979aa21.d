@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-30d610724979aa21.d: tests/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-30d610724979aa21.rmeta: tests/experiments.rs
+
+tests/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_table_report-09a40f99fbcc9810.d: crates/bench/src/bin/flow_table_report.rs
+
+/root/repo/target/debug/deps/libflow_table_report-09a40f99fbcc9810.rmeta: crates/bench/src/bin/flow_table_report.rs
+
+crates/bench/src/bin/flow_table_report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flow_table_report-37d63052c3fd36c9.d: /root/repo/clippy.toml crates/bench/src/bin/flow_table_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow_table_report-37d63052c3fd36c9.rmeta: /root/repo/clippy.toml crates/bench/src/bin/flow_table_report.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/flow_table_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_table_report-5dbd0d293c76b91e.d: crates/bench/src/bin/flow_table_report.rs
+
+/root/repo/target/debug/deps/flow_table_report-5dbd0d293c76b91e: crates/bench/src/bin/flow_table_report.rs
+
+crates/bench/src/bin/flow_table_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_table_report-a5a3e8ca5b664a0f.d: crates/bench/src/bin/flow_table_report.rs
+
+/root/repo/target/debug/deps/libflow_table_report-a5a3e8ca5b664a0f.rmeta: crates/bench/src/bin/flow_table_report.rs
+
+crates/bench/src/bin/flow_table_report.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/loom-17fa17d61a63a5b6.d: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/debug/deps/loom-17fa17d61a63a5b6: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/loom-2c6ea899e82ecf5f.d: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/debug/deps/libloom-2c6ea899e82ecf5f.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/loom-7b3c919ea7de493a.d: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/debug/deps/libloom-7b3c919ea7de493a.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:

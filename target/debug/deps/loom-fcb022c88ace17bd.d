@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/loom-fcb022c88ace17bd.d: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/debug/deps/libloom-fcb022c88ace17bd.rlib: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+/root/repo/target/debug/deps/libloom-fcb022c88ace17bd.rmeta: crates/loom/src/lib.rs crates/loom/src/rt.rs
+
+crates/loom/src/lib.rs:
+crates/loom/src/rt.rs:

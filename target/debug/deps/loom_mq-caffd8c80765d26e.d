@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_mq-caffd8c80765d26e.d: crates/mq/tests/loom_mq.rs
+
+/root/repo/target/debug/deps/loom_mq-caffd8c80765d26e: crates/mq/tests/loom_mq.rs
+
+crates/mq/tests/loom_mq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_mq-f14248eb59b10bae.d: crates/mq/tests/loom_mq.rs
+
+/root/repo/target/debug/deps/libloom_mq-f14248eb59b10bae.rmeta: crates/mq/tests/loom_mq.rs
+
+crates/mq/tests/loom_mq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_nic-9e72d6f70b785121.d: crates/nic/tests/loom_nic.rs
+
+/root/repo/target/debug/deps/loom_nic-9e72d6f70b785121: crates/nic/tests/loom_nic.rs
+
+crates/nic/tests/loom_nic.rs:

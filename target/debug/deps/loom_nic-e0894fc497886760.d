@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_nic-e0894fc497886760.d: crates/nic/tests/loom_nic.rs
+
+/root/repo/target/debug/deps/libloom_nic-e0894fc497886760.rmeta: crates/nic/tests/loom_nic.rs
+
+crates/nic/tests/loom_nic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_telemetry-f5253a3dbbf98c56.d: crates/telemetry/tests/loom_telemetry.rs
+
+/root/repo/target/debug/deps/loom_telemetry-f5253a3dbbf98c56: crates/telemetry/tests/loom_telemetry.rs
+
+crates/telemetry/tests/loom_telemetry.rs:

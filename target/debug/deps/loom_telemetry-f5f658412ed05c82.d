@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom_telemetry-f5f658412ed05c82.d: crates/telemetry/tests/loom_telemetry.rs
+
+/root/repo/target/debug/deps/libloom_telemetry-f5f658412ed05c82.rmeta: crates/telemetry/tests/loom_telemetry.rs
+
+crates/telemetry/tests/loom_telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mode_equivalence-431e1afbc7f5cb6a.d: crates/pipeline/tests/mode_equivalence.rs
+
+/root/repo/target/debug/deps/mode_equivalence-431e1afbc7f5cb6a: crates/pipeline/tests/mode_equivalence.rs
+
+crates/pipeline/tests/mode_equivalence.rs:

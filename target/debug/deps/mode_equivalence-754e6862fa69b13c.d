@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mode_equivalence-754e6862fa69b13c.d: /root/repo/clippy.toml crates/pipeline/tests/mode_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmode_equivalence-754e6862fa69b13c.rmeta: /root/repo/clippy.toml crates/pipeline/tests/mode_equivalence.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/pipeline/tests/mode_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

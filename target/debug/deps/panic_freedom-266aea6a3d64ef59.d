@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/panic_freedom-266aea6a3d64ef59.d: /root/repo/clippy.toml crates/pipeline/tests/panic_freedom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpanic_freedom-266aea6a3d64ef59.rmeta: /root/repo/clippy.toml crates/pipeline/tests/panic_freedom.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/pipeline/tests/panic_freedom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

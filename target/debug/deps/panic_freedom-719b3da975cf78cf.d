@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/panic_freedom-719b3da975cf78cf.d: crates/pipeline/tests/panic_freedom.rs
+
+/root/repo/target/debug/deps/panic_freedom-719b3da975cf78cf: crates/pipeline/tests/panic_freedom.rs
+
+crates/pipeline/tests/panic_freedom.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/panic_freedom-94a50a0b16db2511.d: crates/pipeline/tests/panic_freedom.rs
+
+/root/repo/target/debug/deps/libpanic_freedom-94a50a0b16db2511.rmeta: crates/pipeline/tests/panic_freedom.rs
+
+crates/pipeline/tests/panic_freedom.rs:

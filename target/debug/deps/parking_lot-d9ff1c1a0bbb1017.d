@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-d9ff1c1a0bbb1017.d: target/devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d9ff1c1a0bbb1017.rmeta: target/devstubs/parking_lot/src/lib.rs
+
+target/devstubs/parking_lot/src/lib.rs:

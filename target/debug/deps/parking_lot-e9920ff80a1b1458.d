@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-e9920ff80a1b1458.d: target/devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-e9920ff80a1b1458.rlib: target/devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-e9920ff80a1b1458.rmeta: target/devstubs/parking_lot/src/lib.rs
+
+target/devstubs/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_cross-7f83865221d37e94.d: tests/prop_cross.rs
+
+/root/repo/target/debug/deps/libprop_cross-7f83865221d37e94.rmeta: tests/prop_cross.rs
+
+tests/prop_cross.rs:

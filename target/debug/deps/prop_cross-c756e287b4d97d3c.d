@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_cross-c756e287b4d97d3c.d: tests/prop_cross.rs
+
+/root/repo/target/debug/deps/prop_cross-c756e287b4d97d3c: tests/prop_cross.rs
+
+tests/prop_cross.rs:

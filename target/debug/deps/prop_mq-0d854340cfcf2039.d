@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_mq-0d854340cfcf2039.d: crates/mq/tests/prop_mq.rs
+
+/root/repo/target/debug/deps/prop_mq-0d854340cfcf2039: crates/mq/tests/prop_mq.rs
+
+crates/mq/tests/prop_mq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_mq-35055b281a202108.d: crates/mq/tests/prop_mq.rs
+
+/root/repo/target/debug/deps/libprop_mq-35055b281a202108.rmeta: crates/mq/tests/prop_mq.rs
+
+crates/mq/tests/prop_mq.rs:

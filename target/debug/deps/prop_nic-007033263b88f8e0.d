@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_nic-007033263b88f8e0.d: crates/nic/tests/prop_nic.rs
+
+/root/repo/target/debug/deps/libprop_nic-007033263b88f8e0.rmeta: crates/nic/tests/prop_nic.rs
+
+crates/nic/tests/prop_nic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_nic-6257164e61446739.d: crates/nic/tests/prop_nic.rs
+
+/root/repo/target/debug/deps/prop_nic-6257164e61446739: crates/nic/tests/prop_nic.rs
+
+crates/nic/tests/prop_nic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_table-30a34e57f82e7b62.d: crates/flow/tests/prop_table.rs
+
+/root/repo/target/debug/deps/libprop_table-30a34e57f82e7b62.rmeta: crates/flow/tests/prop_table.rs
+
+crates/flow/tests/prop_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_table-892209413be7f938.d: crates/flow/tests/prop_table.rs
+
+/root/repo/target/debug/deps/prop_table-892209413be7f938: crates/flow/tests/prop_table.rs
+
+crates/flow/tests/prop_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_viz-3a65bf0ed38ce704.d: crates/viz/tests/prop_viz.rs
+
+/root/repo/target/debug/deps/prop_viz-3a65bf0ed38ce704: crates/viz/tests/prop_viz.rs
+
+crates/viz/tests/prop_viz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_viz-9f8cf473ba031f5f.d: crates/viz/tests/prop_viz.rs
+
+/root/repo/target/debug/deps/libprop_viz-9f8cf473ba031f5f.rmeta: crates/viz/tests/prop_viz.rs
+
+crates/viz/tests/prop_viz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_wire-01a1a2c32245aa24.d: crates/wire/tests/prop_wire.rs
+
+/root/repo/target/debug/deps/prop_wire-01a1a2c32245aa24: crates/wire/tests/prop_wire.rs
+
+crates/wire/tests/prop_wire.rs:

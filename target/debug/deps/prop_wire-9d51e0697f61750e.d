@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_wire-9d51e0697f61750e.d: crates/wire/tests/prop_wire.rs
+
+/root/repo/target/debug/deps/libprop_wire-9d51e0697f61750e.rmeta: crates/wire/tests/prop_wire.rs
+
+crates/wire/tests/prop_wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-20d6b5fcdf23e0a8.d: target/devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-20d6b5fcdf23e0a8.rmeta: target/devstubs/proptest/src/lib.rs
+
+target/devstubs/proptest/src/lib.rs:

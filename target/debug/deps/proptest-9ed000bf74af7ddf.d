@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9ed000bf74af7ddf.d: target/devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9ed000bf74af7ddf.rlib: target/devstubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9ed000bf74af7ddf.rmeta: target/devstubs/proptest/src/lib.rs
+
+target/devstubs/proptest/src/lib.rs:

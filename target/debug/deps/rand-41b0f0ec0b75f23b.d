@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-41b0f0ec0b75f23b.d: target/devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-41b0f0ec0b75f23b.rmeta: target/devstubs/rand/src/lib.rs
+
+target/devstubs/rand/src/lib.rs:

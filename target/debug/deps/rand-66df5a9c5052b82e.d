@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-66df5a9c5052b82e.d: target/devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-66df5a9c5052b82e.rlib: target/devstubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-66df5a9c5052b82e.rmeta: target/devstubs/rand/src/lib.rs
+
+target/devstubs/rand/src/lib.rs:

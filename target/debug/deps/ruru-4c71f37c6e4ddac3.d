@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruru-4c71f37c6e4ddac3.d: src/lib.rs
+
+/root/repo/target/debug/deps/ruru-4c71f37c6e4ddac3: src/lib.rs
+
+src/lib.rs:

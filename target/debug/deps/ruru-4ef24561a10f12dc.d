@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruru-4ef24561a10f12dc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libruru-4ef24561a10f12dc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruru-79543fd0191d9469.d: src/lib.rs
+
+/root/repo/target/debug/deps/libruru-79543fd0191d9469.rmeta: src/lib.rs
+
+src/lib.rs:

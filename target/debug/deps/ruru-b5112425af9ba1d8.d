@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ruru-b5112425af9ba1d8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libruru-b5112425af9ba1d8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libruru-b5112425af9ba1d8.rmeta: src/lib.rs
+
+src/lib.rs:

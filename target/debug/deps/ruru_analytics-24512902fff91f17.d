@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ruru_analytics-24512902fff91f17.d: /root/repo/clippy.toml crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_analytics-24512902fff91f17.rmeta: /root/repo/clippy.toml crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/analytics/src/lib.rs:
+crates/analytics/src/aggregate.rs:
+crates/analytics/src/alert.rs:
+crates/analytics/src/detect.rs:
+crates/analytics/src/enrich.rs:
+crates/analytics/src/filter.rs:
+crates/analytics/src/intern.rs:
+crates/analytics/src/workers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

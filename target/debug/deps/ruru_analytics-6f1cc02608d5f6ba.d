@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ruru_analytics-6f1cc02608d5f6ba.d: crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs
+
+/root/repo/target/debug/deps/libruru_analytics-6f1cc02608d5f6ba.rlib: crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs
+
+/root/repo/target/debug/deps/libruru_analytics-6f1cc02608d5f6ba.rmeta: crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/aggregate.rs:
+crates/analytics/src/alert.rs:
+crates/analytics/src/detect.rs:
+crates/analytics/src/enrich.rs:
+crates/analytics/src/filter.rs:
+crates/analytics/src/intern.rs:
+crates/analytics/src/workers.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ruru_analytics-f816f7b9f4e2359f.d: crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs
+
+/root/repo/target/debug/deps/libruru_analytics-f816f7b9f4e2359f.rmeta: crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/aggregate.rs:
+crates/analytics/src/alert.rs:
+crates/analytics/src/detect.rs:
+crates/analytics/src/enrich.rs:
+crates/analytics/src/filter.rs:
+crates/analytics/src/intern.rs:
+crates/analytics/src/workers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruru_bench-312ed79748a78c4c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libruru_bench-312ed79748a78c4c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ruru_bench-32fb98655e991a10.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libruru_bench-32fb98655e991a10.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libruru_bench-32fb98655e991a10.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruru_bench-4061d90e2ea539d2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ruru_bench-4061d90e2ea539d2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruru_bench-a2c3a910abd210a7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libruru_bench-a2c3a910abd210a7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ruru_bench-dd09ebdf6c0963f8.d: /root/repo/clippy.toml crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_bench-dd09ebdf6c0963f8.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

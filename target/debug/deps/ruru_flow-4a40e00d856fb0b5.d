@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ruru_flow-4a40e00d856fb0b5.d: crates/flow/src/lib.rs crates/flow/src/baseline/mod.rs crates/flow/src/baseline/expiring.rs crates/flow/src/baseline/pping.rs crates/flow/src/baseline/synonly.rs crates/flow/src/classify.rs crates/flow/src/handshake.rs crates/flow/src/histogram.rs crates/flow/src/key.rs crates/flow/src/measurement.rs crates/flow/src/table/mod.rs crates/flow/src/table/burst.rs crates/flow/src/table/store.rs
+
+/root/repo/target/debug/deps/libruru_flow-4a40e00d856fb0b5.rmeta: crates/flow/src/lib.rs crates/flow/src/baseline/mod.rs crates/flow/src/baseline/expiring.rs crates/flow/src/baseline/pping.rs crates/flow/src/baseline/synonly.rs crates/flow/src/classify.rs crates/flow/src/handshake.rs crates/flow/src/histogram.rs crates/flow/src/key.rs crates/flow/src/measurement.rs crates/flow/src/table/mod.rs crates/flow/src/table/burst.rs crates/flow/src/table/store.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/baseline/mod.rs:
+crates/flow/src/baseline/expiring.rs:
+crates/flow/src/baseline/pping.rs:
+crates/flow/src/baseline/synonly.rs:
+crates/flow/src/classify.rs:
+crates/flow/src/handshake.rs:
+crates/flow/src/histogram.rs:
+crates/flow/src/key.rs:
+crates/flow/src/measurement.rs:
+crates/flow/src/table/mod.rs:
+crates/flow/src/table/burst.rs:
+crates/flow/src/table/store.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/ruru_flow-c75ed2fbaf4c489e.d: /root/repo/clippy.toml crates/flow/src/lib.rs crates/flow/src/baseline/mod.rs crates/flow/src/baseline/expiring.rs crates/flow/src/baseline/pping.rs crates/flow/src/baseline/synonly.rs crates/flow/src/classify.rs crates/flow/src/handshake.rs crates/flow/src/histogram.rs crates/flow/src/key.rs crates/flow/src/measurement.rs crates/flow/src/table/mod.rs crates/flow/src/table/burst.rs crates/flow/src/table/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_flow-c75ed2fbaf4c489e.rmeta: /root/repo/clippy.toml crates/flow/src/lib.rs crates/flow/src/baseline/mod.rs crates/flow/src/baseline/expiring.rs crates/flow/src/baseline/pping.rs crates/flow/src/baseline/synonly.rs crates/flow/src/classify.rs crates/flow/src/handshake.rs crates/flow/src/histogram.rs crates/flow/src/key.rs crates/flow/src/measurement.rs crates/flow/src/table/mod.rs crates/flow/src/table/burst.rs crates/flow/src/table/store.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/flow/src/lib.rs:
+crates/flow/src/baseline/mod.rs:
+crates/flow/src/baseline/expiring.rs:
+crates/flow/src/baseline/pping.rs:
+crates/flow/src/baseline/synonly.rs:
+crates/flow/src/classify.rs:
+crates/flow/src/handshake.rs:
+crates/flow/src/histogram.rs:
+crates/flow/src/key.rs:
+crates/flow/src/measurement.rs:
+crates/flow/src/table/mod.rs:
+crates/flow/src/table/burst.rs:
+crates/flow/src/table/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ruru_gen-0d07da1684f708d9.d: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+/root/repo/target/debug/deps/libruru_gen-0d07da1684f708d9.rlib: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+/root/repo/target/debug/deps/libruru_gen-0d07da1684f708d9.rmeta: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/anomaly.rs:
+crates/gen/src/generator.rs:
+crates/gen/src/model.rs:
+crates/gen/src/packet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruru_gen-9f27503b0c6c1ac2.d: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+/root/repo/target/debug/deps/ruru_gen-9f27503b0c6c1ac2: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/anomaly.rs:
+crates/gen/src/generator.rs:
+crates/gen/src/model.rs:
+crates/gen/src/packet.rs:

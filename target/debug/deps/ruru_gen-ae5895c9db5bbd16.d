@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruru_gen-ae5895c9db5bbd16.d: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+/root/repo/target/debug/deps/libruru_gen-ae5895c9db5bbd16.rmeta: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/anomaly.rs:
+crates/gen/src/generator.rs:
+crates/gen/src/model.rs:
+crates/gen/src/packet.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ruru_gen-b156d7723996f4d3.d: /root/repo/clippy.toml crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_gen-b156d7723996f4d3.rmeta: /root/repo/clippy.toml crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/gen/src/lib.rs:
+crates/gen/src/anomaly.rs:
+crates/gen/src/generator.rs:
+crates/gen/src/model.rs:
+crates/gen/src/packet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

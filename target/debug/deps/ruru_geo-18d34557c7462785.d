@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ruru_geo-18d34557c7462785.d: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+/root/repo/target/debug/deps/libruru_geo-18d34557c7462785.rlib: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+/root/repo/target/debug/deps/libruru_geo-18d34557c7462785.rmeta: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/cache.rs:
+crates/geo/src/db.rs:
+crates/geo/src/synth.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ruru_geo-24f60b04e52a8147.d: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+/root/repo/target/debug/deps/ruru_geo-24f60b04e52a8147: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/cache.rs:
+crates/geo/src/db.rs:
+crates/geo/src/synth.rs:

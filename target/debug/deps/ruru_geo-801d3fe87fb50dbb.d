@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ruru_geo-801d3fe87fb50dbb.d: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+/root/repo/target/debug/deps/libruru_geo-801d3fe87fb50dbb.rmeta: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/cache.rs:
+crates/geo/src/db.rs:
+crates/geo/src/synth.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ruru_geo-82a9bfe521d97485.d: /root/repo/clippy.toml crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_geo-82a9bfe521d97485.rmeta: /root/repo/clippy.toml crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/geo/src/lib.rs:
+crates/geo/src/cache.rs:
+crates/geo/src/db.rs:
+crates/geo/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ruru_mq-20248b3320cd9569.d: /root/repo/clippy.toml crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_mq-20248b3320cd9569.rmeta: /root/repo/clippy.toml crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/mq/src/lib.rs:
+crates/mq/src/chan.rs:
+crates/mq/src/message.rs:
+crates/mq/src/pubsub.rs:
+crates/mq/src/pushpull.rs:
+crates/mq/src/sync.rs:
+crates/mq/src/tcp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

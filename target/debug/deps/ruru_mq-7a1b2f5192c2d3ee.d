@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ruru_mq-7a1b2f5192c2d3ee.d: crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs
+
+/root/repo/target/debug/deps/libruru_mq-7a1b2f5192c2d3ee.rlib: crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs
+
+/root/repo/target/debug/deps/libruru_mq-7a1b2f5192c2d3ee.rmeta: crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs
+
+crates/mq/src/lib.rs:
+crates/mq/src/chan.rs:
+crates/mq/src/message.rs:
+crates/mq/src/pubsub.rs:
+crates/mq/src/pushpull.rs:
+crates/mq/src/sync.rs:
+crates/mq/src/tcp.rs:

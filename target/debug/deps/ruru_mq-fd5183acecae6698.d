@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ruru_mq-fd5183acecae6698.d: crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs
+
+/root/repo/target/debug/deps/ruru_mq-fd5183acecae6698: crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs
+
+crates/mq/src/lib.rs:
+crates/mq/src/chan.rs:
+crates/mq/src/message.rs:
+crates/mq/src/pubsub.rs:
+crates/mq/src/pushpull.rs:
+crates/mq/src/sync.rs:
+crates/mq/src/tcp.rs:

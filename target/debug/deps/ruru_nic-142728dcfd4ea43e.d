@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ruru_nic-142728dcfd4ea43e.d: crates/nic/src/lib.rs crates/nic/src/backoff.rs crates/nic/src/clock.rs crates/nic/src/fault.rs crates/nic/src/lcore.rs crates/nic/src/mbuf.rs crates/nic/src/port.rs crates/nic/src/queue.rs crates/nic/src/ring.rs crates/nic/src/rss.rs crates/nic/src/shaper.rs crates/nic/src/sync.rs
+
+/root/repo/target/debug/deps/libruru_nic-142728dcfd4ea43e.rmeta: crates/nic/src/lib.rs crates/nic/src/backoff.rs crates/nic/src/clock.rs crates/nic/src/fault.rs crates/nic/src/lcore.rs crates/nic/src/mbuf.rs crates/nic/src/port.rs crates/nic/src/queue.rs crates/nic/src/ring.rs crates/nic/src/rss.rs crates/nic/src/shaper.rs crates/nic/src/sync.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/backoff.rs:
+crates/nic/src/clock.rs:
+crates/nic/src/fault.rs:
+crates/nic/src/lcore.rs:
+crates/nic/src/mbuf.rs:
+crates/nic/src/port.rs:
+crates/nic/src/queue.rs:
+crates/nic/src/ring.rs:
+crates/nic/src/rss.rs:
+crates/nic/src/shaper.rs:
+crates/nic/src/sync.rs:

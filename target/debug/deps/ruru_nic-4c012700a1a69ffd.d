@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ruru_nic-4c012700a1a69ffd.d: /root/repo/clippy.toml crates/nic/src/lib.rs crates/nic/src/backoff.rs crates/nic/src/clock.rs crates/nic/src/fault.rs crates/nic/src/lcore.rs crates/nic/src/mbuf.rs crates/nic/src/port.rs crates/nic/src/queue.rs crates/nic/src/ring.rs crates/nic/src/rss.rs crates/nic/src/shaper.rs crates/nic/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_nic-4c012700a1a69ffd.rmeta: /root/repo/clippy.toml crates/nic/src/lib.rs crates/nic/src/backoff.rs crates/nic/src/clock.rs crates/nic/src/fault.rs crates/nic/src/lcore.rs crates/nic/src/mbuf.rs crates/nic/src/port.rs crates/nic/src/queue.rs crates/nic/src/ring.rs crates/nic/src/rss.rs crates/nic/src/shaper.rs crates/nic/src/sync.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/nic/src/lib.rs:
+crates/nic/src/backoff.rs:
+crates/nic/src/clock.rs:
+crates/nic/src/fault.rs:
+crates/nic/src/lcore.rs:
+crates/nic/src/mbuf.rs:
+crates/nic/src/port.rs:
+crates/nic/src/queue.rs:
+crates/nic/src/ring.rs:
+crates/nic/src/rss.rs:
+crates/nic/src/shaper.rs:
+crates/nic/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

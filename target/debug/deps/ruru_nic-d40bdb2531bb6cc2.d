@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ruru_nic-d40bdb2531bb6cc2.d: crates/nic/src/lib.rs crates/nic/src/backoff.rs crates/nic/src/clock.rs crates/nic/src/fault.rs crates/nic/src/lcore.rs crates/nic/src/mbuf.rs crates/nic/src/port.rs crates/nic/src/queue.rs crates/nic/src/ring.rs crates/nic/src/rss.rs crates/nic/src/shaper.rs crates/nic/src/sync.rs
+
+/root/repo/target/debug/deps/libruru_nic-d40bdb2531bb6cc2.rlib: crates/nic/src/lib.rs crates/nic/src/backoff.rs crates/nic/src/clock.rs crates/nic/src/fault.rs crates/nic/src/lcore.rs crates/nic/src/mbuf.rs crates/nic/src/port.rs crates/nic/src/queue.rs crates/nic/src/ring.rs crates/nic/src/rss.rs crates/nic/src/shaper.rs crates/nic/src/sync.rs
+
+/root/repo/target/debug/deps/libruru_nic-d40bdb2531bb6cc2.rmeta: crates/nic/src/lib.rs crates/nic/src/backoff.rs crates/nic/src/clock.rs crates/nic/src/fault.rs crates/nic/src/lcore.rs crates/nic/src/mbuf.rs crates/nic/src/port.rs crates/nic/src/queue.rs crates/nic/src/ring.rs crates/nic/src/rss.rs crates/nic/src/shaper.rs crates/nic/src/sync.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/backoff.rs:
+crates/nic/src/clock.rs:
+crates/nic/src/fault.rs:
+crates/nic/src/lcore.rs:
+crates/nic/src/mbuf.rs:
+crates/nic/src/port.rs:
+crates/nic/src/queue.rs:
+crates/nic/src/ring.rs:
+crates/nic/src/rss.rs:
+crates/nic/src/shaper.rs:
+crates/nic/src/sync.rs:

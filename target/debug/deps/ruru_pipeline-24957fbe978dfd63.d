@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ruru_pipeline-24957fbe978dfd63.d: crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs
+
+/root/repo/target/debug/deps/libruru_pipeline-24957fbe978dfd63.rlib: crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs
+
+/root/repo/target/debug/deps/libruru_pipeline-24957fbe978dfd63.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/engine.rs:
+crates/pipeline/src/snmp.rs:
+crates/pipeline/src/telemetry.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ruru_pipeline-64d0fe299d76ef2a.d: /root/repo/clippy.toml crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_pipeline-64d0fe299d76ef2a.rmeta: /root/repo/clippy.toml crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/engine.rs:
+crates/pipeline/src/snmp.rs:
+crates/pipeline/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

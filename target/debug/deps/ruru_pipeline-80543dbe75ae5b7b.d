@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ruru_pipeline-80543dbe75ae5b7b.d: crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs
+
+/root/repo/target/debug/deps/libruru_pipeline-80543dbe75ae5b7b.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/engine.rs:
+crates/pipeline/src/snmp.rs:
+crates/pipeline/src/telemetry.rs:

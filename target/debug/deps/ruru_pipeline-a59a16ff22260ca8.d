@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ruru_pipeline-a59a16ff22260ca8.d: /root/repo/clippy.toml crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_pipeline-a59a16ff22260ca8.rmeta: /root/repo/clippy.toml crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/engine.rs:
+crates/pipeline/src/snmp.rs:
+crates/pipeline/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

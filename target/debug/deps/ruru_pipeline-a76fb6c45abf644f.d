@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ruru_pipeline-a76fb6c45abf644f.d: crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs
+
+/root/repo/target/debug/deps/ruru_pipeline-a76fb6c45abf644f: crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/engine.rs:
+crates/pipeline/src/snmp.rs:
+crates/pipeline/src/telemetry.rs:

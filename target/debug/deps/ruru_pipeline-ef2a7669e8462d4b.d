@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ruru_pipeline-ef2a7669e8462d4b.d: crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs
+
+/root/repo/target/debug/deps/libruru_pipeline-ef2a7669e8462d4b.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/engine.rs:
+crates/pipeline/src/snmp.rs:
+crates/pipeline/src/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruru_sim-365db688abef5039.d: crates/pipeline/src/bin/ruru-sim.rs
+
+/root/repo/target/debug/deps/ruru_sim-365db688abef5039: crates/pipeline/src/bin/ruru-sim.rs
+
+crates/pipeline/src/bin/ruru-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruru_sim-6532c789f1a62da1.d: crates/pipeline/src/bin/ruru-sim.rs
+
+/root/repo/target/debug/deps/libruru_sim-6532c789f1a62da1.rmeta: crates/pipeline/src/bin/ruru-sim.rs
+
+crates/pipeline/src/bin/ruru-sim.rs:

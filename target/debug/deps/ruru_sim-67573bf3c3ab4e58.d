@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruru_sim-67573bf3c3ab4e58.d: crates/pipeline/src/bin/ruru-sim.rs
+
+/root/repo/target/debug/deps/libruru_sim-67573bf3c3ab4e58.rmeta: crates/pipeline/src/bin/ruru-sim.rs
+
+crates/pipeline/src/bin/ruru-sim.rs:

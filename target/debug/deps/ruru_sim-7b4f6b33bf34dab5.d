@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ruru_sim-7b4f6b33bf34dab5.d: /root/repo/clippy.toml crates/pipeline/src/bin/ruru-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_sim-7b4f6b33bf34dab5.rmeta: /root/repo/clippy.toml crates/pipeline/src/bin/ruru-sim.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/pipeline/src/bin/ruru-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

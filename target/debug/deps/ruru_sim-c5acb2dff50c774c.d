@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ruru_sim-c5acb2dff50c774c.d: crates/pipeline/src/bin/ruru-sim.rs
+
+/root/repo/target/debug/deps/ruru_sim-c5acb2dff50c774c: crates/pipeline/src/bin/ruru-sim.rs
+
+crates/pipeline/src/bin/ruru-sim.rs:

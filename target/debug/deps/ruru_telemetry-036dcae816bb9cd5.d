@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ruru_telemetry-036dcae816bb9cd5.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+/root/repo/target/debug/deps/ruru_telemetry-036dcae816bb9cd5: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/sync.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ruru_telemetry-418305b716b69f10.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+/root/repo/target/debug/deps/libruru_telemetry-418305b716b69f10.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+/root/repo/target/debug/deps/libruru_telemetry-418305b716b69f10.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/sync.rs:

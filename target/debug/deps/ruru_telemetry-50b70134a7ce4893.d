@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ruru_telemetry-50b70134a7ce4893.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+/root/repo/target/debug/deps/libruru_telemetry-50b70134a7ce4893.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/sync.rs:

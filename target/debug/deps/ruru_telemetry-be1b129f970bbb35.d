@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ruru_telemetry-be1b129f970bbb35.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+/root/repo/target/debug/deps/libruru_telemetry-be1b129f970bbb35.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/sync.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ruru_telemetry-e36a58f0489573a8.d: /root/repo/clippy.toml crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_telemetry-e36a58f0489573a8.rmeta: /root/repo/clippy.toml crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ruru_tsdb-28bd265e647c80b6.d: crates/tsdb/src/lib.rs crates/tsdb/src/agg.rs crates/tsdb/src/line.rs crates/tsdb/src/point.rs crates/tsdb/src/sharded.rs crates/tsdb/src/snapshot.rs crates/tsdb/src/store.rs
+
+/root/repo/target/debug/deps/libruru_tsdb-28bd265e647c80b6.rmeta: crates/tsdb/src/lib.rs crates/tsdb/src/agg.rs crates/tsdb/src/line.rs crates/tsdb/src/point.rs crates/tsdb/src/sharded.rs crates/tsdb/src/snapshot.rs crates/tsdb/src/store.rs
+
+crates/tsdb/src/lib.rs:
+crates/tsdb/src/agg.rs:
+crates/tsdb/src/line.rs:
+crates/tsdb/src/point.rs:
+crates/tsdb/src/sharded.rs:
+crates/tsdb/src/snapshot.rs:
+crates/tsdb/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ruru_tsdb-4ac87d909e29d5d5.d: crates/tsdb/src/lib.rs crates/tsdb/src/agg.rs crates/tsdb/src/line.rs crates/tsdb/src/point.rs crates/tsdb/src/sharded.rs crates/tsdb/src/snapshot.rs crates/tsdb/src/store.rs
+
+/root/repo/target/debug/deps/ruru_tsdb-4ac87d909e29d5d5: crates/tsdb/src/lib.rs crates/tsdb/src/agg.rs crates/tsdb/src/line.rs crates/tsdb/src/point.rs crates/tsdb/src/sharded.rs crates/tsdb/src/snapshot.rs crates/tsdb/src/store.rs
+
+crates/tsdb/src/lib.rs:
+crates/tsdb/src/agg.rs:
+crates/tsdb/src/line.rs:
+crates/tsdb/src/point.rs:
+crates/tsdb/src/sharded.rs:
+crates/tsdb/src/snapshot.rs:
+crates/tsdb/src/store.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ruru_tsdb-757e871aa032a4a5.d: /root/repo/clippy.toml crates/tsdb/src/lib.rs crates/tsdb/src/agg.rs crates/tsdb/src/line.rs crates/tsdb/src/point.rs crates/tsdb/src/sharded.rs crates/tsdb/src/snapshot.rs crates/tsdb/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_tsdb-757e871aa032a4a5.rmeta: /root/repo/clippy.toml crates/tsdb/src/lib.rs crates/tsdb/src/agg.rs crates/tsdb/src/line.rs crates/tsdb/src/point.rs crates/tsdb/src/sharded.rs crates/tsdb/src/snapshot.rs crates/tsdb/src/store.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/tsdb/src/lib.rs:
+crates/tsdb/src/agg.rs:
+crates/tsdb/src/line.rs:
+crates/tsdb/src/point.rs:
+crates/tsdb/src/sharded.rs:
+crates/tsdb/src/snapshot.rs:
+crates/tsdb/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

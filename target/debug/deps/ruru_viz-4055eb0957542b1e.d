@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ruru_viz-4055eb0957542b1e.d: crates/viz/src/lib.rs crates/viz/src/arc.rs crates/viz/src/color.rs crates/viz/src/dashboard.rs crates/viz/src/frame.rs crates/viz/src/json.rs crates/viz/src/panel.rs crates/viz/src/ws.rs
+
+/root/repo/target/debug/deps/libruru_viz-4055eb0957542b1e.rlib: crates/viz/src/lib.rs crates/viz/src/arc.rs crates/viz/src/color.rs crates/viz/src/dashboard.rs crates/viz/src/frame.rs crates/viz/src/json.rs crates/viz/src/panel.rs crates/viz/src/ws.rs
+
+/root/repo/target/debug/deps/libruru_viz-4055eb0957542b1e.rmeta: crates/viz/src/lib.rs crates/viz/src/arc.rs crates/viz/src/color.rs crates/viz/src/dashboard.rs crates/viz/src/frame.rs crates/viz/src/json.rs crates/viz/src/panel.rs crates/viz/src/ws.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/arc.rs:
+crates/viz/src/color.rs:
+crates/viz/src/dashboard.rs:
+crates/viz/src/frame.rs:
+crates/viz/src/json.rs:
+crates/viz/src/panel.rs:
+crates/viz/src/ws.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ruru_viz-c918b9d59e03d92f.d: crates/viz/src/lib.rs crates/viz/src/arc.rs crates/viz/src/color.rs crates/viz/src/dashboard.rs crates/viz/src/frame.rs crates/viz/src/json.rs crates/viz/src/panel.rs crates/viz/src/ws.rs
+
+/root/repo/target/debug/deps/libruru_viz-c918b9d59e03d92f.rmeta: crates/viz/src/lib.rs crates/viz/src/arc.rs crates/viz/src/color.rs crates/viz/src/dashboard.rs crates/viz/src/frame.rs crates/viz/src/json.rs crates/viz/src/panel.rs crates/viz/src/ws.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/arc.rs:
+crates/viz/src/color.rs:
+crates/viz/src/dashboard.rs:
+crates/viz/src/frame.rs:
+crates/viz/src/json.rs:
+crates/viz/src/panel.rs:
+crates/viz/src/ws.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ruru_viz-cc3ab4276cfd1053.d: /root/repo/clippy.toml crates/viz/src/lib.rs crates/viz/src/arc.rs crates/viz/src/color.rs crates/viz/src/dashboard.rs crates/viz/src/frame.rs crates/viz/src/json.rs crates/viz/src/panel.rs crates/viz/src/ws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_viz-cc3ab4276cfd1053.rmeta: /root/repo/clippy.toml crates/viz/src/lib.rs crates/viz/src/arc.rs crates/viz/src/color.rs crates/viz/src/dashboard.rs crates/viz/src/frame.rs crates/viz/src/json.rs crates/viz/src/panel.rs crates/viz/src/ws.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/viz/src/lib.rs:
+crates/viz/src/arc.rs:
+crates/viz/src/color.rs:
+crates/viz/src/dashboard.rs:
+crates/viz/src/frame.rs:
+crates/viz/src/json.rs:
+crates/viz/src/panel.rs:
+crates/viz/src/ws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ruru_wire-6ffef6bd9b55d675.d: crates/wire/src/lib.rs crates/wire/src/checksum.rs crates/wire/src/ethernet.rs crates/wire/src/ipv4.rs crates/wire/src/ipv6.rs crates/wire/src/pcap.rs crates/wire/src/tcp.rs crates/wire/src/error.rs crates/wire/src/field.rs
+
+/root/repo/target/debug/deps/libruru_wire-6ffef6bd9b55d675.rmeta: crates/wire/src/lib.rs crates/wire/src/checksum.rs crates/wire/src/ethernet.rs crates/wire/src/ipv4.rs crates/wire/src/ipv6.rs crates/wire/src/pcap.rs crates/wire/src/tcp.rs crates/wire/src/error.rs crates/wire/src/field.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/checksum.rs:
+crates/wire/src/ethernet.rs:
+crates/wire/src/ipv4.rs:
+crates/wire/src/ipv6.rs:
+crates/wire/src/pcap.rs:
+crates/wire/src/tcp.rs:
+crates/wire/src/error.rs:
+crates/wire/src/field.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ruru_wire-7581642d78ce285b.d: crates/wire/src/lib.rs crates/wire/src/checksum.rs crates/wire/src/ethernet.rs crates/wire/src/ipv4.rs crates/wire/src/ipv6.rs crates/wire/src/pcap.rs crates/wire/src/tcp.rs crates/wire/src/error.rs crates/wire/src/field.rs
+
+/root/repo/target/debug/deps/ruru_wire-7581642d78ce285b: crates/wire/src/lib.rs crates/wire/src/checksum.rs crates/wire/src/ethernet.rs crates/wire/src/ipv4.rs crates/wire/src/ipv6.rs crates/wire/src/pcap.rs crates/wire/src/tcp.rs crates/wire/src/error.rs crates/wire/src/field.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/checksum.rs:
+crates/wire/src/ethernet.rs:
+crates/wire/src/ipv4.rs:
+crates/wire/src/ipv6.rs:
+crates/wire/src/pcap.rs:
+crates/wire/src/tcp.rs:
+crates/wire/src/error.rs:
+crates/wire/src/field.rs:

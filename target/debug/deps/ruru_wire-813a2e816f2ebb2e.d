@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ruru_wire-813a2e816f2ebb2e.d: crates/wire/src/lib.rs crates/wire/src/checksum.rs crates/wire/src/ethernet.rs crates/wire/src/ipv4.rs crates/wire/src/ipv6.rs crates/wire/src/pcap.rs crates/wire/src/tcp.rs crates/wire/src/error.rs crates/wire/src/field.rs
+
+/root/repo/target/debug/deps/libruru_wire-813a2e816f2ebb2e.rlib: crates/wire/src/lib.rs crates/wire/src/checksum.rs crates/wire/src/ethernet.rs crates/wire/src/ipv4.rs crates/wire/src/ipv6.rs crates/wire/src/pcap.rs crates/wire/src/tcp.rs crates/wire/src/error.rs crates/wire/src/field.rs
+
+/root/repo/target/debug/deps/libruru_wire-813a2e816f2ebb2e.rmeta: crates/wire/src/lib.rs crates/wire/src/checksum.rs crates/wire/src/ethernet.rs crates/wire/src/ipv4.rs crates/wire/src/ipv6.rs crates/wire/src/pcap.rs crates/wire/src/tcp.rs crates/wire/src/error.rs crates/wire/src/field.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/checksum.rs:
+crates/wire/src/ethernet.rs:
+crates/wire/src/ipv4.rs:
+crates/wire/src/ipv6.rs:
+crates/wire/src/pcap.rs:
+crates/wire/src/tcp.rs:
+crates/wire/src/error.rs:
+crates/wire/src/field.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ruru_wire-db25e04949520c3e.d: /root/repo/clippy.toml crates/wire/src/lib.rs crates/wire/src/checksum.rs crates/wire/src/ethernet.rs crates/wire/src/ipv4.rs crates/wire/src/ipv6.rs crates/wire/src/pcap.rs crates/wire/src/tcp.rs crates/wire/src/error.rs crates/wire/src/field.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruru_wire-db25e04949520c3e.rmeta: /root/repo/clippy.toml crates/wire/src/lib.rs crates/wire/src/checksum.rs crates/wire/src/ethernet.rs crates/wire/src/ipv4.rs crates/wire/src/ipv6.rs crates/wire/src/pcap.rs crates/wire/src/tcp.rs crates/wire/src/error.rs crates/wire/src/field.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/wire/src/lib.rs:
+crates/wire/src/checksum.rs:
+crates/wire/src/ethernet.rs:
+crates/wire/src/ipv4.rs:
+crates/wire/src/ipv6.rs:
+crates/wire/src/pcap.rs:
+crates/wire/src/tcp.rs:
+crates/wire/src/error.rs:
+crates/wire/src/field.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_report-2b73ea92252e3126.d: crates/bench/src/bin/scaling_report.rs
+
+/root/repo/target/debug/deps/scaling_report-2b73ea92252e3126: crates/bench/src/bin/scaling_report.rs
+
+crates/bench/src/bin/scaling_report.rs:

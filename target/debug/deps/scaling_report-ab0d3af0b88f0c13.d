@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scaling_report-ab0d3af0b88f0c13.d: /root/repo/clippy.toml crates/bench/src/bin/scaling_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling_report-ab0d3af0b88f0c13.rmeta: /root/repo/clippy.toml crates/bench/src/bin/scaling_report.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/scaling_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

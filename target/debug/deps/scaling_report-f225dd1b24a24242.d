@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scaling_report-f225dd1b24a24242.d: /root/repo/clippy.toml crates/bench/src/bin/scaling_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling_report-f225dd1b24a24242.rmeta: /root/repo/clippy.toml crates/bench/src/bin/scaling_report.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/scaling_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/self_telemetry-9f43a506c5c8aa19.d: /root/repo/clippy.toml crates/pipeline/tests/self_telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libself_telemetry-9f43a506c5c8aa19.rmeta: /root/repo/clippy.toml crates/pipeline/tests/self_telemetry.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/pipeline/tests/self_telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/self_telemetry-e67bfb509f559bca.d: crates/pipeline/tests/self_telemetry.rs
+
+/root/repo/target/debug/deps/libself_telemetry-e67bfb509f559bca.rmeta: crates/pipeline/tests/self_telemetry.rs
+
+crates/pipeline/tests/self_telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/self_telemetry-e9d16b2abbcbb79b.d: crates/pipeline/tests/self_telemetry.rs
+
+/root/repo/target/debug/deps/self_telemetry-e9d16b2abbcbb79b: crates/pipeline/tests/self_telemetry.rs
+
+crates/pipeline/tests/self_telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_and_edge-b69ad6a2ab622e6a.d: tests/transport_and_edge.rs
+
+/root/repo/target/debug/deps/transport_and_edge-b69ad6a2ab622e6a: tests/transport_and_edge.rs
+
+tests/transport_and_edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_and_edge-d2a81239877c6d8a.d: tests/transport_and_edge.rs
+
+/root/repo/target/debug/deps/libtransport_and_edge-d2a81239877c6d8a.rmeta: tests/transport_and_edge.rs
+
+tests/transport_and_edge.rs:

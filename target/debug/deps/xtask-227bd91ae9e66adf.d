@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xtask-227bd91ae9e66adf.d: crates/xtask/src/main.rs crates/xtask/src/lexer.rs crates/xtask/src/lint.rs crates/xtask/src/panic_check.rs
+
+/root/repo/target/debug/deps/xtask-227bd91ae9e66adf: crates/xtask/src/main.rs crates/xtask/src/lexer.rs crates/xtask/src/lint.rs crates/xtask/src/panic_check.rs
+
+crates/xtask/src/main.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/lint.rs:
+crates/xtask/src/panic_check.rs:

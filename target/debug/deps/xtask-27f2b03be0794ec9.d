@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/xtask-27f2b03be0794ec9.d: /root/repo/clippy.toml crates/xtask/src/main.rs crates/xtask/src/lexer.rs crates/xtask/src/lint.rs crates/xtask/src/panic_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-27f2b03be0794ec9.rmeta: /root/repo/clippy.toml crates/xtask/src/main.rs crates/xtask/src/lexer.rs crates/xtask/src/lint.rs crates/xtask/src/panic_check.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/xtask/src/main.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/lint.rs:
+crates/xtask/src/panic_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

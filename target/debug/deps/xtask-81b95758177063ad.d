@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xtask-81b95758177063ad.d: crates/xtask/src/main.rs crates/xtask/src/lexer.rs crates/xtask/src/lint.rs crates/xtask/src/panic_check.rs
+
+/root/repo/target/debug/deps/xtask-81b95758177063ad: crates/xtask/src/main.rs crates/xtask/src/lexer.rs crates/xtask/src/lint.rs crates/xtask/src/panic_check.rs
+
+crates/xtask/src/main.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/lint.rs:
+crates/xtask/src/panic_check.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xtask-93da9e4297b0d55b.d: crates/xtask/src/main.rs crates/xtask/src/lexer.rs crates/xtask/src/lint.rs crates/xtask/src/panic_check.rs
+
+/root/repo/target/debug/deps/libxtask-93da9e4297b0d55b.rmeta: crates/xtask/src/main.rs crates/xtask/src/lexer.rs crates/xtask/src/lint.rs crates/xtask/src/panic_check.rs
+
+crates/xtask/src/main.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/lint.rs:
+crates/xtask/src/panic_check.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/xtask-c7ded254800ac09b.d: crates/xtask/src/main.rs crates/xtask/src/lexer.rs crates/xtask/src/lint.rs crates/xtask/src/panic_check.rs
+
+/root/repo/target/debug/deps/libxtask-c7ded254800ac09b.rmeta: crates/xtask/src/main.rs crates/xtask/src/lexer.rs crates/xtask/src/lint.rs crates/xtask/src/panic_check.rs
+
+crates/xtask/src/main.rs:
+crates/xtask/src/lexer.rs:
+crates/xtask/src/lint.rs:
+crates/xtask/src/panic_check.rs:

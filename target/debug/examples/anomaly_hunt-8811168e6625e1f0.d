@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_hunt-8811168e6625e1f0.d: examples/anomaly_hunt.rs
+
+/root/repo/target/debug/examples/anomaly_hunt-8811168e6625e1f0: examples/anomaly_hunt.rs
+
+examples/anomaly_hunt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/anomaly_hunt-c44a9c3b735ab6b9.d: examples/anomaly_hunt.rs
+
+/root/repo/target/debug/examples/libanomaly_hunt-c44a9c3b735ab6b9.rmeta: examples/anomaly_hunt.rs
+
+examples/anomaly_hunt.rs:

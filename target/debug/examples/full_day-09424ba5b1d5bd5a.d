@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_day-09424ba5b1d5bd5a.d: examples/full_day.rs
+
+/root/repo/target/debug/examples/full_day-09424ba5b1d5bd5a: examples/full_day.rs
+
+examples/full_day.rs:

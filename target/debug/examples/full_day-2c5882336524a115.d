@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_day-2c5882336524a115.d: examples/full_day.rs
+
+/root/repo/target/debug/examples/libfull_day-2c5882336524a115.rmeta: examples/full_day.rs
+
+examples/full_day.rs:

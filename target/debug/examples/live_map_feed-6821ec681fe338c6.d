@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_map_feed-6821ec681fe338c6.d: examples/live_map_feed.rs
+
+/root/repo/target/debug/examples/liblive_map_feed-6821ec681fe338c6.rmeta: examples/live_map_feed.rs
+
+examples/live_map_feed.rs:

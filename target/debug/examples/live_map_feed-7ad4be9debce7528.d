@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_map_feed-7ad4be9debce7528.d: examples/live_map_feed.rs
+
+/root/repo/target/debug/examples/live_map_feed-7ad4be9debce7528: examples/live_map_feed.rs
+
+examples/live_map_feed.rs:

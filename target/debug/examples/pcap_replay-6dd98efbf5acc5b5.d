@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pcap_replay-6dd98efbf5acc5b5.d: examples/pcap_replay.rs
+
+/root/repo/target/debug/examples/libpcap_replay-6dd98efbf5acc5b5.rmeta: examples/pcap_replay.rs
+
+examples/pcap_replay.rs:

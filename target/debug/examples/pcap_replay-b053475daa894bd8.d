@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pcap_replay-b053475daa894bd8.d: examples/pcap_replay.rs
+
+/root/repo/target/debug/examples/pcap_replay-b053475daa894bd8: examples/pcap_replay.rs
+
+examples/pcap_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8bc18c90788c0b95.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8bc18c90788c0b95: examples/quickstart.rs
+
+examples/quickstart.rs:

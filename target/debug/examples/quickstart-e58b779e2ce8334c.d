@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e58b779e2ce8334c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-e58b779e2ce8334c.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_map-0f74bf3036770cfe.d: examples/serve_map.rs
+
+/root/repo/target/debug/examples/serve_map-0f74bf3036770cfe: examples/serve_map.rs
+
+examples/serve_map.rs:

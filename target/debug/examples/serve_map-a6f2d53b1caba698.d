@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_map-a6f2d53b1caba698.d: examples/serve_map.rs
+
+/root/repo/target/debug/examples/libserve_map-a6f2d53b1caba698.rmeta: examples/serve_map.rs
+
+examples/serve_map.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/syn_flood_drill-81da027dfc023618.d: examples/syn_flood_drill.rs
+
+/root/repo/target/debug/examples/libsyn_flood_drill-81da027dfc023618.rmeta: examples/syn_flood_drill.rs
+
+examples/syn_flood_drill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/syn_flood_drill-9bbbd6f06f4f6f81.d: examples/syn_flood_drill.rs
+
+/root/repo/target/debug/examples/syn_flood_drill-9bbbd6f06f4f6f81: examples/syn_flood_drill.rs
+
+examples/syn_flood_drill.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/xtask: /root/repo/crates/xtask/src/lexer.rs /root/repo/crates/xtask/src/lint.rs /root/repo/crates/xtask/src/main.rs /root/repo/crates/xtask/src/panic_check.rs

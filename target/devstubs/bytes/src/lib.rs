@@ -1,0 +1,467 @@
+//! Offline stand-in for the `bytes` crate: same API surface the workspace
+//! uses, same zero-copy `split()`/`freeze()` cost model (Arc refcount
+//! bump, no copy, no allocation in the steady state).
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+struct Block {
+    data: UnsafeCell<Box<[u8]>>,
+}
+
+// SAFETY: a Block is shared between exactly one writer (`BytesMut`, which
+// only ever writes at offsets >= its own `off + len` frontier) and any
+// number of readers (`Bytes`, which only read regions frozen before the
+// writer's frontier moved past them). Writes and reads never overlap.
+unsafe impl Send for Block {}
+unsafe impl Sync for Block {}
+
+impl Block {
+    fn with_capacity(cap: usize) -> Arc<Block> {
+        Arc::new(Block {
+            data: UnsafeCell::new(vec![0u8; cap].into_boxed_slice()),
+        })
+    }
+    fn cap(&self) -> usize {
+        unsafe {
+            let b: &Box<[u8]> = &*self.data.get();
+            b.len()
+        }
+    }
+    /// SAFETY: caller must guarantee [off, off+len) is initialized and no
+    /// writer is concurrently mutating that region.
+    unsafe fn slice(&self, off: usize, len: usize) -> &[u8] {
+        let b: &Box<[u8]> = &*self.data.get();
+        &b[off..off + len]
+    }
+    /// SAFETY: caller must be the unique writer for [off, off+len).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, off: usize, len: usize) -> &mut [u8] {
+        let b: &mut Box<[u8]> = &mut *self.data.get();
+        &mut b[off..off + len]
+    }
+}
+
+/// Cheaply cloneable, immutable byte buffer (refcounted view).
+pub struct Bytes {
+    repr: Repr,
+}
+
+enum Repr {
+    Static(&'static [u8]),
+    Shared { block: Arc<Block>, off: usize, len: usize },
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub const fn new() -> Bytes {
+        Bytes { repr: Repr::Static(&[]) }
+    }
+    /// Zero-cost view over a static slice.
+    pub const fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes { repr: Repr::Static(s) }
+    }
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end && end <= self.len());
+        match &self.repr {
+            Repr::Static(s) => Bytes { repr: Repr::Static(&s[start..end]) },
+            Repr::Shared { block, off, .. } => Bytes {
+                repr: Repr::Shared { block: Arc::clone(block), off: off + start, len: end - start },
+            },
+        }
+    }
+    fn as_slice(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Static(s) => s,
+            // SAFETY: the region was frozen out of a BytesMut whose write
+            // frontier is beyond it; nobody mutates it anymore.
+            Repr::Shared { block, off, len } => unsafe { block.slice(*off, *len) },
+        }
+    }
+}
+
+impl Clone for Bytes {
+    fn clone(&self) -> Bytes {
+        match &self.repr {
+            Repr::Static(s) => Bytes { repr: Repr::Static(s) },
+            Repr::Shared { block, off, len } => Bytes {
+                repr: Repr::Shared { block: Arc::clone(block), off: *off, len: *len },
+            },
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        let block = Arc::new(Block { data: UnsafeCell::new(v.into_boxed_slice()) });
+        Bytes { repr: Repr::Shared { block, off: 0, len } }
+    }
+}
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+impl From<BytesMut> for Bytes {
+    fn from(m: BytesMut) -> Bytes {
+        m.freeze()
+    }
+}
+impl FromIterator<u8> for Bytes {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Growable byte buffer; `split()` hands off the filled prefix as a
+/// refcounted view without copying.
+pub struct BytesMut {
+    block: Arc<Block>,
+    off: usize,
+    len: usize,
+}
+
+// SAFETY: single owner writes; frozen views only read disjoint regions.
+unsafe impl Send for BytesMut {}
+unsafe impl Sync for BytesMut {}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut { block: Block::with_capacity(0), off: 0, len: 0 }
+    }
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { block: Block::with_capacity(cap), off: 0, len: 0 }
+    }
+    pub fn len(&self) -> usize {
+        self.len
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+    /// Total bytes this handle can hold without reallocating (filled +
+    /// remaining room in its region of the block).
+    pub fn capacity(&self) -> usize {
+        self.block.cap() - self.off
+    }
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+    pub fn truncate(&mut self, n: usize) {
+        if n < self.len {
+            self.len = n;
+        }
+    }
+    pub fn reserve(&mut self, additional: usize) {
+        if self.len + additional <= self.capacity() {
+            return;
+        }
+        let want = (self.len + additional).next_power_of_two().max(64);
+        let block = Block::with_capacity(want);
+        // SAFETY: fresh block is uniquely ours; source region is ours.
+        unsafe {
+            block.slice_mut(0, self.len).copy_from_slice(self.block.slice(self.off, self.len));
+        }
+        self.block = block;
+        self.off = 0;
+    }
+    /// Split off the filled prefix as an independent `BytesMut` sharing the
+    /// same allocation; `self` keeps the unfilled tail capacity.
+    pub fn split(&mut self) -> BytesMut {
+        let head = BytesMut { block: Arc::clone(&self.block), off: self.off, len: self.len };
+        self.off += self.len;
+        self.len = 0;
+        head
+    }
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len);
+        let head = BytesMut { block: Arc::clone(&self.block), off: self.off, len: at };
+        self.off += at;
+        self.len -= at;
+        head
+    }
+    pub fn freeze(self) -> Bytes {
+        Bytes { repr: Repr::Shared { block: self.block, off: self.off, len: self.len } }
+    }
+    pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.put_slice(s);
+    }
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: [off, off+len) is ours and initialized.
+        unsafe { self.block.slice(self.off, self.len) }
+    }
+    fn as_slice_mut(&mut self) -> &mut [u8] {
+        // SAFETY: unique writer over [off, off+len).
+        unsafe { self.block.slice_mut(self.off, self.len) }
+    }
+    fn write(&mut self, s: &[u8]) {
+        if self.len + s.len() > self.capacity() {
+            self.reserve(s.len());
+        }
+        // SAFETY: room guaranteed above; region beyond len is ours alone.
+        unsafe {
+            self.block.slice_mut(self.off + self.len, s.len()).copy_from_slice(s);
+        }
+        self.len += s.len();
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> BytesMut {
+        BytesMut::new()
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.as_slice_mut()
+    }
+}
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:?})", self.as_slice())
+    }
+}
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &BytesMut) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for BytesMut {}
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        let mut m = BytesMut::with_capacity(s.len());
+        m.put_slice(s);
+        m
+    }
+}
+
+/// Write-side trait (the subset the workspace uses).
+pub trait BufMut {
+    fn put_slice(&mut self, s: &[u8]);
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u128_le(&mut self, v: u128) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.write(s);
+    }
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        if self.len + cnt > self.capacity() {
+            self.reserve(cnt);
+        }
+        // SAFETY: room guaranteed above; region beyond len is ours alone.
+        unsafe {
+            self.block.slice_mut(self.off + self.len, cnt).fill(val);
+        }
+        self.len += cnt;
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_freeze_shares_allocation() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_u8(1);
+        m.put_u16_le(0x0302);
+        let a = m.split().freeze();
+        assert_eq!(&a[..], &[1, 2, 3]);
+        m.put_slice(b"xy");
+        let b = m.split().freeze();
+        assert_eq!(&b[..], b"xy");
+        assert_eq!(&a[..], &[1, 2, 3]);
+        assert_eq!(m.capacity(), 64 - 5);
+    }
+
+    #[test]
+    fn reserve_grows_and_preserves() {
+        let mut m = BytesMut::new();
+        m.put_slice(b"hello");
+        m.reserve(1000);
+        assert!(m.capacity() >= 1005);
+        assert_eq!(&m[..], b"hello");
+    }
+
+    #[test]
+    fn static_and_vec_roundtrip() {
+        let s = Bytes::from_static(b"latency");
+        assert_eq!(s, *b"latency");
+        let v = Bytes::from(vec![9u8, 8, 7]);
+        assert_eq!(v.to_vec(), vec![9, 8, 7]);
+        assert_eq!(v.slice(1..3).to_vec(), vec![8, 7]);
+    }
+}

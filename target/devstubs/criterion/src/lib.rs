@@ -1,0 +1,260 @@
+//! Offline stand-in for `criterion`: runs benches with a short
+//! warmup/measure cycle, prints mean ns/iter, and writes
+//! `target/criterion/<group>/<id>/new/estimates.json` so downstream
+//! freshness gates see the same artifact layout the real harness leaves.
+
+use std::fmt::Display;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { measurement: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = clamp(d);
+        self
+    }
+    pub fn warm_up_time(self, _d: Duration) -> Criterion {
+        self
+    }
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement = self.measurement;
+        BenchmarkGroup { _parent: self, name: name.into(), measurement }
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Criterion {
+        run_one("standalone", &id.into_id(), self.measurement, &mut f);
+        self
+    }
+    pub fn final_summary(&self) {}
+}
+
+/// The stub keeps every bench short regardless of requested budget; the
+/// real harness honors it in CI.
+fn clamp(d: Duration) -> Duration {
+    d.min(Duration::from_millis(500))
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = clamp(d);
+        self
+    }
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into_id(), self.measurement, &mut f);
+        self
+    }
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into_id(), self.measurement, &mut |b| f(b, input));
+        self
+    }
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, budget: Duration, f: &mut F) {
+    let mut bencher = Bencher { total: Duration::ZERO, iters: 0, budget };
+    // Warmup pass.
+    f(&mut bencher);
+    bencher.total = Duration::ZERO;
+    bencher.iters = 0;
+    f(&mut bencher);
+    let mean_ns = if bencher.iters == 0 {
+        0.0
+    } else {
+        bencher.total.as_nanos() as f64 / bencher.iters as f64
+    };
+    println!("{group}/{id}: {mean_ns:.1} ns/iter ({} iters)", bencher.iters);
+    write_estimates(group, id, mean_ns);
+}
+
+fn write_estimates(group: &str, id: &str, mean_ns: f64) {
+    let sanitize = |s: &str| -> String {
+        s.chars()
+            .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' || c == '.' { c } else { '_' })
+            .collect()
+    };
+    let mut dir = PathBuf::from("target/criterion");
+    dir.push(sanitize(group));
+    for part in id.split('/') {
+        dir.push(sanitize(part));
+    }
+    dir.push("new");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let body = format!(
+        "{{\"mean\":{{\"point_estimate\":{mean_ns}}},\"median\":{{\"point_estimate\":{mean_ns}}}}}"
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), body);
+}
+
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut batch = 1u64;
+        while self.total < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total += start.elapsed();
+            self.iters += batch;
+            batch = (batch * 2).min(1 << 16);
+        }
+    }
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        while self.total < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        let mut batch = 1u64;
+        while self.total < self.budget {
+            self.total += routine(batch);
+            self.iters += batch;
+            batch = (batch * 2).min(1 << 16);
+        }
+    }
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, F: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        while self.total < self.budget {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-2869ac00e2616961.d: target/devstubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-2869ac00e2616961.rlib: target/devstubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-2869ac00e2616961.rmeta: target/devstubs/bytes/src/lib.rs
+
+target/devstubs/bytes/src/lib.rs:

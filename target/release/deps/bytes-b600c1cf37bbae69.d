@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-b600c1cf37bbae69.d: target/devstubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-b600c1cf37bbae69.rlib: target/devstubs/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-b600c1cf37bbae69.rmeta: target/devstubs/bytes/src/lib.rs
+
+target/devstubs/bytes/src/lib.rs:

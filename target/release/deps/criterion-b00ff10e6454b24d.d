@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b00ff10e6454b24d.d: target/devstubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b00ff10e6454b24d.rlib: target/devstubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b00ff10e6454b24d.rmeta: target/devstubs/criterion/src/lib.rs
+
+target/devstubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-be7ae17cebbd0067.d: target/devstubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-be7ae17cebbd0067.rlib: target/devstubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-be7ae17cebbd0067.rmeta: target/devstubs/criterion/src/lib.rs
+
+target/devstubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-23aa65e81c9b8a34.d: target/devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-23aa65e81c9b8a34.rlib: target/devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-23aa65e81c9b8a34.rmeta: target/devstubs/crossbeam/src/lib.rs
+
+target/devstubs/crossbeam/src/lib.rs:

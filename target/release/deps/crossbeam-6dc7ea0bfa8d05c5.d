@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-6dc7ea0bfa8d05c5.d: target/devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-6dc7ea0bfa8d05c5.rlib: target/devstubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-6dc7ea0bfa8d05c5.rmeta: target/devstubs/crossbeam/src/lib.rs
+
+target/devstubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e10_scaling-bdaccf6e6cc4febb.d: crates/bench/benches/e10_scaling.rs
+
+/root/repo/target/release/deps/e10_scaling-bdaccf6e6cc4febb: crates/bench/benches/e10_scaling.rs
+
+crates/bench/benches/e10_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flow_table_report-97daa10947b8e5ba.d: crates/bench/src/bin/flow_table_report.rs
+
+/root/repo/target/release/deps/flow_table_report-97daa10947b8e5ba: crates/bench/src/bin/flow_table_report.rs
+
+crates/bench/src/bin/flow_table_report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-2c10c903da9145c6.d: target/devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2c10c903da9145c6.rlib: target/devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2c10c903da9145c6.rmeta: target/devstubs/parking_lot/src/lib.rs
+
+target/devstubs/parking_lot/src/lib.rs:

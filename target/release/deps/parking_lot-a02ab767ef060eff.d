@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-a02ab767ef060eff.d: target/devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-a02ab767ef060eff.rlib: target/devstubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-a02ab767ef060eff.rmeta: target/devstubs/parking_lot/src/lib.rs
+
+target/devstubs/parking_lot/src/lib.rs:

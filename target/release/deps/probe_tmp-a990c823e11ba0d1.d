@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_tmp-a990c823e11ba0d1.d: crates/bench/src/bin/probe_tmp.rs
+
+/root/repo/target/release/deps/probe_tmp-a990c823e11ba0d1: crates/bench/src/bin/probe_tmp.rs
+
+crates/bench/src/bin/probe_tmp.rs:

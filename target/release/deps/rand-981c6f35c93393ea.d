@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-981c6f35c93393ea.d: target/devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-981c6f35c93393ea.rlib: target/devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-981c6f35c93393ea.rmeta: target/devstubs/rand/src/lib.rs
+
+target/devstubs/rand/src/lib.rs:

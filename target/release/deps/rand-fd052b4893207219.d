@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-fd052b4893207219.d: target/devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fd052b4893207219.rlib: target/devstubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fd052b4893207219.rmeta: target/devstubs/rand/src/lib.rs
+
+target/devstubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ruru-9e5dee084e5d582f.d: src/lib.rs
+
+/root/repo/target/release/deps/libruru-9e5dee084e5d582f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libruru-9e5dee084e5d582f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ruru_analytics-47af26a65b8e43bb.d: crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs
+
+/root/repo/target/release/deps/libruru_analytics-47af26a65b8e43bb.rlib: crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs
+
+/root/repo/target/release/deps/libruru_analytics-47af26a65b8e43bb.rmeta: crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/aggregate.rs:
+crates/analytics/src/alert.rs:
+crates/analytics/src/detect.rs:
+crates/analytics/src/enrich.rs:
+crates/analytics/src/filter.rs:
+crates/analytics/src/intern.rs:
+crates/analytics/src/workers.rs:

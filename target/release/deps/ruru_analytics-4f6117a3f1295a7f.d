@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ruru_analytics-4f6117a3f1295a7f.d: crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs
+
+/root/repo/target/release/deps/libruru_analytics-4f6117a3f1295a7f.rlib: crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs
+
+/root/repo/target/release/deps/libruru_analytics-4f6117a3f1295a7f.rmeta: crates/analytics/src/lib.rs crates/analytics/src/aggregate.rs crates/analytics/src/alert.rs crates/analytics/src/detect.rs crates/analytics/src/enrich.rs crates/analytics/src/filter.rs crates/analytics/src/intern.rs crates/analytics/src/workers.rs
+
+crates/analytics/src/lib.rs:
+crates/analytics/src/aggregate.rs:
+crates/analytics/src/alert.rs:
+crates/analytics/src/detect.rs:
+crates/analytics/src/enrich.rs:
+crates/analytics/src/filter.rs:
+crates/analytics/src/intern.rs:
+crates/analytics/src/workers.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ruru_bench-3a1390456a08879e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libruru_bench-3a1390456a08879e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libruru_bench-3a1390456a08879e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

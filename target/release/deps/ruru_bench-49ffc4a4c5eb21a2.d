@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ruru_bench-49ffc4a4c5eb21a2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libruru_bench-49ffc4a4c5eb21a2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libruru_bench-49ffc4a4c5eb21a2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ruru_gen-4ec446f9015d7576.d: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+/root/repo/target/release/deps/libruru_gen-4ec446f9015d7576.rlib: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+/root/repo/target/release/deps/libruru_gen-4ec446f9015d7576.rmeta: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/anomaly.rs:
+crates/gen/src/generator.rs:
+crates/gen/src/model.rs:
+crates/gen/src/packet.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ruru_gen-d256c514cf2def18.d: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+/root/repo/target/release/deps/libruru_gen-d256c514cf2def18.rlib: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+/root/repo/target/release/deps/libruru_gen-d256c514cf2def18.rmeta: crates/gen/src/lib.rs crates/gen/src/anomaly.rs crates/gen/src/generator.rs crates/gen/src/model.rs crates/gen/src/packet.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/anomaly.rs:
+crates/gen/src/generator.rs:
+crates/gen/src/model.rs:
+crates/gen/src/packet.rs:

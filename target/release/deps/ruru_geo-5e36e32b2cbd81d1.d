@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ruru_geo-5e36e32b2cbd81d1.d: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+/root/repo/target/release/deps/libruru_geo-5e36e32b2cbd81d1.rlib: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+/root/repo/target/release/deps/libruru_geo-5e36e32b2cbd81d1.rmeta: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/cache.rs:
+crates/geo/src/db.rs:
+crates/geo/src/synth.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ruru_geo-9495f3833d78fe0d.d: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+/root/repo/target/release/deps/libruru_geo-9495f3833d78fe0d.rlib: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+/root/repo/target/release/deps/libruru_geo-9495f3833d78fe0d.rmeta: crates/geo/src/lib.rs crates/geo/src/cache.rs crates/geo/src/db.rs crates/geo/src/synth.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/cache.rs:
+crates/geo/src/db.rs:
+crates/geo/src/synth.rs:

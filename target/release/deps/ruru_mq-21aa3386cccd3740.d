@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ruru_mq-21aa3386cccd3740.d: crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs
+
+/root/repo/target/release/deps/libruru_mq-21aa3386cccd3740.rlib: crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs
+
+/root/repo/target/release/deps/libruru_mq-21aa3386cccd3740.rmeta: crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs
+
+crates/mq/src/lib.rs:
+crates/mq/src/chan.rs:
+crates/mq/src/message.rs:
+crates/mq/src/pubsub.rs:
+crates/mq/src/pushpull.rs:
+crates/mq/src/sync.rs:
+crates/mq/src/tcp.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ruru_mq-23f7aef46ce92cf9.d: crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs
+
+/root/repo/target/release/deps/libruru_mq-23f7aef46ce92cf9.rlib: crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs
+
+/root/repo/target/release/deps/libruru_mq-23f7aef46ce92cf9.rmeta: crates/mq/src/lib.rs crates/mq/src/chan.rs crates/mq/src/message.rs crates/mq/src/pubsub.rs crates/mq/src/pushpull.rs crates/mq/src/sync.rs crates/mq/src/tcp.rs
+
+crates/mq/src/lib.rs:
+crates/mq/src/chan.rs:
+crates/mq/src/message.rs:
+crates/mq/src/pubsub.rs:
+crates/mq/src/pushpull.rs:
+crates/mq/src/sync.rs:
+crates/mq/src/tcp.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ruru_nic-fd0b0e313e38f1b5.d: crates/nic/src/lib.rs crates/nic/src/backoff.rs crates/nic/src/clock.rs crates/nic/src/fault.rs crates/nic/src/lcore.rs crates/nic/src/mbuf.rs crates/nic/src/port.rs crates/nic/src/queue.rs crates/nic/src/ring.rs crates/nic/src/rss.rs crates/nic/src/shaper.rs crates/nic/src/sync.rs
+
+/root/repo/target/release/deps/libruru_nic-fd0b0e313e38f1b5.rlib: crates/nic/src/lib.rs crates/nic/src/backoff.rs crates/nic/src/clock.rs crates/nic/src/fault.rs crates/nic/src/lcore.rs crates/nic/src/mbuf.rs crates/nic/src/port.rs crates/nic/src/queue.rs crates/nic/src/ring.rs crates/nic/src/rss.rs crates/nic/src/shaper.rs crates/nic/src/sync.rs
+
+/root/repo/target/release/deps/libruru_nic-fd0b0e313e38f1b5.rmeta: crates/nic/src/lib.rs crates/nic/src/backoff.rs crates/nic/src/clock.rs crates/nic/src/fault.rs crates/nic/src/lcore.rs crates/nic/src/mbuf.rs crates/nic/src/port.rs crates/nic/src/queue.rs crates/nic/src/ring.rs crates/nic/src/rss.rs crates/nic/src/shaper.rs crates/nic/src/sync.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/backoff.rs:
+crates/nic/src/clock.rs:
+crates/nic/src/fault.rs:
+crates/nic/src/lcore.rs:
+crates/nic/src/mbuf.rs:
+crates/nic/src/port.rs:
+crates/nic/src/queue.rs:
+crates/nic/src/ring.rs:
+crates/nic/src/rss.rs:
+crates/nic/src/shaper.rs:
+crates/nic/src/sync.rs:

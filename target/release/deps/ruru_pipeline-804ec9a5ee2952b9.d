@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ruru_pipeline-804ec9a5ee2952b9.d: crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs
+
+/root/repo/target/release/deps/libruru_pipeline-804ec9a5ee2952b9.rlib: crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs
+
+/root/repo/target/release/deps/libruru_pipeline-804ec9a5ee2952b9.rmeta: crates/pipeline/src/lib.rs crates/pipeline/src/engine.rs crates/pipeline/src/snmp.rs crates/pipeline/src/telemetry.rs
+
+crates/pipeline/src/lib.rs:
+crates/pipeline/src/engine.rs:
+crates/pipeline/src/snmp.rs:
+crates/pipeline/src/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ruru_sim-92626f120911eda1.d: crates/pipeline/src/bin/ruru-sim.rs
+
+/root/repo/target/release/deps/ruru_sim-92626f120911eda1: crates/pipeline/src/bin/ruru-sim.rs
+
+crates/pipeline/src/bin/ruru-sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ruru_telemetry-6e026148757d94bd.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+/root/repo/target/release/deps/libruru_telemetry-6e026148757d94bd.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+/root/repo/target/release/deps/libruru_telemetry-6e026148757d94bd.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/sync.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ruru_telemetry-ffdc15b376e1a4dc.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+/root/repo/target/release/deps/libruru_telemetry-ffdc15b376e1a4dc.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+/root/repo/target/release/deps/libruru_telemetry-ffdc15b376e1a4dc.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/sync.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/sync.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ruru_tsdb-9d8d7ae4120b8b82.d: crates/tsdb/src/lib.rs crates/tsdb/src/agg.rs crates/tsdb/src/line.rs crates/tsdb/src/point.rs crates/tsdb/src/sharded.rs crates/tsdb/src/snapshot.rs crates/tsdb/src/store.rs
+
+/root/repo/target/release/deps/libruru_tsdb-9d8d7ae4120b8b82.rlib: crates/tsdb/src/lib.rs crates/tsdb/src/agg.rs crates/tsdb/src/line.rs crates/tsdb/src/point.rs crates/tsdb/src/sharded.rs crates/tsdb/src/snapshot.rs crates/tsdb/src/store.rs
+
+/root/repo/target/release/deps/libruru_tsdb-9d8d7ae4120b8b82.rmeta: crates/tsdb/src/lib.rs crates/tsdb/src/agg.rs crates/tsdb/src/line.rs crates/tsdb/src/point.rs crates/tsdb/src/sharded.rs crates/tsdb/src/snapshot.rs crates/tsdb/src/store.rs
+
+crates/tsdb/src/lib.rs:
+crates/tsdb/src/agg.rs:
+crates/tsdb/src/line.rs:
+crates/tsdb/src/point.rs:
+crates/tsdb/src/sharded.rs:
+crates/tsdb/src/snapshot.rs:
+crates/tsdb/src/store.rs:

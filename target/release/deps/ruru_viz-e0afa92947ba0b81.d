@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ruru_viz-e0afa92947ba0b81.d: crates/viz/src/lib.rs crates/viz/src/arc.rs crates/viz/src/color.rs crates/viz/src/dashboard.rs crates/viz/src/frame.rs crates/viz/src/json.rs crates/viz/src/panel.rs crates/viz/src/ws.rs
+
+/root/repo/target/release/deps/libruru_viz-e0afa92947ba0b81.rlib: crates/viz/src/lib.rs crates/viz/src/arc.rs crates/viz/src/color.rs crates/viz/src/dashboard.rs crates/viz/src/frame.rs crates/viz/src/json.rs crates/viz/src/panel.rs crates/viz/src/ws.rs
+
+/root/repo/target/release/deps/libruru_viz-e0afa92947ba0b81.rmeta: crates/viz/src/lib.rs crates/viz/src/arc.rs crates/viz/src/color.rs crates/viz/src/dashboard.rs crates/viz/src/frame.rs crates/viz/src/json.rs crates/viz/src/panel.rs crates/viz/src/ws.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/arc.rs:
+crates/viz/src/color.rs:
+crates/viz/src/dashboard.rs:
+crates/viz/src/frame.rs:
+crates/viz/src/json.rs:
+crates/viz/src/panel.rs:
+crates/viz/src/ws.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ruru_wire-1b69a25fb63756e0.d: crates/wire/src/lib.rs crates/wire/src/checksum.rs crates/wire/src/ethernet.rs crates/wire/src/ipv4.rs crates/wire/src/ipv6.rs crates/wire/src/pcap.rs crates/wire/src/tcp.rs crates/wire/src/error.rs crates/wire/src/field.rs
+
+/root/repo/target/release/deps/libruru_wire-1b69a25fb63756e0.rlib: crates/wire/src/lib.rs crates/wire/src/checksum.rs crates/wire/src/ethernet.rs crates/wire/src/ipv4.rs crates/wire/src/ipv6.rs crates/wire/src/pcap.rs crates/wire/src/tcp.rs crates/wire/src/error.rs crates/wire/src/field.rs
+
+/root/repo/target/release/deps/libruru_wire-1b69a25fb63756e0.rmeta: crates/wire/src/lib.rs crates/wire/src/checksum.rs crates/wire/src/ethernet.rs crates/wire/src/ipv4.rs crates/wire/src/ipv6.rs crates/wire/src/pcap.rs crates/wire/src/tcp.rs crates/wire/src/error.rs crates/wire/src/field.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/checksum.rs:
+crates/wire/src/ethernet.rs:
+crates/wire/src/ipv4.rs:
+crates/wire/src/ipv6.rs:
+crates/wire/src/pcap.rs:
+crates/wire/src/tcp.rs:
+crates/wire/src/error.rs:
+crates/wire/src/field.rs:

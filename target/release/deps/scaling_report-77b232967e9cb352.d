@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling_report-77b232967e9cb352.d: crates/bench/src/bin/scaling_report.rs
+
+/root/repo/target/release/deps/scaling_report-77b232967e9cb352: crates/bench/src/bin/scaling_report.rs
+
+crates/bench/src/bin/scaling_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling_report-d52b3e1c9ab62890.d: crates/bench/src/bin/scaling_report.rs
+
+/root/repo/target/release/deps/scaling_report-d52b3e1c9ab62890: crates/bench/src/bin/scaling_report.rs
+
+crates/bench/src/bin/scaling_report.rs:
