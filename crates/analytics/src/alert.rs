@@ -101,6 +101,8 @@ impl AlertSink {
 
 #[cfg(test)]
 mod tests {
+    // Display/ToString in assertions is fine; the ban targets hot paths.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn alert(kind: &str, at_ms: u64) -> Alert {

@@ -84,6 +84,7 @@ impl LatencySpikeDetector {
     /// Anomalous samples are *not* added to the baseline window, so a
     /// sustained incident keeps alerting instead of poisoning its own
     /// baseline.
+    #[allow(clippy::disallowed_methods)] // sanctioned: string-keyed compat entry; hot callers use observe_id
     pub fn observe(&mut self, key: &str, value_ns: u64, at: Timestamp) -> Option<Alert> {
         let id = match self.ids.get(key) {
             Some(&id) => id,
@@ -100,6 +101,7 @@ impl LatencySpikeDetector {
     /// come from one dense id namespace (it indexes per-key state
     /// directly); `name` is only used in alert text, so it is never copied
     /// on the no-alert path.
+    #[allow(clippy::disallowed_methods)] // sanctioned: name copied only when an alert fires
     pub fn observe_id(
         &mut self,
         id: u32,
@@ -231,6 +233,7 @@ impl EwmaDetector {
     }
 
     /// Observe one sample; returns an alert when it exceeds the EWMA band.
+    #[allow(clippy::disallowed_methods)] // sanctioned: string-keyed compat entry; hot callers intern
     pub fn observe(&mut self, key: &str, value_ns: u64, at: Timestamp) -> Option<Alert> {
         let v = value_ns as f64;
         let state = self.keys.entry(key.to_string()).or_insert(EwmaState {
@@ -438,6 +441,7 @@ impl RateAnomalyDetector {
     }
 
     /// Record one new connection between `pair` at `at`.
+    #[allow(clippy::disallowed_methods)] // sanctioned: string-keyed compat entry; hot callers use observe_id
     pub fn observe(&mut self, pair: &str, at: Timestamp) -> Option<Alert> {
         let id = match self.ids.get(pair) {
             Some(&id) => id,
@@ -452,6 +456,7 @@ impl RateAnomalyDetector {
 
     /// [`RateAnomalyDetector::observe`] for pre-interned pairs: `id` must
     /// come from one dense id namespace; `name` is only used in alert text.
+    #[allow(clippy::disallowed_methods)] // sanctioned: name copied only when an alert fires
     pub fn observe_id(&mut self, id: u32, name: &str, at: Timestamp) -> Option<Alert> {
         let idx_slot = id as usize;
         if idx_slot >= self.pairs.len() {

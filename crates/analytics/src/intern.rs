@@ -26,6 +26,7 @@ impl Interner {
 
     /// The id for `name`, allocating the next dense id (and the one owned
     /// copy of the string) on first sight.
+    #[allow(clippy::disallowed_methods)] // sanctioned: the interner owns the one copy of each name
     pub fn intern(&mut self, name: &str) -> u32 {
         if let Some(&id) = self.ids.get(name) {
             return id;

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 /// The detector-feed burst size (mirrors the pipeline's `BURST_SIZE`).
 const BURST: usize = 32;
 
+#[allow(clippy::disallowed_methods)] // sanctioned: bench setup
 fn sample_enriched() -> EnrichedMeasurement {
     EnrichedMeasurement {
         src: EndpointInfo {

@@ -83,6 +83,8 @@ impl<K: Eq + Hash + Copy, V> ExpiringTable<K, V> {
         // One entry-API probe doubles as the duplicate check and the
         // placement (the old code paid contains_key + insert, plus a
         // key.clone(); keys are Copy now).
+        // alloc-ok: bounded table — eviction keeps len <= cap, so the map
+        // grows to cap once and then recycles its storage.
         match self.map.entry(key) {
             MapEntry::Occupied(_) => return InsertOutcome::AlreadyPresent,
             MapEntry::Vacant(v) => {
@@ -94,6 +96,8 @@ impl<K: Eq + Hash + Copy, V> ExpiringTable<K, V> {
             }
         }
         self.next_generation += 1;
+        // alloc-ok: fifo mirrors the bounded map — reaches cap once, then
+        // pop_front/push_back reuse the ring's storage.
         self.fifo.push_back((key, now, generation));
         // Evict after the insert instead of before: same observable
         // semantics (an eviction happens iff the table was full and the key

@@ -231,6 +231,8 @@ impl HandshakeTracker {
         // bucket.
         let mut staged = core::mem::take(&mut self.burst_scratch);
         staged.clear();
+        // alloc-ok: burst_scratch is reused across bursts; reserve is a
+        // no-op once it has grown to the largest burst seen.
         staged.reserve(metas.len());
         for meta in metas {
             let (key, _) = FlowKey::from_tuple(meta.src, meta.dst, meta.src_port, meta.dst_port);

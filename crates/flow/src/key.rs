@@ -111,6 +111,8 @@ impl core::fmt::Display for FlowKey {
 
 #[cfg(test)]
 mod tests {
+    // Display/ToString in assertions is fine; the ban targets hot paths.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use ruru_wire::ipv4;
 

@@ -72,6 +72,8 @@ impl LatencyMeasurement {
         ENCODE_SCRATCH.with(|cell| {
             let mut buf = cell.borrow_mut();
             if buf.capacity() < WIRE_LEN {
+                // alloc-ok: amortized — one backing block per
+                // SCRATCH_CHUNK/WIRE_LEN records, sliced zero-copy below.
                 buf.reserve(SCRATCH_CHUNK);
             }
             self.encode_into(&mut buf);
@@ -84,6 +86,8 @@ impl LatencyMeasurement {
     /// with `split().freeze()` this gives an allocation-free encode path.
     pub fn encode_into(&self, buf: &mut BytesMut) {
         let start = buf.len();
+        // alloc-ok: no-op whenever the caller pre-sizes the scratch block
+        // (the documented contract above); allocates only on a cold buffer.
         buf.reserve(WIRE_LEN);
         buf.put_u8(VERSION);
         buf.put_u8(if self.src.is_v4() { 4 } else { 6 });
@@ -155,6 +159,8 @@ impl core::fmt::Display for LatencyMeasurement {
 
 #[cfg(test)]
 mod tests {
+    // Display/ToString in assertions is fine; the ban targets hot paths.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn sample_v4() -> LatencyMeasurement {

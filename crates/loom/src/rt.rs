@@ -563,6 +563,7 @@ fn run_thread(rt: Arc<RtShared>, tid: usize, body: Box<dyn FnOnce() + Send>) {
     }));
 }
 
+#[allow(clippy::disallowed_methods)] // sanctioned: test-harness failure reporting
 fn describe_panic(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()

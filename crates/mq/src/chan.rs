@@ -130,6 +130,8 @@ impl<T> Sender<T> {
                 return Err(SendError(value));
             }
             if inner.queue.len() < inner.cap {
+                // alloc-ok: len < cap checked above — the VecDeque grows to
+                // the channel bound once, then push/pop reuse its ring.
                 inner.queue.push_back(value);
                 drop(inner);
                 self.chan.not_empty.notify_one();
@@ -152,6 +154,8 @@ impl<T> Sender<T> {
         if inner.queue.len() >= inner.cap {
             return Err(TrySendError::Full(value));
         }
+        // alloc-ok: len < cap checked above — the VecDeque grows to the
+        // channel bound once, then push/pop reuse its ring.
         inner.queue.push_back(value);
         drop(inner);
         self.chan.not_empty.notify_one();

@@ -80,6 +80,8 @@ impl Publisher {
             if !msg.matches(&sub.prefix) {
                 continue;
             }
+            // alloc-ok: Message holds Bytes — clone is two refcount bumps,
+            // no payload copy.
             match sub.sender.try_send(msg.clone()) {
                 Ok(()) => delivered += 1,
                 Err(TrySendError::Full(_)) => {

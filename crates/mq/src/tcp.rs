@@ -80,6 +80,8 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Message>> {
             "topic too large",
         ));
     }
+    // alloc-ok: subscriber-side frame decode on the cross-process TCP
+    // boundary; one buffer per received frame, off the capture path.
     let mut topic = vec![0u8; topic_len];
     stream.read_exact(&mut topic)?;
     stream.read_exact(&mut len_buf)?;
@@ -90,6 +92,7 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Message>> {
             "payload too large",
         ));
     }
+    // alloc-ok: subscriber-side frame decode, as above.
     let mut payload = vec![0u8; payload_len];
     stream.read_exact(&mut payload)?;
     Ok(Some(Message {
@@ -326,6 +329,9 @@ impl TcpPublisher {
         let mut queued = 0usize;
         peers.retain_mut(|peer| {
             let matches = msg.matches(&peer.prefix);
+            // lock-ok: enqueue's backlog is bounded by PEER_BUFFER_CAP
+            // (whole frames dropped past it) and the peer lock is only
+            // shared with the nonblocking accept/flush side.
             if matches && peer.enqueue(&frame) {
                 queued = queued.saturating_add(1);
             } else if matches {

@@ -175,6 +175,8 @@ impl core::fmt::Debug for Clock {
 
 #[cfg(test)]
 mod tests {
+    // Display/ToString in assertions is fine; the ban targets hot paths.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

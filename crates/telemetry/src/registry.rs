@@ -327,6 +327,8 @@ impl Registry {
     /// virtual-clock reading, never wall time.
     pub fn snapshot_into(&self, timestamp_ns: u64, snap: &mut Snapshot, scratch: &mut Vec<u64>) {
         scratch.clear();
+        // alloc-ok: fixed shape — allocates on the caller's first snapshot,
+        // then every later resize reuses the same backing storage.
         scratch.resize(self.cells_per_shard, 0);
         snap.reset(self, timestamp_ns);
         for shard in self.shards.iter() {
@@ -422,14 +424,18 @@ impl Snapshot {
     fn reset(&mut self, registry: &Registry, timestamp_ns: u64) {
         self.timestamp_ns = timestamp_ns;
         self.skipped_shards = 0;
+        // alloc-ok: fixed schema shape — grows on the first reset against a
+        // registry, then reuses storage (the doc contract above).
         self.counters.resize(registry.counter_names.len(), ("", 0));
         for (slot, &name) in self.counters.iter_mut().zip(registry.counter_names.iter()) {
             *slot = (name, 0);
         }
+        // alloc-ok: fixed schema shape, as the counters above.
         self.gauges.resize(registry.gauge_names.len(), ("", 0));
         for (slot, &name) in self.gauges.iter_mut().zip(registry.gauge_names.iter()) {
             *slot = (name, 0);
         }
+        // alloc-ok: fixed schema shape, as the counters above.
         self.hists.resize(registry.hists.len(), HistSnap::default());
         for (idx, slot) in self.hists.iter_mut().enumerate() {
             let (name, precision) = registry.hists.get(idx).copied().unwrap_or(("", 0));
@@ -441,6 +447,8 @@ impl Snapshot {
             slot.min = u64::MAX;
             slot.max = 0;
             slot.buckets.clear();
+            // alloc-ok: fixed per-histogram bucket count — storage reused
+            // after the first reset.
             slot.buckets.resize(buckets, 0);
         }
     }
@@ -508,6 +516,7 @@ impl Snapshot {
     /// Render the snapshot as `ruru_self` points: one point per counter
     /// and gauge (`metric=<name>` tag, `value` field) and one per
     /// histogram (`count/sum/min/max/mean/p50/p95/p99` fields).
+    #[allow(clippy::disallowed_methods)] // sanctioned: control-plane export builds owned tag strings per snapshot
     pub fn to_points(&self) -> Vec<Point> {
         let mut points = Vec::with_capacity(
             self.counters.len() + self.gauges.len() + self.hists.len() + 1,
@@ -542,6 +551,7 @@ impl Snapshot {
         points
     }
 
+    #[allow(clippy::disallowed_methods)] // sanctioned: control-plane export builds owned tag strings per snapshot
     fn scalar_point(&self, name: &str, kind: &str, value: u64) -> Point {
         Point::new(
             "ruru_self",

@@ -37,6 +37,7 @@ fn escape(s: &str, out: &mut String) {
 }
 
 /// Encode a point as one protocol line.
+#[allow(clippy::disallowed_methods)] // sanctioned: the line protocol is text by definition
 pub fn encode(p: &Point) -> String {
     let mut out = String::new();
     escape(&p.measurement, &mut out);
@@ -81,6 +82,7 @@ fn split_unescaped(s: &str, sep: char) -> Vec<String> {
 }
 
 /// Parse one protocol line into a [`Point`].
+#[allow(clippy::disallowed_methods)] // sanctioned: the line protocol is text by definition
 pub fn parse(line: &str) -> Result<Point, LineError> {
     // Section split must respect escapes but NOT unescape yet (tag/field
     // parsing needs the escapes intact). Do a manual scan.

@@ -68,6 +68,8 @@ impl Point {
 
 #[cfg(test)]
 mod tests {
+    // Display/ToString in assertions is fine; the ban targets hot paths.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn tags(pairs: &[(&str, &str)]) -> Vec<(String, String)> {

@@ -33,6 +33,7 @@ pub(crate) struct ShardSeries {
 }
 
 impl ShardSeries {
+    #[allow(clippy::disallowed_methods)] // sanctioned: owned field key on first sight only; repeats hit the map
     fn insert(&mut self, field: &str, ts: u64, value: f64) {
         let run = self.fields.entry(field.to_string()).or_default();
         match run.last() {

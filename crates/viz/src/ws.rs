@@ -84,6 +84,7 @@ pub fn base64(data: &[u8]) -> String {
 }
 
 /// Derive the `Sec-WebSocket-Accept` value from the client's key.
+#[allow(clippy::disallowed_methods)] // sanctioned: one handshake per websocket connection
 pub fn accept_key(client_key: &str) -> String {
     let mut input = client_key.trim().to_string();
     input.push_str(WS_GUID);

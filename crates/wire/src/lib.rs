@@ -122,6 +122,8 @@ impl From<ipv6::Address> for IpAddress {
 
 #[cfg(test)]
 mod tests {
+    // Display/ToString in assertions is fine; the ban targets hot paths.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     #[test]

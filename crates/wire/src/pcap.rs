@@ -181,6 +181,8 @@ impl<R: Read> Reader<R> {
         if incl_len > 256 * 1024 {
             return Some(Err(Error::BadLength));
         }
+        // alloc-ok: pcap file replay is offline ingest tooling, not the
+        // live NIC path; one buffer per record read from disk.
         let mut data = vec![0u8; incl_len];
         if self.inner.read_exact(&mut data).is_err() {
             return Some(Err(Error::Truncated));

@@ -561,6 +561,8 @@ impl Repr {
 
 #[cfg(test)]
 mod tests {
+    // Display/ToString in assertions is fine; the ban targets hot paths.
+    #![allow(clippy::disallowed_methods)]
     use super::*;
 
     fn sample_repr() -> Repr {

@@ -9,7 +9,14 @@
 //!   call-graph reachability from the RX/parse/flow/codec/mq entry points
 //!   to classified panic sites, with `panic-ok` annotation auditing and
 //!   call-chain witnesses. See [`panic_check`] and DESIGN.md §10.
+//! - `hotpath-check [--root DIR]` — hot-path hygiene analyzer: allocation
+//!   reachability from the steady-state dataplane roots and lock
+//!   discipline (guards across blocking calls / allocation, inter-
+//!   procedural lock-order cycles), with `alloc-ok` / `lock-ok` auditing.
+//!   See [`hotpath_check`] and DESIGN.md §14.
 
+mod callgraph;
+mod hotpath_check;
 mod lexer;
 mod lint;
 mod panic_check;
@@ -21,8 +28,11 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint::lint(&lexer::workspace_root()),
         Some("panic-check") => panic_check::run(&args[1..]),
+        Some("hotpath-check") => hotpath_check::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint | panic-check [--root DIR]>");
+            eprintln!(
+                "usage: cargo xtask <lint | panic-check [--root DIR] | hotpath-check [--root DIR]>"
+            );
             ExitCode::from(2)
         }
     }

@@ -1,12 +1,9 @@
 //! `cargo xtask panic-check` — dataplane panic-freedom analyzer.
 //!
-//! Parses the six hot-path crates (`wire`, `nic`, `flow`, `mq`, `tsdb`,
-//! `pipeline`) with the shared hand-rolled lexer, extracts every function
-//! with its span and enclosing `impl` type, builds an intra-workspace call
-//! graph by name (qualified calls `Type::fn` resolve only to that type's
-//! impl; unqualified calls over-approximate to every same-named function),
-//! and walks reachability from the dataplane entry points (RX burst loop,
-//! parser views, flow-table ops, handshake machine, codec, mq send/recv).
+//! Built on the shared [`crate::callgraph`] machinery: parses the hot-path
+//! crates, builds the intra-workspace call graph, and walks reachability
+//! from the dataplane entry points (RX burst loop, parser views, flow-table
+//! ops, handshake machine, codec, mq send/recv).
 //!
 //! Panic sources classified in non-test code:
 //!   - `unwrap` / `expect`
@@ -31,8 +28,9 @@
 //! calls qualified with external types (`HashMap::get`) are leaves;
 //! multi-line expressions are classified line-by-line.
 
-use crate::lexer::{annotation_above_at, collect_rs_files, lex, unicode_ident, FileView};
-use std::collections::{HashMap, HashSet, VecDeque};
+use crate::callgraph::{read_tok, skip_ws_chars, tok_ending_at, Finding, Workspace};
+use crate::lexer::unicode_ident;
+use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -40,8 +38,8 @@ use std::process::ExitCode;
 pub const DATAPLANE_CRATES: &[&str] =
     &["wire", "nic", "flow", "mq", "tsdb", "telemetry", "pipeline"];
 
-/// Dataplane entry points: (crate, fn name); `"*"` roots every fn in the
-/// crate. `new`/constructors are deliberately NOT rooted — init-time
+/// Dataplane entry points: (crate, fn name); `"*"` roots every pub fn in
+/// the crate. `new`/constructors are deliberately NOT rooted — init-time
 /// config-validation panics are accepted policy; `wire` is wildcarded
 /// because every parser view must be total on adversarial bytes.
 const ROOTS: &[(&str, &str)] = &[
@@ -124,35 +122,6 @@ fn arith_surface(path: &str) -> bool {
     path.starts_with("crates/wire/src/") || path == "crates/flow/src/measurement.rs"
 }
 
-/// One panic-site finding.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Finding {
-    /// Which rule fired (`unwrap`, `expect`, `panic-macro`, `index`,
-    /// `div`, `arith`, `panic-ok-empty`, `panic-ok-unused`).
-    pub rule: &'static str,
-    /// Workspace-relative path.
-    pub path: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// `crate::fn` the site lives in.
-    pub func: String,
-    /// Trimmed source line.
-    pub snippet: String,
-    /// Call-chain witness: root → … → containing fn (`crate::fn` each).
-    pub witness: Vec<String>,
-}
-
-impl std::fmt::Display for Finding {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "{}:{}: [{}] in `{}`: {}",
-            self.path, self.line, self.rule, self.func, self.snippet
-        )?;
-        write!(f, "    witness: {}", self.witness.join(" -> "))
-    }
-}
-
 /// The full result of one `panic-check` run.
 pub struct Analysis {
     /// Functions extracted across the scanned crates.
@@ -228,202 +197,18 @@ fn report(a: &Analysis) -> ExitCode {
     ExitCode::FAILURE
 }
 
-// ---------------------------------------------------------------------------
-// Source model
-// ---------------------------------------------------------------------------
-
-struct SourceFile {
-    rel: String,
-    crate_name: String,
-    view: FileView,
-    raw: Vec<String>,
-}
-
-/// Character stream of the comment/string-stripped code with a line map,
-/// for scans that cross line boundaries (fn spans, impl headers, calls).
-struct Flat {
-    chars: Vec<char>,
-    line_of: Vec<usize>,
-}
-
-fn flatten(view: &FileView) -> Flat {
-    let mut chars = Vec::new();
-    let mut line_of = Vec::new();
-    for (ln, l) in view.code.iter().enumerate() {
-        for c in l.chars() {
-            chars.push(c);
-            line_of.push(ln);
-        }
-        chars.push('\n');
-        line_of.push(ln);
-    }
-    Flat { chars, line_of }
-}
-
-struct FnDef {
-    file: usize,
-    name: String,
-    impl_type: Option<String>,
-    is_pub: bool,
-    start_line: usize,
-    end_line: usize,
-    body_start: usize,
-    body_end: usize,
-}
-
-struct Call {
-    name: String,
-    qualifier: Option<String>,
-}
-
-/// Run the analyzer over `<root>/crates/{wire,nic,flow,mq,tsdb,pipeline}/src`.
+/// Run the analyzer over `<root>/crates/{wire,nic,flow,mq,tsdb,telemetry,pipeline}/src`.
 pub fn analyze(root: &Path) -> Result<Analysis, String> {
-    let mut files = Vec::new();
-    for krate in DATAPLANE_CRATES {
-        let src = root.join("crates").join(krate).join("src");
-        let mut paths = Vec::new();
-        collect_rs_files(&src, &mut paths);
-        paths.sort();
-        for path in paths {
-            let source = std::fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            let rel = path
-                .strip_prefix(root)
-                .unwrap_or(&path)
-                .to_string_lossy()
-                .replace('\\', "/");
-            files.push(SourceFile {
-                rel,
-                crate_name: krate.to_string(),
-                view: lex(&source),
-                raw: source.lines().map(str::to_string).collect(),
-            });
-        }
-    }
-    if files.is_empty() {
-        return Err(format!(
-            "no dataplane sources under {}/crates",
-            root.display()
-        ));
-    }
-
-    // --- extract fns (with impl context) per file ------------------------
-    let flats: Vec<Flat> = files.iter().map(|f| flatten(&f.view)).collect();
-    let mut fns: Vec<FnDef> = Vec::new();
-    for (fi, file) in files.iter().enumerate() {
-        let flat = &flats[fi];
-        let impls = extract_impls(flat);
-        for f in extract_fns(flat, &file.view, fi, &impls) {
-            fns.push(f);
-        }
-    }
-
-    // --- resolution indexes ---------------------------------------------
-    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
-    let mut by_type: HashMap<(String, String), Vec<usize>> = HashMap::new();
-    let mut impl_types: HashSet<&str> = HashSet::new();
-    let mut by_module: HashMap<String, Vec<usize>> = HashMap::new();
-    for (id, f) in fns.iter().enumerate() {
-        by_name.entry(&f.name).or_default().push(id);
-        if let Some(t) = &f.impl_type {
-            impl_types.insert(t);
-            by_type
-                .entry((t.clone(), f.name.clone()))
-                .or_default()
-                .push(id);
-        }
-        let file = &files[f.file];
-        if let Some(stem) = Path::new(&file.rel).file_stem().and_then(|s| s.to_str()) {
-            if stem != "lib" && stem != "mod" {
-                by_module.entry(stem.to_string()).or_default().push(id);
-            }
-        }
-        by_module
-            .entry(format!("ruru_{}", file.crate_name))
-            .or_default()
-            .push(id);
-    }
-
-    // --- call edges ------------------------------------------------------
-    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
-    let mut edge_count = 0usize;
-    for (id, f) in fns.iter().enumerate() {
-        let flat = &flats[f.file];
-        let view = &files[f.file].view;
-        let mut out: HashSet<usize> = HashSet::new();
-        for call in extract_calls(flat, view, f.body_start, f.body_end) {
-            for target in resolve(&call, f, &by_name, &by_type, &impl_types, &by_module) {
-                if target != id {
-                    out.insert(target);
-                }
-            }
-        }
-        let mut out: Vec<usize> = out.into_iter().collect();
-        out.sort_unstable();
-        edge_count += out.len();
-        edges[id] = out;
-    }
-
-    // --- reachability (BFS with parent pointers for witnesses) ----------
-    let mut parent: Vec<Option<usize>> = vec![None; fns.len()];
-    let mut reachable = vec![false; fns.len()];
-    let mut queue = VecDeque::new();
-    for (id, f) in fns.iter().enumerate() {
-        let krate = &files[f.file].crate_name;
-        let rooted = ROOTS
-            .iter()
-            .any(|(c, n)| c == krate && ((*n == "*" && f.is_pub) || *n == f.name));
-        if rooted {
-            reachable[id] = true;
-            queue.push_back(id);
-        }
-    }
-    while let Some(id) = queue.pop_front() {
-        for &next in &edges[id] {
-            if !reachable[next] {
-                reachable[next] = true;
-                parent[next] = Some(id);
-                queue.push_back(next);
-            }
-        }
-    }
-    let label = |id: usize| -> String {
-        let f = &fns[id];
-        format!("{}::{}", files[f.file].crate_name, f.name)
-    };
-    let witness = |id: usize| -> Vec<String> {
-        let mut chain = vec![label(id)];
-        let mut cur = id;
-        while let Some(p) = parent[cur] {
-            chain.push(label(p));
-            cur = p;
-        }
-        chain.reverse();
-        chain
-    };
-
-    // --- panic-site scan -------------------------------------------------
-    // Innermost-fn attribution per file: fn ids sorted by span size.
-    let mut fns_by_file: Vec<Vec<usize>> = vec![Vec::new(); files.len()];
-    for (id, f) in fns.iter().enumerate() {
-        fns_by_file[f.file].push(id);
-    }
-    let innermost = |file: usize, line: usize| -> Option<usize> {
-        fns_by_file[file]
-            .iter()
-            .copied()
-            .filter(|&id| fns[id].start_line <= line && line <= fns[id].end_line)
-            .min_by_key(|&id| fns[id].end_line - fns[id].start_line)
-    };
+    let ws = Workspace::load(root, DATAPLANE_CRATES)?;
+    let reach = ws.reach(ROOTS);
 
     let mut violations = Vec::new();
-    let mut audited = Vec::new();
     let mut annotation_errors = Vec::new();
     let mut unreachable_sites = 0usize;
     let mut crate_viols: HashMap<&str, usize> = HashMap::new();
-    let mut used_annotations: HashSet<(usize, usize)> = HashSet::new();
+    let mut sup = crate::callgraph::Suppressions::new("panic-ok:", "panic-ok-empty", "panic-ok-unused");
 
-    for (fi, file) in files.iter().enumerate() {
+    for (fi, file) in ws.files.iter().enumerate() {
         for (idx, line) in file.view.code.iter().enumerate() {
             if file.view.in_tests[idx] || line.trim_start().starts_with('#') {
                 continue;
@@ -450,27 +235,14 @@ pub fn analyze(root: &Path) -> Result<Analysis, String> {
             if rules.is_empty() {
                 continue;
             }
-            let Some(owner) = innermost(fi, idx) else {
+            let Some(owner) = ws.innermost_fn(fi, idx) else {
                 continue; // const/static item: evaluated at compile time
             };
             // panic-ok suppression (covers every rule on the line).
-            if let Some((ann_line, reason)) = annotation_above_at(&file.view, idx, "panic-ok:") {
-                used_annotations.insert((fi, ann_line));
-                if reason.is_empty() {
-                    annotation_errors.push(Finding {
-                        rule: "panic-ok-empty",
-                        path: file.rel.clone(),
-                        line: ann_line + 1,
-                        func: label(owner),
-                        snippet: snippet(file, ann_line),
-                        witness: vec!["annotation audit".into()],
-                    });
-                } else {
-                    audited.push((file.rel.clone(), idx + 1, reason));
-                }
+            if sup.check(&ws, fi, idx, &ws.label(owner)) {
                 continue;
             }
-            if !reachable[owner] {
+            if !reach.reachable[owner] {
                 unreachable_sites += rules.len();
                 continue;
             }
@@ -480,66 +252,47 @@ pub fn analyze(root: &Path) -> Result<Analysis, String> {
                     rule,
                     path: file.rel.clone(),
                     line: idx + 1,
-                    func: label(owner),
-                    snippet: snippet(file, idx),
-                    witness: witness(owner),
+                    func: ws.label(owner),
+                    snippet: ws.snippet(fi, idx),
+                    witness: reach.witness(&ws, owner),
                 });
             }
         }
     }
 
-    // --- unused annotations ----------------------------------------------
-    for (fi, file) in files.iter().enumerate() {
-        for (idx, comment) in file.view.comments.iter().enumerate() {
-            if file.view.in_tests[idx] || !comment.contains("panic-ok:") {
-                continue;
-            }
-            if !used_annotations.contains(&(fi, idx)) {
-                annotation_errors.push(Finding {
-                    rule: "panic-ok-unused",
-                    path: file.rel.clone(),
-                    line: idx + 1,
-                    func: "-".into(),
-                    snippet: snippet(file, idx),
-                    witness: vec!["annotation audit".into()],
-                });
-            }
-        }
-    }
+    sup.audit_unused(&ws);
+    annotation_errors.extend(sup.errors);
 
     violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     annotation_errors.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
 
     let mut per_crate = Vec::new();
     for krate in DATAPLANE_CRATES {
-        let ids: Vec<usize> = fns
+        let ids: Vec<usize> = ws
+            .fns
             .iter()
             .enumerate()
-            .filter(|(_, f)| files[f.file].crate_name == *krate)
+            .filter(|(_, f)| ws.files[f.file].crate_name == *krate)
             .map(|(id, _)| id)
             .collect();
-        let reach = ids.iter().filter(|&&id| reachable[id]).count();
+        let reachable = ids.iter().filter(|&&id| reach.reachable[id]).count();
         per_crate.push((
             krate.to_string(),
             ids.len(),
-            reach,
+            reachable,
             crate_viols.get(krate).copied().unwrap_or(0),
         ));
     }
 
     Ok(Analysis {
-        fn_count: fns.len(),
-        edge_count,
+        fn_count: ws.fns.len(),
+        edge_count: ws.edge_count,
         violations,
-        audited,
+        audited: sup.audited,
         annotation_errors,
         unreachable_sites,
         per_crate,
     })
-}
-
-fn snippet(file: &SourceFile, idx: usize) -> String {
-    file.raw.get(idx).map(|s| s.trim().to_string()).unwrap_or_default()
 }
 
 fn crate_of(rel: &str) -> &'static str {
@@ -549,368 +302,6 @@ fn crate_of(rel: &str) -> &'static str {
         }
     }
     "?"
-}
-
-// ---------------------------------------------------------------------------
-// Extraction: impl blocks, fn spans, call sites
-// ---------------------------------------------------------------------------
-
-/// True when `chars[i..]` starts the word `w` with ident boundaries on both
-/// sides.
-fn word_at(chars: &[char], i: usize, w: &str) -> bool {
-    if i > 0 && unicode_ident(chars[i - 1]) {
-        return false;
-    }
-    let mut j = i;
-    for wc in w.chars() {
-        if chars.get(j) != Some(&wc) {
-            return false;
-        }
-        j += 1;
-    }
-    !chars.get(j).copied().is_some_and(unicode_ident)
-}
-
-fn skip_ws(chars: &[char], mut i: usize) -> usize {
-    while chars.get(i).copied().is_some_and(char::is_whitespace) {
-        i += 1;
-    }
-    i
-}
-
-fn read_ident(chars: &[char], mut i: usize) -> (String, usize) {
-    let mut s = String::new();
-    while chars.get(i).copied().is_some_and(unicode_ident) {
-        s.push(chars[i]);
-        i += 1;
-    }
-    (s, i)
-}
-
-/// Skip a balanced `<…>` generic list starting at `i` (which must point at
-/// `<`). Returns the index just past the closing `>`.
-fn skip_angles(chars: &[char], mut i: usize) -> usize {
-    let mut depth = 0i32;
-    while i < chars.len() {
-        match chars[i] {
-            '<' => depth += 1,
-            '>' => {
-                depth -= 1;
-                if depth == 0 {
-                    return i + 1;
-                }
-            }
-            // `->` inside `Fn(..) -> T` bounds: the '>' belongs to the
-            // arrow, not the generic list.
-            '-' if chars.get(i + 1) == Some(&'>') => {
-                i += 1;
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    i
-}
-
-/// Find the matching `}` for the `{` at `open`; returns its index.
-fn match_brace(chars: &[char], open: usize) -> usize {
-    let mut depth = 0i32;
-    let mut i = open;
-    while i < chars.len() {
-        match chars[i] {
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return i;
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    chars.len() - 1
-}
-
-/// `impl` blocks as (type name, span start char, span end char).
-fn extract_impls(flat: &Flat) -> Vec<(String, usize, usize)> {
-    let chars = &flat.chars;
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < chars.len() {
-        if !word_at(chars, i, "impl") {
-            i += 1;
-            continue;
-        }
-        let mut j = skip_ws(chars, i + 4);
-        if chars.get(j) == Some(&'<') {
-            j = skip_angles(chars, j);
-        }
-        // Collect the header text up to the body `{` (paren depth 0 —
-        // where-clauses may contain `Fn(..)`).
-        let mut header = String::new();
-        let mut depth = 0i32;
-        let mut k = j;
-        while k < chars.len() {
-            match chars[k] {
-                '(' | '[' => depth += 1,
-                ')' | ']' => depth -= 1,
-                '{' if depth == 0 => break,
-                ';' if depth == 0 => break, // `impl Trait for T;` — not Rust, bail
-                _ => {}
-            }
-            header.push(chars[k]);
-            k += 1;
-        }
-        if chars.get(k) == Some(&'{') {
-            let end = match_brace(chars, k);
-            if let Some(name) = parse_impl_type(&header) {
-                out.push((name, i, end));
-            }
-            // Do not jump past the block: nested impls are rare but legal.
-        }
-        i = k + 1;
-    }
-    out
-}
-
-/// Pull the implemented type's name out of an impl header (the text between
-/// `impl<…>` and `{`): `Display for Packet<'a>` → `Packet`.
-fn parse_impl_type(header: &str) -> Option<String> {
-    let after_for = match header.find(" for ") {
-        Some(at) => &header[at + 5..],
-        None => header,
-    };
-    let before_where = match after_for.find(" where") {
-        Some(at) => &after_for[..at],
-        None => after_for,
-    };
-    let mut s = before_where.trim();
-    for prefix in ["&", "mut ", "dyn "] {
-        s = s.strip_prefix(prefix).unwrap_or(s).trim_start();
-    }
-    let head = s.split('<').next()?;
-    let name = head.rsplit("::").next()?.trim();
-    if name.is_empty() || !name.chars().all(unicode_ident) {
-        return None;
-    }
-    Some(name.to_string())
-}
-
-/// Every named fn in the file with its body span; test-region fns skipped.
-fn extract_fns(
-    flat: &Flat,
-    view: &FileView,
-    file: usize,
-    impls: &[(String, usize, usize)],
-) -> Vec<FnDef> {
-    let chars = &flat.chars;
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < chars.len() {
-        if !word_at(chars, i, "fn") {
-            i += 1;
-            continue;
-        }
-        let j = skip_ws(chars, i + 2);
-        let (name, after_name) = read_ident(chars, j);
-        if name.is_empty() {
-            i = j + 1; // `fn(` pointer type
-            continue;
-        }
-        // Find the body `{` at paren/bracket depth 0, or `;` (no body).
-        let mut depth = 0i32;
-        let mut k = after_name;
-        let mut body = None;
-        while k < chars.len() {
-            match chars[k] {
-                '(' | '[' => depth += 1,
-                ')' | ']' => depth -= 1,
-                '{' if depth == 0 => {
-                    body = Some(k);
-                    break;
-                }
-                ';' if depth == 0 => break,
-                _ => {}
-            }
-            k += 1;
-        }
-        let Some(open) = body else {
-            i = k + 1;
-            continue;
-        };
-        let end = match_brace(chars, open);
-        let start_line = flat.line_of[i];
-        if view.in_tests[start_line] {
-            i = after_name;
-            continue;
-        }
-        let impl_type = impls
-            .iter()
-            .filter(|(_, s, e)| *s <= i && i <= *e)
-            .min_by_key(|(_, s, e)| e - s)
-            .map(|(t, _, _)| t.clone());
-        out.push(FnDef {
-            file,
-            name,
-            impl_type,
-            is_pub: is_pub_at(chars, i),
-            start_line,
-            end_line: flat.line_of[end],
-            body_start: open,
-            body_end: end,
-        });
-        i = after_name;
-    }
-    out
-}
-
-/// True when the `fn` keyword at `fn_kw` carries a `pub` (or `pub(...)`)
-/// visibility, looking back through `const`/`unsafe`/`async`/`extern`.
-fn is_pub_at(chars: &[char], fn_kw: usize) -> bool {
-    let mut i = fn_kw;
-    while i > 0 && chars[i - 1].is_whitespace() {
-        i -= 1;
-    }
-    if i == 0 {
-        return false;
-    }
-    if chars[i - 1] == ')' {
-        // `pub(crate) fn` / `pub(super) fn`
-        let mut j = i - 1;
-        while j > 0 && chars[j] != '(' {
-            j -= 1;
-        }
-        while j > 0 && chars[j - 1].is_whitespace() {
-            j -= 1;
-        }
-        return j > 0 && tok_ending_at(chars, j - 1) == "pub";
-    }
-    if unicode_ident(chars[i - 1]) {
-        let tok = tok_ending_at(chars, i - 1);
-        if tok == "pub" {
-            return true;
-        }
-        if matches!(tok.as_str(), "const" | "unsafe" | "async" | "extern") {
-            return is_pub_at(chars, i - tok.len());
-        }
-    }
-    false
-}
-
-const CALL_KEYWORDS: &[&str] = &[
-    "if", "while", "for", "match", "return", "loop", "move", "in", "as", "let", "else", "fn",
-    "unsafe", "use", "mod", "pub", "where", "break", "continue", "yield", "await",
-];
-
-/// Scan a fn body for call sites `name(`, `qual::name(`, `.name(`,
-/// `name::<T>(`; macros (`name!`) are excluded — panic macros are
-/// classified separately and other macro bodies are a documented blind
-/// spot.
-fn extract_calls(flat: &Flat, view: &FileView, body_start: usize, body_end: usize) -> Vec<Call> {
-    let chars = &flat.chars;
-    let mut out = Vec::new();
-    let mut i = body_start;
-    while i < body_end {
-        let c = chars[i];
-        if !unicode_ident(c) || (i > 0 && unicode_ident(chars[i - 1])) {
-            i += 1;
-            continue;
-        }
-        // Lifetime `'a` is not an ident start.
-        if i > 0 && chars[i - 1] == '\'' {
-            i += 1;
-            continue;
-        }
-        let (name, after) = read_ident(chars, i);
-        if view.in_tests[flat.line_of[i]] || name.chars().next().is_some_and(|c| c.is_ascii_digit())
-        {
-            i = after;
-            continue;
-        }
-        let mut j = skip_ws(chars, after);
-        // Turbofish: `name::<T>(`.
-        if chars.get(j) == Some(&':') && chars.get(j + 1) == Some(&':') {
-            let k = skip_ws(chars, j + 2);
-            if chars.get(k) == Some(&'<') {
-                j = skip_ws(chars, skip_angles(chars, k));
-            } else {
-                i = after;
-                continue; // path segment, not a call of `name`
-            }
-        }
-        if chars.get(j) == Some(&'!') {
-            i = after;
-            continue; // macro
-        }
-        if chars.get(j) != Some(&'(') || CALL_KEYWORDS.contains(&name.as_str()) {
-            i = after;
-            continue;
-        }
-        // Qualifier: `qual::name(` — read the segment before a `::`.
-        let mut qualifier = None;
-        if i >= 2 && chars[i - 1] == ':' && chars[i - 2] == ':' {
-            let mut q_end = i - 2;
-            while q_end > 0 && chars[q_end - 1].is_whitespace() {
-                q_end -= 1;
-            }
-            if q_end > 0 && chars[q_end - 1] == '>' {
-                qualifier = Some(String::new()); // generic qualifier: unknown
-            } else {
-                let mut q_start = q_end;
-                while q_start > 0 && unicode_ident(chars[q_start - 1]) {
-                    q_start -= 1;
-                }
-                if q_start < q_end {
-                    qualifier = Some(chars[q_start..q_end].iter().collect());
-                }
-            }
-        }
-        out.push(Call { name, qualifier });
-        i = after;
-    }
-    out
-}
-
-/// Resolve a call to candidate fn ids. Qualified calls narrow to the
-/// matching impl type or module; unknown qualifiers (std/external types)
-/// are leaves; unqualified calls over-approximate to every fn of that
-/// name in the scanned crates.
-fn resolve(
-    call: &Call,
-    caller: &FnDef,
-    by_name: &HashMap<&str, Vec<usize>>,
-    by_type: &HashMap<(String, String), Vec<usize>>,
-    impl_types: &HashSet<&str>,
-    by_module: &HashMap<String, Vec<usize>>,
-) -> Vec<usize> {
-    match &call.qualifier {
-        None => by_name.get(call.name.as_str()).cloned().unwrap_or_default(),
-        Some(q) => {
-            let q = if q == "Self" {
-                match &caller.impl_type {
-                    Some(t) => t.clone(),
-                    None => return Vec::new(),
-                }
-            } else {
-                q.clone()
-            };
-            if impl_types.contains(q.as_str()) {
-                by_type
-                    .get(&(q, call.name.clone()))
-                    .cloned()
-                    .unwrap_or_default()
-            } else if let Some(in_module) = by_module.get(&q) {
-                let named = by_name.get(call.name.as_str()).cloned().unwrap_or_default();
-                named
-                    .into_iter()
-                    .filter(|id| in_module.contains(id))
-                    .collect()
-            } else {
-                Vec::new() // external type/module: leaf
-            }
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1106,33 +497,6 @@ fn has_unchecked_arith(line: &str) -> bool {
         return true;
     }
     false
-}
-
-fn skip_ws_chars(b: &[char], mut i: usize) -> usize {
-    while i < b.len() && b[i].is_whitespace() {
-        i += 1;
-    }
-    i
-}
-
-fn read_tok(b: &[char], mut i: usize) -> (String, usize) {
-    let mut s = String::new();
-    while i < b.len() && unicode_ident(b[i]) {
-        s.push(b[i]);
-        i += 1;
-    }
-    (s, i)
-}
-
-fn tok_ending_at(b: &[char], end: usize) -> String {
-    if !unicode_ident(b[end]) {
-        return String::new();
-    }
-    let mut start = end;
-    while start > 0 && unicode_ident(b[start - 1]) {
-        start -= 1;
-    }
-    b[start..=end].iter().collect()
 }
 
 fn is_numeric_tok(t: &str) -> bool {
@@ -1368,16 +732,6 @@ mod tests {
         let w = &a.violations[0].witness;
         assert_eq!(w.first().map(String::as_str), Some("wire::parse"));
         assert_eq!(w.last().map(String::as_str), Some("wire::field"));
-    }
-
-    #[test]
-    fn impl_type_parsed_through_trait_impls() {
-        let flat = flatten(&lex(
-            "impl<'a> Iterator for OptionsIter<'a> {\n    fn next(&mut self) {}\n}\n",
-        ));
-        let impls = extract_impls(&flat);
-        assert_eq!(impls.len(), 1);
-        assert_eq!(impls[0].0, "OptionsIter");
     }
 
     #[test]

@@ -43,6 +43,7 @@ step "cargo clippy --workspace --all-targets -- -D warnings" \
     cargo clippy --workspace --all-targets -- -D warnings
 step "cargo xtask lint" cargo xtask lint
 step "cargo xtask panic-check" cargo xtask panic-check
+step "cargo xtask hotpath-check" cargo xtask hotpath-check
 
 if [[ "$quick" -eq 0 ]]; then
     step "loom models (RUSTFLAGS=--cfg loom)" loom_models
