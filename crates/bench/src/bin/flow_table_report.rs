@@ -246,7 +246,7 @@ fn main() {
             }
         }
         op += 1;
-        if op % 65_536 == 0 {
+        if op.is_multiple_of(65_536) {
             now_ns += TTL_NS / 8;
             t.expire(Timestamp::from_nanos(now_ns), |_, _| {});
         }

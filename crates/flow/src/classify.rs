@@ -180,7 +180,11 @@ fn parse_tcp_options(seg: &tcp::Packet<&[u8]>) -> Option<(u32, u32)> {
     for opt in seg.options() {
         match opt {
             Ok(tcp::TcpOption::Timestamps { tsval, tsecr }) => return Some((tsval, tsecr)),
+            // account-ok: option-walk skip over non-timestamp kinds; the
+            // packet itself is still classified.
             Ok(_) => continue,
+            // account-ok: `None` means "no usable timestamps", not loss —
+            // classification proceeds without the TS option.
             Err(_) => return None,
         }
     }
@@ -272,6 +276,8 @@ pub fn classify(frame: &[u8], timestamp: Timestamp, mode: ChecksumMode) -> Resul
 /// hash from the RX descriptor into the [`TcpMeta`] so the flow table can
 /// key on it directly instead of re-hashing the 4-tuple.
 pub fn classify_mbuf(mbuf: &ruru_nic::Mbuf, mode: ChecksumMode) -> Result<TcpMeta, Reject> {
+    // account-ok: the `?` propagates a typed `Reject` cause; the engine
+    // catch-site records it per-cause before dropping the packet.
     let mut meta = classify(mbuf.data(), mbuf.timestamp, mode)?;
     meta.rss_hash = mbuf.rss_hash;
     Ok(meta)

@@ -357,11 +357,15 @@ impl HandshakeTracker {
             syn_retx,
         } = entry.state
         else {
+            // account-ok: tracked flow not yet past SYN+ACK — this ACK is
+            // an ordinary data segment, counted in stats.packets upstream.
             return None;
         };
         // The completing ACK travels in the client's direction and
         // acknowledges the server's ISN+1 (it may carry data).
         if dir != entry.client_dir || meta.ack != server_isn.wrapping_add(1) {
+            // account-ok: not the handshake-completing ACK; the flow stays
+            // tracked and the packet was counted in stats.packets upstream.
             return None;
         }
         self.table.remove(hash, &key);

@@ -54,9 +54,12 @@ pub fn bucket_floor_of(precision: u32, idx: usize) -> u64 {
     if idx < per {
         return idx as u64;
     }
-    let magnitude = ((idx >> precision) as u32 + precision)
+    // Widen before adding: a huge out-of-range `idx` would truncate in a
+    // `u32` cast and overflow the add before `min(63)` could clamp it.
+    let magnitude = ((idx >> precision) as u64)
+        .saturating_add(u64::from(precision))
         .saturating_sub(1)
-        .min(63);
+        .min(63) as u32;
     let sub = (idx & (per - 1)) as u64;
     (1u64 << magnitude) | (sub << (magnitude - precision))
 }

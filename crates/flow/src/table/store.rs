@@ -189,6 +189,8 @@ impl<K: Eq, V> FlowTable<K, V> {
         for _ in 0..=self.mask {
             let s = self.bucket(b);
             if s == NIL {
+                // account-ok: probe miss — the key is not in the table; the
+                // caller decides what a miss means and accounts there.
                 return None;
             }
             if self.tag_at(b) == tag {
@@ -300,12 +302,14 @@ impl<K: Eq, V> FlowTable<K, V> {
 
     /// Get the live entry for `(hash, key)`.
     pub fn get(&self, hash: u32, key: &K) -> Option<&V> {
+        // account-ok: lookup miss propagation; no record is held here.
         let (_, s) = self.find(hash, key)?;
         self.slot(s).map(|slot| &slot.value)
     }
 
     /// Get a mutable reference to the live entry for `(hash, key)`.
     pub fn get_mut(&mut self, hash: u32, key: &K) -> Option<&mut V> {
+        // account-ok: lookup miss propagation; no record is held here.
         let (_, s) = self.find(hash, key)?;
         self.slot_mut(s).map(|slot| &mut slot.value)
     }
@@ -318,7 +322,10 @@ impl<K: Eq, V> FlowTable<K, V> {
 
     /// Remove and return the entry for `(hash, key)`.
     pub fn remove(&mut self, hash: u32, key: &K) -> Option<V> {
+        // account-ok: removing an absent key is a no-op, not a loss.
         let (_, s) = self.find(hash, key)?;
+        // account-ok: `find` just returned `s`, so detach cannot miss; the
+        // detached value is returned to the caller either way.
         let slot = self.detach(s)?;
         self.free.push(s);
         Some(slot.value)
@@ -378,6 +385,7 @@ impl<K: Eq, V> FlowTable<K, V> {
     /// slot directly.
     fn detach(&mut self, s: u32) -> Option<Slot<K, V>> {
         let (hash, prev, next) = {
+            // account-ok: detaching an already-vacant slot is a no-op.
             let slot = self.slot(s)?;
             (slot.hash, slot.prev, slot.next)
         };
@@ -408,10 +416,13 @@ impl<K: Eq, V> FlowTable<K, V> {
             let cur = self.bucket(b);
             if cur == s {
                 found = true;
+                // account-ok: probe-loop exit on success; bucket bookkeeping
+                // only, no record is held.
                 break;
             }
             if cur == NIL {
-                break; // chain ended without `s`: nothing to clear
+                // account-ok: chain ended without `s`: nothing to clear.
+                break;
             }
             b = b.wrapping_add(1) & self.mask;
         }
@@ -437,7 +448,9 @@ impl<K: Eq, V> FlowTable<K, V> {
                 let dist_to_hole = j.wrapping_sub(i) & self.mask;
                 let dist_from_home = j.wrapping_sub(home) & self.mask;
                 if dist_from_home >= dist_to_hole {
-                    break; // this entry may legally move back into `i`
+                    // account-ok: backward-shift scan exit — the entry moves
+                    // buckets; nothing is deleted here.
+                    break;
                 }
             }
             let (moved, tag) = (self.bucket(j), self.tag_at(j));

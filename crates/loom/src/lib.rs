@@ -1049,6 +1049,9 @@ mod tests {
     }
 
     #[test]
+    // Sharing an unsynchronized UnsafeCell across threads is the bug shape
+    // these models exist to detect; the Sync impls below are deliberate.
+    #[allow(clippy::arc_with_non_send_sync)]
     fn detects_unsafecell_lost_update() {
         assert!(fails(|| {
             let c = Arc::new(UnsafeCell::new(0u32));
@@ -1078,6 +1081,9 @@ mod tests {
     }
 
     #[test]
+    // As above: the wrapper's Sync impl makes the cross-thread sharing sound
+    // for the model; the bare Arc<UnsafeCell<_>> is intermediate scaffolding.
+    #[allow(clippy::arc_with_non_send_sync)]
     fn release_acquire_publishes() {
         struct Share<T>(Arc<UnsafeCell<T>>);
         // SAFETY: test-only sharing; accesses are ordered by the
@@ -1110,6 +1116,8 @@ mod tests {
     }
 
     #[test]
+    // As above: deliberately racy sharing, wrapped for the checker to flag.
+    #[allow(clippy::arc_with_non_send_sync)]
     fn detects_relaxed_publication_race() {
         struct Share<T>(Arc<UnsafeCell<T>>);
         // SAFETY: test-only — the Relaxed flag provides no ordering, which

@@ -127,6 +127,8 @@ impl<T> Sender<T> {
         let mut inner = lock(&self.chan);
         loop {
             if inner.receivers == 0 {
+                // account-ok: `SendError(value)` returns ownership — the
+                // caller regains the record and accounts the failure.
                 return Err(SendError(value));
             }
             if inner.queue.len() < inner.cap {
@@ -149,9 +151,13 @@ impl<T> Sender<T> {
     pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
         let mut inner = lock(&self.chan);
         if inner.receivers == 0 {
+            // account-ok: `Disconnected(value)` returns ownership — the
+            // caller regains the record and accounts the failure.
             return Err(TrySendError::Disconnected(value));
         }
         if inner.queue.len() >= inner.cap {
+            // account-ok: backpressure, not loss — `Full(value)` returns
+            // ownership; pubsub's deliver counts the drop per subscriber.
             return Err(TrySendError::Full(value));
         }
         // alloc-ok: len < cap checked above — the VecDeque grows to the
@@ -214,6 +220,7 @@ impl<T> Receiver<T> {
                 return Ok(value);
             }
             if inner.senders == 0 {
+                // account-ok: closed-channel receive holds no record.
                 return Err(RecvError);
             }
             inner = self
@@ -277,6 +284,7 @@ impl<T> Receiver<T> {
                 Ok(value)
             }
             None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            // account-ok: empty-channel poll holds no record.
             None => Err(TryRecvError::Empty),
         }
     }

@@ -75,9 +75,13 @@ impl Publisher {
         for sub in subs.iter() {
             if !sub.alive.load(Ordering::Acquire) {
                 *gone = true;
+                // account-ok: dead subscription skip — nobody is owed this
+                // copy; live subscribers still receive the message.
                 continue;
             }
             if !msg.matches(&sub.prefix) {
+                // account-ok: topic filter — the subscriber never asked for
+                // this prefix, so no delivery is owed.
                 continue;
             }
             // alloc-ok: Message holds Bytes — clone is two refcount bumps,

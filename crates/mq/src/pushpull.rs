@@ -48,6 +48,8 @@ impl Push {
     {
         let mut sent = 0;
         for msg in msgs {
+            // account-ok: a closed-pipe send returns the message; the
+            // engine catch-site records it as Reject::BusClosed.
             self.tx.send(msg).map_err(|e| e.0)?;
             sent += 1;
         }
@@ -113,6 +115,8 @@ impl Pull {
                     out.push(m);
                     n += 1;
                 }
+                // account-ok: drain stops at empty/disconnected; every
+                // message received so far is in `out`.
                 Err(_) => break,
             }
         }
@@ -129,6 +133,8 @@ impl Pull {
                     out.push(m);
                     n += 1;
                 }
+                // account-ok: drain stops at empty/disconnected; every
+                // message received so far is in `out`.
                 Err(_) => break,
             }
         }

@@ -70,11 +70,16 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Message>> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
         Ok(()) => {}
+        // account-ok: clean EOF between frames — no partial frame is held.
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        // account-ok: io error on the external TCP subscriber boundary;
+        // the caller owns the stream and surfaces the error.
         Err(e) => return Err(e),
     }
     let topic_len = u32::from_le_bytes(len_buf) as usize;
     if topic_len > MAX_PART {
+        // account-ok: malformed frame on the external boundary — the error
+        // reaches the subscriber's caller; nothing internal is dropped.
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "topic too large",
@@ -83,10 +88,13 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Message>> {
     // alloc-ok: subscriber-side frame decode on the cross-process TCP
     // boundary; one buffer per received frame, off the capture path.
     let mut topic = vec![0u8; topic_len];
+    // account-ok: io error on the external boundary, surfaced to the caller.
     stream.read_exact(&mut topic)?;
+    // account-ok: io error on the external boundary, surfaced to the caller.
     stream.read_exact(&mut len_buf)?;
     let payload_len = u32::from_le_bytes(len_buf) as usize;
     if payload_len > MAX_PART {
+        // account-ok: malformed frame on the external boundary, as above.
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "payload too large",
@@ -94,6 +102,7 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Message>> {
     }
     // alloc-ok: subscriber-side frame decode, as above.
     let mut payload = vec![0u8; payload_len];
+    // account-ok: io error on the external boundary, surfaced to the caller.
     stream.read_exact(&mut payload)?;
     Ok(Some(Message {
         topic: Bytes::from(topic),

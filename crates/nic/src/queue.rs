@@ -109,6 +109,8 @@ impl<T> MpmcQueue<T> {
                 }
             } else if dif < 0 {
                 // Slot still holds last lap's value: the queue is full.
+                // account-ok: backpressure, not loss — `Err(value)` returns
+                // ownership; push_burst's caller counts the ring-full drop.
                 return Err(value);
             } else {
                 // Another producer claimed this ticket; reload and retry.
@@ -148,6 +150,7 @@ impl<T> MpmcQueue<T> {
                 }
             } else if dif < 0 {
                 // Slot not yet published this lap: the queue is empty.
+                // account-ok: empty-queue poll; no record exists to drop.
                 return None;
             } else {
                 pos = self.dequeue_pos.load(Ordering::Relaxed);

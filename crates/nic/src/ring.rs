@@ -137,6 +137,8 @@ impl<T> Producer<T> {
         if head.wrapping_sub(self.cached_tail) == self.capacity() {
             self.cached_tail = self.inner.tail.load(Ordering::Acquire);
             if head.wrapping_sub(self.cached_tail) == self.capacity() {
+                // account-ok: backpressure, not loss — `Err(value)` returns
+                // ownership; push_burst counts the drop when it gives up.
                 return Err(value);
             }
         }
@@ -203,6 +205,7 @@ impl<T> Consumer<T> {
         if tail == self.cached_head {
             self.cached_head = self.inner.head.load(Ordering::Acquire);
             if tail == self.cached_head {
+                // account-ok: empty-ring poll; no record exists to drop.
                 return None;
             }
         }
@@ -227,6 +230,8 @@ impl<T> Consumer<T> {
                     out.push(v);
                     taken += 1;
                 }
+                // account-ok: burst drain stops at an empty ring; every
+                // record popped so far is in `out`.
                 None => break,
             }
         }

@@ -251,6 +251,8 @@ fn main() {
             .integer(report.pool.enriched as i64)
             .key("telemetry_points")
             .integer(report.telemetry_points as i64)
+            .key("skipped_shards")
+            .integer(report.telemetry.skipped_shards as i64)
             .key("alerts")
             .begin_object()
             .key("total")
@@ -272,12 +274,19 @@ fn main() {
     println!("scenario {}: {} sim-seconds in {wall_secs:.2} wall-seconds", args.scenario, args.secs);
     println!("packets {packets} | flows {flows} | flood SYNs {flood_syns}");
     println!(
-        "measured {} | enriched {} | tsdb points {} ({} self-telemetry)",
+        "measured {} | enriched {} | tsdb points {} ({} self-telemetry) | skipped shards {}",
         report.measurements(),
         report.pool.enriched,
         report.tsdb.points_ingested(),
-        report.telemetry_points
+        report.telemetry_points,
+        report.telemetry.skipped_shards
     );
+    if report.telemetry.skipped_shards != 0 {
+        println!(
+            "  WARNING: final telemetry snapshot is torn — shard ids {:?}",
+            report.telemetry.skipped_shard_ids
+        );
+    }
     println!(
         "alerts: {} total ({} spike / {} flood / {} rate)",
         report.alerts.len(),

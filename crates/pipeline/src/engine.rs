@@ -143,6 +143,11 @@ pub struct StageStats {
     /// Times the stage's scratch encode path had to allocate a fresh
     /// block — ≈ one per 64 KiB of output, not one per record.
     pub alloc_hits: u64,
+    /// Records discarded because their payload failed to decode. The
+    /// internal feeds are self-produced, so this should read zero — but a
+    /// silent discard here would break the detector-conservation identity
+    /// invisibly, so it is counted, never dropped.
+    pub decode_errors: u64,
 }
 
 /// Every classification reject cause, in [`reject_idx`] order — the
@@ -491,6 +496,9 @@ fn flush_detector_deltas(
     if delta.records_out > 0 {
         r.counter_add(shard, metrics.det_records_out, delta.records_out);
     }
+    if delta.decode_errors > 0 {
+        r.counter_add(shard, metrics.det_decode_errors, delta.decode_errors);
+    }
     if delta.batches > 0 {
         r.counter_add(shard, metrics.det_batches, delta.batches);
     }
@@ -507,6 +515,7 @@ fn flush_detector_deltas(
     stage.batches += delta.batches;
     stage.bytes += delta.bytes;
     stage.alloc_hits += delta.alloc_hits;
+    stage.decode_errors += delta.decode_errors;
     *delta = StageStats::default();
 }
 
@@ -794,6 +803,8 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
         let mut syn_quota = BURST_SIZE;
         while syn_quota > 0 {
             let Ok((qid, ts)) = syn_rx.try_recv() else {
+                // account-ok: empty/closed SYN feed poll — no event was
+                // received, so none can be lost.
                 break;
             };
             syn_quota -= 1;
@@ -817,6 +828,10 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
                 // The internal feed carries the fixed binary record — no
                 // UTF-8 or line parsing here.
                 let Some(em) = EnrichedMeasurement::decode(&msg.payload) else {
+                    // Cannot happen on the self-produced feed — but an
+                    // unaccounted discard would silently unbalance
+                    // detector-conservation, so the loss is counted.
+                    delta.decode_errors += 1;
                     continue;
                 };
                 let at = em.completed_at;
@@ -840,12 +855,16 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
         let now = clock.now();
         while let Some(&Reverse((at, s))) = pending.peek() {
             if at > low {
+                // account-ok: watermark hold — the event stays buffered in
+                // `pending` and is released on a later iteration.
                 break;
             }
             pending.pop();
             // Heap entries and payloads are inserted together; a missing
             // payload means the event was already consumed — skip it.
             let Some(ev) = payloads.remove(&s) else {
+                // account-ok: already-consumed heap entry; the event was
+                // released (and counted in records_out) earlier.
                 continue;
             };
             delta.records_out += 1;
@@ -867,6 +886,8 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
         flush_detector_deltas(&metrics, det_shard, &mut delta, &mut stage, &mut residencies);
         if idle {
             if stop.load(Ordering::Acquire) {
+                // account-ok: shutdown exit after an idle sweep — both
+                // feeds were drained empty before the stop flag was taken.
                 break;
             }
             backoff.idle();
@@ -878,6 +899,8 @@ fn detector_loop(inputs: DetectorInputs) -> DetectorResult {
     let now = clock.now();
     while let Some(Reverse((at, s))) = pending.pop() {
         let Some(ev) = payloads.remove(&s) else {
+            // account-ok: already-consumed heap entry; the event was
+            // released (and counted in records_out) earlier.
             continue;
         };
         delta.records_out += 1;
@@ -1258,6 +1281,8 @@ impl Pipeline {
             batches: telemetry.counter("dp_batches"),
             bytes: telemetry.counter("dp_bytes"),
             alloc_hits: telemetry.counter("dp_alloc_hits"),
+            // The dataplane discards via typed rejects, not decode failures.
+            decode_errors: 0,
         };
         Report {
             port: self.port.stats(),

@@ -22,6 +22,7 @@
 //!   latency aggregate, used by experiment E3 to reproduce "the 4000 ms
 //!   increase had not been noticed by conventional measurement tools".
 
+pub mod conservation;
 pub mod engine;
 pub mod snmp;
 pub mod telemetry;

@@ -98,6 +98,7 @@ pub struct SelfMetrics {
     // Detector stage (shard Q).
     pub(crate) det_records_in: CounterId,
     pub(crate) det_records_out: CounterId,
+    pub(crate) det_decode_errors: CounterId,
     pub(crate) det_batches: CounterId,
     pub(crate) det_bytes: CounterId,
     pub(crate) publish_residency: HistId,
@@ -138,6 +139,7 @@ impl SelfMetrics {
         let enrich_bytes_out = b.counter("enrich_bytes_out");
         let det_records_in = b.counter("det_records_in");
         let det_records_out = b.counter("det_records_out");
+        let det_decode_errors = b.counter("det_decode_errors");
         let det_batches = b.counter("det_batches");
         let det_bytes = b.counter("det_bytes");
 
@@ -212,6 +214,7 @@ impl SelfMetrics {
             enrich_residency,
             det_records_in,
             det_records_out,
+            det_decode_errors,
             det_batches,
             det_bytes,
             publish_residency,

@@ -73,22 +73,24 @@ fn assert_conservation(report: &Report, truths: u64, mode: &str) {
     assert_eq!(report.pool.geo_misses, 0, "{mode}: clean world, no misses");
     assert_eq!(report.pool.decode_errors, 0, "{mode}");
     assert_eq!(report.dataplane.records_out, truths, "{mode}");
-    assert_eq!(
-        report.tsdb.points_ingested(),
-        truths + report.telemetry_points,
-        "{mode}: every tsdb point is a measurement or a ruru_self export"
+    // Every manifest identity, evaluated against the final snapshot. A
+    // torn snapshot fails first, loudly, with the skipped shard ids.
+    let violations = ruru_pipeline::conservation::check(
+        &report.telemetry,
+        &[
+            ("tsdb_points_ingested", report.tsdb.points_ingested()),
+            ("telemetry_points", report.telemetry_points),
+        ],
     );
+    assert!(
+        violations.is_empty(),
+        "{mode}: conservation violated:\n  {}",
+        violations.join("\n  ")
+    );
+    // The identities prove internal consistency; anchor one stage to the
+    // generator's ground truth so "consistently zero" cannot pass.
     let t = &report.telemetry;
-    assert_eq!(t.skipped_shards, 0, "{mode}: final snapshot is exact");
     assert_eq!(t.counter("dp_records_out"), truths, "{mode}");
-    assert_eq!(t.counter("enrich_enriched"), truths, "{mode}");
-    assert_eq!(
-        t.counter("det_records_out"),
-        t.counter("det_records_in"),
-        "{mode}: detector conserves records"
-    );
-    let enr = t.hist("stage_enrich_residency_ns").expect("enrich residency");
-    assert_eq!(enr.count, truths, "{mode}: one enrich sample per record");
 }
 
 #[test]

@@ -65,7 +65,7 @@ fn faulted_capture_is_rejected_not_fatal() {
     let deliver = |pipeline: &mut Pipeline, at: Timestamp, n: u64, frame: Vec<u8>| {
         // Every fifth delivery is additionally truncated mid-header /
         // mid-payload (length cycles through 0, 1, 7, 13, ..).
-        let frame = if n % 5 == 0 {
+        let frame = if n.is_multiple_of(5) {
             let keep = [0, 1, 7, 13, 21, 33, 53][(n as usize / 5) % 7].min(frame.len());
             frame[..keep].to_vec()
         } else {
@@ -75,7 +75,7 @@ fn faulted_capture_is_rejected_not_fatal() {
     };
     for event in gen.by_ref() {
         for frame in injector.apply(event.frame) {
-            if fed % 5 == 0 {
+            if fed.is_multiple_of(5) {
                 truncated += 1;
             }
             deliver(&mut pipeline, event.at, fed, frame);

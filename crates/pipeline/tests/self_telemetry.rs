@@ -86,8 +86,20 @@ fn counters_conserve_every_packet_and_reconcile_with_the_export() {
     let report = pipeline.finish();
     let t = &report.telemetry;
 
-    // The final snapshot is exact: all writers quiesced before it.
-    assert_eq!(t.skipped_shards, 0);
+    // Conservation 0: every manifest identity holds on the final snapshot
+    // (and the snapshot is exact — a torn one fails with its shard ids).
+    let violations = ruru_pipeline::conservation::check(
+        t,
+        &[
+            ("tsdb_points_ingested", report.tsdb.points_ingested()),
+            ("telemetry_points", report.telemetry_points),
+        ],
+    );
+    assert!(
+        violations.is_empty(),
+        "conservation violated:\n  {}",
+        violations.join("\n  ")
+    );
 
     // Conservation 1: N corrupt frames ⇒ the reject counters sum to N,
     // in the run report and in the registry, cause by cause.

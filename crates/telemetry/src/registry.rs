@@ -305,6 +305,8 @@ impl Registry {
             let e1 = s.epoch.load(Ordering::Acquire);
             if e1 & 1 == 1 {
                 crate::sync::hint::spin_loop();
+                // account-ok: seqlock retry — retry exhaustion is counted
+                // by the caller as skipped_shards, with the shard id.
                 continue;
             }
             for (slot, cell) in out.iter_mut().zip(s.cells.iter()) {
@@ -331,11 +333,14 @@ impl Registry {
         // then every later resize reuses the same backing storage.
         scratch.resize(self.cells_per_shard, 0);
         snap.reset(self, timestamp_ns);
-        for shard in self.shards.iter() {
+        for (sid, shard) in self.shards.iter().enumerate() {
             if self.read_shard(shard, scratch) {
                 snap.accumulate(self, scratch);
             } else {
                 snap.skipped_shards += 1;
+                // Bounded by shard_count, and only on the torn
+                // (exceptional) path — an exact snapshot pushes nothing.
+                snap.skipped_shard_ids.push(sid);
             }
         }
         snap.normalize();
@@ -414,6 +419,9 @@ pub struct Snapshot {
     /// Shards skipped this collection because their writer kept the
     /// epoch odd for [`SNAP_RETRIES`] consecutive validation attempts.
     pub skipped_shards: u64,
+    /// The shard indices behind [`Snapshot::skipped_shards`], for loud
+    /// diagnostics when a final snapshot is expected to be exact.
+    pub skipped_shard_ids: Vec<usize>,
     /// Virtual-clock stamp the caller passed to the collection.
     pub timestamp_ns: u64,
 }
@@ -424,6 +432,7 @@ impl Snapshot {
     fn reset(&mut self, registry: &Registry, timestamp_ns: u64) {
         self.timestamp_ns = timestamp_ns;
         self.skipped_shards = 0;
+        self.skipped_shard_ids.clear();
         // alloc-ok: fixed schema shape — grows on the first reset against a
         // registry, then reuses storage (the doc contract above).
         self.counters.resize(registry.counter_names.len(), ("", 0));
@@ -464,10 +473,13 @@ impl Snapshot {
         }
         for (idx, hist) in self.hists.iter_mut().enumerate() {
             let Some(&base) = registry.hist_bases.get(idx) else {
+                // account-ok: registry shape guard — a histogram with no
+                // base has no cells to fold; unreachable on a built registry.
                 continue;
             };
             let count = cells.get(base).copied().unwrap_or(0);
             if count == 0 {
+                // account-ok: empty-histogram fold skip; no samples exist.
                 continue;
             }
             hist.count = hist.count.wrapping_add(count);

@@ -65,8 +65,11 @@ pub(crate) fn array16(d: &[u8], at: usize) -> [u8; 16] {
     match d.get(at..) {
         Some(rest) => match rest.first_chunk::<16>() {
             Some(chunk) => *chunk,
+            // account-ok: zero-fill accessor on a truncated view; the packet
+            // itself was already rejected as Truncated by `new_checked`.
             None => [0; 16],
         },
+        // account-ok: same zero-fill path as above — no record is dropped.
         None => [0; 16],
     }
 }

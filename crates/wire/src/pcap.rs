@@ -79,6 +79,8 @@ impl<W: Write> Writer<W> {
         field::set_bytes(&mut hdr, 4, &nanos.to_le_bytes());
         field::set_bytes(&mut hdr, 8, &(rec.data.len() as u32).to_le_bytes());
         field::set_bytes(&mut hdr, 12, &rec.orig_len.to_le_bytes());
+        // account-ok: capture-file writer; an io error propagates to the
+        // offline tool's caller, which still holds the record.
         self.inner.write_all(&hdr)?;
         self.inner.write_all(&rec.data)
     }

@@ -18,7 +18,7 @@
 //! calls qualified with external types (`HashMap::get`) are leaves;
 //! multi-line expressions are classified line-by-line.
 
-use crate::lexer::{annotation_above_at, collect_rs_files, lex, unicode_ident, FileView};
+use crate::lexer::{collect_rs_files, lex, unicode_ident, FileView};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::Path;
 
@@ -342,9 +342,9 @@ impl Workspace {
         let mut parent: Vec<Option<usize>> = vec![None; self.fns.len()];
         let mut reachable = vec![false; self.fns.len()];
         let mut queue = VecDeque::new();
-        for id in 0..self.fns.len() {
+        for (id, seen) in reachable.iter_mut().enumerate() {
             if roots.iter().any(|(c, n)| self.is_root(id, c, n)) {
-                reachable[id] = true;
+                *seen = true;
                 queue.push_back(id);
             }
         }
@@ -425,86 +425,68 @@ impl Workspace {
 }
 
 // ---------------------------------------------------------------------------
-// Suppression auditing
+// Machine-readable output (`--json`)
 // ---------------------------------------------------------------------------
 
-/// Tracks one annotation grammar (`panic-ok:` / `alloc-ok:` / `lock-ok:`):
-/// which annotations suppressed a finding, which carried no reason, and —
-/// after the scan — which suppressed nothing at all (stale).
-pub struct Suppressions {
-    needle: &'static str,
-    rule_empty: &'static str,
-    rule_unused: &'static str,
-    used: HashSet<(usize, usize)>,
-    /// Suppressed sites: (path, 1-based line, audited reason).
-    pub audited: Vec<(String, usize, String)>,
-    /// Empty-reason findings collected during [`Suppressions::check`].
-    pub errors: Vec<Finding>,
+/// Minimal JSON string escape (quotes, backslashes, control chars) — the
+/// xtask crate is dependency-free by design, so no serde.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
-impl Suppressions {
-    pub fn new(
-        needle: &'static str,
-        rule_empty: &'static str,
-        rule_unused: &'static str,
-    ) -> Suppressions {
-        Suppressions {
-            needle,
-            rule_empty,
-            rule_unused,
-            used: HashSet::new(),
-            audited: Vec::new(),
-            errors: Vec::new(),
-        }
-    }
+/// One finding as a JSON object: rule, file:line, owning fn, snippet, and
+/// the call-chain witness (root first).
+pub fn finding_json(f: &Finding) -> String {
+    let witness: Vec<String> = f
+        .witness
+        .iter()
+        .map(|w| format!("\"{}\"", json_escape(w)))
+        .collect();
+    format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"func\":\"{}\",\"snippet\":\"{}\",\"witness\":[{}]}}",
+        json_escape(f.rule),
+        json_escape(&f.path),
+        f.line,
+        json_escape(&f.func),
+        json_escape(&f.snippet),
+        witness.join(",")
+    )
+}
 
-    /// If line `idx` of `file` carries the annotation (inline or in the
-    /// comment block directly above), record it as used and return true —
-    /// the caller should skip its finding. Empty reasons are collected as
-    /// annotation errors.
-    pub fn check(&mut self, ws: &Workspace, file: usize, idx: usize, func: &str) -> bool {
-        let Some((ann_line, reason)) =
-            annotation_above_at(&ws.files[file].view, idx, self.needle)
-        else {
-            return false;
-        };
-        self.used.insert((file, ann_line));
-        if reason.is_empty() {
-            self.errors.push(Finding {
-                rule: self.rule_empty,
-                path: ws.files[file].rel.clone(),
-                line: ann_line + 1,
-                func: func.to_string(),
-                snippet: ws.snippet(file, ann_line),
-                witness: vec!["annotation audit".into()],
-            });
-        } else {
-            self.audited
-                .push((ws.files[file].rel.clone(), idx + 1, reason));
-        }
-        true
-    }
+/// One analyzer's section of the shared JSON report: `{"analyzer": name,
+/// "findings": [...], "audited": n}`. `check-all` concatenates sections
+/// into one artifact; standalone runs emit a single-element array.
+pub fn analyzer_json(analyzer: &str, findings: &[&Finding], audited: usize) -> String {
+    let items: Vec<String> = findings.iter().map(|f| finding_json(f)).collect();
+    format!(
+        "{{\"analyzer\":\"{}\",\"findings\":[{}],\"audited\":{}}}",
+        json_escape(analyzer),
+        items.join(","),
+        audited
+    )
+}
 
-    /// Scan every comment for annotations that never suppressed anything
-    /// and append them to `errors`. Call once, after the full scan.
-    pub fn audit_unused(&mut self, ws: &Workspace) {
-        for (fi, file) in ws.files.iter().enumerate() {
-            for (idx, comment) in file.view.comments.iter().enumerate() {
-                if file.view.in_tests[idx] || !comment.contains(self.needle) {
-                    continue;
-                }
-                if !self.used.contains(&(fi, idx)) {
-                    self.errors.push(Finding {
-                        rule: self.rule_unused,
-                        path: file.rel.clone(),
-                        line: idx + 1,
-                        func: "-".into(),
-                        snippet: ws.snippet(fi, idx),
-                        witness: vec!["annotation audit".into()],
-                    });
-                }
-            }
-        }
+/// Write `sections` (each from [`analyzer_json`]) as one JSON document to
+/// `path`, or to stdout when `path` is `-`.
+pub fn write_json_report(path: &str, sections: &[String]) -> Result<(), String> {
+    let doc = format!("{{\"analyzers\":[{}]}}\n", sections.join(","));
+    if path == "-" {
+        print!("{doc}");
+        Ok(())
+    } else {
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))
     }
 }
 

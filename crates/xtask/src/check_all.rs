@@ -1,0 +1,201 @@
+//! `cargo xtask check-all` — run every static pass (lint, panic-check,
+//! hotpath-check, account-check) with per-step timing, as the single
+//! entry point CI and `scripts/check.sh` invoke. With `--json PATH`, the
+//! findings of all four passes are written into one combined report
+//! (`-` for stdout) for upload as a CI artifact.
+
+use crate::callgraph::{json_escape, write_json_report, Finding};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Shared CLI surface of the analyzers: `[--root DIR] [--json PATH]`.
+pub struct CliArgs {
+    pub root: PathBuf,
+    pub json: Option<String>,
+}
+
+/// Parse the shared flags, printing usage errors under `name`.
+pub fn parse_cli(name: &str, args: &[String]) -> Result<CliArgs, ExitCode> {
+    let mut root = None;
+    let mut json = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("{name}: --root needs a directory");
+                    return Err(ExitCode::from(2));
+                }
+            },
+            "--json" => match it.next() {
+                Some(p) => json = Some(p.clone()),
+                None => {
+                    eprintln!("{name}: --json needs a path (or `-` for stdout)");
+                    return Err(ExitCode::from(2));
+                }
+            },
+            other => {
+                eprintln!("{name}: unknown flag {other}");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    Ok(CliArgs {
+        root: root.unwrap_or_else(crate::lexer::workspace_root),
+        json,
+    })
+}
+
+/// CLI entry: `cargo xtask check-all [--root DIR] [--json PATH]`.
+pub fn run(args: &[String]) -> ExitCode {
+    let cli = match parse_cli("check-all", args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let mut sections: Vec<String> = Vec::new();
+    let mut failed: Vec<&'static str> = Vec::new();
+
+    // Host tooling wall-clock, never dataplane time.
+    let now = std::time::Instant::now;
+
+    let t = now();
+    let lint_result = crate::lint::lint_dir(&cli.root);
+    match &lint_result {
+        Ok((files, violations)) => {
+            sections.push(lint_json(violations));
+            if violations.is_empty() {
+                step_line("lint", true, t.elapsed(), &format!("{files} files clean"));
+            } else {
+                for v in violations {
+                    eprintln!("{v}");
+                }
+                step_line("lint", false, t.elapsed(), &format!("{} violation(s)", violations.len()));
+                failed.push("lint");
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            failed.push("lint");
+        }
+    }
+
+    let t = now();
+    match crate::panic_check::analyze(&cli.root) {
+        Ok(a) => {
+            let findings = crate::panic_check::findings_of(&a);
+            sections.push(crate::panic_check::json_section(&a));
+            if findings.is_empty() {
+                step_line("panic-check", true, t.elapsed(), &summary(a.fn_count, a.audited.len()));
+            } else {
+                print_findings(&findings);
+                step_line("panic-check", false, t.elapsed(), &format!("{} finding(s)", findings.len()));
+                failed.push("panic-check");
+            }
+        }
+        Err(e) => {
+            eprintln!("panic-check: {e}");
+            failed.push("panic-check");
+        }
+    }
+
+    let t = now();
+    match crate::hotpath_check::analyze(&cli.root) {
+        Ok(a) => {
+            let findings = crate::hotpath_check::findings_of(&a);
+            sections.push(crate::hotpath_check::json_section(&a));
+            if findings.is_empty() {
+                step_line(
+                    "hotpath-check",
+                    true,
+                    t.elapsed(),
+                    &summary(a.fn_count, a.audited_alloc + a.audited_lock),
+                );
+            } else {
+                print_findings(&findings);
+                step_line("hotpath-check", false, t.elapsed(), &format!("{} finding(s)", findings.len()));
+                failed.push("hotpath-check");
+            }
+        }
+        Err(e) => {
+            eprintln!("hotpath-check: {e}");
+            failed.push("hotpath-check");
+        }
+    }
+
+    let t = now();
+    match crate::account_check::analyze(&cli.root) {
+        Ok(a) => {
+            let findings = crate::account_check::findings_of(&a);
+            sections.push(crate::account_check::json_section(&a));
+            if findings.is_empty() {
+                step_line("account-check", true, t.elapsed(), &summary(a.fn_count, a.audited.len()));
+            } else {
+                print_findings(&findings);
+                step_line("account-check", false, t.elapsed(), &format!("{} finding(s)", findings.len()));
+                failed.push("account-check");
+            }
+        }
+        Err(e) => {
+            eprintln!("account-check: {e}");
+            failed.push("account-check");
+        }
+    }
+
+    if let Some(path) = &cli.json {
+        if let Err(e) = write_json_report(path, &sections) {
+            eprintln!("check-all: {e}");
+            return ExitCode::FAILURE;
+        }
+        if path != "-" {
+            println!("check-all: findings report written to {path}");
+        }
+    }
+
+    if failed.is_empty() {
+        println!("check-all: all passes clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("check-all: FAILED ({})", failed.join(", "));
+        ExitCode::FAILURE
+    }
+}
+
+fn summary(fns: usize, audited: usize) -> String {
+    format!("{fns} fns, {audited} audited suppression(s)")
+}
+
+fn step_line(name: &str, ok: bool, elapsed: std::time::Duration, detail: &str) {
+    println!(
+        "check-all: [{}] {name:<13} {:>6.2}s  {detail}",
+        if ok { "ok" } else { "FAIL" },
+        elapsed.as_secs_f64()
+    );
+}
+
+fn print_findings(findings: &[&Finding]) {
+    for f in findings {
+        eprintln!("{f}");
+    }
+}
+
+/// Lint violations in the shared findings JSON shape (no call-graph, so
+/// no witness chain).
+fn lint_json(violations: &[crate::lint::Violation]) -> String {
+    let items: Vec<String> = violations
+        .iter()
+        .map(|v| {
+            format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"func\":\"-\",\"snippet\":\"{}\",\"witness\":[]}}",
+                json_escape(v.rule),
+                json_escape(&v.path),
+                v.line,
+                json_escape(&v.message)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"analyzer\":\"lint\",\"findings\":[{}],\"audited\":0}}",
+        items.join(",")
+    )
+}

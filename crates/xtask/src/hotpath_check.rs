@@ -44,7 +44,8 @@
 //! (`flow/tests/alloc_steady_state.rs`, telemetry/scaling) backstop the
 //! allocation side dynamically.
 
-use crate::callgraph::{word_positions, Finding, Suppressions, Workspace};
+use crate::callgraph::{word_positions, Finding, Workspace};
+use crate::suppress::Suppressions;
 use crate::lexer::unicode_ident;
 use crate::panic_check::DATAPLANE_CRATES;
 use std::collections::{HashMap, HashSet};
@@ -102,7 +103,7 @@ const ALLOC_ROOTS: &[(&str, &str)] = &[
 /// `Arc::clone(`/`Vec::new()` are deliberately absent: neither touches
 /// the heap, and rewriting `x.clone()` to `Arc::clone(&x)` is the
 /// sanctioned fix for refcount bumps the `.clone(` rule flags.
-const ALLOC_PATTERNS: &[(&'static str, &'static str)] = &[
+const ALLOC_PATTERNS: &[(&str, &str)] = &[
     ("alloc-box", "Box::new("),
     ("alloc-box", "Box::leak("),
     ("alloc-vec", "Vec::with_capacity("),
@@ -202,33 +203,46 @@ pub struct HotAnalysis {
     pub per_crate: Vec<(String, usize, usize, usize)>,
 }
 
-/// CLI entry: `cargo xtask hotpath-check [--root DIR]`.
+/// CLI entry: `cargo xtask hotpath-check [--root DIR] [--json PATH]`.
 pub fn run(args: &[String]) -> ExitCode {
-    let mut root = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--root" => match it.next() {
-                Some(d) => root = Some(std::path::PathBuf::from(d)),
-                None => {
-                    eprintln!("hotpath-check: --root needs a directory");
-                    return ExitCode::from(2);
+    let cli = match crate::check_all::parse_cli("hotpath-check", args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match analyze(&cli.root) {
+        Ok(a) => {
+            if let Some(path) = &cli.json {
+                let section = json_section(&a);
+                if let Err(e) = crate::callgraph::write_json_report(path, &[section]) {
+                    eprintln!("hotpath-check: {e}");
+                    return ExitCode::FAILURE;
                 }
-            },
-            other => {
-                eprintln!("hotpath-check: unknown flag {other}");
-                return ExitCode::from(2);
             }
+            report(&a)
         }
-    }
-    let root = root.unwrap_or_else(crate::lexer::workspace_root);
-    match analyze(&root) {
-        Ok(a) => report(&a),
         Err(e) => {
             eprintln!("hotpath-check: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// All fatal findings, ordered alloc-then-lock-then-annotation.
+pub fn findings_of(a: &HotAnalysis) -> Vec<&Finding> {
+    a.alloc_violations
+        .iter()
+        .chain(&a.lock_violations)
+        .chain(&a.annotation_errors)
+        .collect()
+}
+
+/// This analyzer's section of the shared `--json` report.
+pub fn json_section(a: &HotAnalysis) -> String {
+    crate::callgraph::analyzer_json(
+        "hotpath-check",
+        &findings_of(a),
+        a.audited_alloc + a.audited_lock,
+    )
 }
 
 /// Print the per-crate report and turn the analysis into an exit code.
@@ -612,8 +626,8 @@ pub fn analyze(root: &Path) -> Result<HotAnalysis, String> {
     sup_alloc.audit_unused(&ws);
     sup_lock.audit_unused(&ws);
     let mut annotation_errors: Vec<Finding> = Vec::new();
-    annotation_errors.extend(sup_alloc.errors.drain(..));
-    annotation_errors.extend(sup_lock.errors.drain(..));
+    annotation_errors.append(&mut sup_alloc.errors);
+    annotation_errors.append(&mut sup_lock.errors);
 
     alloc_violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     lock_violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
@@ -705,6 +719,9 @@ fn find_guards(ws: &Workspace, fid: usize) -> Vec<Guard> {
     let krate = &ws.files[fi].crate_name;
     let mut out = Vec::new();
 
+    // `idx` indexes three parallel per-line arrays; an iterator over any
+    // one of them would still need the position for the other two.
+    #[allow(clippy::needless_range_loop)]
     for idx in f.start_line..=f.end_line.min(view.code.len().saturating_sub(1)) {
         if view.in_tests[idx] || ws.innermost_fn(fi, idx) != Some(fid) {
             continue;

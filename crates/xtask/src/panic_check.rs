@@ -140,33 +140,38 @@ pub struct Analysis {
     pub per_crate: Vec<(String, usize, usize, usize)>,
 }
 
-/// CLI entry: `cargo xtask panic-check [--root DIR]`.
+/// CLI entry: `cargo xtask panic-check [--root DIR] [--json PATH]`.
 pub fn run(args: &[String]) -> ExitCode {
-    let mut root = None;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--root" => match it.next() {
-                Some(d) => root = Some(std::path::PathBuf::from(d)),
-                None => {
-                    eprintln!("panic-check: --root needs a directory");
-                    return ExitCode::from(2);
+    let cli = match crate::check_all::parse_cli("panic-check", args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match analyze(&cli.root) {
+        Ok(a) => {
+            if let Some(path) = &cli.json {
+                let section = json_section(&a);
+                if let Err(e) = crate::callgraph::write_json_report(path, &[section]) {
+                    eprintln!("panic-check: {e}");
+                    return ExitCode::FAILURE;
                 }
-            },
-            other => {
-                eprintln!("panic-check: unknown flag {other}");
-                return ExitCode::from(2);
             }
+            report(&a)
         }
-    }
-    let root = root.unwrap_or_else(crate::lexer::workspace_root);
-    match analyze(&root) {
-        Ok(a) => report(&a),
         Err(e) => {
             eprintln!("panic-check: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// All fatal findings, ordered violations-then-annotation-errors.
+pub fn findings_of(a: &Analysis) -> Vec<&Finding> {
+    a.violations.iter().chain(&a.annotation_errors).collect()
+}
+
+/// This analyzer's section of the shared `--json` report.
+pub fn json_section(a: &Analysis) -> String {
+    crate::callgraph::analyzer_json("panic-check", &findings_of(a), a.audited.len())
 }
 
 /// Print the per-crate report and turn the analysis into an exit code.
@@ -206,7 +211,7 @@ pub fn analyze(root: &Path) -> Result<Analysis, String> {
     let mut annotation_errors = Vec::new();
     let mut unreachable_sites = 0usize;
     let mut crate_viols: HashMap<&str, usize> = HashMap::new();
-    let mut sup = crate::callgraph::Suppressions::new("panic-ok:", "panic-ok-empty", "panic-ok-unused");
+    let mut sup = crate::suppress::Suppressions::new("panic-ok:", "panic-ok-empty", "panic-ok-unused");
 
     for (fi, file) in ws.files.iter().enumerate() {
         for (idx, line) in file.view.code.iter().enumerate() {
@@ -471,7 +476,7 @@ fn has_unchecked_arith(line: &str) -> bool {
             continue; // `x as *const u8`
         }
         // Lifetime bound `'a + 'b`.
-        if p_at >= prev_tok.len() && prev_tok.len() > 0 {
+        if p_at >= prev_tok.len() && !prev_tok.is_empty() {
             let before = p_at + 1 - prev_tok.len();
             if before > 0 && b[before - 1] == '\'' {
                 i += 1;

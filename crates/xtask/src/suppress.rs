@@ -1,0 +1,95 @@
+//! Shared suppression-annotation scanner for the static analyzers.
+//!
+//! Every analyzer pass shares one annotation grammar: a finding on a line
+//! may be suppressed by `// <needle> <reason>` on the same line or in the
+//! comment block directly above it (`panic-ok:` for panic-check,
+//! `alloc-ok:` / `lock-ok:` for hotpath-check, `account-ok:` for
+//! account-check). The policy is identical across passes — a suppression
+//! with an empty reason is a violation, and an annotation that no longer
+//! suppresses anything (stale after a refactor) is a violation — so the
+//! bookkeeping lives here rather than being re-implemented per analyzer.
+
+use crate::callgraph::{Finding, Workspace};
+use crate::lexer::annotation_above_at;
+use std::collections::HashSet;
+
+/// Tracks one annotation grammar (`panic-ok:` / `alloc-ok:` / `lock-ok:` /
+/// `account-ok:`): which annotations suppressed a finding, which carried
+/// no reason, and — after the scan — which suppressed nothing at all
+/// (stale).
+pub struct Suppressions {
+    needle: &'static str,
+    rule_empty: &'static str,
+    rule_unused: &'static str,
+    used: HashSet<(usize, usize)>,
+    /// Suppressed sites: (path, 1-based line, audited reason).
+    pub audited: Vec<(String, usize, String)>,
+    /// Empty-reason findings collected during [`Suppressions::check`].
+    pub errors: Vec<Finding>,
+}
+
+impl Suppressions {
+    pub fn new(
+        needle: &'static str,
+        rule_empty: &'static str,
+        rule_unused: &'static str,
+    ) -> Suppressions {
+        Suppressions {
+            needle,
+            rule_empty,
+            rule_unused,
+            used: HashSet::new(),
+            audited: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// If line `idx` of `file` carries the annotation (inline or in the
+    /// comment block directly above), record it as used and return true —
+    /// the caller should skip its finding. Empty reasons are collected as
+    /// annotation errors.
+    pub fn check(&mut self, ws: &Workspace, file: usize, idx: usize, func: &str) -> bool {
+        let Some((ann_line, reason)) =
+            annotation_above_at(&ws.files[file].view, idx, self.needle)
+        else {
+            return false;
+        };
+        self.used.insert((file, ann_line));
+        if reason.is_empty() {
+            self.errors.push(Finding {
+                rule: self.rule_empty,
+                path: ws.files[file].rel.clone(),
+                line: ann_line + 1,
+                func: func.to_string(),
+                snippet: ws.snippet(file, ann_line),
+                witness: vec!["annotation audit".into()],
+            });
+        } else {
+            self.audited
+                .push((ws.files[file].rel.clone(), idx + 1, reason));
+        }
+        true
+    }
+
+    /// Scan every comment for annotations that never suppressed anything
+    /// and append them to `errors`. Call once, after the full scan.
+    pub fn audit_unused(&mut self, ws: &Workspace) {
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (idx, comment) in file.view.comments.iter().enumerate() {
+                if file.view.in_tests[idx] || !comment.contains(self.needle) {
+                    continue;
+                }
+                if !self.used.contains(&(fi, idx)) {
+                    self.errors.push(Finding {
+                        rule: self.rule_unused,
+                        path: file.rel.clone(),
+                        line: idx + 1,
+                        func: "-".into(),
+                        snippet: ws.snippet(fi, idx),
+                        witness: vec!["annotation audit".into()],
+                    });
+                }
+            }
+        }
+    }
+}

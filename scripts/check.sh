@@ -41,9 +41,10 @@ step "cargo test -q" cargo test -q
 step "telemetry smoke (conservation + ruru_self export)" telemetry_smoke
 step "cargo clippy --workspace --all-targets -- -D warnings" \
     cargo clippy --workspace --all-targets -- -D warnings
-step "cargo xtask lint" cargo xtask lint
-step "cargo xtask panic-check" cargo xtask panic-check
-step "cargo xtask hotpath-check" cargo xtask hotpath-check
+# One entry point for all four static gates (lint, panic-check,
+# hotpath-check, account-check) — same step CI's static-analysis job runs;
+# check-all prints its own per-analyzer timing.
+step "cargo xtask check-all" cargo xtask check-all
 
 if [[ "$quick" -eq 0 ]]; then
     step "loom models (RUSTFLAGS=--cfg loom)" loom_models
