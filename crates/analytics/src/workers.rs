@@ -35,6 +35,12 @@ pub const WORKER_BURST: usize = 32;
 /// Scratch-block size for the per-worker encode buffer.
 const SCRATCH_CHUNK: usize = 64 * 1024;
 
+/// Points a worker buffers in its private tsdb stripe before folding it
+/// into the shared store. The stripe is the lock-free striped-ingest
+/// write path: workers never take the store lock per point, only one
+/// whole-shard merge per `STRIPE_FLUSH_POINTS` (and one on exit).
+const STRIPE_FLUSH_POINTS: u64 = 4096;
+
 /// The PUSH end of a lossless detector feed (alias for readability).
 pub type PushFeed = ruru_mq::Push;
 
@@ -56,6 +62,10 @@ pub struct PoolStats {
     /// Times the scratch encode path had to allocate a fresh block
     /// (≈ one per [`SCRATCH_CHUNK`] bytes of binary output, not per record).
     pub alloc_hits: u64,
+    /// Points folded into the shared tsdb by stripe merges. Once the pool
+    /// has joined this equals `enriched`: every buffered point was merged
+    /// (conservation, not silent loss, is the stripe contract).
+    pub tsdb_merged: u64,
 }
 
 #[derive(Default)]
@@ -67,6 +77,7 @@ struct PoolCounters {
     batches_out: AtomicU64,
     bytes_out: AtomicU64,
     alloc_hits: AtomicU64,
+    tsdb_merged: AtomicU64,
 }
 
 impl PoolCounters {
@@ -79,6 +90,7 @@ impl PoolCounters {
             batches_out: self.batches_out.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             alloc_hits: self.alloc_hits.load(Ordering::Relaxed),
+            tsdb_merged: self.tsdb_merged.load(Ordering::Relaxed),
         }
     }
 }
@@ -104,6 +116,9 @@ pub struct PoolTelemetry {
     pub geo_misses: CounterId,
     /// Payload bytes emitted on the output edges.
     pub bytes_out: CounterId,
+    /// Points folded into the shared tsdb by stripe merges (the
+    /// `tsdb-merge-accounting` conservation term).
+    pub tsdb_merged: CounterId,
     /// Geo cache hits (absolute per worker; summed across shards).
     pub geo_cache_hits: GaugeId,
     /// Geo cache misses (absolute per worker; summed across shards).
@@ -191,6 +206,11 @@ impl EnrichmentPool {
                     .name(format!("enrich-{i}"))
                     .spawn(move || {
                         let mut enricher = Enricher::new(db, cache_capacity);
+                        // Private lock-free stripe: points buffer here and
+                        // fold into the shared store one whole shard at a
+                        // time, so the write lock is taken O(points/4096)
+                        // times instead of once per point.
+                        let mut stripe = tsdb.stripe(STRIPE_FLUSH_POINTS);
                         let mut batch: Vec<Message> = Vec::with_capacity(WORKER_BURST);
                         let mut feed_out: Vec<Message> = Vec::with_capacity(WORKER_BURST);
                         let mut pub_out: Vec<Message> = Vec::with_capacity(WORKER_BURST);
@@ -208,6 +228,7 @@ impl EnrichmentPool {
                             let mut bytes_out = 0u64;
                             let mut alloc_hits = 0u64;
                             let mut batches_out = 0u64;
+                            let mut merged = 0u64;
                             residencies.clear();
                             for msg in batch.drain(..) {
                                 let Some(m) = LatencyMeasurement::decode(&msg.payload) else {
@@ -224,7 +245,7 @@ impl EnrichmentPool {
                                     geo_misses += 1;
                                 }
                                 let point = em.to_point();
-                                tsdb.write(&point);
+                                merged += stripe.write(&point);
                                 if detector_feed.is_some() {
                                     if scratch.capacity() < ENRICHED_WIRE_LEN {
                                         scratch.reserve(SCRATCH_CHUNK);
@@ -271,6 +292,9 @@ impl EnrichmentPool {
                             counters.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
                             counters.alloc_hits.fetch_add(alloc_hits, Ordering::Relaxed);
                             counters.batches_out.fetch_add(batches_out, Ordering::Relaxed);
+                            if merged > 0 {
+                                counters.tsdb_merged.fetch_add(merged, Ordering::Relaxed);
+                            }
                             // One registry burst per input burst: the
                             // collector either sees all of it or none.
                             if let Some(t) = &telemetry {
@@ -284,8 +308,23 @@ impl EnrichmentPool {
                                 t.registry.counter_add(shard, t.decode_errors, decode_errors);
                                 t.registry.counter_add(shard, t.geo_misses, geo_misses);
                                 t.registry.counter_add(shard, t.bytes_out, bytes_out);
+                                t.registry.counter_add(shard, t.tsdb_merged, merged);
                                 t.registry.gauge_store(shard, t.geo_cache_hits, hits);
                                 t.registry.gauge_store(shard, t.geo_cache_misses, misses);
+                                t.registry.burst_end(shard);
+                            }
+                        }
+                        // The input pipe is closed and drained: fold the
+                        // stripe's tail so no buffered point is lost. The
+                        // merge is counted like any other flush — this is
+                        // what keeps `tsdb-merge-accounting` exact.
+                        let flushed = stripe.flush();
+                        if flushed > 0 {
+                            counters.tsdb_merged.fetch_add(flushed, Ordering::Relaxed);
+                            if let Some(t) = &telemetry {
+                                let shard = t.shard_base + i;
+                                t.registry.burst_begin(shard);
+                                t.registry.counter_add(shard, t.tsdb_merged, flushed);
                                 t.registry.burst_end(shard);
                             }
                         }
@@ -359,6 +398,7 @@ mod tests {
         assert_eq!(stats.enriched, 1000);
         assert_eq!(stats.decode_errors, 0);
         assert_eq!(stats.geo_misses, 0);
+        assert_eq!(stats.tsdb_merged, 1000, "every buffered point was merged");
         assert_eq!(tsdb.points_ingested(), 1000);
         assert_eq!(sub.backlog(), 1000);
         // Republished lines decode and carry no IPs.
@@ -479,6 +519,7 @@ mod tests {
         drop(push);
         let stats = pool.join();
         assert_eq!(stats.enriched, 5000);
+        assert_eq!(stats.tsdb_merged, 5000);
         assert_eq!(tsdb.points_ingested(), 5000);
     }
 }

@@ -9,12 +9,14 @@
 //! the stage bottleneck model:
 //!
 //! * pipelined, Q queues + Q enrichers (the auto-sized pool):
-//!   `pkts/s = min(Q/S_rx, Q/(r·S_enr), 1/(r·S_store))` — the last term is
-//!   the shared-`TsDb` store path, serialized across all enrichers by the
-//!   global write lock no matter how many cores are added.
+//!   `pkts/s = min(Q/S_rx, Q/(r·(S_enr + S_shard)), 1/(r·S_merge))` —
+//!   every enricher ingests through its own **lock-free** stripe
+//!   (`TsDb::stripe`); the only serialized section left is the per-flush
+//!   shard merge, amortized O(series) per rotation.
 //! * run-to-completion, Q lcores:
-//!   `pkts/s = Q/(S_rtc + r·S_shard)` — inline enrichment plus the
-//!   per-queue **lock-free** `IngestShard` build; nothing is serialized.
+//!   `pkts/s = min(Q/(S_rtc + r·S_shard), 1/(r·S_merge))` — inline
+//!   enrichment plus the per-queue shard build, with the same amortized
+//!   merge fold at every record-log rotation.
 //!
 //! where `r` is measurements per packet of the seeded workload. The gated
 //! mode-vs-mode ratio is computed on **records/s per core** (pipelined
@@ -169,15 +171,17 @@ struct ServiceTimes {
     rx_pkt: f64,
     /// Pipelined enricher, per measurement: decode + enrich + 122-byte encode.
     enr_meas: f64,
-    /// Shared-store path, per measurement: `to_point` + `TsDb::write`
-    /// (the section serialized across enrichers by the global write lock).
-    store_meas: f64,
     /// Run-to-completion lcore, per packet: classify + track + inline
     /// enrich + 122-byte encode into the reused scratch block.
     rtc_pkt: f64,
-    /// Run-to-completion deferred ingest, per measurement: `to_point` +
-    /// lock-free `IngestShard::write` (parallel per queue).
+    /// Lock-free striped ingest, per measurement: `to_point` +
+    /// `IngestShard::write` — parallel per enricher (pipelined) and per
+    /// queue (run-to-completion).
     shard_meas: f64,
+    /// Serialized shard merge, per measurement amortized: `merge_shard`
+    /// folding a built shard under the store write lock — the only
+    /// serialized section left in either mode's ingest path.
+    merge_meas: f64,
 }
 
 fn measure_service_times(sc: &Scenario) -> ServiceTimes {
@@ -227,14 +231,6 @@ fn measure_service_times(sc: &Scenario) -> ServiceTimes {
     });
 
     let enriched: Vec<_> = sc.measurements.iter().map(|m| enricher.enrich(m)).collect();
-    let store_meas = time_ns(nm, || {
-        let db = TsDb::new();
-        for em in &enriched {
-            db.write(&em.to_point());
-        }
-        db.points_ingested()
-    });
-
     let shard_meas = time_ns(nm, || {
         let mut shard = IngestShard::new();
         for em in &enriched {
@@ -242,6 +238,26 @@ fn measure_service_times(sc: &Scenario) -> ServiceTimes {
         }
         shard.points_buffered()
     });
+
+    // Serialized merge share: shards built untimed, their folds into one
+    // accumulating store timed — overlapping-series merges included, as in
+    // a live run where every rotation lands on existing runs.
+    let merge_meas = {
+        let db = TsDb::new();
+        let mut total = 0.0f64;
+        let mut merged = 0u64;
+        for _ in 0..REPS {
+            let mut shard = IngestShard::new();
+            for em in &enriched {
+                shard.write(&em.to_point());
+            }
+            merged += shard.points_buffered();
+            let started = Instant::now();
+            black_box(db.merge_shard(shard));
+            total += started.elapsed().as_secs_f64();
+        }
+        total * 1e9 / merged as f64
+    };
 
     let rtc_pkt = time_ns(n, || {
         let mut t = HandshakeTracker::new(0, TrackerConfig::default());
@@ -262,9 +278,9 @@ fn measure_service_times(sc: &Scenario) -> ServiceTimes {
     ServiceTimes {
         rx_pkt,
         enr_meas,
-        store_meas,
         rtc_pkt,
         shard_meas,
+        merge_meas,
     }
 }
 
@@ -283,22 +299,24 @@ fn model_curve(st: &ServiceTimes, r: f64, queues: &[u16]) -> Vec<CurvePoint> {
         .iter()
         .map(|&q| {
             let qf = q as f64;
+            // Both modes share the serialized merge cap: rotations fold
+            // shards under the store write lock, amortized O(series).
+            let merge_cap = 1e9 / (r * st.merge_meas);
             // Pipelined: Q RX lcores, Q enrichers (the auto-sized pool),
-            // one shared TsDb behind a global write lock.
+            // each enricher on its own lock-free stripe.
             let rx_cap = 1e9 * qf / st.rx_pkt;
-            let enr_cap = 1e9 * qf / (r * st.enr_meas);
-            let store_cap = 1e9 / (r * st.store_meas);
+            let enr_cap = 1e9 * qf / (r * (st.enr_meas + st.shard_meas));
             let (pipelined_pps, bottleneck) = [
                 (rx_cap, "rx"),
                 (enr_cap, "enrich"),
-                (store_cap, "tsdb_write_lock"),
+                (merge_cap, "tsdb_merge"),
             ]
             .into_iter()
             .min_by(|a, b| a.0.total_cmp(&b.0))
             .expect("non-empty");
-            // Run-to-completion: Q lcores do everything; the only extra
-            // work is the lock-free per-queue shard build.
-            let rtc_pps = 1e9 * qf / (st.rtc_pkt + r * st.shard_meas);
+            // Run-to-completion: Q lcores do everything inline, each with
+            // a private record log, same amortized merge fold at rotation.
+            let rtc_pps = (1e9 * qf / (st.rtc_pkt + r * st.shard_meas)).min(merge_cap);
             CurvePoint {
                 queues: q,
                 pipelined_pps,
@@ -421,8 +439,8 @@ fn main() {
 
     let st = measure_service_times(&sc);
     eprintln!(
-        "service times ns: rx={:.1}/pkt enr={:.1}/meas store={:.1}/meas rtc={:.1}/pkt shard={:.1}/meas",
-        st.rx_pkt, st.enr_meas, st.store_meas, st.rtc_pkt, st.shard_meas
+        "service times ns: rx={:.1}/pkt enr={:.1}/meas rtc={:.1}/pkt shard={:.1}/meas merge={:.1}/meas",
+        st.rx_pkt, st.enr_meas, st.rtc_pkt, st.shard_meas, st.merge_meas
     );
 
     let curve = model_curve(&st, r, &args.queues);
@@ -476,15 +494,15 @@ fn main() {
     let json = format!(
         r#"{{
   "method": "bottleneck_model",
-  "note": "service times measured single-threaded on real components; multi-core curve derived from the stage bottleneck model (pipelined: min over rx lcores, enrich pool, serialized shared-TsDb store; rtc: fully parallel per-queue). Gated mode ratio uses records/s per core: pipelined spends 2Q cores for Q queues, run-to-completion spends Q.",
+  "note": "service times measured single-threaded on real components; multi-core curve derived from the stage bottleneck model (pipelined: min over rx lcores, enrich pool with per-enricher lock-free stripes, serialized amortized shard merge; rtc: per-queue inline with the same merge cap). Gated mode ratio uses records/s per core: pipelined spends 2Q cores for Q queues, run-to-completion spends Q.",
   "host_cores": {host_cores},
   "workload": {{ "packets": {packets}, "measurements": {meas}, "measurements_per_packet": {r:.4}, "frame_bytes": {bytes} }},
   "service_times_ns": {{
     "pipelined_rx_per_packet": {rx:.1},
     "pipelined_enrich_per_measurement": {enr:.1},
-    "pipelined_store_per_measurement": {store:.1},
     "rtc_per_packet": {rtc:.1},
-    "rtc_shard_ingest_per_measurement": {shard:.1}
+    "stripe_ingest_per_measurement": {shard:.1},
+    "tsdb_merge_per_measurement_amortized": {merge:.1}
   }},
   "curve": [
 {curve_body}
@@ -509,9 +527,9 @@ fn main() {
         bytes = sc.bytes,
         rx = st.rx_pkt,
         enr = st.enr_meas,
-        store = st.store_meas,
         rtc = st.rtc_pkt,
         shard = st.shard_meas,
+        merge = st.merge_meas,
         curve_body = curve_json.join(",\n"),
         r1 = rtc_vs_pipelined_4q,
         r2 = rtc_scaling,

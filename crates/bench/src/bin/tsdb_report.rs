@@ -1,0 +1,467 @@
+//! Machine-readable production-retention TSDB report: writes
+//! `BENCH_tsdb.json` covering the full two-phase shard lifecycle on a
+//! day-scale workload (120 series × 86,400 points ≈ 10.4M points):
+//!
+//! * **ingest** — the workload streamed through per-writer
+//!   [`ruru_tsdb::StripeWriter`]s (flush every 4096 points, the pipeline's
+//!   own cadence), against a stripe-only pass that never flushes. The
+//!   difference is the amortized merge+seal share; the writer-scaling
+//!   curve is the measured-service-time bottleneck model
+//!   (`"method": "bottleneck_model"`, as in `scaling_report`):
+//!   `points/s = min(W/S_stripe, 1/S_merge)` for W writers — the merge is
+//!   the only serialized section left in the write path.
+//! * **storage** — after a retention-style `seal()` drain, compressed
+//!   bytes/point from [`ruru_tsdb::TsDb::storage_stats`]. Gated ≤ 4.0
+//!   (16 bytes/point raw).
+//! * **query** — p50/p99 serial latency of a bucketed day-range scan,
+//!   split into scan ([`ruru_tsdb::TsDb::query_values`]) and aggregate
+//!   ([`ruru_tsdb::Aggregate::compute`]) phases. The 4-worker speedup is
+//!   modeled from that split (both phases partition; the residual
+//!   matching/assembly overhead stays serial) because this host has a
+//!   single core; the real `query_parallel` wall clock is reported
+//!   ungated.
+//! * **allocation audit** — counting-allocator hits per point over a
+//!   steady-state stripe window (same instrument as
+//!   `crates/tsdb/tests/alloc_stripe_ingest.rs`).
+//!
+//! Usage: tsdb_report [--out PATH] [--smoke]
+
+use ruru_tsdb::{Aggregate, Point, Query, TsDb};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counts heap hits while armed; defers everything to [`System`]. Same
+/// instrument as `flow_table_report.rs` / `scaling_report.rs`.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static HEAP_HITS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to the `System` allocator — identical layout
+// contracts — plus a relaxed counter increment, which allocates nothing
+// and cannot reenter the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            HEAP_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    // SAFETY: forwards `ptr`/`layout` unchanged to `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: forwards all arguments unchanged to `System.realloc`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            HEAP_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The pipeline's own stripe rotation cadence (analytics workers).
+const FLUSH_POINTS: u64 = 4096;
+/// Modeled writer counts.
+const WRITERS: &[u32] = &[1, 2, 4, 8];
+/// Query timing repetitions (p99 comes from this sample).
+const QUERY_REPS: usize = 25;
+
+struct Args {
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_tsdb.json".into(),
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--smoke" => args.smoke = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: tsdb_report [--out PATH] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Workload shape: `series` latency series sampled once a second over
+/// `points_per_series` seconds (24 h in the full run).
+struct Shape {
+    series: usize,
+    points_per_series: u64,
+}
+
+impl Shape {
+    fn points(&self) -> u64 {
+        self.series as u64 * self.points_per_series
+    }
+}
+
+/// One pre-built point template per series; the ingest loops only mutate
+/// the timestamp and field value, so the measured cost is the write path.
+fn templates(shape: &Shape) -> Vec<Point> {
+    (0..shape.series)
+        .map(|s| {
+            Point::new(
+                "latency",
+                vec![
+                    ("city".into(), format!("city-{:03}", s / 4)),
+                    ("queue".into(), format!("{}", s % 4)),
+                ],
+                vec![("total_ms".into(), 0.0)],
+                0,
+            )
+        })
+        .collect()
+}
+
+/// Deterministic latency sample for (series, tick): a per-series baseline
+/// plus bounded jitter that holds for a few seconds at a time, quantized
+/// to 0.1 ms like a real measurement feed. The hold gives the XOR
+/// compressor the value profile real monitoring streams have — runs of
+/// identical readings broken by small steps — instead of white noise.
+fn latency_ms(series: usize, tick: u64) -> f64 {
+    let base = 20.0 + 3.0 * (series % 7) as f64;
+    let step = tick / 4;
+    let jitter = ((step.wrapping_mul(2654435761).wrapping_add(series as u64 * 97)) % 64) as f64;
+    ((base + jitter * 0.1) * 10.0).round() / 10.0
+}
+
+/// Stream the whole workload through `writers` round-robin stripes with
+/// the production flush cadence; returns elapsed ns. This is the real
+/// lifecycle: buffered runs, periodic merges, incremental sealing.
+fn ingest(db: &Arc<TsDb>, shape: &Shape, writers: usize) -> f64 {
+    let mut points = templates(shape);
+    let mut stripes: Vec<_> = (0..writers).map(|_| db.stripe(FLUSH_POINTS)).collect();
+    let started = Instant::now();
+    for tick in 0..shape.points_per_series {
+        let ts = 1_000_000_000 * (tick + 1);
+        for (s, p) in points.iter_mut().enumerate() {
+            p.timestamp_ns = ts;
+            p.fields[0].1 = latency_ms(s, tick);
+            stripes[s % writers].write(black_box(p));
+        }
+    }
+    for stripe in &mut stripes {
+        stripe.flush();
+    }
+    started.elapsed().as_nanos() as f64
+}
+
+/// Stripe-only service time: same write stream into one stripe that never
+/// flushes (a fraction of the workload bounds memory); ns per point.
+fn stripe_only_ns_per_point(db: &Arc<TsDb>, shape: &Shape) -> f64 {
+    let mut points = templates(shape);
+    let ticks = (shape.points_per_series / 8).max(1);
+    let mut stripe = db.stripe(u64::MAX);
+    let started = Instant::now();
+    for tick in 0..ticks {
+        let ts = 1_000_000_000 * (tick + 1);
+        for (s, p) in points.iter_mut().enumerate() {
+            p.timestamp_ns = ts;
+            p.fields[0].1 = latency_ms(s, tick);
+            stripe.write(black_box(p));
+        }
+    }
+    let elapsed = started.elapsed().as_nanos() as f64;
+    let n = stripe.points_buffered();
+    drop(stripe); // flushes nothing into the measured store: fresh db below
+    elapsed / n as f64
+}
+
+/// Serialized merge cost per point: flush-sized stripes built untimed,
+/// their folds into the store timed — the only write-lock section left in
+/// the ingest path, and the serialized term of the writer-scaling model.
+fn merge_ns_per_point(shape: &Shape) -> f64 {
+    let db = Arc::new(TsDb::new());
+    let mut points = templates(shape);
+    let rotations = 64u64.min((shape.points() / FLUSH_POINTS).max(1));
+    let mut merged = 0u64;
+    let mut merge_ns = 0.0;
+    let mut tick = 0u64;
+    for _ in 0..rotations {
+        let mut stripe = db.stripe(u64::MAX);
+        while stripe.points_buffered() < FLUSH_POINTS {
+            let ts = 1_000_000_000 * (tick + 1);
+            for (s, p) in points.iter_mut().enumerate() {
+                p.timestamp_ns = ts;
+                p.fields[0].1 = latency_ms(s, tick);
+                stripe.write(p);
+            }
+            tick += 1;
+        }
+        merged += stripe.points_buffered();
+        let started = Instant::now();
+        black_box(stripe.flush());
+        merge_ns += started.elapsed().as_nanos() as f64;
+    }
+    merge_ns / merged as f64
+}
+
+/// Steady-state allocation audit: warmed stripe, counting allocator armed
+/// over a bounded window; allocator hits per point.
+fn audit_allocs_per_point(db: &Arc<TsDb>, shape: &Shape) -> f64 {
+    let mut points = templates(shape);
+    let mut stripe = db.stripe(u64::MAX);
+    // Warm pass: every series exists in the stripe, runs have capacity.
+    for (s, p) in points.iter_mut().enumerate() {
+        p.timestamp_ns = 1;
+        p.fields[0].1 = latency_ms(s, 0);
+        stripe.write(p);
+    }
+    let window = 100_000u64.min(shape.points());
+    HEAP_HITS.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+    let mut written = 0u64;
+    'outer: for tick in 1.. {
+        let ts = 1_000_000_000 * (tick + 1);
+        for (s, p) in points.iter_mut().enumerate() {
+            p.timestamp_ns = ts;
+            p.fields[0].1 = latency_ms(s, tick);
+            stripe.write(black_box(p));
+            written += 1;
+            if written >= window {
+                break 'outer;
+            }
+        }
+    }
+    ARMED.store(false, Ordering::Relaxed);
+    let hits = HEAP_HITS.swap(0, Ordering::Relaxed);
+    hits as f64 / written as f64
+}
+
+/// Best-of-N wall time of `f` in ns.
+fn best_ns(reps: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        black_box(f());
+        best = best.min(started.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted.get(idx).copied().unwrap_or(0.0)
+}
+
+fn main() {
+    let args = parse_args();
+    let shape = if args.smoke {
+        Shape {
+            series: 24,
+            points_per_series: 2_000,
+        }
+    } else {
+        Shape {
+            series: 120,
+            points_per_series: 86_400,
+        }
+    };
+    let total_points = shape.points();
+    eprintln!(
+        "workload: {} series x {} points = {} points",
+        shape.series, shape.points_per_series, total_points
+    );
+
+    // --- ingest: full lifecycle through 4 writers' stripes --------------
+    let db = Arc::new(TsDb::new());
+    let ingest_ns = ingest(&db, &shape, 4);
+    let ingest_ns_per_point = ingest_ns / total_points as f64;
+    assert_eq!(db.points_ingested(), total_points, "ingest lost points");
+
+    // Stripe-only service time against a scratch store, plus the directly
+    // measured serialized merge cost per point.
+    let scratch = Arc::new(TsDb::new());
+    let stripe_ns = stripe_only_ns_per_point(&scratch, &shape);
+    let merge_ns = merge_ns_per_point(&shape);
+    eprintln!(
+        "ingest: {ingest_ns_per_point:.0} ns/pt lifecycle; stripe {stripe_ns:.0}, serialized merge {merge_ns:.1} amortized"
+    );
+
+    // Writer scaling: stripes are private and scale; the per-rotation
+    // merge serializes on the store write lock but amortizes O(series)
+    // per flush, so its cap sits far above the stripe term.
+    let writer_curve: Vec<(u32, f64)> = WRITERS
+        .iter()
+        .map(|&w| {
+            let stripe_cap = 1e9 * w as f64 / stripe_ns;
+            let merge_cap = if merge_ns > 0.0 { 1e9 / merge_ns } else { f64::INFINITY };
+            (w, stripe_cap.min(merge_cap))
+        })
+        .collect();
+
+    let allocs_per_point = audit_allocs_per_point(&Arc::new(TsDb::new()), &shape);
+    eprintln!("steady-state allocator hits/point: {allocs_per_point:.2}");
+
+    // --- storage: retention-style seal, then compressed accounting ------
+    let sealed_now = db.seal();
+    let stats = db.storage_stats();
+    assert_eq!(
+        stats.sealed_points + stats.active_points,
+        total_points,
+        "storage accounting lost points"
+    );
+    let bytes_per_point = stats.sealed_bytes as f64 / stats.sealed_points.max(1) as f64;
+    eprintln!(
+        "storage: {} sealed ({} at drain), {} bytes -> {bytes_per_point:.2} bytes/pt (raw 16)",
+        stats.sealed_points, sealed_now, stats.sealed_bytes
+    );
+
+    // --- query: bucketed day-range scan over the sealed store -----------
+    let span_ns = 1_000_000_000 * (shape.points_per_series + 1);
+    let q = Query::range("latency", "total_ms", 0, span_ns).with_buckets(60_000_000_000);
+    let mut serial_ns: Vec<f64> = (0..QUERY_REPS)
+        .map(|_| {
+            let started = Instant::now();
+            black_box(db.query(&q).len() as u64);
+            started.elapsed().as_nanos() as f64
+        })
+        .collect();
+    serial_ns.sort_by(f64::total_cmp);
+    let serial_p50 = percentile(&serial_ns, 0.50);
+    let serial_p99 = percentile(&serial_ns, 0.99);
+
+    // Phase split: scan (per-series, partitions across workers) and
+    // aggregate (per-bucket, partitions across workers); the remainder of
+    // a serial query — matching, sort, bucket assembly — stays serial.
+    let scan_ns = best_ns(5, || db.query_values(&q).len() as u64);
+    let values = db.query_values(&q);
+    let master: Vec<Vec<f64>> = values.into_iter().map(|(_, v)| v).collect();
+    // Each rep aggregates fresh unsorted buckets (compute sorts in place;
+    // timing re-sorted buffers would understate the parallelizable work).
+    // The clone stays outside the timed section.
+    let mut agg_ns = f64::INFINITY;
+    for _ in 0..5 {
+        let mut bufs = master.clone();
+        let started = Instant::now();
+        let mut c = 0u64;
+        for v in &mut bufs {
+            if Aggregate::compute(black_box(v)).is_some() {
+                c += 1;
+            }
+        }
+        black_box(c);
+        agg_ns = agg_ns.min(started.elapsed().as_nanos() as f64);
+    }
+    let serial_best = serial_ns.first().copied().unwrap_or(0.0);
+    let parallel_part = (scan_ns + agg_ns).min(serial_best);
+    let serial_part = (serial_best - parallel_part).max(0.0);
+    let speedup_modeled =
+        |w: f64| -> f64 { serial_best / (serial_part + parallel_part / w) };
+    let speedup_4w = speedup_modeled(4.0);
+
+    // Real parallel wall clock on this host — ungated: with one core the
+    // threads time-share and this measures the scheduler, which is exactly
+    // why the gated figure is modeled from the phase split.
+    let host_parallel_ns = best_ns(QUERY_REPS, || db.query_parallel(&q, 4).len() as u64);
+    let host_speedup = serial_best / host_parallel_ns.max(1.0);
+    eprintln!(
+        "query: p50 {:.2} ms, p99 {:.2} ms; modeled 4-worker speedup {speedup_4w:.2}x (host measured {host_speedup:.2}x, ungated)",
+        serial_p50 / 1e6,
+        serial_p99 / 1e6
+    );
+
+    let curve_body = writer_curve
+        .iter()
+        .map(|(w, pps)| {
+            format!(
+                "    {{ \"writers\": {w}, \"points_per_sec\": {pps:.0}, \"bottleneck\": \"{}\" }}",
+                if 1e9 * *w as f64 / stripe_ns <= *pps { "stripe" } else { "merge" }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    let host_cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let json = format!(
+        r#"{{
+  "method": "bottleneck_model",
+  "note": "single-threaded service times on real components; writer scaling and the 4-worker query speedup are derived from measured phase splits (stripe vs serialized merge; per-series scan + per-bucket aggregate vs serial assembly). Host wall-clock figures are reported ungated: on this host the threads time-share the core(s).",
+  "host_cores": {host_cores},
+  "workload": {{ "series": {series}, "points_per_series": {pps}, "points": {points}, "cadence_seconds": 1 }},
+  "ingest": {{
+    "writers": 4,
+    "flush_points": {flush},
+    "lifecycle_ns_per_point": {ing:.1},
+    "stripe_write_ns_per_point": {stripe:.1},
+    "merge_seal_ns_per_point_amortized": {merge:.1},
+    "allocator_hits_per_point": {allocs:.2},
+    "writer_scaling_modeled": [
+{curve_body}
+    ]
+  }},
+  "storage": {{
+    "sealed_points": {sp},
+    "active_points": {ap},
+    "sealed_bytes": {sb},
+    "bytes_per_point": {bpp:.3},
+    "raw_bytes_per_point": 16,
+    "compression_ratio": {cr:.1}
+  }},
+  "query": {{
+    "range_seconds": {range_s},
+    "bucket_seconds": 60,
+    "serial_ms_p50": {qp50:.3},
+    "serial_ms_p99": {qp99:.3},
+    "scan_ms": {scan:.3},
+    "aggregate_ms": {agg:.3},
+    "parallel": {{
+      "workers": 4,
+      "speedup_modeled": {sp4:.2},
+      "host_wall_clock": {{ "gated": false, "parallel_ms": {hpm:.3}, "speedup_measured": {hsp:.2} }}
+    }}
+  }},
+  "gates": {{ "points_min": 10000000, "bytes_per_point_max": 4.0, "parallel_speedup_modeled_min": 3.0 }}
+}}
+"#,
+        series = shape.series,
+        pps = shape.points_per_series,
+        points = total_points,
+        flush = FLUSH_POINTS,
+        ing = ingest_ns_per_point,
+        stripe = stripe_ns,
+        merge = merge_ns,
+        allocs = allocs_per_point,
+        sp = stats.sealed_points,
+        ap = stats.active_points,
+        sb = stats.sealed_bytes,
+        bpp = bytes_per_point,
+        cr = 16.0 / bytes_per_point.max(f64::MIN_POSITIVE),
+        range_s = shape.points_per_series,
+        qp50 = serial_p50 / 1e6,
+        qp99 = serial_p99 / 1e6,
+        scan = scan_ns / 1e6,
+        agg = agg_ns / 1e6,
+        sp4 = speedup_4w,
+        hpm = host_parallel_ns / 1e6,
+        hsp = host_speedup,
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", args.out);
+}

@@ -102,6 +102,17 @@ pub const IDENTITIES: &[Identity] = &[
         lhs: &[External("tsdb_points_ingested")],
         rhs: &[Counter("dp_records_out"), External("telemetry_points")],
     },
+    // The striped ingest path conserves points: everything the store
+    // absorbed arrived through a counted shard merge — a pool stripe
+    // flush (pipelined) or a record-log rotation (run-to-completion) —
+    // or the collector's direct `ruru_self` export. A stripe dropped
+    // without flushing, or a record log lost before rotation, shows up
+    // here as an imbalance, never as silent loss.
+    Identity {
+        name: "tsdb-merge-accounting",
+        lhs: &[External("tsdb_points_ingested")],
+        rhs: &[Counter("tsdb_merge_points"), External("telemetry_points")],
+    },
 ];
 
 impl Term {

@@ -48,9 +48,11 @@ pub enum ExecutionMode {
     /// and binary-encodes inline (per-worker [`Enricher`] cache and scratch
     /// encoder, no push/pull hop), forwarding already-encoded records
     /// straight to the detector feed. TsDb ingest is sharded per queue —
-    /// each worker logs its records privately and the store sees one merge
-    /// per queue at [`Pipeline::finish`], so writers never contend on the
-    /// global write lock.
+    /// each worker logs its records privately and rotates the log into the
+    /// store on a virtual-time interval
+    /// ([`PipelineConfig::tsdb_rotation_ns`]) and finally at worker exit,
+    /// so writers never contend per point and the store is queryable
+    /// mid-run.
     RunToCompletion,
 }
 
@@ -89,6 +91,13 @@ pub struct PipelineConfig {
     /// snapshots the sharded registry and writes `ruru_self` points into
     /// the tsdb (see [`crate::telemetry`]).
     pub telemetry_interval_ns: u64,
+    /// Run-to-completion only: interval (virtual ns) between record-log
+    /// rotations. Each rotation converts the lcore's private record log
+    /// into an [`IngestShard`] and folds it into the store mid-run, so the
+    /// tsdb is queryable while the run is live and the log's memory is
+    /// bounded by the rotation interval instead of the run length.
+    /// Pipelined mode ignores this: its stripes flush on a point budget.
+    pub tsdb_rotation_ns: u64,
     /// When true (the default), [`Pipeline::feed`] waits for ring space
     /// instead of dropping at a full RX ring. Simulated time is decoupled
     /// from wall time, so "waiting" costs nothing and runs are lossless on
@@ -112,6 +121,7 @@ impl Default for PipelineConfig {
             rate: RateConfig::default(),
             snmp_interval_ns: 300 * 1_000_000_000,
             telemetry_interval_ns: 1_000_000_000,
+            tsdb_rotation_ns: 1_000_000_000,
             lossless_inject: true,
         }
     }
@@ -276,10 +286,22 @@ struct RtcState {
     publisher: Publisher,
     /// Reused PUB batch buffer.
     pub_out: Vec<Message>,
-    /// Every enriched binary record this worker produced — its private
-    /// tsdb ingest log. Converted to an [`IngestShard`] and merged at
-    /// [`Pipeline::finish`], so lcores never touch the store's write lock.
+    /// Enriched binary records since the last rotation — this worker's
+    /// private tsdb ingest log. Rotation ([`RtcState::rotate`]) converts it
+    /// to an [`IngestShard`] and merges on a virtual-time interval (and
+    /// finally at worker exit), so lcores never touch the store's write
+    /// lock per point and the log stays bounded by the rotation interval.
     records: Vec<Bytes>,
+    /// The shared store the rotations merge into.
+    tsdb: Arc<TsDb>,
+    /// Virtual-time rotation interval (from
+    /// [`PipelineConfig::tsdb_rotation_ns`]).
+    rotation_interval_ns: u64,
+    /// Virtual timestamp of the last rotation.
+    last_rotation_ns: u64,
+    /// Points merged by rotations since the last counter flush (flushed
+    /// into `tsdb_merge_points` by [`WorkerState::flush`]).
+    merged: u64,
     /// Cumulative pool-equivalent stats, reported at worker exit.
     stats: PoolStats,
     // Per-burst deltas, flushed into this worker's registry shard.
@@ -293,12 +315,28 @@ struct RtcState {
 }
 
 /// Everything a worker hands back when it exits: tracker stats in both
-/// modes, plus the run-to-completion enrichment stats and record log.
+/// modes, plus the run-to-completion enrichment stats. (The RTC record
+/// log never leaves the worker — its final rotation merges it before the
+/// exit is sent.)
 struct WorkerExit {
     queue: u16,
     tracker: TrackerStats,
     enrich: PoolStats,
-    records: Vec<Bytes>,
+}
+
+impl RtcState {
+    /// Rotate the record log: decode it into a private [`IngestShard`] and
+    /// fold it into the shared store. Called on the virtual-time rotation
+    /// interval and at worker exit, so every produced record is merged
+    /// exactly once and `tsdb_merge_points` accounts for all of them.
+    fn rotate(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let shard = shard_from_records(&self.records);
+        self.records.clear();
+        self.merged += self.tsdb.merge_shard(shard);
+    }
 }
 
 impl WorkerState {
@@ -373,6 +411,11 @@ impl WorkerState {
                 r.counter_add(self.shard, m.enrich_bytes_out, rtc.bytes_out);
                 rtc.stats.bytes_out += rtc.bytes_out;
                 rtc.bytes_out = 0;
+            }
+            if rtc.merged > 0 {
+                r.counter_add(self.shard, m.tsdb_merge_points, rtc.merged);
+                rtc.stats.tsdb_merged += rtc.merged;
+                rtc.merged = 0;
             }
             for &ns in &rtc.enrich_residencies {
                 r.hist_record(self.shard, m.enrich_residency, ns);
@@ -669,6 +712,14 @@ fn run_to_completion_worker(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
                 rtc.stats.batches_out += 1;
             }
         }
+    }
+    // Mid-run rotation on the virtual clock: fold the record log into the
+    // store so it is queryable while the run is live and the log's memory
+    // stays bounded. The merge count flushes with the burst counters below.
+    let now_ns = now.as_nanos();
+    if now_ns.saturating_sub(rtc.last_rotation_ns) >= rtc.rotation_interval_ns {
+        rtc.last_rotation_ns = now_ns;
+        rtc.rotate();
     }
     state.flush();
 }
@@ -1014,6 +1065,8 @@ impl Pipeline {
         let rtc_enriched_for_workers = Arc::clone(&rtc_enriched);
         let db_for_workers = Arc::clone(&db);
         let publisher_for_workers = publisher.clone();
+        let tsdb_for_workers = Arc::clone(&tsdb);
+        let tsdb_rotation_ns = config.tsdb_rotation_ns.max(1);
         let init = move |qid| WorkerState {
             tracker: HandshakeTracker::new(qid, tracker_cfg.clone()),
             push: worker_push.clone(),
@@ -1041,6 +1094,10 @@ impl Pipeline {
                     publisher: publisher_for_workers.clone(),
                     pub_out: Vec::with_capacity(BURST_SIZE),
                     records: Vec::new(),
+                    tsdb: Arc::clone(&tsdb_for_workers),
+                    rotation_interval_ns: tsdb_rotation_ns,
+                    last_rotation_ns: 0,
+                    merged: 0,
                     stats: PoolStats::default(),
                     enriched: 0,
                     geo_misses: 0,
@@ -1051,16 +1108,20 @@ impl Pipeline {
             },
         };
         let on_stop = move |qid, mut state: WorkerState| {
+            // Final rotation BEFORE the counter flush, so the exit merge
+            // lands in `tsdb_merge_points` like every mid-run one.
+            if let Some(rtc) = state.rtc.as_mut() {
+                rtc.rotate();
+            }
             state.flush();
-            let (enrich, records) = match state.rtc.take() {
-                Some(rtc) => (rtc.stats, rtc.records),
-                None => (PoolStats::default(), Vec::new()),
+            let enrich = match state.rtc.take() {
+                Some(rtc) => rtc.stats,
+                None => PoolStats::default(),
             };
             let _ = stats_tx.send(WorkerExit {
                 queue: qid,
                 tracker: state.tracker.stats(),
                 enrich,
-                records,
             });
             // Dropping `state` drops this worker's Push and syn_tx
             // clones; when the last worker exits, the pipe closes.
@@ -1193,7 +1254,7 @@ impl Pipeline {
             now_ns,
             &port,
             mq,
-            ingested,
+            (ingested, self.tsdb.storage_stats()),
             &mut self.telemetry_snap,
             &mut self.telemetry_scratch,
         );
@@ -1216,7 +1277,12 @@ impl Pipeline {
         self.detector_stop.store(true, Ordering::Release);
         let det = self.detector_handle.join().expect("detector panicked");
         // 4. Collect worker exits: tracker stats in both modes, plus the
-        //    run-to-completion enrichment stats and per-queue record logs.
+        //    run-to-completion enrichment stats. Every tsdb merge already
+        //    happened inside the writers themselves — stripe flushes in the
+        //    pool, record-log rotations (including the final one in
+        //    `on_stop`) on the lcores — so by this point the store holds
+        //    every measurement and `tsdb_merge_points` accounts for all of
+        //    them; nothing is merged at finish time.
         let mut exits: Vec<WorkerExit> = self.stats_rx.try_iter().collect();
         exits.sort_by_key(|e| e.queue);
         let trackers: Vec<(u16, TrackerStats)> =
@@ -1229,27 +1295,7 @@ impl Pipeline {
             pool_stats.batches_out += e.enrich.batches_out;
             pool_stats.bytes_out += e.enrich.bytes_out;
             pool_stats.alloc_hits += e.enrich.alloc_hits;
-        }
-        // 4b. Sharded ingest merge (run-to-completion): each queue's record
-        //     log becomes a private [`IngestShard`] off the store's lock —
-        //     one scoped builder thread per queue — then the store absorbs
-        //     one merge per queue. This happens BEFORE the final telemetry
-        //     collection so `tsdb_points` and the conservation invariant
-        //     (`points_ingested == measurements + telemetry_points`) hold.
-        if exits.iter().any(|e| !e.records.is_empty()) {
-            let shards: Vec<IngestShard> = std::thread::scope(|s| {
-                let handles: Vec<_> = exits
-                    .iter()
-                    .map(|e| s.spawn(move || shard_from_records(&e.records)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard builder panicked"))
-                    .collect()
-            });
-            for shard in shards {
-                self.tsdb.merge_shard(shard);
-            }
+            pool_stats.tsdb_merged += e.enrich.tsdb_merged;
         }
 
         // 5. Final telemetry collection: every writer has quiesced, so the
@@ -1265,7 +1311,7 @@ impl Pipeline {
             final_ns,
             &port_stats,
             mq,
-            ingested,
+            (ingested, self.tsdb.storage_stats()),
             &mut self.telemetry_snap,
             &mut self.telemetry_scratch,
         );

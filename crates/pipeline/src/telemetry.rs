@@ -91,6 +91,11 @@ pub struct SelfMetrics {
     pub(crate) enrich_decode_errors: CounterId,
     pub(crate) enrich_geo_misses: CounterId,
     pub(crate) enrich_bytes_out: CounterId,
+    /// Points folded into the shared tsdb by shard merges — stripe flushes
+    /// in pipelined mode, record-log rotations in run-to-completion mode.
+    /// Conservation: `tsdb_points_ingested == tsdb_merge_points +
+    /// telemetry_points` (the `tsdb-merge-accounting` identity).
+    pub(crate) tsdb_merge_points: CounterId,
     pub(crate) geo_cache_hits: GaugeId,
     pub(crate) geo_cache_misses: GaugeId,
     pub(crate) enrich_residency: HistId,
@@ -113,6 +118,11 @@ pub struct SelfMetrics {
     pub(crate) mq_delivered: GaugeId,
     pub(crate) mq_dropped: GaugeId,
     pub(crate) tsdb_points: GaugeId,
+    /// Two-phase storage mirror: points and bytes resting in compressed
+    /// sealed chunks, and points still in mutable active tails.
+    pub(crate) tsdb_sealed_points: GaugeId,
+    pub(crate) tsdb_sealed_bytes: GaugeId,
+    pub(crate) tsdb_active_points: GaugeId,
 }
 
 impl SelfMetrics {
@@ -137,6 +147,7 @@ impl SelfMetrics {
         let enrich_decode_errors = b.counter("enrich_decode_errors");
         let enrich_geo_misses = b.counter("enrich_geo_misses");
         let enrich_bytes_out = b.counter("enrich_bytes_out");
+        let tsdb_merge_points = b.counter("tsdb_merge_points");
         let det_records_in = b.counter("det_records_in");
         let det_records_out = b.counter("det_records_out");
         let det_decode_errors = b.counter("det_decode_errors");
@@ -167,6 +178,9 @@ impl SelfMetrics {
         let mq_delivered = b.gauge("mq_delivered");
         let mq_dropped = b.gauge("mq_dropped");
         let tsdb_points = b.gauge("tsdb_points");
+        let tsdb_sealed_points = b.gauge("tsdb_sealed_points");
+        let tsdb_sealed_bytes = b.gauge("tsdb_sealed_bytes");
+        let tsdb_active_points = b.gauge("tsdb_active_points");
 
         let rx_residency = b.histogram("stage_rx_residency_ns", RESIDENCY_PRECISION);
         let enrich_residency = b.histogram("stage_enrich_residency_ns", RESIDENCY_PRECISION);
@@ -209,6 +223,7 @@ impl SelfMetrics {
             enrich_decode_errors,
             enrich_geo_misses,
             enrich_bytes_out,
+            tsdb_merge_points,
             geo_cache_hits,
             geo_cache_misses,
             enrich_residency,
@@ -227,6 +242,9 @@ impl SelfMetrics {
             mq_delivered,
             mq_dropped,
             tsdb_points,
+            tsdb_sealed_points,
+            tsdb_sealed_bytes,
+            tsdb_active_points,
         }
     }
 
@@ -279,6 +297,7 @@ impl SelfMetrics {
             decode_errors: self.enrich_decode_errors,
             geo_misses: self.enrich_geo_misses,
             bytes_out: self.enrich_bytes_out,
+            tsdb_merged: self.tsdb_merge_points,
             geo_cache_hits: self.geo_cache_hits,
             geo_cache_misses: self.geo_cache_misses,
             enrich_residency: self.enrich_residency,
@@ -294,7 +313,7 @@ impl SelfMetrics {
         timestamp_ns: u64,
         port: &PortStats,
         mq: (u64, u64, u64),
-        tsdb_points: u64,
+        tsdb: (u64, ruru_tsdb::StorageStats),
         snap: &mut Snapshot,
         scratch: &mut Vec<u64>,
     ) {
@@ -313,8 +332,15 @@ impl SelfMetrics {
         self.registry.gauge_store(shard, self.mq_published, mq.0);
         self.registry.gauge_store(shard, self.mq_delivered, mq.1);
         self.registry.gauge_store(shard, self.mq_dropped, mq.2);
+        let (points_ingested, storage) = tsdb;
         self.registry
-            .gauge_store(shard, self.tsdb_points, tsdb_points);
+            .gauge_store(shard, self.tsdb_points, points_ingested);
+        self.registry
+            .gauge_store(shard, self.tsdb_sealed_points, storage.sealed_points);
+        self.registry
+            .gauge_store(shard, self.tsdb_sealed_bytes, storage.sealed_bytes);
+        self.registry
+            .gauge_store(shard, self.tsdb_active_points, storage.active_points);
         self.registry.burst_end(shard);
         self.registry.snapshot_into(timestamp_ns, snap, scratch);
     }
@@ -381,11 +407,19 @@ mod tests {
         };
         let mut snap = ruru_telemetry::Snapshot::default();
         let mut scratch = Vec::new();
-        m.collect_into(42, &port, (10, 20, 30), 55, &mut snap, &mut scratch);
+        let storage = ruru_tsdb::StorageStats {
+            sealed_points: 40,
+            sealed_bytes: 120,
+            active_points: 15,
+        };
+        m.collect_into(42, &port, (10, 20, 30), (55, storage), &mut snap, &mut scratch);
         assert_eq!(snap.timestamp_ns, 42);
         assert_eq!(snap.gauge("port_rx_packets"), 100);
         assert_eq!(snap.gauge("mq_delivered"), 20);
         assert_eq!(snap.gauge("tsdb_points"), 55);
+        assert_eq!(snap.gauge("tsdb_sealed_points"), 40);
+        assert_eq!(snap.gauge("tsdb_sealed_bytes"), 120);
+        assert_eq!(snap.gauge("tsdb_active_points"), 15);
         assert!(snap.hist("stage_rx_residency_ns").is_some());
     }
 }

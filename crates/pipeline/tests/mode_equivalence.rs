@@ -1,7 +1,8 @@
 //! Differential test for the two execution modes (ISSUE 6): the pipelined
 //! layout (dedicated enrichment pool behind a PUSH/PULL hop) and the
-//! run-to-completion layout (inline enrichment on each RX lcore, sharded
-//! tsdb ingest merged at shutdown) must be observationally equivalent.
+//! run-to-completion layout (inline enrichment on each RX lcore, private
+//! record logs rotated into the tsdb on a virtual-time interval) must be
+//! observationally equivalent.
 //!
 //! Same seeded world + traffic in both modes ⇒
 //!   * identical multiset of enriched line-protocol records on the PUB
@@ -118,4 +119,67 @@ fn pipelined_and_run_to_completion_are_equivalent() {
         report_r.tsdb.points_ingested() - report_r.telemetry_points,
         "same measurement point count in both tsdbs"
     );
+}
+
+/// Satellite to the striped-ingest rework: mid-run record-log rotation.
+/// With a rotation interval far below the run length, the lcores fold
+/// their logs into the store many times while the run is live — and the
+/// merge accounting must still balance exactly:
+/// `points_ingested == measurements + telemetry_points`, with every
+/// measurement arriving via a counted `tsdb_merge_points` merge.
+#[test]
+#[allow(clippy::disallowed_methods)] // sanctioned: bounded wall-clock poll deadline on the test side of an async drain; dataplane timing stays on the injected Clock
+fn rtc_rotation_conserves_points_across_mid_run_merges() {
+    let mut cfg = config(ExecutionMode::RunToCompletion);
+    // ~20 rotations per worker over the 2 s run.
+    cfg.tsdb_rotation_ns = 100_000_000;
+    let (mut pipeline, world) = Pipeline::with_synth_world(cfg);
+    let mut gen = TrafficGen::with_world(
+        GenConfig {
+            seed: 77,
+            flows_per_sec: 400.0,
+            duration: Timestamp::from_secs(2),
+            data_exchanges: (0, 2),
+            ..GenConfig::default()
+        },
+        world,
+    );
+    pipeline.run(&mut gen);
+    let truths = gen.truths().len() as u64;
+
+    // Witness that rotation really happened mid-run: the merge counter
+    // must go positive while workers are still alive (before `finish`
+    // triggers the exit rotations). Workers drain asynchronously, so poll
+    // with a bounded wait.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let registry = std::sync::Arc::clone(pipeline.self_metrics().registry());
+    let mut merged_mid_run = 0;
+    while std::time::Instant::now() < deadline {
+        merged_mid_run = registry.snapshot(0).counter("tsdb_merge_points");
+        if merged_mid_run > 0 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert!(merged_mid_run > 0, "no mid-run rotation ever merged");
+
+    let report = pipeline.finish();
+    assert_eq!(report.measurements(), truths);
+    assert!(truths > 100, "scenario is non-trivial: {truths}");
+    // Exact conservation across all rotations + exit rotations.
+    assert_eq!(
+        report.tsdb.points_ingested(),
+        truths + report.telemetry_points,
+        "rotation lost or duplicated points"
+    );
+    assert_eq!(report.pool.tsdb_merged, truths, "every measurement merged");
+    assert_eq!(report.telemetry.counter("tsdb_merge_points"), truths);
+    let violations = ruru_pipeline::conservation::check(
+        &report.telemetry,
+        &[
+            ("tsdb_points_ingested", report.tsdb.points_ingested()),
+            ("telemetry_points", report.telemetry_points),
+        ],
+    );
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
 }

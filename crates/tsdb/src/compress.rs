@@ -1,0 +1,436 @@
+//! Gorilla-style chunk compression for sealed series runs (DESIGN.md §16).
+//!
+//! A sealed [`Chunk`] holds one sorted sample run in two streams:
+//!
+//! * **Timestamps** — delta-of-delta coded. The first timestamp is a
+//!   LEB128 varint, the first delta a varint, every later sample a
+//!   zigzag varint of `delta[i] - delta[i-1]`. Monitoring cadences are
+//!   near-constant, so the common delta-of-delta is `0` and costs one
+//!   byte.
+//! * **Values** — XOR coded at bit granularity. Each value is XORed with
+//!   its predecessor; a zero XOR costs one bit, a XOR whose meaningful
+//!   bits fit the previous (leading, trailing)-zero window costs
+//!   `2 + len(window)` bits, and a window change re-states 6 bits of
+//!   leading-zero count and 6 bits of window length.
+//!
+//! Decoding is cursor-based: [`Chunk::iter`] walks the compressed
+//! streams in place and yields `(timestamp, value)` pairs without
+//! materialising an intermediate `Vec`. Value bits round-trip exactly —
+//! NaN payloads, signed zeros and infinities included — which the
+//! `prop_compress` differential suite pins against the uncompressed
+//! store.
+
+/// One stored sample: timestamp and value, identical to the store's
+/// in-memory representation.
+pub(crate) type Sample = (u64, f64);
+
+/// An immutable compressed run of one series field. Time-ordered within
+/// itself; a field's sealed chunks are time-ordered among each other by
+/// construction (they are cut from the front of the sorted active run).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Chunk {
+    count: u32,
+    start_ns: u64,
+    end_ns: u64,
+    ts: Box<[u8]>,
+    vals: Box<[u8]>,
+}
+
+impl Chunk {
+    /// Compress one sorted run. Returns `None` for an empty run — an
+    /// empty chunk has no first timestamp and is never stored.
+    pub(crate) fn compress(samples: &[Sample]) -> Option<Chunk> {
+        let (&(first_ts, first_v), rest) = samples.split_first()?;
+        let &(last_ts, _) = samples.last()?;
+
+        let mut ts = Vec::with_capacity(samples.len());
+        put_uvarint(&mut ts, first_ts);
+        let mut vals = BitWriter::with_capacity(samples.len());
+        vals.push_bits(first_v.to_bits(), 64);
+
+        let mut prev_ts = first_ts;
+        let mut prev_delta: Option<u64> = None;
+        let mut prev_bits = first_v.to_bits();
+        // (leading, trailing) zero window; 64+64 marks "no window yet" so
+        // the first non-zero XOR always re-states one.
+        let mut window = (64u32, 64u32);
+
+        for &(t, v) in rest {
+            let delta = t.saturating_sub(prev_ts);
+            match prev_delta {
+                None => put_uvarint(&mut ts, delta),
+                Some(pd) => put_ivarint(&mut ts, delta as i128 - pd as i128),
+            }
+            prev_delta = Some(delta);
+            prev_ts = t;
+
+            let bits = v.to_bits();
+            let xor = prev_bits ^ bits;
+            prev_bits = bits;
+            if xor == 0 {
+                vals.push_bit(false);
+                continue;
+            }
+            vals.push_bit(true);
+            let lead = xor.leading_zeros();
+            let trail = xor.trailing_zeros();
+            let (wlead, wtrail) = window;
+            if lead >= wlead && trail >= wtrail {
+                // Meaningful bits fit the previous window: reuse it.
+                vals.push_bit(false);
+                vals.push_bits(xor >> wtrail, 64 - wlead - wtrail);
+            } else {
+                vals.push_bit(true);
+                let mlen = 64 - lead - trail;
+                vals.push_bits(u64::from(lead), 6);
+                vals.push_bits(u64::from(mlen - 1), 6);
+                vals.push_bits(xor >> trail, mlen);
+                window = (lead, trail);
+            }
+        }
+
+        Some(Chunk {
+            count: samples.len() as u32,
+            start_ns: first_ts,
+            end_ns: last_ts,
+            ts: ts.into_boxed_slice(),
+            vals: vals.into_bytes().into_boxed_slice(),
+        })
+    }
+
+    /// Number of samples in the chunk.
+    pub(crate) fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Timestamp of the first sample.
+    pub(crate) fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
+    /// Timestamp of the last sample.
+    pub(crate) fn end_ns(&self) -> u64 {
+        self.end_ns
+    }
+
+    /// Compressed payload size (both streams), excluding the fixed
+    /// header fields.
+    pub(crate) fn encoded_bytes(&self) -> usize {
+        self.ts.len() + self.vals.len()
+    }
+
+    /// In-place decoding cursor over the compressed streams.
+    pub(crate) fn iter(&self) -> ChunkIter<'_> {
+        ChunkIter {
+            ts: VarintReader { bytes: &self.ts, pos: 0 },
+            vals: BitReader { bytes: &self.vals, bit: 0 },
+            remaining: self.count,
+            prev_ts: 0,
+            prev_delta: None,
+            prev_bits: 0,
+            window: (64, 64),
+            first: true,
+        }
+    }
+
+    /// Decode the whole chunk, appending to `out` — used by the cold
+    /// seal/retention rewrite paths, never by queries.
+    pub(crate) fn decompress_into(&self, out: &mut Vec<Sample>) {
+        out.reserve(self.count());
+        out.extend(self.iter());
+    }
+}
+
+/// Streaming decoder; yields exactly [`Chunk::count`] samples. The
+/// streams are produced by [`Chunk::compress`] in the same process, so a
+/// short read is unreachable; the cursor still stops cleanly (yielding
+/// `None`) rather than panicking if it ever happens.
+pub(crate) struct ChunkIter<'a> {
+    ts: VarintReader<'a>,
+    vals: BitReader<'a>,
+    remaining: u32,
+    prev_ts: u64,
+    prev_delta: Option<u64>,
+    prev_bits: u64,
+    window: (u32, u32),
+    first: bool,
+}
+
+impl Iterator for ChunkIter<'_> {
+    type Item = Sample;
+
+    fn next(&mut self) -> Option<Sample> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+
+        let t = if self.first {
+            self.prev_ts = self.ts.read_uvarint()?;
+            self.prev_ts
+        } else {
+            let delta = match self.prev_delta {
+                None => self.ts.read_uvarint()?,
+                Some(pd) => (pd as i128 + self.ts.read_ivarint()?).max(0) as u64,
+            };
+            self.prev_delta = Some(delta);
+            self.prev_ts = self.prev_ts.saturating_add(delta);
+            self.prev_ts
+        };
+
+        let bits = if self.first {
+            self.first = false;
+            self.prev_bits = self.vals.read_bits(64)?;
+            self.prev_bits
+        } else if !self.vals.read_bit()? {
+            self.prev_bits // zero XOR: value repeats
+        } else {
+            if self.vals.read_bit()? {
+                let lead = self.vals.read_bits(6)? as u32;
+                let mlen = self.vals.read_bits(6)? as u32 + 1;
+                self.window = (lead, 64 - lead - mlen);
+            }
+            let (wlead, wtrail) = self.window;
+            let meaningful = self.vals.read_bits(64 - wlead - wtrail)?;
+            self.prev_bits ^= meaningful << wtrail;
+            self.prev_bits
+        };
+        Some((t, f64::from_bits(bits)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Varint streams (timestamps)
+
+fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Zigzag + LEB128 over `i128` — a delta-of-delta of two `u64` deltas
+/// needs the wider type at the extremes.
+fn put_ivarint(out: &mut Vec<u8>, v: i128) {
+    let mut z = ((v << 1) ^ (v >> 127)) as u128;
+    while z >= 0x80 {
+        out.push((z as u8) | 0x80);
+        z >>= 7;
+    }
+    out.push(z as u8);
+}
+
+struct VarintReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl VarintReader<'_> {
+    fn read_uvarint(&mut self) -> Option<u64> {
+        Some(self.read_raw()? as u64)
+    }
+
+    fn read_ivarint(&mut self) -> Option<i128> {
+        let z = self.read_raw()?;
+        Some(((z >> 1) as i128) ^ -((z & 1) as i128))
+    }
+
+    fn read_raw(&mut self) -> Option<u128> {
+        let mut v: u128 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            v |= u128::from(b & 0x7f) << shift;
+            if b < 0x80 {
+                return Some(v);
+            }
+            shift += 7;
+            if shift >= 128 {
+                return None;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bit streams (values), MSB-first within each byte
+
+struct BitWriter {
+    out: Vec<u8>,
+    cur: u8,
+    used: u32,
+}
+
+impl BitWriter {
+    fn with_capacity(samples: usize) -> BitWriter {
+        BitWriter {
+            out: Vec::with_capacity(samples * 2),
+            cur: 0,
+            used: 0,
+        }
+    }
+
+    fn push_bit(&mut self, bit: bool) {
+        self.cur = (self.cur << 1) | u8::from(bit);
+        self.used += 1;
+        if self.used == 8 {
+            self.out.push(self.cur);
+            self.cur = 0;
+            self.used = 0;
+        }
+    }
+
+    /// Push the low `n` bits of `value`, MSB first. `n` may be 64.
+    fn push_bits(&mut self, value: u64, n: u32) {
+        for i in (0..n).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    fn into_bytes(mut self) -> Vec<u8> {
+        if self.used > 0 {
+            self.out.push(self.cur << (8 - self.used));
+        }
+        self.out
+    }
+}
+
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit: usize,
+}
+
+impl BitReader<'_> {
+    fn read_bit(&mut self) -> Option<bool> {
+        let byte = *self.bytes.get(self.bit / 8)?;
+        let bit = (byte >> (7 - (self.bit % 8))) & 1 == 1;
+        self.bit += 1;
+        Some(bit)
+    }
+
+    fn read_bits(&mut self, n: u32) -> Option<u64> {
+        let mut v: u64 = 0;
+        for _ in 0..n {
+            v = (v << 1) | u64::from(self.read_bit()?);
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(samples: &[Sample]) {
+        let chunk = match Chunk::compress(samples) {
+            Some(c) => c,
+            None => {
+                assert!(samples.is_empty());
+                return;
+            }
+        };
+        assert_eq!(chunk.count(), samples.len());
+        let decoded: Vec<Sample> = chunk.iter().collect();
+        assert_eq!(decoded.len(), samples.len());
+        for (i, (&(t0, v0), &(t1, v1))) in samples.iter().zip(&decoded).enumerate() {
+            assert_eq!(t0, t1, "timestamp {i}");
+            assert_eq!(v0.to_bits(), v1.to_bits(), "value bits {i}");
+        }
+    }
+
+    #[test]
+    fn empty_run_has_no_chunk() {
+        assert!(Chunk::compress(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_roundtrip() {
+        roundtrip(&[(123_456_789, 42.5)]);
+        roundtrip(&[(0, f64::NAN)]);
+        roundtrip(&[(u64::MAX, -0.0)]);
+    }
+
+    #[test]
+    fn regular_cadence_roundtrip() {
+        let samples: Vec<Sample> = (0..1000u64)
+            .map(|i| (i * 1_000_000_000, 130.0 + (i % 7) as f64))
+            .collect();
+        roundtrip(&samples);
+        // The whole point: a regular cadence with small value jitter must
+        // compress far below the 16 raw bytes per sample.
+        let chunk = Chunk::compress(&samples).unwrap_or_else(|| unreachable!());
+        let bpp = chunk.encoded_bytes() as f64 / samples.len() as f64;
+        assert!(bpp < 4.0, "bytes/point {bpp:.2} not < 4.0");
+    }
+
+    #[test]
+    fn constant_value_costs_one_bit() {
+        let samples: Vec<Sample> = (0..8000u64).map(|i| (i * 1000, 1.5)).collect();
+        let chunk = Chunk::compress(&samples).unwrap_or_else(|| unreachable!());
+        roundtrip(&samples);
+        // ~1 byte/pt timestamps (dod = 0) + ~1 bit/pt values.
+        let bpp = chunk.encoded_bytes() as f64 / samples.len() as f64;
+        assert!(bpp < 1.5, "bytes/point {bpp:.2} not < 1.5");
+    }
+
+    #[test]
+    fn special_values_roundtrip_bit_exact() {
+        roundtrip(&[
+            (0, f64::INFINITY),
+            (1, f64::NEG_INFINITY),
+            (2, f64::NAN),
+            (3, -f64::NAN),
+            (4, 0.0),
+            (5, -0.0),
+            (6, f64::MIN_POSITIVE),
+            (7, f64::MAX),
+            (8, f64::MIN),
+            (9, f64::EPSILON),
+        ]);
+    }
+
+    #[test]
+    fn duplicate_and_jittery_timestamps_roundtrip() {
+        roundtrip(&[(10, 1.0), (10, 2.0), (10, 3.0), (11, 4.0), (100, 5.0)]);
+        let samples: Vec<Sample> = (0..500u64)
+            .map(|i| (i * 1000 + (i * 37) % 113, (i as f64).sin()))
+            .collect();
+        roundtrip(&samples);
+    }
+
+    #[test]
+    fn extreme_timestamp_gaps_roundtrip() {
+        roundtrip(&[(0, 1.0), (u64::MAX, 2.0)]);
+        roundtrip(&[(0, 1.0), (u64::MAX - 1, 2.0), (u64::MAX, 3.0)]);
+        roundtrip(&[(5, 1.0), (5, 1.0), (u64::MAX, 1.0)]);
+    }
+
+    #[test]
+    fn window_change_paths_roundtrip() {
+        // Force window widen/narrow transitions: alternate tiny and huge
+        // mantissa changes.
+        let mut samples = Vec::new();
+        let mut v = 1.0f64;
+        for i in 0..200u64 {
+            v = if i % 3 == 0 { v * 1.0000001 } else { -v + i as f64 };
+            samples.push((i * 10, v));
+        }
+        roundtrip(&samples);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let samples: Vec<Sample> = (0..10u64).map(|i| (i, i as f64)).collect();
+        let chunk = Chunk::compress(&samples).unwrap_or_else(|| unreachable!());
+        let mut it = chunk.iter();
+        assert_eq!(it.size_hint(), (10, Some(10)));
+        it.next();
+        assert_eq!(it.size_hint(), (9, Some(9)));
+    }
+}

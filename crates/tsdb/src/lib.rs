@@ -15,20 +15,29 @@
 //!   format of the deployed system.
 //! * [`agg`] — the aggregates Grafana panels request: count / min / max /
 //!   mean / median / p95 / p99 / stddev.
-//! * [`store`] — [`store::TsDb`]: concurrent ingest, tag-filtered and
-//!   time-bucketed queries, retention enforcement and downsampling.
-//! * [`sharded`] — [`sharded::IngestShard`]: contention-free single-writer
-//!   ingest buffers merged into the store at end of run (the
-//!   run-to-completion pipeline's per-queue ingest path).
+//! * [`store`] — [`store::TsDb`]: two-phase (active → sealed) storage,
+//!   tag-filtered and time-bucketed queries with bounded parallel
+//!   fan-out, retention enforcement and downsampling.
+//! * [`sharded`] — [`sharded::IngestShard`] / [`sharded::StripeWriter`]:
+//!   contention-free single-writer ingest stripes folded into the store
+//!   per rotation — the first-class dataplane write path in both
+//!   execution modes.
+//! * `compress` (private) — Gorilla-style sealed-chunk codec: timestamp
+//!   delta-of-delta varints + value XOR with leading/trailing-zero
+//!   windows, decoded in place by query cursors.
+//! * `seal` (private) — sealing, chunk retention and downsample-rewrite:
+//!   the cold maintenance half of the lifecycle.
 
 pub mod agg;
+mod compress;
 pub mod line;
 pub mod point;
+mod seal;
 pub mod sharded;
 pub mod snapshot;
 pub mod store;
 
 pub use agg::Aggregate;
 pub use point::Point;
-pub use sharded::IngestShard;
-pub use store::{Query, TsDb};
+pub use sharded::{IngestShard, StripeWriter};
+pub use store::{Query, StorageStats, TsDb, MAX_QUERY_WORKERS};

@@ -1,14 +1,16 @@
-//! Per-writer sharded ingest with merge-on-finish.
+//! Per-writer striped ingest — the store's first-class write path.
 //!
-//! [`crate::store::TsDb::write`] serializes every producer on one global
-//! write lock — fine for a handful of enrichment workers, but in the
-//! pipeline's run-to-completion mode every RX lcore ingests its own
-//! measurements, and the lock becomes the scaling ceiling. An
-//! [`IngestShard`] is the contention-free alternative: a private,
-//! single-writer mini-store (same sorted-run-per-series layout as the
-//! shared store, no lock at all) that each queue fills independently and
-//! the pipeline folds into the shared [`crate::TsDb`] once, at the end of
-//! the run, with [`crate::store::TsDb::merge_shard`].
+//! Serializing every producer on one global write lock is the scaling
+//! ceiling the PR 6 scaling curve measured (`tsdb_write_lock`
+//! bottleneck). An [`IngestShard`] is the contention-free alternative: a
+//! private, single-writer mini-store (same sorted-run-per-series layout
+//! as the shared store, no lock at all) that each writer fills
+//! independently and folds into the shared [`crate::TsDb`] with
+//! [`crate::store::TsDb::merge_shard`] — once per rotation interval
+//! (mid-run, via [`StripeWriter`]) rather than once per point. Both
+//! execution modes ride this path: pipelined enrichment workers write
+//! through a [`StripeWriter`] each, run-to-completion lcores decode
+//! their record logs into shards and merge on a virtual-time rotation.
 //!
 //! Merging is run-aware: each shard holds per-series sorted runs, so the
 //! common case (disjoint series — every `latency` series carries a
@@ -35,6 +37,9 @@ pub(crate) struct ShardSeries {
 impl ShardSeries {
     #[allow(clippy::disallowed_methods)] // sanctioned: owned field key on first sight only; repeats hit the map
     fn insert(&mut self, field: &str, ts: u64, value: f64) {
+        // alloc-ok: owned field key + map slot on first sight of a field;
+        // repeats hit the existing entry. Bounded per point, enforced by
+        // the counting-allocator audit (tests/alloc_stripe_ingest.rs).
         let run = self.fields.entry(field.to_string()).or_default();
         match run.last() {
             Some(&(last_ts, _)) if last_ts > ts => {
@@ -69,11 +74,14 @@ impl IngestShard {
     /// minus the lock: sorted-run append with a binary-insert fallback for
     /// out-of-order stragglers.
     pub fn write(&mut self, point: &Point) {
+        // alloc-ok: map entry + owned measurement key — the bounded
+        // per-point string cost of buffering into a private stripe,
+        // enforced by the counting-allocator audit.
         let series_map = self.measurements.entry(point.measurement.clone()).or_default();
         let series = series_map
-            .entry(point.series_key())
-            .or_insert_with(|| ShardSeries {
-                tags: point.tags.clone(),
+            .entry(point.series_key()) // alloc-ok: owned key per point, audited bound
+            .or_insert_with(|| ShardSeries { // alloc-ok: once per new series, not per point
+                tags: point.tags.clone(), // alloc-ok: once per new series, not per point
                 fields: HashMap::new(),
             });
         for (field, value) in &point.fields {
@@ -94,6 +102,60 @@ impl IngestShard {
     }
 }
 
+/// A per-writer ingest stripe: a private [`IngestShard`] plus the shared
+/// store it folds into every `flush_points` buffered points. This is the
+/// steady-state dataplane write path — [`StripeWriter::write`] touches
+/// only writer-local memory; the store lock is taken whole-shard at
+/// flush time, amortised across the stripe.
+///
+/// Callers own the flush discipline: un-flushed points are not counted
+/// in [`crate::store::TsDb::points_ingested`], so a writer that exits
+/// without [`StripeWriter::flush`] shows up as a conservation-identity
+/// violation, never as silent loss.
+pub struct StripeWriter {
+    db: std::sync::Arc<crate::store::TsDb>,
+    shard: IngestShard,
+    flush_points: u64,
+}
+
+impl StripeWriter {
+    pub(crate) fn new(db: std::sync::Arc<crate::store::TsDb>, flush_points: u64) -> StripeWriter {
+        StripeWriter {
+            db,
+            shard: IngestShard::new(),
+            flush_points: flush_points.max(1),
+        }
+    }
+
+    /// Buffer one point into the private stripe; folds the stripe into
+    /// the store when the flush threshold is reached. Returns the number
+    /// of points merged into the store by this call (0 unless a flush
+    /// triggered) so callers can maintain exact merge accounting.
+    pub fn write(&mut self, point: &Point) -> u64 {
+        self.shard.write(point);
+        if self.shard.points >= self.flush_points {
+            self.flush()
+        } else {
+            0
+        }
+    }
+
+    /// Fold everything buffered into the store now. Returns points
+    /// merged. Must be called before the writer exits.
+    pub fn flush(&mut self) -> u64 {
+        if self.shard.is_empty() {
+            return 0;
+        }
+        let shard = core::mem::take(&mut self.shard);
+        self.db.merge_shard(shard)
+    }
+
+    /// Points buffered in the stripe, not yet merged.
+    pub fn points_buffered(&self) -> u64 {
+        self.shard.points_buffered()
+    }
+}
+
 /// Merge sorted run `src` into sorted run `dst`, keeping existing samples
 /// ahead of incoming ones on timestamp ties (matching the insertion order
 /// repeated `write` calls produce).
@@ -106,26 +168,34 @@ pub(crate) fn merge_runs(dst: &mut Vec<Sample>, src: Vec<Sample>) {
         _ => true,
     };
     if append_only {
+        // alloc-ok: wholesale run move at merge time — O(series) merges
+        // per flush, not per point (tests/alloc_stripe_ingest.rs bounds
+        // the whole merge at a per-series constant).
         dst.extend(src);
         return;
     }
     let old = core::mem::take(dst);
+    // alloc-ok: single exact reservation for the interleaved-run rebuild,
+    // once per overlapping merge — never on the append-only fast path.
     dst.reserve(old.len() + src.len());
-    let mut a = old.into_iter().peekable();
-    let mut b = src.into_iter().peekable();
-    loop {
-        let take_existing = match (a.peek(), b.peek()) {
+    // Slice-cursor two-way merge: samples are Copy pairs, and slice
+    // patterns keep the body free of both fallible indexing and iterator
+    // method calls the name-based analyzer call graph would over-resolve.
+    let (mut a, mut b) = (old.as_slice(), src.as_slice());
+    while !a.is_empty() || !b.is_empty() {
+        let take_existing = match (a.first(), b.first()) {
             (Some(&(ta, _)), Some(&(tb, _))) => ta <= tb,
             (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (None, None) => break,
+            _ => false,
         };
         if take_existing {
-            if let Some(s) = a.next() {
-                dst.push(s);
+            if let [s, rest @ ..] = a {
+                dst.push(*s);
+                a = rest;
             }
-        } else if let Some(s) = b.next() {
-            dst.push(s);
+        } else if let [s, rest @ ..] = b {
+            dst.push(*s);
+            b = rest;
         }
     }
 }
@@ -239,6 +309,51 @@ mod tests {
         assert_eq!(dst, vec![(1, 1.0)]);
         merge_runs(&mut dst, Vec::new());
         assert_eq!(dst, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn stripe_writer_flushes_on_threshold_and_on_demand() {
+        let db = std::sync::Arc::new(TsDb::new());
+        let mut stripe = db.stripe(10);
+        let mut merged = 0u64;
+        for i in 0..25u64 {
+            merged += stripe.write(&point("akl", i as f64, i * 10));
+        }
+        // Two threshold flushes of 10 each; 5 points still buffered.
+        assert_eq!(merged, 20);
+        assert_eq!(stripe.points_buffered(), 5);
+        assert_eq!(db.points_ingested(), 20);
+        merged += stripe.flush();
+        assert_eq!(merged, 25);
+        assert_eq!(db.points_ingested(), 25);
+        assert_eq!(stripe.flush(), 0, "flush of empty stripe is a noop");
+        let agg = db.query(&Query::range("latency", "total_ms", 0, 1000))[0]
+            .agg
+            .unwrap();
+        assert_eq!(agg.count, 25);
+    }
+
+    #[test]
+    fn concurrent_stripes_land_every_point() {
+        let db = std::sync::Arc::new(TsDb::new());
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let mut stripe = db.stripe(64);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    stripe.write(&point(if w % 2 == 0 { "akl" } else { "lax" }, w as f64, i));
+                }
+                stripe.flush();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.points_ingested(), 4000);
+        let agg = db.query(&Query::range("latency", "total_ms", 0, 2000))[0]
+            .agg
+            .unwrap();
+        assert_eq!(agg.count, 4000);
     }
 
     #[test]

@@ -1,29 +1,81 @@
-//! The time-series store: concurrent ingest, tag-filtered bucketed
-//! queries, retention and downsampling.
+//! The time-series store: striped concurrent ingest, a two-phase
+//! (active → sealed) shard lifecycle, tag-filtered bucketed queries with
+//! bounded parallel fan-out, retention and downsampling.
 //!
-//! Storage is one sorted run per series (measurement + tag set). Ruru's
-//! ingest is nearly in timestamp order, so appends are O(1) with a
-//! binary-search insertion fallback for stragglers.
+//! Storage is one run per series field in two phases (DESIGN.md §16):
+//! a mutable **active** tail — a plain sorted `Vec`, appended in O(1)
+//! with a binary-search fallback for stragglers — and an immutable
+//! **sealed** prefix of Gorilla-compressed chunks (`compress::Chunk`)
+//! that queries decode in place. Steady-state ingest never touches the
+//! store lock per point: writers buffer into private
+//! [`crate::sharded::IngestShard`]s (via [`crate::sharded::StripeWriter`])
+//! and fold them in with [`TsDb::merge_shard`], one short write-lock
+//! hold per rotation instead of one per sample.
 
 use crate::agg::Aggregate;
+use crate::compress::Sample;
 use crate::point::Point;
+use crate::seal;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
-/// One stored sample: timestamp and value (per field).
-type Sample = (u64, f64);
+/// Upper bound on query fan-out threads, whatever the caller asks for.
+pub const MAX_QUERY_WORKERS: usize = 16;
+
+/// One series field's storage: sealed compressed prefix + mutable tail.
+#[derive(Debug, Default)]
+struct FieldStore {
+    sealed: Vec<crate::compress::Chunk>,
+    active: Vec<Sample>,
+}
+
+impl FieldStore {
+    /// Visit every sample in `[start, end)` in storage order: sealed
+    /// chunks first (each internally time-sorted), then the active tail.
+    fn for_each_in_range(&self, start: u64, end: u64, f: &mut impl FnMut(u64, f64)) {
+        for chunk in &self.sealed {
+            if chunk.end_ns() < start || chunk.start_ns() >= end {
+                continue;
+            }
+            for (t, v) in chunk.iter() {
+                if t >= end {
+                    break;
+                }
+                if t >= start {
+                    f(t, v);
+                }
+            }
+        }
+        let lo = self.active.partition_point(|&(t, _)| t < start);
+        for &(t, v) in self.active.get(lo..).unwrap_or(&[]) {
+            if t >= end {
+                break;
+            }
+            f(t, v);
+        }
+    }
+
+    fn len(&self) -> u64 {
+        let sealed: usize = self.sealed.iter().map(|c| c.count()).sum();
+        sealed as u64 + self.active.len() as u64
+    }
+}
 
 #[derive(Debug, Default)]
 struct Series {
     tags: Vec<(String, String)>,
-    /// Per-field sorted sample runs.
-    fields: HashMap<String, Vec<Sample>>,
+    /// Per-field two-phase runs.
+    fields: HashMap<String, FieldStore>,
 }
 
 impl Series {
     #[allow(clippy::disallowed_methods)] // sanctioned: owned field key on first sight only; repeats hit the map
     fn insert(&mut self, field: &str, ts: u64, value: f64) {
-        let run = self.fields.entry(field.to_string()).or_default();
+        // alloc-ok: owned field key + map slot on first sight of a field;
+        // repeats hit the existing entry (control-plane write path — the
+        // dataplane buffers into stripes and merges wholesale).
+        let fs = self.fields.entry(field.to_string()).or_default();
+        let run = &mut fs.active;
         match run.last() {
             Some(&(last_ts, _)) if last_ts > ts => {
                 // Out-of-order straggler: binary insert.
@@ -31,6 +83,9 @@ impl Series {
                 run.insert(idx, (ts, value));
             }
             _ => run.push((ts, value)),
+        }
+        if run.len() >= seal::SEAL_THRESHOLD {
+            seal::seal_run(&mut fs.active, &mut fs.sealed, false);
         }
     }
 }
@@ -77,6 +132,18 @@ impl Query {
         self.bucket_ns = Some(bucket_ns);
         self
     }
+
+    fn matches(&self, series: &Series) -> bool {
+        self.tag_filters
+            .iter()
+            .all(|(k, v)| series.tags.iter().any(|(sk, sv)| sk == k && sv == v))
+    }
+
+    fn bucket_width(&self) -> u64 {
+        self.bucket_ns
+            .unwrap_or(self.end_ns.saturating_sub(self.start_ns))
+            .max(1)
+    }
 }
 
 /// One bucket of a query result.
@@ -88,8 +155,22 @@ pub struct Bucket {
     pub agg: Option<Aggregate>,
 }
 
-/// The database. All methods take `&self`; internal locking permits
-/// concurrent ingest from many analytics workers.
+/// Storage accounting for the two shard phases — what the pipeline
+/// exports as `ruru_self` gauges and the bench reports as bytes/point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Samples held in sealed compressed chunks.
+    pub sealed_points: u64,
+    /// Compressed payload bytes across all sealed chunks.
+    pub sealed_bytes: u64,
+    /// Samples still in mutable active tails (16 bytes each in memory).
+    pub active_points: u64,
+}
+
+/// The database. All methods take `&self`. Steady-state ingest goes
+/// through per-writer stripes ([`TsDb::stripe`]); the internal lock is
+/// only taken whole-shard at merge points and by control-plane paths
+/// (telemetry export, queries, retention).
 pub struct TsDb {
     inner: RwLock<HashMap<String, HashMap<String, Series>>>,
     ingested: std::sync::atomic::AtomicU64,
@@ -104,17 +185,21 @@ impl TsDb {
         }
     }
 
-    /// Ingest one point.
+    /// Ingest one point directly. This is the **control-plane** path
+    /// (telemetry export, snapshot restore, line protocol): it takes the
+    /// store lock per call. Dataplane writers use [`TsDb::stripe`] and
+    /// never contend here.
     pub fn write(&self, point: &Point) {
-        // lock-ok: the store is a serialized sink by design — ingest and
-        // queries share one RwLock off the capture path (ROADMAP item 4
-        // tracks compression + parallel query).
+        // Control-plane ingest: telemetry export and snapshot restore;
+        // dataplane writers go through stripes + merge_shard.
         let mut inner = self.inner.write();
+        // alloc-ok: owned measurement/series keys per point — the
+        // control-plane ingest cost; the dataplane never takes this path.
         let series_map = inner.entry(point.measurement.clone()).or_default();
         let series = series_map
-            .entry(point.series_key())
-            .or_insert_with(|| Series {
-                tags: point.tags.clone(),
+            .entry(point.series_key()) // alloc-ok: control-plane path, owned key per point
+            .or_insert_with(|| Series { // alloc-ok: once per new series, not per point
+                tags: point.tags.clone(), // alloc-ok: once per new series, not per point
                 fields: HashMap::new(),
             });
         for (field, value) in &point.fields {
@@ -125,39 +210,57 @@ impl TsDb {
     }
 
     /// Fold one [`crate::sharded::IngestShard`] into the store — the
-    /// merge-on-finish half of the per-queue sharded ingest path. One write
-    /// lock covers the whole shard (not one per point); disjoint series
-    /// move in wholesale, overlapping series merge their sorted runs with
-    /// existing samples staying ahead on timestamp ties. Returns the number
-    /// of points merged, which is also added to
+    /// merge half of the striped ingest path, called per rotation (not
+    /// per point) by every writer. One write lock covers the whole shard;
+    /// disjoint series move in wholesale, overlapping series merge their
+    /// sorted runs with existing samples staying ahead on timestamp ties.
+    /// Runs crossing the seal threshold are compressed on the way in.
+    /// Returns the number of points merged, which is also added to
     /// [`TsDb::points_ingested`] so ingest accounting reconciles exactly.
     pub fn merge_shard(&self, shard: crate::sharded::IngestShard) -> u64 {
         let points = shard.points;
         if points == 0 {
             return 0;
         }
-        // lock-ok: serialized sink by design (see `write`) — one write lock
-        // per shard merge is the documented contract above.
+        // lock-ok: one short write-lock hold per shard rotation is the
+        // amortised merge contract of the striped ingest path.
         let mut inner = self.inner.write();
         for (measurement, incoming) in shard.measurements {
+            // alloc-ok: map entry per shard measurement — O(series) work
+            // per merge, not per point; keys move in from the shard, no
+            // new strings are built here.
             let series_map = inner.entry(measurement).or_default();
             for (key, s) in incoming {
+                // alloc-ok: map slot per incoming series, O(series) per
+                // merge; vacant inserts move the shard's data wholesale.
                 match series_map.entry(key) {
                     std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(Series {
+                        let series = e.insert(Series {
                             tags: s.tags,
-                            fields: s.fields,
+                            fields: HashMap::with_capacity(s.fields.len()),
                         });
+                        for (field, run) in s.fields {
+                            series.fields.insert(field, FieldStore { sealed: Vec::new(), active: run });
+                        }
+                        for fs in series.fields.values_mut() {
+                            maybe_seal(fs);
+                        }
                     }
                     std::collections::hash_map::Entry::Occupied(mut e) => {
                         let dst = e.get_mut();
                         for (field, run) in s.fields {
+                            // alloc-ok: map slot per incoming field,
+                            // O(series) per merge; runs move or extend
+                            // wholesale below, never per point.
                             match dst.fields.entry(field) {
                                 std::collections::hash_map::Entry::Vacant(f) => {
-                                    f.insert(run);
+                                    let fs = f.insert(FieldStore { sealed: Vec::new(), active: run });
+                                    maybe_seal(fs);
                                 }
                                 std::collections::hash_map::Entry::Occupied(mut f) => {
-                                    crate::sharded::merge_runs(f.get_mut(), run);
+                                    let fs = f.get_mut();
+                                    crate::sharded::merge_runs(&mut fs.active, run);
+                                    maybe_seal(fs);
                                 }
                             }
                         }
@@ -168,6 +271,13 @@ impl TsDb {
         self.ingested
             .fetch_add(points, std::sync::atomic::Ordering::Relaxed);
         points
+    }
+
+    /// A private per-writer ingest stripe that folds itself into this
+    /// store every `flush_points` buffered points. The steady-state
+    /// write path touches only writer-local memory.
+    pub fn stripe(self: &std::sync::Arc<Self>, flush_points: u64) -> crate::sharded::StripeWriter {
+        crate::sharded::StripeWriter::new(std::sync::Arc::clone(self), flush_points)
     }
 
     /// Ingest a line-protocol line.
@@ -187,62 +297,185 @@ impl TsDb {
         self.inner.read().get(measurement).map_or(0, |m| m.len())
     }
 
-    /// Execute a query; returns one [`Bucket`] per window (a single bucket
-    /// for un-bucketed queries).
+    /// Force-seal every active run into compressed chunks (retention
+    /// horizon flushes, snapshot sizing, benchmarks). Returns samples
+    /// sealed. Steady-state sealing happens incrementally at merge time
+    /// once a run crosses the threshold; this drains the tails too.
+    pub fn seal(&self) -> u64 {
+        // lock-ok: cold control-plane compaction — draining tails into
+        // compressed chunks holds the store lock by design; never on the
+        // per-point ingest path.
+        let mut inner = self.inner.write();
+        let mut sealed = 0u64;
+        for series_map in inner.values_mut() {
+            for series in series_map.values_mut() {
+                for fs in series.fields.values_mut() {
+                    sealed += seal::seal_run(&mut fs.active, &mut fs.sealed, true);
+                }
+            }
+        }
+        sealed
+    }
+
+    /// Storage accounting across both shard phases.
+    pub fn storage_stats(&self) -> StorageStats {
+        let inner = self.inner.read();
+        let mut stats = StorageStats::default();
+        for series_map in inner.values() {
+            for series in series_map.values() {
+                for fs in series.fields.values() {
+                    for c in &fs.sealed {
+                        stats.sealed_points += c.count() as u64;
+                        stats.sealed_bytes += c.encoded_bytes() as u64;
+                    }
+                    stats.active_points += fs.active.len() as u64;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Execute a query single-threaded; returns one [`Bucket`] per
+    /// window (a single bucket for un-bucketed queries).
     pub fn query(&self, q: &Query) -> Vec<Bucket> {
+        self.query_parallel(q, 1)
+    }
+
+    /// Execute a query with bounded fan-out: the scan phase partitions
+    /// matching series (in sorted-key order) across up to `workers`
+    /// threads, the aggregate phase partitions buckets. Results are
+    /// identical to [`TsDb::query`] for every worker count — partials
+    /// concatenate in the same deterministic series order the
+    /// single-threaded scan uses.
+    pub fn query_parallel(&self, q: &Query, workers: usize) -> Vec<Bucket> {
         if q.end_ns < q.start_ns {
             // Inverted range: no window can match; the detector keeps running.
             return Vec::new();
         }
-        // lock-ok: query is control-plane (dashboard reads); the serialized
-        // sink holds the read lock while aggregating (see `write`).
-        let inner = self.inner.read();
-        let Some(series_map) = inner.get(&q.measurement) else {
-            return empty_buckets(q);
+        let bucket_ns = q.bucket_width();
+        let (workers, mut per_bucket) = self.scan_buckets(q, workers);
+        let n_buckets = per_bucket.len();
+        let aggs: Vec<Option<Aggregate>> = if workers <= 1 || n_buckets <= 1 {
+            per_bucket.iter_mut().map(|v| Aggregate::compute(v)).collect()
+        } else {
+            let stride = n_buckets.div_ceil(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = per_bucket
+                    .chunks_mut(stride)
+                    .map(|slice| {
+                        // Qualified form: `.spawn(` on an untyped receiver
+                        // would over-resolve in the analyzer call graph.
+                        std::thread::Scope::spawn(s, move || {
+                            slice
+                                .iter_mut()
+                                .map(|v| Aggregate::compute(v))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(n_buckets);
+                for h in handles {
+                    match h.join() {
+                        Ok(part) => out.extend(part),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+                out
+            })
         };
-        let bucket_ns = q
-            .bucket_ns
-            .unwrap_or(q.end_ns.saturating_sub(q.start_ns))
-            .max(1);
-        let n_buckets = bucket_count(q.start_ns, q.end_ns, bucket_ns);
-        let mut per_bucket: Vec<Vec<f64>> = vec![Vec::new(); n_buckets];
-
-        for series in series_map.values() {
-            if !q
-                .tag_filters
-                .iter()
-                .all(|(k, v)| series.tags.iter().any(|(sk, sv)| sk == k && sv == v))
-            {
-                continue;
-            }
-            let Some(run) = series.fields.get(&q.field) else {
-                continue;
-            };
-            let lo = run.partition_point(|&(t, _)| t < q.start_ns);
-            for &(t, v) in run.get(lo..).unwrap_or(&[]) {
-                if t >= q.end_ns {
-                    break;
-                }
-                // panic-ok: bucket_ns is clamped to at least 1 above
-                let b = (t.saturating_sub(q.start_ns) / bucket_ns) as usize;
-                if let Some(bucket) = per_bucket.get_mut(b) {
-                    bucket.push(v);
-                }
-            }
-        }
-
-        per_bucket
-            .into_iter()
+        aggs.into_iter()
             .enumerate()
-            .map(|(i, mut values)| Bucket {
+            .map(|(i, agg)| Bucket {
                 start_ns: q.start_ns.saturating_add((i as u64).saturating_mul(bucket_ns)),
-                agg: Aggregate::compute(&mut values),
+                agg,
             })
             .collect()
     }
 
+    /// Scan phase only: the raw values falling into each bucket, in the
+    /// same deterministic order the aggregate paths consume them. This is
+    /// the parallelisable part of a query; benchmarks use it to separate
+    /// scan cost from aggregation cost.
+    pub fn query_values(&self, q: &Query) -> Vec<(u64, Vec<f64>)> {
+        if q.end_ns < q.start_ns {
+            return Vec::new();
+        }
+        let bucket_ns = q.bucket_width();
+        let (_, per_bucket) = self.scan_buckets(q, 1);
+        per_bucket
+            .into_iter()
+            .enumerate()
+            .map(|(i, values)| {
+                (
+                    q.start_ns.saturating_add((i as u64).saturating_mul(bucket_ns)),
+                    values,
+                )
+            })
+            .collect()
+    }
+
+    /// Shared scan core: gather per-bucket values across matching series,
+    /// serially or fanned out over contiguous sorted-key ranges. Returns
+    /// the effective worker count and the per-bucket values.
+    fn scan_buckets(&self, q: &Query, workers: usize) -> (usize, Vec<Vec<f64>>) {
+        let bucket_ns = q.bucket_width();
+        let n_buckets = bucket_count(q.start_ns, q.end_ns, bucket_ns);
+        let mut per_bucket: Vec<Vec<f64>> = vec![Vec::new(); n_buckets];
+        // lock-ok: queries are control-plane reads; the scan fan-out
+        // borrows series data under the read lock while dataplane writers
+        // stay on their private stripes.
+        let inner = self.inner.read();
+        let Some(series_map) = inner.get(&q.measurement) else {
+            return (1, per_bucket);
+        };
+        // Deterministic scan order, independent of worker count.
+        let mut matching: Vec<(&String, &Series)> =
+            series_map.iter().filter(|(_, s)| q.matches(s)).collect();
+        matching.sort_unstable_by_key(|&(k, _)| k);
+        let workers = workers.clamp(1, MAX_QUERY_WORKERS).min(matching.len().max(1));
+        if workers <= 1 {
+            for (_, series) in &matching {
+                scan_series(series, q, bucket_ns, &mut per_bucket);
+            }
+            return (1, per_bucket);
+        }
+        let stride = matching.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = matching
+                .chunks(stride)
+                .map(|range| {
+                    // Qualified form: `.spawn(` on an untyped receiver
+                    // would over-resolve in the analyzer call graph.
+                    std::thread::Scope::spawn(s, move || {
+                        let mut part: Vec<Vec<f64>> = vec![Vec::new(); n_buckets];
+                        for (_, series) in range {
+                            scan_series(series, q, bucket_ns, &mut part);
+                        }
+                        part
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => {
+                        for (dst, src) in per_bucket.iter_mut().zip(part) {
+                            if dst.is_empty() {
+                                *dst = src;
+                            } else {
+                                dst.extend(src);
+                            }
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        (workers, per_bucket)
+    }
+
     /// Stable dump of all data for snapshot serialization (sorted for
-    /// deterministic images).
+    /// deterministic images). Sealed chunks are decoded for the image —
+    /// the snapshot format stays raw samples.
     #[allow(clippy::type_complexity)]
     pub(crate) fn dump_for_snapshot(
         &self,
@@ -251,7 +484,7 @@ impl TsDb {
         Vec<(Vec<(String, String)>, Vec<(String, Vec<(u64, f64)>)>)>,
     )> {
         // lock-ok: snapshot dump is control-plane; copies out under the
-        // read lock by design (see `write`).
+        // read lock by design.
         let inner = self.inner.read();
         let mut measurements: Vec<&String> = inner.keys().collect();
         measurements.sort_unstable();
@@ -268,7 +501,14 @@ impl TsDb {
                         let mut fields: Vec<(String, Vec<(u64, f64)>)> = s
                             .fields
                             .iter()
-                            .map(|(name, run)| (name.clone(), run.clone()))
+                            .map(|(name, fs)| {
+                                let mut run = Vec::with_capacity(fs.len() as usize);
+                                for c in &fs.sealed {
+                                    c.decompress_into(&mut run);
+                                }
+                                run.extend_from_slice(&fs.active);
+                                (name.clone(), run)
+                            })
                             .collect();
                         fields.sort_unstable_by(|a, b| a.0.cmp(&b.0));
                         Some((s.tags.clone(), fields))
@@ -282,7 +522,7 @@ impl TsDb {
     /// Distinct values of tag `key` across a measurement's series, sorted —
     /// what a dashboard uses to populate its "city" / "ASN" selectors.
     pub fn tag_values(&self, measurement: &str, key: &str) -> Vec<String> {
-        // lock-ok: dashboard selector query, control-plane (see `write`).
+        // lock-ok: dashboard selector query, control-plane.
         let inner = self.inner.read();
         let Some(series_map) = inner.get(measurement) else {
             return Vec::new();
@@ -302,23 +542,59 @@ impl TsDb {
     }
 
     /// Drop samples older than `keep_ns` relative to `now_ns`; empty series
-    /// are removed. Returns how many samples were dropped.
+    /// are removed. Wholly-expired sealed chunks drop without decoding;
+    /// the chunk straddling the cutoff is rewritten. Returns how many
+    /// samples were dropped.
     pub fn enforce_retention(&self, now_ns: u64, keep_ns: u64) -> u64 {
         let cutoff = now_ns.saturating_sub(keep_ns);
         let mut dropped = 0u64;
+        // lock-ok: cold retention maintenance — chunk rewrites hold the
+        // store lock by design; never on the per-point ingest path.
         let mut inner = self.inner.write();
         for series_map in inner.values_mut() {
             for series in series_map.values_mut() {
-                for run in series.fields.values_mut() {
-                    let keep_from = run.partition_point(|&(t, _)| t < cutoff);
+                for fs in series.fields.values_mut() {
+                    dropped += seal::retain_chunks(&mut fs.sealed, cutoff);
+                    let keep_from = fs.active.partition_point(|&(t, _)| t < cutoff);
                     dropped += keep_from as u64;
-                    run.drain(..keep_from);
+                    fs.active.drain(..keep_from);
                 }
-                series.fields.retain(|_, run| !run.is_empty());
+                series
+                    .fields
+                    .retain(|_, fs| !(fs.sealed.is_empty() && fs.active.is_empty()));
             }
             series_map.retain(|_, s| !s.fields.is_empty());
         }
         dropped
+    }
+
+    /// Retention-driven downsample **rewrite**: replace sealed chunks of
+    /// `(measurement, field)` whose samples all predate `before_ns` with
+    /// mean-per-`bucket_ns`-window chunks at coarser resolution, in
+    /// place (same series, tags preserved). Returns total
+    /// `(samples_before, samples_after)` across rewritten chunks.
+    pub fn downsample_sealed(
+        &self,
+        measurement: &str,
+        field: &str,
+        bucket_ns: u64,
+        before_ns: u64,
+    ) -> (u64, u64) {
+        // lock-ok: cold retention-driven rewrite — re-chunking holds the
+        // store lock by design; never on the per-point ingest path.
+        let mut inner = self.inner.write();
+        let Some(series_map) = inner.get_mut(measurement) else {
+            return (0, 0);
+        };
+        let (mut before, mut after) = (0u64, 0u64);
+        for series in series_map.values_mut() {
+            if let Some(fs) = series.fields.get_mut(field) {
+                let (b, a) = seal::downsample_chunks(&mut fs.sealed, bucket_ns, before_ns);
+                before += b;
+                after += a;
+            }
+        }
+        (before, after)
     }
 
     /// Downsample: write `mean` of each `bucket_ns` window of
@@ -341,29 +617,25 @@ impl TsDb {
         let mut out: Vec<Point> = Vec::new();
         {
             // lock-ok: retention downsampling is control-plane maintenance;
-            // aggregates under the read lock by design (see `write`).
+            // aggregates under the read lock by design.
             let inner = self.inner.read();
             let Some(series_map) = inner.get(measurement) else {
                 return 0;
             };
             for series in series_map.values() {
-                let Some(run) = series.fields.get(field) else {
+                let Some(fs) = series.fields.get(field) else {
                     continue;
                 };
                 let n_buckets = bucket_count(start_ns, end_ns, bucket_ns);
                 let mut sums = vec![(0.0f64, 0usize); n_buckets];
-                let lo = run.partition_point(|&(t, _)| t < start_ns);
-                for &(t, v) in run.get(lo..).unwrap_or(&[]) {
-                    if t >= end_ns {
-                        break;
-                    }
+                fs.for_each_in_range(start_ns, end_ns, &mut |t, v| {
                     // panic-ok: bucket_ns is clamped to at least 1 above
                     let b = (t.saturating_sub(start_ns) / bucket_ns) as usize;
                     if let Some((sum, count)) = sums.get_mut(b) {
                         *sum += v;
                         *count = count.saturating_add(1);
                     }
-                }
+                });
                 for (i, (sum, count)) in sums.into_iter().enumerate() {
                     if count > 0 {
                         out.push(Point::new(
@@ -385,6 +657,27 @@ impl TsDb {
     }
 }
 
+/// Seal full chunks off an active run that crossed the threshold.
+fn maybe_seal(fs: &mut FieldStore) {
+    if fs.active.len() >= seal::SEAL_THRESHOLD {
+        seal::seal_run(&mut fs.active, &mut fs.sealed, false);
+    }
+}
+
+/// Scan one series' field into per-bucket value vectors.
+fn scan_series(series: &Series, q: &Query, bucket_ns: u64, per_bucket: &mut [Vec<f64>]) {
+    let Some(fs) = series.fields.get(&q.field) else {
+        return;
+    };
+    fs.for_each_in_range(q.start_ns, q.end_ns, &mut |t, v| {
+        // panic-ok: bucket_ns is clamped to at least 1 by bucket_width
+        let b = (t.saturating_sub(q.start_ns) / bucket_ns) as usize;
+        if let Some(bucket) = per_bucket.get_mut(b) {
+            bucket.push(v);
+        }
+    });
+}
+
 impl Default for TsDb {
     fn default() -> Self {
         Self::new()
@@ -396,16 +689,6 @@ fn bucket_count(start: u64, end: u64, width: u64) -> usize {
         return 0;
     }
     ((end - start).div_ceil(width)) as usize
-}
-
-fn empty_buckets(q: &Query) -> Vec<Bucket> {
-    let width = q.bucket_ns.unwrap_or(q.end_ns.saturating_sub(q.start_ns).max(1));
-    (0..bucket_count(q.start_ns, q.end_ns, width))
-        .map(|i| Bucket {
-            start_ns: q.start_ns + i as u64 * width,
-            agg: None,
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -540,6 +823,25 @@ mod tests {
     }
 
     #[test]
+    fn retention_spans_sealed_chunks() {
+        let db = TsDb::new();
+        let n = crate::seal::SEAL_THRESHOLD as u64 + 100;
+        for i in 0..n {
+            db.write(&point("akl", i as f64, i * 1000));
+        }
+        let stats = db.storage_stats();
+        assert!(stats.sealed_points > 0, "threshold crossing must seal");
+        // Keep only the newest 100 samples' worth of time.
+        let dropped = db.enforce_retention(n * 1000, 100 * 1000);
+        assert_eq!(dropped, n - 100);
+        let agg = db.query(&Query::range("latency", "total_ms", 0, u64::MAX))[0]
+            .agg
+            .unwrap();
+        assert_eq!(agg.count, 100);
+        assert_eq!(agg.min, (n - 100) as f64);
+    }
+
+    #[test]
     fn line_protocol_ingest() {
         let db = TsDb::new();
         db.write_line("latency,city=akl total_ms=130 100").unwrap();
@@ -599,5 +901,85 @@ mod tests {
         let ext_agg = db.query(&Query::range("latency", "ext_ms", 0, 10))[0].agg.unwrap();
         assert_eq!(int_agg.mean, 1.0);
         assert_eq!(ext_agg.mean, 130.0);
+    }
+
+    #[test]
+    fn sealing_is_transparent_to_queries() {
+        let db = TsDb::new();
+        let n = crate::seal::SEAL_THRESHOLD as u64 * 2 + 17;
+        for i in 0..n {
+            db.write(&point("akl", (i % 97) as f64, i * 1000));
+        }
+        let stats = db.storage_stats();
+        assert!(stats.sealed_points >= crate::seal::SEAL_THRESHOLD as u64);
+        assert_eq!(stats.sealed_points + stats.active_points, n);
+        assert!(stats.sealed_bytes > 0);
+        // Compression must beat raw 16 bytes/sample on a regular cadence.
+        assert!(
+            stats.sealed_bytes < stats.sealed_points * 16,
+            "sealed {} bytes for {} points",
+            stats.sealed_bytes,
+            stats.sealed_points
+        );
+        let buckets = db.query(&Query::range("latency", "total_ms", 0, n * 1000));
+        assert_eq!(buckets[0].agg.unwrap().count, n as usize);
+        // Forced seal drains the tails and changes nothing observable.
+        db.seal();
+        let stats = db.storage_stats();
+        assert_eq!(stats.active_points, 0);
+        assert_eq!(stats.sealed_points, n);
+        let buckets = db.query(&Query::range("latency", "total_ms", 0, n * 1000));
+        assert_eq!(buckets[0].agg.unwrap().count, n as usize);
+    }
+
+    #[test]
+    fn parallel_query_matches_single_threaded() {
+        let db = TsDb::new();
+        for i in 0..5000u64 {
+            let city = ["akl", "lax", "syd", "nrt", "fra"][(i % 5) as usize];
+            db.write(&point(city, (i % 211) as f64 * 0.5, i * 337));
+        }
+        db.seal();
+        let q = Query::range("latency", "total_ms", 0, 5000 * 337).with_buckets(100_000);
+        let reference = db.query(&q);
+        for workers in [2, 3, 4, 16, 64] {
+            assert_eq!(db.query_parallel(&q, workers), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn query_values_matches_aggregate_counts() {
+        let db = TsDb::new();
+        for i in 0..100u64 {
+            db.write(&point("akl", i as f64, i * 10));
+        }
+        let q = Query::range("latency", "total_ms", 0, 1000).with_buckets(250);
+        let values = db.query_values(&q);
+        let buckets = db.query(&q);
+        assert_eq!(values.len(), buckets.len());
+        for ((start, vals), bucket) in values.iter().zip(&buckets) {
+            assert_eq!(*start, bucket.start_ns);
+            assert_eq!(vals.len(), bucket.agg.map_or(0, |a| a.count));
+        }
+    }
+
+    #[test]
+    fn downsample_sealed_rewrites_in_place() {
+        let db = TsDb::new();
+        let n = crate::seal::SEAL_THRESHOLD as u64;
+        for i in 0..n {
+            db.write(&point("akl", i as f64, i * 1000));
+        }
+        db.seal();
+        let horizon = n * 1000;
+        let (before, after) = db.downsample_sealed("latency", "total_ms", 100_000, horizon);
+        assert_eq!(before, n);
+        assert!(after < before);
+        // The rewritten series still answers queries, with fewer samples.
+        let agg = db.query(&Query::range("latency", "total_ms", 0, horizon))[0]
+            .agg
+            .unwrap();
+        assert_eq!(agg.count as u64, after);
+        assert_eq!(db.series_count("latency"), 1);
     }
 }

@@ -1,0 +1,148 @@
+//! Allocation audit for the striped ingest path. The dataplane's claim is
+//! not "zero allocations" — buffering a point clones its series strings
+//! into the stripe — but **bounded, small, and amortized**:
+//!
+//! * a steady-state stripe write costs a small constant number of
+//!   allocator hits per point (string keys + amortized run growth), with
+//!   no per-point interaction with the shared store at all;
+//! * folding a stripe into the store costs O(series) allocator hits, not
+//!   O(points) — the run-move/extend merge is the whole point of
+//!   shard-then-merge over per-point locked writes.
+//!
+//! Both bounds are enforced here with a counting pass-through allocator,
+//! so a regression that sneaks a per-point allocation into `merge_shard`
+//! (or makes `IngestShard::write` quadratic in strings) fails loudly.
+
+// Tests are exempt from the panic-freedom policy (DESIGN.md §10).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+// Miri has its own allocator machinery; this audits native behaviour.
+#![cfg(not(miri))]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ruru_tsdb::{Point, Query, TsDb};
+
+/// Counts allocator hits while `ARMED`; defers everything to [`System`].
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to the `System` allocator — identical layout
+// contracts — plus relaxed counter increments, which allocate nothing and
+// cannot reenter the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    // SAFETY: forwards `ptr`/`layout` unchanged to `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: forwards all arguments unchanged to `System.realloc`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const SERIES: usize = 64;
+const POINTS: u64 = 100_000;
+
+/// Allocator hits (allocs + reallocs) counted over `f`.
+fn audited(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::Relaxed);
+    REALLOCS.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+    f();
+    ARMED.store(false, Ordering::Relaxed);
+    ALLOCS.load(Ordering::Relaxed) + REALLOCS.load(Ordering::Relaxed)
+}
+
+fn template(series: usize) -> Point {
+    Point::new(
+        "latency",
+        vec![
+            ("city".into(), format!("city-{series:03}")),
+            ("queue".into(), format!("{}", series % 4)),
+        ],
+        vec![("total_ms".into(), 0.0)],
+        0,
+    )
+}
+
+#[test]
+fn stripe_ingest_allocations_are_bounded_and_merge_is_amortized() {
+    let db = Arc::new(TsDb::new());
+
+    // Warm-up: create every series in the store and in a stripe once, so
+    // one-time setup (hash maps, first runs) predates the audit windows.
+    let mut warm = db.stripe(u64::MAX);
+    for s in 0..SERIES {
+        let mut p = template(s);
+        p.timestamp_ns = 1;
+        warm.write(&p);
+    }
+    warm.flush();
+
+    // Templates are built outside the windows; the loops below only mutate
+    // plain fields, so every counted hit belongs to the ingest path itself.
+    let mut points: Vec<Point> = (0..SERIES).map(template).collect();
+
+    // Window 1: steady-state stripe writes — never flushing — must cost a
+    // small constant per point: measurement + series-key + field-key
+    // strings plus amortized sorted-run growth. The shared store is not
+    // touched at all.
+    let mut stripe = db.stripe(u64::MAX);
+    let write_hits = audited(|| {
+        for i in 0..POINTS {
+            let p = &mut points[(i % SERIES as u64) as usize];
+            p.timestamp_ns = 1_000 + i * 1_000;
+            p.fields[0].1 = (i % 977) as f64 * 0.1;
+            stripe.write(p);
+        }
+    });
+    assert_eq!(stripe.points_buffered(), POINTS);
+    let per_point = write_hits as f64 / POINTS as f64;
+    assert!(
+        per_point <= 10.0,
+        "stripe write must stay a small constant: {write_hits} hits / {POINTS} points = {per_point:.2}"
+    );
+
+    // Window 2: folding the stripe into the store must be O(series), not
+    // O(points) — runs move or extend wholesale. Budget: a generous
+    // per-series constant, still ~50x below one hit per point.
+    let merge_hits = audited(|| {
+        assert_eq!(stripe.flush(), POINTS);
+    });
+    assert!(
+        merge_hits <= 32 * SERIES as u64,
+        "merge must be O(series): {merge_hits} hits for {SERIES} series / {POINTS} points"
+    );
+    assert!(
+        merge_hits < POINTS / 16,
+        "merge amortization regressed: {merge_hits} hits for {POINTS} points"
+    );
+
+    // The audited work really landed.
+    assert_eq!(db.points_ingested(), POINTS + SERIES as u64);
+    let agg = db.query(&Query::range("latency", "total_ms", 0, u64::MAX))[0]
+        .agg
+        .unwrap();
+    assert_eq!(agg.count, (POINTS + SERIES as u64) as usize);
+}

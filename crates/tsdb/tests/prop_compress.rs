@@ -1,0 +1,185 @@
+//! Differential property suite for the sealed-chunk lifecycle: sealing
+//! (Gorilla compression) must be **observably invisible**. For any
+//! randomized ingest — timestamp jitter, duplicate stamps, NaN and
+//! extreme values, empty and single-point series — every public read
+//! path must return bit-identical results before and after forcing the
+//! whole store through compressed sealed chunks, and after a
+//! decode → re-seal round-trip via the snapshot image.
+
+// Tests are exempt from the panic-freedom policy (DESIGN.md §10):
+// unwrap/expect on known-good fixtures is idiomatic here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+// Proptest exercises thousands of cases: far too slow under Miri, and
+// the properties are memory-safety-neutral anyway.
+#![cfg(not(miri))]
+
+use proptest::prelude::*;
+use ruru_tsdb::{Point, Query, TsDb};
+
+/// One randomized sample: series index, timestamp, raw value bits.
+#[derive(Debug, Clone, Copy)]
+struct Ingest {
+    series: u8,
+    ts: u64,
+    bits: u64,
+}
+
+/// Value strategy over raw bits so NaN payloads, signed zeros and
+/// infinities are all first-class citizens of the distribution.
+fn bits_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        // Realistic latencies: small magnitudes with limited jitter.
+        8 => (0u64..1_000_000).prop_map(|i| (100.0 + i as f64 * 0.001).to_bits()),
+        // Arbitrary bit patterns (often NaN/subnormal/huge).
+        2 => any::<u64>(),
+        // The named special values.
+        1 => Just(f64::NAN.to_bits()),
+        1 => Just(f64::INFINITY.to_bits()),
+        1 => Just(f64::NEG_INFINITY.to_bits()),
+        1 => Just((-0.0f64).to_bits()),
+        1 => Just(f64::MAX.to_bits()),
+        1 => Just(f64::MIN_POSITIVE.to_bits()),
+    ]
+}
+
+fn ingest_strategy() -> impl Strategy<Value = Ingest> {
+    (any::<u8>(), ts_strategy(), bits_strategy()).prop_map(|(series, ts, bits)| Ingest {
+        series: series % 5,
+        ts,
+        bits,
+    })
+}
+
+/// Timestamps cluster on a cadence with jitter, plus occasional extremes
+/// (0, far future) and duplicates from the small modulus.
+fn ts_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        8 => (0u64..5_000).prop_map(|i| i * 1_000_000 + (i * 37) % 1013),
+        1 => Just(0u64),
+        1 => 0u64..u64::MAX / 2,
+    ]
+}
+
+fn build_store(ops: &[Ingest]) -> TsDb {
+    let db = TsDb::new();
+    for op in ops {
+        let city = ["akl", "lax", "syd", "nrt", "fra"][op.series as usize];
+        db.write(&Point::new(
+            "latency",
+            vec![("city".into(), city.into())],
+            vec![("total_ms".into(), f64::from_bits(op.bits))],
+            op.ts,
+        ));
+    }
+    db
+}
+
+/// Bit-exact view of every stored sample, via the scan path.
+fn values_bits(db: &TsDb, q: &Query) -> Vec<(u64, Vec<u64>)> {
+    db.query_values(q)
+        .into_iter()
+        .map(|(start, vs)| (start, vs.iter().map(|v| v.to_bits()).collect()))
+        .collect()
+}
+
+fn queries() -> Vec<Query> {
+    vec![
+        Query::range("latency", "total_ms", 0, u64::MAX),
+        Query::range("latency", "total_ms", 0, 5_000_000_000).with_buckets(250_000_000),
+        Query::range("latency", "total_ms", 1_000_000, 4_000_000_000)
+            .with_buckets(100_000_000),
+        Query::range("latency", "total_ms", 0, u64::MAX).with_tag("city", "akl"),
+        Query::range("latency", "total_ms", 0, 0),
+        Query::range("nope", "total_ms", 0, 1000),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sealing is invisible: every read path returns bit-identical
+    /// results from the uncompressed store and the fully sealed one.
+    #[test]
+    fn sealed_store_reads_bit_identical(
+        ops in proptest::collection::vec(ingest_strategy(), 0..600),
+    ) {
+        let db = build_store(&ops);
+        let before_snapshot = db.to_snapshot();
+        let before_values: Vec<_> = queries().iter().map(|q| values_bits(&db, q)).collect();
+
+        let sealed_now = db.seal();
+        let stats = db.storage_stats();
+        prop_assert_eq!(stats.active_points, 0, "forced seal must drain tails");
+        prop_assert_eq!(stats.sealed_points, sealed_now);
+        prop_assert_eq!(stats.sealed_points, ops.len() as u64);
+
+        // The snapshot image (decoded sealed chunks) is byte-identical to
+        // the pre-seal image: compression round-trips every bit.
+        prop_assert_eq!(&db.to_snapshot(), &before_snapshot);
+        for (q, before) in queries().iter().zip(&before_values) {
+            prop_assert_eq!(&values_bits(&db, q), before, "query {:?}", q);
+        }
+
+        // And a store rebuilt from the image re-reads identically too.
+        let rebuilt = TsDb::from_snapshot(&before_snapshot).unwrap();
+        for (q, before) in queries().iter().zip(&before_values) {
+            prop_assert_eq!(&values_bits(&rebuilt, q), before, "rebuilt query {:?}", q);
+        }
+    }
+
+    /// Merging shards and direct writes agree after sealing, exactly as
+    /// they did before compression existed — the PR 6 differential
+    /// property carried over to the two-phase store.
+    #[test]
+    fn sealed_merge_matches_direct_writes(
+        ops in proptest::collection::vec(ingest_strategy(), 1..400),
+    ) {
+        let direct = build_store(&ops);
+        let sharded = std::sync::Arc::new(TsDb::new());
+        let mut stripes = [sharded.stripe(97), sharded.stripe(61)];
+        for (i, op) in ops.iter().enumerate() {
+            let city = ["akl", "lax", "syd", "nrt", "fra"][op.series as usize];
+            stripes[i % 2].write(&Point::new(
+                "latency",
+                vec![("city".into(), city.into())],
+                vec![("total_ms".into(), f64::from_bits(op.bits))],
+                op.ts,
+            ));
+        }
+        for s in &mut stripes {
+            s.flush();
+        }
+        prop_assert_eq!(sharded.points_ingested(), direct.points_ingested());
+        direct.seal();
+        sharded.seal();
+        // Sample multisets per bucket must match; ordering within a bucket
+        // may differ between interleavings, so compare sorted bit vectors.
+        for q in queries() {
+            let mut a = values_bits(&direct, &q);
+            let mut b = values_bits(&sharded, &q);
+            for (_, vs) in a.iter_mut().chain(b.iter_mut()) {
+                vs.sort_unstable();
+            }
+            prop_assert_eq!(a, b, "query {:?}", q);
+        }
+    }
+
+    /// Single-point and empty series through the seal path.
+    #[test]
+    fn tiny_series_seal_roundtrip(ts in ts_strategy(), bits in bits_strategy()) {
+        let db = TsDb::new();
+        db.write(&Point::new(
+            "latency",
+            vec![("city".into(), "akl".into())],
+            vec![("total_ms".into(), f64::from_bits(bits))],
+            ts,
+        ));
+        let q = Query::range("latency", "total_ms", 0, u64::MAX);
+        let before = values_bits(&db, &q);
+        prop_assert_eq!(db.seal(), 1);
+        prop_assert_eq!(values_bits(&db, &q), before);
+        prop_assert_eq!(db.seal(), 0, "empty active tails seal to nothing");
+        prop_assert_eq!(values_bits(&db, &q), before);
+    }
+}

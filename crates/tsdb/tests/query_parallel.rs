@@ -1,0 +1,145 @@
+//! Query-equivalence suite: the bounded parallel fan-out must return
+//! exactly what the single-threaded reference path returns — same
+//! buckets, same aggregates, bit for bit — for every worker count, every
+//! tag filter, every bucketing, and regardless of how the store's runs
+//! are split between sealed chunks and active tails. The scan partitions
+//! series in sorted-key order and concatenates partials in that same
+//! order, so even float summation order is identical.
+
+// Tests are exempt from the panic-freedom policy (DESIGN.md §10).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+// Thousands of randomized cases; thread spawning under Miri is
+// disproportionately slow and the property is scheduling-neutral.
+#![cfg(not(miri))]
+
+use proptest::prelude::*;
+use ruru_tsdb::{Point, Query, TsDb};
+
+const CITIES: [&str; 7] = ["akl", "lax", "syd", "nrt", "fra", "lhr", "gru"];
+
+#[derive(Debug, Clone, Copy)]
+struct Ingest {
+    city: u8,
+    asn: u8,
+    ts: u64,
+    val_milli: u32,
+}
+
+fn ingest_strategy() -> impl Strategy<Value = Ingest> {
+    (any::<u8>(), any::<u8>(), 0u64..2_000_000, any::<u32>()).prop_map(
+        |(city, asn, ts, val_milli)| Ingest {
+            city: city % CITIES.len() as u8,
+            asn: asn % 4,
+            ts,
+            val_milli,
+        },
+    )
+}
+
+fn build(ops: &[Ingest]) -> TsDb {
+    let db = TsDb::new();
+    for op in ops {
+        db.write(&Point::new(
+            "latency",
+            vec![
+                ("city".into(), CITIES[op.city as usize].into()),
+                ("asn".into(), format!("AS{}", op.asn)),
+            ],
+            vec![
+                ("total_ms".into(), op.val_milli as f64 / 1000.0),
+                ("internal_ms".into(), op.val_milli as f64 / 7000.0),
+            ],
+            op.ts,
+        ));
+    }
+    db
+}
+
+fn query_matrix() -> Vec<Query> {
+    vec![
+        Query::range("latency", "total_ms", 0, u64::MAX),
+        Query::range("latency", "total_ms", 0, 2_000_000).with_buckets(100_000),
+        Query::range("latency", "internal_ms", 500_000, 1_500_000).with_buckets(10_000),
+        Query::range("latency", "total_ms", 0, 2_000_000)
+            .with_buckets(250_000)
+            .with_tag("city", "akl"),
+        Query::range("latency", "total_ms", 0, 2_000_000)
+            .with_tag("city", "lax")
+            .with_tag("asn", "AS1"),
+        Query::range("latency", "missing_field", 0, 2_000_000).with_buckets(500_000),
+        Query::range("latency", "total_ms", 2_000_000, 1_000, /* inverted */).with_buckets(1),
+    ]
+}
+
+fn assert_equivalent(db: &TsDb) {
+    for q in query_matrix() {
+        let reference = db.query(&q);
+        for workers in [0, 2, 3, 4, 8, 16, 1024] {
+            let got = db.query_parallel(&q, workers);
+            assert_eq!(got, reference, "workers={workers} query={q:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel fan-out over a mixed sealed/active store equals the
+    /// single-threaded reference for every worker count.
+    #[test]
+    fn parallel_equals_reference(
+        ops in proptest::collection::vec(ingest_strategy(), 0..800),
+    ) {
+        let db = build(&ops);
+        assert_equivalent(&db); // all-active store
+        db.seal();
+        assert_equivalent(&db); // all-sealed store
+    }
+}
+
+#[test]
+fn parallel_equals_reference_across_seal_boundary() {
+    // A store large enough that threshold sealing kicks in on its own,
+    // leaving genuine sealed chunks *and* active tails in every series.
+    let db = TsDb::new();
+    for i in 0..40_000u64 {
+        let city = CITIES[(i % 3) as usize];
+        db.write(&Point::new(
+            "latency",
+            vec![("city".into(), city.into())],
+            vec![("total_ms".into(), ((i * 31) % 1009) as f64 * 0.1)],
+            i * 1_000,
+        ));
+    }
+    let stats = db.storage_stats();
+    assert!(stats.sealed_points > 0 && stats.active_points > 0);
+    assert_equivalent(&db);
+}
+
+#[test]
+fn worker_count_does_not_change_percentiles() {
+    // Percentiles are order-sensitive if partials concatenate in a
+    // nondeterministic order; pin the exact aggregate fields.
+    let db = TsDb::new();
+    for i in 0..10_000u64 {
+        let city = CITIES[(i % CITIES.len() as u64) as usize];
+        db.write(&Point::new(
+            "latency",
+            vec![("city".into(), city.into())],
+            vec![("total_ms".into(), ((i * 2654435761) % 100_000) as f64 / 100.0)],
+            i * 500,
+        ));
+    }
+    db.seal();
+    let q = Query::range("latency", "total_ms", 0, 10_000 * 500).with_buckets(333_333);
+    let reference = db.query(&q);
+    let p99s: Vec<Option<f64>> = reference.iter().map(|b| b.agg.map(|a| a.p99)).collect();
+    assert!(p99s.iter().any(|p| p.is_some()));
+    for workers in [2, 4, 16] {
+        let got = db.query_parallel(&q, workers);
+        let got_p99s: Vec<Option<f64>> = got.iter().map(|b| b.agg.map(|a| a.p99)).collect();
+        assert_eq!(got_p99s, p99s, "workers={workers}");
+        assert_eq!(got, reference, "workers={workers}");
+    }
+}

@@ -45,9 +45,11 @@
 //!    drift from what exists. A workspace that declares metrics but has
 //!    no manifest fails loudly (`conservation-manifest`).
 //!
-//! `tsdb` is exempt from discard scanning: it is the serialized sink
-//! whose `Result` surface is the *caller's* to account (the same crate
-//! exemption hotpath-check applies to its allocation pass). So are the
+//! `tsdb` is exempt from discard scanning: its `Result` surface is
+//! query-path control flow (missing series, empty ranges), not record
+//! accounting — and ingest conservation is enforced dynamically by the
+//! `tsdb-accounting` and `tsdb-merge-accounting` identities instead. So
+//! are the
 //! E7 comparison baselines under `flow/src/baseline/` — deliberately
 //! lossy reference designs whose misses are the experiment's subject.
 
@@ -124,8 +126,9 @@ const SEND_PATTERNS: &[&str] = &[
     "write_line(",
 ];
 
-/// Crates exempt from discard scanning (serialized sink — its callers
-/// account).
+/// Crates exempt from discard scanning: tsdb `Result`s are query-path
+/// control flow, and its ingest is conserved dynamically by the
+/// tsdb accounting identities.
 const DISCARD_EXEMPT: &[&str] = &["tsdb"];
 
 /// One declared metric id: name literal, bound identifier, declaration

@@ -99,8 +99,10 @@ fn unsafe_allowed(path: &str) -> bool {
         // `#[global_allocator]` — inherently an `unsafe impl`.
         || path == "crates/flow/tests/alloc_steady_state.rs"
         || path == "crates/telemetry/tests/alloc_steady_state.rs"
+        || path == "crates/tsdb/tests/alloc_stripe_ingest.rs"
         || path == "crates/bench/src/bin/flow_table_report.rs"
         || path == "crates/bench/src/bin/scaling_report.rs"
+        || path == "crates/bench/src/bin/tsdb_report.rs"
         || path.starts_with("crates/loom/")
         || path.starts_with("crates/xtask/")
 }

@@ -2,8 +2,8 @@
 # Benchmark gate: runs the criterion benches (E2 pipeline throughput as the
 # no-regression guard, E9 flow table head-to-head, E10 execution-mode
 # scaling), then the machine-readable reporters, which rewrite
-# BENCH_flowtable.json and BENCH_scaling.json, and finally the shared gate
-# script (scripts/gate.py) against both artifacts.
+# BENCH_flowtable.json, BENCH_scaling.json and BENCH_tsdb.json, and finally
+# the shared gate script (scripts/gate.py) against all three artifacts.
 # Usage: scripts/bench.sh [--report-only]
 #   --report-only  skip the criterion runs, only refresh the JSON artifacts.
 #                  Fails loudly if the criterion estimates from a previous
@@ -37,10 +37,16 @@ cargo run --release -p ruru-bench --bin flow_table_report -- BENCH_flowtable.jso
 echo "==> scaling_report -> BENCH_scaling.json"
 cargo run --release -p ruru-bench --bin scaling_report -- --out BENCH_scaling.json
 
+echo "==> tsdb_report -> BENCH_tsdb.json"
+cargo run --release -p ruru-bench --bin tsdb_report -- --out BENCH_tsdb.json
+
 echo "==> gate: BENCH_flowtable.json"
 python3 scripts/gate.py flowtable BENCH_flowtable.json
 
 echo "==> gate: BENCH_scaling.json"
 python3 scripts/gate.py scaling BENCH_scaling.json
+
+echo "==> gate: BENCH_tsdb.json"
+python3 scripts/gate.py tsdb BENCH_tsdb.json
 
 echo "OK"

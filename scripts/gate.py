@@ -10,6 +10,10 @@ Subcommands:
                         4-queue RTC must be >= 2.5x 1-queue RTC, and the
                         steady-state allocation audit must be 0 in both
                         modes.
+  tsdb PATH             gate BENCH_tsdb.json: the day-scale workload must
+                        hold >= 10M points, sealed storage must cost <= 4.0
+                        bytes/point, and the modeled 4-worker query speedup
+                        must be >= 3.0x.
   criterion-fresh GROUP [GROUP...]
                         require at least one criterion estimates.json per
                         named group under target/criterion/, no older than
@@ -82,6 +86,29 @@ def gate_scaling(path):
     return ok
 
 
+def gate_tsdb(path):
+    r = load(path)
+    ok = True
+    points = r["workload"]["points"]
+    print(f"  workload.points: {points} (floor 10000000)")
+    if points < 10_000_000:
+        print(f"  {path} looks like a smoke artifact — the gate needs the "
+              "full day-scale run", file=sys.stderr)
+        ok = False
+    bpp = r["storage"]["bytes_per_point"]
+    print(f"  storage.bytes_per_point: {bpp:.3f} (ceiling 4.0, raw 16)")
+    ok &= bpp <= 4.0
+    sealed = r["storage"]["sealed_points"] + r["storage"]["active_points"]
+    print(f"  storage accounting: {sealed} sealed+active (must equal points)")
+    ok &= sealed == points
+    speedup = r["query"]["parallel"]["speedup_modeled"]
+    workers = r["query"]["parallel"]["workers"]
+    print(f"  query.parallel.speedup_modeled: {speedup:.2f}x at {workers} "
+          "workers (floor 3.0x)")
+    ok &= workers == 4 and speedup >= 3.0
+    return ok
+
+
 def gate_criterion_fresh(groups, max_age_hours):
     ok = True
     now = time.time()
@@ -116,6 +143,8 @@ def main():
     p.add_argument("path")
     p = sub.add_parser("scaling")
     p.add_argument("path")
+    p = sub.add_parser("tsdb")
+    p.add_argument("path")
     p = sub.add_parser("criterion-fresh")
     p.add_argument("groups", nargs="+")
     p.add_argument("--max-age-hours", type=float, default=24.0)
@@ -125,6 +154,8 @@ def main():
         ok = gate_flowtable(args.path)
     elif args.cmd == "scaling":
         ok = gate_scaling(args.path)
+    elif args.cmd == "tsdb":
+        ok = gate_tsdb(args.path)
     else:
         ok = gate_criterion_fresh(args.groups, args.max_age_hours)
     sys.exit(0 if ok else 1)
