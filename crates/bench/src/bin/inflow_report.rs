@@ -1,0 +1,197 @@
+//! Machine-readable in-flow RTT benchmark: times the continuous
+//! TCP-timestamp path — the `pping` baseline's side `HashMap` against the
+//! slab-table `InflowTracker` (scalar and burst) — over a generated
+//! timestamped workload, runs the steady-state allocation audit on the
+//! burst path, and writes `BENCH_inflow.json`.
+//!
+//! `scripts/bench.sh` runs this after the criterion benches; CI runs it
+//! with `--smoke` to keep the harness exercised. `scripts/gate.py inflow`
+//! enforces the floors (and rejects smoke-sized artifacts).
+
+use ruru_bench::workload;
+use ruru_flow::baseline::pping::{Pping, PpingConfig};
+use ruru_flow::{InflowConfig, InflowTracker};
+use ruru_nic::lcore::BURST_SIZE;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts heap hits while armed; defers everything to [`System`]. Same
+/// instrument as `flow_table_report` so the JSON artifact records the
+/// measured figure next to the throughputs.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static HEAP_HITS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to the `System` allocator — identical layout
+// contracts — plus a relaxed counter increment, which allocates nothing
+// and cannot reenter the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            HEAP_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    // SAFETY: forwards `ptr`/`layout` unchanged to `System.dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: forwards all arguments unchanged to `System.realloc`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            HEAP_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const REPS: usize = 7;
+
+struct Args {
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_inflow.json".into(),
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => args.out = it.next().unwrap_or(args.out),
+            "--smoke" => args.smoke = true,
+            other => {
+                eprintln!("unknown arg `{other}`");
+                eprintln!("usage: inflow_report [--out PATH] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Best-of-`REPS` wall time for `f`, as (ops/s, ns/op) over `ops`.
+fn time(ops: u64, mut f: impl FnMut() -> u64) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        black_box(f());
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    (ops as f64 / best, best * 1e9 / ops as f64)
+}
+
+fn json_entry(name: &str, ops_per_s: f64, ns_per_op: f64) -> String {
+    format!(
+        "    \"{name}\": {{ \"ops_per_sec\": {:.0}, \"ns_per_op\": {:.2} }}",
+        ops_per_s, ns_per_op
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    // Data-heavy workload: every flow carries request/response exchanges,
+    // so most packets are in-flow traffic, which is what this path costs.
+    let w = if args.smoke {
+        workload(17, 100.0, 1, (1, 3))
+    } else {
+        workload(17, 600.0, 4, (2, 6))
+    };
+    let n = w.metas.len() as u64;
+    let mut entries: Vec<String> = Vec::new();
+
+    // ---- pping baseline: per-packet HashMap matching --------------------
+    let mut samples_baseline = 0u64;
+    let (ops, ns) = time(n, || {
+        let mut p = Pping::new(PpingConfig::default());
+        let mut s = 0u64;
+        for meta in &w.metas {
+            s += p.process(black_box(meta)).is_some() as u64;
+        }
+        samples_baseline = s;
+        s
+    });
+    entries.push(json_entry("pping_baseline", ops, ns));
+    let base_ns = ns;
+
+    // ---- inflow scalar: slab-table rings, one packet at a time ----------
+    let mut samples_scalar = 0u64;
+    let (ops, ns) = time(n, || {
+        let mut t = InflowTracker::new(0, InflowConfig::default());
+        let mut s = 0u64;
+        for meta in &w.metas {
+            s += t.process(black_box(meta)).is_some() as u64;
+        }
+        samples_scalar = s;
+        s
+    });
+    entries.push(json_entry("inflow_scalar", ops, ns));
+
+    // ---- inflow burst: hash-staged, prefetched, RSS-reusing -------------
+    let mut samples_burst = 0u64;
+    let (burst_ops, ns) = time(n, || {
+        let mut t = InflowTracker::new(0, InflowConfig::default());
+        let mut s = 0u64;
+        for chunk in w.metas.chunks(BURST_SIZE) {
+            t.process_burst(black_box(chunk), |_| s += 1);
+        }
+        samples_burst = s;
+        s
+    });
+    entries.push(json_entry("inflow_burst", burst_ops, ns));
+    let burst_ns = ns;
+
+    assert_eq!(
+        samples_scalar, samples_burst,
+        "burst and scalar must be the same estimator"
+    );
+    assert_eq!(
+        samples_baseline, samples_scalar,
+        "inflow and the fixed baseline must agree on this workload"
+    );
+
+    // ---- steady-state allocation audit on the burst path ----------------
+    // Warm one tracker over the full workload (table growth, scratch
+    // buffers), then replay it armed: the hot path must not touch the
+    // heap again.
+    let mut t = InflowTracker::new(0, InflowConfig::default());
+    for chunk in w.metas.chunks(BURST_SIZE) {
+        t.process_burst(chunk, |_| {});
+    }
+    ARMED.store(true, Ordering::Relaxed);
+    let mut audited_samples = 0u64;
+    for chunk in w.metas.chunks(BURST_SIZE) {
+        t.process_burst(black_box(chunk), |_| audited_samples += 1);
+    }
+    ARMED.store(false, Ordering::Relaxed);
+    let heap_hits = HEAP_HITS.load(Ordering::Relaxed);
+    black_box(audited_samples);
+
+    let json = format!(
+        "{{\n  \"workload\": {{ \"packets\": {}, \"flows\": {}, \"samples\": {} }},\n  \"benchmarks\": {{\n{}\n  }},\n  \"burst_packets_per_sec\": {:.0},\n  \"speedup\": {{\n    \"inflow_burst_vs_pping\": {:.2}\n  }},\n  \"steady_state_allocations\": {}\n}}\n",
+        n,
+        w.flows,
+        samples_burst,
+        entries.join(",\n"),
+        burst_ops,
+        base_ns / burst_ns,
+        heap_hits,
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", args.out);
+}

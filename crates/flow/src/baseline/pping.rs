@@ -14,6 +14,7 @@ use crate::baseline::RttSample;
 use crate::classify::TcpMeta;
 use crate::key::{Direction, FlowKey};
 use crate::baseline::expiring::ExpiringTable;
+use crate::table::InsertOutcome;
 use ruru_nic::Timestamp;
 
 /// Configuration for the pping estimator.
@@ -46,6 +47,12 @@ pub struct PpingStats {
     pub no_timestamp: u64,
     /// TSvals recorded.
     pub tsvals_recorded: u64,
+    /// Packets whose TSval was already outstanding (retransmits, repeated
+    /// pure ACKs) — not re-recorded, not counted in `tsvals_recorded`.
+    pub duplicate_tsvals: u64,
+    /// Packets carrying TSval 0, which the `tsecr != 0` ambiguity guard
+    /// makes unmatchable; skipped instead of left to rot until TTL.
+    pub zero_tsvals: u64,
     /// RTT samples emitted.
     pub samples: u64,
     /// Outstanding TSvals dropped by TTL.
@@ -94,9 +101,11 @@ impl Pping {
         let (flow, dir) = FlowKey::from_tuple(meta.src, meta.dst, meta.src_port, meta.dst_port);
 
         // 1. Try to match this packet's TSecr against a TSval recorded in
-        //    the opposite direction.
+        //    the opposite direction. RFC 7323 §3.2: TSecr is only valid on
+        //    segments with ACK set — a SYN's TSecr field is undefined
+        //    garbage and must not be matched.
         let mut sample = None;
-        if tsecr != 0 {
+        if tsecr != 0 && meta.flags.contains(ruru_wire::tcp::Flags::ACK) {
             let probe = TsKey {
                 flow,
                 dir: dir.flipped(),
@@ -118,10 +127,21 @@ impl Pping {
         // 2. Record this packet's TSval (first occurrence only: retransmits
         //    and ACK-only repeats keep the original send time). Pure ACKs
         //    with no payload do not advance TSval meaningfully but are still
-        //    echoed by peers, so pping records them too.
+        //    echoed by peers, so pping records them too. TSval 0 is skipped:
+        //    the `tsecr != 0` ambiguity guard above means an echo of it can
+        //    never match, so recording it would only pin a dead entry in the
+        //    table until TTL.
+        if tsval == 0 {
+            self.stats.zero_tsvals += 1;
+            return sample;
+        }
         let record = TsKey { flow, dir, tsval };
-        self.table.insert(record, meta.timestamp, meta.timestamp);
-        self.stats.tsvals_recorded += 1;
+        match self.table.insert(record, meta.timestamp, meta.timestamp) {
+            InsertOutcome::AlreadyPresent => self.stats.duplicate_tsvals += 1,
+            InsertOutcome::Inserted | InsertOutcome::InsertedWithEviction => {
+                self.stats.tsvals_recorded += 1;
+            }
+        }
 
         sample
     }
@@ -155,13 +175,14 @@ mod tests {
         IpAddress::V4(ipv4::Address([10, 0, 0, last]))
     }
 
-    fn meta(
+    fn meta_flags(
         src: IpAddress,
         dst: IpAddress,
         sp: u16,
         dp: u16,
         ts: Option<(u32, u32)>,
         t_us: u64,
+        flags: Flags,
     ) -> TcpMeta {
         TcpMeta {
             src,
@@ -170,12 +191,23 @@ mod tests {
             dst_port: dp,
             seq: 0,
             ack: 0,
-            flags: Flags::ACK,
+            flags,
             payload_len: 100,
             timestamps: ts,
             timestamp: Timestamp::from_micros(t_us),
             rss_hash: 0,
         }
+    }
+
+    fn meta(
+        src: IpAddress,
+        dst: IpAddress,
+        sp: u16,
+        dp: u16,
+        ts: Option<(u32, u32)>,
+        t_us: u64,
+    ) -> TcpMeta {
+        meta_flags(src, dst, sp, dp, ts, t_us, Flags::ACK)
     }
 
     #[test]
@@ -285,6 +317,93 @@ mod tests {
         p.housekeep(Timestamp::from_micros(2_000));
         assert_eq!(p.outstanding(), 0);
         assert_eq!(p.stats().expired, 1);
+    }
+
+    /// Regression: retransmits hit `InsertOutcome::AlreadyPresent` and used
+    /// to bump `tsvals_recorded` anyway, over-counting recorded state.
+    #[test]
+    fn retransmit_counts_duplicate_not_recorded() {
+        let mut p = Pping::new(PpingConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        p.process(&meta(c, s, 5000, 443, Some((100, 0)), 0));
+        // Two retransmissions of the same segment (same TSval).
+        p.process(&meta(c, s, 5000, 443, Some((100, 0)), 50_000));
+        p.process(&meta(c, s, 5000, 443, Some((100, 0)), 100_000));
+        assert_eq!(p.stats().tsvals_recorded, 1, "recorded once, not thrice");
+        assert_eq!(p.stats().duplicate_tsvals, 2);
+        assert_eq!(p.outstanding(), 1);
+    }
+
+    /// Regression: RFC 7323 §3.2 — TSecr is only valid on segments with ACK
+    /// set. A SYN's TSecr field is undefined garbage (e.g. stale state from
+    /// a previous connection on the same tuple) and must not match.
+    #[test]
+    fn syn_with_stale_tsecr_produces_no_sample() {
+        let mut p = Pping::new(PpingConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        // Server-side TSval 777 outstanding from earlier traffic.
+        p.process(&meta(s, c, 443, 5000, Some((777, 0)), 0));
+        // Client "SYN" (no ACK flag) whose TSecr bytes happen to hold 777.
+        let syn = meta_flags(c, s, 5000, 443, Some((100, 777)), 10_000, Flags::SYN);
+        assert!(p.process(&syn).is_none(), "garbage TSecr must not match");
+        assert_eq!(p.stats().samples, 0);
+        // The recorded TSval survives for a *valid* echo later.
+        assert!(p
+            .process(&meta(c, s, 5000, 443, Some((101, 777)), 20_000))
+            .is_some());
+    }
+
+    /// Regression: TSval 0 can never be matched (the `tsecr != 0` ambiguity
+    /// guard filters legitimate echoes of it), so recording it only pinned a
+    /// dead entry in the table until TTL, inflating `outstanding()`.
+    #[test]
+    fn zero_tsval_is_skipped_and_counted() {
+        let mut p = Pping::new(PpingConfig::default());
+        p.process(&meta(ip(1), ip(2), 1, 2, Some((0, 0)), 0));
+        assert_eq!(p.outstanding(), 0, "dead entry not recorded");
+        assert_eq!(p.stats().zero_tsvals, 1);
+        assert_eq!(p.stats().tsvals_recorded, 0);
+    }
+
+    /// TSval is a free-running 32-bit clock: it wraps u32::MAX → 0 → 1.
+    /// Matching is exact (no ordering comparison), so samples keep flowing
+    /// across the wrap; the single unusable TSval 0 tick is counted.
+    #[test]
+    fn tsval_wraparound_keeps_sampling() {
+        let mut p = Pping::new(PpingConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        let mut samples = 0;
+        for (i, tsval) in [u32::MAX - 1, u32::MAX, 0, 1, 2].into_iter().enumerate() {
+            let t0 = i as u64 * 1_000;
+            p.process(&meta(c, s, 5000, 443, Some((tsval, 9)), t0));
+            if p
+                .process(&meta(s, c, 443, 5000, Some((10 + i as u32, tsval)), t0 + 130))
+                .is_some()
+            {
+                samples += 1;
+            }
+        }
+        assert_eq!(samples, 4, "every wrap-spanning exchange except TSval 0");
+        assert_eq!(p.stats().zero_tsvals, 1);
+    }
+
+    /// Delayed ACKs inflate pping RTT: the receiver may sit on the echo for
+    /// up to the delayed-ACK timer, and the sample measures arrival delta at
+    /// the tap — the inflation is inherent to the method, not a bug.
+    #[test]
+    fn delayed_ack_inflates_sample() {
+        let mut p = Pping::new(PpingConfig::default());
+        let c = ip(1);
+        let s = ip(2);
+        // Data at t=0; path RTT is 100ms but the server holds the ACK 40ms.
+        p.process(&meta(c, s, 5000, 443, Some((100, 0)), 0));
+        let sample = p
+            .process(&meta(s, c, 443, 5000, Some((900, 100)), 140_000))
+            .unwrap();
+        assert_eq!(sample.rtt_ns, 140_000_000, "path RTT + delayed-ACK hold");
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!   SipHash-free).
 //! * [`handshake`] — the SYN / SYN-ACK / ACK state machine and
 //!   [`handshake::HandshakeTracker`], the paper's measurement engine.
+//! * [`inflow`] — continuous in-flow RTT ([`inflow::InflowTracker`]):
+//!   RFC 7323 TCP-timestamp matching promoted to the slab table, with
+//!   bounded per-flow TSval rings inline in the entry and samples folded
+//!   into per-queue log-bucket histograms (catches mid-flow latency
+//!   shifts the one-shot handshake measurement is blind to).
 //! * [`measurement`] — the [`measurement::LatencyMeasurement`] record and
 //!   its compact binary wire form used on the message bus.
 //! * [`baseline`] — comparison implementations: `pping`-style TCP-timestamp
@@ -39,11 +44,13 @@ pub mod baseline;
 pub mod classify;
 pub mod handshake;
 pub mod histogram;
+pub mod inflow;
 pub mod key;
 pub mod measurement;
 pub mod table;
 
 pub use handshake::{HandshakeTracker, TrackerConfig, TrackerStats};
+pub use inflow::{InflowConfig, InflowStats, InflowTracker};
 pub use histogram::LatencyHistogram;
 pub use key::{Direction, FlowKey};
 pub use measurement::LatencyMeasurement;

@@ -20,6 +20,20 @@ pub enum Anomaly {
         /// Added external latency in nanoseconds (the paper's case: 4 s).
         extra_ns: u64,
     },
+    /// A congestion event on the external path: request/response exchanges
+    /// whose server leg happens inside the window take `extra_ns` longer,
+    /// regardless of when the flow's handshake completed. Invisible to
+    /// handshake-only measurement — flows set up before the window keep
+    /// their clean setup RTT — but the continuous in-flow RTT path sees
+    /// every affected exchange.
+    MidFlowLatencyShift {
+        /// Window start.
+        start: Timestamp,
+        /// Window end (exclusive).
+        end: Timestamp,
+        /// Added external one-way response delay in nanoseconds.
+        extra_ns: u64,
+    },
     /// A flood of spoofed SYNs (never completed) toward one server.
     SynFlood {
         /// Window start.
@@ -44,10 +58,22 @@ impl Anomaly {
         }
     }
 
+    /// A mid-flow congestion shift: 60 ms added to every data exchange
+    /// whose server leg falls inside the window (the elephant-flow
+    /// scenario's regression, invisible to handshake-only sampling).
+    pub fn congestion_shift_60ms(start: Timestamp, end: Timestamp) -> Anomaly {
+        Anomaly::MidFlowLatencyShift {
+            start,
+            end,
+            extra_ns: 60_000_000,
+        }
+    }
+
     /// The anomaly's active window.
     pub fn window(&self) -> (Timestamp, Timestamp) {
         match self {
             Anomaly::SetupLatencySpike { start, end, .. } => (*start, *end),
+            Anomaly::MidFlowLatencyShift { start, end, .. } => (*start, *end),
             Anomaly::SynFlood { start, end, .. } => (*start, *end),
         }
     }
@@ -66,6 +92,16 @@ impl Anomaly {
             _ => 0,
         }
     }
+
+    /// The extra delay this anomaly imposes on a data exchange whose
+    /// request passes the tap at `t` (zero for setup-only anomalies:
+    /// the firewall holds SYNs, not established traffic).
+    pub fn extra_data_ns(&self, t: Timestamp) -> u64 {
+        match self {
+            Anomaly::MidFlowLatencyShift { extra_ns, .. } if self.active_at(t) => *extra_ns,
+            _ => 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +117,23 @@ mod tests {
         assert!(!a.active_at(Timestamp::from_secs(40)));
         assert_eq!(a.extra_setup_ns(Timestamp::from_secs(20)), 4_000_000_000);
         assert_eq!(a.extra_setup_ns(Timestamp::from_secs(50)), 0);
+    }
+
+    #[test]
+    fn congestion_shift_affects_data_not_setup() {
+        let a = Anomaly::congestion_shift_60ms(Timestamp::from_secs(4), Timestamp::from_secs(8));
+        // Setup path untouched: a flow starting mid-window still gets a
+        // clean handshake.
+        assert_eq!(a.extra_setup_ns(Timestamp::from_secs(5)), 0);
+        // Data exchanges inside the window are stretched; outside, clean.
+        assert_eq!(a.extra_data_ns(Timestamp::from_secs(3)), 0);
+        assert_eq!(a.extra_data_ns(Timestamp::from_secs(4)), 60_000_000);
+        assert_eq!(a.extra_data_ns(Timestamp::from_secs(7)), 60_000_000);
+        assert_eq!(a.extra_data_ns(Timestamp::from_secs(8)), 0);
+        // The firewall anomaly is the mirror image.
+        let fw = Anomaly::firewall_4s(Timestamp::from_secs(4), Timestamp::from_secs(8));
+        assert_eq!(fw.extra_data_ns(Timestamp::from_secs(5)), 0);
+        assert_eq!(fw.extra_setup_ns(Timestamp::from_secs(5)), 4_000_000_000);
     }
 
     #[test]

@@ -122,6 +122,40 @@ impl Default for GenConfig {
     }
 }
 
+impl GenConfig {
+    /// The elephant-flow scenario: a modest number of long-lived flows,
+    /// each carrying many request/response exchanges, with a mid-flow
+    /// congestion shift that begins only after every handshake has
+    /// completed (`arrivals_until < shift_start`). Handshake-only
+    /// measurement sees nothing but clean setups; the continuous in-flow
+    /// RTT path watches every exchange inside `[shift_start, shift_end)`
+    /// jump by `shift_extra_ns`.
+    pub fn elephant_flows(
+        seed: u64,
+        arrivals_until: Timestamp,
+        shift_start: Timestamp,
+        shift_end: Timestamp,
+        shift_extra_ns: u64,
+    ) -> GenConfig {
+        GenConfig {
+            seed,
+            flows_per_sec: 30.0,
+            duration: arrivals_until,
+            // Long-lived flows: each exchange costs roughly one external
+            // RTT plus think time (~0.3 s to the US west coast), so 20–40
+            // exchanges keep a flow alive for many seconds — long enough
+            // to straddle the shift window.
+            data_exchanges: (20, 40),
+            anomalies: vec![Anomaly::MidFlowLatencyShift {
+                start: shift_start,
+                end: shift_end,
+                extra_ns: shift_extra_ns,
+            }],
+            ..GenConfig::default()
+        }
+    }
+}
+
 /// One tap event: a frame passing the tap at `at`.
 #[derive(Debug, Clone)]
 pub struct Event {
@@ -401,10 +435,20 @@ impl TrafficGen {
             let req_ts = client_ts(t);
             cseq = cseq.wrapping_add(req_len as u32);
 
-            // Server response 2×external later.
+            // Server response 2×external later. Mid-flow anomalies stretch
+            // the response leg of exchanges whose request enters the
+            // affected path inside their window — the handshake above is
+            // already scheduled and stays clean.
+            let data_extra: u64 = self
+                .config
+                .anomalies
+                .iter()
+                .map(|a| a.extra_data_ns(t))
+                .sum();
             let resp_at = t
                 .advanced(2 * e_base + m.sample_jitter_ns(&mut self.rng))
-                .advanced(m.sample_server_proc_ns(&mut self.rng));
+                .advanced(m.sample_server_proc_ns(&mut self.rng))
+                .advanced(data_extra);
             let resp_len = self.rng.gen_range(200..1400usize);
             let mut resp = TcpPacketSpec::control_pair(
                 pair.flipped(), dst_port, src_port, sseq, cseq, Flags::ACK | Flags::PSH,
@@ -700,6 +744,69 @@ mod tests {
         for t in &clean {
             assert!(t.external_ns < 1_000_000_000);
         }
+    }
+
+    #[test]
+    fn congestion_shift_invisible_to_handshakes_but_not_inflow() {
+        // Elephant flows: every handshake completes before the shift
+        // window opens, so handshake-only measurement sees a clean run —
+        // while the in-flow RTT stream jumps for every exchange inside
+        // the window. LA-only external mix keeps the clean data-leg RTT
+        // below ~150 ms (2×OWD + jitter + proc), so the 60 ms shift
+        // separates the populations deterministically.
+        let shift_start = Timestamp::from_secs(4);
+        let shift_end = Timestamp::from_secs(8);
+        let cfg = GenConfig {
+            external_weights: vec![(LOS_ANGELES, 1)],
+            internal_cities: vec![AUCKLAND],
+            ..GenConfig::elephant_flows(
+                21,
+                Timestamp::from_secs(1),
+                shift_start,
+                shift_end,
+                60_000_000,
+            )
+        };
+        let mut gen = TrafficGen::new(cfg);
+        let mut tracker = HandshakeTracker::new(0, TrackerConfig::default());
+        let mut inflow =
+            ruru_flow::InflowTracker::new(0, ruru_flow::InflowConfig::default());
+        let mut handshake_max = 0u64;
+        let mut pre = Vec::new(); // samples observed before the window
+        let mut during = Vec::new(); // samples observed inside it
+        for ev in gen.by_ref() {
+            let meta = classify(&ev.frame, ev.at, ChecksumMode::Validate).unwrap();
+            if let Some(m) = tracker.process(&meta) {
+                handshake_max = handshake_max.max(m.external_ns + m.internal_ns);
+            }
+            if let Some(rtt) = inflow.process(&meta) {
+                if ev.at < shift_start {
+                    pre.push(rtt);
+                } else if ev.at < shift_end {
+                    during.push(rtt);
+                }
+            }
+        }
+        assert!(!gen.truths().is_empty());
+        assert!(
+            gen.truths().iter().all(|t| t.t_syn_tap < Timestamp::from_secs(1)),
+            "all flows set up before the shift"
+        );
+        // Handshake-only view: nothing anomalous, ever.
+        assert!(
+            handshake_max < 160_000_000,
+            "handshakes stay clean: {handshake_max} ns"
+        );
+        assert!(pre.len() > 100 && during.len() > 100, "both phases sampled");
+        // Before the window no external data leg exceeds clean AKL↔LAX.
+        assert!(pre.iter().all(|&r| r < 160_000_000));
+        // Inside it, shifted exchanges are unmistakable: ≥ 2×OWD + 60 ms.
+        let shifted = during.iter().filter(|&&r| r >= 160_000_000).count();
+        assert!(
+            shifted > 50,
+            "in-flow sampling sees the regression: {shifted} of {}",
+            during.len()
+        );
     }
 
     #[test]

@@ -96,6 +96,24 @@ pub const IDENTITIES: &[Identity] = &[
         lhs: &[Counter("det_records_in")],
         rhs: &[Counter("det_records_out"), Counter("det_decode_errors")],
     },
+    // The in-flow RTT path sees every packet the handshake tracker sees:
+    // both trackers are fed the same classified metas in both execution
+    // modes, so a packet skipped by one but not the other is a wiring bug.
+    Identity {
+        name: "inflow-input",
+        lhs: &[Gauge("inflow_packets")],
+        rhs: &[Gauge("tracker_packets")],
+    },
+    // Every in-flow RTT sample is folded into the per-queue registry
+    // histogram exactly once — the sample counter and the histogram's
+    // population can never drift (samples are histogram buckets, not
+    // per-sample records; this is the identity that guarantees none are
+    // dropped on the way).
+    Identity {
+        name: "inflow-histogram-accounting",
+        lhs: &[Counter("inflow_samples")],
+        rhs: &[Hist("inflow_rtt_ns")],
+    },
     // Every tsdb point is either a measurement or a ruru_self export.
     Identity {
         name: "tsdb-accounting",

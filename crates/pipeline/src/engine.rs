@@ -21,7 +21,10 @@ use ruru_flow::classify::{
 };
 use ruru_nic::Mbuf;
 use ruru_flow::measurement::{SCRATCH_CHUNK, WIRE_LEN};
-use ruru_flow::{HandshakeTracker, TrackerConfig, TrackerStats};
+use ruru_flow::{
+    HandshakeTracker, InflowConfig, InflowStats, InflowTracker, LatencyHistogram, TrackerConfig,
+    TrackerStats,
+};
 use ruru_gen::Event;
 use ruru_geo::{GeoDb, SynthWorld};
 use ruru_mq::{pipe, Message, Publisher, Push};
@@ -63,6 +66,9 @@ pub struct PipelineConfig {
     pub port: PortConfig,
     /// Per-queue handshake tracker settings.
     pub tracker: TrackerConfig,
+    /// Per-queue continuous in-flow RTT tracker settings (the RFC 7323
+    /// TCP-timestamp path that keeps sampling after the handshake).
+    pub inflow: InflowConfig,
     /// Dataplane layout; see [`ExecutionMode`].
     pub mode: ExecutionMode,
     /// Enrichment worker threads ("multiple threads" in the paper).
@@ -110,6 +116,7 @@ impl Default for PipelineConfig {
         PipelineConfig {
             port: PortConfig::default(),
             tracker: TrackerConfig::default(),
+            inflow: InflowConfig::default(),
             mode: ExecutionMode::default(),
             enrich_threads: 0,
             checksum_mode: ChecksumMode::Validate,
@@ -191,6 +198,13 @@ pub struct Report {
     pub port: PortStats,
     /// Per-queue tracker statistics.
     pub trackers: Vec<(u16, TrackerStats)>,
+    /// Per-queue continuous in-flow RTT statistics (the TCP-timestamp
+    /// path that keeps sampling after the handshake).
+    pub inflows: Vec<(u16, InflowStats)>,
+    /// Every queue's in-flow RTT samples merged into one log-bucket
+    /// histogram — the distribution the handshake-only measurement
+    /// cannot see shifting mid-flow.
+    pub inflow_histogram: LatencyHistogram,
     /// Enrichment statistics: the pool's counters in pipelined mode, or
     /// the per-lcore inline-enrichment counters summed across queues in
     /// run-to-completion mode.
@@ -241,10 +255,18 @@ impl Report {
     pub fn syns(&self) -> u64 {
         self.trackers.iter().map(|(_, s)| s.syns).sum()
     }
+
+    /// Total continuous in-flow RTT samples across queues.
+    pub fn inflow_samples(&self) -> u64 {
+        self.inflows.iter().map(|(_, s)| s.samples).sum()
+    }
 }
 
 struct WorkerState {
     tracker: HandshakeTracker,
+    /// Continuous in-flow RTT tracker, fed the same classified metas as
+    /// the handshake tracker in both execution modes.
+    inflow: InflowTracker,
     push: Push,
     syn_tx: Sender<(u16, u64)>,
     checksum_mode: ChecksumMode,
@@ -264,6 +286,11 @@ struct WorkerState {
     /// RX residencies (virtual ns, mbuf timestamp → classify) of the
     /// current burst, reused across bursts.
     residencies: Vec<u64>,
+    /// In-flow RTT samples (ns) of the current burst, folded into the
+    /// per-queue registry histogram at flush; reused across bursts.
+    inflow_rtts: Vec<u64>,
+    /// Inflow stats as of the last flush, so counters flush as deltas.
+    inflow_flushed: InflowStats,
     // Local counters, flushed to the registry once per burst.
     records_in: u64,
     records_out: u64,
@@ -321,6 +348,10 @@ struct RtcState {
 struct WorkerExit {
     queue: u16,
     tracker: TrackerStats,
+    inflow: InflowStats,
+    /// This queue's in-flow RTT histogram, merged into
+    /// [`Report::inflow_histogram`] at finish.
+    inflow_hist: LatencyHistogram,
     enrich: PoolStats,
 }
 
@@ -461,6 +492,40 @@ impl WorkerState {
             m.flow_table_occupancy,
             self.tracker.in_flight() as u64,
         );
+        // In-flow RTT path: sample/skip/eviction counters flush as deltas
+        // against the last flush, the burst's samples fold into the
+        // per-queue registry histogram (buckets, not per-sample records),
+        // and the cumulative stats mirror as gauges like the tracker's.
+        let is = self.inflow.stats();
+        let last = self.inflow_flushed;
+        let d = is.samples.saturating_sub(last.samples);
+        if d > 0 {
+            r.counter_add(self.shard, m.inflow_samples, d);
+        }
+        let d = is.no_timestamp.saturating_sub(last.no_timestamp);
+        if d > 0 {
+            r.counter_add(self.shard, m.inflow_no_timestamp, d);
+        }
+        let d = is.ring_evicted.saturating_sub(last.ring_evicted);
+        if d > 0 {
+            r.counter_add(self.shard, m.inflow_evicted, d);
+        }
+        self.inflow_flushed = is;
+        for &ns in &self.inflow_rtts {
+            r.hist_record(self.shard, m.inflow_rtt, ns);
+        }
+        self.inflow_rtts.clear();
+        r.gauge_store(self.shard, m.inflow_packets, is.packets);
+        r.gauge_store(self.shard, m.inflow_tsvals_recorded, is.tsvals_recorded);
+        r.gauge_store(self.shard, m.inflow_duplicate_tsvals, is.duplicate_tsvals);
+        r.gauge_store(self.shard, m.inflow_zero_tsvals, is.zero_tsvals);
+        r.gauge_store(self.shard, m.inflow_nonmonotonic, is.nonmonotonic);
+        r.gauge_store(self.shard, m.inflow_expired_flows, is.expired_flows);
+        r.gauge_store(
+            self.shard,
+            m.inflow_table_occupancy,
+            self.inflow.flows_tracked() as u64,
+        );
         r.burst_end(self.shard);
     }
 }
@@ -576,6 +641,8 @@ fn dataplane_worker(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
     // owns the encode/batch fields.
     let WorkerState {
         tracker,
+        inflow,
+        inflow_rtts,
         metas,
         scratch,
         batch,
@@ -598,6 +665,9 @@ fn dataplane_worker(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
         batch.push(Message::new(Bytes::from_static(b"latency"), payload));
         *records_out += 1;
     });
+    // Same metas through the continuous in-flow RTT path: one prefetch-
+    // staged slab-table walk, samples staged for the flush below.
+    inflow.process_burst(metas, |rtt_ns| inflow_rtts.push(rtt_ns));
     // Burst boundary: at most one measurement per packet, so the batch is
     // bounded by BURST_SIZE; one vectored send covers the whole burst.
     state.flush();
@@ -654,6 +724,8 @@ fn run_to_completion_worker(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
     let now = state.clock.now();
     let WorkerState {
         tracker,
+        inflow,
+        inflow_rtts,
         metas,
         scratch,
         batch,
@@ -691,6 +763,9 @@ fn run_to_completion_worker(state: &mut WorkerState, burst: &mut Vec<Mbuf>) {
         rtc.enriched += 1;
         *records_out += 1;
     });
+    // Same metas through the continuous in-flow RTT path, inline on this
+    // lcore like everything else in run-to-completion mode.
+    inflow.process_burst(metas, |rtt_ns| inflow_rtts.push(rtt_ns));
     if rtc.records.len() > log_start {
         rtc.stats.batches_in += 1;
         // One detector-feed send per burst (performed by `flush` below).
@@ -1055,6 +1130,7 @@ impl Pipeline {
         // or classify → track → enrich → encode → push records (RTC).
         let (stats_tx, stats_rx) = unbounded();
         let tracker_cfg = config.tracker.clone();
+        let inflow_cfg = config.inflow.clone();
         let checksum_mode = config.checksum_mode;
         let mode = config.mode;
         let geo_cache = config.geo_cache;
@@ -1069,6 +1145,7 @@ impl Pipeline {
         let tsdb_rotation_ns = config.tsdb_rotation_ns.max(1);
         let init = move |qid| WorkerState {
             tracker: HandshakeTracker::new(qid, tracker_cfg.clone()),
+            inflow: InflowTracker::new(qid, inflow_cfg.clone()),
             push: worker_push.clone(),
             syn_tx: syn_tx.clone(),
             checksum_mode,
@@ -1080,6 +1157,8 @@ impl Pipeline {
             metas: Vec::with_capacity(BURST_SIZE),
             scratch: BytesMut::new(),
             residencies: Vec::with_capacity(BURST_SIZE),
+            inflow_rtts: Vec::with_capacity(BURST_SIZE),
+            inflow_flushed: InflowStats::default(),
             records_in: 0,
             records_out: 0,
             batches: 0,
@@ -1121,6 +1200,8 @@ impl Pipeline {
             let _ = stats_tx.send(WorkerExit {
                 queue: qid,
                 tracker: state.tracker.stats(),
+                inflow: state.inflow.stats(),
+                inflow_hist: state.inflow.histogram().clone(),
                 enrich,
             });
             // Dropping `state` drops this worker's Push and syn_tx
@@ -1287,6 +1368,11 @@ impl Pipeline {
         exits.sort_by_key(|e| e.queue);
         let trackers: Vec<(u16, TrackerStats)> =
             exits.iter().map(|e| (e.queue, e.tracker)).collect();
+        let inflows: Vec<(u16, InflowStats)> = exits.iter().map(|e| (e.queue, e.inflow)).collect();
+        let mut inflow_histogram = LatencyHistogram::for_latency();
+        for e in &exits {
+            inflow_histogram.merge(&e.inflow_hist);
+        }
         for e in &exits {
             pool_stats.enriched += e.enrich.enriched;
             pool_stats.decode_errors += e.enrich.decode_errors;
@@ -1333,6 +1419,8 @@ impl Pipeline {
         Report {
             port: self.port.stats(),
             trackers,
+            inflows,
+            inflow_histogram,
             pool: pool_stats,
             alerts: self.alerts.snapshot(),
             frames_emitted: det.frames_emitted,
@@ -1422,6 +1510,17 @@ mod tests {
         assert_eq!(publ.count, t.counter("det_records_out"));
         // ruru_self series landed in the same tsdb the measurements use.
         assert!(report.tsdb.series_count("ruru_self") > 0);
+
+        // The continuous in-flow RTT path ran alongside the handshake
+        // tracker: timestamped traffic keeps yielding samples after the
+        // handshake, every sample folded into the registry histogram
+        // exactly once, and both trackers saw the same packets.
+        assert!(report.inflow_samples() > 0, "in-flow RTT samples");
+        assert_eq!(report.inflow_histogram.count(), report.inflow_samples());
+        assert_eq!(t.counter("inflow_samples"), report.inflow_samples());
+        let inf = t.hist("inflow_rtt_ns").expect("inflow histogram");
+        assert_eq!(inf.count, t.counter("inflow_samples"));
+        assert_eq!(t.gauge("inflow_packets"), t.gauge("tracker_packets"));
     }
 
     #[test]
@@ -1567,6 +1666,13 @@ mod tests {
             truths * ruru_analytics::enrich::ENRICHED_WIRE_LEN as u64
         );
         assert!(report.arcs_drawn > 0, "detector consumed the inline feed");
+        // The in-flow path runs inline on the lcores in this mode too.
+        assert!(report.inflow_samples() > 0, "in-flow RTT samples");
+        assert_eq!(report.inflow_histogram.count(), report.inflow_samples());
+        assert_eq!(t.counter("inflow_samples"), report.inflow_samples());
+        let inf = t.hist("inflow_rtt_ns").expect("inflow histogram");
+        assert_eq!(inf.count, t.counter("inflow_samples"));
+        assert_eq!(t.gauge("inflow_packets"), t.gauge("tracker_packets"));
     }
 
     #[test]

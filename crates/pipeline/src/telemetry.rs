@@ -44,6 +44,12 @@ use std::sync::Arc;
 /// relative error, 58 × 128 buckets ≈ 58 KiB per shard.
 const RESIDENCY_PRECISION: u32 = 7;
 
+/// Bucket precision for the per-queue in-flow RTT histogram — matches
+/// `ruru_flow::LatencyHistogram::for_latency()` (precision 5, 2^-5 ≈ 3 %
+/// relative error) so the registry fold and the tracker's local histogram
+/// share bucket geometry.
+const INFLOW_PRECISION: u32 = 5;
+
 /// The pipeline's self-metric registry plus every metric id, pre-registered
 /// at construction so the hot paths never touch a name.
 pub struct SelfMetrics {
@@ -83,6 +89,25 @@ pub struct SelfMetrics {
     pub(crate) tracker_evicted: GaugeId,
     pub(crate) tracker_nonmonotonic: GaugeId,
     pub(crate) flow_table_occupancy: GaugeId,
+
+    // Continuous in-flow RTT (dataplane shards; ISSUE 10). Samples fold
+    // into `inflow_rtt_ns` — per queue at write time, summed across shards
+    // at snapshot. Conservation: `inflow_samples == hist(inflow_rtt_ns)`
+    // and `inflow_packets == tracker_packets` (both trackers see every
+    // classified packet).
+    pub(crate) inflow_samples: CounterId,
+    pub(crate) inflow_no_timestamp: CounterId,
+    /// Ring slots overwritten while still outstanding (per-flow TSval ring
+    /// overflow) — the in-flow analogue of a capacity eviction.
+    pub(crate) inflow_evicted: CounterId,
+    pub(crate) inflow_rtt: HistId,
+    pub(crate) inflow_packets: GaugeId,
+    pub(crate) inflow_tsvals_recorded: GaugeId,
+    pub(crate) inflow_duplicate_tsvals: GaugeId,
+    pub(crate) inflow_zero_tsvals: GaugeId,
+    pub(crate) inflow_nonmonotonic: GaugeId,
+    pub(crate) inflow_expired_flows: GaugeId,
+    pub(crate) inflow_table_occupancy: GaugeId,
 
     // Enrichment stage (pool shards Q+1..Q+1+E in pipelined mode; the
     // dataplane shards in run-to-completion mode, where enrichment runs
@@ -153,6 +178,9 @@ impl SelfMetrics {
         let det_decode_errors = b.counter("det_decode_errors");
         let det_batches = b.counter("det_batches");
         let det_bytes = b.counter("det_bytes");
+        let inflow_samples = b.counter("inflow_samples");
+        let inflow_no_timestamp = b.counter("inflow_no_timestamp");
+        let inflow_evicted = b.counter("inflow_evicted");
 
         let tracker_packets = b.gauge("tracker_packets");
         let tracker_syns = b.gauge("tracker_syns");
@@ -167,6 +195,13 @@ impl SelfMetrics {
         let tracker_evicted = b.gauge("tracker_evicted");
         let tracker_nonmonotonic = b.gauge("tracker_nonmonotonic");
         let flow_table_occupancy = b.gauge("flow_table_occupancy");
+        let inflow_packets = b.gauge("inflow_packets");
+        let inflow_tsvals_recorded = b.gauge("inflow_tsvals_recorded");
+        let inflow_duplicate_tsvals = b.gauge("inflow_duplicate_tsvals");
+        let inflow_zero_tsvals = b.gauge("inflow_zero_tsvals");
+        let inflow_nonmonotonic = b.gauge("inflow_nonmonotonic");
+        let inflow_expired_flows = b.gauge("inflow_expired_flows");
+        let inflow_table_occupancy = b.gauge("inflow_table_occupancy");
         let geo_cache_hits = b.gauge("geo_cache_hits");
         let geo_cache_misses = b.gauge("geo_cache_misses");
         let port_rx_packets = b.gauge("port_rx_packets");
@@ -183,6 +218,7 @@ impl SelfMetrics {
         let tsdb_active_points = b.gauge("tsdb_active_points");
 
         let rx_residency = b.histogram("stage_rx_residency_ns", RESIDENCY_PRECISION);
+        let inflow_rtt = b.histogram("inflow_rtt_ns", INFLOW_PRECISION);
         let enrich_residency = b.histogram("stage_enrich_residency_ns", RESIDENCY_PRECISION);
         let publish_residency = b.histogram("stage_publish_residency_ns", RESIDENCY_PRECISION);
 
@@ -219,6 +255,17 @@ impl SelfMetrics {
             tracker_evicted,
             tracker_nonmonotonic,
             flow_table_occupancy,
+            inflow_samples,
+            inflow_no_timestamp,
+            inflow_evicted,
+            inflow_rtt,
+            inflow_packets,
+            inflow_tsvals_recorded,
+            inflow_duplicate_tsvals,
+            inflow_zero_tsvals,
+            inflow_nonmonotonic,
+            inflow_expired_flows,
+            inflow_table_occupancy,
             enrich_enriched,
             enrich_decode_errors,
             enrich_geo_misses,

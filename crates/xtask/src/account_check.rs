@@ -76,6 +76,10 @@ const ROOTS: &[(&str, &str)] = &[
     ("flow", "insert_burst"),
     ("flow", "classify_mbuf"),
     ("flow", "housekeep_guarded"),
+    // Continuous in-flow RTT burst surface, pinned by type so coverage
+    // survives if the unqualified names above are ever narrowed.
+    ("flow", "InflowTracker::process_burst"),
+    ("flow", "InflowTracker::housekeep_guarded"),
     // Message-queue batch surface.
     ("mq", "send_batch"),
     ("mq", "recv_batch"),

@@ -69,6 +69,11 @@ const ALLOC_ROOTS: &[(&str, &str)] = &[
     ("flow", "housekeep_guarded"),
     ("flow", "lookup_burst"),
     ("flow", "insert_burst"),
+    // Continuous in-flow RTT burst surface, pinned by type so coverage
+    // survives if the unqualified names above are ever narrowed.
+    ("flow", "InflowTracker::process"),
+    ("flow", "InflowTracker::process_burst"),
+    ("flow", "InflowTracker::housekeep_guarded"),
     ("flow", "encode"),
     ("flow", "encode_into"),
     ("flow", "decode"),

@@ -103,6 +103,7 @@ fn unsafe_allowed(path: &str) -> bool {
         || path == "crates/bench/src/bin/flow_table_report.rs"
         || path == "crates/bench/src/bin/scaling_report.rs"
         || path == "crates/bench/src/bin/tsdb_report.rs"
+        || path == "crates/bench/src/bin/inflow_report.rs"
         || path.starts_with("crates/loom/")
         || path.starts_with("crates/xtask/")
 }

@@ -76,6 +76,13 @@ const ROOTS: &[(&str, &str)] = &[
     ("flow", "lookup_burst"),
     ("flow", "insert_burst"),
     ("flow", "prefetch"),
+    // Continuous in-flow RTT surface (pinned by type so coverage survives
+    // if the unqualified names above are ever narrowed), plus the pping
+    // baseline the differential tests run against.
+    ("flow", "InflowTracker::process"),
+    ("flow", "InflowTracker::process_burst"),
+    ("flow", "InflowTracker::housekeep_guarded"),
+    ("flow", "Pping::process"),
     ("flow", "decode"),
     ("flow", "encode"),
     ("flow", "encode_into"),

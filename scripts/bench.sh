@@ -2,8 +2,9 @@
 # Benchmark gate: runs the criterion benches (E2 pipeline throughput as the
 # no-regression guard, E9 flow table head-to-head, E10 execution-mode
 # scaling), then the machine-readable reporters, which rewrite
-# BENCH_flowtable.json, BENCH_scaling.json and BENCH_tsdb.json, and finally
-# the shared gate script (scripts/gate.py) against all three artifacts.
+# BENCH_flowtable.json, BENCH_scaling.json, BENCH_tsdb.json and
+# BENCH_inflow.json, and finally the shared gate script (scripts/gate.py)
+# against all four artifacts.
 # Usage: scripts/bench.sh [--report-only]
 #   --report-only  skip the criterion runs, only refresh the JSON artifacts.
 #                  Fails loudly if the criterion estimates from a previous
@@ -40,6 +41,9 @@ cargo run --release -p ruru-bench --bin scaling_report -- --out BENCH_scaling.js
 echo "==> tsdb_report -> BENCH_tsdb.json"
 cargo run --release -p ruru-bench --bin tsdb_report -- --out BENCH_tsdb.json
 
+echo "==> inflow_report -> BENCH_inflow.json"
+cargo run --release -p ruru-bench --bin inflow_report -- --out BENCH_inflow.json
+
 echo "==> gate: BENCH_flowtable.json"
 python3 scripts/gate.py flowtable BENCH_flowtable.json
 
@@ -48,5 +52,8 @@ python3 scripts/gate.py scaling BENCH_scaling.json
 
 echo "==> gate: BENCH_tsdb.json"
 python3 scripts/gate.py tsdb BENCH_tsdb.json
+
+echo "==> gate: BENCH_inflow.json"
+python3 scripts/gate.py inflow BENCH_inflow.json
 
 echo "OK"

@@ -14,6 +14,10 @@ Subcommands:
                         hold >= 10M points, sealed storage must cost <= 4.0
                         bytes/point, and the modeled 4-worker query speedup
                         must be >= 3.0x.
+  inflow PATH           gate BENCH_inflow.json: the in-flow burst path must
+                        sustain >= 2M packets/s, beat the pping baseline by
+                        >= 2x, and the steady-state allocation audit must
+                        be 0. Rejects smoke-sized artifacts.
   criterion-fresh GROUP [GROUP...]
                         require at least one criterion estimates.json per
                         named group under target/criterion/, no older than
@@ -109,6 +113,30 @@ def gate_tsdb(path):
     return ok
 
 
+def gate_inflow(path):
+    r = load(path)
+    ok = True
+    packets = r["workload"]["packets"]
+    print(f"  workload.packets: {packets} (floor 20000)")
+    if packets < 20_000:
+        print(f"  {path} looks like a smoke artifact — the gate needs the "
+              "full workload", file=sys.stderr)
+        ok = False
+    samples = r["workload"]["samples"]
+    print(f"  workload.samples: {samples} (must be > 0)")
+    ok &= samples > 0
+    pps = r["burst_packets_per_sec"]
+    print(f"  burst_packets_per_sec: {pps:.0f} (floor 2000000)")
+    ok &= pps >= 2_000_000
+    speedup = r["speedup"]["inflow_burst_vs_pping"]
+    print(f"  inflow_burst_vs_pping: {speedup:.2f}x (floor 2.0x)")
+    ok &= speedup >= 2.0
+    allocs = r["steady_state_allocations"]
+    print(f"  steady_state_allocations: {allocs} (must be 0)")
+    ok &= allocs == 0
+    return ok
+
+
 def gate_criterion_fresh(groups, max_age_hours):
     ok = True
     now = time.time()
@@ -145,6 +173,8 @@ def main():
     p.add_argument("path")
     p = sub.add_parser("tsdb")
     p.add_argument("path")
+    p = sub.add_parser("inflow")
+    p.add_argument("path")
     p = sub.add_parser("criterion-fresh")
     p.add_argument("groups", nargs="+")
     p.add_argument("--max-age-hours", type=float, default=24.0)
@@ -156,6 +186,8 @@ def main():
         ok = gate_scaling(args.path)
     elif args.cmd == "tsdb":
         ok = gate_tsdb(args.path)
+    elif args.cmd == "inflow":
+        ok = gate_inflow(args.path)
     else:
         ok = gate_criterion_fresh(args.groups, args.max_age_hours)
     sys.exit(0 if ok else 1)

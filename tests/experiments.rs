@@ -1,4 +1,4 @@
-//! Shape-level checks of every experiment in EXPERIMENTS.md (E1–E8),
+//! Shape-level checks of the experiments in EXPERIMENTS.md (E1–E8, E12),
 //! at test scale. The bench harness regenerates the full numbers; these
 //! tests pin the *direction* of each claim so a regression that flips a
 //! conclusion fails CI.
@@ -294,4 +294,71 @@ fn e8_bus_zero_copy_and_lossless_pushpull() {
     }
     drop(push);
     assert_eq!(consumer.join().unwrap(), 10_000);
+}
+
+/// E12: the continuous in-flow RTT path catches a mid-flow latency
+/// regression that handshake-only sampling provably misses. Elephant
+/// flows all complete setup before the congestion window opens, so every
+/// handshake measurement is clean and the spike detector (fed by
+/// handshake measurements) stays silent — while the in-flow histogram
+/// records the shifted exchanges unmistakably.
+#[test]
+fn e12_inflow_catches_midflow_shift_handshakes_miss() {
+    use ruru::geo::synth::AUCKLAND;
+    let shift_start = Timestamp::from_secs(4);
+    let shift_end = Timestamp::from_secs(8);
+    let (mut pipeline, world) = Pipeline::with_synth_world(PipelineConfig::default());
+    let mut gen = TrafficGen::with_world(
+        GenConfig {
+            // LA-only external mix: the clean data-leg RTT stays below
+            // ~150 ms (2×OWD + jitter + proc), so the 60 ms shift
+            // separates the populations deterministically.
+            external_weights: vec![(LOS_ANGELES, 1)],
+            internal_cities: vec![AUCKLAND],
+            ..GenConfig::elephant_flows(
+                12,
+                Timestamp::from_secs(1),
+                shift_start,
+                shift_end,
+                60_000_000,
+            )
+        },
+        world,
+    );
+    pipeline.run(&mut gen);
+    let report = pipeline.finish();
+    let truths = gen.truths();
+    assert!(!truths.is_empty());
+
+    // Handshake-only view: complete coverage, every setup clean, no
+    // ground-truth flow flagged, and the handshake-fed spike detector
+    // never fires — the regression is invisible at this layer.
+    assert!(truths
+        .iter()
+        .all(|t| t.t_syn_tap < Timestamp::from_secs(1)));
+    assert_eq!(report.measurements(), truths.len() as u64);
+    assert!(truths.iter().all(|t| !t.anomalous));
+    assert!(truths.iter().all(|t| t.external_ns < 160_000_000));
+    assert!(
+        report.alerts.iter().all(|a| a.kind != "latency_spike"),
+        "handshake-fed detector saw the shift it cannot see: {:?}",
+        report.alerts.iter().find(|a| a.kind == "latency_spike")
+    );
+
+    // In-flow view: the merged per-queue histogram carries a heavy tail
+    // that no clean AKL↔LAX exchange can produce.
+    let h = &report.inflow_histogram;
+    assert!(h.count() > 500, "in-flow samples: {}", h.count());
+    assert!(
+        h.max() >= 170_000_000,
+        "shifted exchanges recorded: max {} ns",
+        h.max()
+    );
+    // The window spans a large share of the exchanges, so the tail is
+    // population-level, not a stray sample.
+    assert!(
+        h.value_at_quantile(0.95) >= 160_000_000,
+        "p95 {} ns",
+        h.value_at_quantile(0.95)
+    );
 }

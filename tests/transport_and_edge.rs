@@ -118,6 +118,50 @@ fn enriched_measurements_cross_a_tcp_bus() {
     assert_eq!(report.measurements(), n_flows as u64);
 }
 
+/// Differential check: on traces where no per-flow TSval ring overflows,
+/// the slab-table in-flow tracker and the (fixed) pping baseline are the
+/// same estimator — identical sample count, identical RTT values in
+/// identical order, identical validity accounting. They share the RFC 7323
+/// matching rules; only the state layout differs.
+#[test]
+fn inflow_fast_path_matches_pping_baseline() {
+    use ruru::flow::baseline::pping::{Pping, PpingConfig};
+    use ruru::flow::{InflowConfig, InflowTracker};
+    let mut gen = TrafficGen::new(GenConfig {
+        seed: 909,
+        flows_per_sec: 150.0,
+        duration: Timestamp::from_secs(2),
+        data_exchanges: (0, 3),
+        ..GenConfig::default()
+    });
+    let mut pping = Pping::new(PpingConfig::default());
+    let mut inflow = InflowTracker::new(0, InflowConfig::default());
+    let mut baseline_rtts = Vec::new();
+    let mut inflow_rtts = Vec::new();
+    for ev in gen.by_ref() {
+        let meta = classify(&ev.frame, ev.at, ChecksumMode::Validate).unwrap();
+        if let Some(s) = pping.process(&meta) {
+            baseline_rtts.push(s.rtt_ns);
+        }
+        if let Some(rtt) = inflow.process(&meta) {
+            inflow_rtts.push(rtt);
+        }
+    }
+    assert!(!baseline_rtts.is_empty());
+    assert_eq!(baseline_rtts, inflow_rtts, "same samples, same order");
+    // Accounting agrees too: generated traffic never overflows the
+    // per-flow ring, so nothing was evicted on either side.
+    let (ps, is) = (pping.stats(), inflow.stats());
+    assert_eq!(ps.samples, is.samples);
+    assert_eq!(ps.tsvals_recorded, is.tsvals_recorded);
+    assert_eq!(ps.duplicate_tsvals, is.duplicate_tsvals);
+    assert_eq!(ps.zero_tsvals, is.zero_tsvals);
+    assert_eq!(ps.no_timestamp, is.no_timestamp);
+    assert_eq!(is.ring_evicted, 0, "no flow outruns its TSval ring");
+    // And the histogram is exactly the sample population.
+    assert_eq!(inflow.histogram().count(), is.samples);
+}
+
 /// "Long-term storage": a pipeline's tsdb survives a restart via snapshot.
 #[test]
 fn tsdb_snapshot_survives_pipeline_restart() {
